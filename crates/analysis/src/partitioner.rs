@@ -1,0 +1,356 @@
+//! The partitioning algorithm.
+//!
+//! Constraint (from the paper's compile-time approach): every instrumented
+//! access site is specialized for exactly *one* partition's metadata, so
+//! all allocation sites an access may touch must live in the same
+//! partition. The best (finest) sound partitioning is therefore the set of
+//! connected components of the bipartite graph (alloc sites) — (access
+//! sites), computed here as a union-find closure.
+//!
+//! Two strategies are provided:
+//!
+//! * [`Strategy::MayTouch`] — the paper's analysis: merge exactly what the
+//!   points-to sets force. Finest sound result.
+//! * [`Strategy::TypeSeeded`] — additionally pre-merges sites of the same
+//!   type, modelling a cruder per-type specialization (useful as a
+//!   baseline in the partition census, Table T1).
+
+use std::collections::BTreeMap;
+
+use crate::model::{AccessId, AllocId, ModelError, ProgramModel};
+use crate::unionfind::UnionFind;
+
+/// Partitioning strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Merge only what access sites force (finest sound partitioning).
+    MayTouch,
+    /// Additionally merge allocation sites of identical `type_name`.
+    TypeSeeded,
+}
+
+/// One computed partition: a set of allocation sites plus the access sites
+/// that target it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionClass {
+    /// Dense class index (0-based, ordered by smallest member alloc id —
+    /// deterministic across runs).
+    pub index: usize,
+    /// Suggested partition name (joined member names, truncated).
+    pub name: String,
+    /// Member allocation sites (sorted).
+    pub alloc_sites: Vec<AllocId>,
+    /// Access sites specialized for this partition (sorted).
+    pub access_sites: Vec<AccessId>,
+}
+
+/// Result of partitioning a [`ProgramModel`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionPlan {
+    /// Program name (copied from the model).
+    pub program: String,
+    /// Strategy used.
+    pub strategy: Strategy,
+    /// The classes, ordered deterministically.
+    pub classes: Vec<PartitionClass>,
+    alloc_to_class: BTreeMap<AllocId, usize>,
+    access_to_class: BTreeMap<AccessId, usize>,
+}
+
+impl PartitionPlan {
+    /// Class index of an allocation site.
+    pub fn class_of_alloc(&self, a: AllocId) -> Option<usize> {
+        self.alloc_to_class.get(&a).copied()
+    }
+
+    /// Class index of an access site.
+    pub fn class_of_access(&self, s: AccessId) -> Option<usize> {
+        self.access_to_class.get(&s).copied()
+    }
+
+    /// Number of partitions.
+    pub fn partition_count(&self) -> usize {
+        self.classes.len()
+    }
+}
+
+/// Computes the partitioning of a validated model.
+///
+/// # Errors
+///
+/// Returns the model's validation error if it is inconsistent.
+pub fn partition(model: &ProgramModel, strategy: Strategy) -> Result<PartitionPlan, ModelError> {
+    model.validate()?;
+    // Dense renumbering of alloc ids.
+    let mut dense: BTreeMap<AllocId, usize> = BTreeMap::new();
+    for a in &model.alloc_sites {
+        let n = dense.len();
+        dense.insert(a.id, n);
+    }
+    let mut uf = UnionFind::new(dense.len());
+
+    if strategy == Strategy::TypeSeeded {
+        let mut by_type: BTreeMap<&str, usize> = BTreeMap::new();
+        for a in &model.alloc_sites {
+            let d = dense[&a.id];
+            match by_type.get(a.type_name.as_str()) {
+                Some(&first) => {
+                    uf.union(first, d);
+                }
+                None => {
+                    by_type.insert(&a.type_name, d);
+                }
+            }
+        }
+    }
+
+    for s in &model.access_sites {
+        let first = dense[&s.may_touch[0]];
+        for t in &s.may_touch[1..] {
+            uf.union(first, dense[t]);
+        }
+    }
+
+    // Roots -> dense class indices, ordered by smallest member alloc id
+    // (alloc_sites iteration order is id order only if the model is sorted;
+    // sort members explicitly below for determinism).
+    let mut members: BTreeMap<usize, Vec<AllocId>> = BTreeMap::new();
+    for a in &model.alloc_sites {
+        let root = uf.find(dense[&a.id]);
+        members.entry(root).or_default().push(a.id);
+    }
+    let mut class_list: Vec<Vec<AllocId>> = members.into_values().collect();
+    for m in &mut class_list {
+        m.sort_unstable();
+    }
+    class_list.sort_by_key(|m| m[0]);
+
+    let mut alloc_to_class = BTreeMap::new();
+    for (idx, m) in class_list.iter().enumerate() {
+        for &a in m {
+            alloc_to_class.insert(a, idx);
+        }
+    }
+    let mut access_lists: Vec<Vec<AccessId>> = vec![Vec::new(); class_list.len()];
+    let mut access_to_class = BTreeMap::new();
+    for s in &model.access_sites {
+        let c = alloc_to_class[&s.may_touch[0]];
+        debug_assert!(
+            s.may_touch.iter().all(|t| alloc_to_class[t] == c),
+            "partitioning unsound for access {}",
+            s.id
+        );
+        access_lists[c].push(s.id);
+        access_to_class.insert(s.id, c);
+    }
+
+    let name_of = |ids: &[AllocId]| -> String {
+        let names: Vec<&str> = ids
+            .iter()
+            .take(3)
+            .filter_map(|id| {
+                model
+                    .alloc_sites
+                    .iter()
+                    .find(|a| a.id == *id)
+                    .map(|a| a.name.as_str())
+            })
+            .collect();
+        let mut n = names.join("+");
+        if ids.len() > 3 {
+            n.push_str(&format!("+{}more", ids.len() - 3));
+        }
+        n
+    };
+
+    let classes = class_list
+        .into_iter()
+        .enumerate()
+        .map(|(index, alloc_sites)| PartitionClass {
+            index,
+            name: name_of(&alloc_sites),
+            access_sites: {
+                let mut v = std::mem::take(&mut access_lists[index]);
+                v.sort_unstable();
+                v
+            },
+            alloc_sites,
+        })
+        .collect();
+
+    Ok(PartitionPlan {
+        program: model.name.clone(),
+        strategy,
+        classes,
+        alloc_to_class,
+        access_to_class,
+    })
+}
+
+/// Explains why two allocation sites were merged: a chain of access sites
+/// connecting them in the bipartite graph (BFS, shortest). `None` if they
+/// are in different partitions (or identical).
+pub fn merge_chain(model: &ProgramModel, from: AllocId, to: AllocId) -> Option<Vec<AccessId>> {
+    if from == to {
+        return Some(Vec::new());
+    }
+    // BFS over alloc sites, edges = access sites.
+    let mut prev: BTreeMap<AllocId, (AllocId, AccessId)> = BTreeMap::new();
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back(from);
+    prev.insert(from, (from, u32::MAX));
+    while let Some(cur) = queue.pop_front() {
+        for s in &model.access_sites {
+            if !s.may_touch.contains(&cur) {
+                continue;
+            }
+            for &next in &s.may_touch {
+                if prev.contains_key(&next) {
+                    continue;
+                }
+                prev.insert(next, (cur, s.id));
+                if next == to {
+                    // Reconstruct.
+                    let mut chain = Vec::new();
+                    let mut node = to;
+                    while node != from {
+                        let (p, acc) = prev[&node];
+                        chain.push(acc);
+                        node = p;
+                    }
+                    chain.reverse();
+                    return Some(chain);
+                }
+                queue.push_back(next);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{AccessKind, ModelBuilder};
+
+    /// The motivating example from the paper's introduction: a linked list
+    /// with a high update rate and a red-black tree with a low one, plus a
+    /// second red-black tree. Accesses never span structures, so the
+    /// partitioner must keep all three apart.
+    fn intro_example() -> ProgramModel {
+        let mut b = ModelBuilder::new("intro");
+        let list = b.alloc("list_nodes", "ListNode");
+        let t1 = b.alloc("tree1_nodes", "TreeNode");
+        let t2 = b.alloc("tree2_nodes", "TreeNode");
+        b.access("list_insert", AccessKind::Write, &[list]);
+        b.access("list_lookup", AccessKind::Read, &[list]);
+        b.access("tree1_insert", AccessKind::Write, &[t1]);
+        b.access("tree2_lookup", AccessKind::Read, &[t2]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn disjoint_structures_stay_separate() {
+        let m = intro_example();
+        let plan = partition(&m, Strategy::MayTouch).unwrap();
+        assert_eq!(plan.partition_count(), 3);
+        assert_ne!(plan.class_of_alloc(1), plan.class_of_alloc(2));
+    }
+
+    #[test]
+    fn type_seeding_merges_same_type() {
+        let m = intro_example();
+        let plan = partition(&m, Strategy::TypeSeeded).unwrap();
+        // The two TreeNode structures collapse under per-type metadata.
+        assert_eq!(plan.partition_count(), 2);
+        assert_eq!(plan.class_of_alloc(1), plan.class_of_alloc(2));
+        assert_ne!(plan.class_of_alloc(0), plan.class_of_alloc(1));
+    }
+
+    #[test]
+    fn spanning_access_forces_merge() {
+        let mut b = ModelBuilder::new("span");
+        let a = b.alloc("a", "A");
+        let c = b.alloc("b", "B");
+        let d = b.alloc("c", "C");
+        b.access("move_between", AccessKind::ReadWrite, &[a, c]);
+        b.access("read_c", AccessKind::Read, &[d]);
+        let m = b.build().unwrap();
+        let plan = partition(&m, Strategy::MayTouch).unwrap();
+        assert_eq!(plan.partition_count(), 2);
+        assert_eq!(plan.class_of_alloc(0), plan.class_of_alloc(1));
+        assert_ne!(plan.class_of_alloc(0), plan.class_of_alloc(2));
+    }
+
+    #[test]
+    fn transitive_merging_via_chain() {
+        // a-b via s1, b-c via s2 => one class {a,b,c}.
+        let mut b = ModelBuilder::new("chain");
+        let x = b.alloc("x", "T");
+        let y = b.alloc("y", "T");
+        let z = b.alloc("z", "T");
+        let s1 = b.access("s1", AccessKind::Read, &[x, y]);
+        let s2 = b.access("s2", AccessKind::Read, &[y, z]);
+        let m = b.build().unwrap();
+        let plan = partition(&m, Strategy::MayTouch).unwrap();
+        assert_eq!(plan.partition_count(), 1);
+        let chain = merge_chain(&m, x, z).unwrap();
+        assert_eq!(chain, vec![s1, s2]);
+        assert_eq!(merge_chain(&m, x, x), Some(vec![]));
+    }
+
+    #[test]
+    fn merge_chain_none_across_partitions() {
+        let m = intro_example();
+        assert_eq!(merge_chain(&m, 0, 1), None);
+    }
+
+    #[test]
+    fn every_access_lands_in_exactly_one_class() {
+        let m = intro_example();
+        let plan = partition(&m, Strategy::MayTouch).unwrap();
+        for s in &m.access_sites {
+            let c = plan.class_of_access(s.id).unwrap();
+            for t in &s.may_touch {
+                assert_eq!(plan.class_of_alloc(*t), Some(c));
+            }
+        }
+        let total: usize = plan.classes.iter().map(|c| c.access_sites.len()).sum();
+        assert_eq!(total, m.access_sites.len());
+    }
+
+    #[test]
+    fn class_order_is_deterministic() {
+        let m = intro_example();
+        let p1 = partition(&m, Strategy::MayTouch).unwrap();
+        // Shuffle site order; ids unchanged.
+        let mut m2 = m.clone();
+        m2.alloc_sites.reverse();
+        m2.access_sites.reverse();
+        let p2 = partition(&m2, Strategy::MayTouch).unwrap();
+        assert_eq!(p1.partition_count(), p2.partition_count());
+        for (c1, c2) in p1.classes.iter().zip(&p2.classes) {
+            assert_eq!(c1.alloc_sites, c2.alloc_sites);
+            assert_eq!(c1.access_sites, c2.access_sites);
+        }
+    }
+
+    #[test]
+    fn class_names_are_descriptive() {
+        let m = intro_example();
+        let plan = partition(&m, Strategy::MayTouch).unwrap();
+        assert_eq!(plan.classes[0].name, "list_nodes");
+        let mut b = ModelBuilder::new("many");
+        let ids: Vec<_> = (0..5).map(|i| b.alloc(format!("s{i}"), "T")).collect();
+        b.access("all", AccessKind::Read, &ids);
+        let plan = partition(&b.build().unwrap(), Strategy::MayTouch).unwrap();
+        assert!(plan.classes[0].name.contains("2more"));
+    }
+
+    #[test]
+    fn invalid_model_is_rejected() {
+        let mut m = intro_example();
+        m.access_sites[0].may_touch = vec![77];
+        assert!(partition(&m, Strategy::MayTouch).is_err());
+    }
+}

@@ -1,0 +1,123 @@
+//! Partition census reporting (the static half of the paper's Table T1).
+
+use serde::{Deserialize, Serialize};
+
+use crate::model::ProgramModel;
+use crate::partitioner::{partition, PartitionPlan, Strategy};
+
+/// Static census of one program's partitioning.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct Census {
+    /// Program name.
+    pub program: String,
+    /// Total allocation sites in the model.
+    pub alloc_sites: usize,
+    /// Total access sites in the model.
+    pub access_sites: usize,
+    /// Partitions under the may-touch (paper) strategy.
+    pub partitions: usize,
+    /// Partitions under the coarser type-seeded strategy.
+    pub partitions_type_seeded: usize,
+    /// Partitions when contexts are collapsed (context-insensitive).
+    pub partitions_ctx_insensitive: usize,
+    /// Per-class summaries (may-touch strategy).
+    pub classes: Vec<ClassSummary>,
+}
+
+/// One row per partition in the census.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct ClassSummary {
+    /// Class index.
+    pub index: usize,
+    /// Derived partition name.
+    pub name: String,
+    /// Member allocation-site count.
+    pub alloc_sites: usize,
+    /// Specialized access-site count.
+    pub access_sites: usize,
+}
+
+/// Builds the census for a model (runs all three analyses).
+pub fn census(model: &ProgramModel) -> Result<Census, crate::model::ModelError> {
+    let may = partition(model, Strategy::MayTouch)?;
+    let typed = partition(model, Strategy::TypeSeeded)?;
+    let flat = model.collapse_contexts();
+    let flat_plan = partition(&flat, Strategy::MayTouch)?;
+    Ok(Census {
+        program: model.name.clone(),
+        alloc_sites: model.alloc_sites.len(),
+        access_sites: model.access_sites.len(),
+        partitions: may.partition_count(),
+        partitions_type_seeded: typed.partition_count(),
+        partitions_ctx_insensitive: flat_plan.partition_count(),
+        classes: class_summaries(&may),
+    })
+}
+
+fn class_summaries(plan: &PartitionPlan) -> Vec<ClassSummary> {
+    plan.classes
+        .iter()
+        .map(|c| ClassSummary {
+            index: c.index,
+            name: c.name.clone(),
+            alloc_sites: c.alloc_sites.len(),
+            access_sites: c.access_sites.len(),
+        })
+        .collect()
+}
+
+impl Census {
+    /// Renders the census as an aligned text table (harness output).
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "program={} alloc_sites={} access_sites={} partitions={} \
+             (type-seeded={}, ctx-insensitive={})\n",
+            self.program,
+            self.alloc_sites,
+            self.access_sites,
+            self.partitions,
+            self.partitions_type_seeded,
+            self.partitions_ctx_insensitive
+        ));
+        out.push_str(&format!(
+            "{:<5} {:<40} {:>12} {:>12}\n",
+            "class", "name", "alloc_sites", "access_sites"
+        ));
+        for c in &self.classes {
+            out.push_str(&format!(
+                "{:<5} {:<40} {:>12} {:>12}\n",
+                c.index, c.name, c.alloc_sites, c.access_sites
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{AccessKind, ModelBuilder};
+
+    #[test]
+    fn census_counts_are_consistent() {
+        let mut b = ModelBuilder::new("app");
+        let l = b.alloc("list", "List");
+        let t1 = b.alloc_in_context("tree", "Tree", "ctx-a");
+        let t2 = b.alloc_in_context("tree", "Tree", "ctx-b");
+        b.access("f1", AccessKind::Write, &[l]);
+        b.access("f2", AccessKind::Read, &[t1]);
+        b.access("f3", AccessKind::Read, &[t2]);
+        let m = b.build().unwrap();
+        let c = census(&m).unwrap();
+        assert_eq!(c.alloc_sites, 3);
+        assert_eq!(c.access_sites, 3);
+        assert_eq!(c.partitions, 3, "context-sensitive: trees distinct");
+        assert_eq!(c.partitions_type_seeded, 2, "trees merged by type");
+        assert_eq!(c.partitions_ctx_insensitive, 2, "contexts merged");
+        assert_eq!(c.classes.len(), 3);
+        let table = c.to_table();
+        assert!(table.contains("partitions=3"));
+        assert!(table.contains("list"));
+    }
+}

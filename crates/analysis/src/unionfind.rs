@@ -1,0 +1,142 @@
+//! Union-find (disjoint-set) with path compression and union by rank —
+//! the fixed-point engine of the partitioner.
+
+/// Disjoint-set forest over `0..n`.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+    /// Number of disjoint sets remaining.
+    sets: usize,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            rank: vec![0; n],
+            sets: n,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint sets.
+    pub fn set_count(&self) -> usize {
+        self.sets
+    }
+
+    /// Representative of `x`'s set (with path compression).
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] as usize != root {
+            root = self.parent[root] as usize;
+        }
+        // Compress.
+        let mut cur = x;
+        while self.parent[cur] as usize != root {
+            let next = self.parent[cur] as usize;
+            self.parent[cur] = root as u32;
+            cur = next;
+        }
+        root
+    }
+
+    /// Read-only find (no compression); useful when `&mut` is unavailable.
+    pub fn find_const(&self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] as usize != root {
+            root = self.parent[root] as usize;
+        }
+        root
+    }
+
+    /// Merges the sets of `a` and `b`; returns `true` if they were distinct.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        self.sets -= 1;
+        match self.rank[ra].cmp(&self.rank[rb]) {
+            core::cmp::Ordering::Less => self.parent[ra] = rb as u32,
+            core::cmp::Ordering::Greater => self.parent[rb] = ra as u32,
+            core::cmp::Ordering::Equal => {
+                self.parent[rb] = ra as u32;
+                self.rank[ra] += 1;
+            }
+        }
+        true
+    }
+
+    /// True if `a` and `b` are in the same set.
+    pub fn same(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_as_singletons() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.set_count(), 5);
+        for i in 0..5 {
+            assert_eq!(uf.find(i), i);
+        }
+        assert!(!uf.is_empty());
+        assert_eq!(uf.len(), 5);
+    }
+
+    #[test]
+    fn union_merges_and_counts() {
+        let mut uf = UnionFind::new(6);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(2, 3));
+        assert!(!uf.union(1, 0), "already merged");
+        assert_eq!(uf.set_count(), 4);
+        assert!(uf.same(0, 1));
+        assert!(!uf.same(0, 2));
+        assert!(uf.union(0, 3));
+        assert!(uf.same(1, 2));
+        assert_eq!(uf.set_count(), 3);
+    }
+
+    #[test]
+    fn find_const_matches_find() {
+        let mut uf = UnionFind::new(10);
+        for i in 0..9 {
+            if i % 2 == 0 {
+                uf.union(i, i + 1);
+            }
+        }
+        for i in 0..10 {
+            assert_eq!(uf.find_const(i), uf.clone().find(i));
+        }
+    }
+
+    #[test]
+    fn long_chain_compresses() {
+        let n = 1000;
+        let mut uf = UnionFind::new(n);
+        for i in 0..n - 1 {
+            uf.union(i, i + 1);
+        }
+        assert_eq!(uf.set_count(), 1);
+        let root = uf.find(0);
+        for i in 0..n {
+            assert_eq!(uf.find(i), root);
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Criterion counterpart of Table T2: the per-transaction cost of
+//! partition tracking. A transaction touching one partition pays one
+//! config snapshot + touch record; one touching three partitions pays
+//! three. This isolates the bookkeeping the paper's §1 worries about
+//! ("despite the runtime overhead introduced by partition tracking").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use partstm_core::{Partition, PartitionConfig, Stm, TVar};
+
+fn bench_touch_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("partition_tracking");
+
+    // One partition, 3 reads + 3 writes.
+    {
+        let stm = Stm::new();
+        let p = stm.new_partition(PartitionConfig::named("single"));
+        let vars: Vec<TVar<u64>> = (0..3u64).map(TVar::new).collect();
+        let ctx = stm.register_thread();
+        let mut i = 0u64;
+        g.bench_function("one_partition_3rw", |b| {
+            b.iter(|| {
+                i += 1;
+                ctx.run(|tx| {
+                    for v in &vars {
+                        let x = tx.read(&p, v)?;
+                        tx.write(&p, v, x + i)?;
+                    }
+                    Ok(())
+                });
+            })
+        });
+    }
+
+    // Three partitions, 1 read + 1 write each (same total work).
+    {
+        let stm = Stm::new();
+        let parts: Vec<Arc<Partition>> = (0..3)
+            .map(|i| stm.new_partition(PartitionConfig::named(format!("p{i}"))))
+            .collect();
+        let vars: Vec<TVar<u64>> = (0..3u64).map(TVar::new).collect();
+        let ctx = stm.register_thread();
+        let mut i = 0u64;
+        g.bench_function("three_partitions_3rw", |b| {
+            b.iter(|| {
+                i += 1;
+                ctx.run(|tx| {
+                    for (p, v) in parts.iter().zip(&vars) {
+                        let x = tx.read(p, v)?;
+                        tx.write(p, v, x + i)?;
+                    }
+                    Ok(())
+                });
+            })
+        });
+    }
+
+    // Read-only variants (touch cost without write-set machinery).
+    {
+        let stm = Stm::new();
+        let p = stm.new_partition(PartitionConfig::named("single"));
+        let vars: Vec<TVar<u64>> = (0..8u64).map(TVar::new).collect();
+        let ctx = stm.register_thread();
+        g.bench_function("one_partition_8r", |b| {
+            b.iter(|| {
+                black_box(ctx.run(|tx| {
+                    let mut s = 0u64;
+                    for v in &vars {
+                        s = s.wrapping_add(tx.read(&p, v)?);
+                    }
+                    Ok(s)
+                }))
+            })
+        });
+    }
+    {
+        let stm = Stm::new();
+        let parts: Vec<Arc<Partition>> = (0..8)
+            .map(|i| stm.new_partition(PartitionConfig::named(format!("p{i}"))))
+            .collect();
+        let vars: Vec<TVar<u64>> = (0..8u64).map(TVar::new).collect();
+        let ctx = stm.register_thread();
+        g.bench_function("eight_partitions_8r", |b| {
+            b.iter(|| {
+                black_box(ctx.run(|tx| {
+                    let mut s = 0u64;
+                    for (p, v) in parts.iter().zip(&vars) {
+                        s = s.wrapping_add(tx.read(p, v)?);
+                    }
+                    Ok(s)
+                }))
+            })
+        });
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_touch_overhead);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Criterion microbenches of the transactional data structures:
+//! single-threaded operation costs at steady-state sizes, across the
+//! structures the paper's microbenchmarks drive.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use partstm_bench::prefill;
+use partstm_core::{PartitionConfig, Stm};
+use partstm_structures::{IntSet, THashSet, TLinkedList, TRbTree, TSkipList};
+
+fn structures(stm: &Stm, size: u64) -> Vec<(&'static str, Box<dyn IntSet>)> {
+    vec![
+        (
+            "linked-list",
+            Box::new(TLinkedList::with_capacity(
+                stm.new_partition(PartitionConfig::named("l")),
+                size as usize,
+            )) as Box<dyn IntSet>,
+        ),
+        (
+            "skip-list",
+            Box::new(TSkipList::with_capacity(
+                stm.new_partition(PartitionConfig::named("s")),
+                size as usize,
+            )),
+        ),
+        (
+            "rb-tree",
+            Box::new(TRbTree::with_capacity(
+                stm.new_partition(PartitionConfig::named("t")),
+                size as usize,
+            )),
+        ),
+        (
+            "hash-set",
+            Box::new(THashSet::new(
+                stm.new_partition(PartitionConfig::named("h")),
+                size as usize / 4,
+            )),
+        ),
+    ]
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lookup");
+    for size in [256u64, 4096] {
+        // Keep the list workable: skip it at the large size.
+        let stm = Stm::new();
+        for (name, set) in structures(&stm, size) {
+            if name == "linked-list" && size > 1024 {
+                continue;
+            }
+            prefill(&stm, set.as_ref(), size);
+            let ctx = stm.register_thread();
+            let mut k = 0u64;
+            g.bench_with_input(BenchmarkId::new(name, size), &size, |b, _| {
+                b.iter(|| {
+                    k = (k + 7) % size;
+                    black_box(ctx.run(|tx| set.contains(tx, k)))
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_insert_remove(c: &mut Criterion) {
+    let mut g = c.benchmark_group("insert_remove");
+    let size = 1024u64;
+    let stm = Stm::new();
+    for (name, set) in structures(&stm, size) {
+        prefill(&stm, set.as_ref(), size);
+        let ctx = stm.register_thread();
+        let mut k = 1u64;
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                k = (k + 13) % size;
+                ctx.run(|tx| set.insert(tx, k));
+                ctx.run(|tx| set.remove(tx, k));
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_lookup, bench_insert_remove);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+// f4's exact first mode, with heartbeats and an attempt-count watchdog.
+use partstm_bench::{intset_op, prefill};
+use partstm_core::*;
+use partstm_stamp::SplitMix64;
+use partstm_structures::TRbTree;
+use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+fn main() {
+    let range = 2048u64;
+    let phase = 1.5f64;
+    let stm = Stm::new();
+    let part = stm.new_partition(PartitionConfig::named("tree"));
+    let tree = Arc::new(TRbTree::with_capacity(Arc::clone(&part), range as usize));
+    prefill(&stm, &*tree, range);
+    println!("prefill done");
+    let beats: Arc<Vec<AtomicU64>> = Arc::new((0..8).map(|_| AtomicU64::new(0)).collect());
+    let stop = Arc::new(AtomicBool::new(false));
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..8usize {
+            let ctx = stm.register_thread();
+            let (tree, beats, stop) = (tree.clone(), beats.clone(), stop.clone());
+            s.spawn(move || {
+                let mut rng = SplitMix64::new(0x5E71E5 ^ (t as u64 + 1).wrapping_mul(0x517C_C1B7));
+                while !stop.load(Ordering::Relaxed) {
+                    let el = start.elapsed();
+                    let p = (el.as_secs_f64() / phase) as u64;
+                    let upd = if p % 2 == 0 { 2 } else { 60 };
+                    intset_op(&*tree, &ctx, &mut rng, range, upd);
+                    beats[t].fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        let (b2, s2) = (beats.clone(), stop.clone());
+        let part2 = Arc::clone(&part);
+        let stm2 = stm.clone();
+        s.spawn(move || {
+            let mut last = vec![0u64; 8];
+            for sec in 0..12 {
+                std::thread::sleep(std::time::Duration::from_secs(1));
+                let now: Vec<u64> = b2.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+                let stuck: Vec<usize> = (0..8).filter(|&i| now[i] == last[i]).collect();
+                let (locked, owners, maxv) = part2.debug_scan();
+                println!(
+                    "t={sec} total={} stuck={stuck:?} clock={} locked={locked} owners={owners:?} maxv={maxv}",
+                    now.iter().sum::<u64>(),
+                    stm2.clock_now()
+                );
+                last = now;
+            }
+            s2.store(true, Ordering::Relaxed);
+        });
+    });
+    println!("clean exit");
+}

@@ -1,0 +1,177 @@
+//! The heterogeneous multi-structure application (experiments F3/T2/A2).
+//!
+//! One application, three data structures with deliberately different
+//! workloads — the paper's motivating scenario (§1: "a linked list might
+//! have a high update transaction rate ... while a red/black tree in the
+//! same application with a low update rate ..."):
+//!
+//! * a small, **update-heavy sorted linked list** (long read sets, high
+//!   conflict rate — profits from visible reads / coarse detection),
+//! * a large, **read-mostly red-black tree** (short paths, rare updates —
+//!   profits from invisible reads / fine detection),
+//! * a medium **hash set** in between.
+//!
+//! No single global configuration suits all three; per-partition tuning
+//! should. The structures can share one partition (the unpartitioned base
+//! STM), use per-partition static configs, or tunable partitions.
+
+use std::sync::Arc;
+
+use partstm_analysis::{AccessKind, ModelBuilder, ProgramModel};
+use partstm_core::{DynConfig, Partition, PartitionConfig, Stm, ThreadCtx};
+use partstm_stamp::SplitMix64;
+use partstm_structures::{IntSet, THashSet, TLinkedList, TRbTree};
+
+/// Linked-list key range (small => long chains of conflicts).
+pub const LIST_RANGE: u64 = 256;
+/// Linked-list update percentage.
+pub const LIST_UPD: u64 = 50;
+/// Red-black-tree key range (large => low conflict probability).
+pub const TREE_RANGE: u64 = 16384;
+/// Red-black-tree update percentage.
+pub const TREE_UPD: u64 = 5;
+/// Hash-set key range.
+pub const HASH_RANGE: u64 = 4096;
+/// Hash-set update percentage.
+pub const HASH_UPD: u64 = 20;
+
+/// How the application's structures map onto partitions.
+pub enum HeteroMode {
+    /// All three structures share one partition with this configuration
+    /// (the unpartitioned base STM with a global static config).
+    Single(DynConfig),
+    /// One partition per structure with static configs `[list, tree, hash]`.
+    PerPartition([DynConfig; 3]),
+    /// One tunable partition per structure (pair with a tuner on the
+    /// `Stm`).
+    Adaptive,
+}
+
+/// The three-structure application.
+pub struct HeteroApp {
+    /// Update-heavy small list.
+    pub list: TLinkedList,
+    /// Read-mostly large tree.
+    pub tree: TRbTree,
+    /// Medium hash set.
+    pub hash: THashSet,
+}
+
+impl HeteroApp {
+    /// Builds the application in the given partitioning mode.
+    pub fn new(stm: &Stm, mode: HeteroMode) -> Self {
+        let mk = |name: &str, cfg: Option<DynConfig>, tunable: bool| -> Arc<Partition> {
+            let mut pc = PartitionConfig::named(name);
+            if let Some(c) = cfg {
+                pc.read_mode = c.read_mode;
+                pc.acquire = c.acquire;
+                pc.granularity = c.granularity;
+                pc.cm = c.cm;
+                pc.reader_arb = c.reader_arb;
+            }
+            pc.tune = tunable;
+            stm.new_partition(pc)
+        };
+        let (pl, pt, ph) = match mode {
+            HeteroMode::Single(cfg) => {
+                let p = mk("hetero.all", Some(cfg), false);
+                (Arc::clone(&p), Arc::clone(&p), p)
+            }
+            HeteroMode::PerPartition([l, t, h]) => (
+                mk("hetero.list", Some(l), false),
+                mk("hetero.tree", Some(t), false),
+                mk("hetero.hash", Some(h), false),
+            ),
+            HeteroMode::Adaptive => (
+                mk("hetero.list", None, true),
+                mk("hetero.tree", None, true),
+                mk("hetero.hash", None, true),
+            ),
+        };
+        HeteroApp {
+            list: TLinkedList::with_capacity(pl, LIST_RANGE as usize),
+            tree: TRbTree::with_capacity(pt, TREE_RANGE as usize),
+            hash: THashSet::new(ph, HASH_RANGE as usize / 4),
+        }
+    }
+
+    /// Pre-fills all three structures to 50% occupancy.
+    pub fn prefill(&self, stm: &Stm) {
+        let ctx = stm.register_thread();
+        for k in (0..LIST_RANGE).step_by(2) {
+            ctx.run(|tx| self.list.insert(tx, k).map(|_| ()));
+        }
+        for k in (0..TREE_RANGE).step_by(2) {
+            ctx.run(|tx| self.tree.insert(tx, k).map(|_| ()));
+        }
+        for k in (0..HASH_RANGE).step_by(2) {
+            ctx.run(|tx| self.hash.insert(tx, k).map(|_| ()));
+        }
+    }
+
+    /// One application operation: weighted structure pick (40% list, 40%
+    /// tree, 20% hash) and the standard intset mix on it.
+    pub fn op(&self, ctx: &ThreadCtx, rng: &mut SplitMix64) {
+        let (set, range, upd): (&dyn IntSet, u64, u64) = match rng.below(100) {
+            0..=39 => (&self.list, LIST_RANGE, LIST_UPD),
+            40..=79 => (&self.tree, TREE_RANGE, TREE_UPD),
+            _ => (&self.hash, HASH_RANGE, HASH_UPD),
+        };
+        crate::intset_op(set, ctx, rng, range, upd);
+    }
+}
+
+/// The application's program model for the compile-time analysis (T1).
+pub fn partition_plan() -> ProgramModel {
+    let mut b = ModelBuilder::new("hetero");
+    let list = b.alloc("list_nodes", "ListNode");
+    let tree = b.alloc("tree_nodes", "RbTreeNode");
+    let hash = b.alloc("hash_nodes", "HashNode");
+    b.access("list_contains", AccessKind::Read, &[list]);
+    b.access("list_update", AccessKind::ReadWrite, &[list]);
+    b.access("tree_lookup", AccessKind::Read, &[tree]);
+    b.access("tree_update", AccessKind::ReadWrite, &[tree]);
+    b.access("hash_contains", AccessKind::Read, &[hash]);
+    b.access("hash_update", AccessKind::ReadWrite, &[hash]);
+    b.build().expect("hetero model is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use partstm_analysis::{partition, Strategy};
+
+    #[test]
+    fn modes_create_expected_partitions() {
+        let stm = Stm::new();
+        let cfg = DynConfig::from(&PartitionConfig::default());
+        let _single = HeteroApp::new(&stm, HeteroMode::Single(cfg));
+        assert_eq!(stm.partitions().len(), 1);
+        let stm2 = Stm::new();
+        let _per = HeteroApp::new(&stm2, HeteroMode::PerPartition([cfg, cfg, cfg]));
+        assert_eq!(stm2.partitions().len(), 3);
+    }
+
+    #[test]
+    fn ops_run_in_all_modes() {
+        for mode in [
+            HeteroMode::Single(DynConfig::from(&PartitionConfig::default())),
+            HeteroMode::Adaptive,
+        ] {
+            let stm = Stm::new();
+            let app = HeteroApp::new(&stm, mode);
+            app.prefill(&stm);
+            let ctx = stm.register_thread();
+            let mut rng = SplitMix64::new(3);
+            for _ in 0..200 {
+                app.op(&ctx, &mut rng);
+            }
+        }
+    }
+
+    #[test]
+    fn model_yields_three_partitions() {
+        let plan = partition(&partition_plan(), Strategy::MayTouch).unwrap();
+        assert_eq!(plan.partition_count(), 3);
+    }
+}

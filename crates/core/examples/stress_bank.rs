@@ -1,0 +1,68 @@
+//! Atomicity stress: N transfer threads against a concurrent summer; any
+//! snapshot that does not conserve the total aborts the run. Used as a
+//! long-running soak test (`cargo run --release -p partstm-core --example
+//! stress_bank`).
+use partstm_core::*;
+use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+fn main() {
+    for round in 0..50 {
+        let stm = Stm::new();
+        let p = stm.new_partition(PartitionConfig::named("bank"));
+        let n = 16usize;
+        let accounts: Arc<Vec<TVar<i64>>> = Arc::new((0..n).map(|_| TVar::new(1000)).collect());
+        let expect = 16_000i64;
+        let stop = Arc::new(AtomicBool::new(false));
+        let bad = Arc::new(AtomicBool::new(false));
+        std::thread::scope(|s| {
+            for t in 0..4usize {
+                let ctx = stm.register_thread();
+                let accounts = Arc::clone(&accounts);
+                let p = Arc::clone(&p);
+                let stop = Arc::clone(&stop);
+                s.spawn(move || {
+                    let mut r = (t as u64 + 1) * 0x9E37_79B9;
+                    while !stop.load(Ordering::Relaxed) {
+                        r ^= r << 13; r ^= r >> 7; r ^= r << 17;
+                        let from = (r % 16) as usize;
+                        let to = ((r >> 8) % 16) as usize;
+                        let amt = (r % 50) as i64;
+                        ctx.run(|tx| {
+                            let f = tx.read(&p, &accounts[from])?;
+                            tx.write(&p, &accounts[from], f - amt)?;
+                            let t2 = tx.read(&p, &accounts[to])?;
+                            tx.write(&p, &accounts[to], t2 + amt)?;
+                            Ok(())
+                        });
+                    }
+                });
+            }
+            let ctx = stm.register_thread();
+            let accounts2 = Arc::clone(&accounts);
+            let p2 = Arc::clone(&p);
+            let stop2 = Arc::clone(&stop);
+            let bad2 = Arc::clone(&bad);
+            s.spawn(move || {
+                for i in 0..3000 {
+                    let sum = ctx.run(|tx| {
+                        let mut s = 0i64;
+                        for a in accounts2.iter() { s += tx.read(&p2, a)?; }
+                        Ok(s)
+                    });
+                    if sum != expect {
+                        println!("round {round} iter {i}: BAD SUM {sum} (delta {})", sum - expect);
+                        bad2.store(true, Ordering::Relaxed);
+                        break;
+                    }
+                }
+                stop2.store(true, Ordering::Relaxed);
+            });
+        });
+        if bad.load(Ordering::Relaxed) {
+            println!("reproduced in round {round}");
+            std::process::exit(1);
+        }
+    }
+    println!("no violation in 50 rounds");
+}

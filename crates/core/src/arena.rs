@@ -1,0 +1,446 @@
+//! Transactional object arena.
+//!
+//! Linked data structures (lists, trees) need stable node storage plus
+//! transactional allocation: a node allocated inside a transaction must be
+//! reclaimed if the transaction aborts, and a node freed inside a
+//! transaction must only become reusable once the transaction commits
+//! (TinySTM's `stm_malloc`/`stm_free` semantics). The [`Arena`] provides
+//! both, with `u32` [`Handle`]s that pack into [`crate::TVar`] words so
+//! nodes can reference each other transactionally.
+//!
+//! Storage is a chunk directory: chunk *c* holds `BASE << c` slots and is
+//! installed at most once with a CAS, so `get` is lock-free and handles stay
+//! valid for the arena's lifetime (chunks never move or shrink).
+//!
+//! ## Recycling and opacity
+//!
+//! A freed slot may still be *read* by concurrent transactions holding stale
+//! handles. That is safe: node fields are only ever mutated through
+//! transactional stores, so any post-recycling change bumps the covering
+//! ownership record's version and the stale reader's validation fails.
+//! Corollary: initialize recycled nodes with transactional writes (as
+//! [`Arena::alloc`] documents), never with [`crate::TVar::store_direct`].
+//!
+//! The subtler hazard is on the *allocating* side: a transaction whose
+//! snapshot predates a slot's free still sees that slot as a live node
+//! elsewhere in the structure — handing it out would make the transaction's
+//! "fresh" node alias a reachable node of its own (perfectly consistent)
+//! snapshot, corrupting its view with no validation failure anywhere.
+//! Every freed slot is therefore tagged with the commit timestamp of its
+//! free, and [`Arena::alloc`] forces the allocating transaction to extend
+//! its snapshot past that tag (revalidating its read set) before the slot
+//! is reused — the LSA-flavoured equivalent of TinySTM's quiescence-based
+//! `stm_malloc` reclamation.
+
+use core::marker::PhantomData;
+use core::num::NonZeroU32;
+use core::sync::atomic::{AtomicPtr, AtomicU32, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::txn::Tx;
+use crate::word::TxWord;
+
+/// log2 of the first chunk's slot count.
+const BASE_SHIFT: u32 = 10;
+/// Slots in chunk 0.
+const BASE: u32 = 1 << BASE_SHIFT;
+/// Maximum number of chunks (caps capacity at ~4 billion slots).
+const NUM_CHUNKS: usize = 22;
+
+/// Typed index of an arena slot. One word, non-null (so
+/// `Option<Handle<N>>` also packs into a transactional word).
+pub struct Handle<N> {
+    raw: NonZeroU32,
+    _m: PhantomData<fn() -> N>,
+}
+
+impl<N> Handle<N> {
+    #[inline(always)]
+    fn from_index(i: u32) -> Self {
+        // Index 0 maps to raw 1; arena capacity < u32::MAX keeps this safe.
+        Handle {
+            raw: NonZeroU32::new(i + 1).expect("arena index overflow"),
+            _m: PhantomData,
+        }
+    }
+
+    #[inline(always)]
+    fn index(self) -> u32 {
+        self.raw.get() - 1
+    }
+
+    /// Raw non-zero representation (stable across the arena's lifetime).
+    #[inline(always)]
+    pub fn raw(self) -> u32 {
+        self.raw.get()
+    }
+}
+
+impl<N> Clone for Handle<N> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<N> Copy for Handle<N> {}
+impl<N> PartialEq for Handle<N> {
+    fn eq(&self, other: &Self) -> bool {
+        self.raw == other.raw
+    }
+}
+impl<N> Eq for Handle<N> {}
+impl<N> core::hash::Hash for Handle<N> {
+    fn hash<H: core::hash::Hasher>(&self, state: &mut H) {
+        self.raw.hash(state);
+    }
+}
+impl<N> core::fmt::Debug for Handle<N> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "Handle({})", self.raw)
+    }
+}
+
+impl<N: 'static> TxWord for Handle<N> {
+    #[inline(always)]
+    fn to_word(self) -> u64 {
+        self.raw.get() as u64
+    }
+    #[inline(always)]
+    fn from_word(w: u64) -> Self {
+        Handle {
+            raw: NonZeroU32::new(w as u32).expect("null word decoded as Handle"),
+            _m: PhantomData,
+        }
+    }
+}
+
+impl<N: 'static> TxWord for Option<Handle<N>> {
+    #[inline(always)]
+    fn to_word(self) -> u64 {
+        match self {
+            Some(h) => h.raw.get() as u64,
+            None => 0,
+        }
+    }
+    #[inline(always)]
+    fn from_word(w: u64) -> Self {
+        NonZeroU32::new(w as u32).map(|raw| Handle {
+            raw,
+            _m: PhantomData,
+        })
+    }
+}
+
+/// Maps an absolute slot index to its (chunk, offset) pair.
+#[inline(always)]
+fn locate(i: u32) -> (usize, usize) {
+    let j = (i >> BASE_SHIFT) + 1;
+    let c = 31 - j.leading_zeros();
+    let chunk_start = ((1u32 << c) - 1) << BASE_SHIFT;
+    (c as usize, (i - chunk_start) as usize)
+}
+
+/// Slot count of chunk `c`.
+#[inline(always)]
+fn chunk_capacity(c: usize) -> usize {
+    (BASE as usize) << c
+}
+
+/// Chunked, append-only slab of default-initialized `N` values with
+/// transactional alloc/free. See the module docs.
+pub struct Arena<N> {
+    chunks: [AtomicPtr<N>; NUM_CHUNKS],
+    next: AtomicU32,
+    // Free list behind a mutex: recycling is off the read hot path, and an
+    // intrusive lock-free stack would need per-slot link words. Each entry
+    // carries the global-clock timestamp of the commit that freed it (the
+    // reuse barrier described in the module docs).
+    free: Mutex<Vec<(u32, u64)>>,
+}
+
+// SAFETY: the arena owns the chunk allocations (raw pointers) and hands out
+// only shared references to slots; `N` must itself be shareable/sendable for
+// that to be sound.
+unsafe impl<N: Send + Sync> Send for Arena<N> {}
+unsafe impl<N: Send + Sync> Sync for Arena<N> {}
+
+impl<N: Default> Arena<N> {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Arena {
+            chunks: Default::default(),
+            next: AtomicU32::new(0),
+            free: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Creates an arena with the first chunks pre-installed to cover at
+    /// least `cap` slots (avoids install CASes during measurement).
+    pub fn with_capacity(cap: usize) -> Self {
+        let a = Self::new();
+        let mut covered = 0usize;
+        let mut c = 0;
+        while covered < cap && c < NUM_CHUNKS {
+            a.ensure_chunk(c);
+            covered += chunk_capacity(c);
+            c += 1;
+        }
+        a
+    }
+
+    fn ensure_chunk(&self, c: usize) {
+        if !self.chunks[c].load(Ordering::Acquire).is_null() {
+            return;
+        }
+        let mut v: Vec<N> = Vec::with_capacity(chunk_capacity(c));
+        v.resize_with(chunk_capacity(c), N::default);
+        let boxed: Box<[N]> = v.into_boxed_slice();
+        let ptr = Box::into_raw(boxed) as *mut N;
+        if self
+            .chunks[c]
+            .compare_exchange(
+                core::ptr::null_mut(),
+                ptr,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_err()
+        {
+            // Lost the install race; reconstitute and drop our chunk.
+            // SAFETY: `ptr` came from `Box::into_raw` above and was never
+            // published.
+            unsafe {
+                drop(Box::from_raw(core::ptr::slice_from_raw_parts_mut(
+                    ptr,
+                    chunk_capacity(c),
+                )));
+            }
+        }
+    }
+
+    /// Allocates a slot outside of any transaction. Only safe while no
+    /// transactions run concurrently (setup/teardown/tests): it ignores the
+    /// snapshot reuse barrier that [`Arena::alloc`] enforces. The slot
+    /// contents are whatever the previous user left (or `N::default()` for
+    /// a fresh slot).
+    pub fn alloc_raw(&self) -> Handle<N> {
+        if let Some((i, _tag)) = self.free.lock().pop() {
+            return Handle::from_index(i);
+        }
+        let i = self.next.fetch_add(1, Ordering::Relaxed);
+        assert!(
+            (i as usize) < chunk_capacity(NUM_CHUNKS) * 2,
+            "arena exhausted"
+        );
+        let (c, _) = locate(i);
+        self.ensure_chunk(c);
+        Handle::from_index(i)
+    }
+
+    /// Returns a slot to the free list outside of any transaction (setup/
+    /// teardown only; no reuse barrier).
+    pub fn free_raw(&self, h: Handle<N>) {
+        self.free.lock().push((h.index(), 0));
+    }
+
+    /// Allocates a slot inside a transaction. If the transaction aborts the
+    /// slot is reclaimed automatically.
+    ///
+    /// A recycled slot may have been freed *after* this transaction's
+    /// snapshot; the allocation then extends the snapshot past the free
+    /// (revalidating all reads) so the slot cannot alias a node that is
+    /// still live in this transaction's view. The `Err` case is an abort
+    /// like any other — propagate it with `?`.
+    ///
+    /// Initialize the node's fields with *transactional* writes before
+    /// publishing a handle to it (see the module docs on recycling).
+    pub fn alloc<'e>(&'e self, tx: &mut Tx<'e, '_>) -> crate::error::TxResult<Handle<N>>
+    where
+        N: Send + Sync + 'static,
+    {
+        let popped = self.free.lock().pop();
+        let (h, tag) = match popped {
+            Some((i, tag)) => (Handle::from_index(i), tag),
+            None => {
+                let i = self.next.fetch_add(1, Ordering::Relaxed);
+                assert!(
+                    (i as usize) < chunk_capacity(NUM_CHUNKS) * 2,
+                    "arena exhausted"
+                );
+                let (c, _) = locate(i);
+                self.ensure_chunk(c);
+                (Handle::from_index(i), 0)
+            }
+        };
+        if let Err(abort) = tx.ensure_snapshot_at_least(tag) {
+            // Could not extend past the slot's free: put it back untouched
+            // (with its original tag) and abort this attempt.
+            self.free.lock().push((h.index(), tag));
+            return Err(abort);
+        }
+        tx.log_alloc(
+            self as *const Arena<N> as *const (),
+            h.raw(),
+            tag,
+            reclaim_into::<N>,
+        );
+        Ok(h)
+    }
+
+    /// Frees a slot inside a transaction. The slot becomes reusable only
+    /// when the transaction commits; on abort the free is forgotten.
+    pub fn free<'e>(&'e self, tx: &mut Tx<'e, '_>, h: Handle<N>)
+    where
+        N: Send + Sync + 'static,
+    {
+        tx.log_free(
+            self as *const Arena<N> as *const (),
+            h.raw(),
+            reclaim_into::<N>,
+        );
+    }
+
+    /// Shared access to a slot. Lock-free.
+    #[inline]
+    pub fn get(&self, h: Handle<N>) -> &N {
+        let (c, off) = locate(h.index());
+        let ptr = self.chunks[c].load(Ordering::Acquire);
+        debug_assert!(!ptr.is_null(), "handle into uninstalled chunk");
+        // SAFETY: handles are only minted by `alloc*`, which installs the
+        // chunk (Release) before returning; chunks are never freed or moved
+        // until the arena drops, and `&self` keeps the arena alive.
+        unsafe { &*ptr.add(off) }
+    }
+
+    /// Number of slots handed out and never freed (approximate under
+    /// concurrency; exact when quiescent).
+    pub fn live(&self) -> usize {
+        self.next.load(Ordering::Relaxed) as usize - self.free.lock().len()
+    }
+}
+
+impl<N: Default> Default for Arena<N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<N> Drop for Arena<N> {
+    fn drop(&mut self) {
+        for c in 0..NUM_CHUNKS {
+            let ptr = *self.chunks[c].get_mut();
+            if !ptr.is_null() {
+                // SAFETY: installed via Box::into_raw with this capacity;
+                // exclusive access in Drop.
+                unsafe {
+                    drop(Box::from_raw(core::ptr::slice_from_raw_parts_mut(
+                        ptr,
+                        chunk_capacity(c),
+                    )));
+                }
+            }
+        }
+    }
+}
+
+/// Type-erased "push this raw handle onto the free list with a reuse tag"
+/// used by the transaction's alloc/free logs. The tag is the global-clock
+/// time after which reuse is safe (commit time for frees; the slot's
+/// original tag for rolled-back allocations).
+///
+/// # Safety
+///
+/// `arena` must point to a live `Arena<N>` of the matching `N` and `raw`
+/// must be a raw handle minted by it.
+pub(crate) unsafe fn reclaim_into<N: Default>(arena: *const (), raw: u32, tag: u64) {
+    let arena = &*(arena as *const Arena<N>);
+    arena.free.lock().push((raw - 1, tag));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tvar::TVar;
+
+    #[test]
+    fn locate_covers_chunk_boundaries() {
+        assert_eq!(locate(0), (0, 0));
+        assert_eq!(locate(BASE - 1), (0, (BASE - 1) as usize));
+        assert_eq!(locate(BASE), (1, 0));
+        assert_eq!(locate(3 * BASE - 1), (1, (2 * BASE - 1) as usize));
+        assert_eq!(locate(3 * BASE), (2, 0));
+        // Exhaustive consistency: absolute index reconstructs.
+        for i in (0..100_000u32).step_by(37) {
+            let (c, off) = locate(i);
+            let start = ((1u32 << c) - 1) << BASE_SHIFT;
+            assert_eq!(start as usize + off, i as usize);
+            assert!(off < chunk_capacity(c));
+        }
+    }
+
+    #[test]
+    fn alloc_get_free_recycles() {
+        let a: Arena<TVar<u64>> = Arena::new();
+        let h1 = a.alloc_raw();
+        a.get(h1).store_direct(7);
+        assert_eq!(a.get(h1).load_direct(), 7);
+        a.free_raw(h1);
+        let h2 = a.alloc_raw();
+        assert_eq!(h1, h2, "freed slot is recycled LIFO");
+        assert_eq!(a.live(), 1);
+    }
+
+    #[test]
+    fn handles_pack_into_words() {
+        let h: Handle<u32> = Handle::from_index(41);
+        assert_eq!(h.to_word(), 42);
+        assert_eq!(Handle::<u32>::from_word(42), h);
+        assert_eq!(Option::<Handle<u32>>::from_word(0), None);
+        assert_eq!(Some(h).to_word(), 42);
+        assert_eq!(Option::<Handle<u32>>::from_word(42), Some(h));
+        assert_eq!(None::<Handle<u32>>.to_word(), 0);
+    }
+
+    #[test]
+    fn with_capacity_preinstalls() {
+        let a: Arena<u64> = Arena::with_capacity(5000);
+        // 1024 + 2048 + 4096 covers 5000.
+        assert!(!a.chunks[0].load(Ordering::Relaxed).is_null());
+        assert!(!a.chunks[1].load(Ordering::Relaxed).is_null());
+        assert!(!a.chunks[2].load(Ordering::Relaxed).is_null());
+        assert!(a.chunks[3].load(Ordering::Relaxed).is_null());
+    }
+
+    #[test]
+    fn concurrent_alloc_yields_distinct_handles() {
+        use std::sync::Arc;
+        let a: Arc<Arena<TVar<u64>>> = Arc::new(Arena::new());
+        let mut joins = Vec::new();
+        for _ in 0..8 {
+            let a = Arc::clone(&a);
+            joins.push(std::thread::spawn(move || {
+                (0..2000).map(|_| a.alloc_raw().raw()).collect::<Vec<_>>()
+            }));
+        }
+        let mut all: Vec<u32> = joins
+            .into_iter()
+            .flat_map(|j| j.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 16_000);
+    }
+
+    #[test]
+    fn cross_chunk_allocation_works() {
+        let a: Arena<u64> = Arena::new();
+        let mut handles = Vec::new();
+        for _ in 0..(BASE as usize * 3 + 10) {
+            handles.push(a.alloc_raw());
+        }
+        // Touch one slot in each chunk.
+        let _ = a.get(handles[0]);
+        let _ = a.get(handles[BASE as usize]);
+        let _ = a.get(handles[3 * BASE as usize + 5]);
+    }
+}

@@ -1,0 +1,143 @@
+//! Contention-management helpers: randomized exponential backoff and
+//! bounded spinning.
+//!
+//! Policy *selection* lives in [`crate::config::CmPolicy`] (it is part of
+//! the per-partition configuration and thus tunable); this module provides
+//! the mechanics.
+
+use core::hint;
+
+/// Upper bound on the backoff exponent. Deep enough (2^16 units) that a
+/// severely contended thread eventually sleeps long stretches, which is
+/// what breaks sustained kill-storm livelocks under visible reads.
+const MAX_EXPONENT: u32 = 16;
+
+/// Spin iterations per backoff unit before escalating to `yield_now`.
+const SPINS_PER_UNIT: u64 = 16;
+
+/// Units above which we yield the CPU instead of spinning.
+const YIELD_THRESHOLD: u64 = 64;
+
+/// Cheap xorshift64* PRNG for backoff jitter (per-thread state; no
+/// coordination, no allocation).
+#[derive(Debug, Clone)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    /// Seeds the generator; a zero seed is remapped to a fixed constant
+    /// (xorshift has a fixed point at zero).
+    pub fn new(seed: u64) -> Self {
+        XorShift64 {
+            state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed },
+        }
+    }
+
+    /// Next pseudo-random 64-bit value.
+    #[inline]
+    pub fn next(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform-ish value in `0..bound` (`bound > 0`).
+    #[inline]
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+}
+
+/// Randomized exponential backoff, invoked after the `attempt`-th failed
+/// transaction attempt (0-based). Short waits spin; long waits yield.
+pub fn backoff(attempt: u32, rng: &mut XorShift64) {
+    let exp = attempt.min(MAX_EXPONENT);
+    let max_units = 1u64 << exp;
+    let units = 1 + rng.below(max_units);
+    if units <= YIELD_THRESHOLD {
+        for _ in 0..units * SPINS_PER_UNIT {
+            hint::spin_loop();
+        }
+    } else {
+        // Past the threshold we are likely oversubscribed; let someone run.
+        for _ in 0..units / YIELD_THRESHOLD {
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// Bounded spin used by [`crate::config::CmPolicy::DelayThenAbort`]: calls
+/// `check` up to `bound` times, returning `true` as soon as it does. The
+/// caller must poll its own kill flag inside `check` to stay deadlock-free.
+#[inline]
+pub fn spin_until(bound: u32, mut check: impl FnMut() -> bool) -> bool {
+    for i in 0..bound {
+        if check() {
+            return true;
+        }
+        if i % 64 == 63 {
+            std::thread::yield_now();
+        } else {
+            hint::spin_loop();
+        }
+    }
+    false
+}
+
+/// Default bound for `DelayThenAbort` spinning.
+pub const DELAY_SPIN_BOUND: u32 = 512;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xorshift_is_deterministic_and_nonzero() {
+        let mut a = XorShift64::new(42);
+        let mut b = XorShift64::new(42);
+        for _ in 0..100 {
+            let x = a.next();
+            assert_eq!(x, b.next());
+            assert_ne!(x, 0);
+        }
+    }
+
+    #[test]
+    fn zero_seed_is_remapped() {
+        let mut r = XorShift64::new(0);
+        assert_ne!(r.next(), 0);
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = XorShift64::new(7);
+        for bound in [1u64, 2, 3, 10, 1000] {
+            for _ in 0..100 {
+                assert!(r.below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn backoff_terminates_at_all_exponents() {
+        let mut r = XorShift64::new(1);
+        for attempt in 0..20 {
+            backoff(attempt, &mut r);
+        }
+    }
+
+    #[test]
+    fn spin_until_success_and_exhaustion() {
+        let mut n = 0;
+        assert!(spin_until(10, || {
+            n += 1;
+            n == 3
+        }));
+        assert_eq!(n, 3);
+        assert!(!spin_until(5, || false));
+    }
+}

@@ -1,0 +1,77 @@
+//! Abort signalling.
+//!
+//! Transactional reads and writes return `Result<T, Abort>`. The `Abort`
+//! value carries no information itself (the reason is recorded inside the
+//! transaction descriptor for statistics); it exists so the `?` operator
+//! unwinds the user closure back to [`crate::ThreadCtx::run`], which then
+//! rolls back and retries.
+
+use core::fmt;
+
+/// Marker that the current transaction attempt must be abandoned.
+///
+/// Returned (via `Err`) from transactional operations when a conflict,
+/// failed validation, kill request or configuration switch was detected.
+/// Propagate it with `?`; the enclosing [`crate::ThreadCtx::run`] retries
+/// the transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Abort(pub(crate) ());
+
+impl Abort {
+    /// Request a user-level retry of the transaction (for example because a
+    /// precondition on the data does not hold yet). The attempt is rolled
+    /// back, the contention manager backs off, and the closure re-runs.
+    #[inline]
+    pub fn retry() -> Self {
+        Abort(())
+    }
+}
+
+impl fmt::Display for Abort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("transaction aborted")
+    }
+}
+
+impl std::error::Error for Abort {}
+
+/// Why a transaction attempt aborted. Used for statistics attribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum AbortKind {
+    /// Conflict on a write-locked ownership record.
+    WLockConflict,
+    /// Conflict between a writer and visible readers.
+    RLockConflict,
+    /// Read-set validation (or snapshot extension) failed.
+    Validation,
+    /// Another transaction requested this one be killed.
+    Killed,
+    /// The partition was undergoing a configuration switch.
+    Switching,
+    /// The user requested a retry via [`Abort::retry`].
+    User,
+}
+
+/// Convenience alias for fallible transactional code.
+pub type TxResult<T> = Result<T, Abort>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abort_display_and_retry() {
+        let a = Abort::retry();
+        assert_eq!(a, Abort(()));
+        assert_eq!(a.to_string(), "transaction aborted");
+    }
+
+    #[test]
+    fn abort_kind_is_copy_eq() {
+        let k = AbortKind::Validation;
+        let k2 = k;
+        assert_eq!(k, k2);
+        assert_ne!(AbortKind::Killed, AbortKind::User);
+    }
+}

@@ -1,0 +1,81 @@
+//! # partstm-core — partitioned software transactional memory
+//!
+//! A word-based STM runtime (in the TinySTM family) whose concurrency-
+//! control metadata is *partitioned*: every [`Partition`] owns its own
+//! ownership-record table and its own configuration — read visibility
+//! (invisible timestamp-validated reads vs. visible reader bitmaps), lock
+//! acquisition time (encounter vs. commit), conflict-detection granularity
+//! (per-word, per-stripe, or one lock for the whole partition) and
+//! contention management. A pluggable [`TuningPolicy`] may reconfigure each
+//! partition at runtime based on its observed statistics.
+//!
+//! This is a from-scratch reproduction of the system described in
+//! *"Automatic Data Partitioning in Software Transactional Memories"*
+//! (Riegel, Fetzer, Felber — SPAA 2008). The compile-time partitioning
+//! analysis that assigns data structures to partitions lives in the sibling
+//! crate `partstm-analysis`; heuristic tuning policies live in
+//! `partstm-tuning`.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use std::sync::Arc;
+//! use partstm_core::{PartitionConfig, Stm, TVar};
+//!
+//! let stm = Stm::new();
+//! let accounts = stm.new_partition(PartitionConfig::named("accounts"));
+//! let a = TVar::new(100i64);
+//! let b = TVar::new(0i64);
+//!
+//! let ctx = stm.register_thread();
+//! ctx.run(|tx| {
+//!     let va = tx.read(&accounts, &a)?;
+//!     let vb = tx.read(&accounts, &b)?;
+//!     tx.write(&accounts, &a, va - 30)?;
+//!     tx.write(&accounts, &b, vb + 30)?;
+//!     Ok(())
+//! });
+//! assert_eq!(a.load_direct(), 70);
+//! assert_eq!(b.load_direct(), 30);
+//! ```
+//!
+//! ## Soundness contract
+//!
+//! Each [`TVar`] must always be accessed through the *same* partition: the
+//! partition's orec table is what detects conflicts, so routing one
+//! variable through two partitions would miss conflicts. In the paper this
+//! invariant is established by the compile-time partitioning analysis; in
+//! this library it is upheld by construction when data structures carry
+//! their partition (as everything in `partstm-structures` does), and the
+//! `partstm-analysis` crate reproduces the analysis that derives sound
+//! assignments automatically.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod arena;
+pub mod clock;
+pub mod cm;
+pub mod config;
+pub mod error;
+pub mod orec;
+pub mod partition;
+pub mod stats;
+pub mod stm;
+pub mod tuner;
+pub mod tvar;
+pub mod txn;
+pub mod word;
+
+pub use arena::{Arena, Handle};
+pub use config::{
+    AcquireMode, CmPolicy, DynConfig, Granularity, PartitionConfig, ReadMode, ReaderArb,
+};
+pub use error::{Abort, AbortKind, TxResult};
+pub use partition::{Partition, PartitionId};
+pub use stats::StatCounters;
+pub use stm::{Stm, StmBuilder, ThreadCtx, MAX_THREADS};
+pub use tuner::{TuneInput, TuningPolicy};
+pub use tvar::TVar;
+pub use txn::Tx;
+pub use word::TxWord;

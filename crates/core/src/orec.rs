@@ -1,0 +1,188 @@
+//! Ownership records (orecs): the versioned write-locks of the STM.
+//!
+//! Each partition owns a fixed, power-of-two-sized table of orecs. Every
+//! transactional word maps to exactly one orec of its partition (the mapping
+//! depends on the partition's current conflict-detection granularity, see
+//! [`crate::config::Granularity`]).
+//!
+//! An orec packs two atomic words:
+//!
+//! * `lock` — TinySTM-style versioned lock word:
+//!   - unlocked: `version << 1 | 0`; `version` is the global-clock timestamp
+//!     of the last commit that wrote under this orec;
+//!   - locked: `owner_slot << 1 | 1`; `owner_slot` is the thread-slot index
+//!     of the writer currently holding the lock.
+//! * `readers` — visible-reader bitmap; bit *i* set means thread slot *i*
+//!   currently holds a visible read on this orec. Only used while the
+//!   partition runs in [`crate::config::ReadMode::Visible`].
+
+use core::sync::atomic::{AtomicU64, Ordering};
+
+/// Lock-word low bit: set while a writer owns the orec.
+pub const LOCK_BIT: u64 = 1;
+
+/// Returns `true` if the lock word denotes a locked orec.
+#[inline(always)]
+pub fn is_locked(word: u64) -> bool {
+    word & LOCK_BIT != 0
+}
+
+/// Extracts the version from an *unlocked* lock word.
+#[inline(always)]
+pub fn version_of(word: u64) -> u64 {
+    debug_assert!(!is_locked(word));
+    word >> 1
+}
+
+/// Extracts the owner thread-slot index from a *locked* lock word.
+#[inline(always)]
+pub fn owner_of(word: u64) -> usize {
+    debug_assert!(is_locked(word));
+    (word >> 1) as usize
+}
+
+/// Builds an unlocked lock word carrying `version`.
+#[inline(always)]
+pub fn make_version(version: u64) -> u64 {
+    version << 1
+}
+
+/// Builds a locked lock word owned by thread slot `slot`.
+#[inline(always)]
+pub fn make_locked(slot: usize) -> u64 {
+    ((slot as u64) << 1) | LOCK_BIT
+}
+
+/// One ownership record. 16 bytes; the partition's orec table is a
+/// contiguous `Box<[Orec]>` so neighbouring stripes share cache lines —
+/// exactly the trade the paper's granularity knob explores.
+#[derive(Debug)]
+pub struct Orec {
+    /// Versioned lock word (see module docs for the encoding).
+    pub lock: AtomicU64,
+    /// Visible-reader bitmap (thread slot -> bit).
+    pub readers: AtomicU64,
+}
+
+impl Default for Orec {
+    fn default() -> Self {
+        Orec {
+            lock: AtomicU64::new(make_version(0)),
+            readers: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Orec {
+    /// Current lock word (Acquire: pairs with writers' Release unlock so a
+    /// reader that observes the new version also observes the written data).
+    #[inline(always)]
+    pub fn load_lock(&self) -> u64 {
+        self.lock.load(Ordering::Acquire)
+    }
+
+    /// Reader bitmap excluding `my_bit`. SeqCst: the visible-read protocol
+    /// is a store-buffering pattern (reader: set bit then check lock;
+    /// writer: take lock then check bits) and needs a total order so at
+    /// least one side observes the other.
+    #[inline(always)]
+    pub fn readers_except(&self, my_bit: u64) -> u64 {
+        self.readers.load(Ordering::SeqCst) & !my_bit
+    }
+
+    /// Sets the caller's visible-reader bit; returns `true` if the bit was
+    /// newly set (i.e. this transaction had not registered on this orec).
+    #[inline(always)]
+    pub fn add_reader(&self, my_bit: u64) -> bool {
+        self.readers.fetch_or(my_bit, Ordering::SeqCst) & my_bit == 0
+    }
+
+    /// Clears the caller's visible-reader bit.
+    #[inline(always)]
+    pub fn remove_reader(&self, my_bit: u64) {
+        self.readers.fetch_and(!my_bit, Ordering::SeqCst);
+    }
+
+    /// Attempts to acquire the lock, transitioning `expected_unlocked` ->
+    /// locked-by-`slot`. Returns the observed word on failure.
+    #[inline(always)]
+    pub fn try_lock(&self, expected_unlocked: u64, slot: usize) -> Result<(), u64> {
+        self.lock
+            .compare_exchange(
+                expected_unlocked,
+                make_locked(slot),
+                Ordering::SeqCst,
+                Ordering::Acquire,
+            )
+            .map(|_| ())
+            .map_err(|w| w)
+    }
+
+    /// Releases the lock, installing `version` (commit) or restoring the
+    /// previous word (abort). Release: publishes the written values.
+    #[inline(always)]
+    pub fn unlock(&self, word: u64) {
+        self.lock.store(word, Ordering::Release);
+    }
+}
+
+/// The bit a thread slot occupies in reader bitmaps. Slots must be < 64;
+/// the runtime enforces `max_threads <= 64` so the mapping is exact.
+#[inline(always)]
+pub fn reader_bit(slot: usize) -> u64 {
+    debug_assert!(slot < 64);
+    1u64 << slot
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_word_encoding_roundtrips() {
+        for v in [0u64, 1, 42, u64::MAX >> 1] {
+            let w = make_version(v);
+            assert!(!is_locked(w));
+            assert_eq!(version_of(w), v);
+        }
+        for s in [0usize, 1, 17, 63] {
+            let w = make_locked(s);
+            assert!(is_locked(w));
+            assert_eq!(owner_of(w), s);
+        }
+    }
+
+    #[test]
+    fn lock_acquire_release_cycle() {
+        let o = Orec::default();
+        let unlocked = o.load_lock();
+        assert_eq!(version_of(unlocked), 0);
+        o.try_lock(unlocked, 5).unwrap();
+        let held = o.load_lock();
+        assert!(is_locked(held));
+        assert_eq!(owner_of(held), 5);
+        // Second acquisition attempt fails and reports the held word.
+        assert_eq!(o.try_lock(unlocked, 6), Err(held));
+        o.unlock(make_version(9));
+        assert_eq!(version_of(o.load_lock()), 9);
+    }
+
+    #[test]
+    fn reader_bits_set_and_clear() {
+        let o = Orec::default();
+        assert!(o.add_reader(reader_bit(3)));
+        assert!(!o.add_reader(reader_bit(3)), "second set reports not-new");
+        assert!(o.add_reader(reader_bit(7)));
+        assert_eq!(o.readers_except(reader_bit(3)), reader_bit(7));
+        o.remove_reader(reader_bit(3));
+        o.remove_reader(reader_bit(7));
+        assert_eq!(o.readers_except(0), 0);
+    }
+
+    #[test]
+    fn reader_bit_positions() {
+        assert_eq!(reader_bit(0), 1);
+        assert_eq!(reader_bit(63), 1 << 63);
+        assert_eq!(reader_bit(5) & reader_bit(6), 0);
+    }
+}

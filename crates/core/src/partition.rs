@@ -1,0 +1,262 @@
+//! Partitions: the unit of concurrency-control specialization.
+//!
+//! A partition owns its own ownership-record table and its own (atomically
+//! switchable) configuration word, so the STM performs conflict detection
+//! *separately per partition* and the tuner adjusts each partition
+//! independently — the core mechanism of the paper.
+
+use core::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crossbeam_utils::CachePadded;
+use parking_lot::Mutex;
+
+use crate::config::{self, DynConfig, Granularity, PartitionConfig};
+use crate::orec::Orec;
+use crate::stats::{PartitionStats, StatCounters};
+
+/// Identifier of a partition within one [`crate::Stm`] instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PartitionId(pub u32);
+
+/// Multiplicative hash constant (Fibonacci hashing) for address mixing.
+const MIX: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// State consumed by the tuner between evaluations.
+#[derive(Debug)]
+pub(crate) struct TuneState {
+    pub(crate) last: StatCounters,
+    pub(crate) last_at: Instant,
+}
+
+/// A data partition with private STM metadata. Created via
+/// [`crate::Stm::new_partition`]; shared as `Arc<Partition>`.
+#[derive(Debug)]
+pub struct Partition {
+    pub(crate) id: PartitionId,
+    pub(crate) stm_id: u64,
+    name: String,
+    /// Current dynamic configuration word (see [`crate::config`]).
+    pub(crate) config: CachePadded<AtomicU64>,
+    orecs: Box<[Orec]>,
+    /// `orecs.len() - 1` (table size is a power of two).
+    mask: usize,
+    pub(crate) stats: PartitionStats,
+    /// Whether the runtime tuner may reconfigure this partition.
+    pub(crate) tunable: bool,
+    /// Commits since the tuner last looked at this partition.
+    pub(crate) tune_gate: CachePadded<AtomicU64>,
+    pub(crate) tune_state: Mutex<TuneState>,
+}
+
+impl Partition {
+    pub(crate) fn new(id: PartitionId, stm_id: u64, cfg: &PartitionConfig) -> Arc<Self> {
+        let n = cfg.orec_count.next_power_of_two().max(1);
+        let mut orecs = Vec::with_capacity(n);
+        orecs.resize_with(n, Orec::default);
+        Arc::new(Partition {
+            id,
+            stm_id,
+            name: if cfg.name.is_empty() {
+                format!("partition-{}", id.0)
+            } else {
+                cfg.name.clone()
+            },
+            config: CachePadded::new(AtomicU64::new(config::encode(DynConfig::from(cfg), 0))),
+            orecs: orecs.into_boxed_slice(),
+            mask: n - 1,
+            stats: PartitionStats::default(),
+            tunable: cfg.tune,
+            tune_gate: CachePadded::new(AtomicU64::new(0)),
+            tune_state: Mutex::new(TuneState {
+                last: StatCounters::default(),
+                last_at: Instant::now(),
+            }),
+        })
+    }
+
+    /// Partition id.
+    #[inline]
+    pub fn id(&self) -> PartitionId {
+        self.id
+    }
+
+    /// Partition name (for reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of ownership records in the table.
+    pub fn orec_count(&self) -> usize {
+        self.orecs.len()
+    }
+
+    /// Whether the runtime tuner may reconfigure this partition.
+    pub fn is_tunable(&self) -> bool {
+        self.tunable
+    }
+
+    /// Snapshot of the partition's cumulative statistics.
+    pub fn stats(&self) -> StatCounters {
+        self.stats.snapshot()
+    }
+
+    /// Current dynamic configuration (decoded; racy by nature — a switch
+    /// may follow immediately).
+    pub fn current_config(&self) -> DynConfig {
+        config::decode(self.config.load(Ordering::SeqCst))
+    }
+
+    /// Raw config word (SeqCst: part of the switch protocol).
+    #[inline(always)]
+    pub(crate) fn config_word(&self) -> u64 {
+        self.config.load(Ordering::SeqCst)
+    }
+
+    /// Generation counter of the current configuration.
+    pub fn generation(&self) -> u32 {
+        config::generation(self.config.load(Ordering::SeqCst))
+    }
+
+    /// Maps a word address to its ownership record under granularity `g`.
+    #[inline(always)]
+    pub(crate) fn orec_for(&self, addr: usize, g: Granularity) -> &Orec {
+        let idx = match g {
+            Granularity::Word => self.mix_index(addr >> 3),
+            Granularity::Stripe { shift } => self.mix_index(addr >> shift),
+            Granularity::PartitionLock => 0,
+        };
+        // Index is masked into range below.
+        &self.orecs[idx]
+    }
+
+    #[inline(always)]
+    fn mix_index(&self, key: usize) -> usize {
+        (((key as u64).wrapping_mul(MIX)) >> 32) as usize & self.mask
+    }
+
+    /// Resets every ownership record to `version` with no readers.
+    ///
+    /// Called by the configuration-switch protocol *after* quiescence and
+    /// *before* installing the new config word: a granularity change remaps
+    /// addresses onto orecs whose stored versions are stale for their new
+    /// coverage, so every orec is stamped with the current clock — any
+    /// transaction with an older snapshot is then forced to extend (and
+    /// revalidate) or abort on first contact.
+    ///
+    /// Safety of the protocol (not memory safety): during the window in
+    /// which this runs, no transaction holds locks, reader bits or read-set
+    /// entries on this partition — old-config transactions were drained by
+    /// the quiesce and new transactions abort on the switching flag before
+    /// touching any orec.
+    pub(crate) fn reset_orecs(&self, version: u64) {
+        use core::sync::atomic::Ordering;
+        let word = crate::orec::make_version(version);
+        for o in self.orecs.iter() {
+            debug_assert!(
+                !crate::orec::is_locked(o.lock.load(Ordering::SeqCst)),
+                "orec locked during a partition switch"
+            );
+            o.lock.store(word, Ordering::SeqCst);
+            o.readers.store(0, Ordering::SeqCst);
+        }
+    }
+
+    /// Diagnostic scan of the orec table: `(locked_count, owner_slots,
+    /// max_unlocked_version)`. Racy by nature; intended for debugging and
+    /// health checks, not for synchronization.
+    pub fn debug_scan(&self) -> (usize, Vec<usize>, u64) {
+        use core::sync::atomic::Ordering;
+        let mut locked = 0;
+        let mut owners = Vec::new();
+        let mut max_version = 0;
+        for o in self.orecs.iter() {
+            let l = o.lock.load(Ordering::SeqCst);
+            if crate::orec::is_locked(l) {
+                locked += 1;
+                owners.push(crate::orec::owner_of(l));
+            } else {
+                max_version = max_version.max(crate::orec::version_of(l));
+            }
+        }
+        owners.sort_unstable();
+        owners.dedup();
+        (locked, owners, max_version)
+    }
+
+    /// The orec table, for diagnostics/tests.
+    #[cfg(test)]
+    pub(crate) fn orecs(&self) -> &[Orec] {
+        &self.orecs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ReadMode;
+
+    fn part(cfg: PartitionConfig) -> Arc<Partition> {
+        Partition::new(PartitionId(3), 7, &cfg)
+    }
+
+    #[test]
+    fn table_size_rounds_to_power_of_two() {
+        let p = part(PartitionConfig::default().orecs(1000));
+        assert_eq!(p.orec_count(), 1024);
+        let p = part(PartitionConfig::default().orecs(1));
+        assert_eq!(p.orec_count(), 1);
+    }
+
+    #[test]
+    fn default_name_includes_id() {
+        let p = part(PartitionConfig::default());
+        assert_eq!(p.name(), "partition-3");
+        let p = part(PartitionConfig::named("tree"));
+        assert_eq!(p.name(), "tree");
+    }
+
+    #[test]
+    fn partition_lock_granularity_uses_single_orec() {
+        let p = part(PartitionConfig::default().orecs(64));
+        let a = p.orec_for(0x1000, Granularity::PartitionLock) as *const Orec;
+        let b = p.orec_for(0xDEAD_BEE8, Granularity::PartitionLock) as *const Orec;
+        assert_eq!(a, b);
+        assert_eq!(a, &p.orecs()[0] as *const Orec);
+    }
+
+    #[test]
+    fn word_granularity_separates_neighbouring_words() {
+        let p = part(PartitionConfig::default().orecs(1 << 12));
+        let base = 0x7f00_0000_0000usize;
+        let mut distinct = std::collections::HashSet::new();
+        for i in 0..64 {
+            distinct.insert(p.orec_for(base + i * 8, Granularity::Word) as *const Orec as usize);
+        }
+        // With 4096 orecs and 64 distinct words, expect little aliasing.
+        assert!(distinct.len() > 48, "only {} distinct orecs", distinct.len());
+    }
+
+    #[test]
+    fn stripe_granularity_groups_within_stripe() {
+        let p = part(PartitionConfig::default().orecs(1 << 12));
+        let g = Granularity::Stripe { shift: 8 }; // 256-byte stripes
+        let base = 0x5000_0000usize; // 256-aligned
+        let o0 = p.orec_for(base, g) as *const Orec;
+        for off in (0..256).step_by(8) {
+            assert_eq!(p.orec_for(base + off, g) as *const Orec, o0);
+        }
+        // Neighbouring stripes usually map elsewhere.
+        let o1 = p.orec_for(base + 256, g) as *const Orec;
+        assert_ne!(o0, o1);
+    }
+
+    #[test]
+    fn config_roundtrip_through_partition() {
+        let p = part(PartitionConfig::default().read_mode(ReadMode::Visible).tunable());
+        assert_eq!(p.current_config().read_mode, ReadMode::Visible);
+        assert!(p.is_tunable());
+        assert_eq!(p.generation(), 0);
+    }
+}

@@ -1,0 +1,251 @@
+//! Per-partition statistics.
+//!
+//! The runtime tuner's decisions are driven entirely by these counters, so
+//! collection must be cheap: threads accumulate into per-transaction local
+//! counters and flush once per transaction into a *sharded* set of atomics
+//! (8 shards, thread slot modulo 8) to avoid a single contended cache line.
+
+use core::sync::atomic::{AtomicU64, Ordering};
+
+use crossbeam_utils::CachePadded;
+
+/// Applies a macro to every statistics counter field. Single source of truth
+/// for the field list.
+macro_rules! for_each_stat {
+    ($mac:ident) => {
+        $mac!(
+            /// Transaction attempts that touched the partition.
+            starts,
+            /// Committed transactions that touched the partition.
+            commits,
+            /// Commits that performed no write in this partition.
+            ro_commits,
+            /// Commits that wrote this partition.
+            update_commits,
+            /// Aborts caused by a write-locked orec in this partition.
+            aborts_wlock,
+            /// Aborts caused by writer-vs-visible-reader arbitration.
+            aborts_rlock,
+            /// Aborts caused by failed validation / snapshot extension.
+            aborts_validation,
+            /// Aborts caused by a remote kill.
+            aborts_killed,
+            /// Aborts caused by an in-progress configuration switch.
+            aborts_switching,
+            /// Aborts requested by user code.
+            aborts_user,
+            /// Transactional reads served from this partition.
+            reads,
+            /// Transactional writes into this partition.
+            writes,
+            /// Successful snapshot extensions attributed to this partition.
+            extensions,
+            /// Reader kills issued by writers in this partition.
+            kills_issued
+        );
+    };
+}
+
+macro_rules! define_counters {
+    ($(#[$doc:meta] $f:ident),+ $(,)?) => {
+        /// Plain (non-atomic) snapshot of the partition counters.
+        #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+        pub struct StatCounters {
+            $(#[$doc] pub $f: u64,)+
+        }
+
+        impl StatCounters {
+            /// Element-wise difference `self - earlier` (saturating).
+            pub fn delta(&self, earlier: &StatCounters) -> StatCounters {
+                StatCounters {
+                    $($f: self.$f.saturating_sub(earlier.$f),)+
+                }
+            }
+
+            /// Element-wise sum.
+            pub fn add(&self, other: &StatCounters) -> StatCounters {
+                StatCounters {
+                    $($f: self.$f.wrapping_add(other.$f),)+
+                }
+            }
+
+            /// Total aborts of all causes.
+            pub fn aborts(&self) -> u64 {
+                self.aborts_wlock
+                    + self.aborts_rlock
+                    + self.aborts_validation
+                    + self.aborts_killed
+                    + self.aborts_switching
+                    + self.aborts_user
+            }
+        }
+
+        #[derive(Debug, Default)]
+        struct StatShard {
+            $($f: AtomicU64,)+
+        }
+
+        impl StatShard {
+            fn snapshot(&self) -> StatCounters {
+                StatCounters {
+                    $($f: self.$f.load(Ordering::Relaxed),)+
+                }
+            }
+        }
+    };
+}
+
+for_each_stat!(define_counters);
+
+const SHARDS: usize = 8;
+
+/// Sharded atomic statistics for one partition.
+#[derive(Debug)]
+pub struct PartitionStats {
+    shards: [CachePadded<StatShard>; SHARDS],
+}
+
+impl Default for PartitionStats {
+    fn default() -> Self {
+        PartitionStats {
+            shards: Default::default(),
+        }
+    }
+}
+
+macro_rules! define_bump {
+    ($(#[$doc:meta] $f:ident),+ $(,)?) => {
+        impl PartitionStats {
+            $(
+                #[$doc]
+                #[inline]
+                pub fn $f(&self, slot: usize, n: u64) {
+                    if n != 0 {
+                        self.shards[slot % SHARDS]
+                            .$f
+                            .fetch_add(n, Ordering::Relaxed);
+                    }
+                }
+            )+
+
+            /// Sums all shards into a consistent-enough snapshot (counters
+            /// are monotonically increasing; tuning tolerates slight skew).
+            pub fn snapshot(&self) -> StatCounters {
+                let mut acc = StatCounters::default();
+                for s in &self.shards {
+                    acc = acc.add(&s.snapshot());
+                }
+                acc
+            }
+        }
+    };
+}
+
+for_each_stat!(define_bump);
+
+/// Per-transaction, per-partition local counters, flushed once at
+/// transaction end.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct LocalStats {
+    /// Reads performed in the partition during this attempt.
+    pub reads: u32,
+    /// Writes performed in the partition during this attempt.
+    pub writes: u32,
+    /// Successful snapshot extensions triggered by this partition.
+    pub extensions: u32,
+    /// Kills this transaction issued against readers of this partition.
+    pub kills: u32,
+}
+
+impl LocalStats {
+    /// Flush into the partition aggregate.
+    pub fn flush(&self, stats: &PartitionStats, slot: usize) {
+        stats.reads(slot, self.reads as u64);
+        stats.writes(slot, self.writes as u64);
+        stats.extensions(slot, self.extensions as u64);
+        stats.kills_issued(slot, self.kills as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bumps_land_in_snapshot_across_shards() {
+        let s = PartitionStats::default();
+        for slot in 0..32 {
+            s.commits(slot, 1);
+            s.reads(slot, 10);
+        }
+        let snap = s.snapshot();
+        assert_eq!(snap.commits, 32);
+        assert_eq!(snap.reads, 320);
+        assert_eq!(snap.aborts(), 0);
+    }
+
+    #[test]
+    fn zero_bump_is_free_and_correct() {
+        let s = PartitionStats::default();
+        s.writes(0, 0);
+        assert_eq!(s.snapshot().writes, 0);
+    }
+
+    #[test]
+    fn delta_and_aborts() {
+        let a = StatCounters {
+            commits: 10,
+            aborts_wlock: 3,
+            aborts_validation: 2,
+            ..Default::default()
+        };
+        let b = StatCounters {
+            commits: 4,
+            aborts_wlock: 1,
+            ..Default::default()
+        };
+        let d = a.delta(&b);
+        assert_eq!(d.commits, 6);
+        assert_eq!(d.aborts_wlock, 2);
+        assert_eq!(d.aborts(), 4);
+        // Saturating: never underflows even with skewed shard reads.
+        let u = b.delta(&a);
+        assert_eq!(u.commits, 0);
+    }
+
+    #[test]
+    fn local_stats_flush() {
+        let s = PartitionStats::default();
+        let l = LocalStats {
+            reads: 5,
+            writes: 2,
+            extensions: 1,
+            kills: 3,
+        };
+        l.flush(&s, 9);
+        let snap = s.snapshot();
+        assert_eq!(snap.reads, 5);
+        assert_eq!(snap.writes, 2);
+        assert_eq!(snap.extensions, 1);
+        assert_eq!(snap.kills_issued, 3);
+    }
+
+    #[test]
+    fn concurrent_bumps_do_not_lose_counts() {
+        use std::sync::Arc;
+        let s = Arc::new(PartitionStats::default());
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..10_000 {
+                    s.commits(t, 1);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.snapshot().commits, 80_000);
+    }
+}

@@ -1,0 +1,381 @@
+//! The STM runtime: thread registration, partition creation and the
+//! configuration-switch (quiesce) protocol.
+
+use core::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam_utils::CachePadded;
+use parking_lot::{Mutex, RwLock};
+
+use crate::clock::GlobalClock;
+use crate::config::{self, DynConfig, PartitionConfig};
+use crate::partition::{Partition, PartitionId};
+use crate::tuner::TuningPolicy;
+use crate::txn::TxScratch;
+
+/// Upper bound on registered threads (reader bitmaps are 64 bits wide).
+pub const MAX_THREADS: usize = 64;
+
+/// How long a configuration switch may wait for quiescence before the
+/// runtime assumes a stuck transaction and panics (diagnostic aid; a healthy
+/// workload quiesces in microseconds).
+const QUIESCE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Per-thread slot, visible to all threads (for kills and quiescence).
+#[derive(Debug, Default)]
+pub(crate) struct ThreadSlot {
+    /// Attempt sequence: even = outside any transaction, odd = inside.
+    pub(crate) seq: AtomicU64,
+    /// Value of the global switch epoch when the current attempt began.
+    pub(crate) start_epoch: AtomicU64,
+    /// Serial number of the thread's current transaction attempt.
+    pub(crate) serial: AtomicU64,
+    /// Kill request: the serial of the attempt that should abort (0 = none).
+    pub(crate) kill: AtomicU64,
+    /// Whether the slot is currently assigned to a live thread.
+    pub(crate) registered: AtomicBool,
+}
+
+pub(crate) struct StmInner {
+    pub(crate) id: u64,
+    pub(crate) clock: GlobalClock,
+    pub(crate) slots: Box<[CachePadded<ThreadSlot>]>,
+    free_slots: Mutex<Vec<usize>>,
+    /// Bumped at the start of every configuration switch.
+    pub(crate) switch_epoch: CachePadded<AtomicU64>,
+    partitions: Mutex<Vec<Arc<Partition>>>,
+    next_partition: AtomicU32,
+    pub(crate) tuner: RwLock<Option<Arc<dyn TuningPolicy>>>,
+}
+
+impl core::fmt::Debug for StmInner {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("StmInner")
+            .field("id", &self.id)
+            .field("slots", &self.slots.len())
+            .finish_non_exhaustive()
+    }
+}
+
+static STM_IDS: AtomicU64 = AtomicU64::new(1);
+
+/// Builder for [`Stm`].
+#[derive(Debug, Clone)]
+pub struct StmBuilder {
+    max_threads: usize,
+}
+
+impl Default for StmBuilder {
+    fn default() -> Self {
+        StmBuilder {
+            max_threads: MAX_THREADS,
+        }
+    }
+}
+
+impl StmBuilder {
+    /// Maximum number of concurrently registered threads (1..=64; reader
+    /// bitmaps are 64 bits wide).
+    pub fn max_threads(mut self, n: usize) -> Self {
+        assert!(
+            (1..=MAX_THREADS).contains(&n),
+            "max_threads must be in 1..={MAX_THREADS}"
+        );
+        self.max_threads = n;
+        self
+    }
+
+    /// Builds the runtime.
+    pub fn build(self) -> Stm {
+        let mut slots = Vec::with_capacity(self.max_threads);
+        slots.resize_with(self.max_threads, || CachePadded::new(ThreadSlot::default()));
+        Stm {
+            inner: Arc::new(StmInner {
+                id: STM_IDS.fetch_add(1, Ordering::Relaxed),
+                clock: GlobalClock::new(),
+                slots: slots.into_boxed_slice(),
+                free_slots: Mutex::new((0..self.max_threads).rev().collect()),
+                switch_epoch: CachePadded::new(AtomicU64::new(0)),
+                partitions: Mutex::new(Vec::new()),
+                next_partition: AtomicU32::new(0),
+                tuner: RwLock::new(None),
+            }),
+        }
+    }
+}
+
+/// The partitioned STM runtime. Cheap to clone (an `Arc`).
+#[derive(Debug, Clone)]
+pub struct Stm {
+    pub(crate) inner: Arc<StmInner>,
+}
+
+impl Stm {
+    /// Runtime with default settings.
+    pub fn new() -> Self {
+        StmBuilder::default().build()
+    }
+
+    /// Builder for custom settings.
+    pub fn builder() -> StmBuilder {
+        StmBuilder::default()
+    }
+
+    /// Creates a new partition with the given configuration.
+    pub fn new_partition(&self, cfg: PartitionConfig) -> Arc<Partition> {
+        let id = PartitionId(self.inner.next_partition.fetch_add(1, Ordering::Relaxed));
+        let p = Partition::new(id, self.inner.id, &cfg);
+        self.inner.partitions.lock().push(Arc::clone(&p));
+        p
+    }
+
+    /// All partitions created so far (for reports).
+    pub fn partitions(&self) -> Vec<Arc<Partition>> {
+        self.inner.partitions.lock().clone()
+    }
+
+    /// Current global clock value.
+    pub fn clock_now(&self) -> u64 {
+        self.inner.clock.now()
+    }
+
+    /// Installs (or replaces) the runtime tuning policy. Partitions created
+    /// with [`PartitionConfig::tunable`] will be evaluated every
+    /// `policy.window()` commits.
+    pub fn set_tuner(&self, policy: Arc<dyn TuningPolicy>) {
+        *self.inner.tuner.write() = Some(policy);
+    }
+
+    /// Removes the tuning policy.
+    pub fn clear_tuner(&self) {
+        *self.inner.tuner.write() = None;
+    }
+
+    /// Registers the calling thread, reserving a slot. The handle is the
+    /// entry point for running transactions ([`ThreadCtx::run`]). Dropping
+    /// it frees the slot.
+    ///
+    /// # Panics
+    ///
+    /// If more than `max_threads` threads are registered simultaneously.
+    pub fn register_thread(&self) -> ThreadCtx {
+        let slot = self
+            .inner
+            .free_slots
+            .lock()
+            .pop()
+            .expect("all STM thread slots in use; raise max_threads");
+        self.inner.slots[slot]
+            .registered
+            .store(true, Ordering::Release);
+        ThreadCtx {
+            stm: self.clone(),
+            slot,
+            scratch: core::cell::RefCell::new(TxScratch::new(slot as u64)),
+        }
+    }
+
+    /// Switches a partition to a new dynamic configuration using the
+    /// quiesce protocol, guaranteeing that at no instant do two transactions
+    /// run the partition under different configurations:
+    ///
+    /// 1. set the partition's *switching* flag — transactions that now
+    ///    first-touch the partition abort and retry (abort-not-spin keeps
+    ///    the protocol deadlock-free);
+    /// 2. bump the global switch epoch and wait for every registered thread
+    ///    to be outside a transaction at least once, or inside one that
+    ///    started after the bump (such transactions observe the flag);
+    /// 3. install the new configuration with generation+1 and clear the
+    ///    flag.
+    ///
+    /// Returns `false` (without waiting) if another switch is in progress
+    /// or the configuration is unchanged.
+    ///
+    /// Must not be called from inside a transaction (the engine invokes it
+    /// only between transactions; external callers run it from ordinary
+    /// code).
+    pub fn switch_partition(&self, partition: &Partition, new: DynConfig) -> bool {
+        assert_eq!(
+            partition.stm_id, self.inner.id,
+            "partition belongs to a different Stm"
+        );
+        switch_partition_impl(&self.inner, partition, new)
+    }
+}
+
+/// The quiesce-based switch protocol (shared by the public API and the
+/// engine's tuning hook). See [`Stm::switch_partition`] for the contract.
+pub(crate) fn switch_partition_impl(
+    inner: &StmInner,
+    partition: &Partition,
+    new: DynConfig,
+) -> bool {
+    let old = partition.config.load(Ordering::SeqCst);
+    if config::is_switching(old) || config::decode(old) == new {
+        return false;
+    }
+    if partition
+        .config
+        .compare_exchange(
+            old,
+            old | config::SWITCHING_BIT,
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        )
+        .is_err()
+    {
+        return false;
+    }
+    let epoch = inner.switch_epoch.fetch_add(1, Ordering::SeqCst) + 1;
+    let start = Instant::now();
+    for slot in inner.slots.iter() {
+        if !slot.registered.load(Ordering::Acquire) {
+            continue;
+        }
+        loop {
+            let seq = slot.seq.load(Ordering::SeqCst);
+            if seq % 2 == 0 || slot.start_epoch.load(Ordering::SeqCst) >= epoch {
+                break;
+            }
+            if start.elapsed() > QUIESCE_TIMEOUT {
+                panic!(
+                    "partition switch could not quiesce in {QUIESCE_TIMEOUT:?}: \
+                     a transaction appears stuck"
+                );
+            }
+            std::thread::yield_now();
+        }
+    }
+    // Stamp every orec with the current clock before the new configuration
+    // becomes visible: a remapped orec may otherwise carry a version that
+    // is stale for its new coverage, letting an old-snapshot reader accept
+    // a value committed after its read version (see Partition::reset_orecs).
+    partition.reset_orecs(inner.clock.now());
+    let word = config::encode(new, config::generation(old).wrapping_add(1));
+    partition.config.store(word, Ordering::SeqCst);
+    true
+}
+
+impl Default for Stm {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A registered thread's handle into the runtime. Not `Sync`: one per
+/// thread. Movable across threads (`Send`) while no transaction is active.
+#[derive(Debug)]
+pub struct ThreadCtx {
+    pub(crate) stm: Stm,
+    pub(crate) slot: usize,
+    pub(crate) scratch: core::cell::RefCell<TxScratch>,
+}
+
+// SAFETY: `TxScratch` contains raw pointers into partition tables and
+// arenas, but they are only dereferenced between `begin` and the end of the
+// same attempt, which cannot span a move of the `ThreadCtx` (moving requires
+// ownership, which `run` holds by borrow for the whole attempt).
+unsafe impl Send for ThreadCtx {}
+
+impl ThreadCtx {
+    /// The runtime this thread is registered with.
+    pub fn stm(&self) -> &Stm {
+        &self.stm
+    }
+
+    /// The thread's slot index (for diagnostics).
+    pub fn slot(&self) -> usize {
+        self.slot
+    }
+}
+
+impl Drop for ThreadCtx {
+    fn drop(&mut self) {
+        self.stm.inner.slots[self.slot]
+            .registered
+            .store(false, Ordering::Release);
+        self.stm.inner.free_slots.lock().push(self.slot);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ReadMode;
+
+    #[test]
+    fn builder_enforces_thread_bounds() {
+        let stm = Stm::builder().max_threads(2).build();
+        let a = stm.register_thread();
+        let b = stm.register_thread();
+        assert_ne!(a.slot(), b.slot());
+        drop(a);
+        let c = stm.register_thread();
+        drop(b);
+        drop(c);
+        // Slots are recycled.
+        let d = stm.register_thread();
+        assert!(d.slot() < 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_threads")]
+    fn builder_rejects_oversized_thread_count() {
+        let _ = Stm::builder().max_threads(65);
+    }
+
+    #[test]
+    #[should_panic(expected = "slots in use")]
+    fn registration_beyond_capacity_panics() {
+        let stm = Stm::builder().max_threads(1).build();
+        let _a = stm.register_thread();
+        let _b = stm.register_thread();
+    }
+
+    #[test]
+    fn partition_ids_are_sequential() {
+        let stm = Stm::new();
+        let a = stm.new_partition(PartitionConfig::default());
+        let b = stm.new_partition(PartitionConfig::default());
+        assert_eq!(a.id(), PartitionId(0));
+        assert_eq!(b.id(), PartitionId(1));
+        assert_eq!(stm.partitions().len(), 2);
+    }
+
+    #[test]
+    fn switch_partition_updates_config_and_generation() {
+        let stm = Stm::new();
+        let p = stm.new_partition(PartitionConfig::default());
+        assert_eq!(p.current_config().read_mode, ReadMode::Invisible);
+        let mut cfg = p.current_config();
+        cfg.read_mode = ReadMode::Visible;
+        assert!(stm.switch_partition(&p, cfg));
+        assert_eq!(p.current_config().read_mode, ReadMode::Visible);
+        assert_eq!(p.generation(), 1);
+        // Switching to the identical config is a no-op.
+        assert!(!stm.switch_partition(&p, cfg));
+        assert_eq!(p.generation(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different Stm")]
+    fn cross_stm_switch_is_rejected() {
+        let stm1 = Stm::new();
+        let stm2 = Stm::new();
+        let p = stm1.new_partition(PartitionConfig::default());
+        let cfg = p.current_config();
+        stm2.switch_partition(&p, cfg);
+    }
+
+    #[test]
+    fn switch_waits_for_idle_threads_only() {
+        // A registered but idle thread must not block the switch.
+        let stm = Stm::new();
+        let _ctx = stm.register_thread();
+        let p = stm.new_partition(PartitionConfig::default());
+        let mut cfg = p.current_config();
+        cfg.read_mode = ReadMode::Visible;
+        assert!(stm.switch_partition(&p, cfg));
+    }
+}

@@ -1,0 +1,107 @@
+//! Runtime tuning hook.
+//!
+//! The engine periodically (every `window` commits per partition) hands a
+//! statistics delta to a [`TuningPolicy`]; if the policy returns a new
+//! [`DynConfig`], the runtime switches the partition via the quiesce
+//! protocol (see [`crate::Stm::switch_partition`]). Policies live in the
+//! `partstm-tuning` crate; this module defines only the interface so the
+//! engine stays policy-agnostic.
+
+use crate::config::DynConfig;
+use crate::partition::PartitionId;
+use crate::stats::StatCounters;
+
+/// Everything a policy sees when evaluating one partition.
+#[derive(Debug, Clone)]
+pub struct TuneInput {
+    /// Which partition is being evaluated.
+    pub partition: PartitionId,
+    /// The partition's name.
+    pub name: String,
+    /// Configuration currently in force.
+    pub config: DynConfig,
+    /// Counter deltas since the previous evaluation of this partition.
+    pub delta: StatCounters,
+    /// Wall-clock seconds covered by `delta`.
+    pub seconds: f64,
+}
+
+impl TuneInput {
+    /// Fraction of commits that wrote the partition (0 if no commits).
+    pub fn update_fraction(&self) -> f64 {
+        if self.delta.commits == 0 {
+            0.0
+        } else {
+            self.delta.update_commits as f64 / self.delta.commits as f64
+        }
+    }
+
+    /// Aborts per attempt: `aborts / (commits + aborts)` (0 if idle).
+    pub fn abort_rate(&self) -> f64 {
+        let aborts = self.delta.aborts();
+        let attempts = self.delta.commits + aborts;
+        if attempts == 0 {
+            0.0
+        } else {
+            aborts as f64 / attempts as f64
+        }
+    }
+
+    /// Mean reads per commit (0 if no commits).
+    pub fn reads_per_commit(&self) -> f64 {
+        if self.delta.commits == 0 {
+            0.0
+        } else {
+            self.delta.reads as f64 / self.delta.commits as f64
+        }
+    }
+}
+
+/// Decision returned by a policy: the configuration the partition should
+/// switch to. Returning the current configuration (or `None`) keeps it.
+pub trait TuningPolicy: Send + Sync {
+    /// Commits per partition between evaluations.
+    fn window(&self) -> u64 {
+        4096
+    }
+
+    /// Inspect one partition's recent behaviour; optionally reconfigure.
+    fn evaluate(&self, input: &TuneInput) -> Option<DynConfig>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn input(commits: u64, updates: u64, aborts: u64, reads: u64) -> TuneInput {
+        TuneInput {
+            partition: PartitionId(0),
+            name: "t".into(),
+            config: DynConfig::from(&crate::config::PartitionConfig::default()),
+            delta: StatCounters {
+                commits,
+                update_commits: updates,
+                aborts_wlock: aborts,
+                reads,
+                ..Default::default()
+            },
+            seconds: 1.0,
+        }
+    }
+
+    #[test]
+    fn derived_rates() {
+        let i = input(100, 40, 25, 1000);
+        assert!((i.update_fraction() - 0.4).abs() < 1e-9);
+        assert!((i.abort_rate() - 0.2).abs() < 1e-9);
+        assert!((i.reads_per_commit() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_partition_rates_are_zero() {
+        let i = input(0, 0, 0, 0);
+        assert_eq!(i.update_fraction(), 0.0);
+        assert_eq!(i.abort_rate(), 0.0);
+        assert_eq!(i.reads_per_commit(), 0.0);
+    }
+}

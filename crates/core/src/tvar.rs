@@ -1,0 +1,101 @@
+//! Transactional variables.
+//!
+//! A [`TVar<T>`] is one transactional 64-bit word (see [`crate::word`]).
+//! The backing store is an `AtomicU64`, so non-transactional code can never
+//! observe a torn value; consistency of *groups* of words is what the STM
+//! protocol provides.
+
+use core::marker::PhantomData;
+use core::sync::atomic::{AtomicU64, Ordering};
+
+use crate::word::TxWord;
+
+/// A transactional variable holding a `T` packed into a 64-bit word.
+///
+/// `TVar`s belong to a *partition* at access time: every transactional
+/// read/write names the partition whose concurrency-control metadata guards
+/// the variable. In the paper this association is computed by the compiler
+/// (Tanger + the data-structure analysis); here the data structure that owns
+/// the variable carries its partition and passes it at each access site,
+/// which is exactly the code the compiler pass would have emitted.
+#[repr(transparent)]
+pub struct TVar<T> {
+    pub(crate) cell: AtomicU64,
+    _m: PhantomData<T>,
+}
+
+impl<T: TxWord> TVar<T> {
+    /// Creates a variable with an initial value.
+    pub fn new(value: T) -> Self {
+        TVar {
+            cell: AtomicU64::new(value.to_word()),
+            _m: PhantomData,
+        }
+    }
+
+    /// Non-transactional read. Safe at any time (single atomic load) but
+    /// sees only one word: use it for initialization, teardown, or
+    /// statistics — never to derive multi-word invariants.
+    #[inline]
+    pub fn load_direct(&self) -> T {
+        T::from_word(self.cell.load(Ordering::Acquire))
+    }
+
+    /// Non-transactional write. Only safe while no transaction may access
+    /// the variable (setup/teardown): it bypasses ownership records, so a
+    /// concurrent transaction would not detect the change.
+    #[inline]
+    pub fn store_direct(&self, value: T) {
+        self.cell.store(value.to_word(), Ordering::Release);
+    }
+
+    /// Address used as the conflict-detection key for this variable.
+    #[inline(always)]
+    pub(crate) fn addr(&self) -> usize {
+        &self.cell as *const AtomicU64 as usize
+    }
+}
+
+impl<T: TxWord + Default> Default for TVar<T> {
+    fn default() -> Self {
+        TVar::new(T::default())
+    }
+}
+
+impl<T: TxWord + core::fmt::Debug> core::fmt::Debug for TVar<T> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_tuple("TVar").field(&self.load_direct()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direct_roundtrip() {
+        let v = TVar::new(41u64);
+        assert_eq!(v.load_direct(), 41);
+        v.store_direct(42);
+        assert_eq!(v.load_direct(), 42);
+    }
+
+    #[test]
+    fn default_and_debug() {
+        let v: TVar<u32> = TVar::default();
+        assert_eq!(v.load_direct(), 0);
+        assert_eq!(format!("{v:?}"), "TVar(0)");
+    }
+
+    #[test]
+    fn tvar_is_one_word_plus_nothing() {
+        assert_eq!(core::mem::size_of::<TVar<u64>>(), 8);
+        assert_eq!(core::mem::size_of::<TVar<bool>>(), 8);
+    }
+
+    #[test]
+    fn negative_values_survive() {
+        let v = TVar::new(-7i64);
+        assert_eq!(v.load_direct(), -7);
+    }
+}

@@ -1,0 +1,1279 @@
+//! The transaction engine: begin / read / write / commit / abort.
+//!
+//! The protocol is TinySTM's word-based design extended with per-partition
+//! metadata:
+//!
+//! * snapshot at begin (`rv` = global clock), lazy snapshot extension (LSA)
+//!   on reads past `rv`;
+//! * invisible reads: the `l1 / value / l2` seqlock sandwich against the
+//!   covering ownership record, entry recorded for commit-time validation;
+//! * visible reads: reader bit in the orec's bitmap; writers arbitrate
+//!   (kill or yield) at acquisition time; no commit-time validation needed;
+//! * writes: buffered (write-back) with the orec acquired either at
+//!   encounter time or commit time, per the partition's configuration;
+//! * commit: acquire remaining locks, take `wv` from the clock, validate
+//!   invisible reads (skipped when `rv + 1 == wv`), write back, release
+//!   with `wv`.
+//!
+//! ## Lifetimes
+//!
+//! [`Tx<'e, 's>`] carries two lifetimes: `'e` is the *environment* — every
+//! `&TVar`/`&Arc<Partition>` passed to transactional operations must outlive
+//! the whole [`ThreadCtx::run`] call (so the engine's internal pointers stay
+//! valid through commit even if user code drops its own handles early), and
+//! `'s` is the engine's internal borrow of its scratch state. User closures
+//! are generic over `'s` only.
+
+use core::marker::PhantomData;
+use core::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::cm::{self, XorShift64};
+use crate::config::{self, AcquireMode, DynConfig, ReadMode, ReaderArb};
+use crate::config::CmPolicy;
+use crate::error::{Abort, AbortKind, TxResult};
+use crate::orec::{is_locked, make_version, owner_of, reader_bit, version_of, Orec};
+use crate::partition::Partition;
+use crate::stats::LocalStats;
+use crate::stm::{StmInner, ThreadCtx};
+use crate::tuner::TuneInput;
+use crate::tvar::TVar;
+use crate::word::TxWord;
+
+/// An invisible-read record: which orec was read and the lock word observed.
+struct ReadEntry {
+    orec: *const Orec,
+    seen: u64,
+}
+
+/// A buffered write.
+struct WriteEntry {
+    var: *const AtomicU64,
+    val: u64,
+    orec: *const Orec,
+    /// Lock word to restore on abort (valid iff `acquired_here`).
+    prev: u64,
+    /// Whether *this entry* performed the orec acquisition (first entry per
+    /// orec does; later entries find it already owned).
+    acquired_here: bool,
+    /// Index into the touch list (partition attribution).
+    touch: u16,
+}
+
+/// Per-partition state of one transaction attempt.
+struct PartTouch {
+    part: Arc<Partition>,
+    cfg: DynConfig,
+    stats: LocalStats,
+    wrote: bool,
+}
+
+/// Type-erased deferred arena operation (see [`crate::arena`]).
+struct ReclaimEntry {
+    arena: *const (),
+    raw: u32,
+    /// Reuse tag: for alloc-log entries, the slot's original tag (restored
+    /// on rollback); for free-log entries, filled with the commit version
+    /// when the free executes.
+    tag: u64,
+    push_free: unsafe fn(*const (), u32, u64),
+}
+
+/// Stamped open-addressing map `address -> write-set index`, reused across
+/// transactions without clearing (entries from older transactions are
+/// recognizably stale by their stamp).
+struct WsIndex {
+    keys: Vec<usize>,
+    vals: Vec<u32>,
+    stamps: Vec<u64>,
+    stamp: u64,
+    mask: usize,
+    len: usize,
+}
+
+impl WsIndex {
+    fn new() -> Self {
+        let cap = 64;
+        WsIndex {
+            keys: vec![0; cap],
+            vals: vec![0; cap],
+            stamps: vec![0; cap],
+            stamp: 0,
+            mask: cap - 1,
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn begin_txn(&mut self) {
+        self.stamp += 1;
+        self.len = 0;
+    }
+
+    #[inline(always)]
+    fn slot_of(&self, addr: usize) -> usize {
+        ((addr as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33) as usize & self.mask
+    }
+
+    #[inline]
+    fn get(&self, addr: usize) -> Option<u32> {
+        let mut i = self.slot_of(addr);
+        while self.stamps[i] == self.stamp {
+            if self.keys[i] == addr {
+                return Some(self.vals[i]);
+            }
+            i = (i + 1) & self.mask;
+        }
+        None
+    }
+
+    fn insert(&mut self, addr: usize, val: u32) {
+        if (self.len + 1) * 2 > self.keys.len() {
+            self.grow();
+        }
+        let mut i = self.slot_of(addr);
+        while self.stamps[i] == self.stamp {
+            if self.keys[i] == addr {
+                self.vals[i] = val;
+                return;
+            }
+            i = (i + 1) & self.mask;
+        }
+        self.keys[i] = addr;
+        self.vals[i] = val;
+        self.stamps[i] = self.stamp;
+        self.len += 1;
+    }
+
+    fn grow(&mut self) {
+        let old_keys = std::mem::take(&mut self.keys);
+        let old_vals = std::mem::take(&mut self.vals);
+        let old_stamps = std::mem::take(&mut self.stamps);
+        let cap = old_keys.len() * 2;
+        self.keys = vec![0; cap];
+        self.vals = vec![0; cap];
+        self.stamps = vec![0; cap];
+        self.mask = cap - 1;
+        let live = self.stamp;
+        self.len = 0;
+        for i in 0..old_keys.len() {
+            if old_stamps[i] == live {
+                // Re-insert without growth recursion (cap just doubled).
+                let mut j = self.slot_of(old_keys[i]);
+                while self.stamps[j] == self.stamp {
+                    j = (j + 1) & self.mask;
+                }
+                self.keys[j] = old_keys[i];
+                self.vals[j] = old_vals[i];
+                self.stamps[j] = self.stamp;
+                self.len += 1;
+            }
+        }
+    }
+}
+
+/// Reusable per-thread transaction state.
+pub(crate) struct TxScratch {
+    rv: u64,
+    serial: u64,
+    attempts: u32,
+    in_attempt: bool,
+    engine_fail: bool,
+    read_set: Vec<ReadEntry>,
+    write_set: Vec<WriteEntry>,
+    visible: Vec<*const Orec>,
+    touches: Vec<PartTouch>,
+    ws_index: WsIndex,
+    alloc_log: Vec<ReclaimEntry>,
+    free_log: Vec<ReclaimEntry>,
+    rng: XorShift64,
+}
+
+impl core::fmt::Debug for TxScratch {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("TxScratch")
+            .field("in_attempt", &self.in_attempt)
+            .field("reads", &self.read_set.len())
+            .field("writes", &self.write_set.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl TxScratch {
+    pub(crate) fn new(seed: u64) -> Self {
+        TxScratch {
+            rv: 0,
+            serial: 0,
+            attempts: 0,
+            in_attempt: false,
+            engine_fail: false,
+            read_set: Vec::new(),
+            write_set: Vec::new(),
+            visible: Vec::new(),
+            touches: Vec::new(),
+            ws_index: WsIndex::new(),
+            alloc_log: Vec::new(),
+            free_log: Vec::new(),
+            rng: XorShift64::new(seed.wrapping_mul(0x5851_F42D_4C95_7F2D) | 1),
+        }
+    }
+}
+
+/// An in-flight transaction. Obtained inside [`ThreadCtx::run`]; all
+/// transactional operations go through it.
+pub struct Tx<'e, 's> {
+    stm: &'s StmInner,
+    slot: usize,
+    s: &'s mut TxScratch,
+    /// Invariant in `'e`: references passed to transactional operations
+    /// must outlive the whole `run` call.
+    _env: PhantomData<fn(&'e ()) -> &'e ()>,
+}
+
+impl<'e, 's> Tx<'e, 's> {
+    #[inline(always)]
+    fn my_slot(&self) -> &crate::stm::ThreadSlot {
+        &self.stm.slots[self.slot]
+    }
+
+    #[inline(always)]
+    fn killed(&self) -> bool {
+        self.my_slot().kill.load(Ordering::SeqCst) == self.s.serial
+    }
+
+    /// Number of failed attempts of the current transaction so far.
+    pub fn attempts(&self) -> u32 {
+        self.s.attempts
+    }
+
+    /// Debug aid: re-validates the invisible read set right now and
+    /// reports `(still_valid, read_set_len, rv)`. Used by diagnostics to
+    /// distinguish "stale view that validation would catch" from a genuine
+    /// opacity hole.
+    pub fn debug_validate(&self) -> (bool, usize, u64) {
+        (self.validate_read_set(), self.s.read_set.len(), self.s.rv)
+    }
+
+    /// The snapshot (read version) of this attempt.
+    pub fn read_version(&self) -> u64 {
+        self.s.rv
+    }
+
+    fn begin(&mut self) {
+        let s = &mut *self.s;
+        s.serial += 1;
+        let slot = &self.stm.slots[self.slot];
+        // Clear the kill word *before* publishing the new serial so a
+        // killer that reads the new serial cannot have its request erased
+        // (both SeqCst; see DESIGN.md reconfiguration notes).
+        slot.kill.store(0, Ordering::SeqCst);
+        slot.serial.store(s.serial, Ordering::SeqCst);
+        let seq = slot.seq.fetch_add(1, Ordering::SeqCst);
+        debug_assert_q(seq % 2 == 0, "begin from inside a transaction");
+        slot.start_epoch
+            .store(self.stm.switch_epoch.load(Ordering::SeqCst), Ordering::SeqCst);
+        s.rv = self.stm.clock.now();
+        s.read_set.clear();
+        s.write_set.clear();
+        s.visible.clear();
+        s.touches.clear();
+        s.alloc_log.clear();
+        s.free_log.clear();
+        s.ws_index.begin_txn();
+        s.engine_fail = false;
+        s.in_attempt = true;
+    }
+
+    /// Registers (or finds) the touch record for a partition: snapshots its
+    /// configuration on first contact. Aborts if the partition is mid-switch.
+    fn touch(&mut self, part: &'e Arc<Partition>) -> Result<u16, Abort> {
+        let ptr = Arc::as_ptr(part);
+        for (i, t) in self.s.touches.iter().enumerate() {
+            if Arc::as_ptr(&t.part) == ptr {
+                return Ok(i as u16);
+            }
+        }
+        assert_eq!(
+            part.stm_id, self.stm.id,
+            "partition belongs to a different Stm"
+        );
+        let word = part.config_word();
+        if config::is_switching(word) {
+            part.stats.aborts_switching(self.slot, 1);
+            part.stats.starts(self.slot, 1);
+            self.s.engine_fail = true;
+            return Err(Abort(()));
+        }
+        self.s.touches.push(PartTouch {
+            part: Arc::clone(part),
+            cfg: config::decode(word),
+            stats: LocalStats::default(),
+            wrote: false,
+        });
+        Ok((self.s.touches.len() - 1) as u16)
+    }
+
+    /// Records an abort cause against a partition and flags the attempt as
+    /// engine-failed. Returns the `Abort` token to propagate.
+    fn fail(&mut self, ti: u16, kind: AbortKind) -> Abort {
+        let st = &self.s.touches[ti as usize].part.stats;
+        match kind {
+            AbortKind::WLockConflict => st.aborts_wlock(self.slot, 1),
+            AbortKind::RLockConflict => st.aborts_rlock(self.slot, 1),
+            AbortKind::Validation => st.aborts_validation(self.slot, 1),
+            AbortKind::Killed => st.aborts_killed(self.slot, 1),
+            AbortKind::Switching => st.aborts_switching(self.slot, 1),
+            AbortKind::User => st.aborts_user(self.slot, 1),
+        }
+        self.s.engine_fail = true;
+        Abort(())
+    }
+
+    /// Transactional read.
+    pub fn read<T: TxWord>(&mut self, part: &'e Arc<Partition>, var: &'e TVar<T>) -> TxResult<T> {
+        let ti = self.touch(part)?;
+        if self.killed() {
+            return Err(self.fail(ti, AbortKind::Killed));
+        }
+        self.s.touches[ti as usize].stats.reads += 1;
+        let addr = var.addr();
+        if let Some(ei) = self.s.ws_index.get(addr) {
+            let e = &self.s.write_set[ei as usize];
+            assert_eq!(e.var as usize, addr, "ws_index returned entry for wrong address");
+            return Ok(T::from_word(e.val));
+        }
+        let cfg = self.s.touches[ti as usize].cfg;
+        let orec = part.orec_for(addr, cfg.granularity) as *const Orec;
+        let cell = &var.cell as *const AtomicU64;
+        let w = match cfg.read_mode {
+            ReadMode::Invisible => self.read_invisible(ti, orec, cell)?,
+            ReadMode::Visible => self.read_visible(ti, orec, cell)?,
+        };
+        Ok(T::from_word(w))
+    }
+
+    /// Transactional write (buffered until commit).
+    pub fn write<T: TxWord>(
+        &mut self,
+        part: &'e Arc<Partition>,
+        var: &'e TVar<T>,
+        value: T,
+    ) -> TxResult<()> {
+        let ti = self.touch(part)?;
+        if self.killed() {
+            return Err(self.fail(ti, AbortKind::Killed));
+        }
+        {
+            let t = &mut self.s.touches[ti as usize];
+            t.stats.writes += 1;
+            t.wrote = true;
+        }
+        let addr = var.addr();
+        if let Some(ei) = self.s.ws_index.get(addr) {
+            let e = &mut self.s.write_set[ei as usize];
+            assert_eq!(e.var as usize, addr, "ws_index returned entry for wrong address");
+            e.val = value.to_word();
+            return Ok(());
+        }
+        let cfg = self.s.touches[ti as usize].cfg;
+        let orec = part.orec_for(addr, cfg.granularity) as *const Orec;
+        let wi = self.s.write_set.len();
+        self.s.write_set.push(WriteEntry {
+            var: &var.cell as *const AtomicU64,
+            val: value.to_word(),
+            orec,
+            prev: 0,
+            acquired_here: false,
+            touch: ti,
+        });
+        self.s.ws_index.insert(addr, wi as u32);
+        if cfg.acquire == AcquireMode::Encounter {
+            self.acquire_orec(wi)?;
+        }
+        Ok(())
+    }
+
+    /// Read-modify-write convenience.
+    pub fn modify<T: TxWord>(
+        &mut self,
+        part: &'e Arc<Partition>,
+        var: &'e TVar<T>,
+        f: impl FnOnce(T) -> T,
+    ) -> TxResult<T> {
+        let v = self.read(part, var)?;
+        let nv = f(v);
+        self.write(part, var, nv)?;
+        Ok(nv)
+    }
+
+    fn read_invisible(
+        &mut self,
+        ti: u16,
+        orec: *const Orec,
+        cell: *const AtomicU64,
+    ) -> Result<u64, Abort> {
+        // SAFETY: `orec` points into the partition's table, kept alive by
+        // the `Arc` in `touches[ti]` for the rest of the attempt; `cell`
+        // outlives `'e` by the signature of `read`.
+        let orec_ref = unsafe { &*orec };
+        loop {
+            let l1 = orec_ref.load_lock();
+            if is_locked(l1) {
+                if owner_of(l1) == self.slot {
+                    // My encounter-time lock covers this word (possibly via
+                    // a different address). The committed value is stable
+                    // while I hold the lock and was validated <= rv at
+                    // acquisition.
+                    // SAFETY: see above.
+                    return Ok(unsafe { &*cell }.load(Ordering::Acquire));
+                }
+                self.wait_or_fail(ti, orec_ref, AbortKind::WLockConflict)?;
+                continue;
+            }
+            // SAFETY: see above.
+            let v = unsafe { &*cell }.load(Ordering::Acquire);
+            let l2 = orec_ref.load_lock();
+            if l1 != l2 {
+                continue;
+            }
+            if version_of(l1) > self.s.rv {
+                // The committed value is newer than our snapshot: extend the
+                // snapshot and *restart the load*. Returning `v` here would
+                // be unsound — it may have changed again between `l2` and
+                // the extension's clock sample, and a read-only transaction
+                // never revalidates (TinySTM restarts the load too).
+                self.extend(ti)?;
+                continue;
+            }
+            self.s.read_set.push(ReadEntry { orec, seen: l1 });
+            return Ok(v);
+        }
+    }
+
+    fn read_visible(
+        &mut self,
+        ti: u16,
+        orec: *const Orec,
+        cell: *const AtomicU64,
+    ) -> Result<u64, Abort> {
+        // SAFETY: as in `read_invisible`.
+        let orec_ref = unsafe { &*orec };
+        let bit = reader_bit(self.slot);
+        if orec_ref.add_reader(bit) {
+            self.s.visible.push(orec);
+        }
+        loop {
+            let l = orec_ref.lock.load(Ordering::SeqCst);
+            if is_locked(l) && owner_of(l) != self.slot {
+                // A writer owns the orec. It may be waiting for (or
+                // killing) us; back off via the CM.
+                self.wait_or_fail(ti, orec_ref, AbortKind::RLockConflict)?;
+                continue;
+            }
+            // SAFETY: as in `read_invisible`.
+            let v = unsafe { &*cell }.load(Ordering::Acquire);
+            if !is_locked(l) && version_of(l) > self.s.rv {
+                self.extend(ti)?;
+            }
+            // Protected by the reader bit from here on: no read-set entry.
+            return Ok(v);
+        }
+    }
+
+    /// Contention-managed wait on a locked orec; `Ok(())` means "retry the
+    /// protocol loop", `Err` means the attempt failed.
+    fn wait_or_fail(&mut self, ti: u16, orec: &Orec, kind: AbortKind) -> TxResult<()> {
+        match self.s.touches[ti as usize].cfg.cm {
+            CmPolicy::SuicideBackoff => Err(self.fail(ti, kind)),
+            CmPolicy::DelayThenAbort => {
+                let slot = self.my_slot();
+                let serial = self.s.serial;
+                let freed = cm::spin_until(cm::DELAY_SPIN_BOUND, || {
+                    !is_locked(orec.lock.load(Ordering::SeqCst))
+                        || slot.kill.load(Ordering::SeqCst) == serial
+                });
+                if self.killed() {
+                    return Err(self.fail(ti, AbortKind::Killed));
+                }
+                if freed {
+                    Ok(())
+                } else {
+                    Err(self.fail(ti, kind))
+                }
+            }
+        }
+    }
+
+    /// Lazy snapshot extension: advance `rv` to the current clock after
+    /// revalidating every invisible read.
+    fn extend(&mut self, ti: u16) -> TxResult<()> {
+        let new_rv = self.stm.clock.now();
+        if self.validate_read_set() {
+            self.s.rv = new_rv;
+            self.s.touches[ti as usize].stats.extensions += 1;
+            Ok(())
+        } else {
+            Err(self.fail(ti, AbortKind::Validation))
+        }
+    }
+
+    fn validate_read_set(&self) -> bool {
+        for e in &self.s.read_set {
+            // SAFETY: read-set orecs belong to touched partitions, alive
+            // for the attempt.
+            let l = unsafe { &*e.orec }.load_lock();
+            if l == e.seen {
+                continue;
+            }
+            if is_locked(l) && owner_of(l) == self.slot {
+                // Acquired by me after the read; acquisition validated the
+                // version then, and it cannot change while I hold the lock.
+                continue;
+            }
+            return false;
+        }
+        true
+    }
+
+    /// Acquires the orec of write-set entry `wi` (encounter- or
+    /// commit-time).
+    fn acquire_orec(&mut self, wi: usize) -> TxResult<()> {
+        let (orec_ptr, ti) = {
+            let e = &self.s.write_set[wi];
+            (e.orec, e.touch)
+        };
+        // SAFETY: as in `read_invisible`.
+        let orec = unsafe { &*orec_ptr };
+        let my_bit = reader_bit(self.slot);
+        loop {
+            if self.killed() {
+                return Err(self.fail(ti, AbortKind::Killed));
+            }
+            let l = orec.lock.load(Ordering::SeqCst);
+            if is_locked(l) {
+                if owner_of(l) == self.slot {
+                    // Already held via an earlier write entry.
+                    return Ok(());
+                }
+                self.wait_or_fail(ti, orec, AbortKind::WLockConflict)?;
+                continue;
+            }
+            if version_of(l) > self.s.rv {
+                self.extend(ti)?;
+            }
+            if orec.try_lock(l, self.slot).is_err() {
+                continue;
+            }
+            {
+                let e = &mut self.s.write_set[wi];
+                e.prev = l;
+                e.acquired_here = true;
+            }
+            // Validate my earlier invisible reads of this orec: they must
+            // have seen exactly the pre-acquisition word.
+            for e in &self.s.read_set {
+                if e.orec == orec_ptr && e.seen != l {
+                    return Err(self.fail(ti, AbortKind::Validation));
+                }
+            }
+            // Arbitrate with visible readers (TOCTOU-safe: checked after
+            // the CAS, so any reader that registered before observing our
+            // lock is seen here).
+            let others = orec.readers_except(my_bit);
+            if others != 0 {
+                match self.s.touches[ti as usize].cfg.reader_arb {
+                    ReaderArb::ReaderWins => {
+                        return Err(self.fail(ti, AbortKind::RLockConflict));
+                    }
+                    ReaderArb::WriterWinsKill => self.kill_readers(ti, orec, my_bit)?,
+                }
+            }
+            return Ok(());
+        }
+    }
+
+    /// Writer-wins arbitration: kill all visible readers of `orec` and wait
+    /// for their bits to clear, aborting if we are killed ourselves. The
+    /// wait is *bounded*: a writer that cannot drain readers after many
+    /// rounds aborts instead of spinning — under heavy kill storms the
+    /// unbounded wait is a fairness hazard (a worker can starve for
+    /// minutes), and an abort+backoff resolves it.
+    fn kill_readers(&mut self, ti: u16, orec: &Orec, my_bit: u64) -> TxResult<()> {
+        let mut rounds = 0u32;
+        loop {
+            rounds += 1;
+            if rounds > 64 {
+                return Err(self.fail(ti, AbortKind::RLockConflict));
+            }
+            let others = orec.readers_except(my_bit);
+            if others == 0 {
+                return Ok(());
+            }
+            let mut bits = others;
+            while bits != 0 {
+                let victim_slot = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                if victim_slot < self.stm.slots.len() && victim_slot != self.slot {
+                    let victim = &self.stm.slots[victim_slot];
+                    let target = victim.serial.load(Ordering::SeqCst);
+                    victim.kill.store(target, Ordering::SeqCst);
+                    self.s.touches[ti as usize].stats.kills += 1;
+                }
+            }
+            // Wait for the drains; victims abort promptly (they poll their
+            // kill word at every operation and in every CM spin).
+            let slot = self.my_slot();
+            let serial = self.s.serial;
+            let drained = cm::spin_until(4096, || {
+                orec.readers_except(my_bit) == 0 || slot.kill.load(Ordering::SeqCst) == serial
+            });
+            if self.killed() {
+                return Err(self.fail(ti, AbortKind::Killed));
+            }
+            if !drained {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Commit the attempt. Returns `true` on success; on failure the
+    /// attempt has been rolled back.
+    fn try_commit(&mut self) -> bool {
+        debug_assert_q(self.s.in_attempt, "commit without begin");
+        if self.killed() {
+            if !self.s.touches.is_empty() {
+                let _ = self.fail(0, AbortKind::Killed);
+            }
+            self.rollback();
+            return false;
+        }
+        if self.s.write_set.is_empty() {
+            // Read-only: invisible reads were validated <= rv at read time
+            // (mutually consistent snapshot), visible reads are protected
+            // by reader bits. Nothing to validate.
+            self.finish_commit();
+            return true;
+        }
+        // Commit-time acquisitions for partitions configured CTL.
+        for wi in 0..self.s.write_set.len() {
+            let needs = {
+                let e = &self.s.write_set[wi];
+                self.s.touches[e.touch as usize].cfg.acquire == AcquireMode::Commit
+                    && !e.acquired_here
+            };
+            if needs && self.acquire_orec(wi).is_err() {
+                self.rollback();
+                return false;
+            }
+        }
+        let wv = self.stm.clock.advance();
+        if self.s.rv + 1 != wv && !self.s.read_set.is_empty() && !self.validate_read_set() {
+            let ti = self.s.write_set[0].touch;
+            let _ = self.fail(ti, AbortKind::Validation);
+            self.rollback();
+            return false;
+        }
+        // Point of no return: write back, then release with the commit
+        // version. Value stores are Release so a reader observing the new
+        // lock word also observes the data; the l1/value/l2 sandwich
+        // rejects any value read concurrent with this window.
+        for e in &self.s.write_set {
+            // SAFETY: `var` outlives `'e` (signature of `write`); the
+            // orec is held, so we are the only writer.
+            unsafe { &*e.var }.store(e.val, Ordering::Release);
+        }
+        for e in &self.s.write_set {
+            if e.acquired_here {
+                // SAFETY: orec alive via the touched partition.
+                unsafe { &*e.orec }.unlock(make_version(wv));
+            }
+        }
+        self.finish_commit();
+        true
+    }
+
+    fn finish_commit(&mut self) {
+        let bit = reader_bit(self.slot);
+        for &orec in &self.s.visible {
+            // SAFETY: orecs alive via touched partitions.
+            unsafe { &*orec }.remove_reader(bit);
+        }
+        // Freed slots become reusable only by transactions whose snapshot
+        // is at least "now" (see ensure_snapshot_at_least).
+        let free_tag = self.stm.clock.now();
+        for f in &self.s.free_log {
+            // SAFETY: logged by Arena::free with a matching reclaim fn; the
+            // arena outlives `'e`.
+            unsafe { (f.push_free)(f.arena, f.raw, free_tag) }
+        }
+        self.my_slot().seq.fetch_add(1, Ordering::SeqCst); // -> even
+        for t in &self.s.touches {
+            let st = &t.part.stats;
+            st.starts(self.slot, 1);
+            st.commits(self.slot, 1);
+            if t.wrote {
+                st.update_commits(self.slot, 1);
+            } else {
+                st.ro_commits(self.slot, 1);
+            }
+            t.stats.flush(st, self.slot);
+        }
+        self.s.in_attempt = false;
+        self.s.attempts = 0;
+    }
+
+    /// Rolls the attempt back: releases held locks (restoring the previous
+    /// version words), clears visible-reader bits, reclaims aborted
+    /// allocations, flushes statistics.
+    fn rollback(&mut self) {
+        if !self.s.in_attempt {
+            return;
+        }
+        for e in &self.s.write_set {
+            if e.acquired_here {
+                // SAFETY: orec alive via the touched partition; we hold it.
+                unsafe { &*e.orec }.unlock(e.prev);
+            }
+        }
+        let bit = reader_bit(self.slot);
+        for &orec in &self.s.visible {
+            // SAFETY: as above.
+            unsafe { &*orec }.remove_reader(bit);
+        }
+        for a in &self.s.alloc_log {
+            // SAFETY: logged by Arena::alloc with a matching reclaim fn.
+            // The slot's original tag is restored: our aborted writes were
+            // never published, so the pre-existing constraint still rules.
+            unsafe { (a.push_free)(a.arena, a.raw, a.tag) }
+        }
+        self.my_slot().seq.fetch_add(1, Ordering::SeqCst); // -> even
+        for t in &self.s.touches {
+            t.part.stats.starts(self.slot, 1);
+            t.stats.flush(&t.part.stats, self.slot);
+        }
+        self.s.in_attempt = false;
+        self.s.attempts += 1;
+    }
+
+    /// Logs a transactional allocation (reclaimed on abort, restoring the
+    /// slot's original reuse tag).
+    pub(crate) fn log_alloc(
+        &mut self,
+        arena: *const (),
+        raw: u32,
+        tag: u64,
+        push_free: unsafe fn(*const (), u32, u64),
+    ) {
+        self.s.alloc_log.push(ReclaimEntry {
+            arena,
+            raw,
+            tag,
+            push_free,
+        });
+    }
+
+    /// Logs a transactional free (executed on commit with the commit
+    /// version as the reuse tag).
+    pub(crate) fn log_free(
+        &mut self,
+        arena: *const (),
+        raw: u32,
+        push_free: unsafe fn(*const (), u32, u64),
+    ) {
+        self.s.free_log.push(ReclaimEntry {
+            arena,
+            raw,
+            tag: 0,
+            push_free,
+        });
+    }
+
+    /// Extends the snapshot to at least `v` (revalidating the read set) if
+    /// it is older. Used by the arena's recycling barrier: a slot freed at
+    /// time `v` may only be reused by transactions whose snapshot is `>= v`
+    /// (otherwise the slot is still a live node in their view).
+    pub(crate) fn ensure_snapshot_at_least(&mut self, v: u64) -> TxResult<()> {
+        if v <= self.s.rv {
+            return Ok(());
+        }
+        let new_rv = self.stm.clock.now();
+        debug_assert!(new_rv >= v, "free tags never exceed the clock");
+        if self.validate_read_set() {
+            self.s.rv = new_rv;
+            Ok(())
+        } else {
+            if let Some(t) = self.s.touches.first() {
+                t.part.stats.aborts_validation(self.slot, 1);
+            }
+            self.s.engine_fail = true;
+            Err(Abort(()))
+        }
+    }
+
+    /// Post-commit tuning hook: bump per-partition gates and, when a window
+    /// fills, evaluate the installed policy and apply its decision.
+    fn after_commit_tuning(&mut self) {
+        for i in 0..self.s.touches.len() {
+            let part = Arc::clone(&self.s.touches[i].part);
+            if !part.tunable {
+                continue;
+            }
+            let tuner = {
+                let guard = self.stm.tuner.read();
+                match &*guard {
+                    Some(t) => Arc::clone(t),
+                    None => return,
+                }
+            };
+            let window = tuner.window().max(1);
+            let n = part.tune_gate.fetch_add(1, Ordering::Relaxed) + 1;
+            if n < window {
+                continue;
+            }
+            part.tune_gate.store(0, Ordering::Relaxed);
+            let (delta, seconds) = {
+                let Some(mut st) = part.tune_state.try_lock() else {
+                    continue;
+                };
+                let snap = part.stats.snapshot();
+                let delta = snap.delta(&st.last);
+                let seconds = st.last_at.elapsed().as_secs_f64();
+                st.last = snap;
+                st.last_at = Instant::now();
+                (delta, seconds)
+            };
+            let input = TuneInput {
+                partition: part.id(),
+                name: part.name().to_string(),
+                config: config::decode(part.config_word()),
+                delta,
+                seconds,
+            };
+            if let Some(new_cfg) = tuner.evaluate(&input) {
+                self.stm.switch_partition_inner(&part, new_cfg);
+            }
+        }
+    }
+}
+
+impl Drop for Tx<'_, '_> {
+    fn drop(&mut self) {
+        // Cleans up after a panic in user code mid-attempt.
+        if self.s.in_attempt {
+            self.rollback();
+        }
+    }
+}
+
+#[inline(always)]
+fn debug_assert_q(cond: bool, msg: &str) {
+    debug_assert!(cond, "{msg}");
+}
+
+impl ThreadCtx {
+    /// Runs `f` as a transaction, retrying (with randomized exponential
+    /// backoff) until it commits. Returns the closure's success value.
+    ///
+    /// Every `&TVar` / `&Arc<Partition>` passed to the transaction must
+    /// outlive the whole call (the `'e` lifetime); in practice: keep your
+    /// data structures alive outside the closure — the borrow checker
+    /// enforces the rest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called re-entrantly from inside a transaction on the same
+    /// thread (nesting is not supported; compose closures instead).
+    pub fn run<'e, T, F>(&'e self, mut f: F) -> T
+    where
+        F: for<'s> FnMut(&mut Tx<'e, 's>) -> TxResult<T>,
+    {
+        let mut scratch = self
+            .scratch
+            .try_borrow_mut()
+            .expect("nested ThreadCtx::run on the same thread");
+        let mut tx = Tx {
+            stm: &self.stm.inner,
+            slot: self.slot,
+            s: &mut scratch,
+            _env: PhantomData,
+        };
+        loop {
+            tx.begin();
+            match f(&mut tx) {
+                Ok(v) => {
+                    if tx.try_commit() {
+                        tx.after_commit_tuning();
+                        return v;
+                    }
+                }
+                Err(_) => {
+                    if !tx.s.engine_fail {
+                        if let Some(t) = tx.s.touches.first() {
+                            t.part.stats.aborts_user(tx.slot, 1);
+                        }
+                    }
+                    tx.rollback();
+                }
+            }
+            let attempts = tx.s.attempts;
+            cm::backoff(attempts, &mut tx.s.rng);
+        }
+    }
+}
+
+impl StmInner {
+    /// Internal switch entry point shared by `Stm::switch_partition` and
+    /// the tuning hook. See `Stm::switch_partition` for the protocol.
+    pub(crate) fn switch_partition_inner(&self, partition: &Partition, new: DynConfig) -> bool {
+        crate::stm::switch_partition_impl(self, partition, new)
+    }
+}
+
+impl<T: TxWord> TVar<T> {
+    /// Transactional read (convenience wrapper over [`Tx::read`]).
+    #[inline]
+    pub fn read<'e>(&'e self, tx: &mut Tx<'e, '_>, part: &'e Arc<Partition>) -> TxResult<T> {
+        tx.read(part, self)
+    }
+
+    /// Transactional write (convenience wrapper over [`Tx::write`]).
+    #[inline]
+    pub fn write<'e>(
+        &'e self,
+        tx: &mut Tx<'e, '_>,
+        part: &'e Arc<Partition>,
+        value: T,
+    ) -> TxResult<()> {
+        tx.write(part, self, value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Granularity, PartitionConfig};
+    use crate::stm::Stm;
+
+    fn setup() -> (Stm, Arc<Partition>) {
+        let stm = Stm::new();
+        let p = stm.new_partition(PartitionConfig::default());
+        (stm, p)
+    }
+
+    #[test]
+    fn read_own_write_and_commit() {
+        let (stm, p) = setup();
+        let ctx = stm.register_thread();
+        let x = TVar::new(1u64);
+        let observed = ctx.run(|tx| {
+            let v0 = tx.read(&p, &x)?;
+            tx.write(&p, &x, v0 + 10)?;
+            let v1 = tx.read(&p, &x)?;
+            Ok((v0, v1))
+        });
+        assert_eq!(observed, (1, 11));
+        assert_eq!(x.load_direct(), 11);
+        let s = p.stats();
+        assert_eq!(s.commits, 1);
+        assert_eq!(s.update_commits, 1);
+    }
+
+    #[test]
+    fn user_abort_rolls_back() {
+        let (stm, p) = setup();
+        let ctx = stm.register_thread();
+        let x = TVar::new(5u64);
+        let mut tries = 0;
+        let v = ctx.run(|tx| {
+            tries += 1;
+            tx.write(&p, &x, 99)?;
+            if tries < 3 {
+                return Err(Abort::retry());
+            }
+            tx.read(&p, &x)
+        });
+        assert_eq!(v, 99);
+        assert_eq!(x.load_direct(), 99);
+        assert_eq!(p.stats().aborts_user, 2);
+        assert_eq!(p.stats().commits, 1);
+    }
+
+    #[test]
+    fn read_only_txn_counts_ro_commit() {
+        let (stm, p) = setup();
+        let ctx = stm.register_thread();
+        let x = TVar::new(7u64);
+        let v = ctx.run(|tx| tx.read(&p, &x));
+        assert_eq!(v, 7);
+        let s = p.stats();
+        assert_eq!(s.ro_commits, 1);
+        assert_eq!(s.update_commits, 0);
+    }
+
+    #[test]
+    fn modify_applies_function() {
+        let (stm, p) = setup();
+        let ctx = stm.register_thread();
+        let x = TVar::new(10i64);
+        let nv = ctx.run(|tx| tx.modify(&p, &x, |v| v * -3));
+        assert_eq!(nv, -30);
+        assert_eq!(x.load_direct(), -30);
+    }
+
+    #[test]
+    fn clock_advances_only_for_update_txns() {
+        let (stm, p) = setup();
+        let ctx = stm.register_thread();
+        let x = TVar::new(0u64);
+        let c0 = stm.clock_now();
+        ctx.run(|tx| tx.read(&p, &x));
+        assert_eq!(stm.clock_now(), c0, "read-only commit leaves clock alone");
+        ctx.run(|tx| tx.write(&p, &x, 1));
+        assert_eq!(stm.clock_now(), c0 + 1);
+    }
+
+    #[test]
+    fn counter_increments_across_threads_all_configs() {
+        use crate::config::{AcquireMode, CmPolicy, ReadMode};
+        for read_mode in [ReadMode::Invisible, ReadMode::Visible] {
+            for acquire in [AcquireMode::Encounter, AcquireMode::Commit] {
+                for cm_pol in [CmPolicy::SuicideBackoff, CmPolicy::DelayThenAbort] {
+                    let stm = Stm::new();
+                    let p = stm.new_partition(
+                        PartitionConfig::default()
+                            .read_mode(read_mode)
+                            .acquire(acquire)
+                            .cm(cm_pol),
+                    );
+                    let x = Arc::new(TVar::new(0u64));
+                    let threads = 4;
+                    let iters = 500;
+                    std::thread::scope(|s| {
+                        for _ in 0..threads {
+                            let ctx = stm.register_thread();
+                            let p = Arc::clone(&p);
+                            let x = Arc::clone(&x);
+                            s.spawn(move || {
+                                for _ in 0..iters {
+                                    ctx.run(|tx| tx.modify(&p, &x, |v| v + 1).map(|_| ()));
+                                }
+                            });
+                        }
+                    });
+                    assert_eq!(
+                        x.load_direct(),
+                        threads * iters,
+                        "lost updates under {read_mode:?}/{acquire:?}/{cm_pol:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partition_lock_granularity_serializes_correctly() {
+        let stm = Stm::new();
+        let p = stm.new_partition(
+            PartitionConfig::default().granularity(Granularity::PartitionLock),
+        );
+        let a = Arc::new(TVar::new(0u64));
+        let b = Arc::new(TVar::new(0u64));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let ctx = stm.register_thread();
+                let (p, a, b) = (Arc::clone(&p), Arc::clone(&a), Arc::clone(&b));
+                s.spawn(move || {
+                    for _ in 0..300 {
+                        ctx.run(|tx| {
+                            let va = tx.read(&p, &a)?;
+                            let vb = tx.read(&p, &b)?;
+                            tx.write(&p, &a, va + 1)?;
+                            tx.write(&p, &b, vb + 1)?;
+                            Ok(())
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(a.load_direct(), 1200);
+        assert_eq!(b.load_direct(), 1200);
+    }
+
+    #[test]
+    fn atomicity_two_vars_invariant() {
+        // Transfer between two vars: the sum is invariant at every commit.
+        let (stm, p) = setup();
+        let a = Arc::new(TVar::new(500i64));
+        let b = Arc::new(TVar::new(500i64));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        std::thread::scope(|s| {
+            for t in 0..3 {
+                let ctx = stm.register_thread();
+                let (p, a, b, stop) = (
+                    Arc::clone(&p),
+                    Arc::clone(&a),
+                    Arc::clone(&b),
+                    Arc::clone(&stop),
+                );
+                s.spawn(move || {
+                    let mut i = 0i64;
+                    while !stop.load(Ordering::Relaxed) {
+                        i += 1;
+                        let amt = (i * (t + 1)) % 17;
+                        ctx.run(|tx| {
+                            let va = tx.read(&p, &a)?;
+                            let vb = tx.read(&p, &b)?;
+                            tx.write(&p, &a, va - amt)?;
+                            tx.write(&p, &b, vb + amt)?;
+                            Ok(())
+                        });
+                    }
+                });
+            }
+            let ctx = stm.register_thread();
+            let (p, a, b) = (Arc::clone(&p), Arc::clone(&a), Arc::clone(&b));
+            s.spawn(move || {
+                for _ in 0..2000 {
+                    let sum = ctx.run(|tx| {
+                        let va = tx.read(&p, &a)?;
+                        let vb = tx.read(&p, &b)?;
+                        Ok(va + vb)
+                    });
+                    assert_eq!(sum, 1000, "atomicity violated");
+                }
+                stop.store(true, Ordering::Relaxed);
+            });
+        });
+    }
+
+    #[test]
+    fn panic_in_closure_rolls_back_and_releases_locks() {
+        let (stm, p) = setup();
+        let x = Arc::new(TVar::new(3u64));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let ctx = stm.register_thread();
+            ctx.run(|tx| {
+                tx.write(&p, &x, 42)?;
+                panic!("boom");
+                #[allow(unreachable_code)]
+                Ok(())
+            })
+        }));
+        assert!(result.is_err());
+        assert_eq!(x.load_direct(), 3, "write must not leak");
+        // The orec must be unlocked again: a fresh transaction succeeds.
+        let ctx = stm.register_thread();
+        let v = ctx.run(|tx| tx.modify(&p, &x, |v| v + 1));
+        assert_eq!(v, 4);
+    }
+
+    #[test]
+    fn ws_index_handles_many_writes_and_growth() {
+        let (stm, p) = setup();
+        let ctx = stm.register_thread();
+        let vars: Vec<TVar<u64>> = (0..200).map(TVar::new).collect();
+        ctx.run(|tx| {
+            for (i, v) in vars.iter().enumerate() {
+                tx.write(&p, v, (i * 2) as u64)?;
+            }
+            // Overwrite half of them; read everything back.
+            for v in vars.iter().step_by(2) {
+                let cur = tx.read(&p, v)?;
+                tx.write(&p, v, cur + 1)?;
+            }
+            Ok(())
+        });
+        for (i, v) in vars.iter().enumerate() {
+            let expect = (i * 2) as u64 + if i % 2 == 0 { 1 } else { 0 };
+            assert_eq!(v.load_direct(), expect, "var {i}");
+        }
+    }
+
+    #[test]
+    fn cross_partition_transaction_is_atomic() {
+        let stm = Stm::new();
+        let p1 = stm.new_partition(PartitionConfig::named("a"));
+        let p2 = stm.new_partition(PartitionConfig::named("b").read_mode(config::ReadMode::Visible));
+        let x = Arc::new(TVar::new(0u64));
+        let y = Arc::new(TVar::new(0u64));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let ctx = stm.register_thread();
+                let (p1, p2, x, y) = (
+                    Arc::clone(&p1),
+                    Arc::clone(&p2),
+                    Arc::clone(&x),
+                    Arc::clone(&y),
+                );
+                s.spawn(move || {
+                    for _ in 0..400 {
+                        ctx.run(|tx| {
+                            let vx = tx.read(&p1, &x)?;
+                            let vy = tx.read(&p2, &y)?;
+                            tx.write(&p1, &x, vx + 1)?;
+                            tx.write(&p2, &y, vy + 1)?;
+                            Ok(())
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(x.load_direct(), 1600);
+        assert_eq!(y.load_direct(), 1600);
+    }
+
+    #[test]
+    #[should_panic(expected = "nested")]
+    fn nested_run_panics() {
+        let (stm, p) = setup();
+        let ctx = stm.register_thread();
+        let x = TVar::new(0u64);
+        ctx.run(|_tx| {
+            let _ = ctx.run(|tx2| tx2.read(&p, &x));
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn switch_during_load_preserves_counter() {
+        // Flip the partition's config under load; no updates may be lost.
+        use crate::config::ReadMode;
+        let stm = Stm::new();
+        let p = stm.new_partition(PartitionConfig::named("hot").tunable());
+        let x = Arc::new(TVar::new(0u64));
+        let iters = 2000;
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let ctx = stm.register_thread();
+                let (p, x) = (Arc::clone(&p), Arc::clone(&x));
+                s.spawn(move || {
+                    for _ in 0..iters {
+                        ctx.run(|tx| tx.modify(&p, &x, |v| v + 1).map(|_| ()));
+                    }
+                });
+            }
+            let stm2 = stm.clone();
+            let p2 = Arc::clone(&p);
+            s.spawn(move || {
+                for i in 0..20 {
+                    let mut cfg = p2.current_config();
+                    cfg.read_mode = if i % 2 == 0 {
+                        ReadMode::Visible
+                    } else {
+                        ReadMode::Invisible
+                    };
+                    cfg.granularity = if i % 3 == 0 {
+                        Granularity::PartitionLock
+                    } else {
+                        Granularity::Word
+                    };
+                    stm2.switch_partition(&p2, cfg);
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+            });
+        });
+        assert_eq!(x.load_direct(), 4 * iters);
+        assert!(p.generation() > 0, "switches must have happened");
+    }
+}

@@ -1,0 +1,85 @@
+//! Shared workload utilities: deterministic RNG and thread driving.
+
+/// SplitMix64: tiny, fast, seedable PRNG for workload generation.
+/// Deterministic across platforms so benchmark runs are reproducible.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seeds the generator.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next pseudo-random value.
+    #[inline]
+    pub fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..bound` (`bound > 0`).
+    #[inline]
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+
+    /// Uniform value in `0..bound` as usize.
+    #[inline]
+    pub fn below_usize(&mut self, bound: usize) -> usize {
+        (self.next() % bound as u64) as usize
+    }
+
+    /// Percentage roll: `true` with probability `pct`/100.
+    #[inline]
+    pub fn pct(&mut self, pct: u64) -> bool {
+        self.below(100) < pct
+    }
+
+    /// Uniform f64 in [0, 1).
+    #[inline]
+    pub fn f64(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_well_spread() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            let x = a.next();
+            assert_eq!(x, b.next());
+            seen.insert(x);
+        }
+        assert_eq!(seen.len(), 1000, "no collisions expected in 1000 draws");
+    }
+
+    #[test]
+    fn below_and_pct_bounds() {
+        let mut r = SplitMix64::new(1);
+        for _ in 0..1000 {
+            assert!(r.below(7) < 7);
+            assert!(r.below_usize(3) < 3);
+            let f = r.f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+        let mut yes = 0;
+        for _ in 0..10_000 {
+            if r.pct(30) {
+                yes += 1;
+            }
+        }
+        assert!((2500..3500).contains(&yes), "pct(30) ~ 30%: {yes}");
+    }
+}

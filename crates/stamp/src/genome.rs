@@ -1,0 +1,395 @@
+//! STAMP **genome**: gene sequencing by segment matching.
+//!
+//! A gene (string over {A,C,G,T}) is shredded into overlapping segments
+//! (with duplicates). The benchmark reassembles it in three phases:
+//!
+//! 1. **Deduplicate** (parallel, transactional): insert every segment into
+//!    a hash set; duplicates vanish.
+//! 2. **Overlap matching** (parallel, transactional): for decreasing
+//!    overlap length `o`, build a map `prefix_o(B) -> B` of unstarted
+//!    segments and link each unfinished segment `A` to the `B` whose
+//!    prefix matches `A`'s suffix, claiming both ends transactionally.
+//! 3. **Reconstruction** (sequential): follow the chain from the unique
+//!    unstarted segment and re-emit the gene.
+//!
+//! Segments are 2-bit packed into a word (`length <= 32`), replacing
+//! STAMP's string hashing with exact word keys — same transaction
+//! structure, simpler substrate. Three partitions mirror STAMP's separate
+//! structures: the dedup set, the per-round prefix maps, and the chain
+//! links — each with a different access profile (insert-only, build+consume,
+//! read-mostly-then-write).
+
+use std::sync::Arc;
+
+use partstm_core::{
+    Arena, Handle, Partition, PartitionConfig, Stm, TVar, TxWord,
+};
+use partstm_structures::{IntSet, THashMap, THashSet};
+
+use crate::common::SplitMix64;
+
+/// Genome parameters.
+#[derive(Debug, Clone)]
+pub struct GenomeConfig {
+    /// Gene length (bases).
+    pub gene_length: usize,
+    /// Segment length (bases, <= 32 for word packing).
+    pub segment_length: usize,
+    /// Step between guaranteed-coverage segment starts (must be
+    /// `< segment_length` so consecutive segments overlap).
+    pub coverage_step: usize,
+    /// Extra random segments sampled on top of the coverage set
+    /// (duplicates give phase 1 its work).
+    pub extra_segments: usize,
+    /// Seed for gene + sampling.
+    pub seed: u64,
+}
+
+impl GenomeConfig {
+    /// A scaled-down STAMP-like default (`g=4096 s=24`).
+    pub fn scaled(gene_length: usize) -> Self {
+        GenomeConfig {
+            gene_length,
+            segment_length: 24,
+            coverage_step: 8,
+            extra_segments: gene_length * 2,
+            seed: 0x6E0_4E,
+        }
+    }
+}
+
+/// Generates a random gene (values 0..4 per base).
+pub fn generate_gene(cfg: &GenomeConfig) -> Vec<u8> {
+    let mut rng = SplitMix64::new(cfg.seed);
+    (0..cfg.gene_length).map(|_| (rng.next() & 3) as u8).collect()
+}
+
+/// Packs `bases[start..start+len]` into a word (2 bits per base, MSB
+/// first so lexicographic order is numeric order).
+pub fn pack(bases: &[u8], start: usize, len: usize) -> u64 {
+    debug_assert!(len <= 32);
+    let mut w = 0u64;
+    for &b in &bases[start..start + len] {
+        w = (w << 2) | b as u64;
+    }
+    w
+}
+
+/// The last `o` bases of a packed segment of length `len`.
+#[inline]
+fn suffix(word: u64, o: usize) -> u64 {
+    word & ((1u64 << (2 * o)) - 1)
+}
+
+/// The first `o` bases of a packed segment of length `len`.
+#[inline]
+fn prefix(word: u64, len: usize, o: usize) -> u64 {
+    word >> (2 * (len - o))
+}
+
+/// Shreds the gene: full-coverage segments every `coverage_step` bases
+/// (including one ending exactly at the gene end) plus random extras.
+pub fn shred(cfg: &GenomeConfig, gene: &[u8]) -> Vec<u64> {
+    let s = cfg.segment_length;
+    let mut rng = SplitMix64::new(cfg.seed ^ 0xF00D);
+    let mut segs = Vec::new();
+    let last = gene.len() - s;
+    let mut pos = 0;
+    while pos < last {
+        segs.push(pack(gene, pos, s));
+        pos += cfg.coverage_step;
+    }
+    segs.push(pack(gene, last, s));
+    for _ in 0..cfg.extra_segments {
+        let p = rng.below_usize(last + 1);
+        segs.push(pack(gene, p, s));
+    }
+    segs
+}
+
+/// A chain node for one unique segment.
+#[derive(Default)]
+struct SegNode {
+    seg: TVar<u64>,
+    next: TVar<Option<Handle<SegNode>>>,
+    overlap: TVar<u64>,
+    /// Set when some other segment links *to* this one.
+    started: TVar<bool>,
+    /// Set when this segment has linked to a successor.
+    finished: TVar<bool>,
+}
+
+/// The partitions genome uses.
+pub struct GenomeParts {
+    /// Phase-1 dedup set.
+    pub segments: Arc<Partition>,
+    /// Phase-2 prefix maps.
+    pub starts: Arc<Partition>,
+    /// Phase-2/3 chain links.
+    pub links: Arc<Partition>,
+}
+
+impl GenomeParts {
+    /// One partition per structure (the analysis plan's classes).
+    pub fn partitioned(stm: &Stm, tunable: bool) -> Self {
+        let mk = |name: &str| {
+            let mut cfg = PartitionConfig::named(name);
+            cfg.tune = tunable;
+            stm.new_partition(cfg)
+        };
+        GenomeParts {
+            segments: mk("genome.segments"),
+            starts: mk("genome.starts"),
+            links: mk("genome.links"),
+        }
+    }
+
+    /// Single shared partition (base-STM comparison).
+    pub fn single(stm: &Stm, tunable: bool) -> Self {
+        let mut cfg = PartitionConfig::named("genome.all");
+        cfg.tune = tunable;
+        let p = stm.new_partition(cfg);
+        GenomeParts {
+            segments: Arc::clone(&p),
+            starts: Arc::clone(&p),
+            links: p,
+        }
+    }
+}
+
+/// Outcome of a sequencing run.
+#[derive(Debug)]
+pub struct GenomeResult {
+    /// Reconstructed gene.
+    pub gene: Vec<u8>,
+    /// Unique segments after dedup.
+    pub unique_segments: usize,
+    /// Total segments fed in.
+    pub total_segments: usize,
+    /// Overlap-matching rounds executed.
+    pub rounds: usize,
+}
+
+/// Runs the full three-phase sequencer with `threads` workers.
+pub fn run_genome(
+    stm: &Stm,
+    parts: &GenomeParts,
+    cfg: &GenomeConfig,
+    segments: &[u64],
+    threads: usize,
+) -> GenomeResult {
+    let s = cfg.segment_length;
+
+    // ---- Phase 1: parallel dedup into a transactional hash set.
+    let set = THashSet::new(Arc::clone(&parts.segments), (segments.len() * 2).max(64));
+    std::thread::scope(|sc| {
+        let chunk = segments.len().div_ceil(threads);
+        for t in 0..threads {
+            let ctx = stm.register_thread();
+            let set = &set;
+            sc.spawn(move || {
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(segments.len());
+                for &seg in &segments[lo..hi.max(lo)] {
+                    ctx.run(|tx| set.insert(tx, seg).map(|_| ()));
+                }
+            });
+        }
+    });
+    let unique: Vec<u64> = set.snapshot_keys();
+
+    // Chain nodes for every unique segment.
+    let arena: Arena<SegNode> = Arena::with_capacity(unique.len());
+    let nodes: Vec<Handle<SegNode>> = {
+        let ctx = stm.register_thread();
+        unique
+            .iter()
+            .map(|&seg| {
+                ctx.run(|tx| {
+                    let h = arena.alloc(tx)?;
+                    let n = arena.get(h);
+                    tx.write(&parts.links, &n.seg, seg)?;
+                    tx.write(&parts.links, &n.next, None)?;
+                    tx.write(&parts.links, &n.overlap, 0)?;
+                    tx.write(&parts.links, &n.started, false)?;
+                    tx.write(&parts.links, &n.finished, false)?;
+                    Ok(h)
+                })
+            })
+            .collect()
+    };
+
+    // ---- Phase 2: overlap matching, longest overlap first.
+    let mut rounds = 0usize;
+    for o in (1..s).rev() {
+        rounds += 1;
+        // Build prefix_o -> node map of unstarted segments (parallel).
+        let starts = THashMap::new(Arc::clone(&parts.starts), (unique.len() * 2).max(64));
+        std::thread::scope(|sc| {
+            let chunk = nodes.len().div_ceil(threads);
+            for t in 0..threads {
+                let ctx = stm.register_thread();
+                let (starts, nodes, arena, parts) = (&starts, &nodes, &arena, &parts);
+                sc.spawn(move || {
+                    let lo = t * chunk;
+                    let hi = ((t + 1) * chunk).min(nodes.len());
+                    for &h in &nodes[lo..hi.max(lo)] {
+                        ctx.run(|tx| {
+                            let n = arena.get(h);
+                            if tx.read(&parts.links, &n.started)? {
+                                return Ok(());
+                            }
+                            let seg = tx.read(&parts.links, &n.seg)?;
+                            starts
+                                .put_if_absent(tx, prefix(seg, s, o), h.to_word())
+                                .map(|_| ())
+                        });
+                    }
+                });
+            }
+        });
+        // Link unfinished segments to matching unstarted ones (parallel).
+        std::thread::scope(|sc| {
+            let chunk = nodes.len().div_ceil(threads);
+            for t in 0..threads {
+                let ctx = stm.register_thread();
+                let (starts, nodes, arena, parts) = (&starts, &nodes, &arena, &parts);
+                sc.spawn(move || {
+                    let lo = t * chunk;
+                    let hi = ((t + 1) * chunk).min(nodes.len());
+                    for &h in &nodes[lo..hi.max(lo)] {
+                        ctx.run(|tx| {
+                            let a = arena.get(h);
+                            if tx.read(&parts.links, &a.finished)? {
+                                return Ok(());
+                            }
+                            let seg = tx.read(&parts.links, &a.seg)?;
+                            let Some(bw) = starts.get(tx, suffix(seg, o))? else {
+                                return Ok(());
+                            };
+                            let bh = Handle::<SegNode>::from_word(bw);
+                            if bh == h {
+                                return Ok(()); // self-overlap
+                            }
+                            let b = arena.get(bh);
+                            if tx.read(&parts.links, &b.started)? {
+                                return Ok(()); // claimed this round already
+                            }
+                            tx.write(&parts.links, &a.next, Some(bh))?;
+                            tx.write(&parts.links, &a.overlap, o as u64)?;
+                            tx.write(&parts.links, &a.finished, true)?;
+                            tx.write(&parts.links, &b.started, true)?;
+                            // Consume the map entry so no one else matches B.
+                            starts.delete(tx, suffix(seg, o))?;
+                            Ok(())
+                        });
+                    }
+                });
+            }
+        });
+        // Early exit: all but one segment linked.
+        let unfinished = nodes
+            .iter()
+            .filter(|&&h| !arena.get(h).finished.load_direct())
+            .count();
+        if unfinished <= 1 {
+            break;
+        }
+    }
+
+    // ---- Phase 3: sequential reconstruction from the unique unstarted node.
+    let start = nodes
+        .iter()
+        .copied()
+        .find(|&h| !arena.get(h).started.load_direct())
+        .expect("a chain start must exist");
+    let mut gene = Vec::with_capacity(cfg.gene_length);
+    let unpack_into = |word: u64, take: usize, out: &mut Vec<u8>| {
+        for i in (0..take).rev() {
+            out.push(((word >> (2 * i)) & 3) as u8);
+        }
+    };
+    let mut cur = start;
+    unpack_into(arena.get(cur).seg.load_direct(), s, &mut gene);
+    loop {
+        let n = arena.get(cur);
+        let Some(next) = n.next.load_direct() else { break };
+        let o = n.overlap.load_direct() as usize;
+        let seg = arena.get(next).seg.load_direct();
+        // Emit the non-overlapping tail of the next segment.
+        unpack_into(suffix(seg, s - o), s - o, &mut gene);
+        cur = next;
+    }
+
+    GenomeResult {
+        gene,
+        unique_segments: unique.len(),
+        total_segments: segments.len(),
+        rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_prefix_suffix_algebra() {
+        let bases = vec![0u8, 1, 2, 3, 0, 1];
+        let w = pack(&bases, 0, 6);
+        assert_eq!(prefix(w, 6, 2), pack(&bases, 0, 2));
+        assert_eq!(suffix(w, 2), pack(&bases, 4, 2));
+        // Overlap identity: suffix of [0..6) of length 4 == prefix of
+        // segment starting at 2.
+        let w2 = pack(&bases, 2, 4);
+        assert_eq!(suffix(w, 4), w2);
+    }
+
+    #[test]
+    fn shred_covers_the_gene() {
+        let cfg = GenomeConfig {
+            gene_length: 100,
+            segment_length: 10,
+            coverage_step: 4,
+            extra_segments: 0,
+            seed: 1,
+        };
+        let gene = generate_gene(&cfg);
+        let segs = shred(&cfg, &gene);
+        // Starts: 0,4,...,<90 plus 90.
+        assert_eq!(segs.last().copied(), Some(pack(&gene, 90, 10)));
+        assert!(segs.len() >= 23);
+    }
+
+    fn roundtrip(cfg: GenomeConfig, threads: usize) {
+        let gene = generate_gene(&cfg);
+        let segs = shred(&cfg, &gene);
+        let stm = Stm::new();
+        let parts = GenomeParts::partitioned(&stm, false);
+        let res = run_genome(&stm, &parts, &cfg, &segs, threads);
+        assert_eq!(res.total_segments, segs.len());
+        assert!(res.unique_segments <= segs.len());
+        assert_eq!(res.gene, gene, "reconstruction must reproduce the gene");
+    }
+
+    #[test]
+    fn sequential_reconstruction() {
+        roundtrip(GenomeConfig::scaled(512), 1);
+    }
+
+    #[test]
+    fn parallel_reconstruction() {
+        roundtrip(GenomeConfig::scaled(1024), 4);
+    }
+
+    #[test]
+    fn parallel_reconstruction_single_partition() {
+        let cfg = GenomeConfig::scaled(1024);
+        let gene = generate_gene(&cfg);
+        let segs = shred(&cfg, &gene);
+        let stm = Stm::new();
+        let parts = GenomeParts::single(&stm, false);
+        let res = run_genome(&stm, &parts, &cfg, &segs, 4);
+        assert_eq!(res.gene, gene);
+    }
+}

@@ -1,0 +1,366 @@
+//! STAMP **kmeans**: parallel K-means clustering with transactional
+//! centroid accumulators.
+//!
+//! Threads partition the points; for each point they find the nearest
+//! centroid (pure reads of the per-iteration snapshot) and then
+//! transactionally add the point into that centroid's accumulator. The
+//! contention knob is K: many clusters spread the accumulator writes (low
+//! contention, STAMP `kmeans-low`), few clusters focus them (high
+//! contention, `kmeans-high`).
+//!
+//! The accumulators live in one partition (`kmeans.clusters`) — a pure
+//! update workload, the opposite end of the spectrum from vacation's
+//! query-dominated tables.
+
+use std::sync::Arc;
+
+use partstm_core::{Partition, PartitionConfig, Stm, TVar, Tx, TxResult};
+
+use crate::common::SplitMix64;
+
+/// K-means parameters.
+#[derive(Debug, Clone)]
+pub struct KmeansConfig {
+    /// Number of points.
+    pub points: usize,
+    /// Dimensions per point.
+    pub dims: usize,
+    /// Number of clusters (K). STAMP-low uses 40, STAMP-high 15 (scaled).
+    pub clusters: usize,
+    /// Convergence threshold: fraction of points changing membership.
+    pub threshold: f64,
+    /// Maximum iterations.
+    pub max_iterations: usize,
+    /// Dataset seed.
+    pub seed: u64,
+}
+
+impl KmeansConfig {
+    /// Low-contention setup (many clusters).
+    pub fn low(points: usize) -> Self {
+        KmeansConfig {
+            points,
+            dims: 16,
+            clusters: 40,
+            threshold: 0.001,
+            max_iterations: 40,
+            seed: 0xC1_05_7E5,
+        }
+    }
+
+    /// High-contention setup (few clusters).
+    pub fn high(points: usize) -> Self {
+        KmeansConfig {
+            clusters: 4,
+            ..Self::low(points)
+        }
+    }
+}
+
+/// One centroid's transactional accumulator.
+struct ClusterAcc {
+    count: TVar<u64>,
+    /// Per-dimension running sums (f64 bits in words).
+    sums: Vec<TVar<f64>>,
+}
+
+/// The transactional state: K accumulators in one partition.
+pub struct KmeansState {
+    part: Arc<Partition>,
+    accs: Vec<ClusterAcc>,
+}
+
+impl KmeansState {
+    /// Builds accumulators for `k` clusters of `dims` dimensions.
+    pub fn new(part: Arc<Partition>, k: usize, dims: usize) -> Self {
+        let accs = (0..k)
+            .map(|_| ClusterAcc {
+                count: TVar::new(0),
+                sums: (0..dims).map(|_| TVar::new(0.0)).collect(),
+            })
+            .collect();
+        KmeansState { part, accs }
+    }
+
+    /// Transactionally adds `point` into cluster `k`'s accumulator.
+    pub fn add_point<'e>(&'e self, tx: &mut Tx<'e, '_>, k: usize, point: &[f32]) -> TxResult<()> {
+        let acc = &self.accs[k];
+        let c = tx.read(&self.part, &acc.count)?;
+        tx.write(&self.part, &acc.count, c + 1)?;
+        for (d, sum) in acc.sums.iter().enumerate() {
+            let s = tx.read(&self.part, sum)?;
+            tx.write(&self.part, sum, s + point[d] as f64)?;
+        }
+        Ok(())
+    }
+
+    /// Reads out and clears the accumulators (single-threaded, between
+    /// iterations), producing the new centroids. Clusters with no members
+    /// keep their previous centroid.
+    pub fn drain_into(&self, centroids: &mut [Vec<f32>]) {
+        for (k, acc) in self.accs.iter().enumerate() {
+            let n = acc.count.load_direct();
+            if n > 0 {
+                for (d, sum) in acc.sums.iter().enumerate() {
+                    centroids[k][d] = (sum.load_direct() / n as f64) as f32;
+                }
+            }
+            acc.count.store_direct(0);
+            for sum in &acc.sums {
+                sum.store_direct(0.0);
+            }
+        }
+    }
+
+    /// The partition guarding the accumulators.
+    pub fn partition(&self) -> &Arc<Partition> {
+        &self.part
+    }
+}
+
+/// Generates a clustered synthetic dataset: K' true centers plus Gaussian-
+/// ish noise (sum of uniforms), deterministic in `seed`.
+pub fn generate_points(cfg: &KmeansConfig) -> Vec<Vec<f32>> {
+    let mut rng = SplitMix64::new(cfg.seed);
+    let true_centers: Vec<Vec<f32>> = (0..cfg.clusters)
+        .map(|_| (0..cfg.dims).map(|_| (rng.f64() * 100.0) as f32).collect())
+        .collect();
+    (0..cfg.points)
+        .map(|_| {
+            let c = &true_centers[rng.below_usize(cfg.clusters.max(1))];
+            (0..cfg.dims)
+                .map(|d| {
+                    let noise: f64 = (0..4).map(|_| rng.f64() - 0.5).sum::<f64>() * 4.0;
+                    c[d] + noise as f32
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn nearest(centroids: &[Vec<f32>], p: &[f32]) -> usize {
+    let mut best = 0usize;
+    let mut best_d = f32::INFINITY;
+    for (k, c) in centroids.iter().enumerate() {
+        let mut d = 0f32;
+        for (a, b) in c.iter().zip(p) {
+            let diff = a - b;
+            d += diff * diff;
+        }
+        if d < best_d {
+            best_d = d;
+            best = k;
+        }
+    }
+    best
+}
+
+/// Result of a clustering run.
+#[derive(Debug, Clone)]
+pub struct KmeansResult {
+    /// Final centroids.
+    pub centroids: Vec<Vec<f32>>,
+    /// Final point memberships.
+    pub membership: Vec<usize>,
+    /// Iterations executed.
+    pub iterations: usize,
+}
+
+/// Runs parallel transactional K-means over `points` with `threads`
+/// workers. Deterministic given the dataset and initial centroids (the
+/// final fixed point does not depend on accumulation order up to float
+/// rounding; membership is recomputed from centroids each round).
+pub fn run_kmeans(
+    stm: &Stm,
+    state: &KmeansState,
+    cfg: &KmeansConfig,
+    points: &[Vec<f32>],
+    threads: usize,
+) -> KmeansResult {
+    let mut centroids: Vec<Vec<f32>> = points.iter().take(cfg.clusters).cloned().collect();
+    while centroids.len() < cfg.clusters {
+        centroids.push(vec![0.0; cfg.dims]);
+    }
+    let mut membership = vec![usize::MAX; points.len()];
+    let mut iterations = 0;
+    for _ in 0..cfg.max_iterations {
+        iterations += 1;
+        // Parallel phase: assign + accumulate.
+        let new_membership: Vec<(usize, Vec<usize>)> = std::thread::scope(|s| {
+            let chunk = points.len().div_ceil(threads);
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let ctx = stm.register_thread();
+                    let centroids = &centroids;
+                    s.spawn(move || {
+                        let lo = t * chunk;
+                        let hi = ((t + 1) * chunk).min(points.len());
+                        let mut local = Vec::with_capacity(hi.saturating_sub(lo));
+                        for p in &points[lo..hi.max(lo)] {
+                            let k = nearest(centroids, p);
+                            ctx.run(|tx| state.add_point(tx, k, p));
+                            local.push(k);
+                        }
+                        (lo, local)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        // Sequential phase: apply membership, recompute centroids.
+        let mut changed = 0usize;
+        for (lo, local) in new_membership {
+            for (i, k) in local.into_iter().enumerate() {
+                if membership[lo + i] != k {
+                    changed += 1;
+                    membership[lo + i] = k;
+                }
+            }
+        }
+        state.drain_into(&mut centroids);
+        if (changed as f64) < cfg.threshold * points.len() as f64 {
+            break;
+        }
+    }
+    KmeansResult {
+        centroids,
+        membership,
+        iterations,
+    }
+}
+
+/// Sequential reference implementation (no STM): used to validate the
+/// transactional run.
+pub fn run_kmeans_sequential(cfg: &KmeansConfig, points: &[Vec<f32>]) -> KmeansResult {
+    let mut centroids: Vec<Vec<f32>> = points.iter().take(cfg.clusters).cloned().collect();
+    while centroids.len() < cfg.clusters {
+        centroids.push(vec![0.0; cfg.dims]);
+    }
+    let mut membership = vec![usize::MAX; points.len()];
+    let mut iterations = 0;
+    for _ in 0..cfg.max_iterations {
+        iterations += 1;
+        let mut sums = vec![vec![0f64; cfg.dims]; cfg.clusters];
+        let mut counts = vec![0u64; cfg.clusters];
+        let mut changed = 0usize;
+        for (i, p) in points.iter().enumerate() {
+            let k = nearest(&centroids, p);
+            if membership[i] != k {
+                changed += 1;
+                membership[i] = k;
+            }
+            counts[k] += 1;
+            for d in 0..cfg.dims {
+                sums[k][d] += p[d] as f64;
+            }
+        }
+        for k in 0..cfg.clusters {
+            if counts[k] > 0 {
+                for d in 0..cfg.dims {
+                    centroids[k][d] = (sums[k][d] / counts[k] as f64) as f32;
+                }
+            }
+        }
+        if (changed as f64) < cfg.threshold * points.len() as f64 {
+            break;
+        }
+    }
+    KmeansResult {
+        centroids,
+        membership,
+        iterations,
+    }
+}
+
+/// Builds the default partition + state for a config.
+pub fn make_state(stm: &Stm, cfg: &KmeansConfig, tunable: bool) -> KmeansState {
+    let mut pc = PartitionConfig::named("kmeans.clusters");
+    pc.tune = tunable;
+    KmeansState::new(stm.new_partition(pc), cfg.clusters, cfg.dims)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_picks_closest() {
+        let cents = vec![vec![0.0, 0.0], vec![10.0, 10.0]];
+        assert_eq!(nearest(&cents, &[1.0, 1.0]), 0);
+        assert_eq!(nearest(&cents, &[9.0, 9.0]), 1);
+    }
+
+    #[test]
+    fn accumulator_roundtrip() {
+        let stm = Stm::new();
+        let st = KmeansState::new(
+            stm.new_partition(PartitionConfig::named("k")),
+            2,
+            3,
+        );
+        let ctx = stm.register_thread();
+        ctx.run(|tx| st.add_point(tx, 0, &[1.0, 2.0, 3.0]));
+        ctx.run(|tx| st.add_point(tx, 0, &[3.0, 2.0, 1.0]));
+        let mut cents = vec![vec![0.0f32; 3]; 2];
+        st.drain_into(&mut cents);
+        assert_eq!(cents[0], vec![2.0, 2.0, 2.0]);
+        assert_eq!(cents[1], vec![0.0, 0.0, 0.0], "empty cluster keeps prior");
+    }
+
+    #[test]
+    fn parallel_matches_sequential_membership() {
+        let cfg = KmeansConfig {
+            points: 400,
+            dims: 4,
+            clusters: 5,
+            threshold: 0.0,
+            max_iterations: 10,
+            seed: 99,
+        };
+        let points = generate_points(&cfg);
+        let seq = run_kmeans_sequential(&cfg, &points);
+        let stm = Stm::new();
+        let st = make_state(&stm, &cfg, false);
+        let par = run_kmeans(&stm, &st, &cfg, &points, 4);
+        assert_eq!(par.iterations, seq.iterations);
+        // Membership must match exactly: same centroids drive the same
+        // assignment; float accumulation differences are sub-assignment.
+        let diffs = par
+            .membership
+            .iter()
+            .zip(&seq.membership)
+            .filter(|(a, b)| a != b)
+            .count();
+        assert!(
+            diffs <= points.len() / 100,
+            "memberships diverged on {diffs} of {} points",
+            points.len()
+        );
+    }
+
+    #[test]
+    fn clustering_recovers_separated_clusters() {
+        let cfg = KmeansConfig {
+            points: 300,
+            dims: 2,
+            clusters: 3,
+            threshold: 0.001,
+            max_iterations: 30,
+            seed: 7,
+        };
+        let points = generate_points(&cfg);
+        let stm = Stm::new();
+        let st = make_state(&stm, &cfg, false);
+        let res = run_kmeans(&stm, &st, &cfg, &points, 3);
+        assert!(res.iterations <= 30);
+        // Every point's centroid should be reasonably close to it.
+        let mut total_d = 0f64;
+        for (i, p) in points.iter().enumerate() {
+            let c = &res.centroids[res.membership[i]];
+            let d: f32 = c.iter().zip(p).map(|(a, b)| (a - b) * (a - b)).sum();
+            total_d += d as f64;
+        }
+        let mean = total_d / points.len() as f64;
+        assert!(mean < 50.0, "mean within-cluster distance {mean} too large");
+    }
+}

@@ -1,0 +1,318 @@
+//! The vacation client workload (STAMP's task mix and parameters).
+
+use partstm_core::ThreadCtx;
+
+use super::manager::{Manager, ReservationKind};
+use crate::common::SplitMix64;
+
+/// Workload parameters (STAMP flags in comments).
+#[derive(Debug, Clone)]
+pub struct VacationConfig {
+    /// Rows per relation (`-r`).
+    pub relations: u64,
+    /// Queries per task (`-n`).
+    pub queries_per_task: usize,
+    /// Percentage of relations touched by queries (`-q`).
+    pub query_range_pct: u64,
+    /// Percentage of user (make-reservation) tasks (`-u`); the remainder
+    /// splits evenly between delete-customer and update-tables.
+    pub user_pct: u64,
+    /// Workload RNG seed.
+    pub seed: u64,
+}
+
+impl VacationConfig {
+    /// STAMP `vacation-low` (low contention): `-n2 -q90 -u98`.
+    pub fn low(relations: u64) -> Self {
+        VacationConfig {
+            relations,
+            queries_per_task: 2,
+            query_range_pct: 90,
+            user_pct: 98,
+            seed: 0xBADC_0FFE,
+        }
+    }
+
+    /// STAMP `vacation-high` (high contention): `-n4 -q60 -u90`.
+    pub fn high(relations: u64) -> Self {
+        VacationConfig {
+            relations,
+            queries_per_task: 4,
+            query_range_pct: 60,
+            user_pct: 90,
+            seed: 0xBADC_0FFE,
+        }
+    }
+
+    /// Key range queries draw from.
+    pub fn query_range(&self) -> u64 {
+        (self.relations * self.query_range_pct / 100).max(1)
+    }
+}
+
+/// Per-client outcome counts.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct VacationStats {
+    /// Make-reservation tasks executed.
+    pub make_tasks: u64,
+    /// Reservations actually made.
+    pub reservations: u64,
+    /// Delete-customer tasks executed.
+    pub delete_tasks: u64,
+    /// Customers actually deleted.
+    pub deletions: u64,
+    /// Update-tables tasks executed.
+    pub update_tasks: u64,
+    /// Inventory rows touched by updates.
+    pub updates: u64,
+}
+
+impl VacationStats {
+    /// Element-wise sum.
+    pub fn merge(&mut self, o: &VacationStats) {
+        self.make_tasks += o.make_tasks;
+        self.reservations += o.reservations;
+        self.delete_tasks += o.delete_tasks;
+        self.deletions += o.deletions;
+        self.update_tasks += o.update_tasks;
+        self.updates += o.updates;
+    }
+
+    /// Total tasks.
+    pub fn tasks(&self) -> u64 {
+        self.make_tasks + self.delete_tasks + self.update_tasks
+    }
+}
+
+/// Populates the database as STAMP does: every relation gets `relations`
+/// rows with `(rng % 5 + 1) * 100` units priced `(rng % 5) * 10 + 50`, and
+/// every customer id is registered.
+pub fn populate(ctx: &ThreadCtx, manager: &Manager, cfg: &VacationConfig) {
+    let mut rng = SplitMix64::new(cfg.seed ^ 0x5EED);
+    for id in 0..cfg.relations {
+        for kind in ReservationKind::ALL {
+            let num = (rng.below(5) + 1) * 100;
+            let price = rng.below(5) * 10 + 50;
+            ctx.run(|tx| manager.add_item(tx, kind, id, num, price).map(|_| ()));
+        }
+        ctx.run(|tx| manager.add_customer(tx, id).map(|_| ()));
+    }
+}
+
+/// Runs `tasks` client tasks on this thread (STAMP's client loop: each task
+/// is one transaction).
+pub fn run_client(
+    ctx: &ThreadCtx,
+    manager: &Manager,
+    cfg: &VacationConfig,
+    tasks: u64,
+    client_id: u64,
+) -> VacationStats {
+    let mut rng = SplitMix64::new(cfg.seed.wrapping_add(client_id.wrapping_mul(0x9E37)));
+    let mut stats = VacationStats::default();
+    for _ in 0..tasks {
+        run_one_task(ctx, manager, cfg, &mut rng, &mut stats);
+    }
+    stats
+}
+
+/// Executes exactly one client task from the STAMP mix, updating `stats`.
+/// Fixed-time harnesses call this directly.
+pub fn run_one_task(
+    ctx: &ThreadCtx,
+    manager: &Manager,
+    cfg: &VacationConfig,
+    rng: &mut SplitMix64,
+    stats: &mut VacationStats,
+) {
+    let range = cfg.query_range();
+    let roll = rng.below(100);
+    if roll < cfg.user_pct {
+        stats.make_tasks += 1;
+        stats.reservations += task_make_reservation(ctx, manager, cfg, rng, range);
+    } else if roll < cfg.user_pct + (100 - cfg.user_pct) / 2 {
+        stats.delete_tasks += 1;
+        stats.deletions += task_delete_customer(ctx, manager, rng, range);
+    } else {
+        stats.update_tasks += 1;
+        stats.updates += task_update_tables(ctx, manager, cfg, rng, range);
+    }
+}
+
+/// MAKE_RESERVATION: query `n` random items, remember the priciest
+/// available item per kind, then reserve them for a random customer — all
+/// in one transaction.
+fn task_make_reservation(
+    ctx: &ThreadCtx,
+    manager: &Manager,
+    cfg: &VacationConfig,
+    rng: &mut SplitMix64,
+    range: u64,
+) -> u64 {
+    // Pre-draw the query plan outside the transaction (STAMP does the same)
+    // so retries re-execute an identical task.
+    let queries: Vec<(ReservationKind, u64)> = (0..cfg.queries_per_task)
+        .map(|_| {
+            (
+                ReservationKind::ALL[rng.below_usize(3)],
+                rng.below(range),
+            )
+        })
+        .collect();
+    let customer = rng.below(range);
+    ctx.run(|tx| {
+        let mut best: [Option<(u64, u64)>; 3] = [None; 3]; // kind -> (price, id)
+        for &(kind, id) in &queries {
+            if let Some((free, price)) = manager.query_item(tx, kind, id)? {
+                if free > 0 {
+                    let slot = &mut best[kind.code() as usize];
+                    if slot.map_or(true, |(p, _)| price > p) {
+                        *slot = Some((price, id));
+                    }
+                }
+            }
+        }
+        let mut made = 0u64;
+        if best.iter().any(|b| b.is_some()) {
+            manager.add_customer(tx, customer)?; // idempotent
+            for (code, slot) in best.iter().enumerate() {
+                if let Some((_, id)) = slot {
+                    if manager.reserve(tx, customer, ReservationKind::from_code(code as u64), *id)? {
+                        made += 1;
+                    }
+                }
+            }
+        }
+        Ok(made)
+    })
+}
+
+/// DELETE_CUSTOMER: bill and remove a random customer.
+fn task_delete_customer(
+    ctx: &ThreadCtx,
+    manager: &Manager,
+    rng: &mut SplitMix64,
+    range: u64,
+) -> u64 {
+    let customer = rng.below(range);
+    ctx.run(|tx| {
+        Ok(match manager.delete_customer(tx, customer)? {
+            Some(_) => 1,
+            None => 0,
+        })
+    })
+}
+
+/// UPDATE_TABLES: add or remove inventory for `n` random items.
+fn task_update_tables(
+    ctx: &ThreadCtx,
+    manager: &Manager,
+    cfg: &VacationConfig,
+    rng: &mut SplitMix64,
+    range: u64,
+) -> u64 {
+    let updates: Vec<(ReservationKind, u64, bool, u64)> = (0..cfg.queries_per_task)
+        .map(|_| {
+            (
+                ReservationKind::ALL[rng.below_usize(3)],
+                rng.below(range),
+                rng.pct(50),
+                rng.below(5) * 10 + 50,
+            )
+        })
+        .collect();
+    ctx.run(|tx| {
+        let mut touched = 0u64;
+        for &(kind, id, add, price) in &updates {
+            let ok: bool = if add {
+                manager.add_item(tx, kind, id, 100, price)?
+            } else {
+                manager.remove_item(tx, kind, id, 100)?
+            };
+            touched += u64::from(ok);
+        }
+        Ok::<u64, partstm_core::Abort>(touched)
+    })
+}
+
+/// Convenience: full populate-then-run on `threads` threads; returns merged
+/// stats. Used by tests and the harness.
+pub fn run_vacation(
+    stm: &partstm_core::Stm,
+    manager: &Manager,
+    cfg: &VacationConfig,
+    threads: usize,
+    tasks_per_thread: u64,
+) -> VacationStats {
+    let mut total = VacationStats::default();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let ctx = stm.register_thread();
+                s.spawn(move || run_client(&ctx, manager, cfg, tasks_per_thread, t as u64))
+            })
+            .collect();
+        for h in handles {
+            total.merge(&h.join().unwrap());
+        }
+    });
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vacation::ManagerParts;
+    use partstm_core::Stm;
+
+    #[test]
+    fn populate_sets_up_relations() {
+        let stm = Stm::new();
+        let m = Manager::new(ManagerParts::partitioned(&stm, false));
+        let cfg = VacationConfig::low(64);
+        let ctx = stm.register_thread();
+        populate(&ctx, &m, &cfg);
+        let (records, customers, infos) = m.check_invariants().unwrap();
+        assert_eq!(records, 64 * 3);
+        assert_eq!(customers, 64);
+        assert_eq!(infos, 0);
+    }
+
+    #[test]
+    fn single_threaded_task_mix_keeps_invariants() {
+        let stm = Stm::new();
+        let m = Manager::new(ManagerParts::partitioned(&stm, false));
+        let cfg = VacationConfig::high(64);
+        let ctx = stm.register_thread();
+        populate(&ctx, &m, &cfg);
+        let stats = run_client(&ctx, &m, &cfg, 500, 0);
+        assert_eq!(stats.tasks(), 500);
+        assert!(stats.make_tasks > 400, "user_pct=90 dominates");
+        assert!(stats.reservations > 0);
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn concurrent_clients_keep_invariants_partitioned() {
+        let stm = Stm::new();
+        let m = Manager::new(ManagerParts::partitioned(&stm, false));
+        let cfg = VacationConfig::high(128);
+        let ctx = stm.register_thread();
+        populate(&ctx, &m, &cfg);
+        let stats = run_vacation(&stm, &m, &cfg, 4, 400);
+        assert_eq!(stats.tasks(), 1600);
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn concurrent_clients_keep_invariants_single_partition() {
+        let stm = Stm::new();
+        let m = Manager::new(ManagerParts::single(&stm, false));
+        let cfg = VacationConfig::high(128);
+        let ctx = stm.register_thread();
+        populate(&ctx, &m, &cfg);
+        let stats = run_vacation(&stm, &m, &cfg, 4, 400);
+        assert_eq!(stats.tasks(), 1600);
+        m.check_invariants().unwrap();
+    }
+}

@@ -1,0 +1,172 @@
+//! Transactional bank accounts.
+//!
+//! The canonical atomicity benchmark: `transfer` moves money between two
+//! accounts, `total` sums every balance. The global invariant — the total
+//! is constant — is the sharpest cheap probe for lost updates or
+//! inconsistent snapshots, and the long read-only `total` transaction
+//! stresses snapshot extension against a stream of short writers.
+
+use std::sync::Arc;
+
+use partstm_core::{Partition, TVar, Tx, TxResult};
+
+/// A fixed array of accounts guarded by one partition.
+pub struct Bank {
+    part: Arc<Partition>,
+    accounts: Box<[TVar<i64>]>,
+}
+
+impl Bank {
+    /// `n` accounts with `initial` balance each.
+    pub fn new(part: Arc<Partition>, n: usize, initial: i64) -> Self {
+        let mut v = Vec::with_capacity(n);
+        v.resize_with(n, || TVar::new(initial));
+        Bank {
+            part,
+            accounts: v.into_boxed_slice(),
+        }
+    }
+
+    /// Number of accounts.
+    pub fn len(&self) -> usize {
+        self.accounts.len()
+    }
+
+    /// True if the bank has no accounts.
+    pub fn is_empty(&self) -> bool {
+        self.accounts.is_empty()
+    }
+
+    /// The partition guarding the accounts.
+    pub fn partition(&self) -> &Arc<Partition> {
+        &self.part
+    }
+
+    /// Balance of account `i`.
+    pub fn balance<'e>(&'e self, tx: &mut Tx<'e, '_>, i: usize) -> TxResult<i64> {
+        tx.read(&self.part, &self.accounts[i])
+    }
+
+    /// Sets the balance of account `i` (building block for cross-bank
+    /// transfers that must span partitions in one transaction).
+    pub fn set_balance<'e>(&'e self, tx: &mut Tx<'e, '_>, i: usize, v: i64) -> TxResult<()> {
+        tx.write(&self.part, &self.accounts[i], v)
+    }
+
+    /// Adds `amount` to account `i` (negative to withdraw).
+    pub fn deposit<'e>(&'e self, tx: &mut Tx<'e, '_>, i: usize, amount: i64) -> TxResult<()> {
+        let b = tx.read(&self.part, &self.accounts[i])?;
+        tx.write(&self.part, &self.accounts[i], b + amount)
+    }
+
+    /// Transfers `amount` from `from` to `to` (may overdraw; the benchmark
+    /// semantics of STAMP's bank). The debit is written before the credit
+    /// is read so that `from == to` nets to zero (the credit reads the
+    /// debited balance through the write set).
+    pub fn transfer<'e>(
+        &'e self,
+        tx: &mut Tx<'e, '_>,
+        from: usize,
+        to: usize,
+        amount: i64,
+    ) -> TxResult<()> {
+        let f = tx.read(&self.part, &self.accounts[from])?;
+        tx.write(&self.part, &self.accounts[from], f - amount)?;
+        let t = tx.read(&self.part, &self.accounts[to])?;
+        tx.write(&self.part, &self.accounts[to], t + amount)?;
+        Ok(())
+    }
+
+    /// Sums all balances in one (read-only) transaction.
+    pub fn total<'e>(&'e self, tx: &mut Tx<'e, '_>) -> TxResult<i64> {
+        let mut sum = 0i64;
+        for a in self.accounts.iter() {
+            sum += tx.read(&self.part, a)?;
+        }
+        Ok(sum)
+    }
+
+    /// Non-transactional total (quiescent only).
+    pub fn total_direct(&self) -> i64 {
+        self.accounts.iter().map(|a| a.load_direct()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use partstm_core::{PartitionConfig, ReadMode, Stm};
+
+    #[test]
+    fn transfer_conserves_total() {
+        let stm = Stm::new();
+        let bank = Bank::new(stm.new_partition(PartitionConfig::named("bank")), 8, 100);
+        assert_eq!(bank.len(), 8);
+        assert!(!bank.is_empty());
+        let ctx = stm.register_thread();
+        ctx.run(|tx| bank.transfer(tx, 0, 7, 30));
+        assert_eq!(ctx.run(|tx| bank.balance(tx, 0)), 70);
+        assert_eq!(ctx.run(|tx| bank.balance(tx, 7)), 130);
+        assert_eq!(ctx.run(|tx| bank.total(tx)), 800);
+    }
+
+    #[test]
+    fn concurrent_transfers_never_break_invariant() {
+        let stm = Stm::new();
+        let bank = Arc::new(Bank::new(
+            stm.new_partition(PartitionConfig::named("bank")),
+            16,
+            1000,
+        ));
+        let expect = 16_000i64;
+        std::thread::scope(|s| {
+            for t in 0..4usize {
+                let ctx = stm.register_thread();
+                let bank = Arc::clone(&bank);
+                s.spawn(move || {
+                    let mut r = (t as u64 + 1) * 0x9E37_79B9;
+                    for _ in 0..2000 {
+                        r ^= r << 13;
+                        r ^= r >> 7;
+                        r ^= r << 17;
+                        let from = (r % 16) as usize;
+                        let to = ((r >> 8) % 16) as usize;
+                        ctx.run(|tx| bank.transfer(tx, from, to, (r % 50) as i64));
+                    }
+                });
+            }
+            // A reader thread snapshots concurrently: must always see the
+            // invariant total (atomicity + opacity probe).
+            let ctx = stm.register_thread();
+            let bank2 = Arc::clone(&bank);
+            s.spawn(move || {
+                for _ in 0..500 {
+                    assert_eq!(ctx.run(|tx| bank2.total(tx)), expect);
+                }
+            });
+        });
+        assert_eq!(bank.total_direct(), expect);
+    }
+
+    #[test]
+    fn visible_read_mode_also_conserves() {
+        let stm = Stm::new();
+        let bank = Arc::new(Bank::new(
+            stm.new_partition(PartitionConfig::named("vbank").read_mode(ReadMode::Visible)),
+            4,
+            250,
+        ));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let ctx = stm.register_thread();
+                let bank = Arc::clone(&bank);
+                s.spawn(move || {
+                    for i in 0..1000u64 {
+                        ctx.run(|tx| bank.transfer(tx, (i % 4) as usize, ((i + 1) % 4) as usize, 1));
+                    }
+                });
+            }
+        });
+        assert_eq!(bank.total_direct(), 1000);
+    }
+}

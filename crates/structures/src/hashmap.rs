@@ -1,0 +1,258 @@
+//! Transactional chained hash map (`u64 -> u64`) and set.
+//!
+//! Fixed power-of-two bucket array with per-bucket chains: short
+//! transactions touching one bucket — the low-conflict, small-read-set
+//! microbenchmark (and the dedup structure genome needs). The bucket count
+//! is fixed at construction (no rehashing), matching the benchmark usage in
+//! the paper's era; size accordingly.
+
+use std::sync::Arc;
+
+use partstm_core::{Arena, Handle, Partition, TVar, Tx, TxResult};
+
+use crate::intset::IntSet;
+
+/// Chain node.
+#[derive(Default)]
+pub struct Node {
+    key: TVar<u64>,
+    val: TVar<u64>,
+    next: TVar<Option<Handle<Node>>>,
+}
+
+/// Transactional hash map over a partition.
+pub struct THashMap {
+    part: Arc<Partition>,
+    arena: Arena<Node>,
+    buckets: Box<[TVar<Option<Handle<Node>>>]>,
+    mask: u64,
+}
+
+fn mix(key: u64) -> u64 {
+    let mut k = key.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    k ^= k >> 33;
+    k = k.wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+    k ^ (k >> 33)
+}
+
+impl THashMap {
+    /// Map with `buckets` chains (rounded up to a power of two).
+    pub fn new(part: Arc<Partition>, buckets: usize) -> Self {
+        let n = buckets.next_power_of_two().max(1);
+        let mut v = Vec::with_capacity(n);
+        v.resize_with(n, TVar::default);
+        THashMap {
+            part,
+            arena: Arena::new(),
+            buckets: v.into_boxed_slice(),
+            mask: (n - 1) as u64,
+        }
+    }
+
+    #[inline]
+    fn bucket(&self, key: u64) -> &TVar<Option<Handle<Node>>> {
+        &self.buckets[(mix(key) & self.mask) as usize]
+    }
+
+    /// Number of buckets.
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Looks up `key`.
+    pub fn get<'e>(&'e self, tx: &mut Tx<'e, '_>, key: u64) -> TxResult<Option<u64>> {
+        let mut cur = tx.read(&self.part, self.bucket(key))?;
+        while let Some(h) = cur {
+            let node = self.arena.get(h);
+            if tx.read(&self.part, &node.key)? == key {
+                return Ok(Some(tx.read(&self.part, &node.val)?));
+            }
+            cur = tx.read(&self.part, &node.next)?;
+        }
+        Ok(None)
+    }
+
+    /// Inserts or updates; returns the previous value if present.
+    pub fn put<'e>(&'e self, tx: &mut Tx<'e, '_>, key: u64, val: u64) -> TxResult<Option<u64>> {
+        let bucket = self.bucket(key);
+        let head = tx.read(&self.part, bucket)?;
+        let mut cur = head;
+        while let Some(h) = cur {
+            let node = self.arena.get(h);
+            if tx.read(&self.part, &node.key)? == key {
+                let old = tx.read(&self.part, &node.val)?;
+                tx.write(&self.part, &node.val, val)?;
+                return Ok(Some(old));
+            }
+            cur = tx.read(&self.part, &node.next)?;
+        }
+        let new = self.arena.alloc(tx)?;
+        let node = self.arena.get(new);
+        tx.write(&self.part, &node.key, key)?;
+        tx.write(&self.part, &node.val, val)?;
+        tx.write(&self.part, &node.next, head)?;
+        tx.write(&self.part, bucket, Some(new))?;
+        Ok(None)
+    }
+
+    /// Inserts only if absent; returns `true` if inserted. (The one-shot
+    /// "claim" operation genome's dedup phase uses.)
+    pub fn put_if_absent<'e>(&'e self, tx: &mut Tx<'e, '_>, key: u64, val: u64) -> TxResult<bool> {
+        if self.get(tx, key)?.is_some() {
+            return Ok(false);
+        }
+        let bucket = self.bucket(key);
+        let head = tx.read(&self.part, bucket)?;
+        let new = self.arena.alloc(tx)?;
+        let node = self.arena.get(new);
+        tx.write(&self.part, &node.key, key)?;
+        tx.write(&self.part, &node.val, val)?;
+        tx.write(&self.part, &node.next, head)?;
+        tx.write(&self.part, bucket, Some(new))?;
+        Ok(true)
+    }
+
+    /// Removes `key`; returns its value if present.
+    pub fn delete<'e>(&'e self, tx: &mut Tx<'e, '_>, key: u64) -> TxResult<Option<u64>> {
+        let bucket = self.bucket(key);
+        let mut prev: Option<Handle<Node>> = None;
+        let mut cur = tx.read(&self.part, bucket)?;
+        while let Some(h) = cur {
+            let node = self.arena.get(h);
+            if tx.read(&self.part, &node.key)? == key {
+                let val = tx.read(&self.part, &node.val)?;
+                let next = tx.read(&self.part, &node.next)?;
+                match prev {
+                    Some(p) => tx.write(&self.part, &self.arena.get(p).next, next)?,
+                    None => tx.write(&self.part, bucket, next)?,
+                }
+                self.arena.free(tx, h);
+                return Ok(Some(val));
+            }
+            prev = Some(h);
+            cur = tx.read(&self.part, &node.next)?;
+        }
+        Ok(None)
+    }
+
+    /// Non-transactional `(key, value)` snapshot, sorted by key
+    /// (quiescent only).
+    pub fn snapshot_pairs(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        for b in self.buckets.iter() {
+            let mut cur = b.load_direct();
+            while let Some(h) = cur {
+                let n = self.arena.get(h);
+                out.push((n.key.load_direct(), n.val.load_direct()));
+                cur = n.next.load_direct();
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// The partition guarding this map.
+    pub fn partition(&self) -> &Arc<Partition> {
+        &self.part
+    }
+}
+
+/// Transactional hash set: a [`THashMap`] with unit values.
+pub struct THashSet {
+    map: THashMap,
+}
+
+impl THashSet {
+    /// Set with `buckets` chains.
+    pub fn new(part: Arc<Partition>, buckets: usize) -> Self {
+        THashSet {
+            map: THashMap::new(part, buckets),
+        }
+    }
+}
+
+impl IntSet for THashSet {
+    fn contains<'e>(&'e self, tx: &mut Tx<'e, '_>, key: u64) -> TxResult<bool> {
+        Ok(self.map.get(tx, key)?.is_some())
+    }
+
+    fn insert<'e>(&'e self, tx: &mut Tx<'e, '_>, key: u64) -> TxResult<bool> {
+        self.map.put_if_absent(tx, key, 1)
+    }
+
+    fn remove<'e>(&'e self, tx: &mut Tx<'e, '_>, key: u64) -> TxResult<bool> {
+        Ok(self.map.delete(tx, key)?.is_some())
+    }
+
+    fn partition(&self) -> &Arc<Partition> {
+        self.map.partition()
+    }
+
+    fn snapshot_keys(&self) -> Vec<u64> {
+        self.map.snapshot_pairs().into_iter().map(|(k, _)| k).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intset::testing;
+    use partstm_core::{PartitionConfig, Stm};
+
+    #[test]
+    fn map_put_get_delete() {
+        let stm = Stm::new();
+        let m = THashMap::new(stm.new_partition(PartitionConfig::named("map")), 16);
+        let ctx = stm.register_thread();
+        assert_eq!(ctx.run(|tx| m.put(tx, 1, 10)), None);
+        assert_eq!(ctx.run(|tx| m.put(tx, 1, 20)), Some(10));
+        assert_eq!(ctx.run(|tx| m.get(tx, 1)), Some(20));
+        assert!(ctx.run(|tx| m.put_if_absent(tx, 2, 5)));
+        assert!(!ctx.run(|tx| m.put_if_absent(tx, 2, 6)));
+        assert_eq!(ctx.run(|tx| m.delete(tx, 1)), Some(20));
+        assert_eq!(ctx.run(|tx| m.delete(tx, 1)), None);
+        assert_eq!(m.snapshot_pairs(), vec![(2, 5)]);
+    }
+
+    #[test]
+    fn chains_handle_collisions() {
+        let stm = Stm::new();
+        // Single bucket: everything collides.
+        let m = THashMap::new(stm.new_partition(PartitionConfig::named("one")), 1);
+        assert_eq!(m.bucket_count(), 1);
+        let ctx = stm.register_thread();
+        for k in 0..32u64 {
+            assert_eq!(ctx.run(|tx| m.put(tx, k, k * 3)), None);
+        }
+        for k in 0..32u64 {
+            assert_eq!(ctx.run(|tx| m.get(tx, k)), Some(k * 3));
+        }
+        // Delete middle-of-chain entries.
+        for k in (0..32u64).step_by(3) {
+            assert_eq!(ctx.run(|tx| m.delete(tx, k)), Some(k * 3));
+        }
+        let remaining = m.snapshot_pairs().len();
+        assert_eq!(remaining, 32 - 11);
+    }
+
+    #[test]
+    fn set_sequential_model() {
+        let stm = Stm::new();
+        let s = THashSet::new(stm.new_partition(PartitionConfig::named("set")), 64);
+        testing::check_sequential_model(&stm, &s);
+    }
+
+    #[test]
+    fn set_concurrent_disjoint() {
+        let stm = Stm::new();
+        let s = THashSet::new(stm.new_partition(PartitionConfig::named("set")), 64);
+        testing::check_concurrent_disjoint(&stm, &s);
+    }
+
+    #[test]
+    fn set_concurrent_contended() {
+        let stm = Stm::new();
+        let s = THashSet::new(stm.new_partition(PartitionConfig::named("set")), 4);
+        testing::check_concurrent_contended(&stm, &s);
+    }
+}

@@ -1,0 +1,231 @@
+//! Sorted singly-linked integer list.
+//!
+//! The classic STM stress structure: `contains`/`insert`/`remove` walk the
+//! list from the head, so transactions have read sets proportional to the
+//! list length — the workload where invisible reads' validation cost and
+//! visible reads' per-read RMW cost pull hardest in opposite directions.
+
+use std::sync::Arc;
+
+use partstm_core::{Arena, Handle, Partition, TVar, Tx, TxResult};
+
+use crate::intset::IntSet;
+
+/// List node: key + next link. All fields transactional (recycled nodes
+/// must only change under orec protection; see `partstm_core::arena`).
+#[derive(Default)]
+pub struct Node {
+    key: TVar<u64>,
+    next: TVar<Option<Handle<Node>>>,
+}
+
+/// Sorted transactional linked list over a partition.
+pub struct TLinkedList {
+    part: Arc<Partition>,
+    arena: Arena<Node>,
+    head: TVar<Option<Handle<Node>>>,
+}
+
+impl TLinkedList {
+    /// Empty list guarded by `part`.
+    pub fn new(part: Arc<Partition>) -> Self {
+        TLinkedList {
+            part,
+            arena: Arena::new(),
+            head: TVar::new(None),
+        }
+    }
+
+    /// Empty list with room for `cap` nodes pre-allocated.
+    pub fn with_capacity(part: Arc<Partition>, cap: usize) -> Self {
+        TLinkedList {
+            part,
+            arena: Arena::with_capacity(cap),
+            head: TVar::new(None),
+        }
+    }
+
+    /// Walks to the first node with `node.key >= key`; returns
+    /// `(prev, cur)` handles.
+    #[allow(clippy::type_complexity)]
+    fn locate<'e>(
+        &'e self,
+        tx: &mut Tx<'e, '_>,
+        key: u64,
+    ) -> TxResult<(Option<Handle<Node>>, Option<Handle<Node>>)> {
+        let mut prev: Option<Handle<Node>> = None;
+        let mut cur = tx.read(&self.part, &self.head)?;
+        while let Some(h) = cur {
+            let node = self.arena.get(h);
+            let k = tx.read(&self.part, &node.key)?;
+            if k >= key {
+                break;
+            }
+            prev = Some(h);
+            cur = tx.read(&self.part, &node.next)?;
+        }
+        Ok((prev, cur))
+    }
+
+    fn link_after<'e>(
+        &'e self,
+        tx: &mut Tx<'e, '_>,
+        prev: Option<Handle<Node>>,
+        new: Handle<Node>,
+    ) -> TxResult<()> {
+        match prev {
+            Some(p) => tx.write(&self.part, &self.arena.get(p).next, Some(new)),
+            None => tx.write(&self.part, &self.head, Some(new)),
+        }
+    }
+}
+
+impl IntSet for TLinkedList {
+    fn contains<'e>(&'e self, tx: &mut Tx<'e, '_>, key: u64) -> TxResult<bool> {
+        let (_, cur) = self.locate(tx, key)?;
+        match cur {
+            Some(h) => Ok(tx.read(&self.part, &self.arena.get(h).key)? == key),
+            None => Ok(false),
+        }
+    }
+
+    fn insert<'e>(&'e self, tx: &mut Tx<'e, '_>, key: u64) -> TxResult<bool> {
+        let (prev, cur) = self.locate(tx, key)?;
+        if let Some(h) = cur {
+            if tx.read(&self.part, &self.arena.get(h).key)? == key {
+                return Ok(false);
+            }
+        }
+        let new = self.arena.alloc(tx)?;
+        let node = self.arena.get(new);
+        tx.write(&self.part, &node.key, key)?;
+        tx.write(&self.part, &node.next, cur)?;
+        self.link_after(tx, prev, new)?;
+        Ok(true)
+    }
+
+    fn remove<'e>(&'e self, tx: &mut Tx<'e, '_>, key: u64) -> TxResult<bool> {
+        let (prev, cur) = self.locate(tx, key)?;
+        let Some(h) = cur else { return Ok(false) };
+        let node = self.arena.get(h);
+        if tx.read(&self.part, &node.key)? != key {
+            return Ok(false);
+        }
+        let next = tx.read(&self.part, &node.next)?;
+        match prev {
+            Some(p) => tx.write(&self.part, &self.arena.get(p).next, next)?,
+            None => tx.write(&self.part, &self.head, next)?,
+        }
+        self.arena.free(tx, h);
+        Ok(true)
+    }
+
+    fn partition(&self) -> &Arc<Partition> {
+        &self.part
+    }
+
+    fn snapshot_keys(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        let mut cur = self.head.load_direct();
+        while let Some(h) = cur {
+            let node = self.arena.get(h);
+            out.push(node.key.load_direct());
+            cur = node.next.load_direct();
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intset::testing;
+    use partstm_core::{PartitionConfig, ReadMode, Stm};
+
+    fn fresh(stm: &Stm) -> TLinkedList {
+        TLinkedList::new(stm.new_partition(PartitionConfig::named("list")))
+    }
+
+    #[test]
+    fn empty_list_behaviour() {
+        let stm = Stm::new();
+        let l = fresh(&stm);
+        let ctx = stm.register_thread();
+        assert!(!ctx.run(|tx| l.contains(tx, 5)));
+        assert!(!ctx.run(|tx| l.remove(tx, 5)));
+        assert!(l.snapshot_keys().is_empty());
+    }
+
+    #[test]
+    fn insert_keeps_sorted_order() {
+        let stm = Stm::new();
+        let l = fresh(&stm);
+        let ctx = stm.register_thread();
+        for k in [5u64, 1, 9, 3, 7, 0, 2] {
+            assert!(ctx.run(|tx| l.insert(tx, k)));
+        }
+        assert!(!ctx.run(|tx| l.insert(tx, 3)), "duplicate rejected");
+        assert_eq!(l.snapshot_keys(), vec![0, 1, 2, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn remove_head_middle_tail() {
+        let stm = Stm::new();
+        let l = fresh(&stm);
+        let ctx = stm.register_thread();
+        for k in 0..6u64 {
+            ctx.run(|tx| l.insert(tx, k));
+        }
+        assert!(ctx.run(|tx| l.remove(tx, 0)), "head");
+        assert!(ctx.run(|tx| l.remove(tx, 3)), "middle");
+        assert!(ctx.run(|tx| l.remove(tx, 5)), "tail");
+        assert_eq!(l.snapshot_keys(), vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn node_recycling_reuses_slots() {
+        let stm = Stm::new();
+        let l = fresh(&stm);
+        let ctx = stm.register_thread();
+        for round in 0..50u64 {
+            ctx.run(|tx| l.insert(tx, round % 4));
+            ctx.run(|tx| l.remove(tx, round % 4));
+        }
+        assert!(l.snapshot_keys().is_empty());
+        assert!(
+            l.arena.live() <= 2,
+            "slots must recycle, live={}",
+            l.arena.live()
+        );
+    }
+
+    #[test]
+    fn sequential_model_conformance() {
+        let stm = Stm::new();
+        let l = fresh(&stm);
+        testing::check_sequential_model(&stm, &l);
+    }
+
+    #[test]
+    fn concurrent_disjoint_ranges() {
+        let stm = Stm::new();
+        let l = fresh(&stm);
+        testing::check_concurrent_disjoint(&stm, &l);
+    }
+
+    #[test]
+    fn concurrent_contended_invariants() {
+        let stm = Stm::new();
+        let l = fresh(&stm);
+        testing::check_concurrent_contended(&stm, &l);
+    }
+
+    #[test]
+    fn concurrent_contended_visible_reads() {
+        let stm = Stm::new();
+        let l = TLinkedList::new(
+            stm.new_partition(PartitionConfig::named("vis").read_mode(ReadMode::Visible)),
+        );
+        testing::check_concurrent_contended(&stm, &l);
+    }
+}

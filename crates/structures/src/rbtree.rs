@@ -1,0 +1,623 @@
+//! Transactional red-black tree (map `u64 -> u64`).
+//!
+//! A port of the STAMP-style red-black tree to the partitioned STM: CLRS
+//! insertion/deletion with parent pointers, `None` playing the role of the
+//! nil sentinel. Because `None` carries no parent pointer, the delete fixup
+//! threads the fixup node's parent (`xp`) explicitly instead of writing a
+//! shared sentinel (which would be a contention hotspot and a correctness
+//! hazard under concurrency).
+//!
+//! Rebalancing makes update transactions write bursts of nodes near the
+//! root — the workload where conflict-detection granularity and read
+//! visibility interact most visibly (paper §1's red-black tree example).
+
+use std::sync::Arc;
+
+use partstm_core::{Arena, Handle, Partition, TVar, Tx, TxResult};
+
+use crate::intset::IntSet;
+
+type H = Option<Handle<Node>>;
+
+/// Tree node. All fields transactional.
+#[derive(Default)]
+pub struct Node {
+    key: TVar<u64>,
+    val: TVar<u64>,
+    left: TVar<H>,
+    right: TVar<H>,
+    parent: TVar<H>,
+    red: TVar<bool>,
+}
+
+/// Transactional red-black tree over a partition.
+pub struct TRbTree {
+    part: Arc<Partition>,
+    arena: Arena<Node>,
+    root: TVar<H>,
+}
+
+macro_rules! field {
+    ($get:ident, $set:ident, $field:ident, $t:ty) => {
+        fn $get<'e>(&'e self, tx: &mut Tx<'e, '_>, h: Handle<Node>) -> TxResult<$t> {
+            tx.read(&self.part, &self.arena.get(h).$field)
+        }
+        fn $set<'e>(&'e self, tx: &mut Tx<'e, '_>, h: Handle<Node>, v: $t) -> TxResult<()> {
+            tx.write(&self.part, &self.arena.get(h).$field, v)
+        }
+    };
+}
+
+impl TRbTree {
+    /// Empty tree guarded by `part`.
+    pub fn new(part: Arc<Partition>) -> Self {
+        TRbTree {
+            part,
+            arena: Arena::new(),
+            root: TVar::new(None),
+        }
+    }
+
+    /// Empty tree with pre-allocated node capacity.
+    pub fn with_capacity(part: Arc<Partition>, cap: usize) -> Self {
+        TRbTree {
+            part,
+            arena: Arena::with_capacity(cap),
+            root: TVar::new(None),
+        }
+    }
+
+    field!(left, set_left, left, H);
+    field!(right, set_right, right, H);
+    field!(parent, set_parent, parent, H);
+    field!(key_of, set_key, key, u64);
+    field!(val_of, set_val, val, u64);
+
+    fn is_red<'e>(&'e self, tx: &mut Tx<'e, '_>, h: H) -> TxResult<bool> {
+        match h {
+            Some(n) => tx.read(&self.part, &self.arena.get(n).red),
+            None => Ok(false), // nil is black
+        }
+    }
+
+    fn set_red<'e>(&'e self, tx: &mut Tx<'e, '_>, h: Handle<Node>, red: bool) -> TxResult<()> {
+        tx.write(&self.part, &self.arena.get(h).red, red)
+    }
+
+    fn root_of<'e>(&'e self, tx: &mut Tx<'e, '_>) -> TxResult<H> {
+        tx.read(&self.part, &self.root)
+    }
+
+    /// Replaces `old`'s slot in its parent (or the root) with `new`.
+    fn replace_child<'e>(
+        &'e self,
+        tx: &mut Tx<'e, '_>,
+        parent: H,
+        old: Handle<Node>,
+        new: H,
+    ) -> TxResult<()> {
+        match parent {
+            None => tx.write(&self.part, &self.root, new),
+            Some(p) => {
+                if self.left(tx, p)? == Some(old) {
+                    self.set_left(tx, p, new)
+                } else {
+                    self.set_right(tx, p, new)
+                }
+            }
+        }
+    }
+
+    fn rotate_left<'e>(&'e self, tx: &mut Tx<'e, '_>, x: Handle<Node>) -> TxResult<()> {
+        let y = self.right(tx, x)?.expect("rotate_left without right child");
+        let yl = self.left(tx, y)?;
+        self.set_right(tx, x, yl)?;
+        if let Some(n) = yl {
+            self.set_parent(tx, n, Some(x))?;
+        }
+        let xp = self.parent(tx, x)?;
+        self.set_parent(tx, y, xp)?;
+        self.replace_child(tx, xp, x, Some(y))?;
+        self.set_left(tx, y, Some(x))?;
+        self.set_parent(tx, x, Some(y))?;
+        Ok(())
+    }
+
+    fn rotate_right<'e>(&'e self, tx: &mut Tx<'e, '_>, x: Handle<Node>) -> TxResult<()> {
+        let y = self.left(tx, x)?.expect("rotate_right without left child");
+        let yr = self.right(tx, y)?;
+        self.set_left(tx, x, yr)?;
+        if let Some(n) = yr {
+            self.set_parent(tx, n, Some(x))?;
+        }
+        let xp = self.parent(tx, x)?;
+        self.set_parent(tx, y, xp)?;
+        self.replace_child(tx, xp, x, Some(y))?;
+        self.set_right(tx, y, Some(x))?;
+        self.set_parent(tx, x, Some(y))?;
+        Ok(())
+    }
+
+    /// Looks up `key`.
+    pub fn get<'e>(&'e self, tx: &mut Tx<'e, '_>, key: u64) -> TxResult<Option<u64>> {
+        let mut cur = self.root_of(tx)?;
+        while let Some(h) = cur {
+            let k = self.key_of(tx, h)?;
+            cur = match key.cmp(&k) {
+                core::cmp::Ordering::Less => self.left(tx, h)?,
+                core::cmp::Ordering::Greater => self.right(tx, h)?,
+                core::cmp::Ordering::Equal => return Ok(Some(self.val_of(tx, h)?)),
+            };
+        }
+        Ok(None)
+    }
+
+    /// Inserts or updates; returns the previous value if the key existed.
+    pub fn put<'e>(&'e self, tx: &mut Tx<'e, '_>, key: u64, val: u64) -> TxResult<Option<u64>> {
+        let mut parent: H = None;
+        let mut cur = self.root_of(tx)?;
+        let mut went_left = false;
+        while let Some(h) = cur {
+            let k = self.key_of(tx, h)?;
+            match key.cmp(&k) {
+                core::cmp::Ordering::Less => {
+                    parent = Some(h);
+                    went_left = true;
+                    cur = self.left(tx, h)?;
+                }
+                core::cmp::Ordering::Greater => {
+                    parent = Some(h);
+                    went_left = false;
+                    cur = self.right(tx, h)?;
+                }
+                core::cmp::Ordering::Equal => {
+                    let old = self.val_of(tx, h)?;
+                    self.set_val(tx, h, val)?;
+                    return Ok(Some(old));
+                }
+            }
+        }
+        let z = self.arena.alloc(tx)?;
+        {
+            let node = self.arena.get(z);
+            tx.write(&self.part, &node.key, key)?;
+            tx.write(&self.part, &node.val, val)?;
+            tx.write(&self.part, &node.left, None)?;
+            tx.write(&self.part, &node.right, None)?;
+            tx.write(&self.part, &node.parent, parent)?;
+            tx.write(&self.part, &node.red, true)?;
+        }
+        match parent {
+            None => tx.write(&self.part, &self.root, Some(z))?,
+            Some(p) => {
+                if went_left {
+                    self.set_left(tx, p, Some(z))?;
+                } else {
+                    self.set_right(tx, p, Some(z))?;
+                }
+            }
+        }
+        self.insert_fixup(tx, z)?;
+        Ok(None)
+    }
+
+    fn insert_fixup<'e>(&'e self, tx: &mut Tx<'e, '_>, mut z: Handle<Node>) -> TxResult<()> {
+        loop {
+            let p = match self.parent(tx, z)? {
+                Some(p) if self.is_red(tx, Some(p))? => p,
+                _ => break,
+            };
+            // A red parent cannot be the root, so the grandparent exists.
+            let g = self.parent(tx, p)?.expect("red parent must have a parent");
+            if Some(p) == self.left(tx, g)? {
+                let u = self.right(tx, g)?;
+                if self.is_red(tx, u)? {
+                    self.set_red(tx, p, false)?;
+                    self.set_red(tx, u.unwrap(), false)?;
+                    self.set_red(tx, g, true)?;
+                    z = g;
+                } else {
+                    if Some(z) == self.right(tx, p)? {
+                        z = p;
+                        self.rotate_left(tx, z)?;
+                    }
+                    let p2 = self.parent(tx, z)?.expect("fixup parent");
+                    let g2 = self.parent(tx, p2)?.expect("fixup grandparent");
+                    self.set_red(tx, p2, false)?;
+                    self.set_red(tx, g2, true)?;
+                    self.rotate_right(tx, g2)?;
+                }
+            } else {
+                let u = self.left(tx, g)?;
+                if self.is_red(tx, u)? {
+                    self.set_red(tx, p, false)?;
+                    self.set_red(tx, u.unwrap(), false)?;
+                    self.set_red(tx, g, true)?;
+                    z = g;
+                } else {
+                    if Some(z) == self.left(tx, p)? {
+                        z = p;
+                        self.rotate_right(tx, z)?;
+                    }
+                    let p2 = self.parent(tx, z)?.expect("fixup parent");
+                    let g2 = self.parent(tx, p2)?.expect("fixup grandparent");
+                    self.set_red(tx, p2, false)?;
+                    self.set_red(tx, g2, true)?;
+                    self.rotate_left(tx, g2)?;
+                }
+            }
+        }
+        if let Some(r) = self.root_of(tx)? {
+            self.set_red(tx, r, false)?;
+        }
+        Ok(())
+    }
+
+    /// Removes `key`; returns its value if present.
+    pub fn delete<'e>(&'e self, tx: &mut Tx<'e, '_>, key: u64) -> TxResult<Option<u64>> {
+        // Find z.
+        let mut cur = self.root_of(tx)?;
+        let z = loop {
+            let Some(h) = cur else { return Ok(None) };
+            let k = self.key_of(tx, h)?;
+            match key.cmp(&k) {
+                core::cmp::Ordering::Less => cur = self.left(tx, h)?,
+                core::cmp::Ordering::Greater => cur = self.right(tx, h)?,
+                core::cmp::Ordering::Equal => break h,
+            }
+        };
+        let old_val = self.val_of(tx, z)?;
+
+        // y: the node physically removed (z, or its in-order successor).
+        let y = if self.left(tx, z)?.is_none() || self.right(tx, z)?.is_none() {
+            z
+        } else {
+            let mut m = self.right(tx, z)?.expect("checked non-none");
+            while let Some(l) = self.left(tx, m)? {
+                m = l;
+            }
+            m
+        };
+        let x = match self.left(tx, y)? {
+            some @ Some(_) => some,
+            None => self.right(tx, y)?,
+        };
+        let xp = self.parent(tx, y)?;
+        if let Some(xn) = x {
+            self.set_parent(tx, xn, xp)?;
+        }
+        self.replace_child(tx, xp, y, x)?;
+        let y_was_red = self.is_red(tx, Some(y))?;
+        if y != z {
+            // Relocate y's payload into z (CLRS data transplant).
+            let yk = self.key_of(tx, y)?;
+            let yv = self.val_of(tx, y)?;
+            self.set_key(tx, z, yk)?;
+            self.set_val(tx, z, yv)?;
+        }
+        if !y_was_red {
+            self.delete_fixup(tx, x, xp)?;
+        }
+        self.arena.free(tx, y);
+        Ok(Some(old_val))
+    }
+
+    /// CLRS RB-DELETE-FIXUP with `x` possibly nil; its parent is threaded
+    /// explicitly as `xp`.
+    fn delete_fixup<'e>(&'e self, tx: &mut Tx<'e, '_>, mut x: H, mut xp: H) -> TxResult<()> {
+        loop {
+            if x == self.root_of(tx)? || self.is_red(tx, x)? {
+                break;
+            }
+            let p = match xp {
+                Some(p) => p,
+                None => break, // x is root
+            };
+            if x == self.left(tx, p)? {
+                let mut w = self.right(tx, p)?.expect("sibling exists for doubly-black");
+                if self.is_red(tx, Some(w))? {
+                    self.set_red(tx, w, false)?;
+                    self.set_red(tx, p, true)?;
+                    self.rotate_left(tx, p)?;
+                    w = self.right(tx, p)?.expect("sibling after rotation");
+                }
+                let wl = self.left(tx, w)?;
+                let wr = self.right(tx, w)?;
+                if !self.is_red(tx, wl)? && !self.is_red(tx, wr)? {
+                    self.set_red(tx, w, true)?;
+                    x = Some(p);
+                    xp = self.parent(tx, p)?;
+                } else {
+                    if !self.is_red(tx, wr)? {
+                        if let Some(wln) = wl {
+                            self.set_red(tx, wln, false)?;
+                        }
+                        self.set_red(tx, w, true)?;
+                        self.rotate_right(tx, w)?;
+                        w = self.right(tx, p)?.expect("sibling after rotation");
+                    }
+                    let p_red = self.is_red(tx, Some(p))?;
+                    self.set_red(tx, w, p_red)?;
+                    self.set_red(tx, p, false)?;
+                    if let Some(wrn) = self.right(tx, w)? {
+                        self.set_red(tx, wrn, false)?;
+                    }
+                    self.rotate_left(tx, p)?;
+                    break;
+                }
+            } else {
+                let mut w = self.left(tx, p)?.expect("sibling exists for doubly-black");
+                if self.is_red(tx, Some(w))? {
+                    self.set_red(tx, w, false)?;
+                    self.set_red(tx, p, true)?;
+                    self.rotate_right(tx, p)?;
+                    w = self.left(tx, p)?.expect("sibling after rotation");
+                }
+                let wl = self.left(tx, w)?;
+                let wr = self.right(tx, w)?;
+                if !self.is_red(tx, wl)? && !self.is_red(tx, wr)? {
+                    self.set_red(tx, w, true)?;
+                    x = Some(p);
+                    xp = self.parent(tx, p)?;
+                } else {
+                    if !self.is_red(tx, wl)? {
+                        if let Some(wrn) = wr {
+                            self.set_red(tx, wrn, false)?;
+                        }
+                        self.set_red(tx, w, true)?;
+                        self.rotate_left(tx, w)?;
+                        w = self.left(tx, p)?.expect("sibling after rotation");
+                    }
+                    let p_red = self.is_red(tx, Some(p))?;
+                    self.set_red(tx, w, p_red)?;
+                    self.set_red(tx, p, false)?;
+                    if let Some(wln) = self.left(tx, w)? {
+                        self.set_red(tx, wln, false)?;
+                    }
+                    self.rotate_right(tx, p)?;
+                    break;
+                }
+            }
+        }
+        if let Some(xn) = x {
+            self.set_red(tx, xn, false)?;
+        }
+        Ok(())
+    }
+
+    /// Non-transactional in-order `(key, value)` snapshot (quiescent only).
+    pub fn snapshot_pairs(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut stack = Vec::new();
+        let mut cur = self.root.load_direct();
+        loop {
+            while let Some(h) = cur {
+                stack.push(h);
+                cur = self.arena.get(h).left.load_direct();
+            }
+            let Some(h) = stack.pop() else { break };
+            let n = self.arena.get(h);
+            out.push((n.key.load_direct(), n.val.load_direct()));
+            cur = n.right.load_direct();
+        }
+        out
+    }
+
+    /// Verifies all red-black invariants (quiescent only): BST order,
+    /// parent-pointer consistency, no red-red edge, equal black heights,
+    /// black root. Returns the black height.
+    pub fn check_invariants(&self) -> Result<usize, String> {
+        fn walk(
+            tree: &TRbTree,
+            h: H,
+            parent: H,
+            lo: Option<u64>,
+            hi: Option<u64>,
+        ) -> Result<usize, String> {
+            let Some(n) = h else { return Ok(1) }; // nil is black
+            let node = tree.arena.get(n);
+            let k = node.key.load_direct();
+            if let Some(lo) = lo {
+                if k <= lo {
+                    return Err(format!("BST violation: {k} <= lo {lo}"));
+                }
+            }
+            if let Some(hi) = hi {
+                if k >= hi {
+                    return Err(format!("BST violation: {k} >= hi {hi}"));
+                }
+            }
+            if node.parent.load_direct() != parent {
+                return Err(format!("parent pointer of {k} inconsistent"));
+            }
+            let red = node.red.load_direct();
+            let l = node.left.load_direct();
+            let r = node.right.load_direct();
+            if red {
+                for c in [l, r].into_iter().flatten() {
+                    if tree.arena.get(c).red.load_direct() {
+                        return Err(format!("red-red edge at {k}"));
+                    }
+                }
+            }
+            let bl = walk(tree, l, h, lo, Some(k))?;
+            let br = walk(tree, r, h, Some(k), hi)?;
+            if bl != br {
+                return Err(format!("black height mismatch at {k}: {bl} vs {br}"));
+            }
+            Ok(bl + usize::from(!red))
+        }
+        let root = self.root.load_direct();
+        if let Some(r) = root {
+            if self.arena.get(r).red.load_direct() {
+                return Err("red root".into());
+            }
+        }
+        walk(self, root, None, None, None)
+    }
+
+    /// Number of live nodes (quiescent only).
+    pub fn live_nodes(&self) -> usize {
+        self.arena.live()
+    }
+
+    /// The partition guarding this tree.
+    pub fn partition(&self) -> &Arc<Partition> {
+        &self.part
+    }
+}
+
+impl IntSet for TRbTree {
+    fn contains<'e>(&'e self, tx: &mut Tx<'e, '_>, key: u64) -> TxResult<bool> {
+        Ok(self.get(tx, key)?.is_some())
+    }
+
+    fn insert<'e>(&'e self, tx: &mut Tx<'e, '_>, key: u64) -> TxResult<bool> {
+        Ok(self.put(tx, key, key)?.is_none())
+    }
+
+    fn remove<'e>(&'e self, tx: &mut Tx<'e, '_>, key: u64) -> TxResult<bool> {
+        Ok(self.delete(tx, key)?.is_some())
+    }
+
+    fn partition(&self) -> &Arc<Partition> {
+        &self.part
+    }
+
+    fn snapshot_keys(&self) -> Vec<u64> {
+        self.snapshot_pairs().into_iter().map(|(k, _)| k).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intset::testing;
+    use partstm_core::{PartitionConfig, Stm};
+
+    fn fresh(stm: &Stm) -> TRbTree {
+        TRbTree::new(stm.new_partition(PartitionConfig::named("rbtree")))
+    }
+
+    #[test]
+    fn put_get_delete_roundtrip() {
+        let stm = Stm::new();
+        let t = fresh(&stm);
+        let ctx = stm.register_thread();
+        assert_eq!(ctx.run(|tx| t.put(tx, 10, 100)), None);
+        assert_eq!(ctx.run(|tx| t.put(tx, 10, 200)), Some(100));
+        assert_eq!(ctx.run(|tx| t.get(tx, 10)), Some(200));
+        assert_eq!(ctx.run(|tx| t.get(tx, 11)), None);
+        assert_eq!(ctx.run(|tx| t.delete(tx, 10)), Some(200));
+        assert_eq!(ctx.run(|tx| t.delete(tx, 10)), None);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn ascending_descending_and_random_inserts_stay_balanced() {
+        for order in 0..3 {
+            let stm = Stm::new();
+            let t = fresh(&stm);
+            let ctx = stm.register_thread();
+            let n = 512u64;
+            let keys: Vec<u64> = match order {
+                0 => (0..n).collect(),
+                1 => (0..n).rev().collect(),
+                _ => {
+                    let mut v: Vec<u64> = (0..n).collect();
+                    // Deterministic shuffle.
+                    let mut s = 0xdead_beefu64;
+                    for i in (1..v.len()).rev() {
+                        s ^= s << 13;
+                        s ^= s >> 7;
+                        s ^= s << 17;
+                        v.swap(i, (s % (i as u64 + 1)) as usize);
+                    }
+                    v
+                }
+            };
+            for &k in &keys {
+                ctx.run(|tx| t.put(tx, k, k * 2));
+            }
+            let bh = t.check_invariants().unwrap();
+            // Black height of a balanced 512-node tree is small.
+            assert!(bh <= 10, "black height {bh} too large (order {order})");
+            let pairs = t.snapshot_pairs();
+            assert_eq!(pairs.len(), n as usize);
+            assert!(pairs.windows(2).all(|w| w[0].0 < w[1].0));
+        }
+    }
+
+    #[test]
+    fn deletions_preserve_invariants_at_every_step() {
+        let stm = Stm::new();
+        let t = fresh(&stm);
+        let ctx = stm.register_thread();
+        let n = 128u64;
+        for k in 0..n {
+            ctx.run(|tx| t.put(tx, k, k));
+        }
+        // Delete in an adversarial order: every third, then the rest.
+        let mut order: Vec<u64> = (0..n).step_by(3).collect();
+        order.extend((0..n).filter(|k| k % 3 != 0));
+        for (i, &k) in order.iter().enumerate() {
+            assert_eq!(ctx.run(|tx| t.delete(tx, k)), Some(k), "step {i}");
+            t.check_invariants()
+                .unwrap_or_else(|e| panic!("after deleting {k} (step {i}): {e}"));
+        }
+        assert!(t.snapshot_pairs().is_empty());
+        assert_eq!(t.live_nodes(), 0, "all nodes recycled");
+    }
+
+    #[test]
+    fn mixed_workload_invariants() {
+        let stm = Stm::new();
+        let t = fresh(&stm);
+        let ctx = stm.register_thread();
+        let mut s = 42u64;
+        let mut model = std::collections::BTreeMap::new();
+        for i in 0..3000 {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            let k = s % 200;
+            if s & 1 == 0 {
+                let expect = model.insert(k, i as u64);
+                assert_eq!(ctx.run(|tx| t.put(tx, k, i as u64)), expect);
+            } else {
+                let expect = model.remove(&k);
+                assert_eq!(ctx.run(|tx| t.delete(tx, k)), expect);
+            }
+            if i % 250 == 0 {
+                t.check_invariants().unwrap();
+            }
+        }
+        t.check_invariants().unwrap();
+        let pairs: Vec<(u64, u64)> = model.into_iter().collect();
+        assert_eq!(t.snapshot_pairs(), pairs);
+    }
+
+    #[test]
+    fn sequential_model_conformance() {
+        let stm = Stm::new();
+        let t = fresh(&stm);
+        testing::check_sequential_model(&stm, &t);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn concurrent_disjoint_ranges() {
+        let stm = Stm::new();
+        let t = fresh(&stm);
+        testing::check_concurrent_disjoint(&stm, &t);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn concurrent_contended_invariants() {
+        let stm = Stm::new();
+        let t = fresh(&stm);
+        testing::check_concurrent_contended(&stm, &t);
+        t.check_invariants().unwrap();
+    }
+}

@@ -1,0 +1,276 @@
+//! Transactional skip list.
+//!
+//! Probabilistic balanced set with O(log n) expected search paths — much
+//! shorter read sets than the linked list, making it the "middle ground"
+//! microbenchmark between list and tree. Node levels are derived
+//! deterministically from a hash of the key (geometric, p = 1/2), which
+//! keeps runs reproducible without per-structure RNG state.
+
+use std::sync::Arc;
+
+use partstm_core::{Arena, Handle, Partition, TVar, Tx, TxResult};
+
+use crate::intset::IntSet;
+
+/// Maximum tower height (supports ~2^16 elements comfortably).
+pub const MAX_LEVEL: usize = 16;
+
+/// Skip-list node: key, tower height and forward links.
+#[derive(Default)]
+pub struct Node {
+    key: TVar<u64>,
+    /// Height of this node's tower (1..=MAX_LEVEL). Transactional so
+    /// recycled nodes stay under orec protection.
+    level: TVar<u64>,
+    next: [TVar<Option<Handle<Node>>>; MAX_LEVEL],
+}
+
+/// Deterministic tower height for a key (geometric distribution).
+fn level_for(key: u64) -> usize {
+    let h = key
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .rotate_left(31)
+        .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    ((h.trailing_zeros() as usize) + 1).min(MAX_LEVEL)
+}
+
+/// Transactional skip list over a partition.
+pub struct TSkipList {
+    part: Arc<Partition>,
+    arena: Arena<Node>,
+    heads: [TVar<Option<Handle<Node>>>; MAX_LEVEL],
+}
+
+impl TSkipList {
+    /// Empty skip list guarded by `part`.
+    pub fn new(part: Arc<Partition>) -> Self {
+        TSkipList {
+            part,
+            arena: Arena::new(),
+            heads: Default::default(),
+        }
+    }
+
+    /// Empty skip list with pre-allocated node capacity.
+    pub fn with_capacity(part: Arc<Partition>, cap: usize) -> Self {
+        TSkipList {
+            part,
+            arena: Arena::with_capacity(cap),
+            heads: Default::default(),
+        }
+    }
+
+    /// Forward link at `lvl` from `from` (None = the head tower).
+    fn next_of<'e>(
+        &'e self,
+        tx: &mut Tx<'e, '_>,
+        from: Option<Handle<Node>>,
+        lvl: usize,
+    ) -> TxResult<Option<Handle<Node>>> {
+        match from {
+            Some(h) => tx.read(&self.part, &self.arena.get(h).next[lvl]),
+            None => tx.read(&self.part, &self.heads[lvl]),
+        }
+    }
+
+    fn set_next<'e>(
+        &'e self,
+        tx: &mut Tx<'e, '_>,
+        from: Option<Handle<Node>>,
+        lvl: usize,
+        to: Option<Handle<Node>>,
+    ) -> TxResult<()> {
+        match from {
+            Some(h) => tx.write(&self.part, &self.arena.get(h).next[lvl], to),
+            None => tx.write(&self.part, &self.heads[lvl], to),
+        }
+    }
+
+    /// Finds the predecessors of `key` at every level and the candidate
+    /// node at level 0.
+    #[allow(clippy::type_complexity)]
+    fn locate<'e>(
+        &'e self,
+        tx: &mut Tx<'e, '_>,
+        key: u64,
+    ) -> TxResult<([Option<Handle<Node>>; MAX_LEVEL], Option<Handle<Node>>)> {
+        let mut preds: [Option<Handle<Node>>; MAX_LEVEL] = [None; MAX_LEVEL];
+        let mut pred: Option<Handle<Node>> = None;
+        for lvl in (0..MAX_LEVEL).rev() {
+            let mut cur = self.next_of(tx, pred, lvl)?;
+            while let Some(h) = cur {
+                let k = tx.read(&self.part, &self.arena.get(h).key)?;
+                if k >= key {
+                    break;
+                }
+                pred = Some(h);
+                cur = self.next_of(tx, pred, lvl)?;
+            }
+            preds[lvl] = pred;
+        }
+        let candidate = self.next_of(tx, preds[0], 0)?;
+        Ok((preds, candidate))
+    }
+}
+
+impl IntSet for TSkipList {
+    fn contains<'e>(&'e self, tx: &mut Tx<'e, '_>, key: u64) -> TxResult<bool> {
+        let (_, cand) = self.locate(tx, key)?;
+        match cand {
+            Some(h) => Ok(tx.read(&self.part, &self.arena.get(h).key)? == key),
+            None => Ok(false),
+        }
+    }
+
+    fn insert<'e>(&'e self, tx: &mut Tx<'e, '_>, key: u64) -> TxResult<bool> {
+        let (preds, cand) = self.locate(tx, key)?;
+        if let Some(h) = cand {
+            if tx.read(&self.part, &self.arena.get(h).key)? == key {
+                return Ok(false);
+            }
+        }
+        let lvl = level_for(key);
+        let new = self.arena.alloc(tx)?;
+        let node = self.arena.get(new);
+        tx.write(&self.part, &node.key, key)?;
+        tx.write(&self.part, &node.level, lvl as u64)?;
+        for i in 0..lvl {
+            let succ = self.next_of(tx, preds[i], i)?;
+            tx.write(&self.part, &node.next[i], succ)?;
+            self.set_next(tx, preds[i], i, Some(new))?;
+        }
+        // Clear unused tower levels (slot may be recycled).
+        for i in lvl..MAX_LEVEL {
+            tx.write(&self.part, &node.next[i], None)?;
+        }
+        Ok(true)
+    }
+
+    fn remove<'e>(&'e self, tx: &mut Tx<'e, '_>, key: u64) -> TxResult<bool> {
+        let (preds, cand) = self.locate(tx, key)?;
+        let Some(h) = cand else { return Ok(false) };
+        let node = self.arena.get(h);
+        if tx.read(&self.part, &node.key)? != key {
+            return Ok(false);
+        }
+        let lvl = tx.read(&self.part, &node.level)? as usize;
+        for i in 0..lvl {
+            // The predecessor at level i links to us iff our tower reaches
+            // level i (locate's preds are the strict predecessors of key).
+            let succ = tx.read(&self.part, &node.next[i])?;
+            let linked = self.next_of(tx, preds[i], i)?;
+            if linked == Some(h) {
+                self.set_next(tx, preds[i], i, succ)?;
+            }
+        }
+        self.arena.free(tx, h);
+        Ok(true)
+    }
+
+    fn partition(&self) -> &Arc<Partition> {
+        &self.part
+    }
+
+    fn snapshot_keys(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        let mut cur = self.heads[0].load_direct();
+        while let Some(h) = cur {
+            let node = self.arena.get(h);
+            out.push(node.key.load_direct());
+            cur = node.next[0].load_direct();
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intset::testing;
+    use partstm_core::{AcquireMode, PartitionConfig, Stm};
+
+    fn fresh(stm: &Stm) -> TSkipList {
+        TSkipList::new(stm.new_partition(PartitionConfig::named("skip")))
+    }
+
+    #[test]
+    fn level_distribution_is_geometricish() {
+        let mut counts = [0usize; MAX_LEVEL + 1];
+        for k in 0..100_000u64 {
+            counts[level_for(k)] += 1;
+        }
+        assert!(counts[1] > 40_000, "about half should be level 1");
+        assert!(counts[2] > 20_000 && counts[2] < 30_000);
+        assert_eq!(counts[0], 0);
+    }
+
+    #[test]
+    fn basic_ops_and_order() {
+        let stm = Stm::new();
+        let sl = fresh(&stm);
+        let ctx = stm.register_thread();
+        for k in [42u64, 7, 99, 1, 55, 23] {
+            assert!(ctx.run(|tx| sl.insert(tx, k)));
+        }
+        assert!(!ctx.run(|tx| sl.insert(tx, 55)));
+        assert!(ctx.run(|tx| sl.contains(tx, 23)));
+        assert!(!ctx.run(|tx| sl.contains(tx, 24)));
+        assert!(ctx.run(|tx| sl.remove(tx, 42)));
+        assert!(!ctx.run(|tx| sl.remove(tx, 42)));
+        assert_eq!(sl.snapshot_keys(), vec![1, 7, 23, 55, 99]);
+    }
+
+    #[test]
+    fn tall_towers_unlink_fully() {
+        let stm = Stm::new();
+        let sl = fresh(&stm);
+        let ctx = stm.register_thread();
+        // Find a key with a tall tower to exercise multi-level unlink.
+        let tall = (0..10_000u64).max_by_key(|&k| level_for(k)).unwrap();
+        assert!(level_for(tall) >= 8);
+        for k in 0..200u64 {
+            ctx.run(|tx| sl.insert(tx, k));
+        }
+        ctx.run(|tx| sl.insert(tx, tall + 20_000));
+        assert!(ctx.run(|tx| sl.remove(tx, tall + 20_000)));
+        // All levels of the head tower must no longer reach the removed key.
+        for lvl in 0..MAX_LEVEL {
+            let mut cur = sl.heads[lvl].load_direct();
+            while let Some(h) = cur {
+                let node = sl.arena.get(h);
+                assert_ne!(node.key.load_direct(), tall + 20_000);
+                cur = node.next[lvl].load_direct();
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_model_conformance() {
+        let stm = Stm::new();
+        let sl = fresh(&stm);
+        testing::check_sequential_model(&stm, &sl);
+    }
+
+    #[test]
+    fn concurrent_disjoint_ranges() {
+        let stm = Stm::new();
+        let sl = fresh(&stm);
+        testing::check_concurrent_disjoint(&stm, &sl);
+    }
+
+    #[test]
+    fn concurrent_contended_invariants() {
+        let stm = Stm::new();
+        let sl = fresh(&stm);
+        testing::check_concurrent_contended(&stm, &sl);
+    }
+
+    #[test]
+    fn concurrent_contended_commit_time_locking() {
+        let stm = Stm::new();
+        let sl = TSkipList::new(
+            stm.new_partition(PartitionConfig::named("ctl").acquire(AcquireMode::Commit)),
+        );
+        testing::check_concurrent_contended(&stm, &sl);
+    }
+}

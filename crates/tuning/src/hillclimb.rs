@@ -1,0 +1,203 @@
+//! Hill-climbing (measurement-driven) tuning: an alternative to the
+//! threshold heuristic that *tries* candidate configurations and keeps the
+//! one with the best measured commit throughput.
+//!
+//! Used by ablation A2/A3 to compare model-driven vs measurement-driven
+//! tuning; slower to converge but threshold-free.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+use partstm_core::{DynConfig, Granularity, PartitionId, ReadMode, TuneInput, TuningPolicy};
+
+/// Probe sequence state for one partition.
+#[derive(Debug)]
+enum Phase {
+    /// Measuring candidate `idx`; previous candidates scored in `scores`.
+    Probing { idx: usize, scores: Vec<f64> },
+    /// Best candidate installed; sleeping for `windows_left` evaluations.
+    Settled { windows_left: u32 },
+}
+
+#[derive(Debug)]
+struct PartState {
+    phase: Phase,
+    candidates: Vec<DynConfig>,
+}
+
+/// Measurement-driven policy cycling through candidate configurations.
+#[derive(Debug)]
+pub struct HillClimbPolicy {
+    window: u64,
+    /// Evaluations to stay settled before re-probing.
+    settle_windows: u32,
+    state: Mutex<HashMap<PartitionId, PartState>>,
+}
+
+impl HillClimbPolicy {
+    /// `window`: commits per measurement; `settle_windows`: how long to
+    /// keep the winner before re-probing (adaptation latency knob).
+    pub fn new(window: u64, settle_windows: u32) -> Self {
+        HillClimbPolicy {
+            window,
+            settle_windows,
+            state: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Candidate set: read modes x granularity ladder around the current
+    /// configuration (acquire mode and CM kept).
+    fn candidates(seed: DynConfig) -> Vec<DynConfig> {
+        let mut v = Vec::new();
+        for rm in [ReadMode::Invisible, ReadMode::Visible] {
+            for g in [
+                Granularity::Word,
+                Granularity::Stripe { shift: 6 },
+                Granularity::PartitionLock,
+            ] {
+                let mut c = seed;
+                c.read_mode = rm;
+                c.granularity = g;
+                v.push(c);
+            }
+        }
+        v
+    }
+}
+
+impl TuningPolicy for HillClimbPolicy {
+    fn window(&self) -> u64 {
+        self.window
+    }
+
+    fn evaluate(&self, input: &TuneInput) -> Option<DynConfig> {
+        let throughput = if input.seconds > 0.0 {
+            input.delta.commits as f64 / input.seconds
+        } else {
+            0.0
+        };
+        let mut guard = self.state.lock();
+        let st = guard.entry(input.partition).or_insert_with(|| PartState {
+            phase: Phase::Probing {
+                idx: 0,
+                scores: Vec::new(),
+            },
+            candidates: Self::candidates(input.config),
+        });
+        match &mut st.phase {
+            Phase::Settled { windows_left } => {
+                if *windows_left > 0 {
+                    *windows_left -= 1;
+                    None
+                } else {
+                    st.phase = Phase::Probing {
+                        idx: 0,
+                        scores: Vec::new(),
+                    };
+                    st.candidates = Self::candidates(input.config);
+                    Some(st.candidates[0])
+                }
+            }
+            Phase::Probing { idx, scores } => {
+                // `throughput` scores the *currently installed* config,
+                // which is candidate idx-1 (or the pre-probe config for the
+                // very first call, which we discard as a warmup).
+                if *idx > 0 {
+                    scores.push(throughput);
+                }
+                if *idx < st.candidates.len() {
+                    let next = st.candidates[*idx];
+                    *idx += 1;
+                    Some(next)
+                } else {
+                    // All candidates measured: install the best.
+                    let best = scores
+                        .iter()
+                        .enumerate()
+                        .max_by(|a, b| a.1.total_cmp(b.1))
+                        .map(|(i, _)| i)
+                        .unwrap_or(0);
+                    let winner = st.candidates[best];
+                    st.phase = Phase::Settled {
+                        windows_left: self.settle_windows,
+                    };
+                    Some(winner)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use partstm_core::{PartitionConfig, StatCounters};
+
+    fn input(cfg: DynConfig, commits: u64, seconds: f64) -> TuneInput {
+        TuneInput {
+            partition: PartitionId(0),
+            name: "p".into(),
+            config: cfg,
+            delta: StatCounters {
+                commits,
+                ..Default::default()
+            },
+            seconds,
+        }
+    }
+
+    #[test]
+    fn probes_all_candidates_then_settles_on_best() {
+        let p = HillClimbPolicy::new(512, 3);
+        let base = DynConfig::from(&PartitionConfig::default());
+        let mut cfg = base;
+        let mut seen = Vec::new();
+        // Warmup + 6 probes; feed throughput proportional to probe index,
+        // making the last candidate (Visible/PartitionLock) the winner.
+        for step in 0..7 {
+            let tput = 1000.0 * (step as f64 + 1.0);
+            let decision = p.evaluate(&input(cfg, tput as u64, 1.0));
+            if let Some(c) = decision {
+                seen.push(c);
+                cfg = c;
+            }
+        }
+        // 6 probe installs + 1 winner install.
+        assert_eq!(seen.len(), 7);
+        let winner = *seen.last().unwrap();
+        assert_eq!(winner.read_mode, ReadMode::Visible);
+        assert_eq!(winner.granularity, Granularity::PartitionLock);
+        // Settled: no decisions for `settle_windows` evaluations.
+        for _ in 0..3 {
+            assert_eq!(p.evaluate(&input(cfg, 1000, 1.0)), None);
+        }
+        // Then it re-probes.
+        assert!(p.evaluate(&input(cfg, 1000, 1.0)).is_some());
+    }
+
+    #[test]
+    fn best_first_candidate_wins_when_fastest() {
+        let p = HillClimbPolicy::new(512, 10);
+        let base = DynConfig::from(&PartitionConfig::default());
+        let mut cfg = base;
+        let mut installs = Vec::new();
+        // First probe fastest: decreasing throughput sequence.
+        for step in 0..7 {
+            let tput = 10_000.0 / (step as f64 + 1.0);
+            if let Some(c) = p.evaluate(&input(cfg, tput as u64, 1.0)) {
+                installs.push(c);
+                cfg = c;
+            }
+        }
+        let winner = *installs.last().unwrap();
+        assert_eq!(winner.read_mode, ReadMode::Invisible);
+        assert_eq!(winner.granularity, Granularity::Word);
+    }
+
+    #[test]
+    fn zero_seconds_is_harmless() {
+        let p = HillClimbPolicy::new(512, 1);
+        let base = DynConfig::from(&PartitionConfig::default());
+        let _ = p.evaluate(&input(base, 100, 0.0));
+    }
+}

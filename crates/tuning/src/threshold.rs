@@ -1,0 +1,296 @@
+//! The paper's runtime heuristic: threshold rules with hysteresis.
+//!
+//! Per evaluation window the policy inspects a partition's update-commit
+//! fraction and abort rate and decides:
+//!
+//! * **read visibility** — visible reads pay an RMW per read but let
+//!   writers detect readers eagerly; profitable when the partition is
+//!   update-heavy *and* conflicted. Invisible reads win otherwise.
+//! * **conflict-detection granularity** — a ladder `Word -> Stripe ->
+//!   PartitionLock`. Under extreme contention coarse detection degenerates
+//!   the partition into a single versioned lock (conflicts surface at first
+//!   access, no wasted work); under low contention fine detection avoids
+//!   false conflicts.
+//!
+//! A change is only issued after `hysteresis` consecutive windows agree,
+//! preventing oscillation on noisy workloads (ablation A2 measures this).
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+use partstm_core::{
+    DynConfig, Granularity, PartitionId, ReadMode, TuneInput, TuningPolicy,
+};
+
+/// Tunable thresholds (defaults follow the paper's qualitative rules).
+#[derive(Debug, Clone)]
+pub struct Thresholds {
+    /// Evaluation window (commits per partition).
+    pub window: u64,
+    /// Minimum commits in a window before any decision is made.
+    pub min_commits: u64,
+    /// Switch to visible reads when `update_fraction >= this` ...
+    pub visible_update_hi: f64,
+    /// ... and `abort_rate >= this`.
+    pub visible_abort_hi: f64,
+    /// Switch back to invisible when `update_fraction <= this` ...
+    pub invisible_update_lo: f64,
+    /// ... or `abort_rate <= this`.
+    pub invisible_abort_lo: f64,
+    /// Coarsen granularity one step when `abort_rate >= this`.
+    pub coarsen_abort_hi: f64,
+    /// Refine granularity one step when `abort_rate <= this`.
+    pub refine_abort_lo: f64,
+    /// Stripe shift used for the middle rung of the ladder.
+    pub stripe_shift: u8,
+    /// Consecutive agreeing windows required before switching.
+    pub hysteresis: u32,
+}
+
+impl Default for Thresholds {
+    fn default() -> Self {
+        Thresholds {
+            window: 4096,
+            min_commits: 256,
+            visible_update_hi: 0.45,
+            visible_abort_hi: 0.10,
+            invisible_update_lo: 0.20,
+            invisible_abort_lo: 0.02,
+            coarsen_abort_hi: 0.60,
+            refine_abort_lo: 0.10,
+            stripe_shift: 6,
+            hysteresis: 2,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct PartState {
+    /// Pending decision and how many consecutive windows proposed it.
+    pending: Option<(DynConfig, u32)>,
+}
+
+/// Threshold policy with per-partition hysteresis state.
+#[derive(Debug)]
+pub struct ThresholdPolicy {
+    t: Thresholds,
+    state: Mutex<HashMap<PartitionId, PartState>>,
+}
+
+impl ThresholdPolicy {
+    /// Policy with default thresholds.
+    pub fn new() -> Self {
+        Self::with_thresholds(Thresholds::default())
+    }
+
+    /// Policy with custom thresholds.
+    pub fn with_thresholds(t: Thresholds) -> Self {
+        ThresholdPolicy {
+            t,
+            state: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The raw (hysteresis-free) desired configuration for an input.
+    pub fn desired(&self, input: &TuneInput) -> DynConfig {
+        let mut cfg = input.config;
+        let upd = input.update_fraction();
+        let ar = input.abort_rate();
+
+        // Read visibility.
+        match cfg.read_mode {
+            ReadMode::Invisible => {
+                if upd >= self.t.visible_update_hi && ar >= self.t.visible_abort_hi {
+                    cfg.read_mode = ReadMode::Visible;
+                }
+            }
+            ReadMode::Visible => {
+                if upd <= self.t.invisible_update_lo || ar <= self.t.invisible_abort_lo {
+                    cfg.read_mode = ReadMode::Invisible;
+                }
+            }
+        }
+
+        // Granularity ladder.
+        if ar >= self.t.coarsen_abort_hi {
+            cfg.granularity = coarsen(cfg.granularity, self.t.stripe_shift);
+        } else if ar <= self.t.refine_abort_lo {
+            cfg.granularity = refine(cfg.granularity, self.t.stripe_shift);
+        }
+        cfg
+    }
+}
+
+impl Default for ThresholdPolicy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One step coarser on the ladder.
+pub fn coarsen(g: Granularity, stripe_shift: u8) -> Granularity {
+    match g {
+        Granularity::Word => Granularity::Stripe {
+            shift: stripe_shift,
+        },
+        Granularity::Stripe { .. } => Granularity::PartitionLock,
+        Granularity::PartitionLock => Granularity::PartitionLock,
+    }
+}
+
+/// One step finer on the ladder.
+pub fn refine(g: Granularity, stripe_shift: u8) -> Granularity {
+    match g {
+        Granularity::Word => Granularity::Word,
+        Granularity::Stripe { .. } => Granularity::Word,
+        Granularity::PartitionLock => Granularity::Stripe {
+            shift: stripe_shift,
+        },
+    }
+}
+
+impl TuningPolicy for ThresholdPolicy {
+    fn window(&self) -> u64 {
+        self.t.window
+    }
+
+    fn evaluate(&self, input: &TuneInput) -> Option<DynConfig> {
+        if input.delta.commits < self.t.min_commits {
+            return None;
+        }
+        let want = self.desired(input);
+        if want == input.config {
+            // Content: clear any pending switch.
+            self.state.lock().entry(input.partition).or_default().pending = None;
+            return None;
+        }
+        let mut guard = self.state.lock();
+        let st = guard.entry(input.partition).or_default();
+        let n = match &st.pending {
+            Some((cfg, n)) if *cfg == want => n + 1,
+            _ => 1,
+        };
+        if n >= self.t.hysteresis {
+            st.pending = None;
+            Some(want)
+        } else {
+            st.pending = Some((want, n));
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use partstm_core::{PartitionConfig, StatCounters};
+
+    fn input(cfg: DynConfig, commits: u64, updates: u64, aborts: u64) -> TuneInput {
+        TuneInput {
+            partition: PartitionId(1),
+            name: "p".into(),
+            config: cfg,
+            delta: StatCounters {
+                commits,
+                update_commits: updates,
+                aborts_wlock: aborts,
+                ..Default::default()
+            },
+            seconds: 0.05,
+        }
+    }
+
+    fn base() -> DynConfig {
+        DynConfig::from(&PartitionConfig::default())
+    }
+
+    #[test]
+    fn contended_updates_switch_to_visible_after_hysteresis() {
+        let p = ThresholdPolicy::new();
+        // 60% updates, ~33% aborts.
+        let i = input(base(), 1000, 600, 500);
+        assert_eq!(p.evaluate(&i), None, "first window only arms hysteresis");
+        let got = p.evaluate(&i).expect("second agreeing window switches");
+        assert_eq!(got.read_mode, ReadMode::Visible);
+    }
+
+    #[test]
+    fn read_mostly_reverts_to_invisible() {
+        let p = ThresholdPolicy::new();
+        let mut cfg = base();
+        cfg.read_mode = ReadMode::Visible;
+        let i = input(cfg, 1000, 50, 5);
+        assert_eq!(p.evaluate(&i), None);
+        let got = p.evaluate(&i).unwrap();
+        assert_eq!(got.read_mode, ReadMode::Invisible);
+    }
+
+    #[test]
+    fn tiny_windows_are_ignored() {
+        let p = ThresholdPolicy::new();
+        let i = input(base(), 10, 10, 500);
+        assert_eq!(p.evaluate(&i), None);
+        assert_eq!(p.evaluate(&i), None);
+        assert_eq!(p.evaluate(&i), None);
+    }
+
+    #[test]
+    fn disagreement_resets_hysteresis() {
+        let p = ThresholdPolicy::new();
+        let hot = input(base(), 1000, 600, 500);
+        let calm = input(base(), 1000, 100, 5);
+        assert_eq!(p.evaluate(&hot), None);
+        assert_eq!(p.evaluate(&calm), None, "calm window clears pending");
+        assert_eq!(p.evaluate(&hot), None, "must re-arm");
+        assert!(p.evaluate(&hot).is_some());
+    }
+
+    #[test]
+    fn extreme_contention_climbs_to_partition_lock() {
+        let p = ThresholdPolicy::new();
+        // 80% abort rate: commits=1000, aborts=4000.
+        let i1 = input(base(), 1000, 900, 4000);
+        assert_eq!(p.evaluate(&i1), None);
+        let c1 = p.evaluate(&i1).unwrap();
+        assert_eq!(
+            c1.granularity,
+            Granularity::Stripe { shift: 6 },
+            "first step coarsens to stripe"
+        );
+        let mut i2 = i1.clone();
+        i2.config = c1;
+        assert_eq!(p.evaluate(&i2), None);
+        let c2 = p.evaluate(&i2).unwrap();
+        assert_eq!(c2.granularity, Granularity::PartitionLock);
+        // Contention collapses: refine back down.
+        let mut i3 = input(c2, 1000, 900, 10);
+        i3.config.read_mode = c2.read_mode;
+        assert_eq!(p.evaluate(&i3), None);
+        let c3 = p.evaluate(&i3).unwrap();
+        assert_eq!(c3.granularity, Granularity::Stripe { shift: 6 });
+    }
+
+    #[test]
+    fn ladder_endpoints_saturate() {
+        assert_eq!(coarsen(Granularity::PartitionLock, 6), Granularity::PartitionLock);
+        assert_eq!(refine(Granularity::Word, 6), Granularity::Word);
+        assert_eq!(
+            coarsen(Granularity::Word, 8),
+            Granularity::Stripe { shift: 8 }
+        );
+        assert_eq!(refine(Granularity::PartitionLock, 8), Granularity::Stripe { shift: 8 });
+    }
+
+    #[test]
+    fn partitions_have_independent_hysteresis() {
+        let p = ThresholdPolicy::new();
+        let mut i1 = input(base(), 1000, 600, 500);
+        i1.partition = PartitionId(1);
+        let mut i2 = i1.clone();
+        i2.partition = PartitionId(2);
+        assert_eq!(p.evaluate(&i1), None);
+        assert_eq!(p.evaluate(&i2), None, "partition 2 arms separately");
+        assert!(p.evaluate(&i1).is_some());
+        assert!(p.evaluate(&i2).is_some());
+    }
+}

@@ -1,0 +1,85 @@
+//! The compile-time half of the system, end to end: build a program model
+//! (what the Tanger/LLVM frontend would emit), run the automatic
+//! partitioning analysis, inspect why sites were merged, and materialize
+//! the resulting classes as runtime partitions — the full pipeline of the
+//! paper's Figure 1.
+//!
+//! ```text
+//! cargo run --example partition_analysis
+//! ```
+
+use partstm::analysis::{
+    census, merge_chain, partition, AccessKind, ModelBuilder, ProgramModel, Strategy,
+};
+use partstm::core::{PartitionConfig, Stm};
+
+/// A small order-management application: an order book, a per-customer
+/// index over the *same* orders (so the two structures alias), and an
+/// independent audit log.
+fn build_model() -> ProgramModel {
+    let mut b = ModelBuilder::new("order-management");
+    let orders = b.alloc("order_records", "Order");
+    let book = b.alloc("order_book_nodes", "TreeNode");
+    let by_customer = b.alloc("customer_index_nodes", "HashNode");
+    let audit = b.alloc("audit_log_entries", "LogEntry");
+
+    b.access("book_insert", AccessKind::ReadWrite, &[book, orders]);
+    b.access("book_lookup", AccessKind::Read, &[book, orders]);
+    // The customer index points at the same order records: the analysis
+    // must merge it with the book (one access can reach both).
+    b.access("index_scan", AccessKind::Read, &[by_customer, orders]);
+    b.access("audit_append", AccessKind::ReadWrite, &[audit]);
+    b.build().expect("model is well-formed")
+}
+
+fn main() {
+    let model = build_model();
+    println!("program model (JSON excerpt):");
+    let json = model.to_json();
+    for line in json.lines().take(12) {
+        println!("  {line}");
+    }
+    println!("  ...\n");
+
+    // The paper's analysis: finest partitioning such that every access
+    // site targets one partition's metadata.
+    let plan = partition(&model, Strategy::MayTouch).expect("valid model");
+    println!("partitions found: {}", plan.partition_count());
+    for class in &plan.classes {
+        println!(
+            "  class {}: {} ({} alloc sites, {} access sites)",
+            class.index,
+            class.name,
+            class.alloc_sites.len(),
+            class.access_sites.len()
+        );
+    }
+
+    // Why did the order book and the customer index end up together?
+    let book = model.alloc_by_name("order_book_nodes").unwrap().id;
+    let index = model.alloc_by_name("customer_index_nodes").unwrap().id;
+    let chain = merge_chain(&model, book, index).expect("they are merged");
+    println!("\nmerge explanation book -> index: via access sites {chain:?}");
+    for acc in &chain {
+        let site = model.access_sites.iter().find(|s| s.id == *acc).unwrap();
+        println!("  access {} = {} touching {:?}", acc, site.func, site.may_touch);
+    }
+
+    // Full census (the static side of Table T1).
+    println!("\n{}", census(&model).unwrap().to_table());
+
+    // Materialize the classes as runtime partitions — exactly what the
+    // benchmark applications do with their own plans.
+    let stm = Stm::new();
+    let parts: Vec<_> = plan
+        .classes
+        .iter()
+        .map(|c| stm.new_partition(PartitionConfig::named(c.name.clone()).tunable()))
+        .collect();
+    println!("materialized runtime partitions:");
+    for p in &parts {
+        println!("  id={:?} name={}", p.id(), p.name());
+    }
+    // book + index + orders merge into one class; the audit log stands alone.
+    assert_eq!(parts.len(), 2);
+}

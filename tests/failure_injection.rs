@@ -1,0 +1,166 @@
+//! Failure injection: user panics, user-requested retries and pathological
+//! closures must never leak locks, reader bits or arena slots.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use partstm::core::{Abort, Arena, Granularity, Handle, PartitionConfig, ReadMode, Stm, TVar};
+
+#[derive(Default)]
+struct Node {
+    v: TVar<u64>,
+}
+
+/// Panics mid-transaction on several threads while others run normally;
+/// afterwards the partition must be fully unlocked and consistent.
+#[test]
+fn panics_under_concurrency_leak_nothing() {
+    let stm = Stm::new();
+    let p = stm.new_partition(
+        PartitionConfig::named("p").granularity(Granularity::PartitionLock),
+    );
+    let x = Arc::new(TVar::new(0u64));
+    std::thread::scope(|s| {
+        // Panicking threads: write then blow up (lock held at panic).
+        for t in 0..3u64 {
+            let ctx = stm.register_thread();
+            let (p, x) = (p.clone(), x.clone());
+            s.spawn(move || {
+                for i in 0..50 {
+                    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        ctx.run(|tx| {
+                            let v = x.read(tx, &p)?;
+                            x.write(tx, &p, v + 1)?;
+                            if i % 2 == 0 {
+                                panic!("injected failure {t}/{i}");
+                            }
+                            Ok(())
+                        })
+                    }));
+                    if i % 2 == 0 {
+                        assert!(r.is_err(), "panic must propagate");
+                    }
+                }
+            });
+        }
+        // Normal workers keep making progress throughout.
+        for _ in 0..3 {
+            let ctx = stm.register_thread();
+            let (p, x) = (p.clone(), x.clone());
+            s.spawn(move || {
+                for _ in 0..500 {
+                    ctx.run(|tx| tx.modify(&p, &x, |v| v + 1).map(|_| ()));
+                }
+            });
+        }
+    });
+    // Partition must be fully unlocked.
+    let (locked, owners, _) = p.debug_scan();
+    assert_eq!(locked, 0, "leaked locks owned by {owners:?}");
+    // The panicking threads committed only their odd iterations (25 each).
+    assert_eq!(x.load_direct(), 3 * 25 + 3 * 500);
+}
+
+/// Panics while holding visible-reader bits: the bits must be cleared so
+/// writers are never blocked forever.
+#[test]
+fn panic_clears_visible_reader_bits() {
+    let stm = Stm::new();
+    let p = stm.new_partition(PartitionConfig::named("v").read_mode(ReadMode::Visible));
+    let x = Arc::new(TVar::new(7u64));
+    let ctx = stm.register_thread();
+    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        ctx.run(|tx| {
+            let _ = x.read(tx, &p)?; // sets our reader bit
+            panic!("reader dies");
+            #[allow(unreachable_code)]
+            Ok(())
+        })
+    }));
+    assert!(r.is_err());
+    let (_, _, _) = p.debug_scan();
+    // A writer must succeed immediately (no stale reader bit to wait on).
+    let ctx2 = stm.register_thread();
+    let done = ctx2.run(|tx| {
+        x.write(tx, &p, 8)?;
+        Ok(true)
+    });
+    assert!(done);
+    assert_eq!(x.load_direct(), 8);
+}
+
+/// Abort::retry storms with transactional allocations: no slot may leak
+/// even when every attempt but the last aborts.
+#[test]
+fn retry_storms_do_not_leak_arena_slots() {
+    let stm = Stm::new();
+    let p = stm.new_partition(PartitionConfig::named("a"));
+    let arena: Arc<Arena<Node>> = Arc::new(Arena::new());
+    let total_commits = Arc::new(AtomicU64::new(0));
+    std::thread::scope(|s| {
+        for t in 0..4u64 {
+            let ctx = stm.register_thread();
+            let (p, arena, total_commits) = (p.clone(), arena.clone(), total_commits.clone());
+            s.spawn(move || {
+                let mut kept: Vec<Handle<Node>> = Vec::new();
+                for i in 0..500u64 {
+                    let mut attempts = 0;
+                    let h = ctx.run(|tx| {
+                        attempts += 1;
+                        let h = arena.alloc(tx)?;
+                        tx.write(&p, &arena.get(h).v, t * 1000 + i)?;
+                        if attempts < 3 {
+                            return Err(Abort::retry());
+                        }
+                        Ok(h)
+                    });
+                    kept.push(h);
+                    total_commits.fetch_add(1, Ordering::Relaxed);
+                }
+                // Free half of them again.
+                for h in kept.drain(..).step_by(2) {
+                    ctx.run(|tx| {
+                        arena.free(tx, h);
+                        Ok(())
+                    });
+                }
+            });
+        }
+    });
+    assert_eq!(total_commits.load(Ordering::Relaxed), 2000);
+    // 2000 allocations committed, 1000 freed: exactly 1000 live.
+    assert_eq!(arena.live(), 1000, "aborted attempts must not leak slots");
+}
+
+/// A closure that reads, then decides to retry until a condition appears
+/// (user-level polling): progress and correct final state.
+#[test]
+fn user_retry_until_condition() {
+    let stm = Stm::new();
+    let p = stm.new_partition(PartitionConfig::named("c"));
+    let flag = Arc::new(TVar::new(false));
+    let value = Arc::new(TVar::new(0u64));
+    std::thread::scope(|s| {
+        let ctx = stm.register_thread();
+        let (p1, flag1, value1) = (p.clone(), flag.clone(), value.clone());
+        let waiter = s.spawn(move || {
+            ctx.run(|tx| {
+                if !flag1.read(tx, &p1)? {
+                    return Err(Abort::retry()); // backoff + retry
+                }
+                value1.read(tx, &p1)
+            })
+        });
+        let ctx2 = stm.register_thread();
+        let (p2, flag2, value2) = (p.clone(), flag.clone(), value.clone());
+        s.spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            ctx2.run(|tx| {
+                value2.write(tx, &p2, 99)?;
+                flag2.write(tx, &p2, true)?;
+                Ok(())
+            });
+        });
+        assert_eq!(waiter.join().unwrap(), 99, "waiter sees both writes atomically");
+    });
+}

@@ -1,0 +1,270 @@
+//! Property-based tests across the workspace: structure semantics vs
+//! models, red-black invariants, partitioner soundness/minimality, word
+//! encodings, genome packing algebra.
+
+use proptest::prelude::*;
+
+use partstm::analysis::{
+    merge_chain, partition, AccessKind, AccessSite, AllocSite, ProgramModel,
+    Strategy as PartStrategy,
+};
+use partstm::core::{PartitionConfig, Stm, TxWord};
+use partstm::structures::{IntSet, THashSet, TLinkedList, TRbTree, TSkipList};
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Insert(u64),
+    Remove(u64),
+    Contains(u64),
+}
+
+fn op_strategy(key_range: u64) -> impl Strategy<Value = Op> {
+    (0..3u8, 0..key_range).prop_map(|(kind, k)| match kind {
+        0 => Op::Insert(k),
+        1 => Op::Remove(k),
+        _ => Op::Contains(k),
+    })
+}
+
+/// Runs an op sequence against a structure and a `BTreeSet` model; every
+/// return value and the final snapshot must agree.
+fn check_against_model(make: impl Fn(&Stm) -> Box<dyn IntSet>, ops: &[Op]) {
+    let stm = Stm::new();
+    let set = make(&stm);
+    let ctx = stm.register_thread();
+    let mut model = std::collections::BTreeSet::new();
+    for (i, op) in ops.iter().enumerate() {
+        match *op {
+            Op::Insert(k) => {
+                assert_eq!(ctx.run(|tx| set.insert(tx, k)), model.insert(k), "step {i}: {op:?}")
+            }
+            Op::Remove(k) => {
+                assert_eq!(ctx.run(|tx| set.remove(tx, k)), model.remove(&k), "step {i}: {op:?}")
+            }
+            Op::Contains(k) => assert_eq!(
+                ctx.run(|tx| set.contains(tx, k)),
+                model.contains(&k),
+                "step {i}: {op:?}"
+            ),
+        }
+    }
+    let expect: Vec<u64> = model.into_iter().collect();
+    assert_eq!(set.snapshot_keys(), expect);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn linkedlist_matches_model(ops in proptest::collection::vec(op_strategy(32), 1..200)) {
+        check_against_model(
+            |stm| Box::new(TLinkedList::new(stm.new_partition(PartitionConfig::named("l")))),
+            &ops,
+        );
+    }
+
+    #[test]
+    fn skiplist_matches_model(ops in proptest::collection::vec(op_strategy(64), 1..200)) {
+        check_against_model(
+            |stm| Box::new(TSkipList::new(stm.new_partition(PartitionConfig::named("s")))),
+            &ops,
+        );
+    }
+
+    #[test]
+    fn rbtree_matches_model_and_stays_balanced(
+        ops in proptest::collection::vec(op_strategy(48), 1..250)
+    ) {
+        let stm = Stm::new();
+        let tree = TRbTree::new(stm.new_partition(PartitionConfig::named("t")));
+        let ctx = stm.register_thread();
+        let mut model = std::collections::BTreeSet::new();
+        for op in &ops {
+            match *op {
+                Op::Insert(k) => {
+                    prop_assert_eq!(ctx.run(|tx| tree.insert(tx, k)), model.insert(k));
+                }
+                Op::Remove(k) => {
+                    prop_assert_eq!(ctx.run(|tx| tree.remove(tx, k)), model.remove(&k));
+                }
+                Op::Contains(k) => {
+                    prop_assert_eq!(ctx.run(|tx| tree.contains(tx, k)), model.contains(&k));
+                }
+            }
+        }
+        prop_assert!(tree.check_invariants().is_ok());
+        let expect: Vec<u64> = model.iter().copied().collect();
+        prop_assert_eq!(tree.snapshot_keys(), expect);
+    }
+
+    #[test]
+    fn hashset_matches_model(ops in proptest::collection::vec(op_strategy(96), 1..200)) {
+        check_against_model(
+            |stm| Box::new(THashSet::new(stm.new_partition(PartitionConfig::named("h")), 8)),
+            &ops,
+        );
+    }
+
+    #[test]
+    fn txword_roundtrips(v in any::<u64>(), i in any::<i64>(), f in any::<f64>(), b in any::<bool>()) {
+        prop_assert_eq!(u64::from_word(v.to_word()), v);
+        prop_assert_eq!(i64::from_word(i.to_word()), i);
+        prop_assert_eq!(bool::from_word(b.to_word()), b);
+        if f.is_nan() {
+            prop_assert!(f64::from_word(f.to_word()).is_nan());
+        } else {
+            prop_assert_eq!(f64::from_word(f.to_word()), f);
+        }
+    }
+}
+
+/// Random bipartite program models for partitioner properties.
+fn model_strategy() -> impl Strategy<Value = ProgramModel> {
+    (2usize..12, 1usize..16).prop_flat_map(|(n_alloc, n_access)| {
+        let touch = proptest::collection::btree_set(0..n_alloc as u32, 1..=3.min(n_alloc));
+        proptest::collection::vec(touch, n_access).prop_map(move |touches| ProgramModel {
+            name: "random".into(),
+            alloc_sites: (0..n_alloc as u32)
+                .map(|id| AllocSite {
+                    id,
+                    name: format!("a{id}"),
+                    type_name: format!("T{}", id % 3),
+                    context: None,
+                })
+                .collect(),
+            access_sites: touches
+                .into_iter()
+                .enumerate()
+                .map(|(id, t)| AccessSite {
+                    id: id as u32,
+                    func: format!("f{id}"),
+                    kind: AccessKind::ReadWrite,
+                    may_touch: t.into_iter().collect(),
+                })
+                .collect(),
+        })
+    })
+}
+
+/// Brute-force connected components of the bipartite graph.
+fn components(model: &ProgramModel) -> Vec<Vec<u32>> {
+    let n = model.alloc_sites.len();
+    let mut comp: Vec<Option<usize>> = vec![None; n];
+    let mut next = 0usize;
+    for start in 0..n {
+        if comp[start].is_some() {
+            continue;
+        }
+        let c = next;
+        next += 1;
+        let mut stack = vec![start as u32];
+        comp[start] = Some(c);
+        while let Some(cur) = stack.pop() {
+            for s in &model.access_sites {
+                if s.may_touch.contains(&cur) {
+                    for &nb in &s.may_touch {
+                        if comp[nb as usize].is_none() {
+                            comp[nb as usize] = Some(c);
+                            stack.push(nb);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let mut out = vec![Vec::new(); next];
+    for (i, c) in comp.iter().enumerate() {
+        out[c.unwrap()].push(i as u32);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Soundness: every access site's may-touch set lands in one class.
+    /// Minimality: the classes are exactly the connected components.
+    #[test]
+    fn partitioner_sound_and_minimal(model in model_strategy()) {
+        let plan = partition(&model, PartStrategy::MayTouch).unwrap();
+        for s in &model.access_sites {
+            let c = plan.class_of_access(s.id).unwrap();
+            for t in &s.may_touch {
+                prop_assert_eq!(plan.class_of_alloc(*t), Some(c));
+            }
+        }
+        let comps = components(&model);
+        prop_assert_eq!(plan.partition_count(), comps.len());
+        // Same-component pairs share a class; cross-component pairs don't.
+        for comp in &comps {
+            let c0 = plan.class_of_alloc(comp[0]);
+            for &m in comp {
+                prop_assert_eq!(plan.class_of_alloc(m), c0);
+            }
+        }
+    }
+
+    /// merge_chain returns a witness iff two sites share a class, and the
+    /// witness is a genuine connecting path.
+    #[test]
+    fn merge_chain_is_a_valid_witness(model in model_strategy()) {
+        let plan = partition(&model, PartStrategy::MayTouch).unwrap();
+        let a = model.alloc_sites.first().unwrap().id;
+        let b = model.alloc_sites.last().unwrap().id;
+        let chain = merge_chain(&model, a, b);
+        let same = plan.class_of_alloc(a) == plan.class_of_alloc(b);
+        prop_assert_eq!(chain.is_some(), same);
+        if let Some(chain) = chain {
+            // Each consecutive pair of access sites must overlap in an
+            // alloc site, and the chain's ends must touch a and b.
+            if !chain.is_empty() {
+                let site = |id: u32| model.access_sites.iter().find(|s| s.id == id).unwrap();
+                prop_assert!(site(chain[0]).may_touch.contains(&a));
+                prop_assert!(site(*chain.last().unwrap()).may_touch.contains(&b));
+                for w in chain.windows(2) {
+                    let s1 = site(w[0]);
+                    let s2 = site(w[1]);
+                    prop_assert!(s1.may_touch.iter().any(|t| s2.may_touch.contains(t)));
+                }
+            }
+        }
+    }
+
+    /// Type seeding only ever coarsens.
+    #[test]
+    fn type_seeding_is_coarser(model in model_strategy()) {
+        let fine = partition(&model, PartStrategy::MayTouch).unwrap();
+        let coarse = partition(&model, PartStrategy::TypeSeeded).unwrap();
+        prop_assert!(coarse.partition_count() <= fine.partition_count());
+        // Coarsening refines the same-class relation in one direction only.
+        for x in &model.alloc_sites {
+            for y in &model.alloc_sites {
+                if fine.class_of_alloc(x.id) == fine.class_of_alloc(y.id) {
+                    prop_assert_eq!(
+                        coarse.class_of_alloc(x.id),
+                        coarse.class_of_alloc(y.id)
+                    );
+                }
+            }
+        }
+    }
+}
+
+// Genome packing algebra on random bases.
+proptest! {
+    #[test]
+    fn genome_pack_overlap_identity(
+        bases in proptest::collection::vec(0u8..4, 48..96),
+        start in 0usize..16,
+        o in 1usize..12,
+    ) {
+        use partstm::stamp::genome::pack;
+        let s = 16usize;
+        let a = pack(&bases, start, s);
+        let b = pack(&bases, start + (s - o), s);
+        // suffix_o(a) == prefix_o(b) by construction.
+        let suffix = a & ((1u64 << (2 * o)) - 1);
+        let prefix = b >> (2 * (s - o));
+        prop_assert_eq!(suffix, prefix);
+    }
+}

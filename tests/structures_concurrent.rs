@@ -1,0 +1,189 @@
+//! Concurrent correctness of every transactional structure, including
+//! under adaptive tuning (config switches mid-run).
+
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+
+use partstm::core::{PartitionConfig, Stm};
+use partstm::structures::{IntSet, THashSet, TLinkedList, TRbTree, TSkipList};
+use partstm::tuning::{ThresholdPolicy, Thresholds};
+
+fn all_sets(stm: &Stm, tunable: bool) -> Vec<(&'static str, Box<dyn IntSet>)> {
+    let mk = |name: &str| {
+        let mut cfg = PartitionConfig::named(name);
+        cfg.tune = tunable;
+        stm.new_partition(cfg)
+    };
+    vec![
+        ("linked-list", Box::new(TLinkedList::new(mk("list"))) as Box<dyn IntSet>),
+        ("skip-list", Box::new(TSkipList::new(mk("skip")))),
+        ("rb-tree", Box::new(TRbTree::new(mk("tree")))),
+        ("hash-set", Box::new(THashSet::new(mk("hash"), 16))),
+    ]
+}
+
+/// Contended mixed workload; validate the net-size invariant via success
+/// return values, plus snapshot sanity.
+fn contended_run(stm: &Stm, set: &dyn IntSet, name: &str) {
+    let initial_len = set.snapshot_keys().len() as i64;
+    let net = AtomicI64::new(0);
+    std::thread::scope(|s| {
+        for t in 0..6u64 {
+            let ctx = stm.register_thread();
+            let net = &net;
+            let set = &set;
+            s.spawn(move || {
+                let mut r = (t + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                for _ in 0..2500 {
+                    r ^= r << 13;
+                    r ^= r >> 7;
+                    r ^= r << 17;
+                    let k = r % 24;
+                    // Decorrelated op choice (high bits) vs key (low bits).
+                    match (r >> 33) % 3 {
+                        0 => {
+                            if ctx.run(|tx| set.insert(tx, k)) {
+                                net.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        1 => {
+                            if ctx.run(|tx| set.remove(tx, k)) {
+                                net.fetch_sub(1, Ordering::Relaxed);
+                            }
+                        }
+                        _ => {
+                            ctx.run(|tx| set.contains(tx, k));
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let keys = set.snapshot_keys();
+    let mut sorted = keys.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(keys, sorted, "{name}: snapshot must be sorted+unique");
+    assert_eq!(
+        keys.len() as i64 - initial_len,
+        net.load(Ordering::Relaxed),
+        "{name}: size change must equal net successful inserts"
+    );
+}
+
+#[test]
+fn all_structures_contended_default_config() {
+    let stm = Stm::new();
+    for (name, set) in all_sets(&stm, false) {
+        contended_run(&stm, set.as_ref(), name);
+    }
+}
+
+#[test]
+fn all_structures_contended_under_adaptive_tuning() {
+    let stm = Stm::new();
+    stm.set_tuner(Arc::new(ThresholdPolicy::with_thresholds(Thresholds {
+        window: 256,
+        min_commits: 64,
+        hysteresis: 1,
+        ..Thresholds::default()
+    })));
+    let sets = all_sets(&stm, true);
+    // Phase 1: update-only hammering on a tiny range — update fraction ~1
+    // and high contention must make the threshold tuner reconfigure.
+    for (name, set) in &sets {
+        let net = AtomicI64::new(0);
+        std::thread::scope(|s| {
+            for t in 0..6u64 {
+                let ctx = stm.register_thread();
+                let (net, set) = (&net, set.as_ref());
+                s.spawn(move || {
+                    let mut r = (t + 1).wrapping_mul(0x9E37_79B9);
+                    for _ in 0..3000 {
+                        r ^= r << 13;
+                        r ^= r >> 7;
+                        r ^= r << 17;
+                        let k = r % 4;
+                        if (r >> 21) & 1 == 0 {
+                            if ctx.run(|tx| set.insert(tx, k)) {
+                                net.fetch_add(1, Ordering::Relaxed);
+                            }
+                        } else if ctx.run(|tx| set.remove(tx, k)) {
+                            net.fetch_sub(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            set.snapshot_keys().len() as i64,
+            net.load(Ordering::Relaxed),
+            "{name}: hammer phase lost an update"
+        );
+    }
+    let total_generations: u32 = stm.partitions().iter().map(|p| p.generation()).sum();
+    assert!(
+        total_generations > 0,
+        "the tuner never switched any partition under a 100%-update hammer"
+    );
+    // Phase 2: the mixed workload must still be correct under whatever
+    // configurations the tuner picked (and any further switches).
+    for (name, set) in &sets {
+        contended_run(&stm, set.as_ref(), name);
+    }
+}
+
+/// Tree invariants hold after a concurrent battering.
+#[test]
+fn rbtree_invariants_after_concurrency() {
+    let stm = Stm::new();
+    let tree = TRbTree::new(stm.new_partition(PartitionConfig::named("t")));
+    std::thread::scope(|s| {
+        for t in 0..6u64 {
+            let ctx = stm.register_thread();
+            let tree = &tree;
+            s.spawn(move || {
+                let mut r = (t + 1).wrapping_mul(0xA076_1D64_78BD_642F);
+                for _ in 0..3000 {
+                    r ^= r << 13;
+                    r ^= r >> 7;
+                    r ^= r << 17;
+                    let k = r % 512;
+                    if r & 1 == 0 {
+                        ctx.run(|tx| tree.insert(tx, k));
+                    } else {
+                        ctx.run(|tx| tree.remove(tx, k));
+                    }
+                }
+            });
+        }
+    });
+    tree.check_invariants()
+        .expect("red-black invariants after concurrent mix");
+}
+
+/// Disjoint-range workload where the exact final contents are predictable.
+#[test]
+fn skiplist_disjoint_exactness() {
+    let stm = Stm::new();
+    let set = TSkipList::new(stm.new_partition(PartitionConfig::named("s")));
+    std::thread::scope(|s| {
+        for t in 0..8u64 {
+            let ctx = stm.register_thread();
+            let set = &set;
+            s.spawn(move || {
+                let base = t * 1000;
+                for k in base..base + 200 {
+                    assert!(ctx.run(|tx| set.insert(tx, k)));
+                }
+                for k in (base..base + 200).step_by(3) {
+                    assert!(ctx.run(|tx| set.remove(tx, k)));
+                }
+            });
+        }
+    });
+    let expect: Vec<u64> = (0..8u64)
+        .flat_map(|t| (t * 1000..t * 1000 + 200).filter(move |k| (k - t * 1000) % 3 != 0))
+        .collect();
+    assert_eq!(set.snapshot_keys(), expect);
+}
