@@ -9,8 +9,9 @@
 //! frontend documented in DESIGN.md. Everything downstream (the partitioner
 //! itself) is the paper's algorithm unchanged.
 
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
+
+use crate::json::{Json, JsonError};
 
 /// Identifier of an allocation site within one model.
 pub type AllocId = u32;
@@ -18,7 +19,7 @@ pub type AllocId = u32;
 pub type AccessId = u32;
 
 /// What an access site does to the data it touches.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AccessKind {
     /// Transactional load.
     Read,
@@ -30,7 +31,7 @@ pub enum AccessKind {
 
 /// A static allocation site: one place in the program where transactional
 /// data is created (e.g. "the nodes of the car table's red-black tree").
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AllocSite {
     /// Unique id within the model.
     pub id: AllocId,
@@ -40,14 +41,14 @@ pub struct AllocSite {
     pub type_name: String,
     /// Optional allocation context (k-CFA style call-site string). Sites
     /// that differ only in context model a context-sensitive analysis; see
-    /// [`ProgramModel::collapse_contexts`].
-    #[serde(default)]
+    /// [`ProgramModel::collapse_contexts`]. Serialized as JSON `null` when
+    /// `None`; an absent member also decodes as `None`.
     pub context: Option<String>,
 }
 
 /// A static access site: one instrumented transactional load/store, with
 /// the set of allocation sites the points-to analysis says it may touch.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AccessSite {
     /// Unique id within the model.
     pub id: AccessId,
@@ -63,7 +64,7 @@ pub struct AccessSite {
 }
 
 /// A whole-program model: the input to the partitioner.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ProgramModel {
     /// Program/benchmark name.
     pub name: String,
@@ -97,7 +98,10 @@ impl core::fmt::Display for ModelError {
             ModelError::DuplicateAllocId(id) => write!(f, "duplicate allocation-site id {id}"),
             ModelError::DuplicateAccessId(id) => write!(f, "duplicate access-site id {id}"),
             ModelError::UnknownAllocSite { access, alloc } => {
-                write!(f, "access site {access} references unknown alloc site {alloc}")
+                write!(
+                    f,
+                    "access site {access} references unknown alloc site {alloc}"
+                )
             }
             ModelError::EmptyMayTouch(id) => write!(f, "access site {id} has empty may-touch set"),
         }
@@ -135,16 +139,131 @@ impl ProgramModel {
         Ok(())
     }
 
-    /// Serializes to pretty JSON.
+    /// Serializes to pretty JSON (the wire format `serde_json` would emit
+    /// for these structs, so external tooling sees a stable schema).
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("model serialization cannot fail")
+        let alloc_sites = self
+            .alloc_sites
+            .iter()
+            .map(|a| {
+                let mut members = vec![
+                    ("id".to_owned(), Json::Num(a.id as f64)),
+                    ("name".to_owned(), Json::Str(a.name.clone())),
+                    ("type_name".to_owned(), Json::Str(a.type_name.clone())),
+                ];
+                members.push((
+                    "context".to_owned(),
+                    match &a.context {
+                        Some(c) => Json::Str(c.clone()),
+                        None => Json::Null,
+                    },
+                ));
+                Json::Obj(members)
+            })
+            .collect();
+        let access_sites = self
+            .access_sites
+            .iter()
+            .map(|s| {
+                let kind = match s.kind {
+                    AccessKind::Read => "Read",
+                    AccessKind::Write => "Write",
+                    AccessKind::ReadWrite => "ReadWrite",
+                };
+                Json::Obj(vec![
+                    ("id".to_owned(), Json::Num(s.id as f64)),
+                    ("func".to_owned(), Json::Str(s.func.clone())),
+                    ("kind".to_owned(), Json::Str(kind.to_owned())),
+                    (
+                        "may_touch".to_owned(),
+                        Json::Arr(s.may_touch.iter().map(|&t| Json::Num(t as f64)).collect()),
+                    ),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("name".to_owned(), Json::Str(self.name.clone())),
+            ("alloc_sites".to_owned(), Json::Arr(alloc_sites)),
+            ("access_sites".to_owned(), Json::Arr(access_sites)),
+        ])
+        .to_string_pretty()
     }
 
     /// Parses a model from JSON and validates it.
     pub fn from_json(s: &str) -> Result<Self, Box<dyn std::error::Error>> {
-        let m: ProgramModel = serde_json::from_str(s)?;
+        let m = Self::decode(&Json::parse(s)?)?;
         m.validate()?;
         Ok(m)
+    }
+
+    fn decode(v: &Json) -> Result<ProgramModel, JsonError> {
+        fn field<'a>(obj: &'a Json, key: &str) -> Result<&'a Json, JsonError> {
+            obj.get(key)
+                .ok_or_else(|| JsonError(format!("missing field `{key}`")))
+        }
+        let str_field = |obj: &Json, key: &str| -> Result<String, JsonError> {
+            field(obj, key)?
+                .as_str()
+                .map(str::to_owned)
+                .ok_or_else(|| JsonError(format!("field `{key}` must be a string")))
+        };
+        let u32_field = |obj: &Json, key: &str| -> Result<u32, JsonError> {
+            field(obj, key)?
+                .as_u32()
+                .ok_or_else(|| JsonError(format!("field `{key}` must be a u32")))
+        };
+
+        let mut alloc_sites = Vec::new();
+        for a in field(v, "alloc_sites")?
+            .as_arr()
+            .ok_or_else(|| JsonError("`alloc_sites` must be an array".into()))?
+        {
+            let context = match a.get("context") {
+                None | Some(Json::Null) => None,
+                Some(Json::Str(c)) => Some(c.clone()),
+                Some(_) => return Err(JsonError("`context` must be a string or null".into())),
+            };
+            alloc_sites.push(AllocSite {
+                id: u32_field(a, "id")?,
+                name: str_field(a, "name")?,
+                type_name: str_field(a, "type_name")?,
+                context,
+            });
+        }
+
+        let mut access_sites = Vec::new();
+        for s in field(v, "access_sites")?
+            .as_arr()
+            .ok_or_else(|| JsonError("`access_sites` must be an array".into()))?
+        {
+            let kind = match str_field(s, "kind")?.as_str() {
+                "Read" => AccessKind::Read,
+                "Write" => AccessKind::Write,
+                "ReadWrite" => AccessKind::ReadWrite,
+                other => return Err(JsonError(format!("unknown access kind `{other}`"))),
+            };
+            let may_touch = field(s, "may_touch")?
+                .as_arr()
+                .ok_or_else(|| JsonError("`may_touch` must be an array".into()))?
+                .iter()
+                .map(|t| {
+                    t.as_u32()
+                        .ok_or_else(|| JsonError("`may_touch` entries must be u32".into()))
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            access_sites.push(AccessSite {
+                id: u32_field(s, "id")?,
+                func: str_field(s, "func")?,
+                kind,
+                may_touch,
+            });
+        }
+
+        Ok(ProgramModel {
+            name: str_field(v, "name")?,
+            alloc_sites,
+            access_sites,
+        })
     }
 
     /// Produces the *context-insensitive* version of this model: allocation
@@ -342,8 +461,33 @@ mod tests {
     fn json_rejects_invalid_model() {
         let mut m = tiny();
         m.access_sites[0].may_touch = vec![99];
-        let j = serde_json::to_string(&m).unwrap();
+        let j = m.to_json();
         assert!(ProgramModel::from_json(&j).is_err());
+    }
+
+    #[test]
+    fn json_rejects_malformed_documents() {
+        assert!(ProgramModel::from_json("not json").is_err());
+        assert!(ProgramModel::from_json(r#"{"name":"x"}"#).is_err());
+        assert!(ProgramModel::from_json(
+            r#"{"name":"x","alloc_sites":[],"access_sites":[{"id":0,"func":"f","kind":"Nope","may_touch":[0]}]}"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn json_context_field_roundtrips_and_defaults() {
+        let mut b = ModelBuilder::new("ctx");
+        let a = b.alloc_in_context("node", "Node", "main->f");
+        b.access("f", AccessKind::Read, &[a]);
+        let m = b.build().unwrap();
+        let m2 = ProgramModel::from_json(&m.to_json()).unwrap();
+        assert_eq!(m, m2);
+        // A missing `context` member decodes as None (serde's #[serde(default)]).
+        let j = r#"{"name":"x","alloc_sites":[{"id":0,"name":"a","type_name":"T"}],
+                    "access_sites":[{"id":0,"func":"f","kind":"Read","may_touch":[0]}]}"#;
+        let m3 = ProgramModel::from_json(j).unwrap();
+        assert_eq!(m3.alloc_sites[0].context, None);
     }
 
     #[test]
@@ -360,7 +504,10 @@ mod tests {
         assert_eq!(flat.alloc_sites.len(), 2, "two contexts merged into one");
         flat.validate().unwrap();
         // Access sites now reference the representative.
-        assert_eq!(flat.access_sites[0].may_touch, flat.access_sites[1].may_touch);
+        assert_eq!(
+            flat.access_sites[0].may_touch,
+            flat.access_sites[1].may_touch
+        );
     }
 
     #[test]

@@ -1,12 +1,10 @@
 //! Partition census reporting (the static half of the paper's Table T1).
 
-use serde::{Deserialize, Serialize};
-
 use crate::model::ProgramModel;
 use crate::partitioner::{partition, PartitionPlan, Strategy};
 
 /// Static census of one program's partitioning.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Census {
     /// Program name.
     pub program: String,
@@ -25,7 +23,7 @@ pub struct Census {
 }
 
 /// One row per partition in the census.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ClassSummary {
     /// Class index.
     pub index: usize,

@@ -10,7 +10,10 @@ use partstm_core::{Granularity, PartitionConfig, ReadMode, Stm, TVar};
 
 fn bench_reads(c: &mut Criterion) {
     let mut g = c.benchmark_group("txn_reads");
-    for (label, mode) in [("invisible", ReadMode::Invisible), ("visible", ReadMode::Visible)] {
+    for (label, mode) in [
+        ("invisible", ReadMode::Invisible),
+        ("visible", ReadMode::Visible),
+    ] {
         for n in [1usize, 16, 64, 256] {
             let stm = Stm::new();
             let p = stm.new_partition(PartitionConfig::named("p").read_mode(mode));

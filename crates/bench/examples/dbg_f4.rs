@@ -3,8 +3,8 @@ use partstm_bench::{intset_op, prefill};
 use partstm_core::*;
 use partstm_stamp::SplitMix64;
 use partstm_structures::TRbTree;
-use std::sync::Arc;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 fn main() {
@@ -27,7 +27,7 @@ fn main() {
                 while !stop.load(Ordering::Relaxed) {
                     let el = start.elapsed();
                     let p = (el.as_secs_f64() / phase) as u64;
-                    let upd = if p % 2 == 0 { 2 } else { 60 };
+                    let upd = if p.is_multiple_of(2) { 2 } else { 60 };
                     intset_op(&*tree, &ctx, &mut rng, range, upd);
                     beats[t].fetch_add(1, Ordering::Relaxed);
                 }

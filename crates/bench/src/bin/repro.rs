@@ -16,16 +16,14 @@ use std::time::Instant;
 
 use partstm_bench::hetero::{self, HeteroApp, HeteroMode};
 use partstm_bench::{
-    config_label, drive, drive_timeseries, intset_op, kops, partition_with, prefill,
-    snapshot_all, static_configs, thread_sweep,
+    config_label, drive, drive_timeseries, intset_op, kops, partition_with, prefill, snapshot_all,
+    static_configs, thread_sweep,
 };
 use partstm_core::{DynConfig, Granularity, PartitionConfig, ReadMode, ReaderArb, Stm};
 use partstm_stamp::genome::{self, GenomeConfig, GenomeParts};
 use partstm_stamp::intruder::{self, IntruderConfig, IntruderParts};
 use partstm_stamp::kmeans::{self, KmeansConfig};
-use partstm_stamp::vacation::{
-    self, Manager, ManagerParts, VacationConfig, VacationStats,
-};
+use partstm_stamp::vacation::{self, Manager, ManagerParts, VacationConfig, VacationStats};
 use partstm_stamp::SplitMix64;
 use partstm_structures::{IntSet, THashSet, TLinkedList, TRbTree, TSkipList};
 use partstm_tuning::{ThresholdPolicy, Thresholds};
@@ -123,7 +121,11 @@ enum Structure {
     Tree,
 }
 
-fn make_set(structure: &Structure, part: Arc<partstm_core::Partition>, range: u64) -> Box<dyn IntSet> {
+fn make_set(
+    structure: &Structure,
+    part: Arc<partstm_core::Partition>,
+    range: u64,
+) -> Box<dyn IntSet> {
     match structure {
         Structure::List => Box::new(TLinkedList::with_capacity(part, range as usize)),
         Structure::Skip => Box::new(TSkipList::with_capacity(part, range as usize)),
@@ -136,7 +138,9 @@ fn make_set(structure: &Structure, part: Arc<partstm_core::Partition>, range: u6
 /// F2: no one-size-fits-all — throughput vs threads for each static config
 /// on three intset workloads.
 fn f2(opts: &Opts) {
-    println!("\n=== F2: intset microbenchmarks, throughput (Kops/s) vs threads per static config ===");
+    println!(
+        "\n=== F2: intset microbenchmarks, throughput (Kops/s) vs threads per static config ==="
+    );
     let workloads: [(&str, Structure, u64, u64); 3] = [
         ("linked-list r=512 u=20%", Structure::List, 512, 20),
         ("skip-list r=4096 u=20%", Structure::Skip, 4096, 20),
@@ -212,7 +216,8 @@ fn f3(opts: &Opts) {
         config_label(&best[2])
     );
 
-    let mut modes: Vec<(String, Box<dyn Fn(&Stm) -> HeteroApp>)> = Vec::new();
+    type AppCtor = Box<dyn Fn(&Stm) -> HeteroApp>;
+    let mut modes: Vec<(String, AppCtor)> = Vec::new();
     for (label, cfg) in &configs {
         let c = *cfg;
         modes.push((
@@ -285,7 +290,7 @@ fn f4(opts: &Opts) {
         prefill(&stm, &tree, range);
         let series = drive_timeseries(&stm, threads, total, window, &|ctx, _t, rng, el| {
             let p = (el.as_secs_f64() / phase) as u64;
-            let upd = if p % 2 == 0 { 2 } else { 60 };
+            let upd = if p.is_multiple_of(2) { 2 } else { 60 };
             intset_op(&tree, ctx, rng, range, upd);
         });
         (series, part.generation())
@@ -293,9 +298,12 @@ fn f4(opts: &Opts) {
     let (inv, _) = run("inv/word");
     let (vis, _) = run("vis/word");
     let (ada, switches) = run("adaptive");
-    println!("{:>8} {:>6} {:>10} {:>10} {:>10}", "window", "t(s)", "inv/word", "vis/word", "adaptive");
+    println!(
+        "{:>8} {:>6} {:>10} {:>10} {:>10}",
+        "window", "t(s)", "inv/word", "vis/word", "adaptive"
+    );
     for i in 0..inv.len().min(vis.len()).min(ada.len()) {
-        let phase_mark = if ((i as f64 + 0.5) * window / phase) as u64 % 2 == 0 {
+        let phase_mark = if (((i as f64 + 0.5) * window / phase) as u64).is_multiple_of(2) {
             "lo"
         } else {
             "HI"
@@ -329,8 +337,11 @@ fn t1(opts: &Opts) {
         println!("\n{}", census.to_table());
     }
 
-    println!("=== T1b: per-partition runtime profile (vacation-high, {} threads, {:.1}s) ===",
-        opts.threads.last().unwrap_or(&4), opts.secs.max(1.0));
+    println!(
+        "=== T1b: per-partition runtime profile (vacation-high, {} threads, {:.1}s) ===",
+        opts.threads.last().unwrap_or(&4),
+        opts.secs.max(1.0)
+    );
     let stm = Stm::new();
     let manager = Manager::new(ManagerParts::partitioned(&stm, false));
     let cfg = VacationConfig::high(4096);
@@ -363,7 +374,9 @@ fn t1(opts: &Opts) {
             s.reads as f64 / s.commits.max(1) as f64,
         );
     }
-    manager.check_invariants().expect("vacation invariants hold");
+    manager
+        .check_invariants()
+        .expect("vacation invariants hold");
 }
 
 fn kmeans_plan() -> partstm_analysis::ProgramModel {
@@ -399,7 +412,10 @@ fn t2(opts: &Opts) {
         ("partitioned (3)", 1),
         ("partitioned+tuning", 2),
     ];
-    println!("{:>22} {:>10} {:>10} {:>12} {:>12}", "mode", "1 thr", "n thr", "vs base(1)", "vs base(n)");
+    println!(
+        "{:>22} {:>10} {:>10} {:>12} {:>12}",
+        "mode", "1 thr", "n thr", "vs base(1)", "vs base(n)"
+    );
     let mut base1 = 0.0;
     let mut basen = 0.0;
     for (label, mode) in modes {
@@ -469,7 +485,9 @@ fn f5(opts: &Opts) {
                     let mut local = SplitMix64::new(rng.next() ^ (tid as u64) << 32);
                     vacation::run_one_task(ctx, &manager, &cfg, &mut local, &mut stats);
                 });
-                manager.check_invariants().expect("invariants hold after run");
+                manager
+                    .check_invariants()
+                    .expect("invariants hold after run");
                 print!("{:>10}", kops(m.ops_per_sec));
             }
             println!();
@@ -485,9 +503,15 @@ fn f6(opts: &Opts) {
         ("low (K=40)", KmeansConfig::low(20_000)),
         ("high (K=4)", KmeansConfig::high(20_000)),
     ] {
-        println!("\n=== F6: kmeans-{variant}, n={} d={} (seconds, speedup) ===", cfg.points, cfg.dims);
+        println!(
+            "\n=== F6: kmeans-{variant}, n={} d={} (seconds, speedup) ===",
+            cfg.points, cfg.dims
+        );
         let points = kmeans::generate_points(&cfg);
-        println!("{:>14} {:>10} {:>10} {:>10}", "mode", "threads", "time(s)", "speedup");
+        println!(
+            "{:>14} {:>10} {:>10} {:>10}",
+            "mode", "threads", "time(s)", "speedup"
+        );
         for mode in ["default", "tuned"] {
             let mut t1 = 0.0f64;
             for &t in &opts.threads {
@@ -504,7 +528,11 @@ fn f6(opts: &Opts) {
                 }
                 println!(
                     "{:>14} {:>10} {:>10.3} {:>10.2} (iters={})",
-                    mode, t, dt, t1 / dt, res.iterations
+                    mode,
+                    t,
+                    dt,
+                    t1 / dt,
+                    res.iterations
                 );
             }
         }
@@ -523,7 +551,10 @@ fn f7(opts: &Opts) {
     let gene = genome::generate_gene(&cfg);
     let segs = genome::shred(&cfg, &gene);
     println!("segments={} (coverage+extras)", segs.len());
-    println!("{:>14} {:>10} {:>10} {:>10}", "mode", "threads", "time(s)", "speedup");
+    println!(
+        "{:>14} {:>10} {:>10} {:>10}",
+        "mode", "threads", "time(s)", "speedup"
+    );
     for mode in ["single", "partitioned", "part+tuned"] {
         let mut t1 = 0.0f64;
         for &t in &opts.threads {
@@ -560,7 +591,10 @@ fn f8(opts: &Opts) {
         packets.len(),
         attacks
     );
-    println!("{:>14} {:>10} {:>10} {:>10}", "mode", "threads", "time(s)", "speedup");
+    println!(
+        "{:>14} {:>10} {:>10} {:>10}",
+        "mode", "threads", "time(s)", "speedup"
+    );
     for mode in ["single", "partitioned", "part+tuned"] {
         let mut t1 = 0.0f64;
         for &t in &opts.threads {
@@ -660,11 +694,15 @@ fn a2(opts: &Opts) {
         prefill(&stm, &tree, range);
         let series = drive_timeseries(&stm, threads, total, 0.25, &|ctx, _t, rng, el| {
             let p = (el.as_secs_f64() / phase) as u64;
-            let upd = if p % 2 == 0 { 2 } else { 60 };
+            let upd = if p.is_multiple_of(2) { 2 } else { 60 };
             intset_op(&tree, ctx, rng, range, upd);
         });
         let tput = series.iter().sum::<u64>() as f64 / total;
-        println!("{hysteresis:>12} {:>10} {:>10}", kops(tput), part.generation());
+        println!(
+            "{hysteresis:>12} {:>10} {:>10}",
+            kops(tput),
+            part.generation()
+        );
     }
     let _ = opts;
 }

@@ -16,7 +16,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use partstm_core::{
-    DynConfig, Granularity, PartitionConfig, ReadMode, Stm, StatCounters, ThreadCtx,
+    DynConfig, Granularity, PartitionConfig, ReadMode, StatCounters, Stm, ThreadCtx,
 };
 use partstm_stamp::SplitMix64;
 use partstm_structures::IntSet;
@@ -52,7 +52,8 @@ pub fn drive(
             let ctx = stm.register_thread();
             let (stop, counting, ops) = (&stop, &counting, &ops);
             s.spawn(move || {
-                let mut rng = SplitMix64::new(0xBE7_C0DE ^ (t as u64 + 1).wrapping_mul(0x9E37_79B9));
+                let mut rng =
+                    SplitMix64::new(0xBE7_C0DE ^ (t as u64 + 1).wrapping_mul(0x9E37_79B9));
                 let mut local = 0u64;
                 let mut was_counting = false;
                 while !stop.load(Ordering::Relaxed) {
@@ -193,7 +194,7 @@ pub fn thread_sweep(max: usize) -> Vec<usize> {
     let hw = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(8);
-    let cap = max.min(hw).min(64).max(1);
+    let cap = max.min(hw).clamp(1, 64);
     let mut v = vec![1usize];
     let mut t = 2;
     while t <= cap {

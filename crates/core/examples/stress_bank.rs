@@ -3,8 +3,8 @@
 //! long-running soak test (`cargo run --release -p partstm-core --example
 //! stress_bank`).
 use partstm_core::*;
-use std::sync::Arc;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 fn main() {
     for round in 0..50 {
@@ -24,7 +24,9 @@ fn main() {
                 s.spawn(move || {
                     let mut r = (t as u64 + 1) * 0x9E37_79B9;
                     while !stop.load(Ordering::Relaxed) {
-                        r ^= r << 13; r ^= r >> 7; r ^= r << 17;
+                        r ^= r << 13;
+                        r ^= r >> 7;
+                        r ^= r << 17;
                         let from = (r % 16) as usize;
                         let to = ((r >> 8) % 16) as usize;
                         let amt = (r % 50) as i64;
@@ -47,11 +49,16 @@ fn main() {
                 for i in 0..3000 {
                     let sum = ctx.run(|tx| {
                         let mut s = 0i64;
-                        for a in accounts2.iter() { s += tx.read(&p2, a)?; }
+                        for a in accounts2.iter() {
+                            s += tx.read(&p2, a)?;
+                        }
                         Ok(s)
                     });
                     if sum != expect {
-                        println!("round {round} iter {i}: BAD SUM {sum} (delta {})", sum - expect);
+                        println!(
+                            "round {round} iter {i}: BAD SUM {sum} (delta {})",
+                            sum - expect
+                        );
                         bad2.store(true, Ordering::Relaxed);
                         break;
                     }

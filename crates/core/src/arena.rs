@@ -196,8 +196,7 @@ impl<N: Default> Arena<N> {
         v.resize_with(chunk_capacity(c), N::default);
         let boxed: Box<[N]> = v.into_boxed_slice();
         let ptr = Box::into_raw(boxed) as *mut N;
-        if self
-            .chunks[c]
+        if self.chunks[c]
             .compare_exchange(
                 core::ptr::null_mut(),
                 ptr,
@@ -422,10 +421,7 @@ mod tests {
                 (0..2000).map(|_| a.alloc_raw().raw()).collect::<Vec<_>>()
             }));
         }
-        let mut all: Vec<u32> = joins
-            .into_iter()
-            .flat_map(|j| j.join().unwrap())
-            .collect();
+        let mut all: Vec<u32> = joins.into_iter().flat_map(|j| j.join().unwrap()).collect();
         all.sort_unstable();
         all.dedup();
         assert_eq!(all.len(), 16_000);

@@ -30,12 +30,17 @@ impl XorShift64 {
     /// (xorshift has a fixed point at zero).
     pub fn new(seed: u64) -> Self {
         XorShift64 {
-            state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed },
+            state: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
         }
     }
 
     /// Next pseudo-random 64-bit value.
     #[inline]
+    #[allow(clippy::should_implement_trait)] // an RNG step, not an Iterator
     pub fn next(&mut self) -> u64 {
         let mut x = self.state;
         x ^= x << 13;

@@ -365,7 +365,10 @@ mod tests {
     fn generation_does_not_bleed_into_flags() {
         let cfg = DynConfig::from(&PartitionConfig::default());
         let w = encode(cfg, u32::MAX);
-        assert!(!is_switching(w), "generation must not set the switching bit");
+        assert!(
+            !is_switching(w),
+            "generation must not set the switching bit"
+        );
         assert_eq!(decode(w), cfg);
     }
 }

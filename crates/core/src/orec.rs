@@ -115,7 +115,6 @@ impl Orec {
                 Ordering::Acquire,
             )
             .map(|_| ())
-            .map_err(|w| w)
     }
 
     /// Releases the lock, installing `version` (commit) or restoring the

@@ -235,7 +235,11 @@ mod tests {
             distinct.insert(p.orec_for(base + i * 8, Granularity::Word) as *const Orec as usize);
         }
         // With 4096 orecs and 64 distinct words, expect little aliasing.
-        assert!(distinct.len() > 48, "only {} distinct orecs", distinct.len());
+        assert!(
+            distinct.len() > 48,
+            "only {} distinct orecs",
+            distinct.len()
+        );
     }
 
     #[test]
@@ -254,7 +258,11 @@ mod tests {
 
     #[test]
     fn config_roundtrip_through_partition() {
-        let p = part(PartitionConfig::default().read_mode(ReadMode::Visible).tunable());
+        let p = part(
+            PartitionConfig::default()
+                .read_mode(ReadMode::Visible)
+                .tunable(),
+        );
         assert_eq!(p.current_config().read_mode, ReadMode::Visible);
         assert!(p.is_tunable());
         assert_eq!(p.generation(), 0);

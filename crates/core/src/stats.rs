@@ -100,17 +100,9 @@ for_each_stat!(define_counters);
 const SHARDS: usize = 8;
 
 /// Sharded atomic statistics for one partition.
-#[derive(Debug)]
+#[derive(Debug, Default)]
 pub struct PartitionStats {
     shards: [CachePadded<StatShard>; SHARDS],
-}
-
-impl Default for PartitionStats {
-    fn default() -> Self {
-        PartitionStats {
-            shards: Default::default(),
-        }
-    }
 }
 
 macro_rules! define_bump {

@@ -30,8 +30,8 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use crate::cm::{self, XorShift64};
-use crate::config::{self, AcquireMode, DynConfig, ReadMode, ReaderArb};
 use crate::config::CmPolicy;
+use crate::config::{self, AcquireMode, DynConfig, ReadMode, ReaderArb};
 use crate::error::{Abort, AbortKind, TxResult};
 use crate::orec::{is_locked, make_version, owner_of, reader_bit, version_of, Orec};
 use crate::partition::Partition;
@@ -270,9 +270,11 @@ impl<'e, 's> Tx<'e, 's> {
         slot.kill.store(0, Ordering::SeqCst);
         slot.serial.store(s.serial, Ordering::SeqCst);
         let seq = slot.seq.fetch_add(1, Ordering::SeqCst);
-        debug_assert_q(seq % 2 == 0, "begin from inside a transaction");
-        slot.start_epoch
-            .store(self.stm.switch_epoch.load(Ordering::SeqCst), Ordering::SeqCst);
+        debug_assert_q(seq.is_multiple_of(2), "begin from inside a transaction");
+        slot.start_epoch.store(
+            self.stm.switch_epoch.load(Ordering::SeqCst),
+            Ordering::SeqCst,
+        );
         s.rv = self.stm.clock.now();
         s.read_set.clear();
         s.write_set.clear();
@@ -340,7 +342,10 @@ impl<'e, 's> Tx<'e, 's> {
         let addr = var.addr();
         if let Some(ei) = self.s.ws_index.get(addr) {
             let e = &self.s.write_set[ei as usize];
-            assert_eq!(e.var as usize, addr, "ws_index returned entry for wrong address");
+            assert_eq!(
+                e.var as usize, addr,
+                "ws_index returned entry for wrong address"
+            );
             return Ok(T::from_word(e.val));
         }
         let cfg = self.s.touches[ti as usize].cfg;
@@ -372,7 +377,10 @@ impl<'e, 's> Tx<'e, 's> {
         let addr = var.addr();
         if let Some(ei) = self.s.ws_index.get(addr) {
             let e = &mut self.s.write_set[ei as usize];
-            assert_eq!(e.var as usize, addr, "ws_index returned entry for wrong address");
+            assert_eq!(
+                e.var as usize, addr,
+                "ws_index returned entry for wrong address"
+            );
             e.val = value.to_word();
             return Ok(());
         }
@@ -1074,9 +1082,8 @@ mod tests {
     #[test]
     fn partition_lock_granularity_serializes_correctly() {
         let stm = Stm::new();
-        let p = stm.new_partition(
-            PartitionConfig::default().granularity(Granularity::PartitionLock),
-        );
+        let p =
+            stm.new_partition(PartitionConfig::default().granularity(Granularity::PartitionLock));
         let a = Arc::new(TVar::new(0u64));
         let b = Arc::new(TVar::new(0u64));
         std::thread::scope(|s| {
@@ -1194,7 +1201,8 @@ mod tests {
     fn cross_partition_transaction_is_atomic() {
         let stm = Stm::new();
         let p1 = stm.new_partition(PartitionConfig::named("a"));
-        let p2 = stm.new_partition(PartitionConfig::named("b").read_mode(config::ReadMode::Visible));
+        let p2 =
+            stm.new_partition(PartitionConfig::named("b").read_mode(config::ReadMode::Visible));
         let x = Arc::new(TVar::new(0u64));
         let y = Arc::new(TVar::new(0u64));
         std::thread::scope(|s| {

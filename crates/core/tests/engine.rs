@@ -5,9 +5,7 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use partstm_core::{
-    Abort, Arena, CmPolicy, Granularity, PartitionConfig, ReadMode, Stm, TVar,
-};
+use partstm_core::{Abort, Arena, CmPolicy, Granularity, PartitionConfig, ReadMode, Stm, TVar};
 
 #[derive(Default)]
 struct Node {
@@ -58,7 +56,11 @@ fn free_is_deferred_to_commit() {
         }
         Ok(())
     });
-    assert_eq!(arena.live(), 1, "free in an aborted attempt must not happen");
+    assert_eq!(
+        arena.live(),
+        1,
+        "free in an aborted attempt must not happen"
+    );
     // Commit the free: now the slot recycles.
     ctx.run(|tx| {
         arena.free(tx, h);
@@ -234,7 +236,8 @@ fn delay_then_abort_makes_progress_under_contention() {
 #[test]
 fn stats_attribute_aborts_to_the_conflicting_partition() {
     let stm = Stm::new();
-    let hot = stm.new_partition(PartitionConfig::named("hot").granularity(Granularity::PartitionLock));
+    let hot =
+        stm.new_partition(PartitionConfig::named("hot").granularity(Granularity::PartitionLock));
     let cold = stm.new_partition(PartitionConfig::named("cold"));
     let h = Arc::new(TVar::new(0u64));
     let c = Arc::new(TVar::new(0u64));

@@ -15,6 +15,7 @@ impl SplitMix64 {
 
     /// Next pseudo-random value.
     #[inline]
+    #[allow(clippy::should_implement_trait)] // an RNG step, not an Iterator
     pub fn next(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
         let mut z = self.state;

@@ -21,9 +21,7 @@
 
 use std::sync::Arc;
 
-use partstm_core::{
-    Arena, Handle, Partition, PartitionConfig, Stm, TVar, TxWord,
-};
+use partstm_core::{Arena, Handle, Partition, PartitionConfig, Stm, TVar, TxWord};
 use partstm_structures::{IntSet, THashMap, THashSet};
 
 use crate::common::SplitMix64;
@@ -53,7 +51,7 @@ impl GenomeConfig {
             segment_length: 24,
             coverage_step: 8,
             extra_segments: gene_length * 2,
-            seed: 0x6E0_4E,
+            seed: 0x0006_E04E,
         }
     }
 }
@@ -61,7 +59,9 @@ impl GenomeConfig {
 /// Generates a random gene (values 0..4 per base).
 pub fn generate_gene(cfg: &GenomeConfig) -> Vec<u8> {
     let mut rng = SplitMix64::new(cfg.seed);
-    (0..cfg.gene_length).map(|_| (rng.next() & 3) as u8).collect()
+    (0..cfg.gene_length)
+        .map(|_| (rng.next() & 3) as u8)
+        .collect()
 }
 
 /// Packs `bases[start..start+len]` into a word (2 bits per base, MSB
@@ -313,7 +313,9 @@ pub fn run_genome(
     unpack_into(arena.get(cur).seg.load_direct(), s, &mut gene);
     loop {
         let n = arena.get(cur);
-        let Some(next) = n.next.load_direct() else { break };
+        let Some(next) = n.next.load_direct() else {
+            break;
+        };
         let o = n.overlap.load_direct() as usize;
         let seg = arena.get(next).seg.load_direct();
         // Emit the non-overlapping tail of the next segment.

@@ -18,9 +18,7 @@
 
 use std::sync::Arc;
 
-use partstm_core::{
-    Arena, Handle, Partition, PartitionConfig, Stm, TVar, Tx, TxResult, TxWord,
-};
+use partstm_core::{Arena, Handle, Partition, PartitionConfig, Stm, TVar, Tx, TxResult, TxWord};
 use partstm_structures::{THashMap, TQueue};
 
 use crate::common::SplitMix64;
@@ -192,11 +190,7 @@ impl Intruder {
     /// Decoder step: pop one packet index and integrate the fragment;
     /// completed flows move to the decoded queue. Returns `false` when the
     /// packet queue was empty.
-    pub fn decode_one<'e>(
-        &'e self,
-        tx: &mut Tx<'e, '_>,
-        packets: &[Packet],
-    ) -> TxResult<bool> {
+    pub fn decode_one<'e>(&'e self, tx: &mut Tx<'e, '_>, packets: &[Packet]) -> TxResult<bool> {
         let Some(idx) = self.packet_queue.pop_front(tx)? else {
             return Ok(false);
         };
@@ -332,7 +326,11 @@ pub fn partition_plan() -> partstm_analysis::ProgramModel {
     // likewise detection reads queue nodes and flow words at distinct
     // sites. Keeping the sites separate is what lets the analysis give the
     // pipeline three partitions.
-    b.access("flow_complete_unlink", AccessKind::ReadWrite, &[frag_map, flows]);
+    b.access(
+        "flow_complete_unlink",
+        AccessKind::ReadWrite,
+        &[frag_map, flows],
+    );
     b.access("flow_complete_enqueue", AccessKind::ReadWrite, &[dec_q]);
     b.access("detect_dequeue", AccessKind::ReadWrite, &[dec_q]);
     b.access("detect_scan_payload", AccessKind::ReadWrite, &[flows]);

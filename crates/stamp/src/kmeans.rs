@@ -44,7 +44,7 @@ impl KmeansConfig {
             clusters: 40,
             threshold: 0.001,
             max_iterations: 40,
-            seed: 0xC1_05_7E5,
+            seed: 0x0C10_57E5,
         }
     }
 
@@ -293,11 +293,7 @@ mod tests {
     #[test]
     fn accumulator_roundtrip() {
         let stm = Stm::new();
-        let st = KmeansState::new(
-            stm.new_partition(PartitionConfig::named("k")),
-            2,
-            3,
-        );
+        let st = KmeansState::new(stm.new_partition(PartitionConfig::named("k")), 2, 3);
         let ctx = stm.register_thread();
         ctx.run(|tx| st.add_point(tx, 0, &[1.0, 2.0, 3.0]));
         ctx.run(|tx| st.add_point(tx, 0, &[3.0, 2.0, 1.0]));

@@ -2,9 +2,7 @@
 
 use std::sync::Arc;
 
-use partstm_core::{
-    Arena, Handle, Partition, PartitionConfig, Stm, TVar, Tx, TxResult,
-};
+use partstm_core::{Arena, Handle, Partition, PartitionConfig, Stm, TVar, Tx, TxResult};
 use partstm_structures::TRbTree;
 
 /// The three reservable item kinds.
@@ -135,15 +133,8 @@ impl ItemTable {
         }
     }
 
-    fn lookup<'e>(
-        &'e self,
-        tx: &mut Tx<'e, '_>,
-        id: u64,
-    ) -> TxResult<Option<Handle<Reservation>>> {
-        Ok(self
-            .tree
-            .get(tx, id)?
-            .map(|raw| Handle::<Reservation>::from_word(raw)))
+    fn lookup<'e>(&'e self, tx: &mut Tx<'e, '_>, id: u64) -> TxResult<Option<Handle<Reservation>>> {
+        Ok(self.tree.get(tx, id)?.map(Handle::<Reservation>::from_word))
     }
 }
 
@@ -477,7 +468,10 @@ mod tests {
             ctx.run(|tx| m.query_item(tx, ReservationKind::Car, 7)),
             Some((100, 50))
         );
-        assert_eq!(ctx.run(|tx| m.query_item(tx, ReservationKind::Flight, 7)), None);
+        assert_eq!(
+            ctx.run(|tx| m.query_item(tx, ReservationKind::Flight, 7)),
+            None
+        );
         // Top-up adjusts inventory and price.
         ctx.run(|tx| m.add_item(tx, ReservationKind::Car, 7, 10, 60));
         assert_eq!(
@@ -485,7 +479,10 @@ mod tests {
             Some((110, 60))
         );
         assert!(ctx.run(|tx| m.remove_item(tx, ReservationKind::Car, 7, 110)));
-        assert_eq!(ctx.run(|tx| m.query_item(tx, ReservationKind::Car, 7)), None);
+        assert_eq!(
+            ctx.run(|tx| m.query_item(tx, ReservationKind::Car, 7)),
+            None
+        );
         m.check_invariants().unwrap();
     }
 
@@ -505,7 +502,10 @@ mod tests {
             !ctx.run(|tx| m.reserve(tx, 42, ReservationKind::Room, 9)),
             "no rooms free"
         );
-        assert!(!ctx.run(|tx| m.reserve(tx, 7, ReservationKind::Car, 1)), "unknown customer");
+        assert!(
+            !ctx.run(|tx| m.reserve(tx, 7, ReservationKind::Car, 1)),
+            "unknown customer"
+        );
         assert_eq!(ctx.run(|tx| m.query_bill(tx, 42)), Some(130));
         m.check_invariants().unwrap();
         // Cancel the car; bill shrinks, inventory restored.

@@ -17,7 +17,9 @@ mod manager;
 mod workload;
 
 pub use manager::{Manager, ManagerParts, ReservationKind};
-pub use workload::{populate, run_client, run_one_task, run_vacation, VacationConfig, VacationStats};
+pub use workload::{
+    populate, run_client, run_one_task, run_vacation, VacationConfig, VacationStats,
+};
 
 use partstm_analysis::{AccessKind, ModelBuilder, ProgramModel};
 
@@ -45,16 +47,20 @@ pub fn partition_plan() -> ProgramModel {
         ("room", room_tree, room_res),
     ] {
         b.access(format!("query_{name}"), AccessKind::Read, &[tree, res]);
-        b.access(format!("reserve_{name}"), AccessKind::ReadWrite, &[tree, res]);
-        b.access(format!("update_{name}_inventory"), AccessKind::ReadWrite, &[tree, res]);
+        b.access(
+            format!("reserve_{name}"),
+            AccessKind::ReadWrite,
+            &[tree, res],
+        );
+        b.access(
+            format!("update_{name}_inventory"),
+            AccessKind::ReadWrite,
+            &[tree, res],
+        );
     }
     // Customer access sites: the record, its tree node and its reservation
     // list are one cluster.
-    b.access(
-        "customer_lookup",
-        AccessKind::Read,
-        &[cust_tree, cust_rec],
-    );
+    b.access("customer_lookup", AccessKind::Read, &[cust_tree, cust_rec]);
     b.access(
         "customer_add_reservation_info",
         AccessKind::ReadWrite,

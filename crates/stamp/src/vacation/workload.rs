@@ -152,12 +152,7 @@ fn task_make_reservation(
     // Pre-draw the query plan outside the transaction (STAMP does the same)
     // so retries re-execute an identical task.
     let queries: Vec<(ReservationKind, u64)> = (0..cfg.queries_per_task)
-        .map(|_| {
-            (
-                ReservationKind::ALL[rng.below_usize(3)],
-                rng.below(range),
-            )
-        })
+        .map(|_| (ReservationKind::ALL[rng.below_usize(3)], rng.below(range)))
         .collect();
     let customer = rng.below(range);
     ctx.run(|tx| {
@@ -166,7 +161,7 @@ fn task_make_reservation(
             if let Some((free, price)) = manager.query_item(tx, kind, id)? {
                 if free > 0 {
                     let slot = &mut best[kind.code() as usize];
-                    if slot.map_or(true, |(p, _)| price > p) {
+                    if slot.is_none_or(|(p, _)| price > p) {
                         *slot = Some((price, id));
                     }
                 }
@@ -177,7 +172,12 @@ fn task_make_reservation(
             manager.add_customer(tx, customer)?; // idempotent
             for (code, slot) in best.iter().enumerate() {
                 if let Some((_, id)) = slot {
-                    if manager.reserve(tx, customer, ReservationKind::from_code(code as u64), *id)? {
+                    if manager.reserve(
+                        tx,
+                        customer,
+                        ReservationKind::from_code(code as u64),
+                        *id,
+                    )? {
                         made += 1;
                     }
                 }

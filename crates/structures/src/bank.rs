@@ -162,7 +162,9 @@ mod tests {
                 let bank = Arc::clone(&bank);
                 s.spawn(move || {
                     for i in 0..1000u64 {
-                        ctx.run(|tx| bank.transfer(tx, (i % 4) as usize, ((i + 1) % 4) as usize, 1));
+                        ctx.run(|tx| {
+                            bank.transfer(tx, (i % 4) as usize, ((i + 1) % 4) as usize, 1)
+                        });
                     }
                 });
             }

@@ -189,7 +189,11 @@ impl IntSet for THashSet {
     }
 
     fn snapshot_keys(&self) -> Vec<u64> {
-        self.map.snapshot_pairs().into_iter().map(|(k, _)| k).collect()
+        self.map
+            .snapshot_pairs()
+            .into_iter()
+            .map(|(k, _)| k)
+            .collect()
     }
 }
 

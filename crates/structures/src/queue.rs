@@ -198,8 +198,7 @@ mod tests {
                                 break;
                             }
                             std::thread::yield_now();
-                            if consumed.load(Ordering::Relaxed)
-                                == produced.load(Ordering::Relaxed)
+                            if consumed.load(Ordering::Relaxed) == produced.load(Ordering::Relaxed)
                                 && produced.load(Ordering::Relaxed) == 6000
                             {
                                 break;

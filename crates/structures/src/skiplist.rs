@@ -134,10 +134,10 @@ impl IntSet for TSkipList {
         let node = self.arena.get(new);
         tx.write(&self.part, &node.key, key)?;
         tx.write(&self.part, &node.level, lvl as u64)?;
-        for i in 0..lvl {
-            let succ = self.next_of(tx, preds[i], i)?;
+        for (i, &pred) in preds.iter().enumerate().take(lvl) {
+            let succ = self.next_of(tx, pred, i)?;
             tx.write(&self.part, &node.next[i], succ)?;
-            self.set_next(tx, preds[i], i, Some(new))?;
+            self.set_next(tx, pred, i, Some(new))?;
         }
         // Clear unused tower levels (slot may be recycled).
         for i in lvl..MAX_LEVEL {
@@ -154,13 +154,13 @@ impl IntSet for TSkipList {
             return Ok(false);
         }
         let lvl = tx.read(&self.part, &node.level)? as usize;
-        for i in 0..lvl {
+        for (i, &pred) in preds.iter().enumerate().take(lvl) {
             // The predecessor at level i links to us iff our tower reaches
             // level i (locate's preds are the strict predecessors of key).
             let succ = tx.read(&self.part, &node.next[i])?;
-            let linked = self.next_of(tx, preds[i], i)?;
+            let linked = self.next_of(tx, pred, i)?;
             if linked == Some(h) {
-                self.set_next(tx, preds[i], i, succ)?;
+                self.set_next(tx, pred, i, succ)?;
             }
         }
         self.arena.free(tx, h);

@@ -65,7 +65,10 @@ mod tests {
     fn fixed_policy_requests_until_pinned() {
         let mut cfg = DynConfig::from(&PartitionConfig::default());
         cfg.read_mode = ReadMode::Visible;
-        let p = FixedPolicy { config: cfg, window: 8 };
+        let p = FixedPolicy {
+            config: cfg,
+            window: 8,
+        };
         let input = TuneInput {
             partition: PartitionId(0),
             name: "x".into(),

@@ -18,9 +18,7 @@
 use parking_lot::Mutex;
 use std::collections::HashMap;
 
-use partstm_core::{
-    DynConfig, Granularity, PartitionId, ReadMode, TuneInput, TuningPolicy,
-};
+use partstm_core::{DynConfig, Granularity, PartitionId, ReadMode, TuneInput, TuningPolicy};
 
 /// Tunable thresholds (defaults follow the paper's qualitative rules).
 #[derive(Debug, Clone)]
@@ -161,7 +159,11 @@ impl TuningPolicy for ThresholdPolicy {
         let want = self.desired(input);
         if want == input.config {
             // Content: clear any pending switch.
-            self.state.lock().entry(input.partition).or_default().pending = None;
+            self.state
+                .lock()
+                .entry(input.partition)
+                .or_default()
+                .pending = None;
             return None;
         }
         let mut guard = self.state.lock();
@@ -272,13 +274,19 @@ mod tests {
 
     #[test]
     fn ladder_endpoints_saturate() {
-        assert_eq!(coarsen(Granularity::PartitionLock, 6), Granularity::PartitionLock);
+        assert_eq!(
+            coarsen(Granularity::PartitionLock, 6),
+            Granularity::PartitionLock
+        );
         assert_eq!(refine(Granularity::Word, 6), Granularity::Word);
         assert_eq!(
             coarsen(Granularity::Word, 8),
             Granularity::Stripe { shift: 8 }
         );
-        assert_eq!(refine(Granularity::PartitionLock, 8), Granularity::Stripe { shift: 8 });
+        assert_eq!(
+            refine(Granularity::PartitionLock, 8),
+            Granularity::Stripe { shift: 8 }
+        );
     }
 
     #[test]

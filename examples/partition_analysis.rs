@@ -62,7 +62,10 @@ fn main() {
     println!("\nmerge explanation book -> index: via access sites {chain:?}");
     for acc in &chain {
         let site = model.access_sites.iter().find(|s| s.id == *acc).unwrap();
-        println!("  access {} = {} touching {:?}", acc, site.func, site.may_touch);
+        println!(
+            "  access {} = {} touching {:?}",
+            acc, site.func, site.may_touch
+        );
     }
 
     // Full census (the static side of Table T1).

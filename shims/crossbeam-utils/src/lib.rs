@@ -1,0 +1,66 @@
+//! Local stand-in for the `crossbeam-utils` crate (offline build; see the
+//! root `Cargo.toml`). Provides only [`CachePadded`], the single item the
+//! workspace uses.
+
+#![warn(missing_docs)]
+
+use std::ops::{Deref, DerefMut};
+
+/// Pads and aligns a value to 128 bytes so that neighbouring values never
+/// share a cache line (128 covers the adjacent-line prefetcher on x86-64,
+/// matching the real crate's choice for that target).
+#[derive(Default, Clone, Copy, PartialEq, Eq)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Wraps `value` in cache-line padding.
+    pub const fn new(value: T) -> Self {
+        CachePadded { value }
+    }
+
+    /// Returns the inner value.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(value: T) -> Self {
+        CachePadded::new(value)
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for CachePadded<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("CachePadded").field(&self.value).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_and_deref() {
+        let padded = CachePadded::new(7u64);
+        assert_eq!(std::mem::align_of_val(&padded), 128);
+        assert_eq!(*padded, 7);
+        assert_eq!(padded.into_inner(), 7);
+    }
+}

@@ -1,0 +1,110 @@
+//! Local stand-in for the `proptest` crate (offline build; see the root
+//! `Cargo.toml`). Source-compatible with the subset of proptest 1.x the
+//! workspace's property tests use:
+//!
+//! * the [`Strategy`] trait with `prop_map` / `prop_flat_map`,
+//! * integer-range and tuple strategies, [`any`] for primitives,
+//! * [`collection::vec`] and [`collection::btree_set`],
+//! * the [`proptest!`] macro with `#![proptest_config(...)]`,
+//! * `prop_assert!` / `prop_assert_eq!`.
+//!
+//! Unlike the real crate there is no shrinking: a failing case panics with
+//! the deterministic seed and case index so it can be replayed exactly by
+//! rerunning the test. Generation is driven by a SplitMix64 stream seeded
+//! per test, so runs are reproducible across machines.
+
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything a property test usually imports.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {
+        assert_eq!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_eq!($left, $right, $($fmt)*);
+    };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {
+        assert_ne!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_ne!($left, $right, $($fmt)*);
+    };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over `config.cases` generated
+/// inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { @config($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            @config($crate::test_runner::ProptestConfig::default())
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`]; expands one test fn at a time.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (@config($config:expr)) => {};
+    (@config($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            use $crate::strategy::Strategy as _;
+            let config = $config;
+            let seed = $crate::test_runner::seed_for(stringify!($name));
+            let strategy = ($($strat,)+);
+            for case in 0..config.cases {
+                let __case_guard = $crate::test_runner::CaseGuard {
+                    name: stringify!($name),
+                    seed,
+                    case,
+                };
+                let mut rng = $crate::test_runner::TestRng::new(
+                    seed ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
+                let ($($arg,)+) = strategy.generate(&mut rng);
+                $body
+                drop(__case_guard);
+            }
+        }
+        $crate::__proptest_items! { @config($config) $($rest)* }
+    };
+}

@@ -139,9 +139,7 @@ fn opacity_linked_invariant() {
 fn cross_partition_invariant_mixed_configs() {
     let stm = Stm::new();
     let pa = stm.new_partition(PartitionConfig::named("a").read_mode(ReadMode::Visible));
-    let pb = stm.new_partition(
-        PartitionConfig::named("b").granularity(Granularity::PartitionLock),
-    );
+    let pb = stm.new_partition(PartitionConfig::named("b").granularity(Granularity::PartitionLock));
     let x = Arc::new(TVar::new(500i64));
     let y = Arc::new(TVar::new(500i64));
     std::thread::scope(|s| {
@@ -169,9 +167,7 @@ fn cross_partition_invariant_mixed_configs() {
         let (pa, pb, x, y) = (pa.clone(), pb.clone(), x.clone(), y.clone());
         s.spawn(move || {
             for _ in 0..2000 {
-                let sum = ctx.run(|tx| {
-                    Ok(tx.read(&pa, &x)? + tx.read(&pb, &y)?)
-                });
+                let sum = ctx.run(|tx| Ok(tx.read(&pa, &x)? + tx.read(&pb, &y)?));
                 assert_eq!(sum, 1000);
             }
         });

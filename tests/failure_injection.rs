@@ -16,9 +16,7 @@ struct Node {
 #[test]
 fn panics_under_concurrency_leak_nothing() {
     let stm = Stm::new();
-    let p = stm.new_partition(
-        PartitionConfig::named("p").granularity(Granularity::PartitionLock),
-    );
+    let p = stm.new_partition(PartitionConfig::named("p").granularity(Granularity::PartitionLock));
     let x = Arc::new(TVar::new(0u64));
     std::thread::scope(|s| {
         // Panicking threads: write then blow up (lock held at panic).
@@ -161,6 +159,10 @@ fn user_retry_until_condition() {
                 Ok(())
             });
         });
-        assert_eq!(waiter.join().unwrap(), 99, "waiter sees both writes atomically");
+        assert_eq!(
+            waiter.join().unwrap(),
+            99,
+            "waiter sees both writes atomically"
+        );
     });
 }

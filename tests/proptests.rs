@@ -36,10 +36,18 @@ fn check_against_model(make: impl Fn(&Stm) -> Box<dyn IntSet>, ops: &[Op]) {
     for (i, op) in ops.iter().enumerate() {
         match *op {
             Op::Insert(k) => {
-                assert_eq!(ctx.run(|tx| set.insert(tx, k)), model.insert(k), "step {i}: {op:?}")
+                assert_eq!(
+                    ctx.run(|tx| set.insert(tx, k)),
+                    model.insert(k),
+                    "step {i}: {op:?}"
+                )
             }
             Op::Remove(k) => {
-                assert_eq!(ctx.run(|tx| set.remove(tx, k)), model.remove(&k), "step {i}: {op:?}")
+                assert_eq!(
+                    ctx.run(|tx| set.remove(tx, k)),
+                    model.remove(&k),
+                    "step {i}: {op:?}"
+                )
             }
             Op::Contains(k) => assert_eq!(
                 ctx.run(|tx| set.contains(tx, k)),

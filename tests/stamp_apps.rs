@@ -52,7 +52,10 @@ fn vacation_low_and_high_mixes_differ() {
     vacation::populate(&ctx, &manager, &low);
     let stats = vacation::run_client(&ctx, &manager, &low, 1000, 7);
     // 98% user tasks in the low mix.
-    assert!(stats.make_tasks > 950, "low mix is user-dominated: {stats:?}");
+    assert!(
+        stats.make_tasks > 950,
+        "low mix is user-dominated: {stats:?}"
+    );
     manager.check_invariants().unwrap();
 }
 

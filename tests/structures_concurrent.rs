@@ -15,7 +15,10 @@ fn all_sets(stm: &Stm, tunable: bool) -> Vec<(&'static str, Box<dyn IntSet>)> {
         stm.new_partition(cfg)
     };
     vec![
-        ("linked-list", Box::new(TLinkedList::new(mk("list"))) as Box<dyn IntSet>),
+        (
+            "linked-list",
+            Box::new(TLinkedList::new(mk("list"))) as Box<dyn IntSet>,
+        ),
         ("skip-list", Box::new(TSkipList::new(mk("skip")))),
         ("rb-tree", Box::new(TRbTree::new(mk("tree")))),
         ("hash-set", Box::new(THashSet::new(mk("hash"), 16))),
