@@ -6,7 +6,7 @@
 //! the finest partitioning of transactional data such that every access
 //! site targets exactly one partition's metadata — the soundness condition
 //! the paper's compiler pass (Tanger + the data-structure analysis of its
-//! reference [6]) establishes.
+//! reference \[6\]) establishes.
 //!
 //! In the original system the frontend is an LLVM pass; here the program
 //! model is an explicit (serializable) structure the benchmarks construct —
@@ -34,6 +34,7 @@ pub mod json;
 pub mod model;
 pub mod partitioner;
 pub mod report;
+pub mod runtime;
 pub mod unionfind;
 
 pub use model::{
@@ -41,4 +42,5 @@ pub use model::{
 };
 pub use partitioner::{merge_chain, partition, PartitionClass, PartitionPlan, Strategy};
 pub use report::{census, Census, ClassSummary};
+pub use runtime::MaterializePlan;
 pub use unionfind::UnionFind;

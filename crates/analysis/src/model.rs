@@ -1,7 +1,7 @@
 //! The program model: the analysis IR.
 //!
 //! The paper's compile-time pass (Tanger/LLVM plus the data-structure
-//! analysis of its reference [6]) consumes a points-to view of the program:
+//! analysis of its reference \[6\]) consumes a points-to view of the program:
 //! *allocation sites* (where transactional data is created) and *access
 //! sites* (instrumented loads/stores) each annotated with the set of
 //! allocation sites they may touch. This module defines that view as an

@@ -24,7 +24,7 @@ fn bench_reads(c: &mut Criterion) {
                     let sum = ctx.run(|tx| {
                         let mut s = 0u64;
                         for v in &vars {
-                            s = s.wrapping_add(tx.read(&p, v)?);
+                            s = s.wrapping_add(tx.read_raw(&p, v)?);
                         }
                         Ok(s)
                     });
@@ -53,7 +53,7 @@ fn bench_writes(c: &mut Criterion) {
                     i += 1;
                     ctx.run(|tx| {
                         for v in &vars {
-                            tx.write(&p, v, i)?;
+                            tx.write_raw(&p, v, i)?;
                         }
                         Ok(())
                     });
@@ -80,7 +80,7 @@ fn bench_granularity_mapping(c: &mut Criterion) {
                 ctx.run(|tx| {
                     let mut s = 0u64;
                     for v in &vars {
-                        s = s.wrapping_add(tx.read(&p, v)?);
+                        s = s.wrapping_add(tx.read_raw(&p, v)?);
                     }
                     Ok(black_box(s))
                 })
@@ -99,11 +99,11 @@ fn bench_read_own_writes(c: &mut Criterion) {
         b.iter(|| {
             ctx.run(|tx| {
                 for (i, v) in vars.iter().enumerate() {
-                    tx.write(&p, v, i as u64)?;
+                    tx.write_raw(&p, v, i as u64)?;
                 }
                 let mut s = 0u64;
                 for v in &vars {
-                    s = s.wrapping_add(tx.read(&p, v)?);
+                    s = s.wrapping_add(tx.read_raw(&p, v)?);
                 }
                 Ok(black_box(s))
             })

@@ -1,14 +1,20 @@
 //! Criterion counterpart of Table T2: the per-transaction cost of
 //! partition tracking. A transaction touching one partition pays one
-//! config snapshot + touch record; one touching three partitions pays
+//! config snapshot + view record; one touching three partitions pays
 //! three. This isolates the bookkeeping the paper's §1 worries about
 //! ("despite the runtime overhead introduced by partition tracking").
+//!
+//! The `view_cache` group additionally compares the engine's cached
+//! partition view (config word decoded once per attempt, later accesses
+//! hit the per-attempt view table) against a simulated per-access decode
+//! (the raw read plus one `current_config()` load+decode per access — what
+//! every access would pay without the view table).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::sync::Arc;
 
-use partstm_core::{Partition, PartitionConfig, Stm, TVar};
+use partstm_core::{PVar, Partition, PartitionConfig, Stm};
 
 fn bench_touch_overhead(c: &mut Criterion) {
     let mut g = c.benchmark_group("partition_tracking");
@@ -17,7 +23,7 @@ fn bench_touch_overhead(c: &mut Criterion) {
     {
         let stm = Stm::new();
         let p = stm.new_partition(PartitionConfig::named("single"));
-        let vars: Vec<TVar<u64>> = (0..3u64).map(TVar::new).collect();
+        let vars: Vec<PVar<u64>> = (0..3u64).map(|v| p.tvar(v)).collect();
         let ctx = stm.register_thread();
         let mut i = 0u64;
         g.bench_function("one_partition_3rw", |b| {
@@ -25,8 +31,8 @@ fn bench_touch_overhead(c: &mut Criterion) {
                 i += 1;
                 ctx.run(|tx| {
                     for v in &vars {
-                        let x = tx.read(&p, v)?;
-                        tx.write(&p, v, x + i)?;
+                        let x = tx.read(v)?;
+                        tx.write(v, x + i)?;
                     }
                     Ok(())
                 });
@@ -40,16 +46,16 @@ fn bench_touch_overhead(c: &mut Criterion) {
         let parts: Vec<Arc<Partition>> = (0..3)
             .map(|i| stm.new_partition(PartitionConfig::named(format!("p{i}"))))
             .collect();
-        let vars: Vec<TVar<u64>> = (0..3u64).map(TVar::new).collect();
+        let vars: Vec<PVar<u64>> = parts.iter().zip(0..3u64).map(|(p, v)| p.tvar(v)).collect();
         let ctx = stm.register_thread();
         let mut i = 0u64;
         g.bench_function("three_partitions_3rw", |b| {
             b.iter(|| {
                 i += 1;
                 ctx.run(|tx| {
-                    for (p, v) in parts.iter().zip(&vars) {
-                        let x = tx.read(p, v)?;
-                        tx.write(p, v, x + i)?;
+                    for v in &vars {
+                        let x = tx.read(v)?;
+                        tx.write(v, x + i)?;
                     }
                     Ok(())
                 });
@@ -57,18 +63,18 @@ fn bench_touch_overhead(c: &mut Criterion) {
         });
     }
 
-    // Read-only variants (touch cost without write-set machinery).
+    // Read-only variants (view cost without write-set machinery).
     {
         let stm = Stm::new();
         let p = stm.new_partition(PartitionConfig::named("single"));
-        let vars: Vec<TVar<u64>> = (0..8u64).map(TVar::new).collect();
+        let vars: Vec<PVar<u64>> = (0..8u64).map(|v| p.tvar(v)).collect();
         let ctx = stm.register_thread();
         g.bench_function("one_partition_8r", |b| {
             b.iter(|| {
                 black_box(ctx.run(|tx| {
                     let mut s = 0u64;
                     for v in &vars {
-                        s = s.wrapping_add(tx.read(&p, v)?);
+                        s = s.wrapping_add(tx.read(v)?);
                     }
                     Ok(s)
                 }))
@@ -80,14 +86,14 @@ fn bench_touch_overhead(c: &mut Criterion) {
         let parts: Vec<Arc<Partition>> = (0..8)
             .map(|i| stm.new_partition(PartitionConfig::named(format!("p{i}"))))
             .collect();
-        let vars: Vec<TVar<u64>> = (0..8u64).map(TVar::new).collect();
+        let vars: Vec<PVar<u64>> = parts.iter().zip(0..8u64).map(|(p, v)| p.tvar(v)).collect();
         let ctx = stm.register_thread();
         g.bench_function("eight_partitions_8r", |b| {
             b.iter(|| {
                 black_box(ctx.run(|tx| {
                     let mut s = 0u64;
-                    for (p, v) in parts.iter().zip(&vars) {
-                        s = s.wrapping_add(tx.read(p, v)?);
+                    for v in &vars {
+                        s = s.wrapping_add(tx.read(v)?);
                     }
                     Ok(s)
                 }))
@@ -98,5 +104,55 @@ fn bench_touch_overhead(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_touch_overhead);
+/// Cached partition view vs a per-access config decode, over a read-heavy
+/// transaction (64 reads of one partition). `cached_view_64r` is the real
+/// engine path: one SeqCst config load at first touch, then the view table.
+/// `per_access_decode_64r` adds what the pre-view design paid: a config
+/// word load + decode at *every* access.
+fn bench_view_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("view_cache");
+    let n = 64u64;
+
+    {
+        let stm = Stm::new();
+        let p = stm.new_partition(PartitionConfig::named("cached"));
+        let vars: Vec<PVar<u64>> = (0..n).map(|v| p.tvar(v)).collect();
+        let ctx = stm.register_thread();
+        g.bench_function("cached_view_64r", |b| {
+            b.iter(|| {
+                black_box(ctx.run(|tx| {
+                    let mut s = 0u64;
+                    for v in &vars {
+                        s = s.wrapping_add(tx.read(v)?);
+                    }
+                    Ok(s)
+                }))
+            })
+        });
+    }
+    {
+        let stm = Stm::new();
+        let p = stm.new_partition(PartitionConfig::named("decode"));
+        let vars: Vec<PVar<u64>> = (0..n).map(|v| p.tvar(v)).collect();
+        let ctx = stm.register_thread();
+        g.bench_function("per_access_decode_64r", |b| {
+            b.iter(|| {
+                black_box(ctx.run(|tx| {
+                    let mut s = 0u64;
+                    for v in &vars {
+                        // The config load + decode every access would pay
+                        // without the per-attempt view cache.
+                        black_box(p.current_config());
+                        s = s.wrapping_add(tx.read(v)?);
+                    }
+                    Ok(s)
+                }))
+            })
+        });
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_touch_overhead, bench_view_cache);
 criterion_main!(benches);

@@ -11,7 +11,7 @@ fn main() {
         let stm = Stm::new();
         let p = stm.new_partition(PartitionConfig::named("bank"));
         let n = 16usize;
-        let accounts: Arc<Vec<TVar<i64>>> = Arc::new((0..n).map(|_| TVar::new(1000)).collect());
+        let accounts: Arc<Vec<PVar<i64>>> = Arc::new((0..n).map(|_| p.tvar(1000)).collect());
         let expect = 16_000i64;
         let stop = Arc::new(AtomicBool::new(false));
         let bad = Arc::new(AtomicBool::new(false));
@@ -19,7 +19,6 @@ fn main() {
             for t in 0..4usize {
                 let ctx = stm.register_thread();
                 let accounts = Arc::clone(&accounts);
-                let p = Arc::clone(&p);
                 let stop = Arc::clone(&stop);
                 s.spawn(move || {
                     let mut r = (t as u64 + 1) * 0x9E37_79B9;
@@ -31,10 +30,10 @@ fn main() {
                         let to = ((r >> 8) % 16) as usize;
                         let amt = (r % 50) as i64;
                         ctx.run(|tx| {
-                            let f = tx.read(&p, &accounts[from])?;
-                            tx.write(&p, &accounts[from], f - amt)?;
-                            let t2 = tx.read(&p, &accounts[to])?;
-                            tx.write(&p, &accounts[to], t2 + amt)?;
+                            let f = tx.read(&accounts[from])?;
+                            tx.write(&accounts[from], f - amt)?;
+                            let t2 = tx.read(&accounts[to])?;
+                            tx.write(&accounts[to], t2 + amt)?;
                             Ok(())
                         });
                     }
@@ -42,7 +41,6 @@ fn main() {
             }
             let ctx = stm.register_thread();
             let accounts2 = Arc::clone(&accounts);
-            let p2 = Arc::clone(&p);
             let stop2 = Arc::clone(&stop);
             let bad2 = Arc::clone(&bad);
             s.spawn(move || {
@@ -50,7 +48,7 @@ fn main() {
                     let sum = ctx.run(|tx| {
                         let mut s = 0i64;
                         for a in accounts2.iter() {
-                            s += tx.read(&p2, a)?;
+                            s += tx.read(a)?;
                         }
                         Ok(s)
                     });
@@ -70,6 +68,7 @@ fn main() {
             println!("reproduced in round {round}");
             std::process::exit(1);
         }
+        drop(p);
     }
     println!("no violation in 50 rounds");
 }

@@ -146,8 +146,11 @@ fn chunk_capacity(c: usize) -> usize {
     (BASE as usize) << c
 }
 
-/// Chunked, append-only slab of default-initialized `N` values with
-/// transactional alloc/free. See the module docs.
+/// Chunked, append-only slab of `N` values with transactional alloc/free.
+/// Slots are initialized by the arena's *factory* — `N::default` for the
+/// [`Arena::new`] family, or an arbitrary closure ([`Arena::new_with`]) so
+/// nodes made of partition-bound [`crate::PVar`]s (which have no `Default`)
+/// can be arena-allocated. See the module docs.
 pub struct Arena<N> {
     chunks: [AtomicPtr<N>; NUM_CHUNKS],
     next: AtomicU32,
@@ -156,6 +159,7 @@ pub struct Arena<N> {
     // carries the global-clock timestamp of the commit that freed it (the
     // reuse barrier described in the module docs).
     free: Mutex<Vec<(u32, u64)>>,
+    factory: Box<dyn Fn() -> N + Send + Sync>,
 }
 
 // SAFETY: the arena owns the chunk allocations (raw pointers) and hands out
@@ -164,20 +168,38 @@ pub struct Arena<N> {
 unsafe impl<N: Send + Sync> Send for Arena<N> {}
 unsafe impl<N: Send + Sync> Sync for Arena<N> {}
 
-impl<N: Default> Arena<N> {
-    /// Creates an empty arena.
+impl<N: Default + 'static> Arena<N> {
+    /// Creates an empty arena of default-initialized slots.
     pub fn new() -> Self {
-        Arena {
-            chunks: Default::default(),
-            next: AtomicU32::new(0),
-            free: Mutex::new(Vec::new()),
-        }
+        Self::new_with(N::default)
     }
 
     /// Creates an arena with the first chunks pre-installed to cover at
     /// least `cap` slots (avoids install CASes during measurement).
     pub fn with_capacity(cap: usize) -> Self {
-        let a = Self::new();
+        Self::with_capacity_and(cap, N::default)
+    }
+}
+
+impl<N: 'static> Arena<N> {
+    /// Creates an empty arena whose slots are initialized by `factory`.
+    ///
+    /// This is how node types made of partition-bound [`crate::PVar`]s are
+    /// arena-allocated: the factory captures the owning partition and binds
+    /// every field of every slot at chunk-installation time.
+    pub fn new_with(factory: impl Fn() -> N + Send + Sync + 'static) -> Self {
+        Arena {
+            chunks: Default::default(),
+            next: AtomicU32::new(0),
+            free: Mutex::new(Vec::new()),
+            factory: Box::new(factory),
+        }
+    }
+
+    /// [`Arena::new_with`] plus pre-installed chunks covering at least
+    /// `cap` slots.
+    pub fn with_capacity_and(cap: usize, factory: impl Fn() -> N + Send + Sync + 'static) -> Self {
+        let a = Self::new_with(factory);
         let mut covered = 0usize;
         let mut c = 0;
         while covered < cap && c < NUM_CHUNKS {
@@ -193,7 +215,7 @@ impl<N: Default> Arena<N> {
             return;
         }
         let mut v: Vec<N> = Vec::with_capacity(chunk_capacity(c));
-        v.resize_with(chunk_capacity(c), N::default);
+        v.resize_with(chunk_capacity(c), &self.factory);
         let boxed: Box<[N]> = v.into_boxed_slice();
         let ptr = Box::into_raw(boxed) as *mut N;
         if self.chunks[c]
@@ -318,7 +340,7 @@ impl<N: Default> Arena<N> {
     }
 }
 
-impl<N: Default> Default for Arena<N> {
+impl<N: Default + 'static> Default for Arena<N> {
     fn default() -> Self {
         Self::new()
     }
@@ -351,7 +373,7 @@ impl<N> Drop for Arena<N> {
 ///
 /// `arena` must point to a live `Arena<N>` of the matching `N` and `raw`
 /// must be a raw handle minted by it.
-pub(crate) unsafe fn reclaim_into<N: Default>(arena: *const (), raw: u32, tag: u64) {
+pub(crate) unsafe fn reclaim_into<N>(arena: *const (), raw: u32, tag: u64) {
     let arena = &*(arena as *const Arena<N>);
     arena.free.lock().push((raw - 1, tag));
 }

@@ -18,21 +18,24 @@
 //!
 //! ## Quickstart
 //!
+//! Variables are *bound to their partition at allocation*
+//! ([`Partition::tvar`] returns a [`PVar`]); access sites then name only
+//! the variable:
+//!
 //! ```
-//! use std::sync::Arc;
-//! use partstm_core::{PartitionConfig, Stm, TVar};
+//! use partstm_core::{PartitionConfig, Stm};
 //!
 //! let stm = Stm::new();
 //! let accounts = stm.new_partition(PartitionConfig::named("accounts"));
-//! let a = TVar::new(100i64);
-//! let b = TVar::new(0i64);
+//! let a = accounts.tvar(100i64);
+//! let b = accounts.tvar(0i64);
 //!
 //! let ctx = stm.register_thread();
 //! ctx.run(|tx| {
-//!     let va = tx.read(&accounts, &a)?;
-//!     let vb = tx.read(&accounts, &b)?;
-//!     tx.write(&accounts, &a, va - 30)?;
-//!     tx.write(&accounts, &b, vb + 30)?;
+//!     let va = tx.read(&a)?;
+//!     let vb = tx.read(&b)?;
+//!     tx.write(&a, va - 30)?;
+//!     tx.write(&b, vb + 30)?;
 //!     Ok(())
 //! });
 //! assert_eq!(a.load_direct(), 70);
@@ -41,14 +44,16 @@
 //!
 //! ## Soundness contract
 //!
-//! Each [`TVar`] must always be accessed through the *same* partition: the
-//! partition's orec table is what detects conflicts, so routing one
-//! variable through two partitions would miss conflicts. In the paper this
-//! invariant is established by the compile-time partitioning analysis; in
-//! this library it is upheld by construction when data structures carry
-//! their partition (as everything in `partstm-structures` does), and the
-//! `partstm-analysis` crate reproduces the analysis that derives sound
-//! assignments automatically.
+//! Each transactional variable must always be accessed through the *same*
+//! partition: the partition's orec table is what detects conflicts, so
+//! routing one variable through two partitions would miss conflicts. In
+//! the paper this invariant is established by the compile-time
+//! partitioning analysis; in this library it holds *by construction* for
+//! [`PVar`]s (the binding is fixed at allocation and the access sites
+//! cannot name a partition at all). The raw tier — bare [`TVar`]s accessed
+//! via [`Tx::read_raw`](txn::Tx::read_raw) and friends — leaves the
+//! invariant to the caller, and the `partstm-analysis` crate reproduces
+//! the analysis that derives sound assignments automatically.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -60,6 +65,7 @@ pub mod config;
 pub mod error;
 pub mod orec;
 pub mod partition;
+pub mod pvar;
 pub mod stats;
 pub mod stm;
 pub mod tuner;
@@ -73,8 +79,9 @@ pub use config::{
 };
 pub use error::{Abort, AbortKind, TxResult};
 pub use partition::{Partition, PartitionId};
+pub use pvar::PVar;
 pub use stats::StatCounters;
-pub use stm::{Stm, StmBuilder, ThreadCtx, MAX_THREADS};
+pub use stm::{Stm, StmBuilder, SwitchOutcome, ThreadCtx, MAX_THREADS};
 pub use tuner::{TuneInput, TuningPolicy};
 pub use tvar::TVar;
 pub use txn::Tx;

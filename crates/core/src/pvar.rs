@@ -1,0 +1,111 @@
+//! Partition-bound transactional variables.
+//!
+//! A [`PVar<T>`] is a [`TVar<T>`] that carries its owning partition: the
+//! association the paper's compiler pass (Tanger + the data-structure
+//! analysis) computes per access site is instead established *once, at
+//! allocation*, by [`Partition::tvar`](crate::Partition::tvar). Access
+//! sites then name only the variable — `tx.read(&var)` — and the engine
+//! routes the access through the partition the variable was bound to,
+//! which makes mis-partitioned accesses unrepresentable (see the soundness
+//! contract in the crate docs).
+//!
+//! The raw tier ([`Tx::read_raw`](crate::Tx::read_raw) and friends on bare
+//! `TVar`s) remains available for code that manages the variable/partition
+//! association itself.
+
+use std::sync::Arc;
+
+use crate::partition::{Partition, PartitionId};
+use crate::tvar::TVar;
+use crate::word::TxWord;
+
+/// A transactional variable bound to the partition that guards it.
+///
+/// Created with [`Partition::tvar`](crate::Partition::tvar) (or
+/// [`PVar::new`]); the binding is immutable for the variable's lifetime —
+/// exactly the invariant the compile-time partitioning analysis establishes,
+/// here enforced by construction.
+pub struct PVar<T> {
+    pub(crate) part: Arc<Partition>,
+    pub(crate) var: TVar<T>,
+}
+
+impl<T: TxWord> PVar<T> {
+    /// Creates a variable bound to `part` with an initial value.
+    pub fn new(part: Arc<Partition>, value: T) -> Self {
+        PVar {
+            part,
+            var: TVar::new(value),
+        }
+    }
+
+    /// The partition this variable is bound to.
+    #[inline(always)]
+    pub fn partition(&self) -> &Arc<Partition> {
+        &self.part
+    }
+
+    /// Id of the owning partition.
+    #[inline]
+    pub fn partition_id(&self) -> PartitionId {
+        self.part.id()
+    }
+
+    /// The underlying unbound variable (for the raw API tier).
+    #[inline(always)]
+    pub fn var(&self) -> &TVar<T> {
+        &self.var
+    }
+
+    /// Non-transactional read (see [`TVar::load_direct`]).
+    #[inline]
+    pub fn load_direct(&self) -> T {
+        self.var.load_direct()
+    }
+
+    /// Non-transactional write (see [`TVar::store_direct`]).
+    #[inline]
+    pub fn store_direct(&self, value: T) {
+        self.var.store_direct(value);
+    }
+}
+
+impl<T: TxWord + core::fmt::Debug> core::fmt::Debug for PVar<T> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("PVar")
+            .field("partition", &self.part.id())
+            .field("value", &self.load_direct())
+            .finish()
+    }
+}
+
+impl Partition {
+    /// Creates a [`PVar`] bound to this partition.
+    ///
+    /// This is the allocation-time equivalent of the paper's compile-time
+    /// variable→partition assignment: bind once here, then access with the
+    /// partition-free [`Tx::read`](crate::Tx::read) /
+    /// [`Tx::write`](crate::Tx::write) / [`Tx::modify`](crate::Tx::modify).
+    pub fn tvar<T: TxWord>(self: &Arc<Self>, value: T) -> PVar<T> {
+        PVar::new(Arc::clone(self), value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::PartitionConfig;
+    use crate::stm::Stm;
+
+    #[test]
+    fn pvar_carries_its_partition() {
+        let stm = Stm::new();
+        let p = stm.new_partition(PartitionConfig::named("bound"));
+        let x = p.tvar(9u64);
+        assert_eq!(x.partition_id(), p.id());
+        assert!(std::sync::Arc::ptr_eq(x.partition(), &p));
+        assert_eq!(x.load_direct(), 9);
+        x.store_direct(11);
+        assert_eq!(x.var().load_direct(), 11);
+        assert!(format!("{x:?}").contains("PVar"));
+    }
+}

@@ -18,9 +18,35 @@ use crate::txn::TxScratch;
 pub const MAX_THREADS: usize = 64;
 
 /// How long a configuration switch may wait for quiescence before the
-/// runtime assumes a stuck transaction and panics (diagnostic aid; a healthy
-/// workload quiesces in microseconds).
+/// runtime assumes a stuck transaction and gives up on the switch (a
+/// healthy workload quiesces in microseconds). Giving up rolls the switch
+/// back and reports [`SwitchOutcome::TimedOut`]; under `debug_assertions`
+/// it panics instead, as a stuck transaction is a bug worth a backtrace.
 const QUIESCE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Result of [`Stm::switch_partition`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwitchOutcome {
+    /// The new configuration was installed (generation bumped).
+    Switched,
+    /// The requested configuration equals the current one; nothing to do.
+    Unchanged,
+    /// Another switch of the same partition is in progress; retryable.
+    Contended,
+    /// Quiescence was not reached within the timeout: the switch was rolled
+    /// back (flag cleared, configuration untouched) and may be retried. A
+    /// transaction is likely stuck or extremely long-running; the event is
+    /// logged to stderr. Release builds only — debug builds panic here.
+    TimedOut,
+}
+
+impl SwitchOutcome {
+    /// `true` iff the new configuration was installed.
+    #[inline]
+    pub fn switched(self) -> bool {
+        matches!(self, SwitchOutcome::Switched)
+    }
+}
 
 /// Per-thread slot, visible to all threads (for kills and quiescence).
 #[derive(Debug, Default)]
@@ -130,6 +156,16 @@ impl Stm {
         p
     }
 
+    /// Creates one partition per configuration, in order. The building
+    /// block for materializing a computed partitioning plan (see the
+    /// `MaterializePlan` glue in `partstm-analysis`).
+    pub fn new_partitions<I>(&self, cfgs: I) -> Vec<Arc<Partition>>
+    where
+        I: IntoIterator<Item = PartitionConfig>,
+    {
+        cfgs.into_iter().map(|c| self.new_partition(c)).collect()
+    }
+
     /// All partitions created so far (for reports).
     pub fn partitions(&self) -> Vec<Arc<Partition>> {
         self.inner.partitions.lock().clone()
@@ -159,21 +195,28 @@ impl Stm {
     /// # Panics
     ///
     /// If more than `max_threads` threads are registered simultaneously.
+    /// Callers that would rather back off than crash (thread pools sized
+    /// independently of the STM) should use [`Stm::try_register_thread`].
     pub fn register_thread(&self) -> ThreadCtx {
-        let slot = self
-            .inner
-            .free_slots
-            .lock()
-            .pop()
-            .expect("all STM thread slots in use; raise max_threads");
+        self.try_register_thread()
+            .expect("all STM thread slots in use; raise max_threads")
+    }
+
+    /// Registers the calling thread if a slot is free, `None` otherwise.
+    ///
+    /// The non-panicking twin of [`Stm::register_thread`]: a thread-pool
+    /// worker that loses the race for the last slot can park, shed load, or
+    /// retry with backoff instead of killing the process.
+    pub fn try_register_thread(&self) -> Option<ThreadCtx> {
+        let slot = self.inner.free_slots.lock().pop()?;
         self.inner.slots[slot]
             .registered
             .store(true, Ordering::Release);
-        ThreadCtx {
+        Some(ThreadCtx {
             stm: self.clone(),
             slot,
             scratch: core::cell::RefCell::new(TxScratch::new(slot as u64)),
-        }
+        })
     }
 
     /// Switches a partition to a new dynamic configuration using the
@@ -189,13 +232,18 @@ impl Stm {
     /// 3. install the new configuration with generation+1 and clear the
     ///    flag.
     ///
-    /// Returns `false` (without waiting) if another switch is in progress
-    /// or the configuration is unchanged.
+    /// Returns the [`SwitchOutcome`]: [`Unchanged`](SwitchOutcome::Unchanged)
+    /// / [`Contended`](SwitchOutcome::Contended) without waiting when there
+    /// is nothing to do or another switch owns the partition, and
+    /// [`TimedOut`](SwitchOutcome::TimedOut) (release builds; debug builds
+    /// panic) when quiescence cannot be reached — the switch is rolled back
+    /// and retryable, so a stuck transaction degrades tuning instead of
+    /// killing the process.
     ///
     /// Must not be called from inside a transaction (the engine invokes it
     /// only between transactions; external callers run it from ordinary
     /// code).
-    pub fn switch_partition(&self, partition: &Partition, new: DynConfig) -> bool {
+    pub fn switch_partition(&self, partition: &Partition, new: DynConfig) -> SwitchOutcome {
         assert_eq!(
             partition.stm_id, self.inner.id,
             "partition belongs to a different Stm"
@@ -210,10 +258,13 @@ pub(crate) fn switch_partition_impl(
     inner: &StmInner,
     partition: &Partition,
     new: DynConfig,
-) -> bool {
+) -> SwitchOutcome {
     let old = partition.config.load(Ordering::SeqCst);
-    if config::is_switching(old) || config::decode(old) == new {
-        return false;
+    if config::is_switching(old) {
+        return SwitchOutcome::Contended;
+    }
+    if config::decode(old) == new {
+        return SwitchOutcome::Unchanged;
     }
     if partition
         .config
@@ -225,7 +276,7 @@ pub(crate) fn switch_partition_impl(
         )
         .is_err()
     {
-        return false;
+        return SwitchOutcome::Contended;
     }
     let epoch = inner.switch_epoch.fetch_add(1, Ordering::SeqCst) + 1;
     let start = Instant::now();
@@ -239,10 +290,23 @@ pub(crate) fn switch_partition_impl(
                 break;
             }
             if start.elapsed() > QUIESCE_TIMEOUT {
-                panic!(
-                    "partition switch could not quiesce in {QUIESCE_TIMEOUT:?}: \
-                     a transaction appears stuck"
+                // Roll the switch back: clear the flag so future switches
+                // (and first-touches) proceed, leave config + generation
+                // untouched. We own the word while the flag is set, so a
+                // plain store of the pre-switch word is race-free.
+                partition.config.store(old, Ordering::SeqCst);
+                if cfg!(debug_assertions) {
+                    panic!(
+                        "partition switch could not quiesce in {QUIESCE_TIMEOUT:?}: \
+                         a transaction appears stuck"
+                    );
+                }
+                eprintln!(
+                    "partstm: switch of partition '{}' rolled back: quiescence \
+                     not reached in {QUIESCE_TIMEOUT:?} (stuck transaction?); retryable",
+                    partition.name()
                 );
+                return SwitchOutcome::TimedOut;
             }
             std::thread::yield_now();
         }
@@ -254,7 +318,7 @@ pub(crate) fn switch_partition_impl(
     partition.reset_orecs(inner.clock.now());
     let word = config::encode(new, config::generation(old).wrapping_add(1));
     partition.config.store(word, Ordering::SeqCst);
-    true
+    SwitchOutcome::Switched
 }
 
 impl Default for Stm {
@@ -350,12 +414,38 @@ mod tests {
         assert_eq!(p.current_config().read_mode, ReadMode::Invisible);
         let mut cfg = p.current_config();
         cfg.read_mode = ReadMode::Visible;
-        assert!(stm.switch_partition(&p, cfg));
+        assert!(stm.switch_partition(&p, cfg).switched());
         assert_eq!(p.current_config().read_mode, ReadMode::Visible);
         assert_eq!(p.generation(), 1);
         // Switching to the identical config is a no-op.
-        assert!(!stm.switch_partition(&p, cfg));
+        assert_eq!(stm.switch_partition(&p, cfg), SwitchOutcome::Unchanged);
         assert_eq!(p.generation(), 1);
+    }
+
+    #[test]
+    fn try_register_thread_backs_off_instead_of_panicking() {
+        let stm = Stm::builder().max_threads(2).build();
+        let a = stm.try_register_thread().expect("slot 1");
+        let b = stm.try_register_thread().expect("slot 2");
+        assert!(stm.try_register_thread().is_none(), "pool exhausted");
+        drop(a);
+        let c = stm.try_register_thread().expect("slot recycled");
+        drop(b);
+        drop(c);
+    }
+
+    #[test]
+    fn new_partitions_creates_in_order() {
+        let stm = Stm::new();
+        let parts = stm.new_partitions([
+            PartitionConfig::named("a"),
+            PartitionConfig::named("b"),
+            PartitionConfig::named("c"),
+        ]);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0].name(), "a");
+        assert_eq!(parts[2].name(), "c");
+        assert!(parts[0].id() < parts[1].id() && parts[1].id() < parts[2].id());
     }
 
     #[test]
@@ -376,6 +466,6 @@ mod tests {
         let p = stm.new_partition(PartitionConfig::default());
         let mut cfg = p.current_config();
         cfg.read_mode = ReadMode::Visible;
-        assert!(stm.switch_partition(&p, cfg));
+        assert!(stm.switch_partition(&p, cfg).switched());
     }
 }

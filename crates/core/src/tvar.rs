@@ -12,12 +12,14 @@ use crate::word::TxWord;
 
 /// A transactional variable holding a `T` packed into a 64-bit word.
 ///
-/// `TVar`s belong to a *partition* at access time: every transactional
-/// read/write names the partition whose concurrency-control metadata guards
-/// the variable. In the paper this association is computed by the compiler
-/// (Tanger + the data-structure analysis); here the data structure that owns
-/// the variable carries its partition and passes it at each access site,
-/// which is exactly the code the compiler pass would have emitted.
+/// `TVar` is the *raw tier*: it carries no partition, so every
+/// transactional access ([`crate::Tx::read_raw`] and friends) must name
+/// the partition whose concurrency-control metadata guards the variable —
+/// and must always name the same one. Most code should use
+/// [`crate::PVar`] instead (created with [`crate::Partition::tvar`]),
+/// which binds the variable to its partition at allocation, the way the
+/// paper's compiler pass (Tanger + the data-structure analysis) assigns
+/// variables to partitions ahead of execution.
 #[repr(transparent)]
 pub struct TVar<T> {
     pub(crate) cell: AtomicU64,

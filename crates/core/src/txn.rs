@@ -18,11 +18,38 @@
 //! ## Lifetimes
 //!
 //! [`Tx<'e, 's>`] carries two lifetimes: `'e` is the *environment* — every
-//! `&TVar`/`&Arc<Partition>` passed to transactional operations must outlive
-//! the whole [`ThreadCtx::run`] call (so the engine's internal pointers stay
-//! valid through commit even if user code drops its own handles early), and
-//! `'s` is the engine's internal borrow of its scratch state. User closures
-//! are generic over `'s` only.
+//! `&PVar`/`&TVar`/`&Arc<Partition>` passed to transactional operations must
+//! outlive the whole [`ThreadCtx::run`] call (so the engine's internal
+//! pointers stay valid through commit even if user code drops its own
+//! handles early), and `'s` is the engine's internal borrow of its scratch
+//! state. User closures are generic over `'s` only.
+//!
+//! ## Partition views: one config decode per attempt
+//!
+//! Every attempt keeps a *partition view* table: the first touch of a
+//! partition loads its config word (one `SeqCst` load), rejects the attempt
+//! if the switching flag is set, and caches the decoded [`DynConfig`] plus
+//! generation in the view. Every later access to that partition — bound
+//! ([`Tx::read`]) or raw ([`Tx::read_raw`]) — resolves to the cached view
+//! (a one-entry MRU fast path backed by a stamped hash index) and never
+//! re-reads the config word.
+//!
+//! **Soundness.** Caching the decode for the whole attempt is sound because
+//! the quiesce-based switch protocol (see [`crate::Stm::switch_partition`])
+//! guarantees no attempt spans a configuration switch:
+//!
+//! 1. the switcher sets the partition's *switching* flag **before** bumping
+//!    the global switch epoch, so any attempt that begins after the bump
+//!    (its `start_epoch` is past the bump) observes the flag at first touch
+//!    — all the loads involved are `SeqCst` — and aborts without caching
+//!    anything;
+//! 2. the switcher waits for every attempt begun **before** the bump (odd
+//!    `seq`, older `start_epoch`) to finish before it resets the orec table
+//!    and installs the new config word.
+//!
+//! Hence a view snapshotted at first touch is, for the rest of the attempt,
+//! identical to what a per-access decode would produce, and the cached
+//! generation is stable until the attempt's `seq` returns to even.
 
 use core::marker::PhantomData;
 use core::sync::atomic::{AtomicU64, Ordering};
@@ -35,6 +62,7 @@ use crate::config::{self, AcquireMode, DynConfig, ReadMode, ReaderArb};
 use crate::error::{Abort, AbortKind, TxResult};
 use crate::orec::{is_locked, make_version, owner_of, reader_bit, version_of, Orec};
 use crate::partition::Partition;
+use crate::pvar::PVar;
 use crate::stats::LocalStats;
 use crate::stm::{StmInner, ThreadCtx};
 use crate::tuner::TuneInput;
@@ -57,14 +85,24 @@ struct WriteEntry {
     /// Whether *this entry* performed the orec acquisition (first entry per
     /// orec does; later entries find it already owned).
     acquired_here: bool,
-    /// Index into the touch list (partition attribution).
+    /// Index into the partition-view table (partition attribution).
     touch: u16,
 }
 
-/// Per-partition state of one transaction attempt.
-struct PartTouch {
+/// Per-partition state of one transaction attempt: the *partition view*.
+///
+/// The config word is loaded and decoded exactly once, on first touch (see
+/// the module docs for why that is sound); every later access resolves to
+/// this cached snapshot.
+struct PartView {
     part: Arc<Partition>,
+    /// `Arc::as_ptr(&part)`, cached for the MRU fast-path comparison.
+    ptr: *const Partition,
     cfg: DynConfig,
+    /// Generation of the config word the view was decoded from. Stable for
+    /// the whole attempt (quiesce protocol); kept for diagnostics and
+    /// debug-mode verification at commit.
+    generation: u32,
     stats: LocalStats,
     wrote: bool,
 }
@@ -80,10 +118,12 @@ struct ReclaimEntry {
     push_free: unsafe fn(*const (), u32, u64),
 }
 
-/// Stamped open-addressing map `address -> write-set index`, reused across
+/// Stamped open-addressing map `usize key -> u32 index`, reused across
 /// transactions without clearing (entries from older transactions are
-/// recognizably stale by their stamp).
-struct WsIndex {
+/// recognizably stale by their stamp). Two instances per thread: the
+/// write-set index (keyed by variable address) and the partition-view index
+/// (keyed by partition pointer).
+struct StampedMap {
     keys: Vec<usize>,
     vals: Vec<u32>,
     stamps: Vec<u64>,
@@ -92,10 +132,10 @@ struct WsIndex {
     len: usize,
 }
 
-impl WsIndex {
+impl StampedMap {
     fn new() -> Self {
         let cap = 64;
-        WsIndex {
+        StampedMap {
             keys: vec![0; cap],
             vals: vec![0; cap],
             stamps: vec![0; cap],
@@ -183,8 +223,12 @@ pub(crate) struct TxScratch {
     read_set: Vec<ReadEntry>,
     write_set: Vec<WriteEntry>,
     visible: Vec<*const Orec>,
-    touches: Vec<PartTouch>,
-    ws_index: WsIndex,
+    views: Vec<PartView>,
+    ws_index: StampedMap,
+    view_index: StampedMap,
+    /// Index of the most recently used view (MRU fast path); `u32::MAX`
+    /// when no view has been touched this attempt.
+    last_view: u32,
     alloc_log: Vec<ReclaimEntry>,
     free_log: Vec<ReclaimEntry>,
     rng: XorShift64,
@@ -211,8 +255,10 @@ impl TxScratch {
             read_set: Vec::new(),
             write_set: Vec::new(),
             visible: Vec::new(),
-            touches: Vec::new(),
-            ws_index: WsIndex::new(),
+            views: Vec::new(),
+            ws_index: StampedMap::new(),
+            view_index: StampedMap::new(),
+            last_view: u32::MAX,
             alloc_log: Vec::new(),
             free_log: Vec::new(),
             rng: XorShift64::new(seed.wrapping_mul(0x5851_F42D_4C95_7F2D) | 1),
@@ -260,6 +306,19 @@ impl<'e, 's> Tx<'e, 's> {
         self.s.rv
     }
 
+    /// The configuration generation of `part` as cached by this attempt's
+    /// partition view, or `None` if the partition has not been touched in
+    /// this attempt. Diagnostic: stable for the whole attempt (see the
+    /// module docs on partition views).
+    pub fn cached_generation(&self, part: &Arc<Partition>) -> Option<u32> {
+        let ptr = Arc::as_ptr(part);
+        self.s
+            .views
+            .iter()
+            .find(|v| v.ptr == ptr)
+            .map(|v| v.generation)
+    }
+
     fn begin(&mut self) {
         let s = &mut *self.s;
         s.serial += 1;
@@ -279,22 +338,30 @@ impl<'e, 's> Tx<'e, 's> {
         s.read_set.clear();
         s.write_set.clear();
         s.visible.clear();
-        s.touches.clear();
+        s.views.clear();
         s.alloc_log.clear();
         s.free_log.clear();
         s.ws_index.begin_txn();
+        s.view_index.begin_txn();
+        s.last_view = u32::MAX;
         s.engine_fail = false;
         s.in_attempt = true;
     }
 
-    /// Registers (or finds) the touch record for a partition: snapshots its
-    /// configuration on first contact. Aborts if the partition is mid-switch.
-    fn touch(&mut self, part: &'e Arc<Partition>) -> Result<u16, Abort> {
+    /// Resolves the partition view for `part`: finds the cached view (MRU
+    /// fast path, then the stamped index) or, on first contact this
+    /// attempt, loads the config word once, decodes it and records the
+    /// view. Aborts if the partition is mid-switch. See the module docs for
+    /// why one decode per attempt is sound.
+    fn view_of(&mut self, part: &'e Arc<Partition>) -> Result<u16, Abort> {
         let ptr = Arc::as_ptr(part);
-        for (i, t) in self.s.touches.iter().enumerate() {
-            if Arc::as_ptr(&t.part) == ptr {
-                return Ok(i as u16);
-            }
+        let li = self.s.last_view as usize;
+        if li < self.s.views.len() && self.s.views[li].ptr == ptr {
+            return Ok(li as u16);
+        }
+        if let Some(i) = self.s.view_index.get(ptr as usize) {
+            self.s.last_view = i;
+            return Ok(i as u16);
         }
         assert_eq!(
             part.stm_id, self.stm.id,
@@ -307,19 +374,24 @@ impl<'e, 's> Tx<'e, 's> {
             self.s.engine_fail = true;
             return Err(Abort(()));
         }
-        self.s.touches.push(PartTouch {
+        let i = self.s.views.len() as u32;
+        self.s.views.push(PartView {
             part: Arc::clone(part),
+            ptr,
             cfg: config::decode(word),
+            generation: config::generation(word),
             stats: LocalStats::default(),
             wrote: false,
         });
-        Ok((self.s.touches.len() - 1) as u16)
+        self.s.view_index.insert(ptr as usize, i);
+        self.s.last_view = i;
+        Ok(i as u16)
     }
 
     /// Records an abort cause against a partition and flags the attempt as
     /// engine-failed. Returns the `Abort` token to propagate.
     fn fail(&mut self, ti: u16, kind: AbortKind) -> Abort {
-        let st = &self.s.touches[ti as usize].part.stats;
+        let st = &self.s.views[ti as usize].part.stats;
         match kind {
             AbortKind::WLockConflict => st.aborts_wlock(self.slot, 1),
             AbortKind::RLockConflict => st.aborts_rlock(self.slot, 1),
@@ -332,13 +404,45 @@ impl<'e, 's> Tx<'e, 's> {
         Abort(())
     }
 
-    /// Transactional read.
-    pub fn read<T: TxWord>(&mut self, part: &'e Arc<Partition>, var: &'e TVar<T>) -> TxResult<T> {
-        let ti = self.touch(part)?;
+    /// Transactional read of a partition-bound variable.
+    ///
+    /// The partition is the one the variable was bound to at allocation
+    /// ([`Partition::tvar`]); no partition is named at the access site.
+    #[inline]
+    pub fn read<T: TxWord>(&mut self, var: &'e PVar<T>) -> TxResult<T> {
+        self.read_raw(&var.part, &var.var)
+    }
+
+    /// Transactional write (buffered until commit) of a partition-bound
+    /// variable.
+    #[inline]
+    pub fn write<T: TxWord>(&mut self, var: &'e PVar<T>, value: T) -> TxResult<()> {
+        self.write_raw(&var.part, &var.var, value)
+    }
+
+    /// Read-modify-write convenience on a partition-bound variable.
+    #[inline]
+    pub fn modify<T: TxWord>(&mut self, var: &'e PVar<T>, f: impl FnOnce(T) -> T) -> TxResult<T> {
+        let v = self.read(var)?;
+        let nv = f(v);
+        self.write(var, nv)?;
+        Ok(nv)
+    }
+
+    /// Transactional read, raw tier: the caller names the partition that
+    /// guards `var` and must always name the *same* partition for it (see
+    /// the crate-level soundness contract). Prefer [`Tx::read`] on
+    /// [`PVar`]s, which enforces the association by construction.
+    pub fn read_raw<T: TxWord>(
+        &mut self,
+        part: &'e Arc<Partition>,
+        var: &'e TVar<T>,
+    ) -> TxResult<T> {
+        let ti = self.view_of(part)?;
         if self.killed() {
             return Err(self.fail(ti, AbortKind::Killed));
         }
-        self.s.touches[ti as usize].stats.reads += 1;
+        self.s.views[ti as usize].stats.reads += 1;
         let addr = var.addr();
         if let Some(ei) = self.s.ws_index.get(addr) {
             let e = &self.s.write_set[ei as usize];
@@ -348,7 +452,7 @@ impl<'e, 's> Tx<'e, 's> {
             );
             return Ok(T::from_word(e.val));
         }
-        let cfg = self.s.touches[ti as usize].cfg;
+        let cfg = self.s.views[ti as usize].cfg;
         let orec = part.orec_for(addr, cfg.granularity) as *const Orec;
         let cell = &var.cell as *const AtomicU64;
         let w = match cfg.read_mode {
@@ -358,19 +462,20 @@ impl<'e, 's> Tx<'e, 's> {
         Ok(T::from_word(w))
     }
 
-    /// Transactional write (buffered until commit).
-    pub fn write<T: TxWord>(
+    /// Transactional write (buffered until commit), raw tier: see
+    /// [`Tx::read_raw`] for the caller's obligations.
+    pub fn write_raw<T: TxWord>(
         &mut self,
         part: &'e Arc<Partition>,
         var: &'e TVar<T>,
         value: T,
     ) -> TxResult<()> {
-        let ti = self.touch(part)?;
+        let ti = self.view_of(part)?;
         if self.killed() {
             return Err(self.fail(ti, AbortKind::Killed));
         }
         {
-            let t = &mut self.s.touches[ti as usize];
+            let t = &mut self.s.views[ti as usize];
             t.stats.writes += 1;
             t.wrote = true;
         }
@@ -384,7 +489,7 @@ impl<'e, 's> Tx<'e, 's> {
             e.val = value.to_word();
             return Ok(());
         }
-        let cfg = self.s.touches[ti as usize].cfg;
+        let cfg = self.s.views[ti as usize].cfg;
         let orec = part.orec_for(addr, cfg.granularity) as *const Orec;
         let wi = self.s.write_set.len();
         self.s.write_set.push(WriteEntry {
@@ -402,16 +507,16 @@ impl<'e, 's> Tx<'e, 's> {
         Ok(())
     }
 
-    /// Read-modify-write convenience.
-    pub fn modify<T: TxWord>(
+    /// Read-modify-write convenience, raw tier.
+    pub fn modify_raw<T: TxWord>(
         &mut self,
         part: &'e Arc<Partition>,
         var: &'e TVar<T>,
         f: impl FnOnce(T) -> T,
     ) -> TxResult<T> {
-        let v = self.read(part, var)?;
+        let v = self.read_raw(part, var)?;
         let nv = f(v);
-        self.write(part, var, nv)?;
+        self.write_raw(part, var, nv)?;
         Ok(nv)
     }
 
@@ -422,7 +527,7 @@ impl<'e, 's> Tx<'e, 's> {
         cell: *const AtomicU64,
     ) -> Result<u64, Abort> {
         // SAFETY: `orec` points into the partition's table, kept alive by
-        // the `Arc` in `touches[ti]` for the rest of the attempt; `cell`
+        // the `Arc` in `views[ti]` for the rest of the attempt; `cell`
         // outlives `'e` by the signature of `read`.
         let orec_ref = unsafe { &*orec };
         loop {
@@ -492,7 +597,7 @@ impl<'e, 's> Tx<'e, 's> {
     /// Contention-managed wait on a locked orec; `Ok(())` means "retry the
     /// protocol loop", `Err` means the attempt failed.
     fn wait_or_fail(&mut self, ti: u16, orec: &Orec, kind: AbortKind) -> TxResult<()> {
-        match self.s.touches[ti as usize].cfg.cm {
+        match self.s.views[ti as usize].cfg.cm {
             CmPolicy::SuicideBackoff => Err(self.fail(ti, kind)),
             CmPolicy::DelayThenAbort => {
                 let slot = self.my_slot();
@@ -519,7 +624,7 @@ impl<'e, 's> Tx<'e, 's> {
         let new_rv = self.stm.clock.now();
         if self.validate_read_set() {
             self.s.rv = new_rv;
-            self.s.touches[ti as usize].stats.extensions += 1;
+            self.s.views[ti as usize].stats.extensions += 1;
             Ok(())
         } else {
             Err(self.fail(ti, AbortKind::Validation))
@@ -590,7 +695,7 @@ impl<'e, 's> Tx<'e, 's> {
             // lock is seen here).
             let others = orec.readers_except(my_bit);
             if others != 0 {
-                match self.s.touches[ti as usize].cfg.reader_arb {
+                match self.s.views[ti as usize].cfg.reader_arb {
                     ReaderArb::ReaderWins => {
                         return Err(self.fail(ti, AbortKind::RLockConflict));
                     }
@@ -626,7 +731,7 @@ impl<'e, 's> Tx<'e, 's> {
                     let victim = &self.stm.slots[victim_slot];
                     let target = victim.serial.load(Ordering::SeqCst);
                     victim.kill.store(target, Ordering::SeqCst);
-                    self.s.touches[ti as usize].stats.kills += 1;
+                    self.s.views[ti as usize].stats.kills += 1;
                 }
             }
             // Wait for the drains; victims abort promptly (they poll their
@@ -650,7 +755,7 @@ impl<'e, 's> Tx<'e, 's> {
     fn try_commit(&mut self) -> bool {
         debug_assert_q(self.s.in_attempt, "commit without begin");
         if self.killed() {
-            if !self.s.touches.is_empty() {
+            if !self.s.views.is_empty() {
                 let _ = self.fail(0, AbortKind::Killed);
             }
             self.rollback();
@@ -667,7 +772,7 @@ impl<'e, 's> Tx<'e, 's> {
         for wi in 0..self.s.write_set.len() {
             let needs = {
                 let e = &self.s.write_set[wi];
-                self.s.touches[e.touch as usize].cfg.acquire == AcquireMode::Commit
+                self.s.views[e.touch as usize].cfg.acquire == AcquireMode::Commit
                     && !e.acquired_here
             };
             if needs && self.acquire_orec(wi).is_err() {
@@ -702,6 +807,17 @@ impl<'e, 's> Tx<'e, 's> {
     }
 
     fn finish_commit(&mut self) {
+        // Debug tripwire for the one-decode-per-attempt argument (module
+        // docs): until our seq returns to even, no touched partition's
+        // generation may have moved past the one the view cached.
+        #[cfg(debug_assertions)]
+        for t in &self.s.views {
+            debug_assert_eq!(
+                config::generation(t.part.config_word()),
+                t.generation,
+                "partition config switched mid-attempt (quiesce protocol violated)"
+            );
+        }
         let bit = reader_bit(self.slot);
         for &orec in &self.s.visible {
             // SAFETY: orecs alive via touched partitions.
@@ -716,7 +832,7 @@ impl<'e, 's> Tx<'e, 's> {
             unsafe { (f.push_free)(f.arena, f.raw, free_tag) }
         }
         self.my_slot().seq.fetch_add(1, Ordering::SeqCst); // -> even
-        for t in &self.s.touches {
+        for t in &self.s.views {
             let st = &t.part.stats;
             st.starts(self.slot, 1);
             st.commits(self.slot, 1);
@@ -756,7 +872,7 @@ impl<'e, 's> Tx<'e, 's> {
             unsafe { (a.push_free)(a.arena, a.raw, a.tag) }
         }
         self.my_slot().seq.fetch_add(1, Ordering::SeqCst); // -> even
-        for t in &self.s.touches {
+        for t in &self.s.views {
             t.part.stats.starts(self.slot, 1);
             t.stats.flush(&t.part.stats, self.slot);
         }
@@ -811,7 +927,7 @@ impl<'e, 's> Tx<'e, 's> {
             self.s.rv = new_rv;
             Ok(())
         } else {
-            if let Some(t) = self.s.touches.first() {
+            if let Some(t) = self.s.views.first() {
                 t.part.stats.aborts_validation(self.slot, 1);
             }
             self.s.engine_fail = true;
@@ -822,8 +938,8 @@ impl<'e, 's> Tx<'e, 's> {
     /// Post-commit tuning hook: bump per-partition gates and, when a window
     /// fills, evaluate the installed policy and apply its decision.
     fn after_commit_tuning(&mut self) {
-        for i in 0..self.s.touches.len() {
-            let part = Arc::clone(&self.s.touches[i].part);
+        for i in 0..self.s.views.len() {
+            let part = Arc::clone(&self.s.views[i].part);
             if !part.tunable {
                 continue;
             }
@@ -917,7 +1033,7 @@ impl ThreadCtx {
                 }
                 Err(_) => {
                     if !tx.s.engine_fail {
-                        if let Some(t) = tx.s.touches.first() {
+                        if let Some(t) = tx.s.views.first() {
                             t.part.stats.aborts_user(tx.slot, 1);
                         }
                     }
@@ -933,19 +1049,23 @@ impl ThreadCtx {
 impl StmInner {
     /// Internal switch entry point shared by `Stm::switch_partition` and
     /// the tuning hook. See `Stm::switch_partition` for the protocol.
-    pub(crate) fn switch_partition_inner(&self, partition: &Partition, new: DynConfig) -> bool {
+    pub(crate) fn switch_partition_inner(
+        &self,
+        partition: &Partition,
+        new: DynConfig,
+    ) -> crate::stm::SwitchOutcome {
         crate::stm::switch_partition_impl(self, partition, new)
     }
 }
 
 impl<T: TxWord> TVar<T> {
-    /// Transactional read (convenience wrapper over [`Tx::read`]).
+    /// Transactional read (convenience wrapper over [`Tx::read_raw`]).
     #[inline]
     pub fn read<'e>(&'e self, tx: &mut Tx<'e, '_>, part: &'e Arc<Partition>) -> TxResult<T> {
-        tx.read(part, self)
+        tx.read_raw(part, self)
     }
 
-    /// Transactional write (convenience wrapper over [`Tx::write`]).
+    /// Transactional write (convenience wrapper over [`Tx::write_raw`]).
     #[inline]
     pub fn write<'e>(
         &'e self,
@@ -953,7 +1073,27 @@ impl<T: TxWord> TVar<T> {
         part: &'e Arc<Partition>,
         value: T,
     ) -> TxResult<()> {
-        tx.write(part, self, value)
+        tx.write_raw(part, self, value)
+    }
+}
+
+impl<T: TxWord> PVar<T> {
+    /// Transactional read (convenience wrapper over [`Tx::read`]).
+    #[inline]
+    pub fn read<'e>(&'e self, tx: &mut Tx<'e, '_>) -> TxResult<T> {
+        tx.read(self)
+    }
+
+    /// Transactional write (convenience wrapper over [`Tx::write`]).
+    #[inline]
+    pub fn write<'e>(&'e self, tx: &mut Tx<'e, '_>, value: T) -> TxResult<()> {
+        tx.write(self, value)
+    }
+
+    /// Read-modify-write (convenience wrapper over [`Tx::modify`]).
+    #[inline]
+    pub fn modify<'e>(&'e self, tx: &mut Tx<'e, '_>, f: impl FnOnce(T) -> T) -> TxResult<T> {
+        tx.modify(self, f)
     }
 }
 
@@ -973,11 +1113,11 @@ mod tests {
     fn read_own_write_and_commit() {
         let (stm, p) = setup();
         let ctx = stm.register_thread();
-        let x = TVar::new(1u64);
+        let x = p.tvar(1u64);
         let observed = ctx.run(|tx| {
-            let v0 = tx.read(&p, &x)?;
-            tx.write(&p, &x, v0 + 10)?;
-            let v1 = tx.read(&p, &x)?;
+            let v0 = tx.read(&x)?;
+            tx.write(&x, v0 + 10)?;
+            let v1 = tx.read(&x)?;
             Ok((v0, v1))
         });
         assert_eq!(observed, (1, 11));
@@ -988,18 +1128,35 @@ mod tests {
     }
 
     #[test]
+    fn bound_and_raw_tiers_share_the_view() {
+        // A bound access and a raw access to the same partition must hit
+        // the same partition view (and therefore the same write set).
+        let (stm, p) = setup();
+        let ctx = stm.register_thread();
+        let x = p.tvar(5u64);
+        let v = ctx.run(|tx| {
+            tx.write(&x, 6)?;
+            // Raw read of the same variable through the same partition
+            // observes the buffered write.
+            tx.read_raw(&p, x.var())
+        });
+        assert_eq!(v, 6);
+        assert_eq!(p.stats().commits, 1);
+    }
+
+    #[test]
     fn user_abort_rolls_back() {
         let (stm, p) = setup();
         let ctx = stm.register_thread();
-        let x = TVar::new(5u64);
+        let x = p.tvar(5u64);
         let mut tries = 0;
         let v = ctx.run(|tx| {
             tries += 1;
-            tx.write(&p, &x, 99)?;
+            tx.write(&x, 99)?;
             if tries < 3 {
                 return Err(Abort::retry());
             }
-            tx.read(&p, &x)
+            tx.read(&x)
         });
         assert_eq!(v, 99);
         assert_eq!(x.load_direct(), 99);
@@ -1011,8 +1168,8 @@ mod tests {
     fn read_only_txn_counts_ro_commit() {
         let (stm, p) = setup();
         let ctx = stm.register_thread();
-        let x = TVar::new(7u64);
-        let v = ctx.run(|tx| tx.read(&p, &x));
+        let x = p.tvar(7u64);
+        let v = ctx.run(|tx| tx.read(&x));
         assert_eq!(v, 7);
         let s = p.stats();
         assert_eq!(s.ro_commits, 1);
@@ -1023,21 +1180,34 @@ mod tests {
     fn modify_applies_function() {
         let (stm, p) = setup();
         let ctx = stm.register_thread();
-        let x = TVar::new(10i64);
-        let nv = ctx.run(|tx| tx.modify(&p, &x, |v| v * -3));
+        let x = p.tvar(10i64);
+        let nv = ctx.run(|tx| tx.modify(&x, |v| v * -3));
         assert_eq!(nv, -30);
         assert_eq!(x.load_direct(), -30);
+    }
+
+    #[test]
+    fn pvar_convenience_wrappers() {
+        let (stm, p) = setup();
+        let ctx = stm.register_thread();
+        let x = p.tvar(3u64);
+        let v = ctx.run(|tx| {
+            x.write(tx, 4)?;
+            x.modify(tx, |v| v + 1)?;
+            x.read(tx)
+        });
+        assert_eq!(v, 5);
     }
 
     #[test]
     fn clock_advances_only_for_update_txns() {
         let (stm, p) = setup();
         let ctx = stm.register_thread();
-        let x = TVar::new(0u64);
+        let x = p.tvar(0u64);
         let c0 = stm.clock_now();
-        ctx.run(|tx| tx.read(&p, &x));
+        ctx.run(|tx| tx.read(&x));
         assert_eq!(stm.clock_now(), c0, "read-only commit leaves clock alone");
-        ctx.run(|tx| tx.write(&p, &x, 1));
+        ctx.run(|tx| tx.write(&x, 1));
         assert_eq!(stm.clock_now(), c0 + 1);
     }
 
@@ -1064,7 +1234,7 @@ mod tests {
                             let x = Arc::clone(&x);
                             s.spawn(move || {
                                 for _ in 0..iters {
-                                    ctx.run(|tx| tx.modify(&p, &x, |v| v + 1).map(|_| ()));
+                                    ctx.run(|tx| tx.modify_raw(&p, &x, |v| v + 1).map(|_| ()));
                                 }
                             });
                         }
@@ -1084,19 +1254,19 @@ mod tests {
         let stm = Stm::new();
         let p =
             stm.new_partition(PartitionConfig::default().granularity(Granularity::PartitionLock));
-        let a = Arc::new(TVar::new(0u64));
-        let b = Arc::new(TVar::new(0u64));
+        let a = Arc::new(p.tvar(0u64));
+        let b = Arc::new(p.tvar(0u64));
         std::thread::scope(|s| {
             for _ in 0..4 {
                 let ctx = stm.register_thread();
-                let (p, a, b) = (Arc::clone(&p), Arc::clone(&a), Arc::clone(&b));
+                let (a, b) = (Arc::clone(&a), Arc::clone(&b));
                 s.spawn(move || {
                     for _ in 0..300 {
                         ctx.run(|tx| {
-                            let va = tx.read(&p, &a)?;
-                            let vb = tx.read(&p, &b)?;
-                            tx.write(&p, &a, va + 1)?;
-                            tx.write(&p, &b, vb + 1)?;
+                            let va = tx.read(&a)?;
+                            let vb = tx.read(&b)?;
+                            tx.write(&a, va + 1)?;
+                            tx.write(&b, vb + 1)?;
                             Ok(())
                         });
                     }
@@ -1111,40 +1281,35 @@ mod tests {
     fn atomicity_two_vars_invariant() {
         // Transfer between two vars: the sum is invariant at every commit.
         let (stm, p) = setup();
-        let a = Arc::new(TVar::new(500i64));
-        let b = Arc::new(TVar::new(500i64));
+        let a = Arc::new(p.tvar(500i64));
+        let b = Arc::new(p.tvar(500i64));
         let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
         std::thread::scope(|s| {
             for t in 0..3 {
                 let ctx = stm.register_thread();
-                let (p, a, b, stop) = (
-                    Arc::clone(&p),
-                    Arc::clone(&a),
-                    Arc::clone(&b),
-                    Arc::clone(&stop),
-                );
+                let (a, b, stop) = (Arc::clone(&a), Arc::clone(&b), Arc::clone(&stop));
                 s.spawn(move || {
                     let mut i = 0i64;
                     while !stop.load(Ordering::Relaxed) {
                         i += 1;
                         let amt = (i * (t + 1)) % 17;
                         ctx.run(|tx| {
-                            let va = tx.read(&p, &a)?;
-                            let vb = tx.read(&p, &b)?;
-                            tx.write(&p, &a, va - amt)?;
-                            tx.write(&p, &b, vb + amt)?;
+                            let va = tx.read(&a)?;
+                            let vb = tx.read(&b)?;
+                            tx.write(&a, va - amt)?;
+                            tx.write(&b, vb + amt)?;
                             Ok(())
                         });
                     }
                 });
             }
             let ctx = stm.register_thread();
-            let (p, a, b) = (Arc::clone(&p), Arc::clone(&a), Arc::clone(&b));
+            let (a, b) = (Arc::clone(&a), Arc::clone(&b));
             s.spawn(move || {
                 for _ in 0..2000 {
                     let sum = ctx.run(|tx| {
-                        let va = tx.read(&p, &a)?;
-                        let vb = tx.read(&p, &b)?;
+                        let va = tx.read(&a)?;
+                        let vb = tx.read(&b)?;
                         Ok(va + vb)
                     });
                     assert_eq!(sum, 1000, "atomicity violated");
@@ -1152,16 +1317,17 @@ mod tests {
                 stop.store(true, Ordering::Relaxed);
             });
         });
+        drop(p);
     }
 
     #[test]
     fn panic_in_closure_rolls_back_and_releases_locks() {
         let (stm, p) = setup();
-        let x = Arc::new(TVar::new(3u64));
+        let x = Arc::new(p.tvar(3u64));
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             let ctx = stm.register_thread();
             ctx.run(|tx| {
-                tx.write(&p, &x, 42)?;
+                tx.write(&x, 42)?;
                 panic!("boom");
                 #[allow(unreachable_code)]
                 Ok(())
@@ -1171,7 +1337,7 @@ mod tests {
         assert_eq!(x.load_direct(), 3, "write must not leak");
         // The orec must be unlocked again: a fresh transaction succeeds.
         let ctx = stm.register_thread();
-        let v = ctx.run(|tx| tx.modify(&p, &x, |v| v + 1));
+        let v = ctx.run(|tx| tx.modify(&x, |v| v + 1));
         assert_eq!(v, 4);
     }
 
@@ -1182,12 +1348,12 @@ mod tests {
         let vars: Vec<TVar<u64>> = (0..200).map(TVar::new).collect();
         ctx.run(|tx| {
             for (i, v) in vars.iter().enumerate() {
-                tx.write(&p, v, (i * 2) as u64)?;
+                tx.write_raw(&p, v, (i * 2) as u64)?;
             }
             // Overwrite half of them; read everything back.
             for v in vars.iter().step_by(2) {
-                let cur = tx.read(&p, v)?;
-                tx.write(&p, v, cur + 1)?;
+                let cur = tx.read_raw(&p, v)?;
+                tx.write_raw(&p, v, cur + 1)?;
             }
             Ok(())
         });
@@ -1203,24 +1369,19 @@ mod tests {
         let p1 = stm.new_partition(PartitionConfig::named("a"));
         let p2 =
             stm.new_partition(PartitionConfig::named("b").read_mode(config::ReadMode::Visible));
-        let x = Arc::new(TVar::new(0u64));
-        let y = Arc::new(TVar::new(0u64));
+        let x = Arc::new(p1.tvar(0u64));
+        let y = Arc::new(p2.tvar(0u64));
         std::thread::scope(|s| {
             for _ in 0..4 {
                 let ctx = stm.register_thread();
-                let (p1, p2, x, y) = (
-                    Arc::clone(&p1),
-                    Arc::clone(&p2),
-                    Arc::clone(&x),
-                    Arc::clone(&y),
-                );
+                let (x, y) = (Arc::clone(&x), Arc::clone(&y));
                 s.spawn(move || {
                     for _ in 0..400 {
                         ctx.run(|tx| {
-                            let vx = tx.read(&p1, &x)?;
-                            let vy = tx.read(&p2, &y)?;
-                            tx.write(&p1, &x, vx + 1)?;
-                            tx.write(&p2, &y, vy + 1)?;
+                            let vx = tx.read(&x)?;
+                            let vy = tx.read(&y)?;
+                            tx.write(&x, vx + 1)?;
+                            tx.write(&y, vy + 1)?;
                             Ok(())
                         });
                     }
@@ -1232,15 +1393,55 @@ mod tests {
     }
 
     #[test]
+    fn many_partitions_resolve_through_view_index() {
+        // Touch enough partitions in one transaction that lookups go
+        // through the stamped index (not just the MRU fast path), and
+        // interleave accesses so the MRU entry keeps changing.
+        let stm = Stm::new();
+        let parts: Vec<_> = (0..24)
+            .map(|i| stm.new_partition(PartitionConfig::named(format!("p{i}"))))
+            .collect();
+        let vars: Vec<_> = parts.iter().map(|p| p.tvar(1u64)).collect();
+        let ctx = stm.register_thread();
+        let total = ctx.run(|tx| {
+            let mut sum = 0;
+            for v in &vars {
+                tx.modify(v, |x| x + 1)?;
+            }
+            // Second pass in reverse order: every lookup misses the MRU
+            // entry and must hit the stamped index.
+            for v in vars.iter().rev() {
+                sum += tx.read(v)?;
+            }
+            Ok(sum)
+        });
+        assert_eq!(total, 48);
+        for v in &vars {
+            assert_eq!(v.load_direct(), 2);
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "nested")]
     fn nested_run_panics() {
         let (stm, p) = setup();
         let ctx = stm.register_thread();
-        let x = TVar::new(0u64);
+        let x = p.tvar(0u64);
         ctx.run(|_tx| {
-            let _ = ctx.run(|tx2| tx2.read(&p, &x));
+            let _ = ctx.run(|tx2| tx2.read(&x));
             Ok(())
         });
+    }
+
+    #[test]
+    #[should_panic(expected = "different Stm")]
+    fn bound_var_of_foreign_stm_is_rejected() {
+        let stm1 = Stm::new();
+        let stm2 = Stm::new();
+        let p1 = stm1.new_partition(PartitionConfig::default());
+        let x = p1.tvar(0u64);
+        let ctx = stm2.register_thread();
+        ctx.run(|tx| tx.read(&x));
     }
 
     #[test]
@@ -1249,15 +1450,15 @@ mod tests {
         use crate::config::ReadMode;
         let stm = Stm::new();
         let p = stm.new_partition(PartitionConfig::named("hot").tunable());
-        let x = Arc::new(TVar::new(0u64));
+        let x = Arc::new(p.tvar(0u64));
         let iters = 2000;
         std::thread::scope(|s| {
             for _ in 0..4 {
                 let ctx = stm.register_thread();
-                let (p, x) = (Arc::clone(&p), Arc::clone(&x));
+                let x = Arc::clone(&x);
                 s.spawn(move || {
                     for _ in 0..iters {
-                        ctx.run(|tx| tx.modify(&p, &x, |v| v + 1).map(|_| ()));
+                        ctx.run(|tx| tx.modify(&x, |v| v + 1).map(|_| ()));
                     }
                 });
             }

@@ -23,7 +23,7 @@ fn aborted_alloc_is_reclaimed() {
         attempts += 1;
         let h = arena.alloc(tx)?;
         let n = arena.get(h);
-        tx.write(&p, &n.val, 42)?;
+        tx.write_raw(&p, &n.val, 42)?;
         if attempts < 4 {
             return Err(Abort::retry());
         }
@@ -42,7 +42,7 @@ fn free_is_deferred_to_commit() {
     let ctx = stm.register_thread();
     let h = ctx.run(|tx| {
         let h = arena.alloc(tx)?;
-        tx.write(&p, &arena.get(h).val, 1)?;
+        tx.write_raw(&p, &arena.get(h).val, 1)?;
         Ok(h)
     });
     assert_eq!(arena.live(), 1);
@@ -78,7 +78,7 @@ fn switch_restamps_orec_versions() {
     let v = TVar::new(0u64);
     let ctx = stm.register_thread();
     for i in 0..10u64 {
-        ctx.run(|tx| tx.write(&p, &v, i));
+        ctx.run(|tx| tx.write_raw(&p, &v, i));
     }
     let clock_before = stm.clock_now();
     assert_eq!(clock_before, 10);
@@ -88,10 +88,10 @@ fn switch_restamps_orec_versions() {
     // sees the committed value.
     let mut cfg = p.current_config();
     cfg.granularity = Granularity::Stripe { shift: 8 };
-    assert!(stm.switch_partition(&p, cfg));
-    assert_eq!(ctx.run(|tx| tx.read(&p, &v)), 9);
+    assert!(stm.switch_partition(&p, cfg).switched());
+    assert_eq!(ctx.run(|tx| tx.read_raw(&p, &v)), 9);
     // And updates continue normally under the new mapping.
-    ctx.run(|tx| tx.write(&p, &v, 99));
+    ctx.run(|tx| tx.write_raw(&p, &v, 99));
     assert_eq!(v.load_direct(), 99);
 }
 
@@ -114,7 +114,7 @@ fn snapshots_stay_consistent_across_granularity_switches() {
                     i += 1;
                     ctx.run(|tx| {
                         for v in vars.iter() {
-                            tx.write(&p, v, i)?;
+                            tx.write_raw(&p, v, i)?;
                         }
                         Ok(())
                     });
@@ -127,9 +127,9 @@ fn snapshots_stay_consistent_across_granularity_switches() {
         s.spawn(move || {
             for _ in 0..4000 {
                 ctx.run(|tx| {
-                    let first = tx.read(&p2, &vars2[0])?;
+                    let first = tx.read_raw(&p2, &vars2[0])?;
                     for v in vars2.iter().skip(1) {
-                        assert_eq!(tx.read(&p2, v)?, first, "mixed snapshot");
+                        assert_eq!(tx.read_raw(&p2, v)?, first, "mixed snapshot");
                     }
                     Ok(())
                 });
@@ -176,13 +176,13 @@ fn visible_reader_is_killed_by_writer() {
         s.spawn(move || {
             ctx_r.run(|tx| {
                 ra.fetch_add(1, Ordering::SeqCst);
-                let x = tx.read(&p1, &v1)?;
+                let x = tx.read_raw(&p1, &v1)?;
                 rin.store(true, Ordering::SeqCst);
                 if x == 0 {
                     // Busy-wait transactionally until the writer commits;
                     // the kill must interrupt this (`read` polls the flag).
                     loop {
-                        let now = tx.read(&p1, &v1)?;
+                        let now = tx.read_raw(&p1, &v1)?;
                         if now != 0 {
                             return Ok(now);
                         }
@@ -198,7 +198,7 @@ fn visible_reader_is_killed_by_writer() {
             while !rin2.load(Ordering::SeqCst) {
                 std::hint::spin_loop();
             }
-            ctx_w.run(|tx| tx.write(&p2, &v2, 7));
+            ctx_w.run(|tx| tx.write_raw(&p2, &v2, 7));
         });
     });
     assert_eq!(v.load_direct(), 7);
@@ -225,7 +225,7 @@ fn delay_then_abort_makes_progress_under_contention() {
             let (p, v) = (p.clone(), v.clone());
             s.spawn(move || {
                 for _ in 0..2000 {
-                    ctx.run(|tx| tx.modify(&p, &v, |x| x + 1).map(|_| ()));
+                    ctx.run(|tx| tx.modify_raw(&p, &v, |x| x + 1).map(|_| ()));
                 }
             });
         }
@@ -246,12 +246,18 @@ fn stats_attribute_aborts_to_the_conflicting_partition() {
             let ctx = stm.register_thread();
             let (hot, cold, h, c) = (hot.clone(), cold.clone(), h.clone(), c.clone());
             s.spawn(move || {
-                for i in 0..3000u64 {
+                for i in 0..400u64 {
                     ctx.run(|tx| {
                         // Read-only traffic in `cold`, contended updates in
-                        // `hot`.
-                        let _ = tx.read(&cold, &c)?;
-                        tx.modify(&hot, &h, |x| x + i)?;
+                        // `hot`. The sleep between read and write stretches
+                        // the conflict window across a reschedule so the
+                        // counter genuinely conflicts even on a single-core
+                        // host (sub-microsecond transactions never
+                        // interleave there otherwise).
+                        let _ = tx.read_raw(&cold, &c)?;
+                        let v = tx.read_raw(&hot, &h)?;
+                        std::thread::sleep(std::time::Duration::from_micros(20));
+                        tx.write_raw(&hot, &h, v + i)?;
                         Ok(())
                     });
                 }
@@ -307,46 +313,46 @@ fn recycled_slots_never_alias_the_allocators_snapshot() {
     ) -> TxResult<()> {
         let mut prev: Option<Handle<TreeNode>> = None;
         let mut went_left = false;
-        let mut cur = tx.read(p, root)?;
+        let mut cur = tx.read_raw(p, root)?;
         let mut steps = 0u32;
         while let Some(h) = cur {
             steps += 1;
             assert!(steps < 10_000, "cycle in snapshot: recycling hazard back");
             let n = arena.get(h);
-            let nk = tx.read(p, &n.key)?;
+            let nk = tx.read_raw(p, &n.key)?;
             if nk == k {
                 break;
             }
             prev = Some(h);
             went_left = k < nk;
             cur = if k < nk {
-                tx.read(p, &n.left)?
+                tx.read_raw(p, &n.left)?
             } else {
-                tx.read(p, &n.right)?
+                tx.read_raw(p, &n.right)?
             };
         }
         if insert && cur.is_none() {
             let h = arena.alloc(tx)?;
             let n = arena.get(h);
-            tx.write(p, &n.key, k)?;
-            tx.write(p, &n.left, None)?;
-            tx.write(p, &n.right, None)?;
+            tx.write_raw(p, &n.key, k)?;
+            tx.write_raw(p, &n.left, None)?;
+            tx.write_raw(p, &n.right, None)?;
             match prev {
-                None => tx.write(p, root, Some(h))?,
+                None => tx.write_raw(p, root, Some(h))?,
                 Some(ph) => {
                     let pn = arena.get(ph);
                     if went_left {
-                        tx.write(p, &pn.left, Some(h))?;
+                        tx.write_raw(p, &pn.left, Some(h))?;
                     } else {
-                        tx.write(p, &pn.right, Some(h))?;
+                        tx.write_raw(p, &pn.right, Some(h))?;
                     }
                 }
             }
         } else if !insert {
             if let Some(h) = cur {
                 let n = arena.get(h);
-                let l = tx.read(p, &n.left)?;
-                let r = tx.read(p, &n.right)?;
+                let l = tx.read_raw(p, &n.left)?;
+                let r = tx.read_raw(p, &n.right)?;
                 let repl = match (l, r) {
                     (None, x) => Some(x),
                     (x, None) => Some(x),
@@ -354,13 +360,13 @@ fn recycled_slots_never_alias_the_allocators_snapshot() {
                 };
                 if let Some(repl) = repl {
                     match prev {
-                        None => tx.write(p, root, repl)?,
+                        None => tx.write_raw(p, root, repl)?,
                         Some(ph) => {
                             let pn = arena.get(ph);
                             if went_left {
-                                tx.write(p, &pn.left, repl)?;
+                                tx.write_raw(p, &pn.left, repl)?;
                             } else {
-                                tx.write(p, &pn.right, repl)?;
+                                tx.write_raw(p, &pn.right, repl)?;
                             }
                         }
                     }

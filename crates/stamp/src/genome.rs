@@ -21,7 +21,7 @@
 
 use std::sync::Arc;
 
-use partstm_core::{Arena, Handle, Partition, PartitionConfig, Stm, TVar, TxWord};
+use partstm_core::{Arena, Handle, PVar, Partition, PartitionConfig, Stm, TxWord};
 use partstm_structures::{IntSet, THashMap, THashSet};
 
 use crate::common::SplitMix64;
@@ -107,16 +107,15 @@ pub fn shred(cfg: &GenomeConfig, gene: &[u8]) -> Vec<u64> {
     segs
 }
 
-/// A chain node for one unique segment.
-#[derive(Default)]
+/// A chain node for one unique segment, bound to the links partition.
 struct SegNode {
-    seg: TVar<u64>,
-    next: TVar<Option<Handle<SegNode>>>,
-    overlap: TVar<u64>,
+    seg: PVar<u64>,
+    next: PVar<Option<Handle<SegNode>>>,
+    overlap: PVar<u64>,
     /// Set when some other segment links *to* this one.
-    started: TVar<bool>,
+    started: PVar<bool>,
     /// Set when this segment has linked to a successor.
-    finished: TVar<bool>,
+    finished: PVar<bool>,
 }
 
 /// The partitions genome uses.
@@ -198,8 +197,15 @@ pub fn run_genome(
     });
     let unique: Vec<u64> = set.snapshot_keys();
 
-    // Chain nodes for every unique segment.
-    let arena: Arena<SegNode> = Arena::with_capacity(unique.len());
+    // Chain nodes for every unique segment, bound to the links partition.
+    let links = Arc::clone(&parts.links);
+    let arena: Arena<SegNode> = Arena::with_capacity_and(unique.len(), move || SegNode {
+        seg: links.tvar(0),
+        next: links.tvar(None),
+        overlap: links.tvar(0),
+        started: links.tvar(false),
+        finished: links.tvar(false),
+    });
     let nodes: Vec<Handle<SegNode>> = {
         let ctx = stm.register_thread();
         unique
@@ -208,11 +214,11 @@ pub fn run_genome(
                 ctx.run(|tx| {
                     let h = arena.alloc(tx)?;
                     let n = arena.get(h);
-                    tx.write(&parts.links, &n.seg, seg)?;
-                    tx.write(&parts.links, &n.next, None)?;
-                    tx.write(&parts.links, &n.overlap, 0)?;
-                    tx.write(&parts.links, &n.started, false)?;
-                    tx.write(&parts.links, &n.finished, false)?;
+                    tx.write(&n.seg, seg)?;
+                    tx.write(&n.next, None)?;
+                    tx.write(&n.overlap, 0)?;
+                    tx.write(&n.started, false)?;
+                    tx.write(&n.finished, false)?;
                     Ok(h)
                 })
             })
@@ -229,17 +235,17 @@ pub fn run_genome(
             let chunk = nodes.len().div_ceil(threads);
             for t in 0..threads {
                 let ctx = stm.register_thread();
-                let (starts, nodes, arena, parts) = (&starts, &nodes, &arena, &parts);
+                let (starts, nodes, arena) = (&starts, &nodes, &arena);
                 sc.spawn(move || {
                     let lo = t * chunk;
                     let hi = ((t + 1) * chunk).min(nodes.len());
                     for &h in &nodes[lo..hi.max(lo)] {
                         ctx.run(|tx| {
                             let n = arena.get(h);
-                            if tx.read(&parts.links, &n.started)? {
+                            if tx.read(&n.started)? {
                                 return Ok(());
                             }
-                            let seg = tx.read(&parts.links, &n.seg)?;
+                            let seg = tx.read(&n.seg)?;
                             starts
                                 .put_if_absent(tx, prefix(seg, s, o), h.to_word())
                                 .map(|_| ())
@@ -253,17 +259,17 @@ pub fn run_genome(
             let chunk = nodes.len().div_ceil(threads);
             for t in 0..threads {
                 let ctx = stm.register_thread();
-                let (starts, nodes, arena, parts) = (&starts, &nodes, &arena, &parts);
+                let (starts, nodes, arena) = (&starts, &nodes, &arena);
                 sc.spawn(move || {
                     let lo = t * chunk;
                     let hi = ((t + 1) * chunk).min(nodes.len());
                     for &h in &nodes[lo..hi.max(lo)] {
                         ctx.run(|tx| {
                             let a = arena.get(h);
-                            if tx.read(&parts.links, &a.finished)? {
+                            if tx.read(&a.finished)? {
                                 return Ok(());
                             }
-                            let seg = tx.read(&parts.links, &a.seg)?;
+                            let seg = tx.read(&a.seg)?;
                             let Some(bw) = starts.get(tx, suffix(seg, o))? else {
                                 return Ok(());
                             };
@@ -272,13 +278,13 @@ pub fn run_genome(
                                 return Ok(()); // self-overlap
                             }
                             let b = arena.get(bh);
-                            if tx.read(&parts.links, &b.started)? {
+                            if tx.read(&b.started)? {
                                 return Ok(()); // claimed this round already
                             }
-                            tx.write(&parts.links, &a.next, Some(bh))?;
-                            tx.write(&parts.links, &a.overlap, o as u64)?;
-                            tx.write(&parts.links, &a.finished, true)?;
-                            tx.write(&parts.links, &b.started, true)?;
+                            tx.write(&a.next, Some(bh))?;
+                            tx.write(&a.overlap, o as u64)?;
+                            tx.write(&a.finished, true)?;
+                            tx.write(&b.started, true)?;
                             // Consume the map entry so no one else matches B.
                             starts.delete(tx, suffix(seg, o))?;
                             Ok(())

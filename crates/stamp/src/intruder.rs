@@ -18,7 +18,7 @@
 
 use std::sync::Arc;
 
-use partstm_core::{Arena, Handle, Partition, PartitionConfig, Stm, TVar, Tx, TxResult, TxWord};
+use partstm_core::{Arena, Handle, PVar, Partition, PartitionConfig, Stm, Tx, TxResult, TxWord};
 use partstm_structures::{THashMap, TQueue};
 
 use crate::common::SplitMix64;
@@ -42,15 +42,14 @@ pub struct Packet {
     pub data: u64,
 }
 
-/// Reassembly node: one in-flight flow.
-#[derive(Default)]
+/// Reassembly node: one in-flight flow, bound to the fragments partition.
 struct FlowAsm {
     /// Bitmask of received fragment indices.
-    received: TVar<u64>,
+    received: PVar<u64>,
     /// Total fragments expected.
-    total: TVar<u64>,
+    total: PVar<u64>,
     /// Fragment payload slots.
-    data: [TVar<u64>; MAX_FRAGMENTS],
+    data: [PVar<u64>; MAX_FRAGMENTS],
 }
 
 /// Workload parameters.
@@ -159,20 +158,25 @@ pub struct Intruder {
     fragment_map: THashMap,
     flow_arena: Arena<FlowAsm>,
     decoded_queue: TQueue<u64>,
-    attacks_found: TVar<u64>,
-    flows_done: TVar<u64>,
+    attacks_found: PVar<u64>,
+    flows_done: PVar<u64>,
 }
 
 impl Intruder {
     /// Builds the pipeline and enqueues all packet indices.
     pub fn new(stm: &Stm, parts: IntruderParts, packets: &[Packet]) -> Self {
+        let fragments = Arc::clone(&parts.fragments);
         let me = Intruder {
             packet_queue: TQueue::with_capacity(Arc::clone(&parts.packets), packets.len()),
             fragment_map: THashMap::new(Arc::clone(&parts.fragments), 4096),
-            flow_arena: Arena::new(),
+            flow_arena: Arena::new_with(move || FlowAsm {
+                received: fragments.tvar(0),
+                total: fragments.tvar(0),
+                data: core::array::from_fn(|_| fragments.tvar(0)),
+            }),
             decoded_queue: TQueue::new(Arc::clone(&parts.decoded)),
-            attacks_found: TVar::new(0),
-            flows_done: TVar::new(0),
+            attacks_found: parts.decoded.tvar(0),
+            flows_done: parts.decoded.tvar(0),
             parts,
         };
         let ctx = stm.register_thread();
@@ -195,31 +199,30 @@ impl Intruder {
             return Ok(false);
         };
         let pkt = packets[idx as usize];
-        let fparts = &self.parts.fragments;
         let h = match self.fragment_map.get(tx, pkt.flow)? {
             Some(raw) => Handle::<FlowAsm>::from_word(raw),
             None => {
                 let h = self.flow_arena.alloc(tx)?;
                 let n = self.flow_arena.get(h);
-                tx.write(fparts, &n.received, 0)?;
-                tx.write(fparts, &n.total, pkt.total as u64)?;
+                tx.write(&n.received, 0)?;
+                tx.write(&n.total, pkt.total as u64)?;
                 for slot in &n.data {
-                    tx.write(fparts, slot, 0)?;
+                    tx.write(slot, 0)?;
                 }
                 self.fragment_map.put(tx, pkt.flow, h.to_word())?;
                 h
             }
         };
         let n = self.flow_arena.get(h);
-        let mask = tx.read(fparts, &n.received)?;
+        let mask = tx.read(&n.received)?;
         let bit = 1u64 << pkt.index;
         if mask & bit != 0 {
             return Ok(true); // duplicate fragment: drop
         }
-        tx.write(fparts, &n.data[pkt.index as usize], pkt.data)?;
+        tx.write(&n.data[pkt.index as usize], pkt.data)?;
         let mask = mask | bit;
-        tx.write(fparts, &n.received, mask)?;
-        let total = tx.read(fparts, &n.total)?;
+        tx.write(&n.received, mask)?;
+        let total = tx.read(&n.total)?;
         if mask == (1u64 << total) - 1 {
             // Flow complete: hand it to the detector stage.
             self.fragment_map.delete(tx, pkt.flow)?;
@@ -236,24 +239,22 @@ impl Intruder {
         };
         let h = Handle::<FlowAsm>::from_word(raw);
         let n = self.flow_arena.get(h);
-        let dparts = &self.parts.decoded;
-        let fparts = &self.parts.fragments;
-        let total = tx.read(fparts, &n.total)? as usize;
+        let total = tx.read(&n.total)? as usize;
         let mut prev = 0u64;
         let mut attack = false;
         for slot in n.data.iter().take(total) {
-            let w = tx.read(fparts, slot)?;
+            let w = tx.read(slot)?;
             if prev == SIGNATURE.0 && w == SIGNATURE.1 {
                 attack = true;
             }
             prev = w;
         }
         if attack {
-            let a = tx.read(dparts, &self.attacks_found)?;
-            tx.write(dparts, &self.attacks_found, a + 1)?;
+            let a = tx.read(&self.attacks_found)?;
+            tx.write(&self.attacks_found, a + 1)?;
         }
-        let d = tx.read(dparts, &self.flows_done)?;
-        tx.write(dparts, &self.flows_done, d + 1)?;
+        let d = tx.read(&self.flows_done)?;
+        tx.write(&self.flows_done, d + 1)?;
         self.flow_arena.free(tx, h);
         Ok(true)
     }

@@ -14,7 +14,7 @@
 
 use std::sync::Arc;
 
-use partstm_core::{Partition, PartitionConfig, Stm, TVar, Tx, TxResult};
+use partstm_core::{PVar, Partition, PartitionConfig, Stm, Tx, TxResult};
 
 use crate::common::SplitMix64;
 
@@ -57,11 +57,12 @@ impl KmeansConfig {
     }
 }
 
-/// One centroid's transactional accumulator.
+/// One centroid's transactional accumulator, bound to the clusters
+/// partition.
 struct ClusterAcc {
-    count: TVar<u64>,
+    count: PVar<u64>,
     /// Per-dimension running sums (f64 bits in words).
-    sums: Vec<TVar<f64>>,
+    sums: Vec<PVar<f64>>,
 }
 
 /// The transactional state: K accumulators in one partition.
@@ -75,8 +76,8 @@ impl KmeansState {
     pub fn new(part: Arc<Partition>, k: usize, dims: usize) -> Self {
         let accs = (0..k)
             .map(|_| ClusterAcc {
-                count: TVar::new(0),
-                sums: (0..dims).map(|_| TVar::new(0.0)).collect(),
+                count: part.tvar(0),
+                sums: (0..dims).map(|_| part.tvar(0.0)).collect(),
             })
             .collect();
         KmeansState { part, accs }
@@ -85,11 +86,11 @@ impl KmeansState {
     /// Transactionally adds `point` into cluster `k`'s accumulator.
     pub fn add_point<'e>(&'e self, tx: &mut Tx<'e, '_>, k: usize, point: &[f32]) -> TxResult<()> {
         let acc = &self.accs[k];
-        let c = tx.read(&self.part, &acc.count)?;
-        tx.write(&self.part, &acc.count, c + 1)?;
+        let c = tx.read(&acc.count)?;
+        tx.write(&acc.count, c + 1)?;
         for (d, sum) in acc.sums.iter().enumerate() {
-            let s = tx.read(&self.part, sum)?;
-            tx.write(&self.part, sum, s + point[d] as f64)?;
+            let s = tx.read(sum)?;
+            tx.write(sum, s + point[d] as f64)?;
         }
         Ok(())
     }

@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use partstm_core::{Arena, Handle, Partition, PartitionConfig, Stm, TVar, Tx, TxResult};
+use partstm_core::{Arena, Handle, PVar, Partition, PartitionConfig, Stm, Tx, TxResult};
 use partstm_structures::TRbTree;
 
 /// The three reservable item kinds.
@@ -43,22 +43,21 @@ impl ReservationKind {
     }
 }
 
-/// Inventory record for one item id.
-#[derive(Default)]
+/// Inventory record for one item id, bound to its relation's partition.
 struct Reservation {
-    total: TVar<u64>,
-    used: TVar<u64>,
-    free: TVar<u64>,
-    price: TVar<u64>,
+    total: PVar<u64>,
+    used: PVar<u64>,
+    free: PVar<u64>,
+    price: PVar<u64>,
 }
 
-/// One entry in a customer's reservation list.
-#[derive(Default)]
+/// One entry in a customer's reservation list, bound to the customers
+/// partition.
 struct ResInfo {
-    kind: TVar<u64>,
-    item: TVar<u64>,
-    price: TVar<u64>,
-    next: TVar<Option<Handle<ResInfo>>>,
+    kind: PVar<u64>,
+    item: PVar<u64>,
+    price: PVar<u64>,
+    next: PVar<Option<Handle<ResInfo>>>,
 }
 
 /// The partitions backing a [`Manager`] — either one per relation (the
@@ -119,17 +118,24 @@ impl ManagerParts {
 }
 
 struct ItemTable {
-    part: Arc<Partition>,
     tree: TRbTree,
     arena: Arena<Reservation>,
 }
 
 impl ItemTable {
     fn new(part: Arc<Partition>) -> Self {
+        let factory = {
+            let part = Arc::clone(&part);
+            move || Reservation {
+                total: part.tvar(0),
+                used: part.tvar(0),
+                free: part.tvar(0),
+                price: part.tvar(0),
+            }
+        };
         ItemTable {
-            tree: TRbTree::new(Arc::clone(&part)),
-            arena: Arena::new(),
-            part,
+            tree: TRbTree::new(part),
+            arena: Arena::new_with(factory),
         }
     }
 
@@ -153,12 +159,21 @@ pub struct Manager {
 impl Manager {
     /// Creates an empty database over the given partitions.
     pub fn new(parts: ManagerParts) -> Self {
+        let info_factory = {
+            let part = Arc::clone(&parts.customers);
+            move || ResInfo {
+                kind: part.tvar(0),
+                item: part.tvar(0),
+                price: part.tvar(0),
+                next: part.tvar(None),
+            }
+        };
         Manager {
             cars: ItemTable::new(Arc::clone(&parts.cars)),
             flights: ItemTable::new(Arc::clone(&parts.flights)),
             rooms: ItemTable::new(Arc::clone(&parts.rooms)),
             customers: TRbTree::new(Arc::clone(&parts.customers)),
-            infos: Arena::new(),
+            infos: Arena::new_with(info_factory),
             parts,
         }
     }
@@ -190,19 +205,19 @@ impl Manager {
         match t.lookup(tx, id)? {
             Some(h) => {
                 let r = t.arena.get(h);
-                let total = tx.read(&t.part, &r.total)?;
-                let free = tx.read(&t.part, &r.free)?;
-                tx.write(&t.part, &r.total, total + num)?;
-                tx.write(&t.part, &r.free, free + num)?;
-                tx.write(&t.part, &r.price, price)?;
+                let total = tx.read(&r.total)?;
+                let free = tx.read(&r.free)?;
+                tx.write(&r.total, total + num)?;
+                tx.write(&r.free, free + num)?;
+                tx.write(&r.price, price)?;
             }
             None => {
                 let h = t.arena.alloc(tx)?;
                 let r = t.arena.get(h);
-                tx.write(&t.part, &r.total, num)?;
-                tx.write(&t.part, &r.used, 0)?;
-                tx.write(&t.part, &r.free, num)?;
-                tx.write(&t.part, &r.price, price)?;
+                tx.write(&r.total, num)?;
+                tx.write(&r.used, 0)?;
+                tx.write(&r.free, num)?;
+                tx.write(&r.price, price)?;
                 t.tree.put(tx, id, h.to_word())?;
             }
         }
@@ -224,13 +239,13 @@ impl Manager {
             return Ok(false);
         };
         let r = t.arena.get(h);
-        let free = tx.read(&t.part, &r.free)?;
+        let free = tx.read(&r.free)?;
         if free < num {
             return Ok(false);
         }
-        let total = tx.read(&t.part, &r.total)?;
-        tx.write(&t.part, &r.free, free - num)?;
-        tx.write(&t.part, &r.total, total - num)?;
+        let total = tx.read(&r.total)?;
+        tx.write(&r.free, free - num)?;
+        tx.write(&r.total, total - num)?;
         if total - num == 0 {
             t.tree.delete(tx, id)?;
             t.arena.free(tx, h);
@@ -249,8 +264,8 @@ impl Manager {
         match t.lookup(tx, id)? {
             Some(h) => {
                 let r = t.arena.get(h);
-                let free = tx.read(&t.part, &r.free)?;
-                let price = tx.read(&t.part, &r.price)?;
+                let free = tx.read(&r.free)?;
+                let price = tx.read(&r.price)?;
                 Ok(Some((free, price)))
             }
             None => Ok(None),
@@ -284,25 +299,21 @@ impl Manager {
             return Ok(false);
         };
         let r = t.arena.get(h);
-        let free = tx.read(&t.part, &r.free)?;
+        let free = tx.read(&r.free)?;
         if free == 0 {
             return Ok(false);
         }
-        let used = tx.read(&t.part, &r.used)?;
-        let price = tx.read(&t.part, &r.price)?;
-        tx.write(&t.part, &r.free, free - 1)?;
-        tx.write(&t.part, &r.used, used + 1)?;
+        let used = tx.read(&r.used)?;
+        let price = tx.read(&r.price)?;
+        tx.write(&r.free, free - 1)?;
+        tx.write(&r.used, used + 1)?;
         // Prepend to the customer's reservation list.
         let info = self.infos.alloc(tx)?;
         let n = self.infos.get(info);
-        tx.write(&self.parts.customers, &n.kind, kind.code())?;
-        tx.write(&self.parts.customers, &n.item, item)?;
-        tx.write(&self.parts.customers, &n.price, price)?;
-        tx.write(
-            &self.parts.customers,
-            &n.next,
-            Option::<Handle<ResInfo>>::from_word(head_word),
-        )?;
+        tx.write(&n.kind, kind.code())?;
+        tx.write(&n.item, item)?;
+        tx.write(&n.price, price)?;
+        tx.write(&n.next, Option::<Handle<ResInfo>>::from_word(head_word))?;
         self.customers.put(tx, customer, info.to_word())?;
         Ok(true)
     }
@@ -323,18 +334,18 @@ impl Manager {
         let mut cur = Option::<Handle<ResInfo>>::from_word(head_word);
         while let Some(h) = cur {
             let n = self.infos.get(h);
-            let k = tx.read(&self.parts.customers, &n.kind)?;
-            let it = tx.read(&self.parts.customers, &n.item)?;
+            let k = tx.read(&n.kind)?;
+            let it = tx.read(&n.item)?;
             if k == kind.code() && it == item {
                 break;
             }
             prev = Some(h);
-            cur = tx.read(&self.parts.customers, &n.next)?;
+            cur = tx.read(&n.next)?;
         }
         let Some(h) = cur else { return Ok(false) };
-        let next = tx.read(&self.parts.customers, &self.infos.get(h).next)?;
+        let next = tx.read(&self.infos.get(h).next)?;
         match prev {
-            Some(p) => tx.write(&self.parts.customers, &self.infos.get(p).next, next)?,
+            Some(p) => tx.write(&self.infos.get(p).next, next)?,
             None => {
                 self.customers.put(tx, customer, next.to_word())?;
             }
@@ -344,10 +355,10 @@ impl Manager {
         let t = self.table(kind);
         if let Some(rh) = t.lookup(tx, item)? {
             let r = t.arena.get(rh);
-            let free = tx.read(&t.part, &r.free)?;
-            let used = tx.read(&t.part, &r.used)?;
-            tx.write(&t.part, &r.free, free + 1)?;
-            tx.write(&t.part, &r.used, used.saturating_sub(1))?;
+            let free = tx.read(&r.free)?;
+            let used = tx.read(&r.used)?;
+            tx.write(&r.free, free + 1)?;
+            tx.write(&r.used, used.saturating_sub(1))?;
         }
         Ok(true)
     }
@@ -362,8 +373,8 @@ impl Manager {
         let mut cur = Option::<Handle<ResInfo>>::from_word(head_word);
         while let Some(h) = cur {
             let n = self.infos.get(h);
-            bill += tx.read(&self.parts.customers, &n.price)?;
-            cur = tx.read(&self.parts.customers, &n.next)?;
+            bill += tx.read(&n.price)?;
+            cur = tx.read(&n.next)?;
         }
         Ok(Some(bill))
     }
@@ -382,19 +393,19 @@ impl Manager {
         let mut cur = Option::<Handle<ResInfo>>::from_word(head_word);
         while let Some(h) = cur {
             let n = self.infos.get(h);
-            bill += tx.read(&self.parts.customers, &n.price)?;
-            let kind = ReservationKind::from_code(tx.read(&self.parts.customers, &n.kind)?);
-            let item = tx.read(&self.parts.customers, &n.item)?;
+            bill += tx.read(&n.price)?;
+            let kind = ReservationKind::from_code(tx.read(&n.kind)?);
+            let item = tx.read(&n.item)?;
             // Release the unit back to its table.
             let t = self.table(kind);
             if let Some(rh) = t.lookup(tx, item)? {
                 let r = t.arena.get(rh);
-                let free = tx.read(&t.part, &r.free)?;
-                let used = tx.read(&t.part, &r.used)?;
-                tx.write(&t.part, &r.free, free + 1)?;
-                tx.write(&t.part, &r.used, used.saturating_sub(1))?;
+                let free = tx.read(&r.free)?;
+                let used = tx.read(&r.used)?;
+                tx.write(&r.free, free + 1)?;
+                tx.write(&r.used, used.saturating_sub(1))?;
             }
-            let next = tx.read(&self.parts.customers, &n.next)?;
+            let next = tx.read(&n.next)?;
             self.infos.free(tx, h);
             cur = next;
         }

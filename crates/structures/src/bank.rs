@@ -8,19 +8,21 @@
 
 use std::sync::Arc;
 
-use partstm_core::{Partition, TVar, Tx, TxResult};
+use partstm_core::{PVar, Partition, Tx, TxResult};
 
-/// A fixed array of accounts guarded by one partition.
+/// A fixed array of accounts guarded by one partition. Every account is a
+/// [`PVar`] bound to that partition at construction, so the access methods
+/// below never name a partition.
 pub struct Bank {
     part: Arc<Partition>,
-    accounts: Box<[TVar<i64>]>,
+    accounts: Box<[PVar<i64>]>,
 }
 
 impl Bank {
     /// `n` accounts with `initial` balance each.
     pub fn new(part: Arc<Partition>, n: usize, initial: i64) -> Self {
         let mut v = Vec::with_capacity(n);
-        v.resize_with(n, || TVar::new(initial));
+        v.resize_with(n, || part.tvar(initial));
         Bank {
             part,
             accounts: v.into_boxed_slice(),
@@ -44,19 +46,19 @@ impl Bank {
 
     /// Balance of account `i`.
     pub fn balance<'e>(&'e self, tx: &mut Tx<'e, '_>, i: usize) -> TxResult<i64> {
-        tx.read(&self.part, &self.accounts[i])
+        tx.read(&self.accounts[i])
     }
 
     /// Sets the balance of account `i` (building block for cross-bank
     /// transfers that must span partitions in one transaction).
     pub fn set_balance<'e>(&'e self, tx: &mut Tx<'e, '_>, i: usize, v: i64) -> TxResult<()> {
-        tx.write(&self.part, &self.accounts[i], v)
+        tx.write(&self.accounts[i], v)
     }
 
     /// Adds `amount` to account `i` (negative to withdraw).
     pub fn deposit<'e>(&'e self, tx: &mut Tx<'e, '_>, i: usize, amount: i64) -> TxResult<()> {
-        let b = tx.read(&self.part, &self.accounts[i])?;
-        tx.write(&self.part, &self.accounts[i], b + amount)
+        let b = tx.read(&self.accounts[i])?;
+        tx.write(&self.accounts[i], b + amount)
     }
 
     /// Transfers `amount` from `from` to `to` (may overdraw; the benchmark
@@ -70,10 +72,10 @@ impl Bank {
         to: usize,
         amount: i64,
     ) -> TxResult<()> {
-        let f = tx.read(&self.part, &self.accounts[from])?;
-        tx.write(&self.part, &self.accounts[from], f - amount)?;
-        let t = tx.read(&self.part, &self.accounts[to])?;
-        tx.write(&self.part, &self.accounts[to], t + amount)?;
+        let f = tx.read(&self.accounts[from])?;
+        tx.write(&self.accounts[from], f - amount)?;
+        let t = tx.read(&self.accounts[to])?;
+        tx.write(&self.accounts[to], t + amount)?;
         Ok(())
     }
 
@@ -81,7 +83,7 @@ impl Bank {
     pub fn total<'e>(&'e self, tx: &mut Tx<'e, '_>) -> TxResult<i64> {
         let mut sum = 0i64;
         for a in self.accounts.iter() {
-            sum += tx.read(&self.part, a)?;
+            sum += tx.read(a)?;
         }
         Ok(sum)
     }

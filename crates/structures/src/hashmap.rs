@@ -8,23 +8,22 @@
 
 use std::sync::Arc;
 
-use partstm_core::{Arena, Handle, Partition, TVar, Tx, TxResult};
+use partstm_core::{Arena, Handle, PVar, Partition, Tx, TxResult};
 
 use crate::intset::IntSet;
 
-/// Chain node.
-#[derive(Default)]
+/// Chain node, bound to the map's partition at allocation.
 pub struct Node {
-    key: TVar<u64>,
-    val: TVar<u64>,
-    next: TVar<Option<Handle<Node>>>,
+    key: PVar<u64>,
+    val: PVar<u64>,
+    next: PVar<Option<Handle<Node>>>,
 }
 
 /// Transactional hash map over a partition.
 pub struct THashMap {
     part: Arc<Partition>,
     arena: Arena<Node>,
-    buckets: Box<[TVar<Option<Handle<Node>>>]>,
+    buckets: Box<[PVar<Option<Handle<Node>>>]>,
     mask: u64,
 }
 
@@ -40,17 +39,25 @@ impl THashMap {
     pub fn new(part: Arc<Partition>, buckets: usize) -> Self {
         let n = buckets.next_power_of_two().max(1);
         let mut v = Vec::with_capacity(n);
-        v.resize_with(n, TVar::default);
+        v.resize_with(n, || part.tvar(None));
+        let factory = {
+            let part = Arc::clone(&part);
+            move || Node {
+                key: part.tvar(0),
+                val: part.tvar(0),
+                next: part.tvar(None),
+            }
+        };
         THashMap {
-            part,
-            arena: Arena::new(),
+            arena: Arena::new_with(factory),
             buckets: v.into_boxed_slice(),
             mask: (n - 1) as u64,
+            part,
         }
     }
 
     #[inline]
-    fn bucket(&self, key: u64) -> &TVar<Option<Handle<Node>>> {
+    fn bucket(&self, key: u64) -> &PVar<Option<Handle<Node>>> {
         &self.buckets[(mix(key) & self.mask) as usize]
     }
 
@@ -61,13 +68,13 @@ impl THashMap {
 
     /// Looks up `key`.
     pub fn get<'e>(&'e self, tx: &mut Tx<'e, '_>, key: u64) -> TxResult<Option<u64>> {
-        let mut cur = tx.read(&self.part, self.bucket(key))?;
+        let mut cur = tx.read(self.bucket(key))?;
         while let Some(h) = cur {
             let node = self.arena.get(h);
-            if tx.read(&self.part, &node.key)? == key {
-                return Ok(Some(tx.read(&self.part, &node.val)?));
+            if tx.read(&node.key)? == key {
+                return Ok(Some(tx.read(&node.val)?));
             }
-            cur = tx.read(&self.part, &node.next)?;
+            cur = tx.read(&node.next)?;
         }
         Ok(None)
     }
@@ -75,23 +82,23 @@ impl THashMap {
     /// Inserts or updates; returns the previous value if present.
     pub fn put<'e>(&'e self, tx: &mut Tx<'e, '_>, key: u64, val: u64) -> TxResult<Option<u64>> {
         let bucket = self.bucket(key);
-        let head = tx.read(&self.part, bucket)?;
+        let head = tx.read(bucket)?;
         let mut cur = head;
         while let Some(h) = cur {
             let node = self.arena.get(h);
-            if tx.read(&self.part, &node.key)? == key {
-                let old = tx.read(&self.part, &node.val)?;
-                tx.write(&self.part, &node.val, val)?;
+            if tx.read(&node.key)? == key {
+                let old = tx.read(&node.val)?;
+                tx.write(&node.val, val)?;
                 return Ok(Some(old));
             }
-            cur = tx.read(&self.part, &node.next)?;
+            cur = tx.read(&node.next)?;
         }
         let new = self.arena.alloc(tx)?;
         let node = self.arena.get(new);
-        tx.write(&self.part, &node.key, key)?;
-        tx.write(&self.part, &node.val, val)?;
-        tx.write(&self.part, &node.next, head)?;
-        tx.write(&self.part, bucket, Some(new))?;
+        tx.write(&node.key, key)?;
+        tx.write(&node.val, val)?;
+        tx.write(&node.next, head)?;
+        tx.write(bucket, Some(new))?;
         Ok(None)
     }
 
@@ -102,13 +109,13 @@ impl THashMap {
             return Ok(false);
         }
         let bucket = self.bucket(key);
-        let head = tx.read(&self.part, bucket)?;
+        let head = tx.read(bucket)?;
         let new = self.arena.alloc(tx)?;
         let node = self.arena.get(new);
-        tx.write(&self.part, &node.key, key)?;
-        tx.write(&self.part, &node.val, val)?;
-        tx.write(&self.part, &node.next, head)?;
-        tx.write(&self.part, bucket, Some(new))?;
+        tx.write(&node.key, key)?;
+        tx.write(&node.val, val)?;
+        tx.write(&node.next, head)?;
+        tx.write(bucket, Some(new))?;
         Ok(true)
     }
 
@@ -116,21 +123,21 @@ impl THashMap {
     pub fn delete<'e>(&'e self, tx: &mut Tx<'e, '_>, key: u64) -> TxResult<Option<u64>> {
         let bucket = self.bucket(key);
         let mut prev: Option<Handle<Node>> = None;
-        let mut cur = tx.read(&self.part, bucket)?;
+        let mut cur = tx.read(bucket)?;
         while let Some(h) = cur {
             let node = self.arena.get(h);
-            if tx.read(&self.part, &node.key)? == key {
-                let val = tx.read(&self.part, &node.val)?;
-                let next = tx.read(&self.part, &node.next)?;
+            if tx.read(&node.key)? == key {
+                let val = tx.read(&node.val)?;
+                let next = tx.read(&node.next)?;
                 match prev {
-                    Some(p) => tx.write(&self.part, &self.arena.get(p).next, next)?,
-                    None => tx.write(&self.part, bucket, next)?,
+                    Some(p) => tx.write(&self.arena.get(p).next, next)?,
+                    None => tx.write(bucket, next)?,
                 }
                 self.arena.free(tx, h);
                 return Ok(Some(val));
             }
             prev = Some(h);
-            cur = tx.read(&self.part, &node.next)?;
+            cur = tx.read(&node.next)?;
         }
         Ok(None)
     }

@@ -7,41 +7,49 @@
 
 use std::sync::Arc;
 
-use partstm_core::{Arena, Handle, Partition, TVar, Tx, TxResult};
+use partstm_core::{Arena, Handle, PVar, Partition, Tx, TxResult};
 
 use crate::intset::IntSet;
 
-/// List node: key + next link. All fields transactional (recycled nodes
-/// must only change under orec protection; see `partstm_core::arena`).
-#[derive(Default)]
+/// List node: key + next link, both bound to the list's partition at
+/// allocation. All fields transactional (recycled nodes must only change
+/// under orec protection; see `partstm_core::arena`).
 pub struct Node {
-    key: TVar<u64>,
-    next: TVar<Option<Handle<Node>>>,
+    key: PVar<u64>,
+    next: PVar<Option<Handle<Node>>>,
 }
 
 /// Sorted transactional linked list over a partition.
 pub struct TLinkedList {
     part: Arc<Partition>,
     arena: Arena<Node>,
-    head: TVar<Option<Handle<Node>>>,
+    head: PVar<Option<Handle<Node>>>,
+}
+
+fn node_factory(part: &Arc<Partition>) -> impl Fn() -> Node + Send + Sync + 'static {
+    let part = Arc::clone(part);
+    move || Node {
+        key: part.tvar(0),
+        next: part.tvar(None),
+    }
 }
 
 impl TLinkedList {
     /// Empty list guarded by `part`.
     pub fn new(part: Arc<Partition>) -> Self {
         TLinkedList {
+            arena: Arena::new_with(node_factory(&part)),
+            head: part.tvar(None),
             part,
-            arena: Arena::new(),
-            head: TVar::new(None),
         }
     }
 
     /// Empty list with room for `cap` nodes pre-allocated.
     pub fn with_capacity(part: Arc<Partition>, cap: usize) -> Self {
         TLinkedList {
+            arena: Arena::with_capacity_and(cap, node_factory(&part)),
+            head: part.tvar(None),
             part,
-            arena: Arena::with_capacity(cap),
-            head: TVar::new(None),
         }
     }
 
@@ -54,15 +62,15 @@ impl TLinkedList {
         key: u64,
     ) -> TxResult<(Option<Handle<Node>>, Option<Handle<Node>>)> {
         let mut prev: Option<Handle<Node>> = None;
-        let mut cur = tx.read(&self.part, &self.head)?;
+        let mut cur = tx.read(&self.head)?;
         while let Some(h) = cur {
             let node = self.arena.get(h);
-            let k = tx.read(&self.part, &node.key)?;
+            let k = tx.read(&node.key)?;
             if k >= key {
                 break;
             }
             prev = Some(h);
-            cur = tx.read(&self.part, &node.next)?;
+            cur = tx.read(&node.next)?;
         }
         Ok((prev, cur))
     }
@@ -74,8 +82,8 @@ impl TLinkedList {
         new: Handle<Node>,
     ) -> TxResult<()> {
         match prev {
-            Some(p) => tx.write(&self.part, &self.arena.get(p).next, Some(new)),
-            None => tx.write(&self.part, &self.head, Some(new)),
+            Some(p) => tx.write(&self.arena.get(p).next, Some(new)),
+            None => tx.write(&self.head, Some(new)),
         }
     }
 }
@@ -84,7 +92,7 @@ impl IntSet for TLinkedList {
     fn contains<'e>(&'e self, tx: &mut Tx<'e, '_>, key: u64) -> TxResult<bool> {
         let (_, cur) = self.locate(tx, key)?;
         match cur {
-            Some(h) => Ok(tx.read(&self.part, &self.arena.get(h).key)? == key),
+            Some(h) => Ok(tx.read(&self.arena.get(h).key)? == key),
             None => Ok(false),
         }
     }
@@ -92,14 +100,14 @@ impl IntSet for TLinkedList {
     fn insert<'e>(&'e self, tx: &mut Tx<'e, '_>, key: u64) -> TxResult<bool> {
         let (prev, cur) = self.locate(tx, key)?;
         if let Some(h) = cur {
-            if tx.read(&self.part, &self.arena.get(h).key)? == key {
+            if tx.read(&self.arena.get(h).key)? == key {
                 return Ok(false);
             }
         }
         let new = self.arena.alloc(tx)?;
         let node = self.arena.get(new);
-        tx.write(&self.part, &node.key, key)?;
-        tx.write(&self.part, &node.next, cur)?;
+        tx.write(&node.key, key)?;
+        tx.write(&node.next, cur)?;
         self.link_after(tx, prev, new)?;
         Ok(true)
     }
@@ -108,13 +116,13 @@ impl IntSet for TLinkedList {
         let (prev, cur) = self.locate(tx, key)?;
         let Some(h) = cur else { return Ok(false) };
         let node = self.arena.get(h);
-        if tx.read(&self.part, &node.key)? != key {
+        if tx.read(&node.key)? != key {
             return Ok(false);
         }
-        let next = tx.read(&self.part, &node.next)?;
+        let next = tx.read(&node.next)?;
         match prev {
-            Some(p) => tx.write(&self.part, &self.arena.get(p).next, next)?,
-            None => tx.write(&self.part, &self.head, next)?,
+            Some(p) => tx.write(&self.arena.get(p).next, next)?,
+            None => tx.write(&self.head, next)?,
         }
         self.arena.free(tx, h);
         Ok(true)

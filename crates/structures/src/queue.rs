@@ -7,43 +7,48 @@
 
 use std::sync::Arc;
 
-use partstm_core::{Arena, Handle, Partition, TVar, Tx, TxResult, TxWord};
+use partstm_core::{Arena, Handle, PVar, Partition, Tx, TxResult, TxWord};
 
-/// Queue node: one value word plus the next link.
-#[derive(Default)]
+/// Queue node: one value word plus the next link, bound to the queue's
+/// partition at allocation.
 pub struct Node {
-    val: TVar<u64>,
-    next: TVar<Option<Handle<Node>>>,
+    val: PVar<u64>,
+    next: PVar<Option<Handle<Node>>>,
 }
 
 /// Transactional FIFO queue of word-packable values.
 pub struct TQueue<T: TxWord> {
     part: Arc<Partition>,
     arena: Arena<Node>,
-    head: TVar<Option<Handle<Node>>>,
-    tail: TVar<Option<Handle<Node>>>,
-    len: TVar<u64>,
+    head: PVar<Option<Handle<Node>>>,
+    tail: PVar<Option<Handle<Node>>>,
+    len: PVar<u64>,
     _m: core::marker::PhantomData<T>,
+}
+
+fn node_factory(part: &Arc<Partition>) -> impl Fn() -> Node + Send + Sync + 'static {
+    let part = Arc::clone(part);
+    move || Node {
+        val: part.tvar(0),
+        next: part.tvar(None),
+    }
 }
 
 impl<T: TxWord> TQueue<T> {
     /// Empty queue guarded by `part`.
     pub fn new(part: Arc<Partition>) -> Self {
-        TQueue {
-            part,
-            arena: Arena::new(),
-            head: TVar::new(None),
-            tail: TVar::new(None),
-            len: TVar::new(0),
-            _m: core::marker::PhantomData,
-        }
+        Self::with_capacity(part, 0)
     }
 
     /// Empty queue with pre-allocated node capacity.
     pub fn with_capacity(part: Arc<Partition>, cap: usize) -> Self {
         TQueue {
-            arena: Arena::with_capacity(cap),
-            ..Self::new(part)
+            arena: Arena::with_capacity_and(cap, node_factory(&part)),
+            head: part.tvar(None),
+            tail: part.tvar(None),
+            len: part.tvar(0),
+            part,
+            _m: core::marker::PhantomData,
         }
     }
 
@@ -51,43 +56,43 @@ impl<T: TxWord> TQueue<T> {
     pub fn push_back<'e>(&'e self, tx: &mut Tx<'e, '_>, value: T) -> TxResult<()> {
         let h = self.arena.alloc(tx)?;
         let n = self.arena.get(h);
-        tx.write(&self.part, &n.val, value.to_word())?;
-        tx.write(&self.part, &n.next, None)?;
-        match tx.read(&self.part, &self.tail)? {
-            Some(t) => tx.write(&self.part, &self.arena.get(t).next, Some(h))?,
-            None => tx.write(&self.part, &self.head, Some(h))?,
+        tx.write(&n.val, value.to_word())?;
+        tx.write(&n.next, None)?;
+        match tx.read(&self.tail)? {
+            Some(t) => tx.write(&self.arena.get(t).next, Some(h))?,
+            None => tx.write(&self.head, Some(h))?,
         }
-        tx.write(&self.part, &self.tail, Some(h))?;
-        let l = tx.read(&self.part, &self.len)?;
-        tx.write(&self.part, &self.len, l + 1)
+        tx.write(&self.tail, Some(h))?;
+        let l = tx.read(&self.len)?;
+        tx.write(&self.len, l + 1)
     }
 
     /// Removes and returns the head value, or `None` if empty.
     pub fn pop_front<'e>(&'e self, tx: &mut Tx<'e, '_>) -> TxResult<Option<T>> {
-        let Some(h) = tx.read(&self.part, &self.head)? else {
+        let Some(h) = tx.read(&self.head)? else {
             return Ok(None);
         };
         let n = self.arena.get(h);
-        let val = tx.read(&self.part, &n.val)?;
-        let next = tx.read(&self.part, &n.next)?;
-        tx.write(&self.part, &self.head, next)?;
+        let val = tx.read(&n.val)?;
+        let next = tx.read(&n.next)?;
+        tx.write(&self.head, next)?;
         if next.is_none() {
-            tx.write(&self.part, &self.tail, None)?;
+            tx.write(&self.tail, None)?;
         }
-        let l = tx.read(&self.part, &self.len)?;
-        tx.write(&self.part, &self.len, l - 1)?;
+        let l = tx.read(&self.len)?;
+        tx.write(&self.len, l - 1)?;
         self.arena.free(tx, h);
         Ok(Some(T::from_word(val)))
     }
 
     /// Current length.
     pub fn len_tx<'e>(&'e self, tx: &mut Tx<'e, '_>) -> TxResult<u64> {
-        tx.read(&self.part, &self.len)
+        tx.read(&self.len)
     }
 
     /// Whether the queue is empty.
     pub fn is_empty_tx<'e>(&'e self, tx: &mut Tx<'e, '_>) -> TxResult<bool> {
-        Ok(tx.read(&self.part, &self.head)?.is_none())
+        Ok(tx.read(&self.head)?.is_none())
     }
 
     /// The partition guarding this queue.

@@ -13,57 +13,69 @@
 
 use std::sync::Arc;
 
-use partstm_core::{Arena, Handle, Partition, TVar, Tx, TxResult};
+use partstm_core::{Arena, Handle, PVar, Partition, Tx, TxResult};
 
 use crate::intset::IntSet;
 
 type H = Option<Handle<Node>>;
 
-/// Tree node. All fields transactional.
-#[derive(Default)]
+/// Tree node. All fields transactional, bound to the tree's partition at
+/// allocation.
 pub struct Node {
-    key: TVar<u64>,
-    val: TVar<u64>,
-    left: TVar<H>,
-    right: TVar<H>,
-    parent: TVar<H>,
-    red: TVar<bool>,
+    key: PVar<u64>,
+    val: PVar<u64>,
+    left: PVar<H>,
+    right: PVar<H>,
+    parent: PVar<H>,
+    red: PVar<bool>,
 }
 
 /// Transactional red-black tree over a partition.
 pub struct TRbTree {
     part: Arc<Partition>,
     arena: Arena<Node>,
-    root: TVar<H>,
+    root: PVar<H>,
 }
 
 macro_rules! field {
     ($get:ident, $set:ident, $field:ident, $t:ty) => {
         fn $get<'e>(&'e self, tx: &mut Tx<'e, '_>, h: Handle<Node>) -> TxResult<$t> {
-            tx.read(&self.part, &self.arena.get(h).$field)
+            tx.read(&self.arena.get(h).$field)
         }
         fn $set<'e>(&'e self, tx: &mut Tx<'e, '_>, h: Handle<Node>, v: $t) -> TxResult<()> {
-            tx.write(&self.part, &self.arena.get(h).$field, v)
+            tx.write(&self.arena.get(h).$field, v)
         }
     };
+}
+
+fn node_factory(part: &Arc<Partition>) -> impl Fn() -> Node + Send + Sync + 'static {
+    let part = Arc::clone(part);
+    move || Node {
+        key: part.tvar(0),
+        val: part.tvar(0),
+        left: part.tvar(None),
+        right: part.tvar(None),
+        parent: part.tvar(None),
+        red: part.tvar(false),
+    }
 }
 
 impl TRbTree {
     /// Empty tree guarded by `part`.
     pub fn new(part: Arc<Partition>) -> Self {
         TRbTree {
+            arena: Arena::new_with(node_factory(&part)),
+            root: part.tvar(None),
             part,
-            arena: Arena::new(),
-            root: TVar::new(None),
         }
     }
 
     /// Empty tree with pre-allocated node capacity.
     pub fn with_capacity(part: Arc<Partition>, cap: usize) -> Self {
         TRbTree {
+            arena: Arena::with_capacity_and(cap, node_factory(&part)),
+            root: part.tvar(None),
             part,
-            arena: Arena::with_capacity(cap),
-            root: TVar::new(None),
         }
     }
 
@@ -75,17 +87,17 @@ impl TRbTree {
 
     fn is_red<'e>(&'e self, tx: &mut Tx<'e, '_>, h: H) -> TxResult<bool> {
         match h {
-            Some(n) => tx.read(&self.part, &self.arena.get(n).red),
+            Some(n) => tx.read(&self.arena.get(n).red),
             None => Ok(false), // nil is black
         }
     }
 
     fn set_red<'e>(&'e self, tx: &mut Tx<'e, '_>, h: Handle<Node>, red: bool) -> TxResult<()> {
-        tx.write(&self.part, &self.arena.get(h).red, red)
+        tx.write(&self.arena.get(h).red, red)
     }
 
     fn root_of<'e>(&'e self, tx: &mut Tx<'e, '_>) -> TxResult<H> {
-        tx.read(&self.part, &self.root)
+        tx.read(&self.root)
     }
 
     /// Replaces `old`'s slot in its parent (or the root) with `new`.
@@ -97,7 +109,7 @@ impl TRbTree {
         new: H,
     ) -> TxResult<()> {
         match parent {
-            None => tx.write(&self.part, &self.root, new),
+            None => tx.write(&self.root, new),
             Some(p) => {
                 if self.left(tx, p)? == Some(old) {
                     self.set_left(tx, p, new)
@@ -180,15 +192,15 @@ impl TRbTree {
         let z = self.arena.alloc(tx)?;
         {
             let node = self.arena.get(z);
-            tx.write(&self.part, &node.key, key)?;
-            tx.write(&self.part, &node.val, val)?;
-            tx.write(&self.part, &node.left, None)?;
-            tx.write(&self.part, &node.right, None)?;
-            tx.write(&self.part, &node.parent, parent)?;
-            tx.write(&self.part, &node.red, true)?;
+            tx.write(&node.key, key)?;
+            tx.write(&node.val, val)?;
+            tx.write(&node.left, None)?;
+            tx.write(&node.right, None)?;
+            tx.write(&node.parent, parent)?;
+            tx.write(&node.red, true)?;
         }
         match parent {
-            None => tx.write(&self.part, &self.root, Some(z))?,
+            None => tx.write(&self.root, Some(z))?,
             Some(p) => {
                 if went_left {
                     self.set_left(tx, p, Some(z))?;

@@ -8,21 +8,21 @@
 
 use std::sync::Arc;
 
-use partstm_core::{Arena, Handle, Partition, TVar, Tx, TxResult};
+use partstm_core::{Arena, Handle, PVar, Partition, Tx, TxResult};
 
 use crate::intset::IntSet;
 
 /// Maximum tower height (supports ~2^16 elements comfortably).
 pub const MAX_LEVEL: usize = 16;
 
-/// Skip-list node: key, tower height and forward links.
-#[derive(Default)]
+/// Skip-list node: key, tower height and forward links, all bound to the
+/// list's partition at allocation.
 pub struct Node {
-    key: TVar<u64>,
+    key: PVar<u64>,
     /// Height of this node's tower (1..=MAX_LEVEL). Transactional so
     /// recycled nodes stay under orec protection.
-    level: TVar<u64>,
-    next: [TVar<Option<Handle<Node>>>; MAX_LEVEL],
+    level: PVar<u64>,
+    next: [PVar<Option<Handle<Node>>>; MAX_LEVEL],
 }
 
 /// Deterministic tower height for a key (geometric distribution).
@@ -38,25 +38,34 @@ fn level_for(key: u64) -> usize {
 pub struct TSkipList {
     part: Arc<Partition>,
     arena: Arena<Node>,
-    heads: [TVar<Option<Handle<Node>>>; MAX_LEVEL],
+    heads: [PVar<Option<Handle<Node>>>; MAX_LEVEL],
+}
+
+fn node_factory(part: &Arc<Partition>) -> impl Fn() -> Node + Send + Sync + 'static {
+    let part = Arc::clone(part);
+    move || Node {
+        key: part.tvar(0),
+        level: part.tvar(0),
+        next: core::array::from_fn(|_| part.tvar(None)),
+    }
 }
 
 impl TSkipList {
     /// Empty skip list guarded by `part`.
     pub fn new(part: Arc<Partition>) -> Self {
         TSkipList {
+            arena: Arena::new_with(node_factory(&part)),
+            heads: core::array::from_fn(|_| part.tvar(None)),
             part,
-            arena: Arena::new(),
-            heads: Default::default(),
         }
     }
 
     /// Empty skip list with pre-allocated node capacity.
     pub fn with_capacity(part: Arc<Partition>, cap: usize) -> Self {
         TSkipList {
+            arena: Arena::with_capacity_and(cap, node_factory(&part)),
+            heads: core::array::from_fn(|_| part.tvar(None)),
             part,
-            arena: Arena::with_capacity(cap),
-            heads: Default::default(),
         }
     }
 
@@ -68,8 +77,8 @@ impl TSkipList {
         lvl: usize,
     ) -> TxResult<Option<Handle<Node>>> {
         match from {
-            Some(h) => tx.read(&self.part, &self.arena.get(h).next[lvl]),
-            None => tx.read(&self.part, &self.heads[lvl]),
+            Some(h) => tx.read(&self.arena.get(h).next[lvl]),
+            None => tx.read(&self.heads[lvl]),
         }
     }
 
@@ -81,8 +90,8 @@ impl TSkipList {
         to: Option<Handle<Node>>,
     ) -> TxResult<()> {
         match from {
-            Some(h) => tx.write(&self.part, &self.arena.get(h).next[lvl], to),
-            None => tx.write(&self.part, &self.heads[lvl], to),
+            Some(h) => tx.write(&self.arena.get(h).next[lvl], to),
+            None => tx.write(&self.heads[lvl], to),
         }
     }
 
@@ -99,7 +108,7 @@ impl TSkipList {
         for lvl in (0..MAX_LEVEL).rev() {
             let mut cur = self.next_of(tx, pred, lvl)?;
             while let Some(h) = cur {
-                let k = tx.read(&self.part, &self.arena.get(h).key)?;
+                let k = tx.read(&self.arena.get(h).key)?;
                 if k >= key {
                     break;
                 }
@@ -117,7 +126,7 @@ impl IntSet for TSkipList {
     fn contains<'e>(&'e self, tx: &mut Tx<'e, '_>, key: u64) -> TxResult<bool> {
         let (_, cand) = self.locate(tx, key)?;
         match cand {
-            Some(h) => Ok(tx.read(&self.part, &self.arena.get(h).key)? == key),
+            Some(h) => Ok(tx.read(&self.arena.get(h).key)? == key),
             None => Ok(false),
         }
     }
@@ -125,23 +134,23 @@ impl IntSet for TSkipList {
     fn insert<'e>(&'e self, tx: &mut Tx<'e, '_>, key: u64) -> TxResult<bool> {
         let (preds, cand) = self.locate(tx, key)?;
         if let Some(h) = cand {
-            if tx.read(&self.part, &self.arena.get(h).key)? == key {
+            if tx.read(&self.arena.get(h).key)? == key {
                 return Ok(false);
             }
         }
         let lvl = level_for(key);
         let new = self.arena.alloc(tx)?;
         let node = self.arena.get(new);
-        tx.write(&self.part, &node.key, key)?;
-        tx.write(&self.part, &node.level, lvl as u64)?;
+        tx.write(&node.key, key)?;
+        tx.write(&node.level, lvl as u64)?;
         for (i, &pred) in preds.iter().enumerate().take(lvl) {
             let succ = self.next_of(tx, pred, i)?;
-            tx.write(&self.part, &node.next[i], succ)?;
+            tx.write(&node.next[i], succ)?;
             self.set_next(tx, pred, i, Some(new))?;
         }
         // Clear unused tower levels (slot may be recycled).
         for i in lvl..MAX_LEVEL {
-            tx.write(&self.part, &node.next[i], None)?;
+            tx.write(&node.next[i], None)?;
         }
         Ok(true)
     }
@@ -150,14 +159,14 @@ impl IntSet for TSkipList {
         let (preds, cand) = self.locate(tx, key)?;
         let Some(h) = cand else { return Ok(false) };
         let node = self.arena.get(h);
-        if tx.read(&self.part, &node.key)? != key {
+        if tx.read(&node.key)? != key {
             return Ok(false);
         }
-        let lvl = tx.read(&self.part, &node.level)? as usize;
+        let lvl = tx.read(&node.level)? as usize;
         for (i, &pred) in preds.iter().enumerate().take(lvl) {
             // The predecessor at level i links to us iff our tower reaches
             // level i (locate's preds are the strict predecessors of key).
-            let succ = tx.read(&self.part, &node.next[i])?;
+            let succ = tx.read(&node.next[i])?;
             let linked = self.next_of(tx, pred, i)?;
             if linked == Some(h) {
                 self.set_next(tx, pred, i, succ)?;

@@ -9,9 +9,10 @@
 //! ```
 
 use partstm::analysis::{
-    census, merge_chain, partition, AccessKind, ModelBuilder, ProgramModel, Strategy,
+    census, merge_chain, partition, AccessKind, MaterializePlan, ModelBuilder, ProgramModel,
+    Strategy,
 };
-use partstm::core::{PartitionConfig, Stm};
+use partstm::core::Stm;
 
 /// A small order-management application: an order book, a per-customer
 /// index over the *same* orders (so the two structures alias), and an
@@ -71,18 +72,57 @@ fn main() {
     // Full census (the static side of Table T1).
     println!("\n{}", census(&model).unwrap().to_table());
 
-    // Materialize the classes as runtime partitions — exactly what the
-    // benchmark applications do with their own plans.
+    // Materialize the classes as live runtime partitions and drive
+    // transactions through them — the full compile-time → runtime loop.
     let stm = Stm::new();
-    let parts: Vec<_> = plan
-        .classes
-        .iter()
-        .map(|c| stm.new_partition(PartitionConfig::named(c.name.clone()).tunable()))
-        .collect();
+    let parts = stm.materialize_plan(&plan);
     println!("materialized runtime partitions:");
     for p in &parts {
-        println!("  id={:?} name={}", p.id(), p.name());
+        println!(
+            "  id={:?} name={} tunable={}",
+            p.id(),
+            p.name(),
+            p.is_tunable()
+        );
     }
     // book + index + orders merge into one class; the audit log stands alone.
     assert_eq!(parts.len(), 2);
+
+    // Bind variables to their plan-assigned partitions (what the compiler
+    // pass would emit for each allocation site) and run transactions whose
+    // access sites are partition-free.
+    let orders_part = &parts[plan
+        .class_of_alloc(model.alloc_by_name("order_records").unwrap().id)
+        .unwrap()];
+    let audit_part = &parts[plan
+        .class_of_alloc(model.alloc_by_name("audit_log_entries").unwrap().id)
+        .unwrap()];
+    let open_orders = orders_part.tvar(0u64);
+    let audit_entries = audit_part.tvar(0u64);
+
+    let ctx = stm.register_thread();
+    for _ in 0..100 {
+        // One logical operation spanning both partitions, atomically.
+        ctx.run(|tx| {
+            tx.modify(&open_orders, |v| v + 1)?;
+            tx.modify(&audit_entries, |v| v + 1)?;
+            Ok(())
+        });
+    }
+    assert_eq!(open_orders.load_direct(), 100);
+    assert_eq!(audit_entries.load_direct(), 100);
+    println!(
+        "\nran 100 cross-partition transactions: open_orders={} audit_entries={}",
+        open_orders.load_direct(),
+        audit_entries.load_direct()
+    );
+    for p in &parts {
+        let s = p.stats();
+        println!(
+            "  {}: commits={} aborts={}",
+            p.name(),
+            s.commits,
+            s.aborts()
+        );
+    }
 }

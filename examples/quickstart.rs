@@ -4,28 +4,28 @@
 //! cargo run --example quickstart
 //! ```
 
-use partstm::core::{PartitionConfig, Stm, TVar};
+use partstm::core::{PartitionConfig, Stm};
 
 fn main() {
     // The runtime. One per process is typical.
     let stm = Stm::new();
 
-    // A partition: the unit of concurrency-control specialization. Every
-    // transactional access names the partition guarding the data.
+    // A partition: the unit of concurrency-control specialization.
     let accounts = stm.new_partition(PartitionConfig::named("accounts"));
 
     // Transactional variables: 64-bit words (integers, floats, bools,
-    // arena handles...).
-    let alice = TVar::new(100i64);
-    let bob = TVar::new(0i64);
+    // arena handles...), bound to their partition at allocation. Access
+    // sites then name only the variable.
+    let alice = accounts.tvar(100i64);
+    let bob = accounts.tvar(0i64);
 
     // Each thread registers once and then runs transactions.
     let ctx = stm.register_thread();
     ctx.run(|tx| {
-        let a = tx.read(&accounts, &alice)?;
-        let b = tx.read(&accounts, &bob)?;
-        tx.write(&accounts, &alice, a - 30)?;
-        tx.write(&accounts, &bob, b + 30)?;
+        let a = tx.read(&alice)?;
+        let b = tx.read(&bob)?;
+        tx.write(&alice, a - 30)?;
+        tx.write(&bob, b + 30)?;
         Ok(())
     });
 

@@ -2,8 +2,8 @@
 //! `Cargo.toml`). Source-compatible with the subset of proptest 1.x the
 //! workspace's property tests use:
 //!
-//! * the [`Strategy`] trait with `prop_map` / `prop_flat_map`,
-//! * integer-range and tuple strategies, [`any`] for primitives,
+//! * the `Strategy` trait with `prop_map` / `prop_flat_map`,
+//! * integer-range and tuple strategies, `any` for primitives,
 //! * [`collection::vec`] and [`collection::btree_set`],
 //! * the [`proptest!`] macro with `#![proptest_config(...)]`,
 //! * `prop_assert!` / `prop_assert_eq!`.

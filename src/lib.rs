@@ -14,13 +14,13 @@
 //! | [`stamp`] | `partstm-stamp` | STAMP application ports: vacation, kmeans, genome, intruder |
 //!
 //! ```
-//! use partstm::core::{PartitionConfig, Stm, TVar};
+//! use partstm::core::{PartitionConfig, Stm};
 //!
 //! let stm = Stm::new();
 //! let part = stm.new_partition(PartitionConfig::named("demo"));
-//! let x = TVar::new(1u64);
+//! let x = part.tvar(1u64); // bound to its partition at allocation
 //! let ctx = stm.register_thread();
-//! let doubled = ctx.run(|tx| tx.modify(&part, &x, |v| v * 2));
+//! let doubled = ctx.run(|tx| tx.modify(&x, |v| v * 2));
 //! assert_eq!(doubled, 2);
 //! ```
 

@@ -5,7 +5,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use partstm::core::{
-    AcquireMode, CmPolicy, Granularity, PartitionConfig, ReadMode, ReaderArb, Stm, TVar,
+    AcquireMode, CmPolicy, Granularity, PartitionConfig, ReadMode, ReaderArb, Stm,
 };
 use partstm::structures::Bank;
 
@@ -91,20 +91,20 @@ fn bank_conservation_reader_wins() {
 fn opacity_linked_invariant() {
     let stm = Stm::new();
     let p = stm.new_partition(PartitionConfig::named("pair"));
-    let x = Arc::new(TVar::new(1u64));
-    let y = Arc::new(TVar::new(2u64));
+    let x = Arc::new(p.tvar(1u64));
+    let y = Arc::new(p.tvar(2u64));
     let stop = Arc::new(AtomicBool::new(false));
     std::thread::scope(|s| {
         for _ in 0..2 {
             let ctx = stm.register_thread();
-            let (p, x, y, stop) = (p.clone(), x.clone(), y.clone(), stop.clone());
+            let (x, y, stop) = (x.clone(), y.clone(), stop.clone());
             s.spawn(move || {
                 let mut v = 1u64;
                 while !stop.load(Ordering::Relaxed) {
                     v = v.wrapping_mul(31).wrapping_add(7) % 100_000;
                     ctx.run(|tx| {
-                        tx.write(&p, &x, v)?;
-                        tx.write(&p, &y, v * 2)?;
+                        tx.write(&x, v)?;
+                        tx.write(&y, v * 2)?;
                         Ok(())
                     });
                 }
@@ -112,13 +112,13 @@ fn opacity_linked_invariant() {
         }
         for _ in 0..2 {
             let ctx = stm.register_thread();
-            let (p, x, y) = (p.clone(), x.clone(), y.clone());
+            let (x, y) = (x.clone(), y.clone());
             let stop = stop.clone();
             s.spawn(move || {
                 for _ in 0..20_000 {
                     let (vx, vy) = ctx.run(|tx| {
-                        let vx = tx.read(&p, &x)?;
-                        let vy = tx.read(&p, &y)?;
+                        let vx = tx.read(&x)?;
+                        let vy = tx.read(&y)?;
                         // The invariant must hold *inside* the transaction
                         // too: with opacity no attempt ever sees a mixed
                         // snapshot that survives to this point.
@@ -140,12 +140,12 @@ fn cross_partition_invariant_mixed_configs() {
     let stm = Stm::new();
     let pa = stm.new_partition(PartitionConfig::named("a").read_mode(ReadMode::Visible));
     let pb = stm.new_partition(PartitionConfig::named("b").granularity(Granularity::PartitionLock));
-    let x = Arc::new(TVar::new(500i64));
-    let y = Arc::new(TVar::new(500i64));
+    let x = Arc::new(pa.tvar(500i64));
+    let y = Arc::new(pb.tvar(500i64));
     std::thread::scope(|s| {
         for t in 0..4usize {
             let ctx = stm.register_thread();
-            let (pa, pb, x, y) = (pa.clone(), pb.clone(), x.clone(), y.clone());
+            let (x, y) = (x.clone(), y.clone());
             s.spawn(move || {
                 let mut r = (t as u64 + 1).wrapping_mul(0x51_7C_C1);
                 for _ in 0..1000 {
@@ -154,20 +154,20 @@ fn cross_partition_invariant_mixed_configs() {
                     r ^= r << 17;
                     let amt = (r % 20) as i64;
                     ctx.run(|tx| {
-                        let vx = tx.read(&pa, &x)?;
-                        let vy = tx.read(&pb, &y)?;
-                        tx.write(&pa, &x, vx - amt)?;
-                        tx.write(&pb, &y, vy + amt)?;
+                        let vx = tx.read(&x)?;
+                        let vy = tx.read(&y)?;
+                        tx.write(&x, vx - amt)?;
+                        tx.write(&y, vy + amt)?;
                         Ok(())
                     });
                 }
             });
         }
         let ctx = stm.register_thread();
-        let (pa, pb, x, y) = (pa.clone(), pb.clone(), x.clone(), y.clone());
+        let (x, y) = (x.clone(), y.clone());
         s.spawn(move || {
             for _ in 0..2000 {
-                let sum = ctx.run(|tx| Ok(tx.read(&pa, &x)? + tx.read(&pb, &y)?));
+                let sum = ctx.run(|tx| Ok(tx.read(&x)? + tx.read(&y)?));
                 assert_eq!(sum, 1000);
             }
         });
@@ -181,15 +181,15 @@ fn cross_partition_invariant_mixed_configs() {
 fn config_switches_during_load_lose_nothing() {
     let stm = Stm::new();
     let p = stm.new_partition(PartitionConfig::named("hot"));
-    let counter = Arc::new(TVar::new(0u64));
+    let counter = Arc::new(p.tvar(0u64));
     let iters = 3000u64;
     std::thread::scope(|s| {
         for _ in 0..4 {
             let ctx = stm.register_thread();
-            let (p, counter) = (p.clone(), counter.clone());
+            let counter = counter.clone();
             s.spawn(move || {
                 for _ in 0..iters {
-                    ctx.run(|tx| tx.modify(&p, &counter, |v| v + 1).map(|_| ()));
+                    ctx.run(|tx| tx.modify(&counter, |v| v + 1).map(|_| ()));
                 }
             });
         }

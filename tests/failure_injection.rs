@@ -47,7 +47,7 @@ fn panics_under_concurrency_leak_nothing() {
             let (p, x) = (p.clone(), x.clone());
             s.spawn(move || {
                 for _ in 0..500 {
-                    ctx.run(|tx| tx.modify(&p, &x, |v| v + 1).map(|_| ()));
+                    ctx.run(|tx| tx.modify_raw(&p, &x, |v| v + 1).map(|_| ()));
                 }
             });
         }
@@ -106,7 +106,7 @@ fn retry_storms_do_not_leak_arena_slots() {
                     let h = ctx.run(|tx| {
                         attempts += 1;
                         let h = arena.alloc(tx)?;
-                        tx.write(&p, &arena.get(h).v, t * 1000 + i)?;
+                        tx.write_raw(&p, &arena.get(h).v, t * 1000 + i)?;
                         if attempts < 3 {
                             return Err(Abort::retry());
                         }

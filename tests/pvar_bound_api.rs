@@ -1,0 +1,237 @@
+//! The bound (`PVar`) access tier and the per-attempt partition-view
+//! cache: a switch-storm stress test on the conserved-sum invariant, a
+//! property test that the bound tier is observationally identical to the
+//! raw (explicit-partition) tier, and view-cache diagnostics.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use partstm::core::{
+    AcquireMode, Granularity, PVar, PartitionConfig, ReadMode, Stm, SwitchOutcome, TVar,
+};
+use partstm::structures::Bank;
+
+/// Bank transfers under a continuous stream of configuration switches: the
+/// partition view cached at first touch of each attempt must stay coherent
+/// with the quiesce protocol, or a transfer could run half under one
+/// granularity and half under another and lose money.
+#[test]
+fn bank_conserves_total_under_config_switch_storm() {
+    let stm = Stm::new();
+    let bank = Arc::new(Bank::new(
+        stm.new_partition(PartitionConfig::named("switchy")),
+        16,
+        1_000,
+    ));
+    let expect = 16_000i64;
+    let stop = Arc::new(AtomicBool::new(false));
+    let switches = Arc::new(AtomicUsize::new(0));
+    std::thread::scope(|s| {
+        // Transfer threads on the bound API.
+        for t in 0..4usize {
+            let ctx = stm.register_thread();
+            let (bank, stop) = (Arc::clone(&bank), Arc::clone(&stop));
+            s.spawn(move || {
+                let mut r = (t as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                while !stop.load(Ordering::Relaxed) {
+                    r ^= r << 13;
+                    r ^= r >> 7;
+                    r ^= r << 17;
+                    let from = (r % 16) as usize;
+                    let to = ((r >> 8) % 16) as usize;
+                    ctx.run(|tx| bank.transfer(tx, from, to, (r % 90) as i64));
+                }
+            });
+        }
+        // Reader thread asserts the invariant mid-flight until the
+        // switcher calls the run over. `stop` is set *before* the
+        // assertion can panic, so a conservation failure fails the test
+        // instead of deadlocking the other loops.
+        {
+            let ctx = stm.register_thread();
+            let (bank, stop) = (Arc::clone(&bank), Arc::clone(&stop));
+            s.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let total = ctx.run(|tx| bank.total(tx));
+                    if total != expect {
+                        stop.store(true, Ordering::Relaxed);
+                        panic!("sum not conserved: {total} != {expect}");
+                    }
+                }
+            });
+        }
+        // Switcher cycles through disparate configurations as fast as the
+        // quiesce protocol allows, and ends the run once enough switches
+        // have landed (deadline-bounded so a stuck protocol cannot hang
+        // the test).
+        {
+            let stm2 = stm.clone();
+            let (bank, stop, switches) =
+                (Arc::clone(&bank), Arc::clone(&stop), Arc::clone(&switches));
+            s.spawn(move || {
+                let configs = [
+                    (ReadMode::Visible, AcquireMode::Encounter, Granularity::Word),
+                    (
+                        ReadMode::Invisible,
+                        AcquireMode::Commit,
+                        Granularity::PartitionLock,
+                    ),
+                    (
+                        ReadMode::Visible,
+                        AcquireMode::Commit,
+                        Granularity::Stripe { shift: 6 },
+                    ),
+                    (
+                        ReadMode::Invisible,
+                        AcquireMode::Encounter,
+                        Granularity::Word,
+                    ),
+                ];
+                let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+                let mut i = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    let part = bank.partition();
+                    let mut cfg = part.current_config();
+                    let (rm, aq, g) = configs[i % configs.len()];
+                    i += 1;
+                    cfg.read_mode = rm;
+                    cfg.acquire = aq;
+                    cfg.granularity = g;
+                    if stm2.switch_partition(part, cfg) == SwitchOutcome::Switched {
+                        switches.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if switches.load(Ordering::Relaxed) >= 20
+                        || std::time::Instant::now() > deadline
+                    {
+                        stop.store(true, Ordering::Relaxed);
+                    }
+                    std::thread::yield_now();
+                }
+            });
+        }
+    });
+    assert_eq!(bank.total_direct(), expect);
+    assert!(
+        switches.load(Ordering::Relaxed) > 0,
+        "the storm must have switched at least once"
+    );
+}
+
+#[derive(Debug, Clone, Copy)]
+enum VarOp {
+    Write(u8, u64),
+    Read(u8),
+    Add(u8, u64),
+}
+
+fn var_op() -> impl Strategy<Value = VarOp> {
+    (0..3u8, 0..8u8, 0..1_000u64).prop_map(|(kind, i, v)| match kind {
+        0 => VarOp::Write(i, v),
+        1 => VarOp::Read(i),
+        _ => VarOp::Add(i, v),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The bound tier must be observationally identical to the raw tier:
+    /// the same op sequence over 8 variables — split across two partitions
+    /// and grouped into transactions of three ops — produces identical
+    /// read results and identical final states either way.
+    #[test]
+    fn bound_api_matches_raw_api(ops in proptest::collection::vec(var_op(), 1..120)) {
+        // Bound world.
+        let stm_b = Stm::new();
+        let pb0 = stm_b.new_partition(PartitionConfig::named("b0"));
+        let pb1 = stm_b.new_partition(PartitionConfig::named("b1").read_mode(ReadMode::Visible));
+        let bound: Vec<PVar<u64>> = (0..8)
+            .map(|i: usize| {
+                if i.is_multiple_of(2) {
+                    pb0.tvar(0u64)
+                } else {
+                    pb1.tvar(0u64)
+                }
+            })
+            .collect();
+        // Raw world: same partition assignment, named at every access.
+        let stm_r = Stm::new();
+        let pr0 = stm_r.new_partition(PartitionConfig::named("r0"));
+        let pr1 = stm_r.new_partition(PartitionConfig::named("r1").read_mode(ReadMode::Visible));
+        let raw: Vec<TVar<u64>> = (0..8).map(|_| TVar::new(0u64)).collect();
+        let part_of = |i: usize| if i.is_multiple_of(2) { &pr0 } else { &pr1 };
+
+        let ctx_b = stm_b.register_thread();
+        let ctx_r = stm_r.register_thread();
+        for chunk in ops.chunks(3) {
+            let out_b = ctx_b.run(|tx| {
+                let mut reads = Vec::new();
+                for op in chunk {
+                    match *op {
+                        VarOp::Write(i, v) => tx.write(&bound[i as usize], v)?,
+                        VarOp::Read(i) => reads.push(tx.read(&bound[i as usize])?),
+                        VarOp::Add(i, v) => {
+                            reads.push(tx.modify(&bound[i as usize], |x| x.wrapping_add(v))?)
+                        }
+                    }
+                }
+                Ok(reads)
+            });
+            let out_r = ctx_r.run(|tx| {
+                let mut reads = Vec::new();
+                for op in chunk {
+                    match *op {
+                        VarOp::Write(i, v) => {
+                            tx.write_raw(part_of(i as usize), &raw[i as usize], v)?
+                        }
+                        VarOp::Read(i) => {
+                            reads.push(tx.read_raw(part_of(i as usize), &raw[i as usize])?)
+                        }
+                        VarOp::Add(i, v) => reads.push(tx.modify_raw(
+                            part_of(i as usize),
+                            &raw[i as usize],
+                            |x| x.wrapping_add(v),
+                        )?),
+                    }
+                }
+                Ok(reads)
+            });
+            prop_assert_eq!(out_b, out_r, "tiers diverged inside a transaction");
+        }
+        for i in 0..8 {
+            prop_assert_eq!(bound[i].load_direct(), raw[i].load_direct(), "final state var {}", i);
+        }
+    }
+}
+
+/// The cached generation is stable across an attempt and matches the
+/// partition's generation (no switch can interleave, per the quiesce
+/// protocol).
+#[test]
+fn cached_generation_is_stable_within_an_attempt() {
+    let stm = Stm::new();
+    let p = stm.new_partition(PartitionConfig::named("g"));
+    let x = p.tvar(3u64);
+    // Bump the generation once before measuring.
+    let mut cfg = p.current_config();
+    cfg.read_mode = ReadMode::Visible;
+    assert!(stm.switch_partition(&p, cfg).switched());
+    let ctx = stm.register_thread();
+    ctx.run(|tx| {
+        assert_eq!(tx.cached_generation(&p), None, "untouched partition");
+        let _ = tx.read(&x)?;
+        let g0 = tx.cached_generation(&p).expect("touched now");
+        assert_eq!(g0, p.generation());
+        for _ in 0..10 {
+            let _ = tx.read(&x)?;
+            assert_eq!(
+                tx.cached_generation(&p),
+                Some(g0),
+                "view must not re-decode"
+            );
+        }
+        Ok(())
+    });
+}

@@ -5,7 +5,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use partstm::core::{PartitionConfig, ReadMode, Stm, TVar};
+use partstm::core::{PVar, PartitionConfig, ReadMode, Stm};
 use partstm::structures::{IntSet, TRbTree};
 use partstm::tuning::{HillClimbPolicy, ThresholdPolicy, Thresholds};
 
@@ -26,7 +26,7 @@ fn tuner_reacts_to_pure_update_contention() {
     let stm = Stm::new();
     stm.set_tuner(fast_tuner());
     let p = stm.new_partition(PartitionConfig::named("hot").tunable());
-    let words: Arc<Vec<TVar<u64>>> = Arc::new((0..32).map(|_| TVar::new(0)).collect());
+    let words: Arc<Vec<PVar<u64>>> = Arc::new((0..32).map(|_| p.tvar(0)).collect());
     let stop = Arc::new(AtomicBool::new(false));
     // Condition-driven with a hard deadline: fixed durations flake under
     // CPU contention or contention-manager changes.
@@ -34,7 +34,7 @@ fn tuner_reacts_to_pure_update_contention() {
     std::thread::scope(|s| {
         for t in 0..6u64 {
             let ctx = stm.register_thread();
-            let (p, words, stop) = (p.clone(), words.clone(), stop.clone());
+            let (words, stop) = (words.clone(), stop.clone());
             s.spawn(move || {
                 let mut r = (t + 1).wrapping_mul(0x9E37_79B9);
                 while !stop.load(Ordering::Relaxed) {
@@ -52,13 +52,13 @@ fn tuner_reacts_to_pure_update_contention() {
                         // contention materializes for the tuner to see.
                         let mut sum = 0u64;
                         for w in words.iter() {
-                            sum = sum.wrapping_add(tx.read(&p, w)?);
+                            sum = sum.wrapping_add(tx.read(w)?);
                         }
                         std::thread::sleep(Duration::from_micros(50));
                         for off in 0..4 {
                             let w = &words[(i + off) % 32];
-                            let v = tx.read(&p, w)?;
-                            tx.write(&p, w, v.wrapping_add(sum | 1))?;
+                            let v = tx.read(w)?;
+                            tx.write(w, v.wrapping_add(sum | 1))?;
                         }
                         Ok(())
                     });
@@ -135,15 +135,15 @@ fn hillclimb_probes_do_not_break_correctness() {
     let stm = Stm::new();
     stm.set_tuner(Arc::new(HillClimbPolicy::new(256, 50)));
     let p = stm.new_partition(PartitionConfig::named("probe").tunable());
-    let x = Arc::new(TVar::new(0u64));
+    let x = Arc::new(p.tvar(0u64));
     let iters = 4000u64;
     std::thread::scope(|s| {
         for _ in 0..4 {
             let ctx = stm.register_thread();
-            let (p, x) = (p.clone(), x.clone());
+            let x = x.clone();
             s.spawn(move || {
                 for _ in 0..iters {
-                    ctx.run(|tx| tx.modify(&p, &x, |v| v + 1).map(|_| ()));
+                    ctx.run(|tx| tx.modify(&x, |v| v + 1).map(|_| ()));
                 }
             });
         }
@@ -164,7 +164,7 @@ fn opposite_partitions_diverge() {
     stm.set_tuner(fast_tuner());
     let hot = stm.new_partition(PartitionConfig::named("hot").tunable());
     let cold = stm.new_partition(PartitionConfig::named("cold").tunable());
-    let counter = Arc::new(TVar::new(0u64));
+    let counter = Arc::new(hot.tvar(0u64));
     let tree = TRbTree::new(cold.clone());
     let ctx = stm.register_thread();
     for k in 0..4096u64 {
@@ -192,9 +192,9 @@ fn opposite_partitions_diverge() {
                     // even on a single-core host (see
                     // tuner_reacts_to_pure_update_contention).
                     ctx.run(|tx| {
-                        let v = tx.read(&hot, &counter)?;
+                        let v = tx.read(&counter)?;
                         std::thread::sleep(Duration::from_micros(50));
-                        tx.write(&hot, &counter, v + 1)
+                        tx.write(&counter, v + 1)
                     });
                 }
             });
