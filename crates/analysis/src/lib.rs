@@ -32,6 +32,7 @@
 
 pub mod json;
 pub mod model;
+pub mod online;
 pub mod partitioner;
 pub mod report;
 pub mod runtime;
@@ -40,6 +41,7 @@ pub mod unionfind;
 pub use model::{
     AccessId, AccessKind, AccessSite, AllocId, AllocSite, ModelBuilder, ModelError, ProgramModel,
 };
+pub use online::{NodeLoad, OnlineAnalyzer, OnlineConfig, Proposal};
 pub use partitioner::{merge_chain, partition, PartitionClass, PartitionPlan, Strategy};
 pub use report::{census, Census, ClassSummary};
 pub use runtime::MaterializePlan;

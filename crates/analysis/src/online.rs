@@ -1,0 +1,593 @@
+//! Online repartitioning analysis: fold sampled runtime traces into an
+//! affinity/conflict view and propose partition splits and merges.
+//!
+//! This is the dynamic counterpart of the static partitioner: where
+//! [`partition`](crate::partitioner::partition()) closes may-touch sets the
+//! *compiler* derived, the [`OnlineAnalyzer`] closes *observed* co-access
+//! sets the sampled profiler (`partstm_core::profiler`) reports while the
+//! program runs. Nodes of the graph are `(partition, address bucket)`
+//! pairs; edges are weighted by how often two buckets were touched by the
+//! same transaction (affinity) and annotated with write pressure
+//! (conflict potential).
+//!
+//! Two outputs:
+//!
+//! * [`OnlineAnalyzer::proposals`] — actionable [`Proposal::Split`] /
+//!   [`Proposal::Merge`] decisions, computed by an incremental union-find
+//!   over *strong* affinity edges followed by a min-cut-style hot-edge
+//!   splitter: strong edges are never cut (splitting co-accessed data
+//!   would turn every transaction multi-partition), weak edges are, and
+//!   the hottest write-heavy components are taken as the split set.
+//! * [`OnlineAnalyzer::plan`] — the same affinity closure expressed as a
+//!   [`PartitionPlan`] by routing an induced [`ProgramModel`] through the
+//!   static partitioner ([`OnlineAnalyzer::to_model`]): every observed
+//!   bucket becomes an allocation site, every strong edge an access site,
+//!   so the emitted classes are exactly the units the repartitioner may
+//!   place independently.
+
+use std::collections::BTreeMap;
+
+use partstm_core::profiler::TxSample;
+use partstm_core::{PartitionId, StatCounters};
+
+use crate::model::{AccessKind, ModelBuilder, ModelError, ProgramModel};
+use crate::partitioner::{partition, PartitionPlan, Strategy};
+use crate::unionfind::UnionFind;
+
+/// A graph node: one address bucket of one partition.
+pub type Node = (PartitionId, u16);
+
+/// Per-sample cap on affinity-edge endpoints (bounds graph densification
+/// to `O(MAX_EDGE_FANOUT²)` per sample).
+const MAX_EDGE_FANOUT: usize = 8;
+
+/// Load observed on one node.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeLoad {
+    /// Sampled reads that landed in the bucket.
+    pub reads: u64,
+    /// Sampled writes that landed in the bucket.
+    pub writes: u64,
+    /// Sampled transactions that touched the bucket.
+    pub txns: u64,
+}
+
+/// Tunable thresholds of the online analysis.
+#[derive(Debug, Clone)]
+pub struct OnlineConfig {
+    /// Minimum samples accumulated on a partition before any proposal.
+    pub min_samples: u64,
+    /// An affinity edge is *strong* (never cut) when its weight is at
+    /// least this fraction of the partition's sampled transactions.
+    pub strong_edge_fraction: f64,
+    /// Propose a split when the partition's abort rate is at least this.
+    pub split_abort_rate: f64,
+    /// A component is *hot* (worth isolating) when its per-bucket write
+    /// load is at least this multiple of the partition's mean per-bucket
+    /// write load.
+    pub split_hot_factor: f64,
+    /// ... and the hot components together carry at least this fraction
+    /// of the partition's sampled write load ...
+    pub split_hot_share: f64,
+    /// ... while spanning at most this fraction of its observed buckets
+    /// (a diffuse partition has no hot set worth isolating).
+    pub split_max_bucket_fraction: f64,
+    /// Propose merging two partitions when both abort below this rate and
+    /// they are co-accessed (see `merge_span_fraction`).
+    pub merge_abort_rate: f64,
+    /// Fraction of either partition's sampled transactions that must span
+    /// both partitions to propose a merge (cross-partition transactions
+    /// pay per-partition bookkeeping twice; merging removes it).
+    pub merge_span_fraction: f64,
+}
+
+impl Default for OnlineConfig {
+    fn default() -> Self {
+        OnlineConfig {
+            min_samples: 64,
+            strong_edge_fraction: 0.40,
+            split_abort_rate: 0.10,
+            split_hot_factor: 4.0,
+            split_hot_share: 0.50,
+            split_max_bucket_fraction: 0.25,
+            merge_abort_rate: 0.02,
+            merge_span_fraction: 0.50,
+        }
+    }
+}
+
+/// One actionable repartitioning decision.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Proposal {
+    /// Move `buckets` of `src` into a fresh partition.
+    Split {
+        /// The overloaded partition.
+        src: PartitionId,
+        /// The hot bucket set to take (sorted).
+        buckets: Vec<u16>,
+        /// Fraction of `src`'s sampled write load the set carries.
+        hot_share: f64,
+        /// Abort rate that triggered the proposal.
+        abort_rate: f64,
+    },
+    /// Fold `src` into `dst` (both cold, frequently co-accessed).
+    Merge {
+        /// Partition to dissolve (the smaller commit count of the pair).
+        src: PartitionId,
+        /// Partition to receive `src`'s variables.
+        dst: PartitionId,
+        /// Fraction of the busier partition's samples spanning both.
+        span_share: f64,
+    },
+}
+
+/// Per-partition aggregate the analyzer keeps alongside the graph.
+#[derive(Debug, Clone, Copy, Default)]
+struct PartAgg {
+    samples: u64,
+    spanning: u64,
+}
+
+/// Incremental affinity/conflict analysis over profiler samples.
+#[derive(Debug, Default)]
+pub struct OnlineAnalyzer {
+    nodes: BTreeMap<Node, NodeLoad>,
+    /// Co-access weights, keyed with the smaller node first.
+    edges: BTreeMap<(Node, Node), u64>,
+    /// Cross-partition co-access weights (partition pairs).
+    span_edges: BTreeMap<(PartitionId, PartitionId), u64>,
+    parts: BTreeMap<PartitionId, PartAgg>,
+    samples: u64,
+}
+
+impl OnlineAnalyzer {
+    /// An empty analyzer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total samples folded in so far.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Observed nodes with their loads (for reports).
+    pub fn nodes(&self) -> &BTreeMap<Node, NodeLoad> {
+        &self.nodes
+    }
+
+    /// Folds one sampled transaction into the graph.
+    pub fn observe(&mut self, sample: &TxSample) {
+        self.samples += 1;
+        let mut written_nodes: Vec<Node> = Vec::new();
+        for t in &sample.touched {
+            let agg = self.parts.entry(t.partition).or_default();
+            agg.samples += 1;
+            if sample.spans_partitions() {
+                agg.spanning += 1;
+            }
+            for b in &t.buckets {
+                let node = (t.partition, b.bucket);
+                let load = self.nodes.entry(node).or_default();
+                load.reads += b.reads as u64;
+                load.writes += b.writes as u64;
+                load.txns += 1;
+                if b.writes > 0 {
+                    written_nodes.push(node);
+                }
+            }
+        }
+        // Span edges: which partition pairs this transaction straddled
+        // (touched-partition granularity; cheap, feeds merge decisions).
+        for i in 0..sample.touched.len() {
+            for j in (i + 1)..sample.touched.len() {
+                let (a, b) = (sample.touched[i].partition, sample.touched[j].partition);
+                let key = if a < b { (a, b) } else { (b, a) };
+                *self.span_edges.entry(key).or_insert(0) += 1;
+            }
+        }
+        // Affinity edges join buckets *written* together — the co-update
+        // sets a split must not separate. Read-only fan-in (wide scans)
+        // deliberately creates no edges: it would densify the graph
+        // quadratically (a 32-read scan is ~500 pairs) and a split never
+        // harms a read-only transaction beyond one extra partition view.
+        written_nodes.sort_unstable();
+        written_nodes.dedup();
+        if written_nodes.len() > MAX_EDGE_FANOUT {
+            // Cap fan-out by stride-sampling across the sorted set: a
+            // plain truncate would deterministically starve high-keyed
+            // buckets of affinity edges.
+            let stride = written_nodes.len().div_ceil(MAX_EDGE_FANOUT);
+            let offset = (self.samples as usize) % stride;
+            written_nodes = written_nodes
+                .into_iter()
+                .skip(offset)
+                .step_by(stride)
+                .collect();
+        }
+        for i in 0..written_nodes.len() {
+            for j in (i + 1)..written_nodes.len() {
+                let (a, b) = (written_nodes[i], written_nodes[j]);
+                *self.edges.entry((a, b)).or_insert(0) += 1;
+            }
+        }
+    }
+
+    /// Folds a batch of samples.
+    pub fn observe_all<'a>(&mut self, samples: impl IntoIterator<Item = &'a TxSample>) {
+        for s in samples {
+            self.observe(s);
+        }
+    }
+
+    /// Exponentially ages every weight by `factor` (0..=1), so the graph
+    /// tracks the *current* phase of the workload instead of its whole
+    /// history. Weights decayed to zero are dropped.
+    pub fn decay(&mut self, factor: f64) {
+        let f = factor.clamp(0.0, 1.0);
+        let scale_u64 = |v: &mut u64| *v = (*v as f64 * f) as u64;
+        self.nodes.retain(|_, l| {
+            scale_u64(&mut l.reads);
+            scale_u64(&mut l.writes);
+            scale_u64(&mut l.txns);
+            l.txns > 0 || l.reads > 0 || l.writes > 0
+        });
+        self.edges.retain(|_, w| {
+            scale_u64(w);
+            *w > 0
+        });
+        self.span_edges.retain(|_, w| {
+            scale_u64(w);
+            *w > 0
+        });
+        for agg in self.parts.values_mut() {
+            scale_u64(&mut agg.samples);
+            scale_u64(&mut agg.spanning);
+        }
+        self.samples = (self.samples as f64 * f) as u64;
+    }
+
+    /// Drops all observations for `part` (called after a repartition
+    /// executed: the old observations describe a partition shape that no
+    /// longer exists).
+    pub fn forget_partition(&mut self, part: PartitionId) {
+        self.nodes.retain(|n, _| n.0 != part);
+        self.edges.retain(|(a, b), _| a.0 != part && b.0 != part);
+        self.span_edges.retain(|(a, b), _| *a != part && *b != part);
+        self.parts.remove(&part);
+    }
+
+    /// The affinity components of one partition: buckets joined by strong
+    /// edges, as `(members, write_load)` lists sorted hottest-first.
+    fn components_of(&self, part: PartitionId, cfg: &OnlineConfig) -> Vec<(Vec<u16>, u64)> {
+        let buckets: Vec<u16> = self
+            .nodes
+            .keys()
+            .filter(|n| n.0 == part)
+            .map(|n| n.1)
+            .collect();
+        if buckets.is_empty() {
+            return Vec::new();
+        }
+        let index: BTreeMap<u16, usize> =
+            buckets.iter().enumerate().map(|(i, &b)| (b, i)).collect();
+        let mut uf = UnionFind::new(buckets.len());
+        let part_samples = self.parts.get(&part).map_or(0, |a| a.samples).max(1);
+        let strong = (cfg.strong_edge_fraction * part_samples as f64).max(1.0) as u64;
+        for (&(a, b), &w) in &self.edges {
+            if a.0 == part && b.0 == part && w >= strong {
+                uf.union(index[&a.1], index[&b.1]);
+            }
+        }
+        let mut comps: BTreeMap<usize, (Vec<u16>, u64)> = BTreeMap::new();
+        for &b in &buckets {
+            let root = uf.find(index[&b]);
+            let entry = comps.entry(root).or_default();
+            entry.0.push(b);
+            entry.1 += self.nodes[&(part, b)].writes;
+        }
+        let mut out: Vec<(Vec<u16>, u64)> = comps.into_values().collect();
+        out.sort_by_key(|c| core::cmp::Reverse(c.1));
+        out
+    }
+
+    /// Computes actionable proposals given per-partition statistics deltas
+    /// for the same observation window (commits/aborts attribute conflict
+    /// pressure the sampled graph cannot see on its own).
+    pub fn proposals(
+        &self,
+        stats: &BTreeMap<PartitionId, StatCounters>,
+        cfg: &OnlineConfig,
+    ) -> Vec<Proposal> {
+        let mut out = Vec::new();
+        let abort_rate = |s: &StatCounters| {
+            let attempts = s.commits + s.aborts();
+            if attempts == 0 {
+                0.0
+            } else {
+                s.aborts() as f64 / attempts as f64
+            }
+        };
+
+        // Splits: hot-edge clustering per overloaded partition.
+        for (&pid, agg) in &self.parts {
+            if agg.samples < cfg.min_samples {
+                continue;
+            }
+            let Some(s) = stats.get(&pid) else { continue };
+            let ar = abort_rate(s);
+            if ar < cfg.split_abort_rate {
+                continue;
+            }
+            let comps = self.components_of(pid, cfg);
+            let total_buckets: usize = comps.iter().map(|c| c.0.len()).sum();
+            let total_writes: u64 = comps.iter().map(|c| c.1).sum();
+            if total_writes == 0 || total_buckets < 2 {
+                continue;
+            }
+            // Take every *clearly hot* component — per-bucket write load
+            // at least `split_hot_factor` times the partition mean — so
+            // one split captures the whole hot set (a partial grab leaves
+            // hot residue behind and forces a second split). Components
+            // are sorted hottest-first; never take everything (a split
+            // must leave both sides populated).
+            let mean = total_writes as f64 / total_buckets as f64;
+            let mut hot: Vec<u16> = Vec::new();
+            let mut hot_writes = 0u64;
+            for (members, w) in &comps {
+                let per_bucket = *w as f64 / members.len().max(1) as f64;
+                if per_bucket < cfg.split_hot_factor * mean
+                    || hot.len() + members.len() >= total_buckets
+                {
+                    continue;
+                }
+                hot.extend_from_slice(members);
+                hot_writes += w;
+            }
+            let hot_share = hot_writes as f64 / total_writes as f64;
+            if hot.is_empty()
+                || hot_share < cfg.split_hot_share
+                || hot.len() as f64 > cfg.split_max_bucket_fraction * total_buckets as f64
+            {
+                continue;
+            }
+            hot.sort_unstable();
+            out.push(Proposal::Split {
+                src: pid,
+                buckets: hot,
+                hot_share,
+                abort_rate: ar,
+            });
+        }
+
+        // Merges: cold, co-accessed partition pairs.
+        for (&(a, b), &w) in &self.span_edges {
+            let (sa, sb) = match (self.parts.get(&a), self.parts.get(&b)) {
+                (Some(x), Some(y)) => (x, y),
+                _ => continue,
+            };
+            if sa.samples < cfg.min_samples || sb.samples < cfg.min_samples {
+                continue;
+            }
+            let (Some(da), Some(db)) = (stats.get(&a), stats.get(&b)) else {
+                continue;
+            };
+            if abort_rate(da) > cfg.merge_abort_rate || abort_rate(db) > cfg.merge_abort_rate {
+                continue;
+            }
+            let span_share = w as f64 / sa.samples.max(sb.samples).max(1) as f64;
+            if span_share < cfg.merge_span_fraction {
+                continue;
+            }
+            // Dissolve the less busy side into the busier one.
+            let (src, dst) = if da.commits <= db.commits {
+                (a, b)
+            } else {
+                (b, a)
+            };
+            out.push(Proposal::Merge {
+                src,
+                dst,
+                span_share,
+            });
+        }
+        out
+    }
+
+    /// Expresses the observed affinity graph as a [`ProgramModel`]: every
+    /// node becomes an allocation site (`"p<part>:b<bucket>"`), every
+    /// strong edge an access site spanning its endpoints, every node also
+    /// gets a singleton access site (so isolated buckets stay placeable).
+    pub fn to_model(&self, cfg: &OnlineConfig) -> ProgramModel {
+        let mut b = ModelBuilder::new("online-profile");
+        let mut ids = BTreeMap::new();
+        for (node, load) in &self.nodes {
+            let id = b.alloc(format!("p{}:b{}", node.0 .0, node.1), "Bucket");
+            ids.insert(*node, id);
+            let kind = if load.writes > 0 {
+                AccessKind::ReadWrite
+            } else {
+                AccessKind::Read
+            };
+            b.access(format!("touch_p{}_b{}", node.0 .0, node.1), kind, &[id]);
+        }
+        for (&(x, y), &w) in &self.edges {
+            let part_samples = self.parts.get(&x.0).map_or(0, |a| a.samples).max(1);
+            let strong = (cfg.strong_edge_fraction * part_samples as f64).max(1.0) as u64;
+            if w >= strong {
+                b.access(
+                    format!("co_p{}b{}_p{}b{}", x.0 .0, x.1, y.0 .0, y.1),
+                    AccessKind::ReadWrite,
+                    &[ids[&x], ids[&y]],
+                );
+            }
+        }
+        b.build().expect("induced model is valid by construction")
+    }
+
+    /// Runs the static partitioner over [`OnlineAnalyzer::to_model`]: the
+    /// finest placement that never separates strongly co-accessed buckets
+    /// — the dynamic analogue of the paper's may-touch closure.
+    pub fn plan(&self, cfg: &OnlineConfig) -> Result<PartitionPlan, ModelError> {
+        partition(&self.to_model(cfg), Strategy::MayTouch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use partstm_core::profiler::{BucketTouch, SampleTouch};
+
+    /// `(partition, [(bucket, reads, writes)])` shorthand for samples.
+    type PartSpec<'a> = (u32, &'a [(u16, u32, u32)]);
+
+    fn sample(parts: &[PartSpec<'_>], failed: u32) -> TxSample {
+        TxSample {
+            failed_attempts: failed,
+            touched: parts
+                .iter()
+                .map(|(pid, buckets)| SampleTouch {
+                    partition: PartitionId(*pid),
+                    reads: buckets.iter().map(|b| b.1).sum(),
+                    writes: buckets.iter().map(|b| b.2).sum(),
+                    buckets: buckets
+                        .iter()
+                        .map(|&(bucket, reads, writes)| BucketTouch {
+                            bucket,
+                            reads,
+                            writes,
+                        })
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+
+    fn stats(commits: u64, aborts: u64) -> StatCounters {
+        StatCounters {
+            commits,
+            aborts_wlock: aborts,
+            ..Default::default()
+        }
+    }
+
+    fn cfg() -> OnlineConfig {
+        OnlineConfig {
+            min_samples: 8,
+            ..Default::default()
+        }
+    }
+
+    /// Hot pair (0,1) hammered with writes, cold buckets 10..20 read.
+    fn hot_cold_analyzer() -> OnlineAnalyzer {
+        let mut a = OnlineAnalyzer::new();
+        for _ in 0..40 {
+            a.observe(&sample(&[(0, &[(0, 1, 2), (1, 1, 2)])], 3));
+        }
+        for b in 10u16..20 {
+            for _ in 0..4 {
+                a.observe(&sample(&[(0, &[(b, 2, 0)])], 0));
+            }
+        }
+        a
+    }
+
+    #[test]
+    fn split_proposed_for_hot_contended_partition() {
+        let a = hot_cold_analyzer();
+        let mut st = BTreeMap::new();
+        st.insert(PartitionId(0), stats(100, 60));
+        let props = a.proposals(&st, &cfg());
+        assert_eq!(props.len(), 1, "{props:?}");
+        match &props[0] {
+            Proposal::Split {
+                src,
+                buckets,
+                hot_share,
+                abort_rate,
+            } => {
+                assert_eq!(*src, PartitionId(0));
+                assert_eq!(buckets, &[0, 1], "strong pair taken whole");
+                assert!(*hot_share > 0.9, "hot share {hot_share}");
+                assert!(*abort_rate > 0.3);
+            }
+            other => panic!("expected split, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn no_split_without_abort_pressure() {
+        let a = hot_cold_analyzer();
+        let mut st = BTreeMap::new();
+        st.insert(PartitionId(0), stats(100, 1));
+        assert!(a.proposals(&st, &cfg()).is_empty());
+    }
+
+    #[test]
+    fn no_split_when_load_is_diffuse() {
+        let mut a = OnlineAnalyzer::new();
+        // Every bucket equally loaded, no co-access: nothing to isolate.
+        for b in 0u16..16 {
+            a.observe(&sample(&[(0, &[(b, 1, 1)])], 1));
+        }
+        let mut st = BTreeMap::new();
+        st.insert(PartitionId(0), stats(100, 60));
+        assert!(a.proposals(&st, &cfg()).is_empty());
+    }
+
+    #[test]
+    fn merge_proposed_for_cold_co_accessed_pair() {
+        let mut a = OnlineAnalyzer::new();
+        for _ in 0..20 {
+            a.observe(&sample(&[(1, &[(0, 1, 0)]), (2, &[(0, 1, 1)])], 0));
+        }
+        let mut st = BTreeMap::new();
+        st.insert(PartitionId(1), stats(50, 0));
+        st.insert(PartitionId(2), stats(200, 1));
+        let props = a.proposals(&st, &cfg());
+        assert_eq!(
+            props,
+            vec![Proposal::Merge {
+                src: PartitionId(1),
+                dst: PartitionId(2),
+                span_share: 1.0,
+            }]
+        );
+    }
+
+    #[test]
+    fn plan_reuses_partitioner_affinity_closure() {
+        let a = hot_cold_analyzer();
+        let c = cfg();
+        let model = a.to_model(&c);
+        model.validate().unwrap();
+        let plan = a.plan(&c).unwrap();
+        // 12 observed buckets; the strong (0,1) pair collapses to one class.
+        assert_eq!(plan.partition_count(), 11);
+        let hot0 = model.alloc_by_name("p0:b0").unwrap().id;
+        let hot1 = model.alloc_by_name("p0:b1").unwrap().id;
+        assert_eq!(plan.class_of_alloc(hot0), plan.class_of_alloc(hot1));
+    }
+
+    #[test]
+    fn decay_ages_and_drops_weights() {
+        let mut a = hot_cold_analyzer();
+        let before = a.samples();
+        a.decay(0.5);
+        assert_eq!(a.samples(), before / 2);
+        a.decay(0.0);
+        assert_eq!(a.samples(), 0);
+        assert!(a.nodes().is_empty());
+        let st = BTreeMap::new();
+        assert!(a.proposals(&st, &cfg()).is_empty());
+    }
+
+    #[test]
+    fn forget_partition_clears_its_state() {
+        let mut a = OnlineAnalyzer::new();
+        a.observe(&sample(&[(1, &[(0, 1, 1)]), (2, &[(3, 1, 1)])], 0));
+        a.forget_partition(PartitionId(1));
+        assert!(a.nodes().keys().all(|n| n.0 != PartitionId(1)));
+        assert!(a.nodes().keys().any(|n| n.0 == PartitionId(2)));
+    }
+}

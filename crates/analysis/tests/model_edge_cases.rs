@@ -1,0 +1,119 @@
+//! `ProgramModel` JSON round-trip edge cases: inputs a frontend could
+//! plausibly emit that sit on the boundary of the schema — empty may-touch
+//! sets, duplicate contexts before/after `collapse_contexts`, exotic
+//! strings, and boundary ids.
+
+use partstm_analysis::{
+    partition, AccessKind, AccessSite, AllocSite, ModelBuilder, ModelError, ProgramModel, Strategy,
+};
+
+fn alloc(id: u32, name: &str, ctx: Option<&str>) -> AllocSite {
+    AllocSite {
+        id,
+        name: name.to_owned(),
+        type_name: "T".to_owned(),
+        context: ctx.map(str::to_owned),
+    }
+}
+
+fn site(id: u32, may_touch: Vec<u32>) -> AccessSite {
+    AccessSite {
+        id,
+        func: format!("f{id}"),
+        kind: AccessKind::Read,
+        may_touch,
+    }
+}
+
+/// An empty may-touch set is invalid; the serializer still emits it
+/// faithfully (`[]`), and the decoder rejects the document through
+/// validation rather than silently dropping the site.
+#[test]
+fn empty_may_touch_rejected_on_both_sides_of_the_wire() {
+    let m = ProgramModel {
+        name: "edge".into(),
+        alloc_sites: vec![alloc(0, "a", None)],
+        access_sites: vec![site(0, vec![])],
+    };
+    assert_eq!(m.validate(), Err(ModelError::EmptyMayTouch(0)));
+    let j = m.to_json();
+    assert!(j.contains("\"may_touch\": []"), "emitted faithfully: {j}");
+    let err = ProgramModel::from_json(&j).unwrap_err().to_string();
+    assert!(err.contains("empty may-touch"), "got: {err}");
+    // An explicitly empty model, by contrast, is valid and round-trips.
+    let empty = ProgramModel {
+        name: "nothing".into(),
+        alloc_sites: vec![],
+        access_sites: vec![],
+    };
+    let back = ProgramModel::from_json(&empty.to_json()).unwrap();
+    assert_eq!(back, empty);
+}
+
+/// Context duplicates: same (name, type) under several contexts — and one
+/// *repeated* context string — collapse to a single representative with
+/// rewritten, deduplicated may-touch sets; the collapsed model round-trips
+/// and the collapse is idempotent.
+#[test]
+fn duplicate_context_collapse_roundtrips_and_is_idempotent() {
+    let mut b = ModelBuilder::new("ctx-dup");
+    let a1 = b.alloc_in_context("node", "Node", "main->build");
+    let a2 = b.alloc_in_context("node", "Node", "main->build"); // repeated context
+    let a3 = b.alloc_in_context("node", "Node", "main->clone");
+    let other = b.alloc("other", "Other");
+    b.access("touch_all", AccessKind::ReadWrite, &[a1, a2, a3]);
+    b.access("touch_mixed", AccessKind::Read, &[a3, other]);
+    let m = b.build().unwrap();
+
+    let flat = m.collapse_contexts();
+    flat.validate().unwrap();
+    assert_eq!(flat.alloc_sites.len(), 2, "three contexts fold to one site");
+    assert!(flat.alloc_sites.iter().all(|a| a.context.is_none()));
+    // The spanning access now touches the representative exactly once.
+    assert_eq!(flat.access_sites[0].may_touch, vec![a1]);
+    assert_eq!(flat.access_sites[1].may_touch, vec![a1, other]);
+
+    // Wire round-trip preserves the collapsed model exactly.
+    let back = ProgramModel::from_json(&flat.to_json()).unwrap();
+    assert_eq!(back, flat);
+
+    // Idempotence (modulo the renaming the collapse applies).
+    let twice = flat.collapse_contexts();
+    assert_eq!(twice.alloc_sites, flat.alloc_sites);
+    assert_eq!(twice.access_sites, flat.access_sites);
+
+    // The context-sensitive model partitions no coarser than the
+    // collapsed one (the paper's argument for context sensitivity).
+    let fine = partition(&m, Strategy::MayTouch).unwrap();
+    let coarse = partition(&flat, Strategy::MayTouch).unwrap();
+    assert!(fine.partition_count() >= coarse.partition_count());
+}
+
+/// Strings with JSON metacharacters, escapes and non-ASCII round-trip.
+#[test]
+fn exotic_strings_roundtrip() {
+    let mut b = ModelBuilder::new("weird \"name\" \\ with\ttabs\nand √unicode");
+    let a = b.alloc_in_context("nodes/\"quoted\"", "Ty<p,e>", "main -> λ{0}");
+    b.access("fn with spaces \u{1F980}", AccessKind::Write, &[a]);
+    let m = b.build().unwrap();
+    let back = ProgramModel::from_json(&m.to_json()).unwrap();
+    assert_eq!(back, m);
+}
+
+/// Boundary ids (u32::MAX) survive the f64-backed number representation.
+#[test]
+fn boundary_ids_roundtrip() {
+    let m = ProgramModel {
+        name: "ids".into(),
+        alloc_sites: vec![
+            alloc(u32::MAX, "top", Some("ctx")),
+            alloc(0, "bottom", None),
+        ],
+        access_sites: vec![site(u32::MAX, vec![u32::MAX, 0])],
+    };
+    m.validate().unwrap();
+    let back = ProgramModel::from_json(&m.to_json()).unwrap();
+    assert_eq!(back, m);
+    let plan = partition(&back, Strategy::MayTouch).unwrap();
+    assert_eq!(plan.partition_count(), 1, "spanning access merges the pair");
+}

@@ -1,0 +1,37 @@
+//! Scratch diagnostics for the phase-shift scenario (not part of repro).
+
+use partstm_bench::phase_shift::{run_phase_shift, PhaseShiftConfig};
+
+fn main() {
+    for (label, mk) in [
+        (
+            "static",
+            Box::new(|| PhaseShiftConfig::standard(4, 4.0).without_controller())
+                as Box<dyn Fn() -> PhaseShiftConfig>,
+        ),
+        ("ctrl", Box::new(|| PhaseShiftConfig::standard(4, 4.0))),
+    ] {
+        let rep = run_phase_shift(&mk());
+        println!("== {label}");
+        println!("windows: {:?}", rep.window_ops);
+        println!(
+            "baseline {:.0} dip {:.0} recovered {:.0} recovery {:.2} split {:?} abort {:.3}",
+            rep.baseline, rep.dip, rep.recovered, rep.recovery, rep.split_window, rep.abort_rate
+        );
+        for e in &rep.events {
+            println!("event: {e:?}");
+        }
+        for (name, s) in &rep.partition_stats {
+            println!(
+                "{name}: commits={} aborts={} (wlock={} valid={} switch={}) reads={} writes={}",
+                s.commits,
+                s.aborts(),
+                s.aborts_wlock,
+                s.aborts_validation,
+                s.aborts_switching,
+                s.reads,
+                s.writes
+            );
+        }
+    }
+}

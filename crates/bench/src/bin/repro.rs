@@ -3,18 +3,23 @@
 //! Usage:
 //!
 //! ```text
-//! repro <experiment> [--secs S] [--threads 1,2,4,...] [--quick]
-//! experiments: f2 f3 f4 t1 t2 f5 f6 f7 a1 a2 a3 all
+//! repro <experiment> [--secs S] [--threads 1,2,4,...] [--quick] [--json [file]]
+//! experiments: f2 f3 f4 t1 t2 f5 f6 f7 f8 a1 a2 a3 repart all
 //! ```
 //!
 //! Each experiment prints the table/series the corresponding paper artifact
 //! reports (see DESIGN.md §4 for the reconstruction rationale and
-//! EXPERIMENTS.md for measured-vs-expected).
+//! EXPERIMENTS.md for measured-vs-expected). `repart` runs the phase-shift
+//! workload that exercises the online repartitioner end to end, and
+//! `--json` writes per-scenario metrics to `BENCH_repro.json` for
+//! cross-commit tracking.
 
 use std::sync::Arc;
 use std::time::Instant;
 
 use partstm_bench::hetero::{self, HeteroApp, HeteroMode};
+use partstm_bench::json_out::BenchRecorder;
+use partstm_bench::phase_shift::{run_phase_shift, PhaseShiftConfig, PhaseShiftReport};
 use partstm_bench::{
     config_label, drive, drive_timeseries, intset_op, kops, partition_with, prefill, snapshot_all,
     static_configs, thread_sweep,
@@ -31,11 +36,15 @@ use partstm_tuning::{ThresholdPolicy, Thresholds};
 struct Opts {
     secs: f64,
     threads: Vec<usize>,
+    /// Write machine-readable results here at exit (`--json [file]`).
+    json: Option<String>,
+    rec: BenchRecorder,
 }
 
 fn parse_opts(args: &[String]) -> Opts {
     let mut secs = 0.5;
     let mut threads = thread_sweep(usize::MAX);
+    let mut json = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -55,10 +64,25 @@ fn parse_opts(args: &[String]) -> Opts {
                 threads = vec![1, 2, 4];
                 i += 1;
             }
+            "--json" => {
+                // Optional explicit path: `--json out.json`.
+                if args.get(i + 1).is_some_and(|a| a.ends_with(".json")) {
+                    json = Some(args[i + 1].clone());
+                    i += 2;
+                } else {
+                    json = Some("BENCH_repro.json".to_string());
+                    i += 1;
+                }
+            }
             other => panic!("unknown option {other}"),
         }
     }
-    Opts { secs, threads }
+    Opts {
+        secs,
+        threads,
+        json,
+        rec: BenchRecorder::new(),
+    }
 }
 
 /// A tuner with windows small enough for short harness runs.
@@ -74,7 +98,8 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
         eprintln!(
-            "usage: repro <f2|f3|f4|t1|t2|f5|f6|f7|f8|a1|a2|a3|all> [--secs S] [--threads ..] [--quick]"
+            "usage: repro <f2|f3|f4|t1|t2|f5|f6|f7|f8|a1|a2|a3|repart|all> \
+             [--secs S] [--threads ..] [--quick] [--json [file]]"
         );
         std::process::exit(2);
     };
@@ -93,6 +118,7 @@ fn main() {
         "a1" => a1(&opts),
         "a2" => a2(&opts),
         "a3" => a3(&opts),
+        "repart" => repart(&opts),
         "all" => {
             f2(&opts);
             f3(&opts);
@@ -106,11 +132,18 @@ fn main() {
             a1(&opts);
             a2(&opts);
             a3(&opts);
+            repart(&opts);
         }
         other => {
             eprintln!("unknown experiment {other}");
             std::process::exit(2);
         }
+    }
+    if let Some(path) = &opts.json {
+        opts.rec
+            .write(path)
+            .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        eprintln!("[repro] wrote {} scenarios to {path}", opts.rec.len());
     }
     eprintln!("[repro] total wall time {:.1}s", t0.elapsed().as_secs_f64());
 }
@@ -159,11 +192,22 @@ fn f2(opts: &Opts) {
             for (_, cfg) in &configs {
                 let stm = Stm::new();
                 let part = partition_with(&stm, "set", *cfg, false);
-                let set = make_set(&structure, part, range);
+                let set = make_set(&structure, Arc::clone(&part), range);
                 prefill(&stm, set.as_ref(), range);
                 let m = drive(&stm, t, opts.secs, &|ctx, _i, rng| {
                     intset_op(set.as_ref(), ctx, rng, range, upd);
                 });
+                let s = part.stats();
+                opts.rec.record(
+                    format!("f2/{wname}/{}/t{t}", config_label(cfg)),
+                    &[
+                        ("kops", m.ops_per_sec / 1000.0),
+                        (
+                            "abort_rate",
+                            s.aborts() as f64 / (s.commits + s.aborts()).max(1) as f64,
+                        ),
+                    ],
+                );
                 print!("{:>12}", kops(m.ops_per_sec));
             }
             println!();
@@ -364,6 +408,16 @@ fn t1(opts: &Opts) {
     for r in &reports {
         let s = &r.stats;
         let aborts = s.aborts();
+        opts.rec.record(
+            format!("t1b/vacation-high/{}", r.name),
+            &[
+                ("commits", s.commits as f64),
+                (
+                    "abort_rate",
+                    aborts as f64 / (s.commits + aborts).max(1) as f64,
+                ),
+            ],
+        );
         println!(
             "{:>22} {:>10} {:>10.1} {:>10.2} {:>10.1} {:>10.1}",
             r.name,
@@ -740,5 +794,98 @@ fn a3(opts: &Opts) {
         }
         let s = last_stats.unwrap();
         println!("   ({}, {})", s.kills_issued, s.aborts_rlock);
+    }
+}
+
+// ---------------------------------------------------------------- REPART
+
+/// Phase-shift scenario: uniform transfers flip to a hot cluster mid-run;
+/// the online repartitioner must split the hot accounts out and win back
+/// the lost throughput (acceptance: >= 20% of the loss recovered).
+fn repart(opts: &Opts) {
+    let threads = (*opts.threads.last().unwrap_or(&4)).clamp(2, 8);
+    // Floor of 5s: the recovery tail needs a few clean windows after the
+    // controller's split to measure, even in --quick mode.
+    let total = (opts.secs * 12.0).clamp(5.0, 12.0);
+    let with = PhaseShiftConfig::standard(threads, total);
+    println!(
+        "\n=== REPART: phase-shift bank ({} accounts, {}% scans; {}% of transfers hit \
+         {} hot accounts after t={:.1}s), {threads} threads, {total:.1}s ===",
+        with.accounts,
+        with.scan_pct,
+        with.hot_pct,
+        with.hot,
+        total * with.shift_frac
+    );
+    let without = with.clone().without_controller();
+    let stat = run_phase_shift(&without);
+    let ctrl = run_phase_shift(&with);
+
+    println!(
+        "{:>8} {:>6} {:>12} {:>12}   marker",
+        "window", "t(s)", "static", "repart"
+    );
+    let window = with.window_secs;
+    for i in 0..ctrl.window_ops.len().min(stat.window_ops.len()) {
+        let mut marker = String::new();
+        if i == ctrl.shift_window {
+            marker.push_str("<< phase shift");
+        }
+        if ctrl.split_window == Some(i) {
+            marker.push_str(" << SPLIT");
+        }
+        println!(
+            "{i:>8} {:>6.2} {:>12} {:>12}   {marker}",
+            (i as f64 + 1.0) * window,
+            kops(stat.window_ops[i] as f64 / window),
+            kops(ctrl.window_ops[i] as f64 / window),
+        );
+    }
+    let line = |label: &str, r: &PhaseShiftReport| {
+        println!(
+            "{label:>10}: pre {} Kops/s | dip {} | tail {} | recovery {:>5.1}% | \
+             abort {:>4.1}% | partitions {}",
+            kops(r.baseline),
+            kops(r.dip),
+            kops(r.recovered),
+            100.0 * r.recovery,
+            100.0 * r.abort_rate,
+            r.partitions
+        );
+    };
+    line("static", &stat);
+    line("repart", &ctrl);
+    for e in &ctrl.events {
+        println!("controller event: {e:?}");
+    }
+    match ctrl.split_window {
+        Some(w) => println!(
+            "controller split at window {w}; recovery criterion (>=20%): {}",
+            if ctrl.recovery >= 0.20 {
+                "MET"
+            } else {
+                "missed"
+            }
+        ),
+        None => println!("controller never split"),
+    }
+    assert!(stat.conserved && ctrl.conserved, "conserved-sum violated");
+
+    for (name, r) in [("repart/static", &stat), ("repart/controller", &ctrl)] {
+        opts.rec.record(
+            name,
+            &[
+                ("baseline_kops", r.baseline / 1000.0),
+                ("dip_kops", r.dip / 1000.0),
+                ("tail_kops", r.recovered / 1000.0),
+                ("recovery", r.recovery),
+                ("abort_rate", r.abort_rate),
+                ("partitions", r.partitions as f64),
+                (
+                    "split_window",
+                    r.split_window.map(|w| w as f64).unwrap_or(-1.0),
+                ),
+            ],
+        );
     }
 }

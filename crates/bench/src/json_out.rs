@@ -1,0 +1,124 @@
+//! Machine-readable bench output.
+//!
+//! `repro --json` folds every measured scenario into one JSON document
+//! (default `BENCH_repro.json`) so the performance trajectory of the
+//! repository can be tracked across commits by tooling instead of by
+//! eyeballing tables. The schema is deliberately flat: a list of
+//! `{name, metrics{...}}` scenarios, metrics all numeric.
+
+use std::io;
+use std::path::Path;
+
+use parking_lot::Mutex;
+use partstm_analysis::json::Json;
+
+/// Schema version stamped into the document.
+pub const BENCH_JSON_VERSION: f64 = 1.0;
+
+/// One recorded scenario: a name plus numeric metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Scenario id, e.g. `"f2/linked-list r=512 u=20%/inv-word/t4"`.
+    pub name: String,
+    /// Metric name → value (insertion order preserved).
+    pub metrics: Vec<(String, f64)>,
+}
+
+/// Collects scenarios during a `repro` run; written once at exit.
+#[derive(Debug, Default)]
+pub struct BenchRecorder {
+    scenarios: Mutex<Vec<Scenario>>,
+}
+
+impl BenchRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one scenario.
+    pub fn record(&self, name: impl Into<String>, metrics: &[(&str, f64)]) {
+        self.scenarios.lock().push(Scenario {
+            name: name.into(),
+            metrics: metrics.iter().map(|(k, v)| ((*k).to_owned(), *v)).collect(),
+        });
+    }
+
+    /// Number of scenarios recorded.
+    pub fn len(&self) -> usize {
+        self.scenarios.lock().len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.scenarios.lock().is_empty()
+    }
+
+    /// Renders the document.
+    pub fn to_json(&self) -> String {
+        let scenarios = self
+            .scenarios
+            .lock()
+            .iter()
+            .map(|s| {
+                Json::Obj(vec![
+                    ("name".to_owned(), Json::Str(s.name.clone())),
+                    (
+                        "metrics".to_owned(),
+                        Json::Obj(
+                            s.metrics
+                                .iter()
+                                .map(|(k, v)| (k.clone(), Json::Num(*v)))
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("version".to_owned(), Json::Num(BENCH_JSON_VERSION)),
+            ("scenarios".to_owned(), Json::Arr(scenarios)),
+        ])
+        .to_string_pretty()
+    }
+
+    /// Writes the document to `path`.
+    pub fn write(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        std::fs::write(path, self.to_json() + "\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recorder_roundtrips_through_the_json_codec() {
+        let rec = BenchRecorder::new();
+        assert!(rec.is_empty());
+        rec.record("a/b t4", &[("kops", 12.5), ("abort_rate", 0.031)]);
+        rec.record("c", &[("recovery", 0.4)]);
+        assert_eq!(rec.len(), 2);
+        let doc = Json::parse(&rec.to_json()).expect("valid json");
+        let scenarios = doc.get("scenarios").unwrap().as_arr().unwrap();
+        assert_eq!(scenarios.len(), 2);
+        assert_eq!(scenarios[0].get("name").unwrap().as_str(), Some("a/b t4"));
+        let metrics = scenarios[0].get("metrics").unwrap();
+        assert_eq!(
+            metrics.get("kops"),
+            Some(&Json::Num(12.5)),
+            "metric preserved"
+        );
+    }
+
+    #[test]
+    fn write_creates_the_file() {
+        let rec = BenchRecorder::new();
+        rec.record("x", &[("v", 1.0)]);
+        let path = std::env::temp_dir().join("partstm_bench_json_test.json");
+        rec.write(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"version\""));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -10,6 +10,8 @@
 #![warn(rust_2018_idioms)]
 
 pub mod hetero;
+pub mod json_out;
+pub mod phase_shift;
 
 use core::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;

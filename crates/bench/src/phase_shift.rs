@@ -1,0 +1,321 @@
+//! The phase-shift workload: the end-to-end demonstration of the dynamic
+//! repartitioning loop.
+//!
+//! A bank of accounts lives in one partition; the traffic is a mix of
+//! two-account transfers and read-only multi-account scans (balance
+//! audits). For the first third of the run transfers pick accounts
+//! uniformly — the single partition the static analysis would produce is
+//! optimal. Then the workload *shifts*: most transfers start hammering a
+//! small hot cluster, holding their encounter locks across a reschedule
+//! (as a real computation between debit and credit would — and so the
+//! shift bites even on a single core). The hot locks now live in the same
+//! orec table as everything else, so scans and cold transfers keep
+//! aliasing with them and abort: the dip is dominated by *false*
+//! conflicts on cold data.
+//!
+//! With the [`RepartitionController`] running, the sampled profiler sees
+//! the write load concentrate in a few buckets, the online analyzer
+//! proposes a split, and the controller migrates the hot accounts into a
+//! fresh partition with its own orec table — cold traffic stops aliasing
+//! with hot locks and throughput recovers while the run is still going.
+//! The report quantifies the recovery as the fraction of the lost
+//! throughput won back: `(recovered - dip) / (baseline - dip)`.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use partstm_core::{Migratable, PVar, PartitionConfig, Stm};
+use partstm_repart::{ControllerConfig, RepartEvent, RepartitionController, StaticDirectory};
+
+/// Initial balance per account (the conserved-sum probe).
+const INITIAL: i64 = 100;
+
+/// Phase-shift experiment parameters.
+#[derive(Debug, Clone)]
+pub struct PhaseShiftConfig {
+    /// Total accounts (one `PVar` each).
+    pub accounts: usize,
+    /// Size of the hot cluster the workload shifts onto.
+    pub hot: usize,
+    /// Worker threads.
+    pub threads: usize,
+    /// Total run length in seconds.
+    pub total_secs: f64,
+    /// Measurement window in seconds.
+    pub window_secs: f64,
+    /// Fraction of the run before the phase shift.
+    pub shift_frac: f64,
+    /// Percent of post-shift transfers that hit the hot cluster.
+    pub hot_pct: u64,
+    /// Percent of all operations that are read-only scans.
+    pub scan_pct: u64,
+    /// Accounts read per scan.
+    pub scan_len: usize,
+    /// Orec count of the initial account partition. Deliberately modest:
+    /// a memory-lean table sized for the *uniform* phase (where locks are
+    /// held for nanoseconds and aliasing is harmless), which makes hot
+    /// writers alias with scans and cold transfers after the shift —
+    /// exactly the false sharing a split removes.
+    pub orecs: usize,
+    /// Run the repartition controller (false = static baseline).
+    pub with_controller: bool,
+}
+
+impl PhaseShiftConfig {
+    /// The standard scenario at a given scale.
+    pub fn standard(threads: usize, total_secs: f64) -> Self {
+        PhaseShiftConfig {
+            accounts: 4096,
+            hot: 16,
+            threads: threads.max(2),
+            total_secs: total_secs.max(2.0),
+            window_secs: 0.25,
+            shift_frac: 1.0 / 3.0,
+            hot_pct: 90,
+            scan_pct: 85,
+            scan_len: 64,
+            orecs: 256,
+            with_controller: true,
+        }
+    }
+
+    /// Same scenario without the controller (the dip baseline).
+    pub fn without_controller(mut self) -> Self {
+        self.with_controller = false;
+        self
+    }
+}
+
+/// Measured outcome of one phase-shift run.
+#[derive(Debug, Clone)]
+pub struct PhaseShiftReport {
+    /// Committed operations per window.
+    pub window_ops: Vec<u64>,
+    /// Index of the first post-shift window.
+    pub shift_window: usize,
+    /// Window in which the controller's first split landed (if any).
+    pub split_window: Option<usize>,
+    /// Mean pre-shift throughput (ops/s; first window skipped as warmup).
+    pub baseline: f64,
+    /// Worst post-shift window throughput (ops/s).
+    pub dip: f64,
+    /// Mean settled throughput after the split (or of the last four
+    /// windows when no split landed), in ops/s.
+    pub recovered: f64,
+    /// Fraction of the lost throughput won back:
+    /// `(recovered - dip) / (baseline - dip)`; 0 when nothing was lost.
+    pub recovery: f64,
+    /// Whole-run abort rate across all partitions.
+    pub abort_rate: f64,
+    /// Partitions alive at the end of the run.
+    pub partitions: usize,
+    /// Whether the conserved-sum invariant held at the end.
+    pub conserved: bool,
+    /// Controller event log (empty without the controller).
+    pub events: Vec<RepartEvent>,
+    /// Final per-partition cumulative counters (name, stats).
+    pub partition_stats: Vec<(String, partstm_core::StatCounters)>,
+}
+
+/// Runs the scenario and measures the recovery.
+pub fn run_phase_shift(cfg: &PhaseShiftConfig) -> PhaseShiftReport {
+    let stm = Stm::new();
+    let part = stm.new_partition(PartitionConfig::named("accounts").orecs(cfg.orecs));
+    let accounts: Vec<Arc<PVar<i64>>> = (0..cfg.accounts)
+        .map(|_| Arc::new(part.tvar(INITIAL)))
+        .collect();
+    let dir = Arc::new(StaticDirectory::new());
+    for a in &accounts {
+        dir.register(Arc::clone(a) as Arc<dyn Migratable>);
+    }
+    let controller = cfg.with_controller.then(|| {
+        let mut ctrl_cfg = ControllerConfig::responsive();
+        // Deliberately not instant: reacting ~1s after the shift leaves
+        // several fully dipped windows in the series, so the run measures
+        // its *own* loss before the split repairs it.
+        ctrl_cfg.interval = Duration::from_millis(250);
+        // 1-in-32 keeps profiling overhead out of the measurement while
+        // still feeding hundreds of samples per window.
+        ctrl_cfg.sample_period = 32;
+        // A first split computed right after the shift still carries
+        // decayed uniform-phase history and can leave hot residue behind;
+        // a lower abort threshold and hot-share gate (the 4x-mean
+        // concentration test still guards against diffuse splits) let a
+        // cleanup split finish the job.
+        ctrl_cfg.online.split_abort_rate = 0.05;
+        ctrl_cfg.online.split_hot_share = 0.30;
+        ctrl_cfg.decay = 0.4;
+        RepartitionController::spawn(&stm, dir, ctrl_cfg)
+    });
+
+    let stop = AtomicBool::new(false);
+    let ops = AtomicU64::new(0);
+    let start = Instant::now();
+    let shift_at = Duration::from_secs_f64(cfg.total_secs * cfg.shift_frac);
+    let windows = (cfg.total_secs / cfg.window_secs).round() as usize;
+    let mut window_ops = Vec::with_capacity(windows);
+    let mut split_window = None;
+
+    std::thread::scope(|s| {
+        for t in 0..cfg.threads {
+            let ctx = stm.register_thread();
+            let (accounts, stop, ops) = (&accounts, &stop, &ops);
+            s.spawn(move || {
+                let mut r = (t as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                while !stop.load(Ordering::Relaxed) {
+                    r ^= r << 13;
+                    r ^= r >> 7;
+                    r ^= r << 17;
+                    // Scans and cold transfers work the cold range only:
+                    // they share *no data* with the hot cluster, so any
+                    // conflict between them and hot traffic is metadata
+                    // aliasing in the shared orec table — precisely the
+                    // false sharing a partition split removes.
+                    let cold = cfg.accounts - cfg.hot;
+                    if (r >> 16) % 100 < cfg.scan_pct {
+                        // Read-only audit: sum scan_len random cold accounts.
+                        let seed = r;
+                        ctx.run(|tx| {
+                            let mut x = seed;
+                            let mut sum = 0i64;
+                            for _ in 0..cfg.scan_len {
+                                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                                let i = cfg.hot + (x >> 16) as usize % cold;
+                                sum += tx.read(&accounts[i])?;
+                            }
+                            Ok(sum)
+                        });
+                    } else {
+                        let shifted = start.elapsed() >= shift_at;
+                        let hot = shifted && r % 100 < cfg.hot_pct;
+                        let (from, to) = if hot {
+                            (
+                                (r % cfg.hot as u64) as usize,
+                                ((r >> 8) % cfg.hot as u64) as usize,
+                            )
+                        } else {
+                            (
+                                cfg.hot + (r % cold as u64) as usize,
+                                cfg.hot + ((r >> 8) % cold as u64) as usize,
+                            )
+                        };
+                        let amt = (r % 90) as i64;
+                        ctx.run(|tx| {
+                            let f = tx.read(&accounts[from])?;
+                            tx.write(&accounts[from], f - amt)?;
+                            if hot {
+                                // Hold the encounter lock across a
+                                // reschedule (stands in for real work
+                                // between debit and credit).
+                                std::thread::yield_now();
+                            }
+                            let t = tx.read(&accounts[to])?;
+                            tx.write(&accounts[to], t + amt)?;
+                            Ok(())
+                        });
+                    }
+                    ops.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        // Measurement loop on the scope's own thread.
+        let mut prev = 0u64;
+        for w in 0..windows {
+            let target = start + Duration::from_secs_f64((w + 1) as f64 * cfg.window_secs);
+            let now = Instant::now();
+            if target > now {
+                std::thread::sleep(target - now);
+            }
+            let cur = ops.load(Ordering::Relaxed);
+            window_ops.push(cur - prev);
+            prev = cur;
+            if split_window.is_none() {
+                if let Some(c) = &controller {
+                    if c.has_split() {
+                        split_window = Some(w);
+                    }
+                }
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    let events = controller.map(|c| c.stop()).unwrap_or_default();
+    let shift_window = ((cfg.shift_frac * windows as f64).ceil() as usize).min(windows - 1);
+    let per_sec = 1.0 / cfg.window_secs;
+    let pre = &window_ops[1.min(shift_window)..shift_window];
+    let baseline = if pre.is_empty() {
+        0.0
+    } else {
+        pre.iter().sum::<u64>() as f64 / pre.len() as f64 * per_sec
+    };
+    let post = &window_ops[shift_window..];
+    let dip = post.iter().copied().min().unwrap_or(0) as f64 * per_sec;
+    // Recovered steady state: every window after the split has settled
+    // (split window + 2), or the last four windows when no split landed.
+    // Averaging the whole settled region keeps scheduler noise on this
+    // one-window scale out of the verdict.
+    let settle = split_window
+        .map(|w| (w + 2).saturating_sub(shift_window))
+        .unwrap_or_else(|| post.len().saturating_sub(4))
+        .min(post.len().saturating_sub(1));
+    let tail = &post[settle..];
+    let recovered = if tail.is_empty() {
+        0.0
+    } else {
+        tail.iter().sum::<u64>() as f64 / tail.len() as f64 * per_sec
+    };
+    let lost = baseline - dip;
+    let recovery = if lost > 0.0 {
+        ((recovered - dip) / lost).max(0.0)
+    } else {
+        0.0
+    };
+    let mut commits = 0u64;
+    let mut aborts = 0u64;
+    let mut partition_stats = Vec::new();
+    for p in stm.partitions() {
+        let s = p.stats();
+        commits += s.commits;
+        aborts += s.aborts();
+        partition_stats.push((p.name().to_string(), s));
+    }
+    let total: i64 = accounts.iter().map(|a| a.load_direct()).sum();
+
+    PhaseShiftReport {
+        window_ops,
+        shift_window,
+        split_window,
+        baseline,
+        dip,
+        recovered,
+        recovery,
+        abort_rate: aborts as f64 / (commits + aborts).max(1) as f64,
+        partitions: stm.partitions().len(),
+        conserved: total == cfg.accounts as i64 * INITIAL,
+        events,
+        partition_stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A miniature run without the controller: the report plumbing works
+    /// and the invariant holds. (The full recovery measurement runs under
+    /// `repro repart`, not in unit tests.)
+    #[test]
+    fn phase_shift_baseline_reports_and_conserves() {
+        let mut cfg = PhaseShiftConfig::standard(2, 2.0).without_controller();
+        cfg.accounts = 256;
+        let rep = run_phase_shift(&cfg);
+        assert_eq!(rep.window_ops.len(), 8);
+        assert!(rep.conserved, "sum must be conserved");
+        assert!(rep.baseline > 0.0);
+        assert_eq!(rep.partitions, 1, "no controller, no split");
+        assert!(rep.events.is_empty());
+        assert!(rep.split_window.is_none());
+    }
+}

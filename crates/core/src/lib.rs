@@ -65,7 +65,10 @@ pub mod config;
 pub mod error;
 pub mod orec;
 pub mod partition;
+pub mod profiler;
 pub mod pvar;
+pub mod repartition;
+pub mod rtlog;
 pub mod stats;
 pub mod stm;
 pub mod tuner;
@@ -79,7 +82,8 @@ pub use config::{
 };
 pub use error::{Abort, AbortKind, TxResult};
 pub use partition::{Partition, PartitionId};
-pub use pvar::PVar;
+pub use profiler::{AccessProfiler, BucketTouch, SampleTouch, TxSample, PROFILE_BUCKETS};
+pub use pvar::{Migratable, PVar, PVarBinding};
 pub use stats::StatCounters;
 pub use stm::{Stm, StmBuilder, SwitchOutcome, ThreadCtx, MAX_THREADS};
 pub use tuner::{TuneInput, TuningPolicy};

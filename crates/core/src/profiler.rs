@@ -1,0 +1,196 @@
+//! Sampled access profiling: the measurement half of the dynamic
+//! repartitioning loop.
+//!
+//! The paper's full system is a *loop* — static analysis seeds the
+//! partitioning, then the runtime observes real access behaviour and
+//! re-partitions while the program runs. This module provides the
+//! observation side: a cheap, sampled recorder of which partitions (and
+//! which *address buckets* within them) each transaction touches.
+//!
+//! ## Cost model
+//!
+//! Profiling piggybacks on the per-attempt partition-view table the engine
+//! already maintains (see the `txn` module docs). Sampling is decided once
+//! per attempt from the thread's transaction serial (`serial % period ==
+//! 0` — one relaxed load plus a branch when profiling is off); only
+//! *sampled* attempts pay for address recording (a `Vec` push per access),
+//! and only sampled *commits* are folded into a [`TxSample`] and pushed
+//! into the profiler's bounded ring. The fast path of the other `period -
+//! 1` transactions is untouched.
+//!
+//! ## Buckets
+//!
+//! Individual variables are too numerous to report, so addresses are
+//! hashed into [`PROFILE_BUCKETS`] stable buckets ([`bucket_of`]). The
+//! bucket function is independent of any partition's orec table, so a
+//! migration directory can compute the same bucket for a candidate
+//! [`PVar`](crate::PVar) (via
+//! [`Migratable::var_addr`](crate::pvar::Migratable::var_addr)) and map a
+//! "bucket 17 of partition 3 is hot" report back to the concrete variables
+//! to migrate.
+
+use core::sync::atomic::{AtomicU64, Ordering};
+use std::collections::VecDeque;
+
+use parking_lot::Mutex;
+
+use crate::partition::PartitionId;
+
+/// Number of address buckets the profiler distinguishes (per partition).
+pub const PROFILE_BUCKETS: u16 = 256;
+
+/// Stable address→bucket mapping shared by the profiler and migration
+/// directories. Independent of partitions, granularities and orec tables.
+#[inline(always)]
+pub fn bucket_of(addr: usize) -> u16 {
+    // Fibonacci hash of the word index; top bits select one of 256 buckets.
+    ((((addr as u64) >> 3).wrapping_mul(0x9E37_79B9_7F4A_7C15)) >> 56) as u16
+}
+
+/// Access counts of one address bucket within one sampled transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BucketTouch {
+    /// Bucket index (`bucket_of` of the accessed addresses).
+    pub bucket: u16,
+    /// Transactional reads that landed in the bucket.
+    pub reads: u32,
+    /// Transactional writes that landed in the bucket.
+    pub writes: u32,
+}
+
+/// One partition's slice of a sampled transaction.
+#[derive(Debug, Clone)]
+pub struct SampleTouch {
+    /// The touched partition.
+    pub partition: PartitionId,
+    /// Reads served from the partition.
+    pub reads: u32,
+    /// Writes into the partition.
+    pub writes: u32,
+    /// Per-bucket breakdown (sorted by bucket, merged).
+    pub buckets: Vec<BucketTouch>,
+}
+
+/// One sampled, committed transaction.
+#[derive(Debug, Clone)]
+pub struct TxSample {
+    /// Failed attempts the transaction burned before this commit (its
+    /// conflict pressure at the moment of sampling).
+    pub failed_attempts: u32,
+    /// Partitions touched, with per-bucket access counts.
+    pub touched: Vec<SampleTouch>,
+}
+
+impl TxSample {
+    /// True if the transaction touched more than one partition.
+    pub fn spans_partitions(&self) -> bool {
+        self.touched.len() > 1
+    }
+}
+
+/// Bounded sink of [`TxSample`]s, installed via
+/// [`Stm::set_profiler`](crate::Stm::set_profiler) and drained by the
+/// online analyzer / repartition controller.
+#[derive(Debug)]
+pub struct AccessProfiler {
+    period: u64,
+    capacity: usize,
+    ring: Mutex<VecDeque<TxSample>>,
+    recorded: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl AccessProfiler {
+    /// A profiler sampling one in `period` transactions (per thread),
+    /// retaining at most `capacity` samples between drains (oldest samples
+    /// are dropped first and counted in [`AccessProfiler::dropped`]).
+    pub fn new(period: u64, capacity: usize) -> Self {
+        AccessProfiler {
+            period: period.max(1),
+            capacity: capacity.max(1),
+            ring: Mutex::new(VecDeque::new()),
+            recorded: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// The sampling period (1 in `period` transactions).
+    pub fn period(&self) -> u64 {
+        self.period
+    }
+
+    /// Takes all buffered samples, oldest first.
+    pub fn drain(&self) -> Vec<TxSample> {
+        self.ring.lock().drain(..).collect()
+    }
+
+    /// Samples recorded since creation (including later-dropped ones).
+    pub fn recorded(&self) -> u64 {
+        self.recorded.load(Ordering::Relaxed)
+    }
+
+    /// Samples dropped because the ring was full between drains.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Engine-side: push one sampled commit.
+    pub(crate) fn record(&self, sample: TxSample) {
+        self.recorded.fetch_add(1, Ordering::Relaxed);
+        let mut ring = self.ring.lock();
+        if ring.len() >= self.capacity {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(sample);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_function_is_stable_and_in_range() {
+        let a = bucket_of(0x7f00_1234_5678);
+        assert_eq!(a, bucket_of(0x7f00_1234_5678), "deterministic");
+        for i in 0..4096usize {
+            assert!(bucket_of(i * 8) < PROFILE_BUCKETS);
+        }
+        // Neighbouring words spread across buckets.
+        let distinct: std::collections::HashSet<u16> =
+            (0..256usize).map(|i| bucket_of(0x1000 + i * 8)).collect();
+        assert!(distinct.len() > 100, "only {} buckets", distinct.len());
+    }
+
+    #[test]
+    fn ring_caps_and_counts_drops() {
+        let p = AccessProfiler::new(1, 2);
+        for i in 0..5u32 {
+            p.record(TxSample {
+                failed_attempts: i,
+                touched: Vec::new(),
+            });
+        }
+        assert_eq!(p.recorded(), 5);
+        assert_eq!(p.dropped(), 3);
+        let got = p.drain();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].failed_attempts, 3, "oldest surviving sample");
+        assert!(p.drain().is_empty(), "drain empties the ring");
+    }
+
+    #[test]
+    fn sample_span_helper() {
+        let one = TxSample {
+            failed_attempts: 0,
+            touched: vec![SampleTouch {
+                partition: PartitionId(0),
+                reads: 1,
+                writes: 0,
+                buckets: vec![],
+            }],
+        };
+        assert!(!one.spans_partitions());
+    }
+}

@@ -5,28 +5,167 @@
 //! analysis) computes per access site is instead established *once, at
 //! allocation*, by [`Partition::tvar`](crate::Partition::tvar). Access
 //! sites then name only the variable — `tx.read(&var)` — and the engine
-//! routes the access through the partition the variable was bound to,
+//! routes the access through the partition the variable is bound to,
 //! which makes mis-partitioned accesses unrepresentable (see the soundness
 //! contract in the crate docs).
+//!
+//! ## Rebinding (runtime repartitioning)
+//!
+//! The binding is *stable but not immutable*: the runtime repartitioner
+//! ([`crate::Stm::migrate_pvars`] and the split/merge entry points built
+//! on it) may move a variable to a different partition — but only inside
+//! the quiesce window of the repartition protocol, while every involved
+//! partition carries the switching flag and no transaction is in flight
+//! on any of them. Outside that protocol the binding never changes, which
+//! is what lets the engine cache one partition view per attempt (see the
+//! `txn` module docs). The binding cell itself is a [`PVarBinding`]: an
+//! atomic partition pointer whose every past value remains valid for the
+//! process lifetime (retired bindings are parked, never freed), so a
+//! racing reader can at worst observe the *previous* binding — a case the
+//! engine detects and converts into an ordinary switching abort.
 //!
 //! The raw tier ([`Tx::read_raw`](crate::Tx::read_raw) and friends on bare
 //! `TVar`s) remains available for code that manages the variable/partition
 //! association itself.
 
+use core::sync::atomic::{AtomicPtr, Ordering};
 use std::sync::Arc;
 
 use crate::partition::{Partition, PartitionId};
 use crate::tvar::TVar;
 use crate::word::TxWord;
 
+/// Bindings retired by [`PVarBinding::rebind`]. Parking the old `Arc` here
+/// (instead of dropping it) makes every pointer that was ever observable
+/// through a binding valid for the process lifetime, closing the
+/// load-then-dereference race against a concurrent rebind. Repartitions
+/// are rare control-plane events, so the list stays small; the partitions
+/// it retains are typically still registered with their `Stm` anyway.
+static RETIRED: std::sync::Mutex<Vec<Arc<Partition>>> = std::sync::Mutex::new(Vec::new());
+
+/// The atomic partition binding inside every [`PVar`].
+///
+/// Opaque on purpose: user code can *inspect* the binding (its partition
+/// id) but only the repartition protocol in this crate can change it.
+pub struct PVarBinding {
+    /// Owns one strong reference to the bound partition
+    /// (`Arc::into_raw`); swapped only under the repartition quiesce.
+    ptr: AtomicPtr<Partition>,
+}
+
+impl PVarBinding {
+    pub(crate) fn new(part: Arc<Partition>) -> Self {
+        PVarBinding {
+            ptr: AtomicPtr::new(Arc::into_raw(part) as *mut Partition),
+        }
+    }
+
+    /// Current binding as a raw pointer (SeqCst: the engine's soundness
+    /// argument orders this load against switching-flag loads).
+    #[inline(always)]
+    pub(crate) fn load(&self) -> *const Partition {
+        self.ptr.load(Ordering::SeqCst)
+    }
+
+    /// Clones out the bound partition.
+    pub(crate) fn partition_arc(&self) -> Arc<Partition> {
+        Self::arc_of(self.load())
+    }
+
+    /// Manufactures an owning handle for a pointer previously loaded from
+    /// *some* binding via [`PVarBinding::load`].
+    pub(crate) fn arc_of(p: *const Partition) -> Arc<Partition> {
+        // SAFETY: `p` came from `Arc::into_raw` and its strong count is
+        // >= 1 until process exit: the owning reference is either still in
+        // a binding or was parked in `RETIRED` by a rebind (never
+        // dropped). The only dropped reference is the current one at
+        // `PVarBinding::drop`, which requires exclusive access — no
+        // shared-borrow caller can still be running then.
+        unsafe {
+            Arc::increment_strong_count(p);
+            Arc::from_raw(p)
+        }
+    }
+
+    /// Id of the bound partition. Racy by nature during a repartition (it
+    /// may return the pre-migration partition for an instant); transactions
+    /// never rely on it — the engine revalidates the binding itself.
+    pub fn partition_id(&self) -> PartitionId {
+        // SAFETY: pointer validity as in `partition_arc`.
+        unsafe { (*self.load()).id() }
+    }
+
+    /// Rebinds to `dst`, parking the previous owning reference.
+    ///
+    /// # Protocol
+    ///
+    /// Must only be called by the repartition protocol, inside the quiesce
+    /// window in which both the old and the new partition carry the
+    /// switching flag and no transaction is in flight on either.
+    pub(crate) fn rebind(&self, dst: &Arc<Partition>) {
+        let new = Arc::into_raw(Arc::clone(dst)) as *mut Partition;
+        let old = self.ptr.swap(new, Ordering::SeqCst);
+        // SAFETY: `old` was this binding's owning reference (installed by
+        // `new` or a previous `rebind`).
+        let old = unsafe { Arc::from_raw(old as *const Partition) };
+        // One parked reference per *distinct* partition suffices for the
+        // liveness argument; dropping duplicates keeps the list bounded by
+        // the number of partitions ever retired, not by vars x migrations
+        // (a batch migration rebinds every variable away from the same
+        // source). Dropping a duplicate is safe: the first parked entry
+        // already pins the pointee forever.
+        let mut retired = RETIRED.lock().unwrap_or_else(|e| e.into_inner());
+        let p = Arc::as_ptr(&old);
+        if !retired.iter().any(|a| Arc::as_ptr(a) == p) {
+            retired.push(old);
+        }
+    }
+}
+
+impl Drop for PVarBinding {
+    fn drop(&mut self) {
+        // SAFETY: dropping the binding's owning reference; exclusive
+        // access, so no concurrent `load` can observe this pointer.
+        unsafe { drop(Arc::from_raw(self.ptr.load(Ordering::SeqCst))) };
+    }
+}
+
+impl core::fmt::Debug for PVarBinding {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_tuple("PVarBinding")
+            .field(&self.partition_id())
+            .finish()
+    }
+}
+
+/// A transactional variable whose binding the repartitioner may move.
+///
+/// Implemented by [`PVar`]; object-safe so heterogeneously typed variables
+/// can be collected into one migration batch
+/// ([`crate::Stm::migrate_pvars`] takes `&[&dyn Migratable]`). The trait
+/// exposes no way to *change* a binding — rebinding happens only inside
+/// the repartition protocol.
+pub trait Migratable: Send + Sync {
+    /// The variable's binding cell.
+    fn pvar_binding(&self) -> &PVarBinding;
+
+    /// Address of the underlying transactional word — the key the sampled
+    /// access profiler buckets by (see
+    /// [`profiler::bucket_of`](crate::profiler::bucket_of)), letting a
+    /// directory map profiler hot-bucket reports back to concrete
+    /// variables.
+    fn var_addr(&self) -> usize;
+}
+
 /// A transactional variable bound to the partition that guards it.
 ///
 /// Created with [`Partition::tvar`](crate::Partition::tvar) (or
-/// [`PVar::new`]); the binding is immutable for the variable's lifetime —
-/// exactly the invariant the compile-time partitioning analysis establishes,
-/// here enforced by construction.
+/// [`PVar::new`]); the binding is established at allocation — exactly the
+/// invariant the compile-time partitioning analysis computes, here enforced
+/// by construction — and changes only when the runtime repartitioner
+/// migrates the variable (see the module docs).
 pub struct PVar<T> {
-    pub(crate) part: Arc<Partition>,
+    pub(crate) binding: PVarBinding,
     pub(crate) var: TVar<T>,
 }
 
@@ -34,21 +173,28 @@ impl<T: TxWord> PVar<T> {
     /// Creates a variable bound to `part` with an initial value.
     pub fn new(part: Arc<Partition>, value: T) -> Self {
         PVar {
-            part,
+            binding: PVarBinding::new(part),
             var: TVar::new(value),
         }
     }
 
-    /// The partition this variable is bound to.
-    #[inline(always)]
-    pub fn partition(&self) -> &Arc<Partition> {
-        &self.part
+    /// The partition this variable is currently bound to.
+    #[inline]
+    pub fn partition(&self) -> Arc<Partition> {
+        self.binding.partition_arc()
     }
 
-    /// Id of the owning partition.
+    /// Id of the owning partition (racy during a repartition; see
+    /// [`PVarBinding::partition_id`]).
     #[inline]
     pub fn partition_id(&self) -> PartitionId {
-        self.part.id()
+        self.binding.partition_id()
+    }
+
+    /// The variable's binding cell (for migration batches).
+    #[inline]
+    pub fn binding(&self) -> &PVarBinding {
+        &self.binding
     }
 
     /// The underlying unbound variable (for the raw API tier).
@@ -70,10 +216,20 @@ impl<T: TxWord> PVar<T> {
     }
 }
 
+impl<T: TxWord + Send + Sync> Migratable for PVar<T> {
+    fn pvar_binding(&self) -> &PVarBinding {
+        &self.binding
+    }
+
+    fn var_addr(&self) -> usize {
+        self.var.addr()
+    }
+}
+
 impl<T: TxWord + core::fmt::Debug> core::fmt::Debug for PVar<T> {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         f.debug_struct("PVar")
-            .field("partition", &self.part.id())
+            .field("partition", &self.partition_id())
             .field("value", &self.load_direct())
             .finish()
     }
@@ -102,10 +258,26 @@ mod tests {
         let p = stm.new_partition(PartitionConfig::named("bound"));
         let x = p.tvar(9u64);
         assert_eq!(x.partition_id(), p.id());
-        assert!(std::sync::Arc::ptr_eq(x.partition(), &p));
+        assert!(std::sync::Arc::ptr_eq(&x.partition(), &p));
         assert_eq!(x.load_direct(), 9);
         x.store_direct(11);
         assert_eq!(x.var().load_direct(), 11);
         assert!(format!("{x:?}").contains("PVar"));
+    }
+
+    #[test]
+    fn rebind_parks_the_old_reference() {
+        let stm = Stm::new();
+        let a = stm.new_partition(PartitionConfig::named("a"));
+        let b = stm.new_partition(PartitionConfig::named("b"));
+        let x = a.tvar(1u64);
+        assert_eq!(x.partition_id(), a.id());
+        x.binding.rebind(&b);
+        assert_eq!(x.partition_id(), b.id());
+        assert!(std::sync::Arc::ptr_eq(&x.partition(), &b));
+        // The old partition handle is still fully usable.
+        assert_eq!(a.name(), "a");
+        drop(x);
+        assert_eq!(b.name(), "b");
     }
 }

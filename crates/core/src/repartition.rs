@@ -1,0 +1,333 @@
+//! Runtime repartitioning: structural mutation of the partition map.
+//!
+//! The configuration-switch protocol (see [`Stm::switch_partition`])
+//! changes *how* one partition detects conflicts. The entry points here
+//! change *what the partitions are*: [`Stm::migrate_pvars`] rebinds a
+//! batch of [`PVar`](crate::PVar)s to a different partition, and
+//! [`Stm::split_partition`] / [`Stm::merge_partitions`] are the structural
+//! operations the online repartitioner (crate `partstm-repart`) executes
+//! on top of it.
+//!
+//! ## Protocol
+//!
+//! A repartition generalizes the quiesce protocol to the *set* of involved
+//! partitions (the destination plus every source a migrating variable is
+//! currently bound to):
+//!
+//! 1. **Flag** — acquire the switching flag of every involved partition
+//!    via CAS. Any acquisition failure rolls the already-set flags back
+//!    and returns [`SwitchOutcome::Contended`] (abort-not-spin keeps
+//!    concurrent repartitions deadlock-free).
+//! 2. **Quiesce** — bump the global switch epoch and wait for every
+//!    in-flight transaction begun before the bump to finish; attempts
+//!    begun after the bump observe a switching flag at first touch of any
+//!    involved partition and abort.
+//! 3. **Mutate** — rebind the variables to the destination, stamp every
+//!    involved partition's orec table with the current clock (a migrated
+//!    variable maps onto destination orecs whose stored versions are stale
+//!    for their new coverage), and install every involved partition's
+//!    config word with generation+1, clearing the flags.
+//!
+//! A quiesce timeout rolls everything back ([`SwitchOutcome::TimedOut`],
+//! debug builds panic), leaving bindings untouched — the same
+//! rollback-not-crash contract as the configuration switch.
+//!
+//! ## Why rebinding is sound
+//!
+//! Bindings only change inside step 3, strictly before the flags clear.
+//! A transaction that loaded a binding just before the rebind and touches
+//! the stale partition *after* the flags cleared is the one hazardous
+//! interleaving; the engine closes it by re-loading the binding after
+//! first-touch view creation and aborting on mismatch (see
+//! `Tx::view_of_binding` in `txn.rs`). Every other interleaving either
+//! observes a switching flag (abort) or is ordered by the quiesce itself.
+
+use std::sync::Arc;
+
+use core::sync::atomic::Ordering;
+
+use crate::config::{self, PartitionConfig};
+use crate::partition::Partition;
+use crate::pvar::Migratable;
+use crate::rtlog;
+use crate::stm::{bump_epoch_and_quiesce, Stm, StmInner, SwitchOutcome, QUIESCE_TIMEOUT};
+
+impl Stm {
+    /// Atomically rebinds `vars` to partition `dst` using the repartition
+    /// protocol (see the [module docs](crate::repartition)).
+    ///
+    /// Variables already bound to `dst` are tolerated (their binding is
+    /// refreshed). Returns [`SwitchOutcome::Unchanged`] without quiescing
+    /// when every variable is already bound to `dst`.
+    ///
+    /// Must not be called from inside a transaction.
+    ///
+    /// # Panics
+    ///
+    /// If `dst` or any variable's current partition belongs to a different
+    /// [`Stm`].
+    pub fn migrate_pvars(&self, vars: &[&dyn Migratable], dst: &Arc<Partition>) -> SwitchOutcome {
+        repartition_impl(&self.inner, vars, dst, &[])
+    }
+
+    /// Splits `src`: creates a new partition from `cfg` and migrates
+    /// `vars` (typically the hot subset of `src`'s variables) into it.
+    ///
+    /// Returns the new partition together with the migration outcome. On
+    /// [`Contended`](SwitchOutcome::Contended) /
+    /// [`TimedOut`](SwitchOutcome::TimedOut) the new partition exists but
+    /// is empty; retry by calling [`Stm::migrate_pvars`] with the same
+    /// destination.
+    pub fn split_partition(
+        &self,
+        src: &Arc<Partition>,
+        cfg: PartitionConfig,
+        vars: &[&dyn Migratable],
+    ) -> (Arc<Partition>, SwitchOutcome) {
+        assert_eq!(
+            src.stm_id, self.inner.id,
+            "partition belongs to a different Stm"
+        );
+        let dst = self.new_partition(cfg);
+        let outcome = repartition_impl(&self.inner, vars, &dst, &[src]);
+        (dst, outcome)
+    }
+
+    /// Merges `srcs` into `dst`: migrates `vars` (the variables still
+    /// bound to the sources) into `dst` and bumps every source's
+    /// generation even if it contributed no variables, marking the merge
+    /// in its switch history.
+    pub fn merge_partitions(
+        &self,
+        srcs: &[&Arc<Partition>],
+        dst: &Arc<Partition>,
+        vars: &[&dyn Migratable],
+    ) -> SwitchOutcome {
+        repartition_impl(&self.inner, vars, dst, srcs)
+    }
+}
+
+/// The three-phase repartition (flag / quiesce / mutate). `extra` names
+/// partitions that must participate in the protocol (flag + generation
+/// bump) even when no migrating variable is currently bound to them.
+fn repartition_impl(
+    inner: &StmInner,
+    vars: &[&dyn Migratable],
+    dst: &Arc<Partition>,
+    extra: &[&Arc<Partition>],
+) -> SwitchOutcome {
+    assert_eq!(dst.stm_id, inner.id, "partition belongs to a different Stm");
+    let mut involved: Vec<Arc<Partition>> = Vec::with_capacity(vars.len() + extra.len() + 1);
+    involved.push(Arc::clone(dst));
+    for p in extra {
+        assert_eq!(p.stm_id, inner.id, "partition belongs to a different Stm");
+        involved.push(Arc::clone(p));
+    }
+    let mut all_in_dst = true;
+    for v in vars {
+        let p = v.pvar_binding().partition_arc();
+        assert_eq!(p.stm_id, inner.id, "variable bound to a different Stm");
+        all_in_dst &= Arc::ptr_eq(&p, dst);
+        involved.push(p);
+    }
+    // Ids are unique per partition, so sorting makes duplicates adjacent.
+    involved.sort_by_key(|p| p.id());
+    involved.dedup_by(|a, b| Arc::ptr_eq(a, b));
+    if all_in_dst && involved.len() == 1 {
+        return SwitchOutcome::Unchanged;
+    }
+
+    // Phase 1: flag every involved partition; roll back on any contention.
+    let mut held: Vec<(usize, u64)> = Vec::with_capacity(involved.len());
+    let unflag = |held: &[(usize, u64)]| {
+        for &(j, w) in held {
+            involved[j].config.store(w, Ordering::SeqCst);
+        }
+    };
+    for (i, p) in involved.iter().enumerate() {
+        let old = p.config.load(Ordering::SeqCst);
+        let contended = config::is_switching(old)
+            || p.config
+                .compare_exchange(
+                    old,
+                    old | config::SWITCHING_BIT,
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                )
+                .is_err();
+        if contended {
+            unflag(&held);
+            return SwitchOutcome::Contended;
+        }
+        held.push((i, old));
+    }
+
+    // Re-validate every binding now that the flags are held: a concurrent
+    // repartition may have moved a variable *between our initial binding
+    // read and our flag acquisition*, to a partition outside the flagged
+    // set — proceeding would rebind a variable whose current partition
+    // never quiesced. Once every binding is confirmed inside the flagged
+    // set this cannot recur: any later rebind of these variables needs the
+    // switching flag of their current partition, which we hold.
+    for v in vars {
+        let p = v.pvar_binding().load();
+        if !involved.iter().any(|q| Arc::as_ptr(q) == p) {
+            unflag(&held);
+            return SwitchOutcome::Contended;
+        }
+    }
+
+    // Phase 2: epoch bump + quiesce.
+    if !bump_epoch_and_quiesce(inner) {
+        unflag(&held);
+        if cfg!(debug_assertions) {
+            panic!(
+                "repartition could not quiesce in {QUIESCE_TIMEOUT:?}: \
+                 a transaction appears stuck"
+            );
+        }
+        rtlog::warn(&format!(
+            "repartition into '{}' ({} partitions involved) rolled back: \
+             quiescence not reached in {QUIESCE_TIMEOUT:?} (stuck \
+             transaction?); retryable",
+            dst.name(),
+            involved.len()
+        ));
+        return SwitchOutcome::TimedOut;
+    }
+
+    // Phase 3: rebind, reset orecs, install generation+1 (flags clear).
+    for v in vars {
+        v.pvar_binding().rebind(dst);
+    }
+    let now = inner.clock.now();
+    for &(j, w) in &held {
+        let p = &involved[j];
+        p.reset_orecs(now);
+        p.config.store(
+            config::encode(config::decode(w), config::generation(w).wrapping_add(1)),
+            Ordering::SeqCst,
+        );
+    }
+    SwitchOutcome::Switched
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pvar::PVar;
+    use crate::stm::Stm;
+
+    fn as_dyn<T: crate::word::TxWord + Send + Sync>(v: &PVar<T>) -> &dyn Migratable {
+        v
+    }
+
+    #[test]
+    fn migrate_rebinds_and_bumps_generations() {
+        let stm = Stm::new();
+        let a = stm.new_partition(PartitionConfig::named("a"));
+        let b = stm.new_partition(PartitionConfig::named("b"));
+        let x = a.tvar(1u64);
+        let y = a.tvar(2u64);
+        let ga = a.generation();
+        let gb = b.generation();
+        assert_eq!(
+            stm.migrate_pvars(&[as_dyn(&x), as_dyn(&y)], &b),
+            SwitchOutcome::Switched
+        );
+        assert_eq!(x.partition_id(), b.id());
+        assert_eq!(y.partition_id(), b.id());
+        assert_eq!(a.generation(), ga + 1, "source generation bumps");
+        assert_eq!(b.generation(), gb + 1, "destination generation bumps");
+        // Values survive the move and stay transactional.
+        let ctx = stm.register_thread();
+        assert_eq!(ctx.run(|tx| tx.modify(&x, |v| v + 10)), 11);
+        assert_eq!(ctx.run(|tx| tx.read(&y)), 2);
+    }
+
+    #[test]
+    fn migrate_to_current_partition_is_unchanged() {
+        let stm = Stm::new();
+        let a = stm.new_partition(PartitionConfig::named("a"));
+        let x = a.tvar(1u64);
+        let g = a.generation();
+        assert_eq!(
+            stm.migrate_pvars(&[as_dyn(&x)], &a),
+            SwitchOutcome::Unchanged
+        );
+        assert_eq!(a.generation(), g, "no-op must not quiesce or bump");
+    }
+
+    #[test]
+    fn split_moves_the_chosen_vars_only() {
+        let stm = Stm::new();
+        let src = stm.new_partition(PartitionConfig::named("src"));
+        let hot = src.tvar(7u64);
+        let cold = src.tvar(8u64);
+        let (dst, outcome) =
+            stm.split_partition(&src, PartitionConfig::named("hot"), &[as_dyn(&hot)]);
+        assert_eq!(outcome, SwitchOutcome::Switched);
+        assert_eq!(hot.partition_id(), dst.id());
+        assert_eq!(cold.partition_id(), src.id());
+        assert_eq!(dst.name(), "hot");
+        // Cross-partition transaction over the split pair stays atomic.
+        let ctx = stm.register_thread();
+        let sum = ctx.run(|tx| {
+            let h = tx.read(&hot)?;
+            let c = tx.read(&cold)?;
+            Ok(h + c)
+        });
+        assert_eq!(sum, 15);
+    }
+
+    #[test]
+    fn merge_brings_vars_home_and_marks_empty_sources() {
+        let stm = Stm::new();
+        let a = stm.new_partition(PartitionConfig::named("a"));
+        let b = stm.new_partition(PartitionConfig::named("b"));
+        let c = stm.new_partition(PartitionConfig::named("c"));
+        let x = b.tvar(1i64);
+        let gc = c.generation();
+        assert_eq!(
+            stm.merge_partitions(&[&b, &c], &a, &[as_dyn(&x)]),
+            SwitchOutcome::Switched
+        );
+        assert_eq!(x.partition_id(), a.id());
+        assert_eq!(c.generation(), gc + 1, "empty source still participates");
+    }
+
+    #[test]
+    fn contended_repartition_rolls_flags_back() {
+        let stm = Stm::new();
+        let a = stm.new_partition(PartitionConfig::named("a"));
+        let b = stm.new_partition(PartitionConfig::named("b"));
+        let x = a.tvar(1u64);
+        // Simulate a concurrent switch holding b's flag.
+        let old = b.config.load(Ordering::SeqCst);
+        b.config
+            .store(old | config::SWITCHING_BIT, Ordering::SeqCst);
+        assert_eq!(
+            stm.migrate_pvars(&[as_dyn(&x)], &b),
+            SwitchOutcome::Contended
+        );
+        // a's flag must have been rolled back.
+        assert!(!config::is_switching(a.config.load(Ordering::SeqCst)));
+        assert_eq!(x.partition_id(), a.id(), "binding untouched");
+        b.config.store(old, Ordering::SeqCst);
+        assert_eq!(
+            stm.migrate_pvars(&[as_dyn(&x)], &b),
+            SwitchOutcome::Switched
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "different Stm")]
+    fn cross_stm_migration_is_rejected() {
+        let stm1 = Stm::new();
+        let stm2 = Stm::new();
+        let a = stm1.new_partition(PartitionConfig::named("a"));
+        let b = stm2.new_partition(PartitionConfig::named("b"));
+        let x = a.tvar(1u64);
+        let _ = stm2.migrate_pvars(&[&x as &dyn Migratable], &b);
+    }
+}

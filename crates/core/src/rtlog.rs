@@ -1,0 +1,80 @@
+//! Runtime diagnostics sink.
+//!
+//! The engine emits rare, non-fatal warnings (a configuration switch or
+//! repartition rolled back on quiesce timeout, a stuck-transaction
+//! suspicion). By default they go to stderr; benchmarks and embedders that
+//! must keep their output machine-readable can silence them
+//! ([`set_quiet`]) or route them into their own logging stack
+//! ([`set_handler`]). The hook is process-global (the conditions it
+//! reports are process-level events) and costs one `RwLock` read *only on
+//! the warning path* — never on transaction fast paths.
+
+use std::sync::RwLock;
+
+/// A warning sink installed by the embedder.
+pub type Handler = Box<dyn Fn(&str) + Send + Sync>;
+
+enum Sink {
+    /// Default: `eprintln!` prefixed with `partstm:`.
+    Stderr,
+    /// Drop warnings entirely.
+    Quiet,
+    /// Forward to the installed handler.
+    Custom(Handler),
+}
+
+static SINK: RwLock<Sink> = RwLock::new(Sink::Stderr);
+
+/// Silences (or restores) the default stderr warning output.
+///
+/// `set_quiet(true)` drops engine warnings; `set_quiet(false)` restores
+/// the stderr default. Either call replaces a custom handler.
+pub fn set_quiet(quiet: bool) {
+    *SINK.write().unwrap_or_else(|e| e.into_inner()) =
+        if quiet { Sink::Quiet } else { Sink::Stderr };
+}
+
+/// Installs a custom warning handler (`None` restores the stderr default).
+///
+/// The handler receives fully formatted single-line messages and must not
+/// call back into the STM (it may run while a partition switch holds the
+/// switching flag).
+pub fn set_handler(handler: Option<Handler>) {
+    *SINK.write().unwrap_or_else(|e| e.into_inner()) = match handler {
+        Some(h) => Sink::Custom(h),
+        None => Sink::Stderr,
+    };
+}
+
+/// Emits one engine warning through the installed sink.
+pub(crate) fn warn(msg: &str) {
+    match &*SINK.read().unwrap_or_else(|e| e.into_inner()) {
+        Sink::Stderr => eprintln!("partstm: {msg}"),
+        Sink::Quiet => {}
+        Sink::Custom(h) => h(msg),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn handler_receives_warnings_and_quiet_drops_them() {
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = Arc::clone(&hits);
+        set_handler(Some(Box::new(move |m| {
+            assert!(m.contains("probe"));
+            h.fetch_add(1, Ordering::Relaxed);
+        })));
+        warn("probe one");
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+        set_quiet(true);
+        warn("probe two");
+        assert_eq!(hits.load(Ordering::Relaxed), 1, "quiet sink must drop");
+        // Restore the default for other tests in the process.
+        set_handler(None);
+    }
+}

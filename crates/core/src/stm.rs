@@ -11,6 +11,8 @@ use parking_lot::{Mutex, RwLock};
 use crate::clock::GlobalClock;
 use crate::config::{self, DynConfig, PartitionConfig};
 use crate::partition::{Partition, PartitionId};
+use crate::profiler::AccessProfiler;
+use crate::rtlog;
 use crate::tuner::TuningPolicy;
 use crate::txn::TxScratch;
 
@@ -22,9 +24,16 @@ pub const MAX_THREADS: usize = 64;
 /// healthy workload quiesces in microseconds). Giving up rolls the switch
 /// back and reports [`SwitchOutcome::TimedOut`]; under `debug_assertions`
 /// it panics instead, as a stuck transaction is a bug worth a backtrace.
-const QUIESCE_TIMEOUT: Duration = Duration::from_secs(10);
+pub(crate) const QUIESCE_TIMEOUT: Duration = Duration::from_secs(10);
 
-/// Result of [`Stm::switch_partition`].
+/// Result of [`Stm::switch_partition`] and of the repartition entry points
+/// ([`Stm::migrate_pvars`], [`Stm::split_partition`],
+/// [`Stm::merge_partitions`]).
+///
+/// Marked `#[must_use]`: a dropped outcome silently ignores a rolled-back
+/// or contended switch — callers must at least decide that they don't care
+/// (`let _ = ...`).
+#[must_use = "a switch may be rolled back (Contended/TimedOut); check or explicitly ignore the outcome"]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SwitchOutcome {
     /// The new configuration was installed (generation bumped).
@@ -73,6 +82,11 @@ pub(crate) struct StmInner {
     partitions: Mutex<Vec<Arc<Partition>>>,
     next_partition: AtomicU32,
     pub(crate) tuner: RwLock<Option<Arc<dyn TuningPolicy>>>,
+    /// Installed access profiler (see [`crate::profiler`]).
+    pub(crate) profiler: RwLock<Option<Arc<AccessProfiler>>>,
+    /// Sampling period copy, readable with one relaxed load on the
+    /// transaction begin path (0 = profiling off).
+    pub(crate) profile_period: CachePadded<AtomicU64>,
 }
 
 impl core::fmt::Debug for StmInner {
@@ -126,6 +140,8 @@ impl StmBuilder {
                 partitions: Mutex::new(Vec::new()),
                 next_partition: AtomicU32::new(0),
                 tuner: RwLock::new(None),
+                profiler: RwLock::new(None),
+                profile_period: CachePadded::new(AtomicU64::new(0)),
             }),
         }
     }
@@ -186,6 +202,27 @@ impl Stm {
     /// Removes the tuning policy.
     pub fn clear_tuner(&self) {
         *self.inner.tuner.write() = None;
+    }
+
+    /// Installs (or replaces) the sampled access profiler. One in
+    /// `profiler.period()` transactions per thread records which
+    /// partitions and address buckets it touched (see [`crate::profiler`]);
+    /// the other transactions pay one relaxed load at begin.
+    pub fn set_profiler(&self, profiler: Arc<AccessProfiler>) {
+        let period = profiler.period();
+        *self.inner.profiler.write() = Some(profiler);
+        self.inner.profile_period.store(period, Ordering::SeqCst);
+    }
+
+    /// Stops profiling (in-flight sampled attempts may still record).
+    pub fn clear_profiler(&self) {
+        self.inner.profile_period.store(0, Ordering::SeqCst);
+        *self.inner.profiler.write() = None;
+    }
+
+    /// The installed profiler, if any.
+    pub fn profiler(&self) -> Option<Arc<AccessProfiler>> {
+        self.inner.profiler.read().clone()
     }
 
     /// Registers the calling thread, reserving a slot. The handle is the
@@ -278,6 +315,42 @@ pub(crate) fn switch_partition_impl(
     {
         return SwitchOutcome::Contended;
     }
+    if !bump_epoch_and_quiesce(inner) {
+        // Roll the switch back: clear the flag so future switches (and
+        // first-touches) proceed, leave config + generation untouched. We
+        // own the word while the flag is set, so a plain store of the
+        // pre-switch word is race-free.
+        partition.config.store(old, Ordering::SeqCst);
+        if cfg!(debug_assertions) {
+            panic!(
+                "partition switch could not quiesce in {QUIESCE_TIMEOUT:?}: \
+                 a transaction appears stuck"
+            );
+        }
+        rtlog::warn(&format!(
+            "switch of partition '{}' rolled back: quiescence not reached \
+             in {QUIESCE_TIMEOUT:?} (stuck transaction?); retryable",
+            partition.name()
+        ));
+        return SwitchOutcome::TimedOut;
+    }
+    // Stamp every orec with the current clock before the new configuration
+    // becomes visible: a remapped orec may otherwise carry a version that
+    // is stale for its new coverage, letting an old-snapshot reader accept
+    // a value committed after its read version (see Partition::reset_orecs).
+    partition.reset_orecs(inner.clock.now());
+    let word = config::encode(new, config::generation(old).wrapping_add(1));
+    partition.config.store(word, Ordering::SeqCst);
+    SwitchOutcome::Switched
+}
+
+/// Bumps the global switch epoch and waits for every registered thread to
+/// be outside a transaction at least once, or inside one begun after the
+/// bump (such attempts observe the switching flags set by the caller).
+/// Returns `false` on quiesce timeout — the caller must roll its flags
+/// back. Shared by the single-partition switch and the multi-partition
+/// repartition protocol (see [`crate::repartition`]).
+pub(crate) fn bump_epoch_and_quiesce(inner: &StmInner) -> bool {
     let epoch = inner.switch_epoch.fetch_add(1, Ordering::SeqCst) + 1;
     let start = Instant::now();
     for slot in inner.slots.iter() {
@@ -290,35 +363,12 @@ pub(crate) fn switch_partition_impl(
                 break;
             }
             if start.elapsed() > QUIESCE_TIMEOUT {
-                // Roll the switch back: clear the flag so future switches
-                // (and first-touches) proceed, leave config + generation
-                // untouched. We own the word while the flag is set, so a
-                // plain store of the pre-switch word is race-free.
-                partition.config.store(old, Ordering::SeqCst);
-                if cfg!(debug_assertions) {
-                    panic!(
-                        "partition switch could not quiesce in {QUIESCE_TIMEOUT:?}: \
-                         a transaction appears stuck"
-                    );
-                }
-                eprintln!(
-                    "partstm: switch of partition '{}' rolled back: quiescence \
-                     not reached in {QUIESCE_TIMEOUT:?} (stuck transaction?); retryable",
-                    partition.name()
-                );
-                return SwitchOutcome::TimedOut;
+                return false;
             }
             std::thread::yield_now();
         }
     }
-    // Stamp every orec with the current clock before the new configuration
-    // becomes visible: a remapped orec may otherwise carry a version that
-    // is stale for its new coverage, letting an old-snapshot reader accept
-    // a value committed after its read version (see Partition::reset_orecs).
-    partition.reset_orecs(inner.clock.now());
-    let word = config::encode(new, config::generation(old).wrapping_add(1));
-    partition.config.store(word, Ordering::SeqCst);
-    SwitchOutcome::Switched
+    true
 }
 
 impl Default for Stm {
@@ -455,7 +505,7 @@ mod tests {
         let stm2 = Stm::new();
         let p = stm1.new_partition(PartitionConfig::default());
         let cfg = p.current_config();
-        stm2.switch_partition(&p, cfg);
+        let _ = stm2.switch_partition(&p, cfg);
     }
 
     #[test]

@@ -62,7 +62,8 @@ use crate::config::{self, AcquireMode, DynConfig, ReadMode, ReaderArb};
 use crate::error::{Abort, AbortKind, TxResult};
 use crate::orec::{is_locked, make_version, owner_of, reader_bit, version_of, Orec};
 use crate::partition::Partition;
-use crate::pvar::PVar;
+use crate::profiler::{self, BucketTouch, SampleTouch, TxSample};
+use crate::pvar::{PVar, PVarBinding};
 use crate::stats::LocalStats;
 use crate::stm::{StmInner, ThreadCtx};
 use crate::tuner::TuneInput;
@@ -232,6 +233,11 @@ pub(crate) struct TxScratch {
     alloc_log: Vec<ReclaimEntry>,
     free_log: Vec<ReclaimEntry>,
     rng: XorShift64,
+    /// Whether the current attempt is being access-profiled (decided at
+    /// begin from the thread serial; see [`crate::profiler`]).
+    sampling: bool,
+    /// Sampled accesses: (view index, address bucket, is_write).
+    sample_log: Vec<(u16, u16, bool)>,
 }
 
 impl core::fmt::Debug for TxScratch {
@@ -262,6 +268,8 @@ impl TxScratch {
             alloc_log: Vec::new(),
             free_log: Vec::new(),
             rng: XorShift64::new(seed.wrapping_mul(0x5851_F42D_4C95_7F2D) | 1),
+            sampling: false,
+            sample_log: Vec::new(),
         }
     }
 }
@@ -346,23 +354,33 @@ impl<'e, 's> Tx<'e, 's> {
         s.last_view = u32::MAX;
         s.engine_fail = false;
         s.in_attempt = true;
+        let period = self.stm.profile_period.load(Ordering::Relaxed);
+        s.sampling = period != 0 && s.serial.is_multiple_of(period);
+        if s.sampling {
+            s.sample_log.clear();
+        }
     }
 
-    /// Resolves the partition view for `part`: finds the cached view (MRU
-    /// fast path, then the stamped index) or, on first contact this
-    /// attempt, loads the config word once, decodes it and records the
-    /// view. Aborts if the partition is mid-switch. See the module docs for
-    /// why one decode per attempt is sound.
-    fn view_of(&mut self, part: &'e Arc<Partition>) -> Result<u16, Abort> {
-        let ptr = Arc::as_ptr(part);
+    /// Looks up an already-created view for `ptr` (MRU fast path, then the
+    /// stamped index).
+    #[inline(always)]
+    fn view_lookup(&mut self, ptr: *const Partition) -> Option<u16> {
         let li = self.s.last_view as usize;
         if li < self.s.views.len() && self.s.views[li].ptr == ptr {
-            return Ok(li as u16);
+            return Some(li as u16);
         }
         if let Some(i) = self.s.view_index.get(ptr as usize) {
             self.s.last_view = i;
-            return Ok(i as u16);
+            return Some(i as u16);
         }
+        None
+    }
+
+    /// First contact with a partition this attempt: loads the config word
+    /// once, decodes it and records the view. Aborts if the partition is
+    /// mid-switch. See the module docs for why one decode per attempt is
+    /// sound.
+    fn view_create(&mut self, part: Arc<Partition>) -> Result<u16, Abort> {
         assert_eq!(
             part.stm_id, self.stm.id,
             "partition belongs to a different Stm"
@@ -374,9 +392,10 @@ impl<'e, 's> Tx<'e, 's> {
             self.s.engine_fail = true;
             return Err(Abort(()));
         }
+        let ptr = Arc::as_ptr(&part);
         let i = self.s.views.len() as u32;
         self.s.views.push(PartView {
-            part: Arc::clone(part),
+            part,
             ptr,
             cfg: config::decode(word),
             generation: config::generation(word),
@@ -386,6 +405,46 @@ impl<'e, 's> Tx<'e, 's> {
         self.s.view_index.insert(ptr as usize, i);
         self.s.last_view = i;
         Ok(i as u16)
+    }
+
+    /// Resolves the partition view for `part` (raw tier: the caller names
+    /// the partition).
+    fn view_of(&mut self, part: &'e Arc<Partition>) -> Result<u16, Abort> {
+        let ptr = Arc::as_ptr(part);
+        if let Some(i) = self.view_lookup(ptr) {
+            return Ok(i);
+        }
+        self.view_create(Arc::clone(part))
+    }
+
+    /// Resolves the partition view for a bound variable from its binding
+    /// cell (bound tier).
+    ///
+    /// A repartition may rebind the variable concurrently — but only while
+    /// every involved partition carries the switching flag, and the rebind
+    /// happens strictly before the flags clear (see [`crate::repartition`]).
+    /// So after creating a view with the flag observed *clear*, re-loading
+    /// the binding and seeing the same pointer proves the binding is
+    /// current for the rest of the attempt: any migration still in flight
+    /// at view-creation time would have shown its flag, and any migration
+    /// that starts later must wait for this attempt to quiesce. A mismatch
+    /// means the load straddled a completing migration — the attempt
+    /// aborts exactly as if it had caught the switching flag itself.
+    ///
+    /// A view-cache *hit* needs no recheck: the hit proves a flag-clear
+    /// touch of that partition earlier in this attempt, and the fresh
+    /// binding load equalling the view's pointer extends the same argument
+    /// to this access.
+    fn view_of_binding(&mut self, binding: &'e PVarBinding) -> Result<u16, Abort> {
+        let ptr = binding.load();
+        if let Some(i) = self.view_lookup(ptr) {
+            return Ok(i);
+        }
+        let ti = self.view_create(PVarBinding::arc_of(ptr))?;
+        if binding.load() != ptr {
+            return Err(self.fail(ti, AbortKind::Switching));
+        }
+        Ok(ti)
     }
 
     /// Records an abort cause against a partition and flags the attempt as
@@ -406,18 +465,21 @@ impl<'e, 's> Tx<'e, 's> {
 
     /// Transactional read of a partition-bound variable.
     ///
-    /// The partition is the one the variable was bound to at allocation
-    /// ([`Partition::tvar`]); no partition is named at the access site.
+    /// The partition is the one the variable is bound to
+    /// ([`Partition::tvar`], possibly moved since by the repartitioner);
+    /// no partition is named at the access site.
     #[inline]
     pub fn read<T: TxWord>(&mut self, var: &'e PVar<T>) -> TxResult<T> {
-        self.read_raw(&var.part, &var.var)
+        let ti = self.view_of_binding(&var.binding)?;
+        self.read_at(ti, &var.var)
     }
 
     /// Transactional write (buffered until commit) of a partition-bound
     /// variable.
     #[inline]
     pub fn write<T: TxWord>(&mut self, var: &'e PVar<T>, value: T) -> TxResult<()> {
-        self.write_raw(&var.part, &var.var, value)
+        let ti = self.view_of_binding(&var.binding)?;
+        self.write_at(ti, &var.var, value)
     }
 
     /// Read-modify-write convenience on a partition-bound variable.
@@ -439,11 +501,21 @@ impl<'e, 's> Tx<'e, 's> {
         var: &'e TVar<T>,
     ) -> TxResult<T> {
         let ti = self.view_of(part)?;
+        self.read_at(ti, var)
+    }
+
+    /// Shared read body (bound and raw tiers) against a resolved view.
+    fn read_at<T: TxWord>(&mut self, ti: u16, var: &'e TVar<T>) -> TxResult<T> {
         if self.killed() {
             return Err(self.fail(ti, AbortKind::Killed));
         }
         self.s.views[ti as usize].stats.reads += 1;
         let addr = var.addr();
+        if self.s.sampling {
+            self.s
+                .sample_log
+                .push((ti, profiler::bucket_of(addr), false));
+        }
         if let Some(ei) = self.s.ws_index.get(addr) {
             let e = &self.s.write_set[ei as usize];
             assert_eq!(
@@ -453,7 +525,9 @@ impl<'e, 's> Tx<'e, 's> {
             return Ok(T::from_word(e.val));
         }
         let cfg = self.s.views[ti as usize].cfg;
-        let orec = part.orec_for(addr, cfg.granularity) as *const Orec;
+        let orec = self.s.views[ti as usize]
+            .part
+            .orec_for(addr, cfg.granularity) as *const Orec;
         let cell = &var.cell as *const AtomicU64;
         let w = match cfg.read_mode {
             ReadMode::Invisible => self.read_invisible(ti, orec, cell)?,
@@ -471,6 +545,11 @@ impl<'e, 's> Tx<'e, 's> {
         value: T,
     ) -> TxResult<()> {
         let ti = self.view_of(part)?;
+        self.write_at(ti, var, value)
+    }
+
+    /// Shared write body (bound and raw tiers) against a resolved view.
+    fn write_at<T: TxWord>(&mut self, ti: u16, var: &'e TVar<T>, value: T) -> TxResult<()> {
         if self.killed() {
             return Err(self.fail(ti, AbortKind::Killed));
         }
@@ -480,6 +559,11 @@ impl<'e, 's> Tx<'e, 's> {
             t.wrote = true;
         }
         let addr = var.addr();
+        if self.s.sampling {
+            self.s
+                .sample_log
+                .push((ti, profiler::bucket_of(addr), true));
+        }
         if let Some(ei) = self.s.ws_index.get(addr) {
             let e = &mut self.s.write_set[ei as usize];
             assert_eq!(
@@ -490,7 +574,9 @@ impl<'e, 's> Tx<'e, 's> {
             return Ok(());
         }
         let cfg = self.s.views[ti as usize].cfg;
-        let orec = part.orec_for(addr, cfg.granularity) as *const Orec;
+        let orec = self.s.views[ti as usize]
+            .part
+            .orec_for(addr, cfg.granularity) as *const Orec;
         let wi = self.s.write_set.len();
         self.s.write_set.push(WriteEntry {
             var: &var.cell as *const AtomicU64,
@@ -843,8 +929,56 @@ impl<'e, 's> Tx<'e, 's> {
             }
             t.stats.flush(st, self.slot);
         }
+        if self.s.sampling {
+            self.flush_sample();
+        }
         self.s.in_attempt = false;
         self.s.attempts = 0;
+    }
+
+    /// Folds a sampled, committed attempt into a [`TxSample`] and hands it
+    /// to the installed profiler. Off the fast path: runs only for the one
+    /// in `period` attempts that was sampled at [`Tx::begin`].
+    fn flush_sample(&mut self) {
+        let Some(profiler) = self.stm.profiler.read().clone() else {
+            return;
+        };
+        let s = &mut *self.s;
+        let mut touched: Vec<SampleTouch> = s
+            .views
+            .iter()
+            .map(|t| SampleTouch {
+                partition: t.part.id(),
+                reads: t.stats.reads,
+                writes: t.stats.writes,
+                buckets: Vec::new(),
+            })
+            .collect();
+        // Group accesses by (view, bucket); the sort keeps buckets ordered
+        // within each view.
+        s.sample_log.sort_unstable();
+        let mut i = 0;
+        while i < s.sample_log.len() {
+            let (ti, bucket, _) = s.sample_log[i];
+            let (mut reads, mut writes) = (0u32, 0u32);
+            while i < s.sample_log.len() && (s.sample_log[i].0, s.sample_log[i].1) == (ti, bucket) {
+                if s.sample_log[i].2 {
+                    writes += 1;
+                } else {
+                    reads += 1;
+                }
+                i += 1;
+            }
+            touched[ti as usize].buckets.push(BucketTouch {
+                bucket,
+                reads,
+                writes,
+            });
+        }
+        profiler.record(TxSample {
+            failed_attempts: s.attempts,
+            touched,
+        });
     }
 
     /// Rolls the attempt back: releases held locks (restoring the previous
@@ -975,7 +1109,9 @@ impl<'e, 's> Tx<'e, 's> {
                 seconds,
             };
             if let Some(new_cfg) = tuner.evaluate(&input) {
-                self.stm.switch_partition_inner(&part, new_cfg);
+                // Contended/TimedOut switches are fine to drop here: the
+                // tuner re-evaluates after the next window.
+                let _ = self.stm.switch_partition_inner(&part, new_cfg);
             }
         }
     }
@@ -1477,7 +1613,7 @@ mod tests {
                     } else {
                         Granularity::Word
                     };
-                    stm2.switch_partition(&p2, cfg);
+                    let _ = stm2.switch_partition(&p2, cfg);
                     std::thread::sleep(std::time::Duration::from_millis(2));
                 }
             });

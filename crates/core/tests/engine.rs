@@ -149,7 +149,7 @@ fn snapshots_stay_consistent_across_granularity_switches() {
                     Granularity::PartitionLock
                 };
                 flip = !flip;
-                stm2.switch_partition(&p3, cfg);
+                let _ = stm2.switch_partition(&p3, cfg);
                 std::thread::sleep(std::time::Duration::from_micros(500));
             }
         });

@@ -1,0 +1,445 @@
+//! The repartition controller: the decision loop that closes the dynamic
+//! partitioning cycle.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use partstm_analysis::online::{OnlineAnalyzer, OnlineConfig, Proposal};
+use partstm_core::{
+    AccessProfiler, Migratable, Partition, PartitionConfig, PartitionId, StatCounters, Stm,
+    SwitchOutcome,
+};
+
+use crate::directory::PVarDirectory;
+
+/// Controller tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ControllerConfig {
+    /// Evaluation window length (daemon mode).
+    pub interval: Duration,
+    /// Profiler sampling period (1 in N transactions).
+    pub sample_period: u64,
+    /// Profiler ring capacity between windows.
+    pub profiler_capacity: usize,
+    /// Thresholds of the online analysis.
+    pub online: OnlineConfig,
+    /// Consecutive windows that must propose the same action before it
+    /// executes (anti-thrash, like the tuner's hysteresis).
+    pub hysteresis: u32,
+    /// Windows to stay quiet after an executed (or failed) action.
+    pub cooldown: u32,
+    /// Exponential aging applied to the affinity graph every window.
+    pub decay: f64,
+    /// Hard cap on partitions this controller may create up to.
+    pub max_partitions: usize,
+    /// Template configuration for partitions created by splits (the name
+    /// is replaced). The default keeps the engine defaults and marks the
+    /// partition tunable, so the parameter tuner (when installed) adapts
+    /// the hot partition from its own observed statistics — picking a
+    /// contention policy here by fiat backfires on oversubscribed hosts,
+    /// where spinning policies burn the cycles the lock holder needs.
+    pub split_template: PartitionConfig,
+}
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        ControllerConfig {
+            interval: Duration::from_millis(250),
+            sample_period: 16,
+            profiler_capacity: 4096,
+            online: OnlineConfig::default(),
+            hysteresis: 2,
+            cooldown: 4,
+            decay: 0.5,
+            max_partitions: 64,
+            split_template: PartitionConfig::default().tunable(),
+        }
+    }
+}
+
+impl ControllerConfig {
+    /// A preset that reacts within a few hundred milliseconds — for demos,
+    /// benchmarks and tests. Production deployments should prefer the
+    /// defaults (or slower).
+    pub fn responsive() -> Self {
+        ControllerConfig {
+            interval: Duration::from_millis(100),
+            sample_period: 4,
+            online: OnlineConfig {
+                min_samples: 32,
+                ..OnlineConfig::default()
+            },
+            hysteresis: 2,
+            cooldown: 3,
+            ..Default::default()
+        }
+    }
+}
+
+/// One executed (or attempted) structural action.
+#[derive(Debug, Clone)]
+pub enum RepartEvent {
+    /// A hot bucket set was split out of `src` into the new `dst`.
+    Split {
+        /// The partition that was split.
+        src: PartitionId,
+        /// The newly created hot partition.
+        dst: PartitionId,
+        /// Variables migrated.
+        moved: usize,
+        /// Sampled write share the hot set carried.
+        hot_share: f64,
+        /// Abort rate that triggered the split.
+        abort_rate: f64,
+    },
+    /// `src`'s variables were folded into `dst`.
+    Merge {
+        /// The dissolved partition.
+        src: PartitionId,
+        /// The receiving partition.
+        dst: PartitionId,
+        /// Variables migrated.
+        moved: usize,
+    },
+    /// An approved action could not execute (directory had no handles, or
+    /// the repartition protocol reported contention/timeout).
+    Failed {
+        /// `"split"` or `"merge"`.
+        action: &'static str,
+        /// The partition the action targeted.
+        src: PartitionId,
+        /// Protocol outcome (or `Unchanged` when nothing was migratable).
+        outcome: SwitchOutcome,
+    },
+}
+
+type StreakKey = (&'static str, PartitionId);
+
+struct CtrlState {
+    analyzer: OnlineAnalyzer,
+    last_stats: BTreeMap<PartitionId, StatCounters>,
+    streaks: BTreeMap<StreakKey, u32>,
+    cooldown: u32,
+    split_seq: u32,
+    /// Partitions this controller knows to be dead (merged-away sources,
+    /// abandoned split destinations); the Stm itself never unregisters
+    /// them, so the partition-cap check discounts these.
+    dead: std::collections::BTreeSet<PartitionId>,
+    events: Vec<RepartEvent>,
+}
+
+struct Ctrl {
+    stm: Stm,
+    dir: Arc<dyn PVarDirectory>,
+    profiler: Arc<AccessProfiler>,
+    cfg: ControllerConfig,
+    state: Mutex<CtrlState>,
+    windows: AtomicU64,
+    stop: AtomicBool,
+}
+
+/// Background daemon that watches the profiler, scores candidate
+/// split/merge plans against observed abort/commit statistics, and
+/// executes approved plans live via the repartition protocol — with
+/// hysteresis and cooldown so it never thrashes.
+///
+/// Construct with [`RepartitionController::new`] and drive it manually
+/// with [`step`](RepartitionController::step) (tests, benchmarks with
+/// their own scheduling), or with
+/// [`RepartitionController::spawn`] to run the loop on a background
+/// thread. Either way the controller installs an [`AccessProfiler`] on
+/// the `Stm` at construction.
+pub struct RepartitionController {
+    ctrl: Arc<Ctrl>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl RepartitionController {
+    /// Creates a controller (profiler installed, no thread spawned).
+    pub fn new(stm: &Stm, dir: Arc<dyn PVarDirectory>, cfg: ControllerConfig) -> Self {
+        let profiler = Arc::new(AccessProfiler::new(
+            cfg.sample_period,
+            cfg.profiler_capacity,
+        ));
+        stm.set_profiler(Arc::clone(&profiler));
+        let baseline = stm
+            .partitions()
+            .iter()
+            .map(|p| (p.id(), p.stats()))
+            .collect();
+        RepartitionController {
+            ctrl: Arc::new(Ctrl {
+                stm: stm.clone(),
+                dir,
+                profiler,
+                cfg,
+                state: Mutex::new(CtrlState {
+                    analyzer: OnlineAnalyzer::new(),
+                    last_stats: baseline,
+                    streaks: BTreeMap::new(),
+                    cooldown: 0,
+                    split_seq: 0,
+                    dead: std::collections::BTreeSet::new(),
+                    events: Vec::new(),
+                }),
+                windows: AtomicU64::new(0),
+                stop: AtomicBool::new(false),
+            }),
+            handle: None,
+        }
+    }
+
+    /// Creates a controller and runs its window loop on a background
+    /// thread until [`stop`](RepartitionController::stop) (or drop).
+    pub fn spawn(stm: &Stm, dir: Arc<dyn PVarDirectory>, cfg: ControllerConfig) -> Self {
+        let mut c = Self::new(stm, dir, cfg);
+        let ctrl = Arc::clone(&c.ctrl);
+        c.handle = Some(std::thread::spawn(move || {
+            let tick = Duration::from_millis(10);
+            let mut elapsed = Duration::ZERO;
+            while !ctrl.stop.load(Ordering::Acquire) {
+                std::thread::sleep(tick);
+                elapsed += tick;
+                if elapsed >= ctrl.cfg.interval {
+                    elapsed = Duration::ZERO;
+                    step(&ctrl);
+                }
+            }
+        }));
+        c
+    }
+
+    /// Runs one evaluation window synchronously: drain samples, fold them
+    /// into the affinity graph, score proposals, execute at most one
+    /// approved action.
+    pub fn step(&self) {
+        step(&self.ctrl);
+    }
+
+    /// Windows evaluated so far.
+    pub fn windows(&self) -> u64 {
+        self.ctrl.windows.load(Ordering::Relaxed)
+    }
+
+    /// The profiler this controller installed.
+    pub fn profiler(&self) -> &Arc<AccessProfiler> {
+        &self.ctrl.profiler
+    }
+
+    /// Snapshot of the event log.
+    pub fn events(&self) -> Vec<RepartEvent> {
+        self.ctrl.state.lock().events.clone()
+    }
+
+    /// True if any split executed so far.
+    pub fn has_split(&self) -> bool {
+        self.ctrl
+            .state
+            .lock()
+            .events
+            .iter()
+            .any(|e| matches!(e, RepartEvent::Split { .. }))
+    }
+
+    /// Stops the daemon (if spawned), uninstalls the profiler and returns
+    /// the event log.
+    pub fn stop(mut self) -> Vec<RepartEvent> {
+        self.shutdown();
+        let events = std::mem::take(&mut self.ctrl.state.lock().events);
+        events
+    }
+
+    fn shutdown(&mut self) {
+        self.ctrl.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+        self.ctrl.stm.clear_profiler();
+    }
+}
+
+impl Drop for RepartitionController {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl core::fmt::Debug for RepartitionController {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("RepartitionController")
+            .field("windows", &self.windows())
+            .field("daemon", &self.handle.is_some())
+            .finish()
+    }
+}
+
+fn find_partition(stm: &Stm, id: PartitionId) -> Option<Arc<Partition>> {
+    stm.partitions().into_iter().find(|p| p.id() == id)
+}
+
+/// One evaluation window.
+fn step(ctrl: &Ctrl) {
+    ctrl.windows.fetch_add(1, Ordering::Relaxed);
+    let mut st = ctrl.state.lock();
+    let st = &mut *st;
+
+    // 1. Age the graph, fold in the window's samples.
+    st.analyzer.decay(ctrl.cfg.decay);
+    let samples = ctrl.profiler.drain();
+    st.analyzer.observe_all(samples.iter());
+
+    // 2. Per-partition statistics delta over the window.
+    let mut delta = BTreeMap::new();
+    let mut snap = BTreeMap::new();
+    for p in ctrl.stm.partitions() {
+        let s = p.stats();
+        let base = st.last_stats.get(&p.id()).copied().unwrap_or_default();
+        delta.insert(p.id(), s.delta(&base));
+        snap.insert(p.id(), s);
+    }
+    st.last_stats = snap;
+
+    // 3. Score proposals; maintain hysteresis streaks.
+    let proposals = st.analyzer.proposals(&delta, &ctrl.cfg.online);
+    let keys: Vec<StreakKey> = proposals
+        .iter()
+        .map(|p| match p {
+            Proposal::Split { src, .. } => ("split", *src),
+            Proposal::Merge { src, .. } => ("merge", *src),
+        })
+        .collect();
+    st.streaks.retain(|k, _| keys.contains(k));
+    for k in &keys {
+        *st.streaks.entry(*k).or_insert(0) += 1;
+    }
+    if st.cooldown > 0 {
+        st.cooldown -= 1;
+        return;
+    }
+
+    // 4. Execute the first approved action (at most one per window).
+    for (proposal, key) in proposals.iter().zip(&keys) {
+        if st.streaks.get(key).copied().unwrap_or(0) < ctrl.cfg.hysteresis {
+            continue;
+        }
+        match proposal {
+            Proposal::Split {
+                src,
+                buckets,
+                hot_share,
+                abort_rate,
+            } => {
+                // The Stm never removes partitions, so subtract the ones
+                // this controller knows are dead (merged-away sources,
+                // abandoned split destinations) — otherwise a long
+                // split/merge history would exhaust the cap with corpses
+                // and silently disable splitting forever.
+                let live = ctrl.stm.partitions().len().saturating_sub(st.dead.len());
+                if live >= ctrl.cfg.max_partitions {
+                    continue;
+                }
+                let Some(src_part) = find_partition(&ctrl.stm, *src) else {
+                    continue;
+                };
+                let movers = ctrl.dir.collect(*src, buckets);
+                if movers.is_empty() {
+                    st.events.push(RepartEvent::Failed {
+                        action: "split",
+                        src: *src,
+                        outcome: SwitchOutcome::Unchanged,
+                    });
+                    st.streaks.clear();
+                    st.cooldown = ctrl.cfg.cooldown;
+                    return;
+                }
+                st.split_seq += 1;
+                let name = format!("{}~hot{}", src_part.name(), st.split_seq);
+                let refs: Vec<&dyn Migratable> = movers.iter().map(|m| &**m).collect();
+                let template = PartitionConfig {
+                    name,
+                    ..ctrl.cfg.split_template.clone()
+                };
+                let (dst, mut outcome) = ctrl.stm.split_partition(&src_part, template, &refs);
+                // A Contended migration left `dst` created but empty;
+                // retry into the same destination (per the protocol docs)
+                // so a transient collision with a tuner switch doesn't
+                // leak a dead partition.
+                let mut retries = 0;
+                while outcome == SwitchOutcome::Contended && retries < 8 {
+                    std::thread::yield_now();
+                    outcome = ctrl.stm.migrate_pvars(&refs, &dst);
+                    retries += 1;
+                }
+                st.events.push(match outcome {
+                    SwitchOutcome::Switched => RepartEvent::Split {
+                        src: *src,
+                        dst: dst.id(),
+                        moved: movers.len(),
+                        hot_share: *hot_share,
+                        abort_rate: *abort_rate,
+                    },
+                    other => {
+                        // The destination stays registered but empty;
+                        // account for the corpse so it doesn't consume
+                        // the partition cap.
+                        st.dead.insert(dst.id());
+                        RepartEvent::Failed {
+                            action: "split",
+                            src: *src,
+                            outcome: other,
+                        }
+                    }
+                });
+                st.analyzer.forget_partition(*src);
+            }
+            Proposal::Merge { src, dst, .. } => {
+                let (Some(src_part), Some(dst_part)) = (
+                    find_partition(&ctrl.stm, *src),
+                    find_partition(&ctrl.stm, *dst),
+                ) else {
+                    continue;
+                };
+                let movers = ctrl.dir.collect_all(*src);
+                if movers.is_empty() {
+                    // Nothing registered to move: executing would run a
+                    // full stop-the-world quiesce to accomplish nothing,
+                    // and recur every hysteresis cycle.
+                    st.events.push(RepartEvent::Failed {
+                        action: "merge",
+                        src: *src,
+                        outcome: SwitchOutcome::Unchanged,
+                    });
+                    st.streaks.clear();
+                    st.cooldown = ctrl.cfg.cooldown;
+                    return;
+                }
+                let refs: Vec<&dyn Migratable> = movers.iter().map(|m| &**m).collect();
+                let outcome = ctrl.stm.merge_partitions(&[&src_part], &dst_part, &refs);
+                st.events.push(match outcome {
+                    SwitchOutcome::Switched => {
+                        st.dead.insert(*src);
+                        RepartEvent::Merge {
+                            src: *src,
+                            dst: *dst,
+                            moved: movers.len(),
+                        }
+                    }
+                    other => RepartEvent::Failed {
+                        action: "merge",
+                        src: *src,
+                        outcome: other,
+                    },
+                });
+                st.analyzer.forget_partition(*src);
+                st.analyzer.forget_partition(*dst);
+            }
+        }
+        st.streaks.clear();
+        st.cooldown = ctrl.cfg.cooldown;
+        return;
+    }
+}

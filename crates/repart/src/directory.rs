@@ -1,0 +1,132 @@
+//! Migration directories: mapping profiler reports back to variables.
+//!
+//! The profiler reports hot spots as `(partition, address bucket)` pairs;
+//! executing a split needs the concrete [`PVar`](partstm_core::PVar)
+//! handles bound there. The runtime deliberately does not track which
+//! variables live in a partition (that would put a registry write on the
+//! allocation path), so the application registers the variables it wants
+//! the repartitioner to be able to move — typically at allocation time,
+//! next to `Partition::tvar`.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use partstm_core::profiler::bucket_of;
+use partstm_core::{Migratable, PartitionId};
+
+/// Source of migratable variable handles for the controller.
+pub trait PVarDirectory: Send + Sync {
+    /// Handles of registered variables currently bound to `part` whose
+    /// profile bucket is in `buckets` (`buckets` is sorted).
+    fn collect(&self, part: PartitionId, buckets: &[u16]) -> Vec<Arc<dyn Migratable>>;
+
+    /// Handles of all registered variables currently bound to `part`.
+    fn collect_all(&self, part: PartitionId) -> Vec<Arc<dyn Migratable>>;
+}
+
+/// The straightforward directory: a flat registry of handles, filtered on
+/// demand by current binding and bucket. Registration is cheap
+/// (amortized push under a write lock); collection walks the registry —
+/// fine for control-plane use.
+#[derive(Default)]
+pub struct StaticDirectory {
+    vars: RwLock<Vec<Arc<dyn Migratable>>>,
+}
+
+impl StaticDirectory {
+    /// An empty directory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers one variable.
+    pub fn register(&self, var: Arc<dyn Migratable>) {
+        self.vars.write().push(var);
+    }
+
+    /// Registers a batch of variables.
+    pub fn register_all<I: IntoIterator<Item = Arc<dyn Migratable>>>(&self, vars: I) {
+        self.vars.write().extend(vars);
+    }
+
+    /// Number of registered variables.
+    pub fn len(&self) -> usize {
+        self.vars.read().len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.vars.read().is_empty()
+    }
+}
+
+impl PVarDirectory for StaticDirectory {
+    fn collect(&self, part: PartitionId, buckets: &[u16]) -> Vec<Arc<dyn Migratable>> {
+        self.vars
+            .read()
+            .iter()
+            .filter(|v| {
+                v.pvar_binding().partition_id() == part
+                    && buckets.binary_search(&bucket_of(v.var_addr())).is_ok()
+            })
+            .map(Arc::clone)
+            .collect()
+    }
+
+    fn collect_all(&self, part: PartitionId) -> Vec<Arc<dyn Migratable>> {
+        self.vars
+            .read()
+            .iter()
+            .filter(|v| v.pvar_binding().partition_id() == part)
+            .map(Arc::clone)
+            .collect()
+    }
+}
+
+impl core::fmt::Debug for StaticDirectory {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("StaticDirectory")
+            .field("vars", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use partstm_core::{PartitionConfig, Stm};
+
+    #[test]
+    fn directory_filters_by_binding_and_bucket() {
+        let stm = Stm::new();
+        let a = stm.new_partition(PartitionConfig::named("a"));
+        let b = stm.new_partition(PartitionConfig::named("b"));
+        let dir = StaticDirectory::new();
+        let xs: Vec<Arc<partstm_core::PVar<u64>>> =
+            (0..32).map(|i| Arc::new(a.tvar(i as u64))).collect();
+        let y = Arc::new(b.tvar(7u64));
+        for x in &xs {
+            dir.register(Arc::clone(x) as Arc<dyn Migratable>);
+        }
+        dir.register(Arc::clone(&y) as Arc<dyn Migratable>);
+        assert_eq!(dir.len(), 33);
+        assert!(!dir.is_empty());
+
+        assert_eq!(dir.collect_all(a.id()).len(), 32);
+        assert_eq!(dir.collect_all(b.id()).len(), 1);
+
+        // Bucket filtering returns exactly the vars hashing there.
+        let mut buckets: Vec<u16> = xs
+            .iter()
+            .take(4)
+            .map(|x| bucket_of(Migratable::var_addr(&**x)))
+            .collect();
+        buckets.sort_unstable();
+        buckets.dedup();
+        let got = dir.collect(a.id(), &buckets);
+        assert!(got.len() >= 4, "at least the four seeds: {}", got.len());
+        for v in &got {
+            assert!(buckets.binary_search(&bucket_of(v.var_addr())).is_ok());
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! # partstm-repart — online repartitioning
+//!
+//! The dynamic half of the paper's loop: static analysis seeds the
+//! partitioning (`partstm-analysis`), the runtime observes real access
+//! behaviour (`partstm_core::profiler`), and *this crate* re-partitions
+//! while the program runs — splitting conflict hot spots out of
+//! overloaded partitions, merging cold co-accessed partitions back, and
+//! migrating the affected [`PVar`](partstm_core::PVar)s live over the
+//! quiesce-based repartition protocol
+//! ([`Stm::split_partition`](partstm_core::Stm::split_partition) and
+//! friends).
+//!
+//! ## The loop
+//!
+//! ```text
+//!  transactions ──▶ sampled AccessProfiler (partstm-core)
+//!                      │ TxSamples: (partition, bucket) touches
+//!                      ▼
+//!                 OnlineAnalyzer (partstm-analysis::online)
+//!                      │ affinity/conflict graph → Split/Merge proposals
+//!                      ▼
+//!                 RepartitionController (this crate)
+//!                      │ windows, scores vs abort/commit stats,
+//!                      │ hysteresis + cooldown
+//!                      ▼
+//!                 Stm::split_partition / merge_partitions
+//!                      │ flag → quiesce → rebind PVars → gen+1
+//!                      ▼
+//!                 PVarDirectory maps hot buckets back to variables
+//! ```
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use std::sync::Arc;
+//! use partstm_core::{Migratable, PartitionConfig, Stm};
+//! use partstm_repart::{ControllerConfig, PVarDirectory, RepartitionController, StaticDirectory};
+//!
+//! let stm = Stm::new();
+//! let accounts = stm.new_partition(PartitionConfig::named("accounts"));
+//! let dir = Arc::new(StaticDirectory::new());
+//! let vars: Vec<Arc<partstm_core::PVar<i64>>> =
+//!     (0..64).map(|_| Arc::new(accounts.tvar(0i64))).collect();
+//! for v in &vars {
+//!     dir.register(Arc::clone(v) as Arc<dyn Migratable>);
+//! }
+//! // Drive the loop manually (or `RepartitionController::spawn` for a
+//! // background daemon).
+//! let controller = RepartitionController::new(&stm, dir, ControllerConfig::responsive());
+//! controller.step();
+//! assert_eq!(controller.windows(), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod controller;
+mod directory;
+
+pub use controller::{ControllerConfig, RepartEvent, RepartitionController};
+pub use directory::{PVarDirectory, StaticDirectory};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    use partstm_core::{Migratable, PVar, PartitionConfig, Stm};
+
+    /// A registry-backed bank whose accounts the controller may migrate.
+    struct MovableBank {
+        accounts: Vec<Arc<PVar<i64>>>,
+    }
+
+    impl MovableBank {
+        fn new(stm: &Stm, n: usize, initial: i64) -> (Self, Arc<StaticDirectory>) {
+            let part = stm.new_partition(PartitionConfig::named("accounts"));
+            let dir = Arc::new(StaticDirectory::new());
+            let accounts: Vec<Arc<PVar<i64>>> =
+                (0..n).map(|_| Arc::new(part.tvar(initial))).collect();
+            for a in &accounts {
+                dir.register(Arc::clone(a) as Arc<dyn Migratable>);
+            }
+            (MovableBank { accounts }, dir)
+        }
+
+        fn total_direct(&self) -> i64 {
+            self.accounts.iter().map(|a| a.load_direct()).sum()
+        }
+    }
+
+    /// End-to-end: a hot cluster hammered by writers makes the controller
+    /// split the account partition, conserving the bank's total.
+    #[test]
+    fn controller_splits_a_hot_cluster() {
+        const ACCOUNTS: usize = 512;
+        const HOT: usize = 4;
+        let stm = Stm::new();
+        let (bank, dir) = MovableBank::new(&stm, ACCOUNTS, 100);
+        let expect = ACCOUNTS as i64 * 100;
+        let controller = RepartitionController::new(&stm, dir, ControllerConfig::responsive());
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut split = false;
+        std::thread::scope(|s| {
+            for t in 0..3usize {
+                let ctx = stm.register_thread();
+                let (bank, stop) = (&bank, Arc::clone(&stop));
+                s.spawn(move || {
+                    let mut r = (t as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                    while !stop.load(Ordering::Relaxed) {
+                        r ^= r << 13;
+                        r ^= r >> 7;
+                        r ^= r << 17;
+                        // 85% of transfers inside the hot cluster; a yield
+                        // inside the transaction stretches the conflict
+                        // window across a reschedule so contention shows
+                        // even on one core.
+                        let hot = r % 100 < 85;
+                        let (from, to) = if hot {
+                            ((r % HOT as u64) as usize, ((r >> 8) % HOT as u64) as usize)
+                        } else {
+                            (
+                                (r % ACCOUNTS as u64) as usize,
+                                ((r >> 8) % ACCOUNTS as u64) as usize,
+                            )
+                        };
+                        let amt = (r % 90) as i64;
+                        ctx.run(|tx| {
+                            let f = tx.read(&bank.accounts[from])?;
+                            tx.write(&bank.accounts[from], f - amt)?;
+                            if hot {
+                                std::thread::yield_now();
+                            }
+                            let t = tx.read(&bank.accounts[to])?;
+                            tx.write(&bank.accounts[to], t + amt)?;
+                            Ok(())
+                        });
+                    }
+                });
+            }
+            // Drive windows synchronously until a split lands.
+            let deadline = Instant::now() + Duration::from_secs(20);
+            while Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(50));
+                controller.step();
+                if controller.has_split() {
+                    split = true;
+                    break;
+                }
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+
+        assert!(split, "controller never split: {:?}", controller.events());
+        let events = controller.stop();
+        let (moved, dst) = events
+            .iter()
+            .find_map(|e| match e {
+                RepartEvent::Split { moved, dst, .. } => Some((*moved, *dst)),
+                _ => None,
+            })
+            .unwrap();
+        assert!(moved > 0, "split must migrate variables");
+        assert!(
+            bank.accounts.iter().any(|a| a.partition_id() == dst),
+            "some account must live in the new partition"
+        );
+        assert_eq!(bank.total_direct(), expect, "conserved sum");
+        assert!(
+            stm.partitions().len() > 1,
+            "split created a partition: {:?}",
+            stm.partitions().len()
+        );
+    }
+
+    /// The daemon variant starts, ticks and stops cleanly.
+    #[test]
+    fn daemon_spawns_and_stops() {
+        let stm = Stm::new();
+        let (_bank, dir) = MovableBank::new(&stm, 16, 1);
+        let mut cfg = ControllerConfig::responsive();
+        cfg.interval = Duration::from_millis(20);
+        let controller = RepartitionController::spawn(&stm, dir, cfg);
+        let ctx = stm.register_thread();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while controller.windows() < 3 && Instant::now() < deadline {
+            // Keep some traffic flowing so windows have data to chew on.
+            let x = stm.partitions()[0].tvar(0u64);
+            ctx.run(|tx| tx.modify(&x, |v| v + 1).map(|_| ()));
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(controller.windows() >= 3, "daemon never ticked");
+        let _events = controller.stop();
+        assert!(stm.profiler().is_none(), "stop uninstalls the profiler");
+    }
+}

@@ -7,8 +7,9 @@
 //!
 //! | module | crate | contents |
 //! |---|---|---|
-//! | [`core`] | `partstm-core` | the STM engine: partitions, `TVar`s, transactions, tuning hooks |
-//! | [`analysis`] | `partstm-analysis` | the compile-time automatic partitioner |
+//! | [`core`] | `partstm-core` | the STM engine: partitions, `TVar`s, transactions, tuning hooks, access profiler |
+//! | [`analysis`] | `partstm-analysis` | the compile-time automatic partitioner + online affinity analysis |
+//! | [`repart`] | `partstm-repart` | the online repartitioner: live partition split/merge + `PVar` migration |
 //! | [`tuning`] | `partstm-tuning` | runtime tuning policies (threshold heuristic, hill climbing) |
 //! | [`structures`] | `partstm-structures` | transactional list / skip list / rb-tree / hash map / queue / bank |
 //! | [`stamp`] | `partstm-stamp` | STAMP application ports: vacation, kmeans, genome, intruder |
@@ -28,6 +29,7 @@
 
 pub use partstm_analysis as analysis;
 pub use partstm_core as core;
+pub use partstm_repart as repart;
 pub use partstm_stamp as stamp;
 pub use partstm_structures as structures;
 pub use partstm_tuning as tuning;

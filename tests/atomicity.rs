@@ -207,7 +207,7 @@ fn config_switches_during_load_lose_nothing() {
                 let (rm, g) = configs[i % 4];
                 cfg.read_mode = rm;
                 cfg.granularity = g;
-                stm2.switch_partition(&p2, cfg);
+                let _ = stm2.switch_partition(&p2, cfg);
                 std::thread::sleep(std::time::Duration::from_millis(1));
             }
         });
