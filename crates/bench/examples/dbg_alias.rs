@@ -1,0 +1,102 @@
+//! Scratch probe: where do the cold-scan aborts go when the workload mix
+//! approaches the struct phase-shift scenario? (Diagnosing the dip.)
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use partstm_core::{PartitionConfig, Stm};
+use partstm_structures::THashMap;
+
+fn run(label: &str, threads: usize, scan_pct: u64, hold: &str) {
+    let stm = Stm::new();
+    let part = stm.new_partition(PartitionConfig::named("mixed").orecs(256));
+    let hot = Arc::new(THashMap::new(Arc::clone(&part), 16));
+    let cold = Arc::new(THashMap::new(Arc::clone(&part), 1024));
+    let ctx = stm.register_thread();
+    for k in 0..16u64 {
+        ctx.run(|tx| hot.put(tx, k, 100).map(|_| ()));
+    }
+    for k in 0..4080u64 {
+        ctx.run(|tx| cold.put(tx, k, 100).map(|_| ()));
+    }
+    drop(ctx);
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let ops = Arc::new(AtomicU64::new(0));
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let ctx = stm.register_thread();
+            let (hot, cold, stop, ops) = (
+                Arc::clone(&hot),
+                Arc::clone(&cold),
+                Arc::clone(&stop),
+                Arc::clone(&ops),
+            );
+            let hold = hold.to_string();
+            s.spawn(move || {
+                let mut r = (t as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                while !stop.load(Ordering::Relaxed) {
+                    r ^= r << 13;
+                    r ^= r >> 7;
+                    r ^= r << 17;
+                    if (r >> 16) % 100 < scan_pct {
+                        let seed = r;
+                        ctx.run(|tx| {
+                            let mut x = seed;
+                            let mut sum = 0u64;
+                            for _ in 0..64 {
+                                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                                let k = (x >> 16) % 4080;
+                                sum = sum.wrapping_add(cold.get(tx, k)?.unwrap_or(0));
+                            }
+                            Ok(sum)
+                        });
+                    } else {
+                        let from = r % 16;
+                        let to = (r >> 8) % 16;
+                        let amt = r % 90;
+                        let hold = hold.as_str();
+                        ctx.run(|tx| {
+                            let f = hot.get(tx, from)?.unwrap_or(0);
+                            hot.put(tx, from, f.wrapping_sub(amt))?;
+                            match hold {
+                                "sleep" => std::thread::sleep(Duration::from_micros(50)),
+                                "spin" => {
+                                    let t0 = Instant::now();
+                                    while t0.elapsed() < Duration::from_micros(25) {
+                                        core::hint::spin_loop();
+                                    }
+                                }
+                                _ => std::thread::yield_now(),
+                            }
+                            let t2 = hot.get(tx, to)?.unwrap_or(0);
+                            hot.put(tx, to, t2.wrapping_add(amt))?;
+                            Ok(())
+                        });
+                    }
+                    ops.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        std::thread::sleep(Duration::from_secs(2));
+        stop.store(true, Ordering::Relaxed);
+    });
+    let st = part.stats();
+    println!(
+        "{label:>28}: ops/s={:>7} commits={} wlock={} valid={} user={}",
+        ops.load(Ordering::Relaxed) / 2,
+        st.commits,
+        st.aborts_wlock,
+        st.aborts_validation,
+        st.aborts_user,
+    );
+}
+
+fn main() {
+    run("2thr scan85 sleep", 2, 85, "sleep");
+    run("4thr scan85 sleep", 4, 85, "sleep");
+    run("4thr scan85 spin", 4, 85, "spin");
+    run("4thr scan85 yield", 4, 85, "yield");
+    run("4thr scan50 sleep", 4, 50, "sleep");
+}

@@ -1,6 +1,6 @@
 //! Scratch diagnostics for the phase-shift scenario (not part of repro).
 
-use partstm_bench::phase_shift::{run_phase_shift, PhaseShiftConfig};
+use partstm_bench::phase_shift::{run_phase_shift, run_struct_shift, PhaseShiftConfig};
 
 fn main() {
     for (label, mk) in [
@@ -10,8 +10,20 @@ fn main() {
                 as Box<dyn Fn() -> PhaseShiftConfig>,
         ),
         ("ctrl", Box::new(|| PhaseShiftConfig::standard(4, 4.0))),
+        (
+            "struct-static",
+            Box::new(|| PhaseShiftConfig::struct_standard(4, 4.0).without_controller()),
+        ),
+        (
+            "struct-ctrl",
+            Box::new(|| PhaseShiftConfig::struct_standard(4, 4.0)),
+        ),
     ] {
-        let rep = run_phase_shift(&mk());
+        let rep = if label.starts_with("struct") {
+            run_struct_shift(&mk())
+        } else {
+            run_phase_shift(&mk())
+        };
         println!("== {label}");
         println!("windows: {:?}", rep.window_ops);
         println!(

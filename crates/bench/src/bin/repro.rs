@@ -9,17 +9,20 @@
 //!
 //! Each experiment prints the table/series the corresponding paper artifact
 //! reports (see DESIGN.md §4 for the reconstruction rationale and
-//! EXPERIMENTS.md for measured-vs-expected). `repart` runs the phase-shift
-//! workload that exercises the online repartitioner end to end, and
-//! `--json` writes per-scenario metrics to `BENCH_repro.json` for
-//! cross-commit tracking.
+//! EXPERIMENTS.md for measured-vs-expected). `repart` runs the two
+//! phase-shift workloads that exercise the online repartitioner end to end
+//! — flat variables, then arena-backed structures whose recovery requires
+//! an arena-level split — and `--json` writes per-scenario metrics to
+//! `BENCH_repro.json` for cross-commit tracking.
 
 use std::sync::Arc;
 use std::time::Instant;
 
 use partstm_bench::hetero::{self, HeteroApp, HeteroMode};
 use partstm_bench::json_out::BenchRecorder;
-use partstm_bench::phase_shift::{run_phase_shift, PhaseShiftConfig, PhaseShiftReport};
+use partstm_bench::phase_shift::{
+    run_phase_shift, run_struct_shift, PhaseShiftConfig, PhaseShiftReport,
+};
 use partstm_bench::{
     config_label, drive, drive_timeseries, intset_op, kops, partition_with, prefill, snapshot_all,
     static_configs, thread_sweep,
@@ -799,9 +802,11 @@ fn a3(opts: &Opts) {
 
 // ---------------------------------------------------------------- REPART
 
-/// Phase-shift scenario: uniform transfers flip to a hot cluster mid-run;
-/// the online repartitioner must split the hot accounts out and win back
-/// the lost throughput (acceptance: >= 20% of the loss recovered).
+/// Phase-shift scenarios: uniform traffic flips to a hot cluster mid-run;
+/// the online repartitioner must split the hot data out and win back the
+/// lost throughput (acceptance: >= 20% of the loss recovered). Runs the
+/// flat-variable scenario and the structure-backed one (two hash maps in
+/// one partition; recovery requires an arena-level split).
 fn repart(opts: &Opts) {
     let threads = (*opts.threads.last().unwrap_or(&4)).clamp(2, 8);
     // Floor of 5s: the recovery tail needs a few clean windows after the
@@ -820,7 +825,29 @@ fn repart(opts: &Opts) {
     let without = with.clone().without_controller();
     let stat = run_phase_shift(&without);
     let ctrl = run_phase_shift(&with);
+    report_repart(opts, &with, &stat, &ctrl, "repart");
 
+    println!(
+        "\n=== REPART-STRUCT: same shift against arena-backed hash maps \
+         (cold map {} keys scanned, hot map {} keys hammered; recovery \
+         needs an arena-level split) ===",
+        with.accounts - with.hot,
+        with.hot
+    );
+    let with_s = PhaseShiftConfig::struct_standard(threads, total);
+    let stat_s = run_struct_shift(&with_s.clone().without_controller());
+    let ctrl_s = run_struct_shift(&with_s);
+    report_repart(opts, &with_s, &stat_s, &ctrl_s, "repart_struct");
+}
+
+/// Prints one scenario's window table + summary and records its metrics.
+fn report_repart(
+    opts: &Opts,
+    with: &PhaseShiftConfig,
+    stat: &PhaseShiftReport,
+    ctrl: &PhaseShiftReport,
+    tag: &str,
+) {
     println!(
         "{:>8} {:>6} {:>12} {:>12}   marker",
         "window", "t(s)", "static", "repart"
@@ -853,14 +880,24 @@ fn repart(opts: &Opts) {
             r.partitions
         );
     };
-    line("static", &stat);
-    line("repart", &ctrl);
+    line("static", stat);
+    line("repart", ctrl);
     for e in &ctrl.events {
         println!("controller event: {e:?}");
     }
+    // Splits that carried whole collections (arena + roots) — the
+    // arena-level migrations the structure scenario must exhibit.
+    let arena_splits = ctrl
+        .events
+        .iter()
+        .filter(
+            |e| matches!(e, partstm_repart::RepartEvent::Split { collections, .. } if *collections > 0),
+        )
+        .count();
     match ctrl.split_window {
         Some(w) => println!(
-            "controller split at window {w}; recovery criterion (>=20%): {}",
+            "controller split at window {w} ({arena_splits} arena-level); \
+             recovery criterion (>=20%): {}",
             if ctrl.recovery >= 0.20 {
                 "MET"
             } else {
@@ -871,7 +908,17 @@ fn repart(opts: &Opts) {
     }
     assert!(stat.conserved && ctrl.conserved, "conserved-sum violated");
 
-    for (name, r) in [("repart/static", &stat), ("repart/controller", &ctrl)] {
+    for (name, r) in [
+        (format!("{tag}/static"), stat),
+        (format!("{tag}/controller"), ctrl),
+    ] {
+        let r_arena_splits = r
+            .events
+            .iter()
+            .filter(
+                |e| matches!(e, partstm_repart::RepartEvent::Split { collections, .. } if *collections > 0),
+            )
+            .count();
         opts.rec.record(
             name,
             &[
@@ -885,6 +932,7 @@ fn repart(opts: &Opts) {
                     "split_window",
                     r.split_window.map(|w| w as f64).unwrap_or(-1.0),
                 ),
+                ("arena_splits", r_arena_splits as f64),
             ],
         );
     }

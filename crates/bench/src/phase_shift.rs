@@ -21,12 +21,26 @@
 //! The report quantifies the recovery as the fraction of the lost
 //! throughput won back: `(recovered - dip) / (baseline - dip)`.
 
+//! ## The structure-backed variant
+//!
+//! [`run_struct_shift`] replays the same phase shift against *arena-backed
+//! structures*: two transactional hash maps share one partition — a large
+//! cold map the scans walk and a small map the post-shift transfers
+//! hammer (hot-key skew). Flat-variable migration cannot help here; the
+//! controller must execute an **arena-level split**: the
+//! [`ArenaDirectory`] maps the hot buckets back to the over-represented
+//! map, and the whole structure (arena home, every node, bucket roots)
+//! migrates to a fresh partition under the repartition protocol.
+
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use partstm_core::{Migratable, PVar, PartitionConfig, Stm};
-use partstm_repart::{ControllerConfig, RepartEvent, RepartitionController, StaticDirectory};
+use partstm_repart::{
+    ArenaDirectory, ControllerConfig, RepartEvent, RepartitionController, StaticDirectory,
+};
+use partstm_structures::THashMap;
 
 /// Initial balance per account (the conserved-sum probe).
 const INITIAL: i64 = 100;
@@ -85,6 +99,20 @@ impl PhaseShiftConfig {
         self.with_controller = false;
         self
     }
+
+    /// The standard *structure-backed* scenario ([`run_struct_shift`]):
+    /// like [`PhaseShiftConfig::standard`] but with a heavier transfer
+    /// share. The hash-map scans are ~6× more expensive per operation
+    /// than flat-array scans, so at the flat scenario's 85% scan share
+    /// the hot transfers are too rare a slice of wall time to strand
+    /// locks often enough for the abort signal to clear the analyzer's
+    /// split gate on one core.
+    pub fn struct_standard(threads: usize, total_secs: f64) -> Self {
+        PhaseShiftConfig {
+            scan_pct: 70,
+            ..Self::standard(threads, total_secs)
+        }
+    }
 }
 
 /// Measured outcome of one phase-shift run.
@@ -118,6 +146,60 @@ pub struct PhaseShiftReport {
     pub partition_stats: Vec<(String, partstm_core::StatCounters)>,
 }
 
+/// The controller preset both phase-shift scenarios use.
+fn recovery_controller_config() -> ControllerConfig {
+    let mut ctrl_cfg = ControllerConfig::responsive();
+    // Deliberately not instant: reacting ~1s after the shift leaves
+    // several fully dipped windows in the series, so the run measures
+    // its *own* loss before the split repairs it.
+    ctrl_cfg.interval = Duration::from_millis(250);
+    // 1-in-32 keeps profiling overhead out of the measurement while
+    // still feeding hundreds of samples per window.
+    ctrl_cfg.sample_period = 32;
+    // A first split computed right after the shift still carries
+    // decayed uniform-phase history and can leave hot residue behind;
+    // a lower abort threshold and hot-share gate (the 4x-mean
+    // concentration test still guards against diffuse splits) let a
+    // cleanup split finish the job.
+    ctrl_cfg.online.split_abort_rate = 0.05;
+    ctrl_cfg.online.split_hot_share = 0.30;
+    ctrl_cfg.decay = 0.4;
+    ctrl_cfg
+}
+
+/// The windowed measurement loop both scenarios share: sleeps to each
+/// window boundary, records the ops delta, and latches the window in
+/// which the controller's first split landed.
+fn measure_windows(
+    cfg: &PhaseShiftConfig,
+    start: Instant,
+    ops: &AtomicU64,
+    controller: &Option<RepartitionController>,
+) -> (Vec<u64>, Option<usize>) {
+    let windows = (cfg.total_secs / cfg.window_secs).round() as usize;
+    let mut window_ops = Vec::with_capacity(windows);
+    let mut split_window = None;
+    let mut prev = 0u64;
+    for w in 0..windows {
+        let target = start + Duration::from_secs_f64((w + 1) as f64 * cfg.window_secs);
+        let now = Instant::now();
+        if target > now {
+            std::thread::sleep(target - now);
+        }
+        let cur = ops.load(Ordering::Relaxed);
+        window_ops.push(cur - prev);
+        prev = cur;
+        if split_window.is_none() {
+            if let Some(c) = controller {
+                if c.has_split() {
+                    split_window = Some(w);
+                }
+            }
+        }
+    }
+    (window_ops, split_window)
+}
+
 /// Runs the scenario and measures the recovery.
 pub fn run_phase_shift(cfg: &PhaseShiftConfig) -> PhaseShiftReport {
     let stm = Stm::new();
@@ -129,33 +211,15 @@ pub fn run_phase_shift(cfg: &PhaseShiftConfig) -> PhaseShiftReport {
     for a in &accounts {
         dir.register(Arc::clone(a) as Arc<dyn Migratable>);
     }
-    let controller = cfg.with_controller.then(|| {
-        let mut ctrl_cfg = ControllerConfig::responsive();
-        // Deliberately not instant: reacting ~1s after the shift leaves
-        // several fully dipped windows in the series, so the run measures
-        // its *own* loss before the split repairs it.
-        ctrl_cfg.interval = Duration::from_millis(250);
-        // 1-in-32 keeps profiling overhead out of the measurement while
-        // still feeding hundreds of samples per window.
-        ctrl_cfg.sample_period = 32;
-        // A first split computed right after the shift still carries
-        // decayed uniform-phase history and can leave hot residue behind;
-        // a lower abort threshold and hot-share gate (the 4x-mean
-        // concentration test still guards against diffuse splits) let a
-        // cleanup split finish the job.
-        ctrl_cfg.online.split_abort_rate = 0.05;
-        ctrl_cfg.online.split_hot_share = 0.30;
-        ctrl_cfg.decay = 0.4;
-        RepartitionController::spawn(&stm, dir, ctrl_cfg)
-    });
+    let controller = cfg
+        .with_controller
+        .then(|| RepartitionController::spawn(&stm, dir, recovery_controller_config()));
 
     let stop = AtomicBool::new(false);
     let ops = AtomicU64::new(0);
     let start = Instant::now();
     let shift_at = Duration::from_secs_f64(cfg.total_secs * cfg.shift_frac);
-    let windows = (cfg.total_secs / cfg.window_secs).round() as usize;
-    let mut window_ops = Vec::with_capacity(windows);
-    let mut split_window = None;
+    let (mut window_ops, mut split_window) = (Vec::new(), None);
 
     std::thread::scope(|s| {
         for t in 0..cfg.threads {
@@ -220,28 +284,27 @@ pub fn run_phase_shift(cfg: &PhaseShiftConfig) -> PhaseShiftReport {
             });
         }
         // Measurement loop on the scope's own thread.
-        let mut prev = 0u64;
-        for w in 0..windows {
-            let target = start + Duration::from_secs_f64((w + 1) as f64 * cfg.window_secs);
-            let now = Instant::now();
-            if target > now {
-                std::thread::sleep(target - now);
-            }
-            let cur = ops.load(Ordering::Relaxed);
-            window_ops.push(cur - prev);
-            prev = cur;
-            if split_window.is_none() {
-                if let Some(c) = &controller {
-                    if c.has_split() {
-                        split_window = Some(w);
-                    }
-                }
-            }
-        }
+        (window_ops, split_window) = measure_windows(cfg, start, &ops, &controller);
         stop.store(true, Ordering::Relaxed);
     });
 
     let events = controller.map(|c| c.stop()).unwrap_or_default();
+    let total: i64 = accounts.iter().map(|a| a.load_direct()).sum();
+    let conserved = total == cfg.accounts as i64 * INITIAL;
+    build_report(cfg, &stm, window_ops, split_window, events, conserved)
+}
+
+/// Folds a measured window series into the report (baseline/dip/recovery
+/// arithmetic shared by both scenarios).
+fn build_report(
+    cfg: &PhaseShiftConfig,
+    stm: &Stm,
+    window_ops: Vec<u64>,
+    split_window: Option<usize>,
+    events: Vec<RepartEvent>,
+    conserved: bool,
+) -> PhaseShiftReport {
+    let windows = window_ops.len();
     let shift_window = ((cfg.shift_frac * windows as f64).ceil() as usize).min(windows - 1);
     let per_sec = 1.0 / cfg.window_secs;
     let pre = &window_ops[1.min(shift_window)..shift_window];
@@ -281,7 +344,6 @@ pub fn run_phase_shift(cfg: &PhaseShiftConfig) -> PhaseShiftReport {
         aborts += s.aborts();
         partition_stats.push((p.name().to_string(), s));
     }
-    let total: i64 = accounts.iter().map(|a| a.load_direct()).sum();
 
     PhaseShiftReport {
         window_ops,
@@ -293,10 +355,132 @@ pub fn run_phase_shift(cfg: &PhaseShiftConfig) -> PhaseShiftReport {
         recovery,
         abort_rate: aborts as f64 / (commits + aborts).max(1) as f64,
         partitions: stm.partitions().len(),
-        conserved: total == cfg.accounts as i64 * INITIAL,
+        conserved,
         events,
         partition_stats,
     }
+}
+
+/// The structure-backed phase shift: a large cold [`THashMap`] (scanned)
+/// and a small hot one (hammered after the shift) share one partition.
+/// Recovery requires an *arena-level* migration — the controller, fed by
+/// an [`ArenaDirectory`], splits the whole hot structure (arena + roots)
+/// into a fresh partition. See the module docs.
+///
+/// Interprets `cfg` as: `accounts` = total keys across both maps, `hot` =
+/// keys of the hot map, with all other knobs as in [`run_phase_shift`].
+pub fn run_struct_shift(cfg: &PhaseShiftConfig) -> PhaseShiftReport {
+    let stm = Stm::new();
+    let part = stm.new_partition(PartitionConfig::named("mixed").orecs(cfg.orecs));
+    let cold_keys = (cfg.accounts - cfg.hot) as u64;
+    let hot = Arc::new(THashMap::new(Arc::clone(&part), cfg.hot));
+    let cold = Arc::new(THashMap::new(Arc::clone(&part), (cold_keys as usize) / 4));
+    {
+        let ctx = stm.register_thread();
+        for k in 0..cfg.hot as u64 {
+            ctx.run(|tx| hot.put(tx, k, INITIAL as u64).map(|_| ()));
+        }
+        for k in 0..cold_keys {
+            ctx.run(|tx| cold.put(tx, k, INITIAL as u64).map(|_| ()));
+        }
+    }
+    let expect = (cfg.accounts as u64).wrapping_mul(INITIAL as u64);
+
+    let dir = Arc::new(ArenaDirectory::new());
+    hot.attach_directory(&*dir);
+    cold.attach_directory(&*dir);
+    let controller = cfg
+        .with_controller
+        .then(|| RepartitionController::spawn(&stm, dir, recovery_controller_config()));
+
+    let stop = AtomicBool::new(false);
+    let ops = AtomicU64::new(0);
+    let start = Instant::now();
+    let shift_at = Duration::from_secs_f64(cfg.total_secs * cfg.shift_frac);
+    let (mut window_ops, mut split_window) = (Vec::new(), None);
+
+    std::thread::scope(|s| {
+        for t in 0..cfg.threads {
+            let ctx = stm.register_thread();
+            let (hot, cold, stop, ops) = (&hot, &cold, &stop, &ops);
+            s.spawn(move || {
+                let mut r = (t as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                while !stop.load(Ordering::Relaxed) {
+                    r ^= r << 13;
+                    r ^= r >> 7;
+                    r ^= r << 17;
+                    if (r >> 16) % 100 < cfg.scan_pct {
+                        // Read-only audit over the cold map only: shares no
+                        // data with the hot structure, so post-shift
+                        // conflicts are pure orec aliasing.
+                        let seed = r;
+                        ctx.run(|tx| {
+                            let mut x = seed;
+                            let mut sum = 0u64;
+                            for _ in 0..cfg.scan_len {
+                                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                                let k = (x >> 16) % cold_keys;
+                                sum = sum.wrapping_add(cold.get(tx, k)?.unwrap_or(0));
+                            }
+                            Ok(sum)
+                        });
+                    } else {
+                        let shifted = start.elapsed() >= shift_at;
+                        let is_hot = shifted && r % 100 < cfg.hot_pct;
+                        let amt = r % 90;
+                        if is_hot {
+                            let from = r % cfg.hot as u64;
+                            let to = (r >> 8) % cfg.hot as u64;
+                            ctx.run(|tx| {
+                                let f = hot.get(tx, from)?.unwrap_or(0);
+                                hot.put(tx, from, f.wrapping_sub(amt))?;
+                                // Hold the encounter lock across a real
+                                // reschedule (stands in for work between
+                                // debit and credit): the sleeping holder
+                                // strands its lock while the other threads
+                                // run scans into it — false sharing in the
+                                // shared orec table, exactly what the
+                                // arena-level split removes. (A bare yield
+                                // is a no-op here: the heavyweight
+                                // hash-map scans dominate each thread's
+                                // vruntime, so a yielding hot writer is
+                                // rescheduled immediately and the window
+                                // never opens.)
+                                std::thread::sleep(Duration::from_micros(50));
+                                let t = hot.get(tx, to)?.unwrap_or(0);
+                                hot.put(tx, to, t.wrapping_add(amt))?;
+                                Ok(())
+                            });
+                        } else {
+                            let from = r % cold_keys;
+                            let to = (r >> 8) % cold_keys;
+                            ctx.run(|tx| {
+                                let f = cold.get(tx, from)?.unwrap_or(0);
+                                cold.put(tx, from, f.wrapping_sub(amt))?;
+                                let t = cold.get(tx, to)?.unwrap_or(0);
+                                cold.put(tx, to, t.wrapping_add(amt))?;
+                                Ok(())
+                            });
+                        }
+                    }
+                    ops.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        // Measurement loop on the scope's own thread.
+        (window_ops, split_window) = measure_windows(cfg, start, &ops, &controller);
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    let events = controller.map(|c| c.stop()).unwrap_or_default();
+    // Conserved-sum probe across both maps (transfers wrap in u64 space;
+    // the sum is conserved modulo 2^64).
+    let total = hot
+        .snapshot_pairs()
+        .into_iter()
+        .chain(cold.snapshot_pairs())
+        .fold(0u64, |acc, (_, v)| acc.wrapping_add(v));
+    build_report(cfg, &stm, window_ops, split_window, events, total == expect)
 }
 
 #[cfg(test)]
@@ -317,5 +501,19 @@ mod tests {
         assert_eq!(rep.partitions, 1, "no controller, no split");
         assert!(rep.events.is_empty());
         assert!(rep.split_window.is_none());
+    }
+
+    /// Miniature structure-backed run without the controller: plumbing +
+    /// the cross-map conserved sum.
+    #[test]
+    fn struct_shift_baseline_reports_and_conserves() {
+        let mut cfg = PhaseShiftConfig::standard(2, 2.0).without_controller();
+        cfg.accounts = 256;
+        let rep = run_struct_shift(&cfg);
+        assert_eq!(rep.window_ops.len(), 8);
+        assert!(rep.conserved, "sum must be conserved across both maps");
+        assert!(rep.baseline > 0.0);
+        assert_eq!(rep.partitions, 1, "no controller, no split");
+        assert!(rep.events.is_empty());
     }
 }

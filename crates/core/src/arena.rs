@@ -31,13 +31,57 @@
 //! its snapshot past that tag (revalidating its read set) before the slot
 //! is reused — the LSA-flavoured equivalent of TinySTM's quiescence-based
 //! `stm_malloc` reclamation.
+//!
+//! ## Bound arenas and live migration
+//!
+//! An arena built with [`Arena::new_bound`] carries a *home binding*: an
+//! atomic partition handle (the same [`PVarBinding`] cell a
+//! [`crate::PVar`] uses) that the slot factory reads at every chunk
+//! installation, so every slot's fields bind to the arena's current home.
+//! The repartition protocol ([`crate::repartition`]) can then move the
+//! whole arena — home binding first, then every installed slot's fields —
+//! or a slot subset ([`Arena::slots_of`]) to a different partition while
+//! transactions run.
+//!
+//! Why that is safe, given that `alloc`/`free` may race the migration:
+//!
+//! * **Free list.** Entries are `(index, clock tag)` pairs — they name no
+//!   partition, so rebinding never invalidates them. Pops and pushes are
+//!   mutex-arbitrated against each other; the migration walk never touches
+//!   the list (it walks chunk storage directly).
+//! * **In-flight transactional `alloc`/`free`.** A transaction that began
+//!   before the migration's epoch bump is drained by the quiesce before
+//!   any binding moves; one that began after aborts at its first touch of
+//!   an involved partition — and a popped-but-unpublished slot is returned
+//!   to the free list by that abort's rollback, tag intact. A slot handed
+//!   out *after* the flags clear initializes through the rebound fields
+//!   and lands in the destination like any other access.
+//! * **Chunk installation.** A racing [`Arena::alloc`] may install a fresh
+//!   chunk *while* the migration rebinds the arena (the transaction only
+//!   aborts at its first partition touch, which comes after allocation).
+//!   The installer therefore re-reads the home binding after publishing
+//!   the chunk and rebinds the new slots itself if the home moved
+//!   mid-install; both the install CAS and the migration walk's chunk
+//!   loads are `SeqCst`, so at least one side always observes the other
+//!   (plain store-buffering argument). Fresh slots are unreachable — no
+//!   handle to them exists yet — so this off-protocol rebind cannot race
+//!   any transactional access.
+//! * **Retired homes.** A rebound home (like any rebound `PVar`) parks its
+//!   previous partition reference for the process lifetime, so a stale
+//!   reader that loaded the old binding can at worst observe the previous
+//!   partition — which the engine detects and converts into an ordinary
+//!   switching abort (see `Tx::view_of_binding`).
 
 use core::marker::PhantomData;
 use core::num::NonZeroU32;
 use core::sync::atomic::{AtomicPtr, AtomicU32, Ordering};
+use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use crate::partition::{Partition, PartitionId};
+use crate::pvar::{PVarBinding, PVarFields};
+use crate::repartition::{MigratableCollection, MigrationSource};
 use crate::txn::Tx;
 use crate::word::TxWord;
 
@@ -146,11 +190,33 @@ fn chunk_capacity(c: usize) -> usize {
     (BASE as usize) << c
 }
 
+/// Partition-aware slot constructor of a bound arena.
+type BoundMake<N> = Box<dyn Fn(&Arc<Partition>) -> N + Send + Sync>;
+
+/// How an arena initializes slots.
+enum Factory<N> {
+    /// Partition-free slot factory (the [`Arena::new_with`] family).
+    Plain(Box<dyn Fn() -> N + Send + Sync>),
+    /// Partition-bound ([`Arena::new_bound`]): slots are built against the
+    /// arena's *home* partition, re-read at every chunk installation so
+    /// chunks installed after a migration bind to the new home.
+    Bound {
+        home: PVarBinding,
+        make: BoundMake<N>,
+        /// Type-erased per-slot rebind, captured where `N: PVarFields` is
+        /// known so `ensure_chunk` needs no extra bound (see the module
+        /// docs on chunk installations racing a migration).
+        rebind_slot: fn(&N, &Arc<Partition>),
+    },
+}
+
 /// Chunked, append-only slab of `N` values with transactional alloc/free.
 /// Slots are initialized by the arena's *factory* — `N::default` for the
-/// [`Arena::new`] family, or an arbitrary closure ([`Arena::new_with`]) so
+/// [`Arena::new`] family, an arbitrary closure ([`Arena::new_with`]) so
 /// nodes made of partition-bound [`crate::PVar`]s (which have no `Default`)
-/// can be arena-allocated. See the module docs.
+/// can be arena-allocated, or a partition-aware closure
+/// ([`Arena::new_bound`]) that additionally makes the arena *migratable*
+/// as a unit. See the module docs.
 pub struct Arena<N> {
     chunks: [AtomicPtr<N>; NUM_CHUNKS],
     next: AtomicU32,
@@ -159,7 +225,7 @@ pub struct Arena<N> {
     // carries the global-clock timestamp of the commit that freed it (the
     // reuse barrier described in the module docs).
     free: Mutex<Vec<(u32, u64)>>,
-    factory: Box<dyn Fn() -> N + Send + Sync>,
+    factory: Factory<N>,
 }
 
 // SAFETY: the arena owns the chunk allocations (raw pointers) and hands out
@@ -192,7 +258,7 @@ impl<N: 'static> Arena<N> {
             chunks: Default::default(),
             next: AtomicU32::new(0),
             free: Mutex::new(Vec::new()),
-            factory: Box::new(factory),
+            factory: Factory::Plain(Box::new(factory)),
         }
     }
 
@@ -200,30 +266,47 @@ impl<N: 'static> Arena<N> {
     /// `cap` slots.
     pub fn with_capacity_and(cap: usize, factory: impl Fn() -> N + Send + Sync + 'static) -> Self {
         let a = Self::new_with(factory);
-        let mut covered = 0usize;
-        let mut c = 0;
-        while covered < cap && c < NUM_CHUNKS {
-            a.ensure_chunk(c);
-            covered += chunk_capacity(c);
-            c += 1;
-        }
+        a.preinstall(cap);
         a
     }
 
+    fn preinstall(&self, cap: usize) {
+        let mut covered = 0usize;
+        let mut c = 0;
+        while covered < cap && c < NUM_CHUNKS {
+            self.ensure_chunk(c);
+            covered += chunk_capacity(c);
+            c += 1;
+        }
+    }
+
     fn ensure_chunk(&self, c: usize) {
-        if !self.chunks[c].load(Ordering::Acquire).is_null() {
+        if !self.chunks[c].load(Ordering::SeqCst).is_null() {
             return;
         }
+        // Bound arenas build the chunk against the home partition observed
+        // *now* and re-check after publishing (module docs: chunk installs
+        // racing a migration).
+        let built_against = match &self.factory {
+            Factory::Plain(_) => core::ptr::null(),
+            Factory::Bound { home, .. } => home.load(),
+        };
         let mut v: Vec<N> = Vec::with_capacity(chunk_capacity(c));
-        v.resize_with(chunk_capacity(c), &self.factory);
+        match &self.factory {
+            Factory::Plain(f) => v.resize_with(chunk_capacity(c), f),
+            Factory::Bound { make, .. } => {
+                let part = PVarBinding::arc_of(built_against);
+                v.resize_with(chunk_capacity(c), || make(&part));
+            }
+        }
         let boxed: Box<[N]> = v.into_boxed_slice();
         let ptr = Box::into_raw(boxed) as *mut N;
         if self.chunks[c]
             .compare_exchange(
                 core::ptr::null_mut(),
                 ptr,
-                Ordering::AcqRel,
-                Ordering::Acquire,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
             )
             .is_err()
         {
@@ -235,6 +318,36 @@ impl<N: 'static> Arena<N> {
                     ptr,
                     chunk_capacity(c),
                 )));
+            }
+            return;
+        }
+        if let Factory::Bound {
+            home, rebind_slot, ..
+        } = &self.factory
+        {
+            let now = home.load();
+            if now != built_against {
+                // A migration moved the home while we were building: our
+                // slots are bound to the retired home. They are unreachable
+                // (no handle to them exists yet), so rebinding them here,
+                // outside the protocol's quiesce window, races no
+                // transactional access. Nor can it race a *later*
+                // migration's phase-3 walk into overwriting a newer
+                // binding with `now`: migrations touching this arena share
+                // its home partition and therefore serialize on the
+                // switching flags, and any migration whose epoch bump
+                // follows this attempt's begin waits in quiesce for the
+                // whole attempt — including this loop — before walking.
+                // The one migration that can overlap us (bump before our
+                // begin) is exactly the one whose destination `now` is.
+                let dst = PVarBinding::arc_of(now);
+                // SAFETY: `ptr` was just published by us with this capacity
+                // and chunks are never freed before the arena drops.
+                let slots =
+                    unsafe { core::slice::from_raw_parts(ptr as *const N, chunk_capacity(c)) };
+                for n in slots {
+                    rebind_slot(n, &dst);
+                }
             }
         }
     }
@@ -337,6 +450,189 @@ impl<N: 'static> Arena<N> {
     /// concurrency; exact when quiescent).
     pub fn live(&self) -> usize {
         self.next.load(Ordering::Relaxed) as usize - self.free.lock().len()
+    }
+
+    /// The home partition of a bound arena (where new slots bind), `None`
+    /// for arenas built with the [`Arena::new_with`] family. Racy during a
+    /// migration, like [`PVar::partition`](crate::PVar::partition).
+    pub fn partition(&self) -> Option<Arc<Partition>> {
+        match &self.factory {
+            Factory::Plain(_) => None,
+            Factory::Bound { home, .. } => Some(home.partition_arc()),
+        }
+    }
+
+    /// Id of the home partition (see [`Arena::partition`]).
+    pub fn partition_id(&self) -> Option<PartitionId> {
+        match &self.factory {
+            Factory::Plain(_) => None,
+            Factory::Bound { home, .. } => Some(home.partition_id()),
+        }
+    }
+
+    /// Handles of every currently live slot (handed out and not freed),
+    /// in index order. Approximate under concurrency — a racing alloc or
+    /// free can be missed or double-seen — and exact when quiescent; the
+    /// migration directories use it for bucket accounting, where drift
+    /// only perturbs a heuristic.
+    pub fn live_handles(&self) -> Vec<Handle<N>> {
+        let mut freed: Vec<u32> = self.free.lock().iter().map(|&(i, _)| i).collect();
+        freed.sort_unstable();
+        // A racing alloc bumps `next` *before* it installs the covering
+        // chunk, so cap the walk at the installed-chunk prefix — a handle
+        // into an uninstalled chunk must never be minted here (its `get`
+        // would dereference a null chunk pointer).
+        let next = self.next.load(Ordering::Acquire).min(self.installed_cap());
+        (0..next)
+            .filter(|i| freed.binary_search(i).is_err())
+            .map(Handle::from_index)
+            .collect()
+    }
+
+    /// Total slot count covered by the leading run of installed chunks.
+    /// Chunks install in index order (allocation indices are sequential),
+    /// so stopping at the first null is exact; even if a gap could form,
+    /// undercounting only makes the live-slot walk more conservative.
+    fn installed_cap(&self) -> u32 {
+        let mut cap = 0usize;
+        for c in 0..NUM_CHUNKS {
+            if self.chunks[c].load(Ordering::SeqCst).is_null() {
+                break;
+            }
+            cap += chunk_capacity(c);
+        }
+        cap.min(u32::MAX as usize) as u32
+    }
+
+    /// Visits every live slot (see [`Arena::live_handles`] for the
+    /// concurrency caveat).
+    pub fn for_each_live_slot(&self, mut f: impl FnMut(Handle<N>, &N)) {
+        for h in self.live_handles() {
+            f(h, self.get(h));
+        }
+    }
+
+    /// Visits every slot of every installed chunk — live, freed, and
+    /// never-handed-out alike (all are factory-initialized at chunk
+    /// installation). This is the migration walk: freed and virgin slots
+    /// must move too, or a recycled slot would come back bound to the old
+    /// partition.
+    fn for_each_installed_slot(&self, f: &mut dyn FnMut(&N)) {
+        for c in 0..NUM_CHUNKS {
+            // SeqCst pairs with the install CAS (module docs: chunk
+            // installs racing a migration).
+            let ptr = self.chunks[c].load(Ordering::SeqCst);
+            if ptr.is_null() {
+                continue;
+            }
+            // SAFETY: installed via `Box::into_raw` with this capacity;
+            // chunks are never freed or moved until the arena drops.
+            let slots = unsafe { core::slice::from_raw_parts(ptr as *const N, chunk_capacity(c)) };
+            for n in slots {
+                f(n);
+            }
+        }
+    }
+}
+
+impl<N: PVarFields + 'static> Arena<N> {
+    /// Creates a *partition-bound* arena: slots are initialized by `make`
+    /// against the arena's current home partition (initially `part`), and
+    /// the arena as a whole becomes migratable — the repartition protocol
+    /// can rebind the home and every slot to a different partition live
+    /// (see [`crate::repartition`] and the module docs).
+    pub fn new_bound(
+        part: &Arc<Partition>,
+        make: impl Fn(&Arc<Partition>) -> N + Send + Sync + 'static,
+    ) -> Self {
+        Arena {
+            chunks: Default::default(),
+            next: AtomicU32::new(0),
+            free: Mutex::new(Vec::new()),
+            factory: Factory::Bound {
+                home: PVarBinding::new(Arc::clone(part)),
+                make: Box::new(make),
+                rebind_slot: rebind_node::<N>,
+            },
+        }
+    }
+
+    /// [`Arena::new_bound`] plus pre-installed chunks covering at least
+    /// `cap` slots.
+    pub fn with_capacity_bound(
+        part: &Arc<Partition>,
+        cap: usize,
+        make: impl Fn(&Arc<Partition>) -> N + Send + Sync + 'static,
+    ) -> Self {
+        let a = Self::new_bound(part, make);
+        a.preinstall(cap);
+        a
+    }
+
+    /// A migration surface over a subset of this arena's slots, for
+    /// [`Stm::migrate_batch`](crate::Stm::migrate_batch): only the named
+    /// slots' fields move; the home binding (and every other slot) stays.
+    /// The caller must keep the handles valid for the batch's lifetime
+    /// (they borrow the arena, so the usual rules apply).
+    pub fn slots_of<'a>(&'a self, handles: &'a [Handle<N>]) -> ArenaSlots<'a, N> {
+        ArenaSlots {
+            arena: self,
+            handles,
+        }
+    }
+}
+
+/// Per-slot rebind helper, monomorphized where `N: PVarFields` is known
+/// and stored as a plain `fn` in [`Factory::Bound`].
+fn rebind_node<N: PVarFields>(n: &N, dst: &Arc<Partition>) {
+    n.for_each_pvar(&mut |m| m.pvar_binding().rebind(dst));
+}
+
+impl<N: PVarFields + 'static> MigrationSource for Arena<N> {
+    fn for_each_binding(&self, f: &mut dyn FnMut(&PVarBinding)) {
+        // Home binding strictly before the slots: the chunk-installation
+        // re-check (module docs) needs any racing installer that missed
+        // the walk to observe the already-moved home.
+        if let Factory::Bound { home, .. } = &self.factory {
+            f(home);
+        }
+        self.for_each_installed_slot(&mut |n| n.for_each_pvar(&mut |m| f(m.pvar_binding())));
+    }
+}
+
+impl<N: PVarFields + Send + Sync + 'static> MigratableCollection for Arena<N> {
+    fn home_partition(&self) -> Arc<Partition> {
+        self.partition()
+            .expect("MigratableCollection requires a bound arena (Arena::new_bound)")
+    }
+
+    fn for_each_live_addr(&self, f: &mut dyn FnMut(usize)) {
+        self.for_each_live_slot(|_, n| n.for_each_pvar(&mut |m| f(m.var_addr())));
+    }
+
+    fn live_nodes(&self) -> usize {
+        self.live()
+    }
+}
+
+/// A borrowed slot subset of an [`Arena`], usable as a
+/// [`MigrationSource`]: migrating it rebinds the named slots' fields only.
+/// The arena's home (and all other slots) keep their binding, so a
+/// structure can be *torn across partitions* deliberately — the bound
+/// access tier routes every field through its own binding, which keeps
+/// that sound.
+pub struct ArenaSlots<'a, N> {
+    arena: &'a Arena<N>,
+    handles: &'a [Handle<N>],
+}
+
+impl<N: PVarFields + 'static> MigrationSource for ArenaSlots<'_, N> {
+    fn for_each_binding(&self, f: &mut dyn FnMut(&PVarBinding)) {
+        for &h in self.handles {
+            self.arena
+                .get(h)
+                .for_each_pvar(&mut |m| f(m.pvar_binding()));
+        }
     }
 }
 
@@ -460,5 +756,153 @@ mod tests {
         let _ = a.get(handles[0]);
         let _ = a.get(handles[BASE as usize]);
         let _ = a.get(handles[3 * BASE as usize + 5]);
+    }
+
+    mod bound {
+        use super::super::*;
+        use crate::config::PartitionConfig;
+        use crate::pvar::PVar;
+        use crate::stm::Stm;
+
+        struct Pair {
+            a: PVar<u64>,
+            b: PVar<u64>,
+        }
+
+        impl PVarFields for Pair {
+            fn for_each_pvar(&self, f: &mut dyn FnMut(&dyn crate::pvar::Migratable)) {
+                f(&self.a);
+                f(&self.b);
+            }
+        }
+
+        fn pair_arena(part: &Arc<Partition>) -> Arena<Pair> {
+            Arena::new_bound(part, |p| Pair {
+                a: p.tvar(0),
+                b: p.tvar(0),
+            })
+        }
+
+        #[test]
+        fn bound_arena_slots_bind_to_home() {
+            let stm = Stm::new();
+            let p = stm.new_partition(PartitionConfig::named("home"));
+            let a = pair_arena(&p);
+            assert_eq!(a.partition_id(), Some(p.id()));
+            assert!(Arc::ptr_eq(&a.partition().unwrap(), &p));
+            let h = a.alloc_raw();
+            assert_eq!(a.get(h).a.partition_id(), p.id());
+            assert_eq!(a.get(h).b.partition_id(), p.id());
+        }
+
+        #[test]
+        fn unbound_arena_reports_no_partition() {
+            let a: Arena<u64> = Arena::new();
+            assert!(a.partition().is_none());
+            assert!(a.partition_id().is_none());
+        }
+
+        #[test]
+        fn live_handles_tracks_alloc_and_free() {
+            let stm = Stm::new();
+            let p = stm.new_partition(PartitionConfig::named("h"));
+            let a = pair_arena(&p);
+            let h1 = a.alloc_raw();
+            let h2 = a.alloc_raw();
+            let h3 = a.alloc_raw();
+            a.free_raw(h2);
+            let live = a.live_handles();
+            assert_eq!(live, vec![h1, h3]);
+            let mut seen = 0;
+            a.for_each_live_slot(|h, _| {
+                assert_ne!(h, h2);
+                seen += 1;
+            });
+            assert_eq!(seen, 2);
+        }
+
+        #[test]
+        fn chunks_installed_after_migration_bind_to_destination() {
+            let stm = Stm::new();
+            let src = stm.new_partition(PartitionConfig::named("src"));
+            let dst = stm.new_partition(PartitionConfig::named("dst"));
+            let a = pair_arena(&src);
+            let h = a.alloc_raw();
+            assert_eq!(
+                stm.migrate_collection(&a, &dst),
+                crate::stm::SwitchOutcome::Switched
+            );
+            assert_eq!(a.partition_id(), Some(dst.id()));
+            assert_eq!(a.get(h).a.partition_id(), dst.id());
+            // Exhaust chunk 0 so the next alloc installs a fresh chunk:
+            // its factory must read the *migrated* home.
+            while a.next.load(Ordering::Relaxed) < BASE {
+                let _ = a.alloc_raw();
+            }
+            let h2 = a.alloc_raw();
+            assert_eq!(a.get(h2).a.partition_id(), dst.id());
+            assert_eq!(a.get(h2).b.partition_id(), dst.id());
+        }
+
+        #[test]
+        fn slot_subset_migration_moves_only_named_slots() {
+            let stm = Stm::new();
+            let src = stm.new_partition(PartitionConfig::named("src"));
+            let dst = stm.new_partition(PartitionConfig::named("dst"));
+            let a = pair_arena(&src);
+            let h1 = a.alloc_raw();
+            let h2 = a.alloc_raw();
+            let subset = [h1];
+            assert_eq!(
+                stm.migrate_batch(&a.slots_of(&subset), &dst),
+                crate::stm::SwitchOutcome::Switched
+            );
+            assert_eq!(a.get(h1).a.partition_id(), dst.id());
+            assert_eq!(a.get(h1).b.partition_id(), dst.id());
+            assert_eq!(a.get(h2).a.partition_id(), src.id(), "unnamed slot stays");
+            assert_eq!(a.partition_id(), Some(src.id()), "home stays");
+            // A later whole-collection migration collects the strayed
+            // slot's partition into the involved set and heals the split.
+            assert_eq!(
+                stm.migrate_collection(&a, &src),
+                crate::stm::SwitchOutcome::Switched
+            );
+            assert_eq!(a.get(h1).a.partition_id(), src.id());
+        }
+
+        #[test]
+        fn live_handles_never_reach_into_uninstalled_chunks() {
+            let stm = Stm::new();
+            let p = stm.new_partition(PartitionConfig::named("race"));
+            let a = pair_arena(&p);
+            let _h = a.alloc_raw();
+            // Simulate racing allocators that bumped `next` past the
+            // installed chunk but have not installed the next chunk yet
+            // (alloc publishes the index before ensure_chunk runs).
+            a.next.store(BASE * 2, Ordering::Relaxed);
+            let live = a.live_handles();
+            assert_eq!(live.len(), BASE as usize, "capped at installed slots");
+            // Every returned handle must be safely dereferencable.
+            for h in live {
+                let _ = a.get(h);
+            }
+            let mut walked = 0;
+            a.for_each_live_slot(|_, _| walked += 1);
+            assert_eq!(walked, BASE as usize);
+        }
+
+        #[test]
+        fn collection_introspection_counts_live_fields() {
+            let stm = Stm::new();
+            let p = stm.new_partition(PartitionConfig::named("c"));
+            let a = pair_arena(&p);
+            let _h1 = a.alloc_raw();
+            let _h2 = a.alloc_raw();
+            assert_eq!(MigratableCollection::live_nodes(&a), 2);
+            let mut addrs = 0;
+            a.for_each_live_addr(&mut |_| addrs += 1);
+            assert_eq!(addrs, 4, "two live slots x two fields");
+            assert!(Arc::ptr_eq(&a.home_partition(), &p));
+        }
     }
 }

@@ -76,14 +76,15 @@ pub mod tvar;
 pub mod txn;
 pub mod word;
 
-pub use arena::{Arena, Handle};
+pub use arena::{Arena, ArenaSlots, Handle};
 pub use config::{
     AcquireMode, CmPolicy, DynConfig, Granularity, PartitionConfig, ReadMode, ReaderArb,
 };
 pub use error::{Abort, AbortKind, TxResult};
 pub use partition::{Partition, PartitionId};
 pub use profiler::{AccessProfiler, BucketTouch, SampleTouch, TxSample, PROFILE_BUCKETS};
-pub use pvar::{Migratable, PVar, PVarBinding};
+pub use pvar::{Migratable, PVar, PVarBinding, PVarFields};
+pub use repartition::{CollectionRegistry, MigratableCollection, MigrationSource};
 pub use stats::StatCounters;
 pub use stm::{Stm, StmBuilder, SwitchOutcome, ThreadCtx, MAX_THREADS};
 pub use tuner::{TuneInput, TuningPolicy};

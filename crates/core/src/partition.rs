@@ -190,6 +190,26 @@ impl Partition {
     pub(crate) fn orecs(&self) -> &[Orec] {
         &self.orecs
     }
+
+    /// Test hook: forcibly sets or clears this partition's switching flag,
+    /// simulating a concurrent switch holding the partition. While the
+    /// flag is set, transactions touching the partition abort-and-retry
+    /// and switches/repartitions involving it report
+    /// [`Contended`](crate::SwitchOutcome::Contended).
+    ///
+    /// For failure-injection tests only — never call this in production
+    /// code (clearing a flag a real switch owns would corrupt the
+    /// protocol).
+    #[doc(hidden)]
+    pub fn debug_force_switch_flag(&self, on: bool) {
+        let old = self.config.load(Ordering::SeqCst);
+        let new = if on {
+            old | config::SWITCHING_BIT
+        } else {
+            old & !config::SWITCHING_BIT
+        };
+        self.config.store(new, Ordering::SeqCst);
+    }
 }
 
 #[cfg(test)]

@@ -157,6 +157,29 @@ pub trait Migratable: Send + Sync {
     fn var_addr(&self) -> usize;
 }
 
+/// A node type made of partition-bound variables, with its fields
+/// enumerable for migration.
+///
+/// Implemented by arena node types (and by [`PVar`] itself) so the
+/// repartitioner can walk a structure's storage and rebind every field:
+/// [`Arena::new_bound`](crate::Arena::new_bound) requires it, and the
+/// arena-level migration surface
+/// ([`MigrationSource`](crate::repartition::MigrationSource)) is built on
+/// it. The visitor receives each field as a [`Migratable`], which exposes
+/// the binding cell and the word address — everything a migration
+/// directory or the repartition protocol needs, and nothing that would let
+/// user code rebind outside the protocol.
+pub trait PVarFields: Send + Sync {
+    /// Visits every partition-bound field of this node.
+    fn for_each_pvar(&self, f: &mut dyn FnMut(&dyn Migratable));
+}
+
+impl<T: TxWord + Send + Sync> PVarFields for PVar<T> {
+    fn for_each_pvar(&self, f: &mut dyn FnMut(&dyn Migratable)) {
+        f(self);
+    }
+}
+
 /// A transactional variable bound to the partition that guards it.
 ///
 /// Created with [`Partition::tvar`](crate::Partition::tvar) (or

@@ -41,6 +41,22 @@
 //! first-touch view creation and aborting on mismatch (see
 //! `Tx::view_of_binding` in `txn.rs`). Every other interleaving either
 //! observes a switching flag (abort) or is ordered by the quiesce itself.
+//!
+//! ## Migration sources: flat batches, arenas, collections
+//!
+//! The protocol is agnostic to *what* enumerates the bindings it moves:
+//! everything funnels through [`MigrationSource`], whose one method visits
+//! each binding cell. A flat `&[&dyn Migratable]` batch is one source; a
+//! partition-bound [`Arena`](crate::Arena) is another (home binding plus
+//! every installed slot's fields); an arena slot subset
+//! ([`Arena::slots_of`](crate::Arena::slots_of)) is a third; and a
+//! structure (list, tree, map) is its arena plus its root variables.
+//! [`MigratableCollection`] layers the introspection a migration
+//! *directory* needs on top — home partition, live-field addresses for
+//! profiler-bucket accounting — so the online repartitioner can map a
+//! "bucket 17 of partition 3 is hot" report back to a whole structure and
+//! move it with one [`Stm::split_collection`] call. See the arena module
+//! docs for why the free list and racing `alloc`/`free` survive all this.
 
 use std::sync::Arc;
 
@@ -48,9 +64,69 @@ use core::sync::atomic::Ordering;
 
 use crate::config::{self, PartitionConfig};
 use crate::partition::Partition;
-use crate::pvar::Migratable;
+use crate::pvar::{Migratable, PVarBinding};
 use crate::rtlog;
-use crate::stm::{bump_epoch_and_quiesce, Stm, StmInner, SwitchOutcome, QUIESCE_TIMEOUT};
+use crate::stm::{bump_epoch_and_quiesce, Stm, StmInner, SwitchOutcome};
+
+/// Source of binding cells for one repartition: the protocol flags the
+/// partitions these bindings currently point at, quiesces, and rebinds
+/// every visited cell to the destination.
+///
+/// Implementations only *enumerate* — the cells' mutators are private to
+/// this crate, so a `MigrationSource` cannot rebind anything outside the
+/// protocol. Implementations that own an arena must visit the arena's
+/// home binding **before** its slot fields (delegate to the arena's own
+/// [`MigrationSource`] impl): the chunk-installation re-check in
+/// `arena.rs` relies on that order.
+pub trait MigrationSource {
+    /// Visits every binding cell this source moves.
+    fn for_each_binding(&self, f: &mut dyn FnMut(&PVarBinding));
+}
+
+/// A migratable collection: an arena-backed structure (or a bound arena
+/// itself) that a migration directory can register, account against
+/// profiler buckets, and move as a unit.
+///
+/// Implemented by every structure in `partstm-structures` and by
+/// [`Arena`](crate::Arena) directly (for bound arenas without separate
+/// roots).
+pub trait MigratableCollection: MigrationSource + Send + Sync {
+    /// The partition newly allocated nodes bind to — the collection's
+    /// current home. Racy during a migration, like
+    /// [`PVar::partition`](crate::PVar::partition).
+    fn home_partition(&self) -> Arc<Partition>;
+
+    /// Visits the word address of every *live* partition-bound field
+    /// (roots and live arena slots), for profiler-bucket accounting (see
+    /// [`profiler::bucket_of`](crate::profiler::bucket_of)). Approximate
+    /// under concurrency.
+    fn for_each_live_addr(&self, f: &mut dyn FnMut(usize));
+
+    /// Number of live nodes (approximate under concurrency).
+    fn live_nodes(&self) -> usize;
+}
+
+/// Registration half of a migration directory: anything that accepts
+/// [`MigratableCollection`] handles for later bucket-to-structure mapping.
+///
+/// Implemented by `partstm-repart`'s `ArenaDirectory`; declared here so
+/// data-structure crates can expose `attach_directory` without depending
+/// on the controller crate.
+pub trait CollectionRegistry {
+    /// Registers one collection.
+    fn register_collection(&self, c: Arc<dyn MigratableCollection>);
+}
+
+/// Adapter: a flat batch of variables as a [`MigrationSource`].
+struct VarsSource<'a>(&'a [&'a dyn Migratable]);
+
+impl MigrationSource for VarsSource<'_> {
+    fn for_each_binding(&self, f: &mut dyn FnMut(&PVarBinding)) {
+        for v in self.0 {
+            f(v.pvar_binding());
+        }
+    }
+}
 
 impl Stm {
     /// Atomically rebinds `vars` to partition `dst` using the repartition
@@ -67,7 +143,81 @@ impl Stm {
     /// If `dst` or any variable's current partition belongs to a different
     /// [`Stm`].
     pub fn migrate_pvars(&self, vars: &[&dyn Migratable], dst: &Arc<Partition>) -> SwitchOutcome {
-        repartition_impl(&self.inner, vars, dst, &[])
+        repartition_impl(&self.inner, &VarsSource(vars), dst, &[])
+    }
+
+    /// Atomically rebinds everything a [`MigrationSource`] enumerates —
+    /// a whole arena, an arena slot subset
+    /// ([`Arena::slots_of`](crate::Arena::slots_of)), a structure, or any
+    /// combination — to partition `dst`, using the same repartition
+    /// protocol as [`Stm::migrate_pvars`].
+    ///
+    /// Must not be called from inside a transaction.
+    ///
+    /// # Panics
+    ///
+    /// If `dst` or any enumerated binding's current partition belongs to a
+    /// different [`Stm`].
+    pub fn migrate_batch(&self, src: &dyn MigrationSource, dst: &Arc<Partition>) -> SwitchOutcome {
+        repartition_impl(&self.inner, src, dst, &[])
+    }
+
+    /// Moves a whole collection (its arena — home, every slot — plus its
+    /// roots) to partition `dst`. Equivalent to
+    /// [`Stm::migrate_batch`]; provided for call-site clarity.
+    pub fn migrate_collection(
+        &self,
+        c: &dyn MigratableCollection,
+        dst: &Arc<Partition>,
+    ) -> SwitchOutcome {
+        repartition_impl(&self.inner, c, dst, &[])
+    }
+
+    /// Splits a collection out of its current home: creates a new
+    /// partition from `cfg` and migrates the whole collection into it.
+    /// The old home participates in the protocol (flag + generation bump)
+    /// even if the collection was its only content.
+    ///
+    /// On [`Contended`](SwitchOutcome::Contended) /
+    /// [`TimedOut`](SwitchOutcome::TimedOut) the new partition exists but
+    /// is empty; retry with [`Stm::migrate_collection`] into the same
+    /// destination.
+    pub fn split_collection(
+        &self,
+        c: &dyn MigratableCollection,
+        cfg: PartitionConfig,
+    ) -> (Arc<Partition>, SwitchOutcome) {
+        let home = c.home_partition();
+        self.split_partition_batch(&home, cfg, c)
+    }
+
+    /// [`Stm::split_partition`] over an arbitrary [`MigrationSource`]:
+    /// creates a new partition from `cfg` and migrates everything `src`
+    /// enumerates into it, with `src_part` participating in the protocol
+    /// even when nothing enumerated is currently bound to it.
+    pub fn split_partition_batch(
+        &self,
+        src_part: &Arc<Partition>,
+        cfg: PartitionConfig,
+        src: &dyn MigrationSource,
+    ) -> (Arc<Partition>, SwitchOutcome) {
+        assert_eq!(
+            src_part.stm_id, self.inner.id,
+            "partition belongs to a different Stm"
+        );
+        let dst = self.new_partition(cfg);
+        let outcome = repartition_impl(&self.inner, src, &dst, &[src_part]);
+        (dst, outcome)
+    }
+
+    /// [`Stm::merge_partitions`] over an arbitrary [`MigrationSource`].
+    pub fn merge_partitions_batch(
+        &self,
+        srcs: &[&Arc<Partition>],
+        dst: &Arc<Partition>,
+        src: &dyn MigrationSource,
+    ) -> SwitchOutcome {
+        repartition_impl(&self.inner, src, dst, srcs)
     }
 
     /// Splits `src`: creates a new partition from `cfg` and migrates
@@ -89,7 +239,7 @@ impl Stm {
             "partition belongs to a different Stm"
         );
         let dst = self.new_partition(cfg);
-        let outcome = repartition_impl(&self.inner, vars, &dst, &[src]);
+        let outcome = repartition_impl(&self.inner, &VarsSource(vars), &dst, &[src]);
         (dst, outcome)
     }
 
@@ -103,34 +253,40 @@ impl Stm {
         dst: &Arc<Partition>,
         vars: &[&dyn Migratable],
     ) -> SwitchOutcome {
-        repartition_impl(&self.inner, vars, dst, srcs)
+        repartition_impl(&self.inner, &VarsSource(vars), dst, srcs)
     }
 }
 
 /// The three-phase repartition (flag / quiesce / mutate). `extra` names
 /// partitions that must participate in the protocol (flag + generation
-/// bump) even when no migrating variable is currently bound to them.
+/// bump) even when no migrating binding currently points at them.
 fn repartition_impl(
     inner: &StmInner,
-    vars: &[&dyn Migratable],
+    src: &dyn MigrationSource,
     dst: &Arc<Partition>,
     extra: &[&Arc<Partition>],
 ) -> SwitchOutcome {
     assert_eq!(dst.stm_id, inner.id, "partition belongs to a different Stm");
-    let mut involved: Vec<Arc<Partition>> = Vec::with_capacity(vars.len() + extra.len() + 1);
+    let mut involved: Vec<Arc<Partition>> = Vec::with_capacity(extra.len() + 2);
     involved.push(Arc::clone(dst));
     for p in extra {
         assert_eq!(p.stm_id, inner.id, "partition belongs to a different Stm");
         involved.push(Arc::clone(p));
     }
     let mut all_in_dst = true;
-    for v in vars {
-        let p = v.pvar_binding().partition_arc();
+    src.for_each_binding(&mut |b| {
+        let p = b.partition_arc();
         assert_eq!(p.stm_id, inner.id, "variable bound to a different Stm");
         all_in_dst &= Arc::ptr_eq(&p, dst);
-        involved.push(p);
-    }
-    // Ids are unique per partition, so sorting makes duplicates adjacent.
+        // Dedup on insertion: a whole-arena source enumerates thousands of
+        // bindings that resolve to a handful of partitions, so membership
+        // in the (tiny) involved set is cheaper than collecting one Arc
+        // clone per field and deduplicating afterwards.
+        if !involved.iter().any(|q| Arc::ptr_eq(q, &p)) {
+            involved.push(p);
+        }
+    });
+    // Canonical flag-acquisition order (ids are unique per partition).
     involved.sort_by_key(|p| p.id());
     involved.dedup_by(|a, b| Arc::ptr_eq(a, b));
     if all_in_dst && involved.len() == 1 {
@@ -168,27 +324,33 @@ fn repartition_impl(
     // set — proceeding would rebind a variable whose current partition
     // never quiesced. Once every binding is confirmed inside the flagged
     // set this cannot recur: any later rebind of these variables needs the
-    // switching flag of their current partition, which we hold.
-    for v in vars {
-        let p = v.pvar_binding().load();
-        if !involved.iter().any(|q| Arc::as_ptr(q) == p) {
-            unflag(&held);
-            return SwitchOutcome::Contended;
-        }
+    // switching flag of their current partition, which we hold. (A bound
+    // arena can *grow* new slots concurrently, but those bind to its home,
+    // which is in the flagged set — and the arena's own chunk-install
+    // re-check covers slots built against a pre-rebind home.)
+    let mut escaped = false;
+    src.for_each_binding(&mut |b| {
+        let p = b.load();
+        escaped |= !involved.iter().any(|q| Arc::as_ptr(q) == p);
+    });
+    if escaped {
+        unflag(&held);
+        return SwitchOutcome::Contended;
     }
 
     // Phase 2: epoch bump + quiesce.
     if !bump_epoch_and_quiesce(inner) {
         unflag(&held);
+        let timeout = inner.quiesce_timeout;
         if cfg!(debug_assertions) {
             panic!(
-                "repartition could not quiesce in {QUIESCE_TIMEOUT:?}: \
+                "repartition could not quiesce in {timeout:?}: \
                  a transaction appears stuck"
             );
         }
         rtlog::warn(&format!(
             "repartition into '{}' ({} partitions involved) rolled back: \
-             quiescence not reached in {QUIESCE_TIMEOUT:?} (stuck \
+             quiescence not reached in {timeout:?} (stuck \
              transaction?); retryable",
             dst.name(),
             involved.len()
@@ -197,9 +359,7 @@ fn repartition_impl(
     }
 
     // Phase 3: rebind, reset orecs, install generation+1 (flags clear).
-    for v in vars {
-        v.pvar_binding().rebind(dst);
-    }
+    src.for_each_binding(&mut |b| b.rebind(dst));
     let now = inner.clock.now();
     for &(j, w) in &held {
         let p = &involved[j];

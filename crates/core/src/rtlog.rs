@@ -46,8 +46,13 @@ pub fn set_handler(handler: Option<Handler>) {
     };
 }
 
-/// Emits one engine warning through the installed sink.
-pub(crate) fn warn(msg: &str) {
+/// Emits one warning through the installed sink.
+///
+/// Public so sibling runtime crates (migration directories, the
+/// repartition controller) report through the embedder's sink instead of
+/// growing their own logging channel; it is not a general-purpose logging
+/// API for applications.
+pub fn warn(msg: &str) {
     match &*SINK.read().unwrap_or_else(|e| e.into_inner()) {
         Sink::Stderr => eprintln!("partstm: {msg}"),
         Sink::Quiet => {}

@@ -19,11 +19,13 @@ use crate::txn::TxScratch;
 /// Upper bound on registered threads (reader bitmaps are 64 bits wide).
 pub const MAX_THREADS: usize = 64;
 
-/// How long a configuration switch may wait for quiescence before the
-/// runtime assumes a stuck transaction and gives up on the switch (a
-/// healthy workload quiesces in microseconds). Giving up rolls the switch
-/// back and reports [`SwitchOutcome::TimedOut`]; under `debug_assertions`
-/// it panics instead, as a stuck transaction is a bug worth a backtrace.
+/// Default for how long a configuration switch or repartition may wait for
+/// quiescence before the runtime assumes a stuck transaction and gives up
+/// (a healthy workload quiesces in microseconds). Giving up rolls the
+/// switch back and reports [`SwitchOutcome::TimedOut`]; under
+/// `debug_assertions` it panics instead, as a stuck transaction is a bug
+/// worth a backtrace. Override per runtime with
+/// [`StmBuilder::quiesce_timeout`].
 pub(crate) const QUIESCE_TIMEOUT: Duration = Duration::from_secs(10);
 
 /// Result of [`Stm::switch_partition`] and of the repartition entry points
@@ -82,6 +84,9 @@ pub(crate) struct StmInner {
     partitions: Mutex<Vec<Arc<Partition>>>,
     next_partition: AtomicU32,
     pub(crate) tuner: RwLock<Option<Arc<dyn TuningPolicy>>>,
+    /// How long switches/repartitions wait for quiescence before rolling
+    /// back (see [`StmBuilder::quiesce_timeout`]).
+    pub(crate) quiesce_timeout: Duration,
     /// Installed access profiler (see [`crate::profiler`]).
     pub(crate) profiler: RwLock<Option<Arc<AccessProfiler>>>,
     /// Sampling period copy, readable with one relaxed load on the
@@ -104,12 +109,14 @@ static STM_IDS: AtomicU64 = AtomicU64::new(1);
 #[derive(Debug, Clone)]
 pub struct StmBuilder {
     max_threads: usize,
+    quiesce_timeout: Duration,
 }
 
 impl Default for StmBuilder {
     fn default() -> Self {
         StmBuilder {
             max_threads: MAX_THREADS,
+            quiesce_timeout: QUIESCE_TIMEOUT,
         }
     }
 }
@@ -123,6 +130,16 @@ impl StmBuilder {
             "max_threads must be in 1..={MAX_THREADS}"
         );
         self.max_threads = n;
+        self
+    }
+
+    /// How long a configuration switch or repartition may wait for every
+    /// in-flight transaction to finish before rolling the operation back
+    /// as [`SwitchOutcome::TimedOut`] (default 10 s). A healthy workload
+    /// quiesces in microseconds; lower values make control-plane failure
+    /// tests practical, higher ones tolerate extremely long transactions.
+    pub fn quiesce_timeout(mut self, timeout: Duration) -> Self {
+        self.quiesce_timeout = timeout;
         self
     }
 
@@ -140,6 +157,7 @@ impl StmBuilder {
                 partitions: Mutex::new(Vec::new()),
                 next_partition: AtomicU32::new(0),
                 tuner: RwLock::new(None),
+                quiesce_timeout: self.quiesce_timeout,
                 profiler: RwLock::new(None),
                 profile_period: CachePadded::new(AtomicU64::new(0)),
             }),
@@ -321,15 +339,16 @@ pub(crate) fn switch_partition_impl(
         // own the word while the flag is set, so a plain store of the
         // pre-switch word is race-free.
         partition.config.store(old, Ordering::SeqCst);
+        let timeout = inner.quiesce_timeout;
         if cfg!(debug_assertions) {
             panic!(
-                "partition switch could not quiesce in {QUIESCE_TIMEOUT:?}: \
+                "partition switch could not quiesce in {timeout:?}: \
                  a transaction appears stuck"
             );
         }
         rtlog::warn(&format!(
             "switch of partition '{}' rolled back: quiescence not reached \
-             in {QUIESCE_TIMEOUT:?} (stuck transaction?); retryable",
+             in {timeout:?} (stuck transaction?); retryable",
             partition.name()
         ));
         return SwitchOutcome::TimedOut;
@@ -362,7 +381,7 @@ pub(crate) fn bump_epoch_and_quiesce(inner: &StmInner) -> bool {
             if seq % 2 == 0 || slot.start_epoch.load(Ordering::SeqCst) >= epoch {
                 break;
             }
-            if start.elapsed() > QUIESCE_TIMEOUT {
+            if start.elapsed() > inner.quiesce_timeout {
                 return false;
             }
             std::thread::yield_now();

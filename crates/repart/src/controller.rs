@@ -10,8 +10,7 @@ use std::time::Duration;
 use parking_lot::Mutex;
 use partstm_analysis::online::{OnlineAnalyzer, OnlineConfig, Proposal};
 use partstm_core::{
-    AccessProfiler, Migratable, Partition, PartitionConfig, PartitionId, StatCounters, Stm,
-    SwitchOutcome,
+    AccessProfiler, Partition, PartitionConfig, PartitionId, StatCounters, Stm, SwitchOutcome,
 };
 
 use crate::directory::PVarDirectory;
@@ -89,8 +88,10 @@ pub enum RepartEvent {
         src: PartitionId,
         /// The newly created hot partition.
         dst: PartitionId,
-        /// Variables migrated.
+        /// Variables/nodes migrated (flat vars plus collection nodes).
         moved: usize,
+        /// Whole collections (arenas + roots) migrated.
+        collections: usize,
         /// Sampled write share the hot set carried.
         hot_share: f64,
         /// Abort rate that triggered the split.
@@ -102,8 +103,10 @@ pub enum RepartEvent {
         src: PartitionId,
         /// The receiving partition.
         dst: PartitionId,
-        /// Variables migrated.
+        /// Variables/nodes migrated (flat vars plus collection nodes).
         moved: usize,
+        /// Whole collections (arenas + roots) migrated.
+        collections: usize,
     },
     /// An approved action could not execute (directory had no handles, or
     /// the repartition protocol reported contention/timeout).
@@ -358,12 +361,12 @@ fn step(ctrl: &Ctrl) {
                 }
                 st.split_seq += 1;
                 let name = format!("{}~hot{}", src_part.name(), st.split_seq);
-                let refs: Vec<&dyn Migratable> = movers.iter().map(|m| &**m).collect();
                 let template = PartitionConfig {
                     name,
                     ..ctrl.cfg.split_template.clone()
                 };
-                let (dst, mut outcome) = ctrl.stm.split_partition(&src_part, template, &refs);
+                let (dst, mut outcome) =
+                    ctrl.stm.split_partition_batch(&src_part, template, &movers);
                 // A Contended migration left `dst` created but empty;
                 // retry into the same destination (per the protocol docs)
                 // so a transient collision with a tuner switch doesn't
@@ -371,14 +374,15 @@ fn step(ctrl: &Ctrl) {
                 let mut retries = 0;
                 while outcome == SwitchOutcome::Contended && retries < 8 {
                     std::thread::yield_now();
-                    outcome = ctrl.stm.migrate_pvars(&refs, &dst);
+                    outcome = ctrl.stm.migrate_batch(&movers, &dst);
                     retries += 1;
                 }
                 st.events.push(match outcome {
                     SwitchOutcome::Switched => RepartEvent::Split {
                         src: *src,
                         dst: dst.id(),
-                        moved: movers.len(),
+                        moved: movers.moved_count(),
+                        collections: movers.collections.len(),
                         hot_share: *hot_share,
                         abort_rate: *abort_rate,
                     },
@@ -417,15 +421,17 @@ fn step(ctrl: &Ctrl) {
                     st.cooldown = ctrl.cfg.cooldown;
                     return;
                 }
-                let refs: Vec<&dyn Migratable> = movers.iter().map(|m| &**m).collect();
-                let outcome = ctrl.stm.merge_partitions(&[&src_part], &dst_part, &refs);
+                let outcome = ctrl
+                    .stm
+                    .merge_partitions_batch(&[&src_part], &dst_part, &movers);
                 st.events.push(match outcome {
                     SwitchOutcome::Switched => {
                         st.dead.insert(*src);
                         RepartEvent::Merge {
                             src: *src,
                             dst: *dst,
-                            moved: movers.len(),
+                            moved: movers.moved_count(),
+                            collections: movers.collections.len(),
                         }
                     }
                     other => RepartEvent::Failed {

@@ -1,27 +1,113 @@
-//! Migration directories: mapping profiler reports back to variables.
+//! Migration directories: mapping profiler reports back to variables and
+//! structures.
 //!
 //! The profiler reports hot spots as `(partition, address bucket)` pairs;
-//! executing a split needs the concrete [`PVar`](partstm_core::PVar)
-//! handles bound there. The runtime deliberately does not track which
-//! variables live in a partition (that would put a registry write on the
-//! allocation path), so the application registers the variables it wants
-//! the repartitioner to be able to move — typically at allocation time,
-//! next to `Partition::tvar`.
+//! executing a split needs the concrete things bound there — flat
+//! [`PVar`](partstm_core::PVar) handles and/or whole arena-backed
+//! structures ([`MigratableCollection`]). The runtime deliberately does
+//! not track which variables live in a partition (that would put a
+//! registry write on the allocation path), so the application registers
+//! what it wants the repartitioner to be able to move — typically at
+//! allocation time, next to `Partition::tvar`, or via each structure's
+//! `attach_directory`.
+//!
+//! Buckets the profiler flags but no registered variable or structure
+//! maps to are *controller misses*: the analyzer sees heat the directory
+//! cannot act on. Both directories report those through
+//! [`partstm_core::rtlog`] so misconfigured registration is observable
+//! instead of silently degrading the loop.
 
 use std::sync::Arc;
 
 use parking_lot::RwLock;
 use partstm_core::profiler::bucket_of;
-use partstm_core::{Migratable, PartitionId};
+use partstm_core::{
+    rtlog, CollectionRegistry, Migratable, MigratableCollection, MigrationSource, PVarBinding,
+    PartitionId, PROFILE_BUCKETS,
+};
 
-/// Source of migratable variable handles for the controller.
+/// Bucket-coverage set: one flag per profile bucket. A fixed array beats
+/// accumulating one `u16` per registered *address* (a big structure
+/// contributes thousands) and sorting them to answer 256 membership
+/// questions.
+type Covered = [bool; PROFILE_BUCKETS as usize];
+
+/// What a directory hands the controller for one migration: flat variable
+/// handles plus whole collections. Usable directly as the
+/// [`MigrationSource`] of `Stm::split_partition_batch` /
+/// `Stm::migrate_batch`.
+#[derive(Default)]
+pub struct MoverSet {
+    /// Flat registered variables to rebind.
+    pub vars: Vec<Arc<dyn Migratable>>,
+    /// Whole collections (arena + roots) to rebind.
+    pub collections: Vec<Arc<dyn MigratableCollection>>,
+}
+
+impl MoverSet {
+    /// True when there is nothing to move.
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty() && self.collections.is_empty()
+    }
+
+    /// Flat vars plus live nodes of every collection (the `moved` count
+    /// reported in controller events).
+    pub fn moved_count(&self) -> usize {
+        self.vars.len()
+            + self
+                .collections
+                .iter()
+                .map(|c| c.live_nodes())
+                .sum::<usize>()
+    }
+}
+
+impl MigrationSource for MoverSet {
+    fn for_each_binding(&self, f: &mut dyn FnMut(&PVarBinding)) {
+        // Collections first: each visits its arena home before its slots
+        // (the ordering contract of `MigrationSource`).
+        for c in &self.collections {
+            c.for_each_binding(f);
+        }
+        for v in &self.vars {
+            f(v.pvar_binding());
+        }
+    }
+}
+
+impl core::fmt::Debug for MoverSet {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("MoverSet")
+            .field("vars", &self.vars.len())
+            .field("collections", &self.collections.len())
+            .finish()
+    }
+}
+
+/// Source of movable handles for the controller.
 pub trait PVarDirectory: Send + Sync {
-    /// Handles of registered variables currently bound to `part` whose
-    /// profile bucket is in `buckets` (`buckets` is sorted).
-    fn collect(&self, part: PartitionId, buckets: &[u16]) -> Vec<Arc<dyn Migratable>>;
+    /// Movers currently bound to `part` whose profile buckets intersect
+    /// `buckets` (`buckets` is sorted). Requested buckets that map to
+    /// nothing registered are reported through `rtlog` as controller
+    /// misses.
+    fn collect(&self, part: PartitionId, buckets: &[u16]) -> MoverSet;
 
-    /// Handles of all registered variables currently bound to `part`.
-    fn collect_all(&self, part: PartitionId) -> Vec<Arc<dyn Migratable>>;
+    /// All registered movers currently bound to `part`.
+    fn collect_all(&self, part: PartitionId) -> MoverSet;
+}
+
+/// Counts how many of the requested `buckets` no candidate address hashes
+/// into, and warns through `rtlog` if any.
+fn report_unmapped(kind: &str, part: PartitionId, buckets: &[u16], covered: &Covered) {
+    let unmapped = buckets.iter().filter(|&&b| !covered[b as usize]).count();
+    if unmapped > 0 {
+        rtlog::warn(&format!(
+            "{kind}: {unmapped} of {} hot buckets in partition {} map to \
+             nothing registered; the controller cannot act on them",
+            buckets.len(),
+            part.0
+        ));
+    }
 }
 
 /// The straightforward directory: a flat registry of handles, filtered on
@@ -58,28 +144,55 @@ impl StaticDirectory {
     pub fn is_empty(&self) -> bool {
         self.vars.read().is_empty()
     }
-}
 
-impl PVarDirectory for StaticDirectory {
-    fn collect(&self, part: PartitionId, buckets: &[u16]) -> Vec<Arc<dyn Migratable>> {
+    /// Shared filter body: vars currently bound to `part`, each pushing
+    /// its profile bucket into `covered`, kept when that bucket is in
+    /// `buckets`. Used by this directory's `collect` and by
+    /// [`ArenaDirectory`]'s embedded var registry.
+    fn collect_vars_into(
+        &self,
+        part: PartitionId,
+        buckets: &[u16],
+        covered: &mut Covered,
+    ) -> Vec<Arc<dyn Migratable>> {
         self.vars
             .read()
             .iter()
             .filter(|v| {
-                v.pvar_binding().partition_id() == part
-                    && buckets.binary_search(&bucket_of(v.var_addr())).is_ok()
+                if v.pvar_binding().partition_id() != part {
+                    return false;
+                }
+                let b = bucket_of(v.var_addr());
+                covered[b as usize] = true;
+                buckets.binary_search(&b).is_ok()
             })
             .map(Arc::clone)
             .collect()
     }
+}
 
-    fn collect_all(&self, part: PartitionId) -> Vec<Arc<dyn Migratable>> {
-        self.vars
-            .read()
-            .iter()
-            .filter(|v| v.pvar_binding().partition_id() == part)
-            .map(Arc::clone)
-            .collect()
+impl PVarDirectory for StaticDirectory {
+    fn collect(&self, part: PartitionId, buckets: &[u16]) -> MoverSet {
+        let mut covered: Covered = [false; PROFILE_BUCKETS as usize];
+        let vars = self.collect_vars_into(part, buckets, &mut covered);
+        report_unmapped("StaticDirectory", part, buckets, &covered);
+        MoverSet {
+            vars,
+            collections: Vec::new(),
+        }
+    }
+
+    fn collect_all(&self, part: PartitionId) -> MoverSet {
+        MoverSet {
+            vars: self
+                .vars
+                .read()
+                .iter()
+                .filter(|v| v.pvar_binding().partition_id() == part)
+                .map(Arc::clone)
+                .collect(),
+            collections: Vec::new(),
+        }
     }
 }
 
@@ -91,10 +204,122 @@ impl core::fmt::Debug for StaticDirectory {
     }
 }
 
+/// Over-representation factor for collection selection: a collection is
+/// considered hot when its live fields land in the requested buckets at
+/// least this many times more often than a uniform address spray would.
+const HOT_OVERREP: f64 = 2.0;
+
+/// Structure-aware directory: registered [`MigratableCollection`]s (each
+/// structure's `attach_directory` lands here) plus an embedded flat-var
+/// registry with [`StaticDirectory`] semantics.
+///
+/// ## Bucket-to-structure mapping
+///
+/// A large structure's fields spray across *all* 256 profile buckets, so
+/// "has an address in a hot bucket" selects everything. What separates
+/// the structure the workload is hammering from an innocent bystander is
+/// *over-representation*: the share of the structure's live fields inside
+/// the hot buckets, compared against the share of bucket space the hot
+/// set covers (`|buckets| / 256`). The hammered structure's addresses
+/// concentrate there; a bystander's match it only proportionally.
+/// Collections at least 2× over-represented (`HOT_OVERREP`) are selected
+/// and migrated *whole* (arena home, every slot, roots) — an arena-level
+/// split.
+#[derive(Default)]
+pub struct ArenaDirectory {
+    collections: RwLock<Vec<Arc<dyn MigratableCollection>>>,
+    vars: StaticDirectory,
+}
+
+impl ArenaDirectory {
+    /// An empty directory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers one flat variable (as in [`StaticDirectory::register`]).
+    pub fn register(&self, var: Arc<dyn Migratable>) {
+        self.vars.register(var);
+    }
+
+    /// Number of registered collections.
+    pub fn collections_len(&self) -> usize {
+        self.collections.read().len()
+    }
+
+    /// Number of registered flat variables.
+    pub fn vars_len(&self) -> usize {
+        self.vars.len()
+    }
+}
+
+impl CollectionRegistry for ArenaDirectory {
+    fn register_collection(&self, c: Arc<dyn MigratableCollection>) {
+        self.collections.write().push(c);
+    }
+}
+
+impl PVarDirectory for ArenaDirectory {
+    fn collect(&self, part: PartitionId, buckets: &[u16]) -> MoverSet {
+        let mut covered: Covered = [false; PROFILE_BUCKETS as usize];
+        let mut collections = Vec::new();
+        for c in self.collections.read().iter() {
+            if c.home_partition().id() != part {
+                continue;
+            }
+            let mut hits = 0usize;
+            let mut total = 0usize;
+            c.for_each_live_addr(&mut |addr| {
+                let b = bucket_of(addr);
+                covered[b as usize] = true;
+                total += 1;
+                if buckets.binary_search(&b).is_ok() {
+                    hits += 1;
+                }
+            });
+            if total == 0 {
+                continue;
+            }
+            let share = hits as f64 / total as f64;
+            let uniform = buckets.len() as f64 / f64::from(partstm_core::PROFILE_BUCKETS);
+            if share >= uniform * HOT_OVERREP {
+                collections.push(Arc::clone(c));
+            }
+        }
+        // Flat vars ride along exactly as in the static directory; its
+        // unmapped-bucket report is folded into ours below.
+        let vars = self.vars.collect_vars_into(part, buckets, &mut covered);
+        report_unmapped("ArenaDirectory", part, buckets, &covered);
+        MoverSet { vars, collections }
+    }
+
+    fn collect_all(&self, part: PartitionId) -> MoverSet {
+        let mut set = self.vars.collect_all(part);
+        set.collections = self
+            .collections
+            .read()
+            .iter()
+            .filter(|c| c.home_partition().id() == part)
+            .map(Arc::clone)
+            .collect();
+        set
+    }
+}
+
+impl core::fmt::Debug for ArenaDirectory {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("ArenaDirectory")
+            .field("collections", &self.collections_len())
+            .field("vars", &self.vars_len())
+            .finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use partstm_core::{PartitionConfig, Stm};
+    use partstm_core::{Arena, PVar, PVarFields, PartitionConfig, Stm};
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn directory_filters_by_binding_and_bucket() {
@@ -112,8 +337,8 @@ mod tests {
         assert_eq!(dir.len(), 33);
         assert!(!dir.is_empty());
 
-        assert_eq!(dir.collect_all(a.id()).len(), 32);
-        assert_eq!(dir.collect_all(b.id()).len(), 1);
+        assert_eq!(dir.collect_all(a.id()).vars.len(), 32);
+        assert_eq!(dir.collect_all(b.id()).vars.len(), 1);
 
         // Bucket filtering returns exactly the vars hashing there.
         let mut buckets: Vec<u16> = xs
@@ -124,9 +349,125 @@ mod tests {
         buckets.sort_unstable();
         buckets.dedup();
         let got = dir.collect(a.id(), &buckets);
-        assert!(got.len() >= 4, "at least the four seeds: {}", got.len());
-        for v in &got {
+        assert!(
+            got.vars.len() >= 4,
+            "at least the four seeds: {}",
+            got.vars.len()
+        );
+        for v in &got.vars {
             assert!(buckets.binary_search(&bucket_of(v.var_addr())).is_ok());
         }
+    }
+
+    /// Buckets nothing is registered under are reported through rtlog.
+    #[test]
+    fn unmapped_buckets_are_reported() {
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = Arc::clone(&hits);
+        let me = std::thread::current().id();
+        partstm_core::rtlog::set_handler(Some(Box::new(move |m| {
+            // `warn` runs on the caller's thread: counting only our own
+            // keeps concurrently running tests out of the tally.
+            if std::thread::current().id() == me
+                && m.contains("hot buckets")
+                && m.contains("nothing registered")
+            {
+                h.fetch_add(1, Ordering::Relaxed);
+            }
+        })));
+
+        let stm = Stm::new();
+        let a = stm.new_partition(PartitionConfig::named("a"));
+        let x = Arc::new(a.tvar(1u64));
+        let sdir = StaticDirectory::new();
+        sdir.register(Arc::clone(&x) as Arc<dyn Migratable>);
+        // Ask for the var's own bucket plus one that cannot be covered by
+        // a single registered address.
+        let own = bucket_of(Migratable::var_addr(&*x));
+        let missing = if own == 0 { 1 } else { own - 1 };
+        let mut buckets = vec![own, missing];
+        buckets.sort_unstable();
+        let got = sdir.collect(a.id(), &buckets);
+        assert_eq!(got.vars.len(), 1);
+        assert_eq!(hits.load(Ordering::Relaxed), 1, "one rtlog miss report");
+
+        // Fully mapped requests stay silent.
+        let got = sdir.collect(a.id(), &[own]);
+        assert_eq!(got.vars.len(), 1);
+        assert_eq!(hits.load(Ordering::Relaxed), 1, "no new report");
+
+        // The arena directory reports the same way.
+        let adir = ArenaDirectory::new();
+        adir.register(Arc::clone(&x) as Arc<dyn Migratable>);
+        let _ = adir.collect(a.id(), &buckets);
+        assert_eq!(hits.load(Ordering::Relaxed), 2);
+
+        partstm_core::rtlog::set_handler(None);
+    }
+
+    /// Over-representation selects the structure the buckets concentrate
+    /// in and leaves proportional bystanders alone.
+    #[test]
+    fn arena_directory_selects_overrepresented_collections() {
+        struct Probe {
+            part: Arc<partstm_core::Partition>,
+            arena: Arena<PVar<u64>>,
+        }
+        impl Probe {
+            fn new(part: &Arc<partstm_core::Partition>, n: usize) -> Arc<Self> {
+                let arena = Arena::new_bound(part, |p| p.tvar(0u64));
+                for _ in 0..n {
+                    let _ = arena.alloc_raw();
+                }
+                Arc::new(Probe {
+                    part: Arc::clone(part),
+                    arena,
+                })
+            }
+        }
+        impl MigrationSource for Probe {
+            fn for_each_binding(&self, f: &mut dyn FnMut(&PVarBinding)) {
+                MigrationSource::for_each_binding(&self.arena, f);
+            }
+        }
+        impl MigratableCollection for Probe {
+            fn home_partition(&self) -> Arc<partstm_core::Partition> {
+                Arc::clone(&self.part)
+            }
+            fn for_each_live_addr(&self, f: &mut dyn FnMut(usize)) {
+                self.arena
+                    .for_each_live_slot(|_, n| n.for_each_pvar(&mut |m| f(m.var_addr())));
+            }
+            fn live_nodes(&self) -> usize {
+                self.arena.live()
+            }
+        }
+
+        let stm = Stm::new();
+        let part = stm.new_partition(PartitionConfig::named("mixed"));
+        let small = Probe::new(&part, 24);
+        let big = Probe::new(&part, 4096);
+        let dir = ArenaDirectory::new();
+        dir.register_collection(Arc::clone(&small) as Arc<dyn MigratableCollection>);
+        dir.register_collection(Arc::clone(&big) as Arc<dyn MigratableCollection>);
+        assert_eq!(dir.collections_len(), 2);
+
+        // Hot buckets := exactly the small structure's buckets. The small
+        // structure is 100% inside them; the big one only proportionally.
+        let mut buckets: Vec<u16> = Vec::new();
+        small.for_each_live_addr(&mut |a| buckets.push(bucket_of(a)));
+        buckets.sort_unstable();
+        buckets.dedup();
+        // Every requested bucket is covered by the small structure, so no
+        // unmapped-bucket warning fires (keeps this test off the global
+        // rtlog sink, which `unmapped_buckets_are_reported` owns).
+        let got = dir.collect(part.id(), &buckets);
+        assert_eq!(got.collections.len(), 1, "only the hot structure");
+        assert_eq!(got.collections[0].live_nodes(), small.live_nodes());
+        assert!(!got.is_empty());
+        assert_eq!(got.moved_count(), 24);
+
+        // collect_all returns both.
+        assert_eq!(dir.collect_all(part.id()).collections.len(), 2);
     }
 }

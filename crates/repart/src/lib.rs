@@ -58,7 +58,7 @@ mod controller;
 mod directory;
 
 pub use controller::{ControllerConfig, RepartEvent, RepartitionController};
-pub use directory::{PVarDirectory, StaticDirectory};
+pub use directory::{ArenaDirectory, MoverSet, PVarDirectory, StaticDirectory};
 
 #[cfg(test)]
 mod tests {
@@ -174,6 +174,124 @@ mod tests {
             "split created a partition: {:?}",
             stm.partitions().len()
         );
+    }
+
+    /// End-to-end arena-level split: two hash maps share one partition, a
+    /// hot-key workload hammers the small one while scans walk the big
+    /// one; the controller must map the profiler's hot buckets back to
+    /// the *structure* (over-representation) and migrate the whole
+    /// collection — arena home, nodes, bucket roots — into a fresh
+    /// partition, conserving the maps' contents.
+    #[test]
+    fn controller_splits_a_hot_collection() {
+        use partstm_structures::THashMap;
+        const HOT_KEYS: u64 = 16;
+        const COLD_KEYS: u64 = 2048;
+        let stm = Stm::new();
+        let part = stm.new_partition(PartitionConfig::named("mixed").orecs(256));
+        let hot = Arc::new(THashMap::new(Arc::clone(&part), HOT_KEYS as usize));
+        let cold = Arc::new(THashMap::new(Arc::clone(&part), 512));
+        {
+            let ctx = stm.register_thread();
+            for k in 0..HOT_KEYS {
+                ctx.run(|tx| hot.put(tx, k, 100).map(|_| ()));
+            }
+            for k in 0..COLD_KEYS {
+                ctx.run(|tx| cold.put(tx, k, 100).map(|_| ()));
+            }
+        }
+        let dir = Arc::new(crate::ArenaDirectory::new());
+        hot.attach_directory(&*dir);
+        cold.attach_directory(&*dir);
+        let mut cfg = ControllerConfig::responsive();
+        cfg.online.split_abort_rate = 0.02;
+        cfg.online.split_hot_share = 0.30;
+        let controller = RepartitionController::new(&stm, dir, cfg);
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut split = false;
+        std::thread::scope(|s| {
+            // Hot hammer: transfers between hot keys, holding the
+            // encounter lock across a reschedule (one-core contention).
+            for t in 0..2u64 {
+                let ctx = stm.register_thread();
+                let (hot, stop) = (Arc::clone(&hot), Arc::clone(&stop));
+                s.spawn(move || {
+                    let mut r = (t + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                    while !stop.load(Ordering::Relaxed) {
+                        r ^= r << 13;
+                        r ^= r >> 7;
+                        r ^= r << 17;
+                        let (from, to) = (r % HOT_KEYS, (r >> 8) % HOT_KEYS);
+                        let amt = r % 50;
+                        ctx.run(|tx| {
+                            let f = hot.get(tx, from)?.unwrap_or(0);
+                            hot.put(tx, from, f.wrapping_sub(amt))?;
+                            std::thread::sleep(Duration::from_micros(50));
+                            let v = hot.get(tx, to)?.unwrap_or(0);
+                            hot.put(tx, to, v.wrapping_add(amt))?;
+                            Ok(())
+                        });
+                    }
+                });
+            }
+            // Cold scans aborting against stranded hot locks (the false
+            // sharing the split removes).
+            {
+                let ctx = stm.register_thread();
+                let (cold, stop) = (Arc::clone(&cold), Arc::clone(&stop));
+                s.spawn(move || {
+                    let mut x = 7u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        ctx.run(|tx| {
+                            let mut sum = 0u64;
+                            for _ in 0..32 {
+                                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                                sum = sum.wrapping_add(
+                                    cold.get(tx, (x >> 16) % COLD_KEYS)?.unwrap_or(0),
+                                );
+                            }
+                            Ok(sum)
+                        });
+                    }
+                });
+            }
+            let deadline = Instant::now() + Duration::from_secs(20);
+            while Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(50));
+                controller.step();
+                if controller.has_split() {
+                    split = true;
+                    break;
+                }
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+
+        assert!(split, "controller never split: {:?}", controller.events());
+        let events = controller.stop();
+        let (dst, collections) = events
+            .iter()
+            .find_map(|e| match e {
+                RepartEvent::Split {
+                    dst, collections, ..
+                } => Some((*dst, *collections)),
+                _ => None,
+            })
+            .unwrap();
+        assert!(collections >= 1, "split must carry a whole collection");
+        assert_eq!(
+            hot.partition_of(),
+            dst,
+            "hot map lives in the new partition"
+        );
+        assert_eq!(cold.partition_of(), part.id(), "cold map stays home");
+        let total: u64 = hot
+            .snapshot_pairs()
+            .into_iter()
+            .chain(cold.snapshot_pairs())
+            .fold(0u64, |acc, (_, v)| acc.wrapping_add(v));
+        assert_eq!(total, (HOT_KEYS + COLD_KEYS) * 100, "contents conserved");
     }
 
     /// The daemon variant starts, ticks and stops cleanly.

@@ -21,7 +21,9 @@
 
 use std::sync::Arc;
 
-use partstm_core::{Arena, Handle, PVar, Partition, PartitionConfig, Stm, TxWord};
+use partstm_core::{
+    Arena, Handle, Migratable, PVar, PVarFields, Partition, PartitionConfig, Stm, TxWord,
+};
 use partstm_structures::{IntSet, THashMap, THashSet};
 
 use crate::common::SplitMix64;
@@ -118,6 +120,16 @@ struct SegNode {
     finished: PVar<bool>,
 }
 
+impl PVarFields for SegNode {
+    fn for_each_pvar(&self, f: &mut dyn FnMut(&dyn Migratable)) {
+        f(&self.seg);
+        f(&self.next);
+        f(&self.overlap);
+        f(&self.started);
+        f(&self.finished);
+    }
+}
+
 /// The partitions genome uses.
 pub struct GenomeParts {
     /// Phase-1 dedup set.
@@ -197,15 +209,17 @@ pub fn run_genome(
     });
     let unique: Vec<u64> = set.snapshot_keys();
 
-    // Chain nodes for every unique segment, bound to the links partition.
-    let links = Arc::clone(&parts.links);
-    let arena: Arena<SegNode> = Arena::with_capacity_and(unique.len(), move || SegNode {
-        seg: links.tvar(0),
-        next: links.tvar(None),
-        overlap: links.tvar(0),
-        started: links.tvar(false),
-        finished: links.tvar(false),
-    });
+    // Chain nodes for every unique segment, bound to the links partition
+    // (a bound arena, so a live repartition of the links class would carry
+    // the chain with it).
+    let arena: Arena<SegNode> =
+        Arena::with_capacity_bound(&parts.links, unique.len(), |p| SegNode {
+            seg: p.tvar(0),
+            next: p.tvar(None),
+            overlap: p.tvar(0),
+            started: p.tvar(false),
+            finished: p.tvar(false),
+        });
     let nodes: Vec<Handle<SegNode>> = {
         let ctx = stm.register_thread();
         unique

@@ -18,7 +18,10 @@
 
 use std::sync::Arc;
 
-use partstm_core::{Arena, Handle, PVar, Partition, PartitionConfig, Stm, Tx, TxResult, TxWord};
+use partstm_core::{
+    Arena, CollectionRegistry, Handle, Migratable, MigratableCollection, PVar, PVarFields,
+    Partition, PartitionConfig, Stm, Tx, TxResult, TxWord,
+};
 use partstm_structures::{THashMap, TQueue};
 
 use crate::common::SplitMix64;
@@ -50,6 +53,16 @@ struct FlowAsm {
     total: PVar<u64>,
     /// Fragment payload slots.
     data: [PVar<u64>; MAX_FRAGMENTS],
+}
+
+impl PVarFields for FlowAsm {
+    fn for_each_pvar(&self, f: &mut dyn FnMut(&dyn Migratable)) {
+        f(&self.received);
+        f(&self.total);
+        for d in &self.data {
+            f(d);
+        }
+    }
 }
 
 /// Workload parameters.
@@ -154,10 +167,10 @@ pub fn generate_stream(cfg: &IntruderConfig) -> (Vec<Packet>, usize) {
 pub struct Intruder {
     parts: IntruderParts,
     /// Indices into the pre-generated packet vector.
-    packet_queue: TQueue<u64>,
-    fragment_map: THashMap,
-    flow_arena: Arena<FlowAsm>,
-    decoded_queue: TQueue<u64>,
+    packet_queue: Arc<TQueue<u64>>,
+    fragment_map: Arc<THashMap>,
+    flow_arena: Arc<Arena<FlowAsm>>,
+    decoded_queue: Arc<TQueue<u64>>,
     attacks_found: PVar<u64>,
     flows_done: PVar<u64>,
 }
@@ -165,16 +178,18 @@ pub struct Intruder {
 impl Intruder {
     /// Builds the pipeline and enqueues all packet indices.
     pub fn new(stm: &Stm, parts: IntruderParts, packets: &[Packet]) -> Self {
-        let fragments = Arc::clone(&parts.fragments);
         let me = Intruder {
-            packet_queue: TQueue::with_capacity(Arc::clone(&parts.packets), packets.len()),
-            fragment_map: THashMap::new(Arc::clone(&parts.fragments), 4096),
-            flow_arena: Arena::new_with(move || FlowAsm {
-                received: fragments.tvar(0),
-                total: fragments.tvar(0),
-                data: core::array::from_fn(|_| fragments.tvar(0)),
-            }),
-            decoded_queue: TQueue::new(Arc::clone(&parts.decoded)),
+            packet_queue: Arc::new(TQueue::with_capacity(
+                Arc::clone(&parts.packets),
+                packets.len(),
+            )),
+            fragment_map: Arc::new(THashMap::new(Arc::clone(&parts.fragments), 4096)),
+            flow_arena: Arc::new(Arena::new_bound(&parts.fragments, |p| FlowAsm {
+                received: p.tvar(0),
+                total: p.tvar(0),
+                data: core::array::from_fn(|_| p.tvar(0)),
+            })),
+            decoded_queue: Arc::new(TQueue::new(Arc::clone(&parts.decoded))),
             attacks_found: parts.decoded.tvar(0),
             flows_done: parts.decoded.tvar(0),
             parts,
@@ -189,6 +204,16 @@ impl Intruder {
     /// The partitions backing this pipeline.
     pub fn parts(&self) -> &IntruderParts {
         &self.parts
+    }
+
+    /// Registers the pipeline's arena-backed state (both queues, the
+    /// reassembly map and the flow arena) with a migration directory,
+    /// making every stage repartition-aware.
+    pub fn register_with(&self, dir: &dyn CollectionRegistry) {
+        self.packet_queue.attach_directory(dir);
+        self.fragment_map.attach_directory(dir);
+        self.decoded_queue.attach_directory(dir);
+        dir.register_collection(Arc::clone(&self.flow_arena) as Arc<dyn MigratableCollection>);
     }
 
     /// Decoder step: pop one packet index and integrate the fragment;
@@ -341,6 +366,27 @@ pub fn partition_plan() -> partstm_analysis::ProgramModel {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// `register_with` hands both queues, the reassembly map and the flow
+    /// arena to the directory.
+    #[test]
+    fn register_with_covers_every_stage() {
+        use std::cell::Cell;
+        struct Counting(Cell<usize>);
+        impl CollectionRegistry for Counting {
+            fn register_collection(&self, c: Arc<dyn MigratableCollection>) {
+                let _ = c.home_partition();
+                self.0.set(self.0.get() + 1);
+            }
+        }
+        let stm = Stm::new();
+        let cfg = IntruderConfig::scaled(50);
+        let (packets, _) = generate_stream(&cfg);
+        let pipeline = Intruder::new(&stm, IntruderParts::partitioned(&stm, false), &packets);
+        let reg = Counting(Cell::new(0));
+        pipeline.register_with(&reg);
+        assert_eq!(reg.0.get(), 4, "packet queue, map, decoded queue, arena");
+    }
 
     #[test]
     fn stream_generation_is_complete_and_deterministic() {

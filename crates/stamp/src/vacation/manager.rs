@@ -2,7 +2,10 @@
 
 use std::sync::Arc;
 
-use partstm_core::{Arena, Handle, PVar, Partition, PartitionConfig, Stm, Tx, TxResult};
+use partstm_core::{
+    Arena, CollectionRegistry, Handle, Migratable, MigratableCollection, PVar, PVarFields,
+    Partition, PartitionConfig, Stm, Tx, TxResult,
+};
 use partstm_structures::TRbTree;
 
 /// The three reservable item kinds.
@@ -51,6 +54,15 @@ struct Reservation {
     price: PVar<u64>,
 }
 
+impl PVarFields for Reservation {
+    fn for_each_pvar(&self, f: &mut dyn FnMut(&dyn Migratable)) {
+        f(&self.total);
+        f(&self.used);
+        f(&self.free);
+        f(&self.price);
+    }
+}
+
 /// One entry in a customer's reservation list, bound to the customers
 /// partition.
 struct ResInfo {
@@ -58,6 +70,15 @@ struct ResInfo {
     item: PVar<u64>,
     price: PVar<u64>,
     next: PVar<Option<Handle<ResInfo>>>,
+}
+
+impl PVarFields for ResInfo {
+    fn for_each_pvar(&self, f: &mut dyn FnMut(&dyn Migratable)) {
+        f(&self.kind);
+        f(&self.item);
+        f(&self.price);
+        f(&self.next);
+    }
 }
 
 /// The partitions backing a [`Manager`] — either one per relation (the
@@ -118,25 +139,26 @@ impl ManagerParts {
 }
 
 struct ItemTable {
-    tree: TRbTree,
-    arena: Arena<Reservation>,
+    tree: Arc<TRbTree>,
+    arena: Arc<Arena<Reservation>>,
 }
 
 impl ItemTable {
     fn new(part: Arc<Partition>) -> Self {
-        let factory = {
-            let part = Arc::clone(&part);
-            move || Reservation {
-                total: part.tvar(0),
-                used: part.tvar(0),
-                free: part.tvar(0),
-                price: part.tvar(0),
-            }
-        };
         ItemTable {
-            tree: TRbTree::new(part),
-            arena: Arena::new_with(factory),
+            arena: Arc::new(Arena::new_bound(&part, |p| Reservation {
+                total: p.tvar(0),
+                used: p.tvar(0),
+                free: p.tvar(0),
+                price: p.tvar(0),
+            })),
+            tree: Arc::new(TRbTree::new(part)),
         }
+    }
+
+    fn register_with(&self, dir: &dyn CollectionRegistry) {
+        self.tree.attach_directory(dir);
+        dir.register_collection(Arc::clone(&self.arena) as Arc<dyn MigratableCollection>);
     }
 
     fn lookup<'e>(&'e self, tx: &mut Tx<'e, '_>, id: u64) -> TxResult<Option<Handle<Reservation>>> {
@@ -152,28 +174,24 @@ pub struct Manager {
     cars: ItemTable,
     flights: ItemTable,
     rooms: ItemTable,
-    customers: TRbTree,
-    infos: Arena<ResInfo>,
+    customers: Arc<TRbTree>,
+    infos: Arc<Arena<ResInfo>>,
 }
 
 impl Manager {
     /// Creates an empty database over the given partitions.
     pub fn new(parts: ManagerParts) -> Self {
-        let info_factory = {
-            let part = Arc::clone(&parts.customers);
-            move || ResInfo {
-                kind: part.tvar(0),
-                item: part.tvar(0),
-                price: part.tvar(0),
-                next: part.tvar(None),
-            }
-        };
         Manager {
             cars: ItemTable::new(Arc::clone(&parts.cars)),
             flights: ItemTable::new(Arc::clone(&parts.flights)),
             rooms: ItemTable::new(Arc::clone(&parts.rooms)),
-            customers: TRbTree::new(Arc::clone(&parts.customers)),
-            infos: Arena::new_with(info_factory),
+            customers: Arc::new(TRbTree::new(Arc::clone(&parts.customers))),
+            infos: Arc::new(Arena::new_bound(&parts.customers, |p| ResInfo {
+                kind: p.tvar(0),
+                item: p.tvar(0),
+                price: p.tvar(0),
+                next: p.tvar(None),
+            })),
             parts,
         }
     }
@@ -181,6 +199,17 @@ impl Manager {
     /// The partitions backing this manager.
     pub fn parts(&self) -> &ManagerParts {
         &self.parts
+    }
+
+    /// Registers every arena-backed relation (item trees + inventory
+    /// arenas, the customer tree and the reservation-info arena) with a
+    /// migration directory, making the whole database repartition-aware.
+    pub fn register_with(&self, dir: &dyn CollectionRegistry) {
+        self.cars.register_with(dir);
+        self.flights.register_with(dir);
+        self.rooms.register_with(dir);
+        self.customers.attach_directory(dir);
+        dir.register_collection(Arc::clone(&self.infos) as Arc<dyn MigratableCollection>);
     }
 
     fn table(&self, kind: ReservationKind) -> &ItemTable {
@@ -468,6 +497,26 @@ mod tests {
         let stm = Stm::new();
         let m = Manager::new(ManagerParts::partitioned(&stm, false));
         (stm, m)
+    }
+
+    /// `register_with` hands every arena-backed relation to the directory:
+    /// three item tables (tree + inventory arena each), the customer tree
+    /// and the reservation-info arena.
+    #[test]
+    fn register_with_covers_every_relation() {
+        use std::cell::Cell;
+        struct Counting(Cell<usize>);
+        impl CollectionRegistry for Counting {
+            fn register_collection(&self, c: Arc<dyn MigratableCollection>) {
+                // Every registered collection has a live home partition.
+                let _ = c.home_partition();
+                self.0.set(self.0.get() + 1);
+            }
+        }
+        let (_stm, m) = setup();
+        let reg = Counting(Cell::new(0));
+        m.register_with(&reg);
+        assert_eq!(reg.0.get(), 8, "3 x (tree + arena) + customers + infos");
     }
 
     #[test]

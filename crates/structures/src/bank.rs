@@ -8,7 +8,10 @@
 
 use std::sync::Arc;
 
-use partstm_core::{PVar, Partition, Tx, TxResult};
+use partstm_core::{
+    CollectionRegistry, Migratable, MigratableCollection, MigrationSource, PVar, PVarBinding,
+    Partition, PartitionId, Tx, TxResult,
+};
 
 /// A fixed array of accounts guarded by one partition. Every account is a
 /// [`PVar`] bound to that partition at construction, so the access methods
@@ -27,6 +30,30 @@ impl Bank {
             part,
             accounts: v.into_boxed_slice(),
         }
+    }
+
+    /// Id of the partition currently guarding the accounts. Starts as the
+    /// construction partition and moves when the repartitioner migrates
+    /// the bank (an empty bank never migrates and reports its construction
+    /// partition).
+    pub fn partition_of(&self) -> PartitionId {
+        self.accounts
+            .first()
+            .map(|a| a.partition_id())
+            .unwrap_or_else(|| self.part.id())
+    }
+
+    /// Direct access to one account variable (diagnostics and raw-tier
+    /// equivalence tests).
+    pub fn account(&self, i: usize) -> &PVar<i64> {
+        &self.accounts[i]
+    }
+
+    /// Registers this bank with a migration directory so the online
+    /// repartitioner can account its variables against profiler buckets
+    /// and migrate it live.
+    pub fn attach_directory(self: &Arc<Self>, dir: &dyn CollectionRegistry) {
+        dir.register_collection(Arc::clone(self) as Arc<dyn MigratableCollection>);
     }
 
     /// Number of accounts.
@@ -91,6 +118,33 @@ impl Bank {
     /// Non-transactional total (quiescent only).
     pub fn total_direct(&self) -> i64 {
         self.accounts.iter().map(|a| a.load_direct()).sum()
+    }
+}
+
+impl MigrationSource for Bank {
+    fn for_each_binding(&self, f: &mut dyn FnMut(&PVarBinding)) {
+        for a in self.accounts.iter() {
+            f(a.binding());
+        }
+    }
+}
+
+impl MigratableCollection for Bank {
+    fn home_partition(&self) -> Arc<Partition> {
+        self.accounts
+            .first()
+            .map(|a| a.partition())
+            .unwrap_or_else(|| Arc::clone(&self.part))
+    }
+
+    fn for_each_live_addr(&self, f: &mut dyn FnMut(usize)) {
+        for a in self.accounts.iter() {
+            f(Migratable::var_addr(a));
+        }
+    }
+
+    fn live_nodes(&self) -> usize {
+        self.accounts.len()
     }
 }
 

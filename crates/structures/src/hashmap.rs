@@ -8,7 +8,10 @@
 
 use std::sync::Arc;
 
-use partstm_core::{Arena, Handle, PVar, Partition, Tx, TxResult};
+use partstm_core::{
+    Arena, CollectionRegistry, Handle, Migratable, MigratableCollection, MigrationSource, PVar,
+    PVarBinding, PVarFields, Partition, PartitionId, Tx, TxResult,
+};
 
 use crate::intset::IntSet;
 
@@ -17,6 +20,14 @@ pub struct Node {
     key: PVar<u64>,
     val: PVar<u64>,
     next: PVar<Option<Handle<Node>>>,
+}
+
+impl PVarFields for Node {
+    fn for_each_pvar(&self, f: &mut dyn FnMut(&dyn Migratable)) {
+        f(&self.key);
+        f(&self.val);
+        f(&self.next);
+    }
 }
 
 /// Transactional hash map over a partition.
@@ -40,20 +51,38 @@ impl THashMap {
         let n = buckets.next_power_of_two().max(1);
         let mut v = Vec::with_capacity(n);
         v.resize_with(n, || part.tvar(None));
-        let factory = {
-            let part = Arc::clone(&part);
-            move || Node {
-                key: part.tvar(0),
-                val: part.tvar(0),
-                next: part.tvar(None),
-            }
-        };
         THashMap {
-            arena: Arena::new_with(factory),
+            arena: Arena::new_bound(&part, |p| Node {
+                key: p.tvar(0),
+                val: p.tvar(0),
+                next: p.tvar(None),
+            }),
             buckets: v.into_boxed_slice(),
             mask: (n - 1) as u64,
             part,
         }
+    }
+
+    /// Id of the partition currently guarding this map (its arena home).
+    /// Starts as the construction partition and moves when the
+    /// repartitioner migrates the map.
+    pub fn partition_of(&self) -> PartitionId {
+        self.arena.partition_id().expect("bound arena")
+    }
+
+    /// Registers this map with a migration directory so the online
+    /// repartitioner can account its nodes against profiler buckets and
+    /// migrate it live.
+    pub fn attach_directory(self: &Arc<Self>, dir: &dyn CollectionRegistry) {
+        dir.register_collection(Arc::clone(self) as Arc<dyn MigratableCollection>);
+    }
+
+    /// The node arena backing this map: live-slot enumeration and
+    /// slot-subset migration
+    /// ([`Arena::slots_of`](partstm_core::Arena::slots_of)) for callers
+    /// that move parts of the map rather than the whole structure.
+    pub fn arena(&self) -> &Arena<Node> {
+        &self.arena
     }
 
     #[inline]
@@ -164,6 +193,32 @@ impl THashMap {
     }
 }
 
+impl MigrationSource for THashMap {
+    fn for_each_binding(&self, f: &mut dyn FnMut(&PVarBinding)) {
+        MigrationSource::for_each_binding(&self.arena, f);
+        for b in self.buckets.iter() {
+            f(b.binding());
+        }
+    }
+}
+
+impl MigratableCollection for THashMap {
+    fn home_partition(&self) -> Arc<Partition> {
+        self.arena.partition().expect("bound arena")
+    }
+
+    fn for_each_live_addr(&self, f: &mut dyn FnMut(usize)) {
+        MigratableCollection::for_each_live_addr(&self.arena, f);
+        for b in self.buckets.iter() {
+            f(Migratable::var_addr(b));
+        }
+    }
+
+    fn live_nodes(&self) -> usize {
+        self.arena.live()
+    }
+}
+
 /// Transactional hash set: a [`THashMap`] with unit values.
 pub struct THashSet {
     map: THashMap,
@@ -175,6 +230,38 @@ impl THashSet {
         THashSet {
             map: THashMap::new(part, buckets),
         }
+    }
+
+    /// Id of the partition currently guarding this set (see
+    /// [`THashMap::partition_of`]).
+    pub fn partition_of(&self) -> PartitionId {
+        self.map.partition_of()
+    }
+
+    /// Registers this set with a migration directory (see
+    /// [`THashMap::attach_directory`]).
+    pub fn attach_directory(self: &Arc<Self>, dir: &dyn CollectionRegistry) {
+        dir.register_collection(Arc::clone(self) as Arc<dyn MigratableCollection>);
+    }
+}
+
+impl MigrationSource for THashSet {
+    fn for_each_binding(&self, f: &mut dyn FnMut(&PVarBinding)) {
+        self.map.for_each_binding(f);
+    }
+}
+
+impl MigratableCollection for THashSet {
+    fn home_partition(&self) -> Arc<Partition> {
+        self.map.home_partition()
+    }
+
+    fn for_each_live_addr(&self, f: &mut dyn FnMut(usize)) {
+        self.map.for_each_live_addr(f);
+    }
+
+    fn live_nodes(&self) -> usize {
+        self.map.live_nodes()
     }
 }
 

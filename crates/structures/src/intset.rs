@@ -21,7 +21,10 @@ pub trait IntSet: Send + Sync {
     /// Removes `key`; returns `true` if it was present.
     fn remove<'e>(&'e self, tx: &mut Tx<'e, '_>, key: u64) -> TxResult<bool>;
 
-    /// The partition guarding this structure.
+    /// The partition this structure was constructed in. After a runtime
+    /// migration the structure's *current* home may differ — see each
+    /// structure's `partition_of` (the handle returned here stays a valid
+    /// partition either way).
     fn partition(&self) -> &Arc<Partition>;
 
     /// Non-transactional snapshot of all keys in ascending order. Only

@@ -7,7 +7,10 @@
 
 use std::sync::Arc;
 
-use partstm_core::{Arena, Handle, PVar, Partition, Tx, TxResult};
+use partstm_core::{
+    Arena, CollectionRegistry, Handle, Migratable, MigratableCollection, MigrationSource, PVar,
+    PVarBinding, PVarFields, Partition, PartitionId, Tx, TxResult,
+};
 
 use crate::intset::IntSet;
 
@@ -19,6 +22,13 @@ pub struct Node {
     next: PVar<Option<Handle<Node>>>,
 }
 
+impl PVarFields for Node {
+    fn for_each_pvar(&self, f: &mut dyn FnMut(&dyn Migratable)) {
+        f(&self.key);
+        f(&self.next);
+    }
+}
+
 /// Sorted transactional linked list over a partition.
 pub struct TLinkedList {
     part: Arc<Partition>,
@@ -26,9 +36,8 @@ pub struct TLinkedList {
     head: PVar<Option<Handle<Node>>>,
 }
 
-fn node_factory(part: &Arc<Partition>) -> impl Fn() -> Node + Send + Sync + 'static {
-    let part = Arc::clone(part);
-    move || Node {
+fn node_make(part: &Arc<Partition>) -> Node {
+    Node {
         key: part.tvar(0),
         next: part.tvar(None),
     }
@@ -38,7 +47,7 @@ impl TLinkedList {
     /// Empty list guarded by `part`.
     pub fn new(part: Arc<Partition>) -> Self {
         TLinkedList {
-            arena: Arena::new_with(node_factory(&part)),
+            arena: Arena::new_bound(&part, node_make),
             head: part.tvar(None),
             part,
         }
@@ -47,10 +56,24 @@ impl TLinkedList {
     /// Empty list with room for `cap` nodes pre-allocated.
     pub fn with_capacity(part: Arc<Partition>, cap: usize) -> Self {
         TLinkedList {
-            arena: Arena::with_capacity_and(cap, node_factory(&part)),
+            arena: Arena::with_capacity_bound(&part, cap, node_make),
             head: part.tvar(None),
             part,
         }
+    }
+
+    /// Id of the partition currently guarding this list (its arena home).
+    /// Starts as the construction partition and moves when the
+    /// repartitioner migrates the list.
+    pub fn partition_of(&self) -> PartitionId {
+        self.arena.partition_id().expect("bound arena")
+    }
+
+    /// Registers this list with a migration directory so the online
+    /// repartitioner can account its nodes against profiler buckets and
+    /// migrate it live.
+    pub fn attach_directory(self: &Arc<Self>, dir: &dyn CollectionRegistry) {
+        dir.register_collection(Arc::clone(self) as Arc<dyn MigratableCollection>);
     }
 
     /// Walks to the first node with `node.key >= key`; returns
@@ -85,6 +108,30 @@ impl TLinkedList {
             Some(p) => tx.write(&self.arena.get(p).next, Some(new)),
             None => tx.write(&self.head, Some(new)),
         }
+    }
+}
+
+impl MigrationSource for TLinkedList {
+    fn for_each_binding(&self, f: &mut dyn FnMut(&PVarBinding)) {
+        // Arena first (home binding before slots — see the protocol docs),
+        // then the structure's roots.
+        MigrationSource::for_each_binding(&self.arena, f);
+        f(self.head.binding());
+    }
+}
+
+impl MigratableCollection for TLinkedList {
+    fn home_partition(&self) -> Arc<Partition> {
+        self.arena.partition().expect("bound arena")
+    }
+
+    fn for_each_live_addr(&self, f: &mut dyn FnMut(usize)) {
+        MigratableCollection::for_each_live_addr(&self.arena, f);
+        f(Migratable::var_addr(&self.head));
+    }
+
+    fn live_nodes(&self) -> usize {
+        self.arena.live()
     }
 }
 

@@ -7,13 +7,23 @@
 
 use std::sync::Arc;
 
-use partstm_core::{Arena, Handle, PVar, Partition, Tx, TxResult, TxWord};
+use partstm_core::{
+    Arena, CollectionRegistry, Handle, Migratable, MigratableCollection, MigrationSource, PVar,
+    PVarBinding, PVarFields, Partition, PartitionId, Tx, TxResult, TxWord,
+};
 
 /// Queue node: one value word plus the next link, bound to the queue's
 /// partition at allocation.
 pub struct Node {
     val: PVar<u64>,
     next: PVar<Option<Handle<Node>>>,
+}
+
+impl PVarFields for Node {
+    fn for_each_pvar(&self, f: &mut dyn FnMut(&dyn Migratable)) {
+        f(&self.val);
+        f(&self.next);
+    }
 }
 
 /// Transactional FIFO queue of word-packable values.
@@ -26,9 +36,8 @@ pub struct TQueue<T: TxWord> {
     _m: core::marker::PhantomData<T>,
 }
 
-fn node_factory(part: &Arc<Partition>) -> impl Fn() -> Node + Send + Sync + 'static {
-    let part = Arc::clone(part);
-    move || Node {
+fn node_make(part: &Arc<Partition>) -> Node {
+    Node {
         val: part.tvar(0),
         next: part.tvar(None),
     }
@@ -43,13 +52,30 @@ impl<T: TxWord> TQueue<T> {
     /// Empty queue with pre-allocated node capacity.
     pub fn with_capacity(part: Arc<Partition>, cap: usize) -> Self {
         TQueue {
-            arena: Arena::with_capacity_and(cap, node_factory(&part)),
+            arena: Arena::with_capacity_bound(&part, cap, node_make),
             head: part.tvar(None),
             tail: part.tvar(None),
             len: part.tvar(0),
             part,
             _m: core::marker::PhantomData,
         }
+    }
+
+    /// Id of the partition currently guarding this queue (its arena home).
+    /// Starts as the construction partition and moves when the
+    /// repartitioner migrates the queue.
+    pub fn partition_of(&self) -> PartitionId {
+        self.arena.partition_id().expect("bound arena")
+    }
+
+    /// Registers this queue with a migration directory so the online
+    /// repartitioner can account its nodes against profiler buckets and
+    /// migrate it live.
+    pub fn attach_directory(self: &Arc<Self>, dir: &dyn CollectionRegistry)
+    where
+        T: Send + Sync + 'static,
+    {
+        dir.register_collection(Arc::clone(self) as Arc<dyn MigratableCollection>);
     }
 
     /// Appends a value at the tail.
@@ -110,6 +136,32 @@ impl<T: TxWord> TQueue<T> {
             cur = n.next.load_direct();
         }
         out
+    }
+}
+
+impl<T: TxWord + Send + Sync> MigrationSource for TQueue<T> {
+    fn for_each_binding(&self, f: &mut dyn FnMut(&PVarBinding)) {
+        MigrationSource::for_each_binding(&self.arena, f);
+        f(self.head.binding());
+        f(self.tail.binding());
+        f(self.len.binding());
+    }
+}
+
+impl<T: TxWord + Send + Sync> MigratableCollection for TQueue<T> {
+    fn home_partition(&self) -> Arc<Partition> {
+        self.arena.partition().expect("bound arena")
+    }
+
+    fn for_each_live_addr(&self, f: &mut dyn FnMut(usize)) {
+        MigratableCollection::for_each_live_addr(&self.arena, f);
+        f(Migratable::var_addr(&self.head));
+        f(Migratable::var_addr(&self.tail));
+        f(Migratable::var_addr(&self.len));
+    }
+
+    fn live_nodes(&self) -> usize {
+        self.arena.live()
     }
 }
 

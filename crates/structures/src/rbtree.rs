@@ -13,7 +13,10 @@
 
 use std::sync::Arc;
 
-use partstm_core::{Arena, Handle, PVar, Partition, Tx, TxResult};
+use partstm_core::{
+    Arena, CollectionRegistry, Handle, Migratable, MigratableCollection, MigrationSource, PVar,
+    PVarBinding, PVarFields, Partition, PartitionId, Tx, TxResult,
+};
 
 use crate::intset::IntSet;
 
@@ -28,6 +31,17 @@ pub struct Node {
     right: PVar<H>,
     parent: PVar<H>,
     red: PVar<bool>,
+}
+
+impl PVarFields for Node {
+    fn for_each_pvar(&self, f: &mut dyn FnMut(&dyn Migratable)) {
+        f(&self.key);
+        f(&self.val);
+        f(&self.left);
+        f(&self.right);
+        f(&self.parent);
+        f(&self.red);
+    }
 }
 
 /// Transactional red-black tree over a partition.
@@ -48,9 +62,8 @@ macro_rules! field {
     };
 }
 
-fn node_factory(part: &Arc<Partition>) -> impl Fn() -> Node + Send + Sync + 'static {
-    let part = Arc::clone(part);
-    move || Node {
+fn node_make(part: &Arc<Partition>) -> Node {
+    Node {
         key: part.tvar(0),
         val: part.tvar(0),
         left: part.tvar(None),
@@ -64,7 +77,7 @@ impl TRbTree {
     /// Empty tree guarded by `part`.
     pub fn new(part: Arc<Partition>) -> Self {
         TRbTree {
-            arena: Arena::new_with(node_factory(&part)),
+            arena: Arena::new_bound(&part, node_make),
             root: part.tvar(None),
             part,
         }
@@ -73,10 +86,24 @@ impl TRbTree {
     /// Empty tree with pre-allocated node capacity.
     pub fn with_capacity(part: Arc<Partition>, cap: usize) -> Self {
         TRbTree {
-            arena: Arena::with_capacity_and(cap, node_factory(&part)),
+            arena: Arena::with_capacity_bound(&part, cap, node_make),
             root: part.tvar(None),
             part,
         }
+    }
+
+    /// Id of the partition currently guarding this tree (its arena home).
+    /// Starts as the construction partition and moves when the
+    /// repartitioner migrates the tree.
+    pub fn partition_of(&self) -> PartitionId {
+        self.arena.partition_id().expect("bound arena")
+    }
+
+    /// Registers this tree with a migration directory so the online
+    /// repartitioner can account its nodes against profiler buckets and
+    /// migrate it live.
+    pub fn attach_directory(self: &Arc<Self>, dir: &dyn CollectionRegistry) {
+        dir.register_collection(Arc::clone(self) as Arc<dyn MigratableCollection>);
     }
 
     field!(left, set_left, left, H);
@@ -476,6 +503,28 @@ impl TRbTree {
     /// The partition guarding this tree.
     pub fn partition(&self) -> &Arc<Partition> {
         &self.part
+    }
+}
+
+impl MigrationSource for TRbTree {
+    fn for_each_binding(&self, f: &mut dyn FnMut(&PVarBinding)) {
+        MigrationSource::for_each_binding(&self.arena, f);
+        f(self.root.binding());
+    }
+}
+
+impl MigratableCollection for TRbTree {
+    fn home_partition(&self) -> Arc<Partition> {
+        self.arena.partition().expect("bound arena")
+    }
+
+    fn for_each_live_addr(&self, f: &mut dyn FnMut(usize)) {
+        MigratableCollection::for_each_live_addr(&self.arena, f);
+        f(Migratable::var_addr(&self.root));
+    }
+
+    fn live_nodes(&self) -> usize {
+        self.arena.live()
     }
 }
 

@@ -8,7 +8,10 @@
 
 use std::sync::Arc;
 
-use partstm_core::{Arena, Handle, PVar, Partition, Tx, TxResult};
+use partstm_core::{
+    Arena, CollectionRegistry, Handle, Migratable, MigratableCollection, MigrationSource, PVar,
+    PVarBinding, PVarFields, Partition, PartitionId, Tx, TxResult,
+};
 
 use crate::intset::IntSet;
 
@@ -41,9 +44,18 @@ pub struct TSkipList {
     heads: [PVar<Option<Handle<Node>>>; MAX_LEVEL],
 }
 
-fn node_factory(part: &Arc<Partition>) -> impl Fn() -> Node + Send + Sync + 'static {
-    let part = Arc::clone(part);
-    move || Node {
+impl PVarFields for Node {
+    fn for_each_pvar(&self, f: &mut dyn FnMut(&dyn Migratable)) {
+        f(&self.key);
+        f(&self.level);
+        for n in &self.next {
+            f(n);
+        }
+    }
+}
+
+fn node_make(part: &Arc<Partition>) -> Node {
+    Node {
         key: part.tvar(0),
         level: part.tvar(0),
         next: core::array::from_fn(|_| part.tvar(None)),
@@ -54,7 +66,7 @@ impl TSkipList {
     /// Empty skip list guarded by `part`.
     pub fn new(part: Arc<Partition>) -> Self {
         TSkipList {
-            arena: Arena::new_with(node_factory(&part)),
+            arena: Arena::new_bound(&part, node_make),
             heads: core::array::from_fn(|_| part.tvar(None)),
             part,
         }
@@ -63,10 +75,24 @@ impl TSkipList {
     /// Empty skip list with pre-allocated node capacity.
     pub fn with_capacity(part: Arc<Partition>, cap: usize) -> Self {
         TSkipList {
-            arena: Arena::with_capacity_and(cap, node_factory(&part)),
+            arena: Arena::with_capacity_bound(&part, cap, node_make),
             heads: core::array::from_fn(|_| part.tvar(None)),
             part,
         }
+    }
+
+    /// Id of the partition currently guarding this skip list (its arena
+    /// home). Starts as the construction partition and moves when the
+    /// repartitioner migrates the list.
+    pub fn partition_of(&self) -> PartitionId {
+        self.arena.partition_id().expect("bound arena")
+    }
+
+    /// Registers this skip list with a migration directory so the online
+    /// repartitioner can account its nodes against profiler buckets and
+    /// migrate it live.
+    pub fn attach_directory(self: &Arc<Self>, dir: &dyn CollectionRegistry) {
+        dir.register_collection(Arc::clone(self) as Arc<dyn MigratableCollection>);
     }
 
     /// Forward link at `lvl` from `from` (None = the head tower).
@@ -119,6 +145,32 @@ impl TSkipList {
         }
         let candidate = self.next_of(tx, preds[0], 0)?;
         Ok((preds, candidate))
+    }
+}
+
+impl MigrationSource for TSkipList {
+    fn for_each_binding(&self, f: &mut dyn FnMut(&PVarBinding)) {
+        MigrationSource::for_each_binding(&self.arena, f);
+        for h in &self.heads {
+            f(h.binding());
+        }
+    }
+}
+
+impl MigratableCollection for TSkipList {
+    fn home_partition(&self) -> Arc<Partition> {
+        self.arena.partition().expect("bound arena")
+    }
+
+    fn for_each_live_addr(&self, f: &mut dyn FnMut(usize)) {
+        MigratableCollection::for_each_live_addr(&self.arena, f);
+        for h in &self.heads {
+            f(Migratable::var_addr(h));
+        }
+    }
+
+    fn live_nodes(&self) -> usize {
+        self.arena.live()
     }
 }
 

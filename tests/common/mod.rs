@@ -1,0 +1,19 @@
+//! Helpers shared by the migration-oriented integration suites.
+
+use partstm::core::{MigratableCollection, PartitionId};
+
+/// Every binding the collection enumerates (home, every installed slot,
+/// roots) must currently point at `pid`. A collection that enumerates no
+/// bindings fails too — a vacuous pass would mask a broken enumerator.
+pub fn assert_all_bindings_in(c: &dyn MigratableCollection, pid: PartitionId, what: &str) {
+    let mut total = 0usize;
+    let mut strays = 0usize;
+    c.for_each_binding(&mut |b| {
+        total += 1;
+        if b.partition_id() != pid {
+            strays += 1;
+        }
+    });
+    assert!(total > 0, "{what}: collection enumerates no bindings");
+    assert_eq!(strays, 0, "{what}: {strays}/{total} bindings left behind");
+}

@@ -1,10 +1,17 @@
 //! Failure injection: user panics, user-requested retries and pathological
-//! closures must never leak locks, reader bits or arena slots.
+//! closures must never leak locks, reader bits or arena slots — and a
+//! failed *arena migration* (contention or quiesce timeout) must leave the
+//! free list and every slot binding exactly as it found them.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
-use partstm::core::{Abort, Arena, Granularity, Handle, PartitionConfig, ReadMode, Stm, TVar};
+use partstm::core::{
+    Abort, Arena, Granularity, Handle, MigratableCollection, PartitionConfig, ReadMode, Stm,
+    SwitchOutcome, TVar,
+};
+use partstm::structures::THashMap;
 
 #[derive(Default)]
 struct Node {
@@ -128,6 +135,200 @@ fn retry_storms_do_not_leak_arena_slots() {
     assert_eq!(total_commits.load(Ordering::Relaxed), 2000);
     // 2000 allocations committed, 1000 freed: exactly 1000 live.
     assert_eq!(arena.live(), 1000, "aborted attempts must not leak slots");
+}
+
+mod common;
+use common::assert_all_bindings_in;
+
+/// A contended arena migration (destination mid-switch) must roll back
+/// without touching a single binding, the home, or the free list; the
+/// retry after the contention clears must succeed completely.
+#[test]
+fn contended_arena_migration_rolls_back_bindings_and_freelist() {
+    let stm = Stm::new();
+    let a = stm.new_partition(PartitionConfig::named("a"));
+    let b = stm.new_partition(PartitionConfig::named("b"));
+    let map = THashMap::new(Arc::clone(&a), 8);
+    let ctx = stm.register_thread();
+    for k in 0..32u64 {
+        ctx.run(|tx| map.put(tx, k, k * 10).map(|_| ()));
+    }
+    // Free a few slots so the free list has entries to preserve.
+    for k in (0..32u64).step_by(4) {
+        ctx.run(|tx| map.delete(tx, k).map(|_| ()));
+    }
+    let live_before = map.live_nodes();
+    let (ga, gb) = (a.generation(), b.generation());
+
+    // Simulate a concurrent switch holding b's flag.
+    b.debug_force_switch_flag(true);
+    assert_eq!(stm.migrate_collection(&map, &b), SwitchOutcome::Contended);
+    assert_eq!(map.partition_of(), a.id(), "home untouched");
+    assert_all_bindings_in(&map, a.id(), "map");
+    assert_eq!(a.generation(), ga, "no generation bump on rollback");
+    assert_eq!(b.generation(), gb);
+    assert_eq!(map.live_nodes(), live_before, "free list untouched");
+
+    // Source-side contention behaves the same.
+    a.debug_force_switch_flag(true);
+    b.debug_force_switch_flag(false);
+    assert_eq!(stm.migrate_collection(&map, &b), SwitchOutcome::Contended);
+    assert_all_bindings_in(&map, a.id(), "map");
+    a.debug_force_switch_flag(false);
+
+    // Once clear, the same migration succeeds and the map still works:
+    // recycled slots (from the free list the rollback preserved) come
+    // back bound to the destination.
+    assert_eq!(stm.migrate_collection(&map, &b), SwitchOutcome::Switched);
+    assert_all_bindings_in(&map, b.id(), "map");
+    for k in (0..32u64).step_by(4) {
+        assert!(ctx.run(|tx| map.put_if_absent(tx, k, k * 10)));
+    }
+    assert_eq!(map.live_nodes(), 32);
+    for k in 0..32u64 {
+        assert_eq!(ctx.run(|tx| map.get(tx, k)), Some(k * 10));
+    }
+}
+
+/// A quiesce timeout during an arena migration (one transaction refuses
+/// to finish within the configured window) rolls the whole operation back
+/// — flags cleared, home and every slot binding unchanged, free list
+/// consistent — and the migration succeeds once the straggler commits.
+/// Debug builds panic at the timeout site (a stuck transaction is a bug
+/// worth a backtrace), so the rolled-back state is asserted from under
+/// `catch_unwind`; release builds report `TimedOut` instead.
+#[test]
+fn quiesce_timeout_during_arena_migration_rolls_back() {
+    let stm = Stm::builder()
+        .quiesce_timeout(Duration::from_millis(100))
+        .build();
+    let a = stm.new_partition(PartitionConfig::named("a"));
+    let b = stm.new_partition(PartitionConfig::named("b"));
+    let map = Arc::new(THashMap::new(Arc::clone(&a), 8));
+    {
+        let ctx = stm.register_thread();
+        for k in 0..16u64 {
+            ctx.run(|tx| map.put(tx, k, 7).map(|_| ()));
+        }
+    }
+    let in_txn = Arc::new(AtomicBool::new(false));
+    let live_before = map.live_nodes();
+
+    std::thread::scope(|s| {
+        // The straggler: holds one transaction open well past the quiesce
+        // timeout (sleeping inside a transaction — never do this in real
+        // code; that is the point).
+        {
+            let ctx = stm.register_thread();
+            let (map, in_txn) = (Arc::clone(&map), Arc::clone(&in_txn));
+            s.spawn(move || {
+                let mut slept = false;
+                ctx.run(|tx| {
+                    let v = map.get(tx, 3)?;
+                    if !slept {
+                        slept = true;
+                        in_txn.store(true, Ordering::Release);
+                        std::thread::sleep(Duration::from_millis(400));
+                    }
+                    Ok(v)
+                });
+            });
+        }
+        while !in_txn.load(Ordering::Acquire) {
+            std::thread::yield_now();
+        }
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            stm.migrate_collection(&*map, &b)
+        }));
+        match outcome {
+            // Debug builds: the timeout panics *after* rolling back.
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .unwrap_or_default();
+                assert!(msg.contains("could not quiesce"), "unexpected panic: {msg}");
+            }
+            // Release builds: rolled back and reported.
+            Ok(outcome) => assert_eq!(outcome, SwitchOutcome::TimedOut),
+        }
+        assert_eq!(map.partition_of(), a.id(), "home untouched after timeout");
+        assert_all_bindings_in(&*map, a.id(), "map");
+        assert_eq!(map.live_nodes(), live_before, "free list untouched");
+    });
+
+    // Straggler gone: the same migration now succeeds and the map is
+    // fully functional in its new home.
+    assert_eq!(stm.migrate_collection(&*map, &b), SwitchOutcome::Switched);
+    assert_all_bindings_in(&*map, b.id(), "map");
+    let ctx = stm.register_thread();
+    for k in 0..16u64 {
+        assert_eq!(ctx.run(|tx| map.get(tx, k)), Some(7));
+    }
+}
+
+/// Transactional allocate/free racing a flagged (mid-switch) partition:
+/// every attempt aborts on the switching flag until it clears, and no
+/// abort may leak or corrupt a free-list slot — afterwards the live count
+/// is exact and the contents match.
+#[test]
+fn alloc_free_racing_flagged_window_keeps_freelist_consistent() {
+    let stm = Stm::new();
+    let a = stm.new_partition(PartitionConfig::named("a"));
+    let map = Arc::new(THashMap::new(Arc::clone(&a), 8));
+    {
+        let ctx = stm.register_thread();
+        // Seed, then delete, so the free list has recyclable slots that
+        // aborting allocations must hand back correctly.
+        for k in 100..116u64 {
+            ctx.run(|tx| map.put(tx, k, 1).map(|_| ()));
+        }
+        for k in 100..116u64 {
+            ctx.run(|tx| map.delete(tx, k).map(|_| ()));
+        }
+    }
+    assert_eq!(map.live_nodes(), 0);
+
+    a.debug_force_switch_flag(true);
+    let started = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|s| {
+        {
+            let ctx = stm.register_thread();
+            let (map, started) = (Arc::clone(&map), Arc::clone(&started));
+            s.spawn(move || {
+                started.store(true, Ordering::Release);
+                // Each op allocates (insert) or frees (delete); while the
+                // flag is held every attempt aborts and rolls its
+                // allocation back.
+                for k in 0..24u64 {
+                    ctx.run(|tx| map.put(tx, k, k).map(|_| ()));
+                    if k % 3 == 0 {
+                        ctx.run(|tx| map.delete(tx, k).map(|_| ()));
+                    }
+                }
+            });
+        }
+        while !started.load(Ordering::Acquire) {
+            std::thread::yield_now();
+        }
+        // Keep the window flagged while the worker burns attempts into it.
+        std::thread::sleep(Duration::from_millis(60));
+        a.debug_force_switch_flag(false);
+    });
+
+    let st = a.stats();
+    assert!(
+        st.aborts_switching > 0,
+        "the flagged window must have rejected at least one attempt"
+    );
+    // 24 inserts, 8 deletes: exactly 16 live nodes, recycled slots and
+    // all — and every key readable.
+    assert_eq!(map.live_nodes(), 16, "free list consistent after the storm");
+    let ctx = stm.register_thread();
+    for k in 0..24u64 {
+        let expect = if k % 3 == 0 { None } else { Some(k) };
+        assert_eq!(ctx.run(|tx| map.get(tx, k)), expect);
+    }
 }
 
 /// A closure that reads, then decides to retry until a condition appears

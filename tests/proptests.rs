@@ -9,7 +9,7 @@ use partstm::analysis::{
     Strategy as PartStrategy,
 };
 use partstm::core::{PartitionConfig, Stm, TxWord};
-use partstm::structures::{IntSet, THashSet, TLinkedList, TRbTree, TSkipList};
+use partstm::structures::{Bank, IntSet, THashSet, TLinkedList, TRbTree, TSkipList};
 
 #[derive(Debug, Clone, Copy)]
 enum Op {
@@ -23,6 +23,31 @@ fn op_strategy(key_range: u64) -> impl Strategy<Value = Op> {
         0 => Op::Insert(k),
         1 => Op::Remove(k),
         _ => Op::Contains(k),
+    })
+}
+
+/// A structure op or an arena migration, for the migration-interleaving
+/// properties.
+#[derive(Debug, Clone, Copy)]
+enum MigOp {
+    Op(Op),
+    /// Migrate the whole collection to partition `i % parts`.
+    Migrate(u8),
+    /// Split the collection into a fresh partition.
+    Split,
+}
+
+fn mig_op_strategy(key_range: u64) -> impl Strategy<Value = MigOp> {
+    // Weighted by hand (the proptest shim has no `prop_oneof!`): 8/10
+    // structure ops, 1/10 whole-collection migrations, 1/10 splits.
+    (0..10u8, 0..3u8, 0..key_range, 0..4u8).prop_map(|(w, kind, k, p)| match w {
+        0..=7 => MigOp::Op(match kind {
+            0 => Op::Insert(k),
+            1 => Op::Remove(k),
+            _ => Op::Contains(k),
+        }),
+        8 => MigOp::Migrate(p),
+        _ => MigOp::Split,
     })
 }
 
@@ -111,6 +136,101 @@ proptest! {
             |stm| Box::new(THashSet::new(stm.new_partition(PartitionConfig::named("h")), 8)),
             &ops,
         );
+    }
+
+    /// Arbitrary interleavings of set ops with arena migrations (whole-
+    /// collection moves between four partitions plus splits into fresh
+    /// ones) preserve the set's contents exactly: every op's return value
+    /// matches the model, no node is ever torn (snapshot equals the model
+    /// after every migration), and the collection's home always tracks the
+    /// last migration.
+    #[test]
+    fn hashset_survives_arbitrary_migration_interleavings(
+        ops in proptest::collection::vec(mig_op_strategy(48), 1..150)
+    ) {
+        let stm = Stm::new();
+        let parts: Vec<_> = (0..4)
+            .map(|i| stm.new_partition(PartitionConfig::named(format!("p{i}"))))
+            .collect();
+        let set = THashSet::new(std::sync::Arc::clone(&parts[0]), 8);
+        let ctx = stm.register_thread();
+        let mut model = std::collections::BTreeSet::new();
+        for (i, op) in ops.iter().enumerate() {
+            match *op {
+                MigOp::Op(Op::Insert(k)) => {
+                    prop_assert_eq!(ctx.run(|tx| set.insert(tx, k)), model.insert(k), "step {}", i);
+                }
+                MigOp::Op(Op::Remove(k)) => {
+                    prop_assert_eq!(ctx.run(|tx| set.remove(tx, k)), model.remove(&k), "step {}", i);
+                }
+                MigOp::Op(Op::Contains(k)) => {
+                    prop_assert_eq!(
+                        ctx.run(|tx| set.contains(tx, k)),
+                        model.contains(&k),
+                        "step {}", i
+                    );
+                }
+                MigOp::Migrate(p) => {
+                    let dst = &parts[p as usize % parts.len()];
+                    let _ = stm.migrate_collection(&set, dst);
+                    prop_assert_eq!(set.partition_of(), dst.id());
+                    // No torn nodes: the full contents survive the move.
+                    let expect: Vec<u64> = model.iter().copied().collect();
+                    prop_assert_eq!(set.snapshot_keys(), expect, "after migrate step {}", i);
+                }
+                MigOp::Split => {
+                    let (dst, _) = stm.split_collection(
+                        &set,
+                        PartitionConfig::named(format!("split{i}")),
+                    );
+                    prop_assert_eq!(set.partition_of(), dst.id());
+                    let expect: Vec<u64> = model.iter().copied().collect();
+                    prop_assert_eq!(set.snapshot_keys(), expect, "after split step {}", i);
+                }
+            }
+        }
+        let expect: Vec<u64> = model.into_iter().collect();
+        prop_assert_eq!(set.snapshot_keys(), expect, "final snapshot");
+    }
+
+    /// Bound-vs-raw equivalence extended to migrated collections: after
+    /// any sequence of deposits and migrations, reading an account through
+    /// the bound tier equals reading its raw `TVar` through the partition
+    /// the binding currently names.
+    #[test]
+    fn bank_bound_equals_raw_across_migrations(
+        steps in proptest::collection::vec((0..8usize, -50i64..50, 0..5u8), 1..60)
+    ) {
+        let stm = Stm::new();
+        let parts: Vec<_> = (0..3)
+            .map(|i| stm.new_partition(PartitionConfig::named(format!("b{i}"))))
+            .collect();
+        let bank = Bank::new(std::sync::Arc::clone(&parts[0]), 8, 100);
+        let ctx = stm.register_thread();
+        let mut model = [100i64; 8];
+        for &(i, amt, mig) in &steps {
+            ctx.run(|tx| bank.deposit(tx, i, amt));
+            model[i] += amt;
+            if mig < 2 {
+                let dst = &parts[(mig as usize + i) % parts.len()];
+                let _ = stm.migrate_collection(&bank, dst);
+                prop_assert_eq!(bank.partition_of(), dst.id());
+            }
+            // Equivalence at the touched account: bound read == raw read
+            // through the *current* binding's partition.
+            let var = bank.account(i);
+            let home = var.partition();
+            let (bound, raw) = ctx.run(|tx| {
+                let b = tx.read(var)?;
+                let r = tx.read_raw(&home, var.var())?;
+                Ok((b, r))
+            });
+            prop_assert_eq!(bound, raw);
+            prop_assert_eq!(bound, model[i]);
+        }
+        for (i, expect) in model.iter().enumerate() {
+            prop_assert_eq!(ctx.run(|tx| bank.balance(tx, i)), *expect);
+        }
     }
 
     #[test]
