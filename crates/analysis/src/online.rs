@@ -79,6 +79,29 @@ pub struct OnlineConfig {
     /// both partitions to propose a merge (cross-partition transactions
     /// pay per-partition bookkeeping twice; merging removes it).
     pub merge_span_fraction: f64,
+    /// Propose an orec-table resize when the partition's abort rate is at
+    /// least this (lower than the split gate: growing a table is far
+    /// cheaper than a migration, so it may fire earlier).
+    pub resize_abort_rate: f64,
+    /// ... and at least this fraction of its *classified* conflicts were
+    /// aliased (false) conflicts — the engine-side telemetry
+    /// (`StatCounters::{conflicts_true, conflicts_aliased}`) that
+    /// distinguishes "table too small" from genuine data contention.
+    pub resize_min_aliased_share: f64,
+    /// Minimum classified conflicts in the window before the aliased
+    /// share is trusted (a handful of aborts is noise).
+    pub resize_min_classified: u64,
+    /// ... and the partition's sampled footprint spans at least this many
+    /// profile buckets. A diffuse footprint plus a high aliased share
+    /// means unrelated data is hashing onto shared orecs — more orecs fix
+    /// it; a *concentrated* footprint is a hot set, which the split path
+    /// handles structurally (splits always take precedence).
+    pub resize_min_buckets: usize,
+    /// Growth factor per executed resize (the table size ladder).
+    pub resize_factor: usize,
+    /// Largest table the analyzer will propose (further aliasing pressure
+    /// past this is better answered by a split).
+    pub resize_max_orecs: usize,
 }
 
 impl Default for OnlineConfig {
@@ -92,6 +115,12 @@ impl Default for OnlineConfig {
             split_max_bucket_fraction: 0.25,
             merge_abort_rate: 0.02,
             merge_span_fraction: 0.50,
+            resize_abort_rate: 0.05,
+            resize_min_aliased_share: 0.50,
+            resize_min_classified: 16,
+            resize_min_buckets: 16,
+            resize_factor: 4,
+            resize_max_orecs: 1 << 16,
         }
     }
 }
@@ -119,6 +148,29 @@ pub enum Proposal {
         /// Fraction of the busier partition's samples spanning both.
         span_share: f64,
     },
+    /// Grow `partition`'s orec table in place to `new_count` records: its
+    /// conflicts are dominated by *aliasing* (unrelated addresses hashing
+    /// onto shared orecs) over a diffuse footprint — a finer table removes
+    /// the false conflicts without moving any data.
+    Resize {
+        /// The aliasing-bound partition.
+        partition: PartitionId,
+        /// Proposed table size (records; the runtime rounds/clamps).
+        new_count: usize,
+        /// Fraction of classified conflicts that were aliased.
+        aliased_share: f64,
+        /// Abort rate that triggered the proposal.
+        abort_rate: f64,
+    },
+}
+
+/// Runtime facts about one partition the sampled graph cannot see; the
+/// controller feeds these alongside the statistics window so proposals can
+/// reference current capacities.
+#[derive(Debug, Clone, Copy)]
+pub struct PartitionMeta {
+    /// Current orec-table size (records).
+    pub orec_count: usize,
 }
 
 /// Per-partition aggregate the analyzer keeps alongside the graph.
@@ -294,9 +346,26 @@ impl OnlineAnalyzer {
     /// Computes actionable proposals given per-partition statistics deltas
     /// for the same observation window (commits/aborts attribute conflict
     /// pressure the sampled graph cannot see on its own).
+    ///
+    /// Without partition metadata, resize proposals are suppressed (the
+    /// analyzer cannot size a table it cannot see); use
+    /// [`OnlineAnalyzer::proposals_with_meta`] for the full set.
     pub fn proposals(
         &self,
         stats: &BTreeMap<PartitionId, StatCounters>,
+        cfg: &OnlineConfig,
+    ) -> Vec<Proposal> {
+        self.proposals_with_meta(stats, &BTreeMap::new(), cfg)
+    }
+
+    /// [`OnlineAnalyzer::proposals`] plus orec-table [`Proposal::Resize`]
+    /// decisions, which need each partition's current table size
+    /// (`meta`). Splits take precedence: a partition with an actionable
+    /// hot set is fixed structurally, not by a bigger table.
+    pub fn proposals_with_meta(
+        &self,
+        stats: &BTreeMap<PartitionId, StatCounters>,
+        meta: &BTreeMap<PartitionId, PartitionMeta>,
         cfg: &OnlineConfig,
     ) -> Vec<Proposal> {
         let mut out = Vec::new();
@@ -356,6 +425,44 @@ impl OnlineAnalyzer {
                 src: pid,
                 buckets: hot,
                 hot_share,
+                abort_rate: ar,
+            });
+        }
+
+        // Resizes: aliasing-bound partitions (no actionable hot set — the
+        // split pass above stayed silent — but conflicts dominated by
+        // false sharing in the orec table over a diffuse footprint).
+        for (&pid, agg) in &self.parts {
+            if agg.samples < cfg.min_samples
+                || out
+                    .iter()
+                    .any(|p| matches!(p, Proposal::Split { src, .. } if *src == pid))
+            {
+                continue;
+            }
+            let (Some(s), Some(m)) = (stats.get(&pid), meta.get(&pid)) else {
+                continue;
+            };
+            let ar = abort_rate(s);
+            let classified = s.conflicts_true + s.conflicts_aliased;
+            let aliased_share = s.aliased_share();
+            // Footprint from the profiler's per-bucket counters: how many
+            // distinct buckets the partition's sampled traffic spans.
+            let footprint = self.nodes.keys().filter(|n| n.0 == pid).count();
+            if ar < cfg.resize_abort_rate
+                || classified < cfg.resize_min_classified
+                || aliased_share < cfg.resize_min_aliased_share
+                || footprint < cfg.resize_min_buckets
+                || m.orec_count >= cfg.resize_max_orecs
+            {
+                continue;
+            }
+            let new_count =
+                (m.orec_count.saturating_mul(cfg.resize_factor.max(2))).min(cfg.resize_max_orecs);
+            out.push(Proposal::Resize {
+                partition: pid,
+                new_count,
+                aliased_share,
                 abort_rate: ar,
             });
         }
@@ -533,6 +640,129 @@ mod tests {
         let mut st = BTreeMap::new();
         st.insert(PartitionId(0), stats(100, 60));
         assert!(a.proposals(&st, &cfg()).is_empty());
+    }
+
+    fn aliasing_stats(commits: u64, aborts: u64, aliased: u64, true_c: u64) -> StatCounters {
+        StatCounters {
+            commits,
+            aborts_wlock: aborts,
+            conflicts_aliased: aliased,
+            conflicts_true: true_c,
+            ..Default::default()
+        }
+    }
+
+    /// Diffuse traffic across 32 buckets: no hot set to split, plenty of
+    /// footprint for a resize.
+    fn diffuse_analyzer() -> OnlineAnalyzer {
+        let mut a = OnlineAnalyzer::new();
+        for b in 0u16..32 {
+            for _ in 0..2 {
+                a.observe(&sample(&[(0, &[(b, 2, 1)])], 1));
+            }
+        }
+        a
+    }
+
+    fn meta_of(orecs: usize) -> BTreeMap<PartitionId, PartitionMeta> {
+        let mut m = BTreeMap::new();
+        m.insert(PartitionId(0), PartitionMeta { orec_count: orecs });
+        m
+    }
+
+    #[test]
+    fn resize_proposed_for_aliasing_bound_partition() {
+        let a = diffuse_analyzer();
+        let mut st = BTreeMap::new();
+        st.insert(PartitionId(0), aliasing_stats(100, 40, 30, 2));
+        let props = a.proposals_with_meta(&st, &meta_of(256), &cfg());
+        assert_eq!(props.len(), 1, "{props:?}");
+        match &props[0] {
+            Proposal::Resize {
+                partition,
+                new_count,
+                aliased_share,
+                abort_rate,
+            } => {
+                assert_eq!(*partition, PartitionId(0));
+                assert_eq!(*new_count, 1024, "default factor-4 growth");
+                assert!(*aliased_share > 0.9, "aliased share {aliased_share}");
+                assert!(*abort_rate > 0.2);
+            }
+            other => panic!("expected resize, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn resize_needs_meta_and_caps_at_max() {
+        let a = diffuse_analyzer();
+        let mut st = BTreeMap::new();
+        st.insert(PartitionId(0), aliasing_stats(100, 40, 30, 2));
+        // Without metadata the plain entry point stays split/merge-only.
+        assert!(a.proposals(&st, &cfg()).is_empty());
+        // At the cap, no further growth is proposed.
+        let c = cfg();
+        let capped = meta_of(c.resize_max_orecs);
+        assert!(a.proposals_with_meta(&st, &capped, &c).is_empty());
+        // Just below the cap, the proposal clamps to it.
+        let below = meta_of(c.resize_max_orecs / 2);
+        match &a.proposals_with_meta(&st, &below, &c)[..] {
+            [Proposal::Resize { new_count, .. }] => assert_eq!(*new_count, c.resize_max_orecs),
+            other => panic!("expected one resize, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn no_resize_when_conflicts_are_true_or_sparse() {
+        let a = diffuse_analyzer();
+        // Mostly true conflicts: a bigger table would not help.
+        let mut st = BTreeMap::new();
+        st.insert(PartitionId(0), aliasing_stats(100, 40, 2, 30));
+        assert!(a.proposals_with_meta(&st, &meta_of(256), &cfg()).is_empty());
+        // Too few classified conflicts to trust the share.
+        let mut st = BTreeMap::new();
+        st.insert(PartitionId(0), aliasing_stats(100, 40, 5, 0));
+        assert!(a.proposals_with_meta(&st, &meta_of(256), &cfg()).is_empty());
+        // Concentrated footprint (few buckets): the hot set, not the
+        // table, is the problem — stay silent and let the split gates
+        // decide.
+        let mut narrow = OnlineAnalyzer::new();
+        for _ in 0..64 {
+            narrow.observe(&sample(&[(0, &[(0, 2, 1), (1, 2, 1)])], 1));
+        }
+        let mut st = BTreeMap::new();
+        st.insert(PartitionId(0), aliasing_stats(100, 40, 30, 2));
+        let props = narrow.proposals_with_meta(&st, &meta_of(256), &cfg());
+        assert!(
+            !props.iter().any(|p| matches!(p, Proposal::Resize { .. })),
+            "{props:?}"
+        );
+    }
+
+    #[test]
+    fn split_takes_precedence_over_resize() {
+        // Hot pair plus a wide cold footprint: both gates could fire; the
+        // split must win and suppress the resize for that partition.
+        let mut a = OnlineAnalyzer::new();
+        for _ in 0..40 {
+            a.observe(&sample(&[(0, &[(0, 1, 4), (1, 1, 4)])], 3));
+        }
+        for b in 10u16..30 {
+            for _ in 0..2 {
+                a.observe(&sample(&[(0, &[(b, 2, 0)])], 0));
+            }
+        }
+        let mut st = BTreeMap::new();
+        st.insert(PartitionId(0), aliasing_stats(100, 60, 40, 5));
+        let props = a.proposals_with_meta(&st, &meta_of(256), &cfg());
+        assert!(
+            props.iter().any(|p| matches!(p, Proposal::Split { .. })),
+            "{props:?}"
+        );
+        assert!(
+            !props.iter().any(|p| matches!(p, Proposal::Resize { .. })),
+            "split suppresses resize: {props:?}"
+        );
     }
 
     #[test]

@@ -154,5 +154,87 @@ fn bench_view_cache(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_touch_overhead, bench_view_cache);
+/// Commit-path validation cost. An update transaction revalidates its
+/// whole invisible read set at commit unless `rv + 1 == wv` (nobody else
+/// committed since its snapshot) — which on a single thread is always
+/// true, skipping the pass. `validate_64r_1w` therefore runs a *clock
+/// pump* on a second thread and partition: it advances the global clock
+/// without ever sharing an orec with the measured transaction, so every
+/// measured commit walks all 64 read-set entries. `readonly_64r` is the
+/// no-write control (read-only commits never validate). This is the
+/// microbench the padded-orec + batched-validation work must hold at
+/// parity or better.
+fn bench_validate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("validate");
+    let n = 64u64;
+
+    // Read-only control: no write set, no commit validation — isolates
+    // the read-path cost of the same 64 reads.
+    {
+        let stm = Stm::new();
+        let p = stm.new_partition(PartitionConfig::named("ro"));
+        let vars: Vec<PVar<u64>> = (0..n).map(|v| p.tvar(v)).collect();
+        let ctx = stm.register_thread();
+        g.bench_function("readonly_64r", |b| {
+            b.iter(|| {
+                black_box(ctx.run(|tx| {
+                    let mut s = 0u64;
+                    for v in &vars {
+                        s = s.wrapping_add(tx.read(v)?);
+                    }
+                    Ok(s)
+                }))
+            })
+        });
+    }
+
+    // 64 reads + 1 write with a forced full validation pass: a second
+    // thread keeps advancing the clock, so `rv + 1 != wv` at commit and
+    // the read set is walked every iteration.
+    {
+        let stm = Stm::new();
+        let p = stm.new_partition(PartitionConfig::named("rw"));
+        let vars: Vec<PVar<u64>> = (0..n).map(|v| p.tvar(v)).collect();
+        let sink = p.tvar(0u64);
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            // Clock pump on its own partition: advances the global clock
+            // without ever conflicting with the measured transaction.
+            let pump_stm = stm.clone();
+            let stop_ref = &stop;
+            scope.spawn(move || {
+                let q = pump_stm.new_partition(PartitionConfig::named("pump"));
+                let t = q.tvar(0u64);
+                let ctx = pump_stm.register_thread();
+                while !stop_ref.load(std::sync::atomic::Ordering::Relaxed) {
+                    ctx.run(|tx| tx.modify(&t, |v| v + 1).map(|_| ()));
+                    std::thread::yield_now();
+                }
+            });
+            let ctx = stm.register_thread();
+            g.bench_function("validate_64r_1w", |b| {
+                b.iter(|| {
+                    black_box(ctx.run(|tx| {
+                        let mut s = 0u64;
+                        for v in &vars {
+                            s = s.wrapping_add(tx.read(v)?);
+                        }
+                        tx.write(&sink, s)?;
+                        Ok(s)
+                    }))
+                })
+            });
+            stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        });
+    }
+
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_touch_overhead,
+    bench_view_cache,
+    bench_validate
+);
 criterion_main!(benches);

@@ -3,9 +3,12 @@
 //! Usage:
 //!
 //! ```text
-//! repro <experiment> [--secs S] [--threads 1,2,4,...] [--quick] [--json [file]]
-//! experiments: f2 f3 f4 t1 t2 f5 f6 f7 f8 a1 a2 a3 repart all
+//! repro <experiment>.. [--secs S] [--threads 1,2,4,...] [--quick] [--json [file]]
+//! experiments: f2 f3 f4 t1 t2 f5 f6 f7 f8 a1 a2 a3 repart orecs all
 //! ```
+//!
+//! Several experiments may be named in one invocation (`repro repart
+//! orecs --json`); their scenarios land in one JSON document.
 //!
 //! Each experiment prints the table/series the corresponding paper artifact
 //! reports (see DESIGN.md §4 for the reconstruction rationale and
@@ -20,6 +23,7 @@ use std::time::Instant;
 
 use partstm_bench::hetero::{self, HeteroApp, HeteroMode};
 use partstm_bench::json_out::BenchRecorder;
+use partstm_bench::orec_pressure::{run_orec_pressure, OrecPressureConfig};
 use partstm_bench::phase_shift::{
     run_phase_shift, run_struct_shift, PhaseShiftConfig, PhaseShiftReport,
 };
@@ -99,47 +103,59 @@ fn harness_tuner() -> Arc<ThresholdPolicy> {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(cmd) = args.first() else {
+    // Experiments are every leading non-flag argument, so one invocation
+    // can record several into a single JSON document
+    // (`repro repart orecs --json`).
+    let split = args
+        .iter()
+        .position(|a| a.starts_with("--"))
+        .unwrap_or(args.len());
+    let (cmds, flags) = args.split_at(split);
+    if cmds.is_empty() {
         eprintln!(
-            "usage: repro <f2|f3|f4|t1|t2|f5|f6|f7|f8|a1|a2|a3|repart|all> \
+            "usage: repro <f2|f3|f4|t1|t2|f5|f6|f7|f8|a1|a2|a3|repart|orecs|all>.. \
              [--secs S] [--threads ..] [--quick] [--json [file]]"
         );
         std::process::exit(2);
-    };
-    let opts = parse_opts(&args[1..]);
+    }
+    let opts = parse_opts(flags);
     let t0 = Instant::now();
-    match cmd.as_str() {
-        "f2" => f2(&opts),
-        "f3" => f3(&opts),
-        "f4" => f4(&opts),
-        "t1" => t1(&opts),
-        "t2" => t2(&opts),
-        "f5" => f5(&opts),
-        "f6" => f6(&opts),
-        "f7" => f7(&opts),
-        "f8" => f8(&opts),
-        "a1" => a1(&opts),
-        "a2" => a2(&opts),
-        "a3" => a3(&opts),
-        "repart" => repart(&opts),
-        "all" => {
-            f2(&opts);
-            f3(&opts);
-            f4(&opts);
-            t1(&opts);
-            t2(&opts);
-            f5(&opts);
-            f6(&opts);
-            f7(&opts);
-            f8(&opts);
-            a1(&opts);
-            a2(&opts);
-            a3(&opts);
-            repart(&opts);
-        }
-        other => {
-            eprintln!("unknown experiment {other}");
-            std::process::exit(2);
+    for cmd in cmds {
+        match cmd.as_str() {
+            "f2" => f2(&opts),
+            "f3" => f3(&opts),
+            "f4" => f4(&opts),
+            "t1" => t1(&opts),
+            "t2" => t2(&opts),
+            "f5" => f5(&opts),
+            "f6" => f6(&opts),
+            "f7" => f7(&opts),
+            "f8" => f8(&opts),
+            "a1" => a1(&opts),
+            "a2" => a2(&opts),
+            "a3" => a3(&opts),
+            "repart" => repart(&opts),
+            "orecs" => orecs(&opts),
+            "all" => {
+                f2(&opts);
+                f3(&opts);
+                f4(&opts);
+                t1(&opts);
+                t2(&opts);
+                f5(&opts);
+                f6(&opts);
+                f7(&opts);
+                f8(&opts);
+                a1(&opts);
+                a2(&opts);
+                a3(&opts);
+                repart(&opts);
+                orecs(&opts);
+            }
+            other => {
+                eprintln!("unknown experiment {other}");
+                std::process::exit(2);
+            }
         }
     }
     if let Some(path) = &opts.json {
@@ -838,6 +854,104 @@ fn repart(opts: &Opts) {
     let stat_s = run_struct_shift(&with_s.clone().without_controller());
     let ctrl_s = run_struct_shift(&with_s);
     report_repart(opts, &with_s, &stat_s, &ctrl_s, "repart_struct");
+}
+
+// ---------------------------------------------------------------- ORECS
+
+/// Orec-pressure scenario: a large uniform footprint guarded by a tiny
+/// orec table aborts mostly on *aliased* (false) conflicts; the controller
+/// must execute at least one live in-place table resize and win back
+/// throughput vs the static baseline — without migrating any data.
+fn orecs(opts: &Opts) {
+    let threads = (*opts.threads.last().unwrap_or(&4)).clamp(2, 8);
+    // Floor of 5s: the settled tail after the (possibly repeated) resizes
+    // needs a few clean windows to measure, even in --quick mode.
+    let total = (opts.secs * 12.0).clamp(5.0, 12.0);
+    let with = OrecPressureConfig::standard(threads, total);
+    println!(
+        "\n=== ORECS: aliasing pressure ({} accounts on a {}-orec table, \
+         {}% scans of {}), {threads} threads, {total:.1}s ===",
+        with.accounts, with.orecs, with.scan_pct, with.scan_len
+    );
+    let stat = run_orec_pressure(&with.clone().without_controller());
+    let ctrl = run_orec_pressure(&with);
+
+    println!(
+        "{:>8} {:>6} {:>12} {:>12}   marker",
+        "window", "t(s)", "static", "resize"
+    );
+    let window = with.window_secs;
+    for i in 0..ctrl.window_ops.len().min(stat.window_ops.len()) {
+        let marker = if ctrl.resize_window == Some(i) {
+            "<< RESIZE"
+        } else {
+            ""
+        };
+        println!(
+            "{i:>8} {:>6.2} {:>12} {:>12}   {marker}",
+            (i as f64 + 1.0) * window,
+            kops(stat.window_ops[i] as f64 / window),
+            kops(ctrl.window_ops[i] as f64 / window),
+        );
+    }
+    println!(
+        "{:>10}: mean {} Kops/s | abort {:>4.1}% | aliased {:>4.1}% | orecs {} (static)",
+        "static",
+        kops(stat.tail),
+        100.0 * stat.abort_rate,
+        100.0 * stat.aliased_share,
+        stat.orecs_final,
+    );
+    println!(
+        "{:>10}: pre {} Kops/s | tail {} | abort {:>4.1}% | aliased {:>4.1}% | \
+         orecs {} -> {} ({} resizes)",
+        "resize",
+        kops(ctrl.pre),
+        kops(ctrl.tail),
+        100.0 * ctrl.abort_rate,
+        100.0 * ctrl.aliased_share,
+        ctrl.orecs_before,
+        ctrl.orecs_final,
+        ctrl.resizes,
+    );
+    for e in &ctrl.events {
+        println!("controller event: {e:?}");
+    }
+    let gain_vs_static = ctrl.tail / stat.tail.max(1.0);
+    match ctrl.resize_window {
+        Some(w) => println!(
+            "controller resized at window {w}; settled tail {:.2}x the \
+             static baseline (criterion >= 1.10): {}",
+            gain_vs_static,
+            if gain_vs_static >= 1.10 {
+                "MET"
+            } else {
+                "missed"
+            }
+        ),
+        None => println!("controller never resized"),
+    }
+    assert!(stat.conserved && ctrl.conserved, "conserved-sum violated");
+
+    for (name, r) in [("orecs/static", &stat), ("orecs/controller", &ctrl)] {
+        opts.rec.record(
+            name,
+            &[
+                ("pre_kops", r.pre / 1000.0),
+                ("tail_kops", r.tail / 1000.0),
+                ("abort_rate", r.abort_rate),
+                ("aliased_share", r.aliased_share),
+                ("orecs_before", r.orecs_before as f64),
+                ("orecs_final", r.orecs_final as f64),
+                ("resizes", r.resizes as f64),
+                (
+                    "resize_window",
+                    r.resize_window.map(|w| w as f64).unwrap_or(-1.0),
+                ),
+                ("gain_vs_static", r.tail / stat.tail.max(1.0)),
+            ],
+        );
+    }
 }
 
 /// Prints one scenario's window table + summary and records its metrics.

@@ -11,6 +11,7 @@
 
 pub mod hetero;
 pub mod json_out;
+pub mod orec_pressure;
 pub mod phase_shift;
 
 use core::sync::atomic::{AtomicBool, AtomicU64, Ordering};

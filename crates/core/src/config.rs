@@ -82,13 +82,25 @@ pub enum ReaderArb {
     ReaderWins,
 }
 
+/// Smallest orec table a resize may install. A floor of 8 keeps the
+/// degenerate single-orec table reachable only by explicit construction
+/// (`PartitionConfig::orecs(1)`), never by a runtime controller decision.
+pub const MIN_ORECS: usize = 8;
+
+/// Largest orec table a resize may install (2^20 records × 64 B = 64 MiB;
+/// past that, aliasing pressure is better answered by a partition split).
+pub const MAX_ORECS: usize = 1 << 20;
+
 /// Full (user-facing) partition configuration.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PartitionConfig {
     /// Human-readable partition name (used in reports).
     pub name: String,
-    /// Number of ownership records (rounded up to a power of two). Static:
-    /// fixed at partition creation.
+    /// Initial number of ownership records (rounded up to a power of
+    /// two). No longer fixed for the partition's lifetime: the runtime may
+    /// grow or shrink the table in place via
+    /// [`Stm::resize_orecs`](crate::Stm::resize_orecs) (clamped to
+    /// [`MIN_ORECS`]..=[`MAX_ORECS`]).
     pub orec_count: usize,
     /// Initial read visibility.
     pub read_mode: ReadMode,

@@ -5,7 +5,7 @@
 //! *separately per partition* and the tuner adjusts each partition
 //! independently — the core mechanism of the paper.
 
-use core::sync::atomic::{AtomicU64, Ordering};
+use core::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -30,6 +30,18 @@ pub(crate) struct TuneState {
     pub(crate) last_at: Instant,
 }
 
+/// The orec-table allocations a partition owns: the current table plus
+/// every table retired by a live resize. Retired tables are *parked*, not
+/// freed — the same liveness idiom as `PVarBinding`'s retired list — so a
+/// control-plane reader (diagnostic scan, another switch) that loaded the
+/// table pointer just before a resize can still dereference it. Resizes
+/// are rare, controller-gated events; the list stays small.
+#[derive(Debug)]
+struct TableHold {
+    current: Box<[Orec]>,
+    retired: Vec<Box<[Orec]>>,
+}
+
 /// A data partition with private STM metadata. Created via
 /// [`crate::Stm::new_partition`]; shared as `Arc<Partition>`.
 #[derive(Debug)]
@@ -39,9 +51,19 @@ pub struct Partition {
     name: String,
     /// Current dynamic configuration word (see [`crate::config`]).
     pub(crate) config: CachePadded<AtomicU64>,
-    orecs: Box<[Orec]>,
-    /// `orecs.len() - 1` (table size is a power of two).
-    mask: usize,
+    /// Hot-path view of the orec table: base pointer + index mask
+    /// (`len - 1`, table size is a power of two). Swapped only by
+    /// [`Partition::install_table`] inside the resize protocol's
+    /// flag→quiesce window; the engine snapshots both once per attempt in
+    /// its partition view (sound for the same reason the config decode is
+    /// — see the `txn` module docs).
+    table: AtomicPtr<Orec>,
+    mask: AtomicUsize,
+    /// Owning allocations behind `table` (current + parked retirees).
+    tables: Mutex<TableHold>,
+    /// Completed in-place orec-table resizes (see
+    /// [`crate::Stm::resize_orecs`]).
+    resizes: AtomicU64,
     pub(crate) stats: PartitionStats,
     /// Whether the runtime tuner may reconfigure this partition.
     pub(crate) tunable: bool,
@@ -50,11 +72,37 @@ pub struct Partition {
     pub(crate) tune_state: Mutex<TuneState>,
 }
 
+/// Allocates an orec table of `n` entries, every record stamped with
+/// `version` and no readers.
+fn alloc_table(n: usize, version: u64) -> Box<[Orec]> {
+    let word = crate::orec::make_version(version);
+    let mut orecs = Vec::with_capacity(n);
+    orecs.resize_with(n, || {
+        let o = Orec::default();
+        o.lock.store(word, Ordering::Relaxed);
+        o
+    });
+    orecs.into_boxed_slice()
+}
+
+/// Maps a word address to an orec index under granularity `g` for a table
+/// with index mask `mask`. Shared by the engine's cached-view hot path and
+/// the partition's own control-plane [`Partition::orec_for`].
+#[inline(always)]
+pub(crate) fn orec_index(mask: usize, addr: usize, g: Granularity) -> usize {
+    let key = match g {
+        Granularity::Word => addr >> 3,
+        Granularity::Stripe { shift } => addr >> shift,
+        Granularity::PartitionLock => return 0,
+    };
+    (((key as u64).wrapping_mul(MIX)) >> 32) as usize & mask
+}
+
 impl Partition {
     pub(crate) fn new(id: PartitionId, stm_id: u64, cfg: &PartitionConfig) -> Arc<Self> {
         let n = cfg.orec_count.next_power_of_two().max(1);
-        let mut orecs = Vec::with_capacity(n);
-        orecs.resize_with(n, Orec::default);
+        let current = alloc_table(n, 0);
+        let table = AtomicPtr::new(current.as_ptr() as *mut Orec);
         Arc::new(Partition {
             id,
             stm_id,
@@ -64,8 +112,13 @@ impl Partition {
                 cfg.name.clone()
             },
             config: CachePadded::new(AtomicU64::new(config::encode(DynConfig::from(cfg), 0))),
-            orecs: orecs.into_boxed_slice(),
-            mask: n - 1,
+            table,
+            mask: AtomicUsize::new(n - 1),
+            tables: Mutex::new(TableHold {
+                current,
+                retired: Vec::new(),
+            }),
+            resizes: AtomicU64::new(0),
             stats: PartitionStats::default(),
             tunable: cfg.tune,
             tune_gate: CachePadded::new(AtomicU64::new(0)),
@@ -87,9 +140,15 @@ impl Partition {
         &self.name
     }
 
-    /// Number of ownership records in the table.
+    /// Number of ownership records in the table. No longer fixed at
+    /// construction: a live [`crate::Stm::resize_orecs`] may change it.
     pub fn orec_count(&self) -> usize {
-        self.orecs.len()
+        self.mask.load(Ordering::Acquire) + 1
+    }
+
+    /// Completed in-place orec-table resizes.
+    pub fn resize_count(&self) -> u64 {
+        self.resizes.load(Ordering::Relaxed)
     }
 
     /// Whether the runtime tuner may reconfigure this partition.
@@ -119,21 +178,36 @@ impl Partition {
         config::generation(self.config.load(Ordering::SeqCst))
     }
 
-    /// Maps a word address to its ownership record under granularity `g`.
+    /// Hot-path snapshot of the orec table: `(base pointer, index mask)`.
+    ///
+    /// Only meaningful after observing this partition's config word with
+    /// the switching flag *clear* in the same attempt (the engine does this
+    /// at view creation): the resize protocol swaps the table strictly
+    /// inside a flag→quiesce window, so an attempt that got past the flag
+    /// check cannot interleave with a swap and the two loads are mutually
+    /// consistent. The pointed-to table outlives the partition (retired
+    /// tables are parked, never freed).
     #[inline(always)]
-    pub(crate) fn orec_for(&self, addr: usize, g: Granularity) -> &Orec {
-        let idx = match g {
-            Granularity::Word => self.mix_index(addr >> 3),
-            Granularity::Stripe { shift } => self.mix_index(addr >> shift),
-            Granularity::PartitionLock => 0,
-        };
-        // Index is masked into range below.
-        &self.orecs[idx]
+    pub(crate) fn table_view(&self) -> (*const Orec, usize) {
+        (
+            self.table.load(Ordering::Acquire),
+            self.mask.load(Ordering::Acquire),
+        )
     }
 
+    /// Maps a word address to its ownership record under granularity `g`.
+    ///
+    /// Test convenience; the engine resolves orecs through the per-attempt
+    /// cached [`Partition::table_view`] instead. The returned reference
+    /// stays valid for the partition's lifetime even across a resize
+    /// (retired tables are parked).
+    #[cfg(test)]
     #[inline(always)]
-    fn mix_index(&self, key: usize) -> usize {
-        (((key as u64).wrapping_mul(MIX)) >> 32) as usize & self.mask
+    pub(crate) fn orec_for(&self, addr: usize, g: Granularity) -> &Orec {
+        let (table, mask) = self.table_view();
+        // SAFETY: `table` points at `mask + 1` orecs owned (current or
+        // parked) by `self.tables`, alive as long as `self`.
+        unsafe { &*table.add(orec_index(mask, addr, g)) }
     }
 
     /// Resets every ownership record to `version` with no readers.
@@ -153,7 +227,8 @@ impl Partition {
     pub(crate) fn reset_orecs(&self, version: u64) {
         use core::sync::atomic::Ordering;
         let word = crate::orec::make_version(version);
-        for o in self.orecs.iter() {
+        let hold = self.tables.lock();
+        for o in hold.current.iter() {
             debug_assert!(
                 !crate::orec::is_locked(o.lock.load(Ordering::SeqCst)),
                 "orec locked during a partition switch"
@@ -161,6 +236,35 @@ impl Partition {
             o.lock.store(word, Ordering::SeqCst);
             o.readers.store(0, Ordering::SeqCst);
         }
+    }
+
+    /// Replaces the orec table with a fresh one of `count` entries (a
+    /// power of two), every record stamped with `version`, and parks the
+    /// old table. The capacity half of [`crate::Stm::resize_orecs`].
+    ///
+    /// # Protocol
+    ///
+    /// Must only be called inside the resize protocol's window: this
+    /// partition's switching flag set *and* quiescence reached, so no
+    /// transaction holds orec pointers, locks, reader bits or read-set
+    /// entries against the old table, and none will look at the table
+    /// until the flag clears (which the caller does strictly afterwards).
+    pub(crate) fn install_table(&self, count: usize, version: u64) {
+        debug_assert!(count.is_power_of_two());
+        let new = alloc_table(count, version);
+        let mut hold = self.tables.lock();
+        debug_assert!(
+            !hold.current.iter().any(|o| {
+                crate::orec::is_locked(o.lock.load(core::sync::atomic::Ordering::SeqCst))
+            }),
+            "orec locked during a table resize"
+        );
+        self.table
+            .store(new.as_ptr() as *mut Orec, Ordering::Release);
+        self.mask.store(count - 1, Ordering::Release);
+        let old = std::mem::replace(&mut hold.current, new);
+        hold.retired.push(old);
+        self.resizes.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Diagnostic scan of the orec table: `(locked_count, owner_slots,
@@ -171,7 +275,8 @@ impl Partition {
         let mut locked = 0;
         let mut owners = Vec::new();
         let mut max_version = 0;
-        for o in self.orecs.iter() {
+        let hold = self.tables.lock();
+        for o in hold.current.iter() {
             let l = o.lock.load(Ordering::SeqCst);
             if crate::orec::is_locked(l) {
                 locked += 1;
@@ -185,10 +290,25 @@ impl Partition {
         (locked, owners, max_version)
     }
 
-    /// The orec table, for diagnostics/tests.
+    /// Resets the tuner's observation window for this partition: the next
+    /// tuning evaluation starts from a fresh statistics snapshot and a
+    /// full commit window. Called after structural actions (orec-table
+    /// resize, repartition) so the tuner judges the *new* shape on its own
+    /// statistics instead of deltas that straddle the change — the
+    /// tuner/controller cooperation half of the resize design.
+    pub(crate) fn reset_tuning_window(&self) {
+        let mut st = self.tune_state.lock();
+        st.last = self.stats.snapshot();
+        st.last_at = Instant::now();
+        drop(st);
+        self.tune_gate.store(0, Ordering::Relaxed);
+    }
+
+    /// First orec of the current table, for tests asserting table identity
+    /// across (rolled-back) resizes.
     #[cfg(test)]
-    pub(crate) fn orecs(&self) -> &[Orec] {
-        &self.orecs
+    pub(crate) fn table_ptr(&self) -> *const Orec {
+        self.table.load(Ordering::Acquire)
     }
 
     /// Test hook: forcibly sets or clears this partition's switching flag,
@@ -243,7 +363,42 @@ mod tests {
         let a = p.orec_for(0x1000, Granularity::PartitionLock) as *const Orec;
         let b = p.orec_for(0xDEAD_BEE8, Granularity::PartitionLock) as *const Orec;
         assert_eq!(a, b);
-        assert_eq!(a, &p.orecs()[0] as *const Orec);
+        assert_eq!(a, p.table_ptr());
+    }
+
+    #[test]
+    fn install_table_swaps_capacity_and_parks_the_old_table() {
+        let p = part(PartitionConfig::default().orecs(64));
+        assert_eq!(p.orec_count(), 64);
+        assert_eq!(p.resize_count(), 0);
+        let old = p.table_ptr();
+        let old_orec = p.orec_for(0x1000, Granularity::Word) as *const Orec;
+        p.install_table(512, 7);
+        assert_eq!(p.orec_count(), 512);
+        assert_eq!(p.resize_count(), 1);
+        assert_ne!(p.table_ptr(), old, "fresh allocation");
+        // Every new orec carries the stamp version.
+        let (locked, _, maxv) = p.debug_scan();
+        assert_eq!(locked, 0);
+        assert_eq!(maxv, 7);
+        // The old table is parked, not freed: pointers into it stay valid.
+        // SAFETY: parked allocation, alive as long as `p`.
+        let stale = unsafe { &*old_orec };
+        assert!(!crate::orec::is_locked(stale.lock.load(Ordering::SeqCst)));
+        // Shrink works too.
+        p.install_table(8, 9);
+        assert_eq!(p.orec_count(), 8);
+        assert_eq!(p.resize_count(), 2);
+    }
+
+    #[test]
+    fn reset_tuning_window_clears_gate_and_resnapshots() {
+        let p = part(PartitionConfig::default().tunable());
+        p.tune_gate.store(99, Ordering::Relaxed);
+        p.stats.commits(0, 5);
+        p.reset_tuning_window();
+        assert_eq!(p.tune_gate.load(Ordering::Relaxed), 0);
+        assert_eq!(p.tune_state.lock().last.commits, 5, "fresh snapshot");
     }
 
     #[test]

@@ -364,6 +364,12 @@ fn repartition_impl(
     for &(j, w) in &held {
         let p = &involved[j];
         p.reset_orecs(now);
+        // Restart the tuner's observation window: post-repartition deltas
+        // must not straddle the structural change (a freshly split hot
+        // partition otherwise inherits a half-window of cold history — the
+        // tuner/controller cooperation contract, see `Partition::
+        // reset_tuning_window` and the same call in `resize_orecs`).
+        p.reset_tuning_window();
         p.config.store(
             config::encode(config::decode(w), config::generation(w).wrapping_add(1)),
             Ordering::SeqCst,

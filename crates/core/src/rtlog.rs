@@ -60,6 +60,76 @@ pub fn warn(msg: &str) {
     }
 }
 
+/// Per-site rate limiter for warnings that can recur every controller
+/// window (e.g. the migration directories' unmapped-bucket reports during
+/// an aliasing storm): at most one emission per `min_interval`; calls
+/// arriving inside the window are *counted*, and the count is appended to
+/// the next message that does go out, so nothing is silently lost.
+///
+/// Lock-free (two relaxed atomics); safe to call from any thread.
+#[derive(Debug)]
+pub struct Limiter {
+    min_interval: std::time::Duration,
+    /// Microseconds (plus 1, so 0 means "never emitted") since the
+    /// process-wide epoch of the last emission.
+    last: std::sync::atomic::AtomicU64,
+    suppressed: std::sync::atomic::AtomicU64,
+}
+
+/// Microseconds since a process-wide epoch, offset by 1 so 0 is reserved
+/// for "never".
+fn epoch_micros() -> u64 {
+    use std::sync::OnceLock;
+    static EPOCH: OnceLock<std::time::Instant> = OnceLock::new();
+    EPOCH
+        .get_or_init(std::time::Instant::now)
+        .elapsed()
+        .as_micros() as u64
+        + 1
+}
+
+impl Limiter {
+    /// A limiter emitting at most one warning per `min_interval`.
+    pub fn new(min_interval: std::time::Duration) -> Self {
+        Limiter {
+            min_interval,
+            last: std::sync::atomic::AtomicU64::new(0),
+            suppressed: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Emits `msg` through [`warn`] unless a message went out within the
+    /// last `min_interval`, in which case the call is counted and folded
+    /// into the next emission as `(… N similar suppressed)`.
+    pub fn warn(&self, msg: &str) {
+        use std::sync::atomic::Ordering;
+        let now = epoch_micros();
+        let last = self.last.load(Ordering::Relaxed);
+        let window = self.min_interval.as_micros() as u64;
+        if (last != 0 && now.saturating_sub(last) < window)
+            || self
+                .last
+                .compare_exchange(last, now, Ordering::Relaxed, Ordering::Relaxed)
+                .is_err()
+        {
+            // Inside the window, or another thread won the emission race.
+            self.suppressed.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let folded = self.suppressed.swap(0, Ordering::Relaxed);
+        if folded > 0 {
+            warn(&format!("{msg} ({folded} similar suppressed)"));
+        } else {
+            warn(msg);
+        }
+    }
+
+    /// Calls currently counted but not yet folded into an emission.
+    pub fn suppressed(&self) -> u64 {
+        self.suppressed.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -80,6 +150,39 @@ mod tests {
         warn("probe two");
         assert_eq!(hits.load(Ordering::Relaxed), 1, "quiet sink must drop");
         // Restore the default for other tests in the process.
+        set_handler(None);
+    }
+
+    #[test]
+    fn limiter_folds_suppressed_calls_into_the_next_emission() {
+        let msgs: Arc<std::sync::Mutex<Vec<String>>> = Arc::default();
+        let sink = Arc::clone(&msgs);
+        let me = std::thread::current().id();
+        set_handler(Some(Box::new(move |m| {
+            // Count only our own thread's messages: other tests share the
+            // process-global sink.
+            if std::thread::current().id() == me && m.contains("limited-probe") {
+                sink.lock().unwrap().push(m.to_string());
+            }
+        })));
+
+        let lim = Limiter::new(std::time::Duration::from_millis(200));
+        lim.warn("limited-probe one");
+        assert_eq!(msgs.lock().unwrap().len(), 1, "first call goes out");
+        lim.warn("limited-probe two");
+        lim.warn("limited-probe three");
+        assert_eq!(msgs.lock().unwrap().len(), 1, "in-window calls dropped");
+        assert_eq!(lim.suppressed(), 2);
+        std::thread::sleep(std::time::Duration::from_millis(250));
+        lim.warn("limited-probe four");
+        let got = msgs.lock().unwrap().clone();
+        assert_eq!(got.len(), 2, "window elapsed, emission resumes");
+        assert!(
+            got[1].contains("(2 similar suppressed)"),
+            "suppressed count folded in: {}",
+            got[1]
+        );
+        assert_eq!(lim.suppressed(), 0);
         set_handler(None);
     }
 }

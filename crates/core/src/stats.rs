@@ -41,7 +41,11 @@ macro_rules! for_each_stat {
             /// Successful snapshot extensions attributed to this partition.
             extensions,
             /// Reader kills issued by writers in this partition.
-            kills_issued
+            kills_issued,
+            /// Conflict aborts whose orec acquisition hint named the touched address (true data conflicts; see `orec::Orec::hint`).
+            conflicts_true,
+            /// Conflict aborts whose hint named a different address (orec aliasing, i.e. false conflicts — the resize signal).
+            conflicts_aliased
         );
     };
 }
@@ -77,6 +81,19 @@ macro_rules! define_counters {
                     + self.aborts_killed
                     + self.aborts_switching
                     + self.aborts_user
+            }
+
+            /// Share of classified conflicts that were *aliased* (false)
+            /// conflicts: `conflicts_aliased / (conflicts_aliased +
+            /// conflicts_true)`, or 0 when nothing was classified. The
+            /// aliasing-pressure signal behind orec-table resizing.
+            pub fn aliased_share(&self) -> f64 {
+                let classified = self.conflicts_aliased + self.conflicts_true;
+                if classified == 0 {
+                    0.0
+                } else {
+                    self.conflicts_aliased as f64 / classified as f64
+                }
             }
         }
 
@@ -147,6 +164,10 @@ pub struct LocalStats {
     pub extensions: u32,
     /// Kills this transaction issued against readers of this partition.
     pub kills: u32,
+    /// Conflicts classified true (hint matched the touched address).
+    pub conflicts_true: u32,
+    /// Conflicts classified aliased (hint named a different address).
+    pub conflicts_aliased: u32,
 }
 
 impl LocalStats {
@@ -156,6 +177,8 @@ impl LocalStats {
         stats.writes(slot, self.writes as u64);
         stats.extensions(slot, self.extensions as u64);
         stats.kills_issued(slot, self.kills as u64);
+        stats.conflicts_true(slot, self.conflicts_true as u64);
+        stats.conflicts_aliased(slot, self.conflicts_aliased as u64);
     }
 }
 
@@ -213,6 +236,8 @@ mod tests {
             writes: 2,
             extensions: 1,
             kills: 3,
+            conflicts_true: 4,
+            conflicts_aliased: 6,
         };
         l.flush(&s, 9);
         let snap = s.snapshot();
@@ -220,6 +245,24 @@ mod tests {
         assert_eq!(snap.writes, 2);
         assert_eq!(snap.extensions, 1);
         assert_eq!(snap.kills_issued, 3);
+        assert_eq!(snap.conflicts_true, 4);
+        assert_eq!(snap.conflicts_aliased, 6);
+        assert!((snap.aliased_share() - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aliased_share_handles_zero_classified() {
+        assert_eq!(StatCounters::default().aliased_share(), 0.0);
+        let only_true = StatCounters {
+            conflicts_true: 7,
+            ..Default::default()
+        };
+        assert_eq!(only_true.aliased_share(), 0.0);
+        let only_aliased = StatCounters {
+            conflicts_aliased: 7,
+            ..Default::default()
+        };
+        assert_eq!(only_aliased.aliased_share(), 1.0);
     }
 
     #[test]

@@ -28,9 +28,9 @@ pub const MAX_THREADS: usize = 64;
 /// [`StmBuilder::quiesce_timeout`].
 pub(crate) const QUIESCE_TIMEOUT: Duration = Duration::from_secs(10);
 
-/// Result of [`Stm::switch_partition`] and of the repartition entry points
-/// ([`Stm::migrate_pvars`], [`Stm::split_partition`],
-/// [`Stm::merge_partitions`]).
+/// Result of [`Stm::switch_partition`], [`Stm::resize_orecs`] and of the
+/// repartition entry points ([`Stm::migrate_pvars`],
+/// [`Stm::split_partition`], [`Stm::merge_partitions`]).
 ///
 /// Marked `#[must_use]`: a dropped outcome silently ignores a rolled-back
 /// or contended switch — callers must at least decide that they don't care
@@ -305,6 +305,44 @@ impl Stm {
         );
         switch_partition_impl(&self.inner, partition, new)
     }
+
+    /// Resizes a partition's orec table in place to `new_count` records
+    /// (clamped to [`MIN_ORECS`](crate::config::MIN_ORECS)..=
+    /// [`MAX_ORECS`](crate::config::MAX_ORECS), rounded up to a power of
+    /// two), changing its conflict-detection granularity *live*: more
+    /// orecs mean fewer unrelated addresses aliasing onto the same record
+    /// (fewer false conflicts), fewer orecs mean a leaner table.
+    ///
+    /// Runs under the same quiesce protocol as [`Stm::switch_partition`]:
+    /// flag → quiesce → install a fresh table stamped with the current
+    /// clock → generation+1, flag clear. A fresh stamped table (rather
+    /// than rehashing old versions, which is impossible — the mapping is
+    /// lossy) forces old-snapshot readers to extend-or-abort on first
+    /// contact, exactly as a granularity switch does. The old table is
+    /// parked for pointer liveness; in-flight transactions never observe
+    /// the swap (they were drained, or abort on the flag).
+    ///
+    /// The partition's tuning window is reset afterwards so an installed
+    /// [`TuningPolicy`] evaluates the resized table
+    /// on post-resize statistics instead of a straddling delta.
+    ///
+    /// Returns [`Unchanged`](SwitchOutcome::Unchanged) when the table
+    /// already has the requested size,
+    /// [`Contended`](SwitchOutcome::Contended) when another
+    /// switch/resize/repartition owns the partition, and
+    /// [`TimedOut`](SwitchOutcome::TimedOut) (release builds; debug builds
+    /// panic) when quiescence cannot be reached — the resize is rolled
+    /// back: old table, old versions, old generation, in-flight
+    /// transactions untouched.
+    ///
+    /// Must not be called from inside a transaction.
+    pub fn resize_orecs(&self, partition: &Partition, new_count: usize) -> SwitchOutcome {
+        assert_eq!(
+            partition.stm_id, self.inner.id,
+            "partition belongs to a different Stm"
+        );
+        resize_orecs_impl(&self.inner, partition, new_count)
+    }
 }
 
 /// The quiesce-based switch protocol (shared by the public API and the
@@ -359,6 +397,72 @@ pub(crate) fn switch_partition_impl(
     // a value committed after its read version (see Partition::reset_orecs).
     partition.reset_orecs(inner.clock.now());
     let word = config::encode(new, config::generation(old).wrapping_add(1));
+    partition.config.store(word, Ordering::SeqCst);
+    SwitchOutcome::Switched
+}
+
+/// The quiesce-based orec-table resize (see [`Stm::resize_orecs`] for the
+/// contract). Structurally the same flag→quiesce→mutate→gen+1 window as
+/// the configuration switch; the mutation installs a fresh table instead
+/// of re-stamping the existing one.
+pub(crate) fn resize_orecs_impl(
+    inner: &StmInner,
+    partition: &Partition,
+    new_count: usize,
+) -> SwitchOutcome {
+    let n = new_count
+        .clamp(config::MIN_ORECS, config::MAX_ORECS)
+        .next_power_of_two();
+    let old = partition.config.load(Ordering::SeqCst);
+    if config::is_switching(old) {
+        return SwitchOutcome::Contended;
+    }
+    if partition.orec_count() == n {
+        return SwitchOutcome::Unchanged;
+    }
+    if partition
+        .config
+        .compare_exchange(
+            old,
+            old | config::SWITCHING_BIT,
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        )
+        .is_err()
+    {
+        return SwitchOutcome::Contended;
+    }
+    // Re-check under the flag: the pre-CAS size read may have raced an
+    // interleaved resize that already installed `n`.
+    if partition.orec_count() == n {
+        partition.config.store(old, Ordering::SeqCst);
+        return SwitchOutcome::Unchanged;
+    }
+    if !bump_epoch_and_quiesce(inner) {
+        // Roll back: clear the flag, leave table/versions/config exactly
+        // as found (we mutate nothing before this point).
+        partition.config.store(old, Ordering::SeqCst);
+        let timeout = inner.quiesce_timeout;
+        if cfg!(debug_assertions) {
+            panic!(
+                "orec resize could not quiesce in {timeout:?}: \
+                 a transaction appears stuck"
+            );
+        }
+        rtlog::warn(&format!(
+            "orec resize of partition '{}' rolled back: quiescence not \
+             reached in {timeout:?} (stuck transaction?); retryable",
+            partition.name()
+        ));
+        return SwitchOutcome::TimedOut;
+    }
+    // Quiesced: no transaction holds pointers into the old table, and new
+    // attempts abort on the flag before touching it. Install the fresh
+    // table stamped with the current clock (same staleness argument as
+    // reset_orecs), then publish generation+1 with the flag clear.
+    partition.install_table(n, inner.clock.now());
+    partition.reset_tuning_window();
+    let word = config::encode(config::decode(old), config::generation(old).wrapping_add(1));
     partition.config.store(word, Ordering::SeqCst);
     SwitchOutcome::Switched
 }
@@ -489,6 +593,75 @@ mod tests {
         // Switching to the identical config is a no-op.
         assert_eq!(stm.switch_partition(&p, cfg), SwitchOutcome::Unchanged);
         assert_eq!(p.generation(), 1);
+    }
+
+    #[test]
+    fn resize_orecs_swaps_table_and_bumps_generation() {
+        let stm = Stm::new();
+        let p = stm.new_partition(PartitionConfig::default().orecs(256));
+        assert_eq!(p.orec_count(), 256);
+        assert!(stm.resize_orecs(&p, 4096).switched());
+        assert_eq!(p.orec_count(), 4096);
+        assert_eq!(p.generation(), 1);
+        assert_eq!(p.resize_count(), 1);
+        // Same size: no-op, no generation bump.
+        assert_eq!(stm.resize_orecs(&p, 4096), SwitchOutcome::Unchanged);
+        assert_eq!(p.generation(), 1);
+        // Rounded up to a power of two; shrink works.
+        assert!(stm.resize_orecs(&p, 100).switched());
+        assert_eq!(p.orec_count(), 128);
+        assert_eq!(p.generation(), 2);
+    }
+
+    #[test]
+    fn resize_orecs_clamps_to_bounds() {
+        let stm = Stm::new();
+        let p = stm.new_partition(PartitionConfig::default());
+        assert!(stm.resize_orecs(&p, 1).switched());
+        assert_eq!(p.orec_count(), crate::config::MIN_ORECS);
+        assert!(stm.resize_orecs(&p, usize::MAX).switched());
+        assert_eq!(p.orec_count(), crate::config::MAX_ORECS);
+    }
+
+    #[test]
+    fn resize_orecs_preserves_data_under_load() {
+        // Values live in TVars, not orecs: a resize must not disturb
+        // committed state or lose updates racing the quiesce.
+        let stm = Stm::new();
+        let p = stm.new_partition(PartitionConfig::default().orecs(64));
+        let x = std::sync::Arc::new(p.tvar(0u64));
+        let iters = 2000u64;
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                let ctx = stm.register_thread();
+                let x = std::sync::Arc::clone(&x);
+                s.spawn(move || {
+                    for _ in 0..iters {
+                        ctx.run(|tx| tx.modify(&x, |v| v + 1).map(|_| ()));
+                    }
+                });
+            }
+            let stm2 = stm.clone();
+            let p2 = std::sync::Arc::clone(&p);
+            s.spawn(move || {
+                for i in 0..24 {
+                    let n = if i % 2 == 0 { 1024 } else { 64 };
+                    let _ = stm2.resize_orecs(&p2, n);
+                    std::thread::yield_now();
+                }
+            });
+        });
+        assert_eq!(x.load_direct(), 3 * iters, "no update lost across resizes");
+        assert!(p.resize_count() > 0, "at least one resize executed");
+    }
+
+    #[test]
+    #[should_panic(expected = "different Stm")]
+    fn cross_stm_resize_is_rejected() {
+        let stm1 = Stm::new();
+        let stm2 = Stm::new();
+        let p = stm1.new_partition(PartitionConfig::default());
+        let _ = stm2.resize_orecs(&p, 512);
     }
 
     #[test]

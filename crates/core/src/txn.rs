@@ -29,14 +29,17 @@
 //! Every attempt keeps a *partition view* table: the first touch of a
 //! partition loads its config word (one `SeqCst` load), rejects the attempt
 //! if the switching flag is set, and caches the decoded [`DynConfig`] plus
-//! generation in the view. Every later access to that partition — bound
-//! ([`Tx::read`]) or raw ([`Tx::read_raw`]) — resolves to the cached view
-//! (a one-entry MRU fast path backed by a stamped hash index) and never
-//! re-reads the config word.
+//! generation — and, since orec tables became resizable, the table's base
+//! pointer and index mask — in the view. Every later access to that
+//! partition — bound ([`Tx::read`]) or raw ([`Tx::read_raw`]) — resolves to
+//! the cached view (a one-entry MRU fast path backed by a stamped hash
+//! index) and never re-reads the config word or the table registers.
 //!
-//! **Soundness.** Caching the decode for the whole attempt is sound because
-//! the quiesce-based switch protocol (see [`crate::Stm::switch_partition`])
-//! guarantees no attempt spans a configuration switch:
+//! **Soundness.** Caching the decode (and the table pointer/mask) for the
+//! whole attempt is sound because the quiesce-based switch protocol (see
+//! [`crate::Stm::switch_partition`]; [`crate::Stm::resize_orecs`] runs the
+//! identical window) guarantees no attempt spans a configuration switch or
+//! table resize:
 //!
 //! 1. the switcher sets the partition's *switching* flag **before** bumping
 //!    the global switch epoch, so any attempt that begins after the bump
@@ -44,12 +47,27 @@
 //!    — all the loads involved are `SeqCst` — and aborts without caching
 //!    anything;
 //! 2. the switcher waits for every attempt begun **before** the bump (odd
-//!    `seq`, older `start_epoch`) to finish before it resets the orec table
-//!    and installs the new config word.
+//!    `seq`, older `start_epoch`) to finish before it resets (or swaps)
+//!    the orec table and installs the new config word.
 //!
 //! Hence a view snapshotted at first touch is, for the rest of the attempt,
 //! identical to what a per-access decode would produce, and the cached
-//! generation is stable until the attempt's `seq` returns to even.
+//! generation — and every orec pointer derived from the cached table —
+//! is stable until the attempt's `seq` returns to even. (Tables retired by
+//! a resize are additionally *parked*, never freed, so even a stale orec
+//! pointer could only read stale telemetry, never freed memory.)
+//!
+//! ## Aliasing telemetry
+//!
+//! On every conflict abort where the engine knows both the address it was
+//! accessing and the conflicting orec, it classifies the conflict by the
+//! orec's acquisition hint (see [`crate::orec::Orec`]): hint == our address
+//! → a *true* data conflict; hint naming a different address → an *aliased*
+//! (false) conflict, two unrelated words hashed onto one orec. The
+//! classification is one relaxed load plus a compare, paid only on abort
+//! paths (never on the commit fast path), and feeds the per-partition
+//! `conflicts_true` / `conflicts_aliased` counters the online analyzer's
+//! orec-table resize proposals are built on.
 
 use core::marker::PhantomData;
 use core::sync::atomic::{AtomicU64, Ordering};
@@ -61,7 +79,7 @@ use crate::config::CmPolicy;
 use crate::config::{self, AcquireMode, DynConfig, ReadMode, ReaderArb};
 use crate::error::{Abort, AbortKind, TxResult};
 use crate::orec::{is_locked, make_version, owner_of, reader_bit, version_of, Orec};
-use crate::partition::Partition;
+use crate::partition::{orec_index, Partition};
 use crate::profiler::{self, BucketTouch, SampleTouch, TxSample};
 use crate::pvar::{PVar, PVarBinding};
 use crate::stats::LocalStats;
@@ -70,10 +88,14 @@ use crate::tuner::TuneInput;
 use crate::tvar::TVar;
 use crate::word::TxWord;
 
-/// An invisible-read record: which orec was read and the lock word observed.
+/// An invisible-read record: which orec was read, the lock word observed,
+/// and the word address the read covered (for aliasing classification of
+/// validation failures; 24 bytes, the validation pass touches only the
+/// first 16 until an entry fails).
 struct ReadEntry {
     orec: *const Orec,
     seen: u64,
+    addr: usize,
 }
 
 /// A buffered write.
@@ -100,6 +122,11 @@ struct PartView {
     /// `Arc::as_ptr(&part)`, cached for the MRU fast-path comparison.
     ptr: *const Partition,
     cfg: DynConfig,
+    /// Orec-table base pointer, snapshotted with `mask` at view creation
+    /// (stable for the attempt — see the module docs on resizes).
+    table: *const Orec,
+    /// Orec-table index mask (`orec_count - 1`).
+    mask: usize,
     /// Generation of the config word the view was decoded from. Stable for
     /// the whole attempt (quiesce protocol); kept for diagnostics and
     /// debug-mode verification at commit.
@@ -306,7 +333,11 @@ impl<'e, 's> Tx<'e, 's> {
     /// distinguish "stale view that validation would catch" from a genuine
     /// opacity hole.
     pub fn debug_validate(&self) -> (bool, usize, u64) {
-        (self.validate_read_set(), self.s.read_set.len(), self.s.rv)
+        (
+            self.validate_read_set().is_ok(),
+            self.s.read_set.len(),
+            self.s.rv,
+        )
     }
 
     /// The snapshot (read version) of this attempt.
@@ -393,11 +424,17 @@ impl<'e, 's> Tx<'e, 's> {
             return Err(Abort(()));
         }
         let ptr = Arc::as_ptr(&part);
+        // Snapshot the orec-table registers *after* observing the flag
+        // clear: the resize protocol swaps them only inside a flagged
+        // window our attempt provably does not straddle (module docs).
+        let (table, mask) = part.table_view();
         let i = self.s.views.len() as u32;
         self.s.views.push(PartView {
             part,
             ptr,
             cfg: config::decode(word),
+            table,
+            mask,
             generation: config::generation(word),
             stats: LocalStats::default(),
             wrote: false,
@@ -445,6 +482,23 @@ impl<'e, 's> Tx<'e, 's> {
             return Err(self.fail(ti, AbortKind::Switching));
         }
         Ok(ti)
+    }
+
+    /// Classifies a conflict against `orec` while accessing `addr` using
+    /// the orec's acquisition hint: same address → true data conflict,
+    /// different address → aliased (false) conflict. One relaxed load plus
+    /// a compare, on abort paths only — see the module docs. A zero hint
+    /// (no acquisition recorded yet) conservatively counts as true, so the
+    /// aliased share never over-reports.
+    #[inline]
+    fn note_conflict(&mut self, ti: u16, orec: &Orec, addr: usize) {
+        let hint = orec.hint_addr();
+        let stats = &mut self.s.views[ti as usize].stats;
+        if hint != 0 && hint != addr as u64 {
+            stats.conflicts_aliased += 1;
+        } else {
+            stats.conflicts_true += 1;
+        }
     }
 
     /// Records an abort cause against a partition and flags the attempt as
@@ -524,12 +578,15 @@ impl<'e, 's> Tx<'e, 's> {
             );
             return Ok(T::from_word(e.val));
         }
-        let cfg = self.s.views[ti as usize].cfg;
-        let orec = self.s.views[ti as usize]
-            .part
-            .orec_for(addr, cfg.granularity) as *const Orec;
+        let (orec, read_mode) = {
+            let v = &self.s.views[ti as usize];
+            // SAFETY: index masked into the view's table, alive for the
+            // partition's lifetime (module docs).
+            let orec = unsafe { v.table.add(orec_index(v.mask, addr, v.cfg.granularity)) };
+            (orec, v.cfg.read_mode)
+        };
         let cell = &var.cell as *const AtomicU64;
-        let w = match cfg.read_mode {
+        let w = match read_mode {
             ReadMode::Invisible => self.read_invisible(ti, orec, cell)?,
             ReadMode::Visible => self.read_visible(ti, orec, cell)?,
         };
@@ -573,10 +630,12 @@ impl<'e, 's> Tx<'e, 's> {
             e.val = value.to_word();
             return Ok(());
         }
-        let cfg = self.s.views[ti as usize].cfg;
-        let orec = self.s.views[ti as usize]
-            .part
-            .orec_for(addr, cfg.granularity) as *const Orec;
+        let (orec, acquire) = {
+            let v = &self.s.views[ti as usize];
+            // SAFETY: as in `read_at`.
+            let orec = unsafe { v.table.add(orec_index(v.mask, addr, v.cfg.granularity)) };
+            (orec, v.cfg.acquire)
+        };
         let wi = self.s.write_set.len();
         self.s.write_set.push(WriteEntry {
             var: &var.cell as *const AtomicU64,
@@ -587,7 +646,7 @@ impl<'e, 's> Tx<'e, 's> {
             touch: ti,
         });
         self.s.ws_index.insert(addr, wi as u32);
-        if cfg.acquire == AcquireMode::Encounter {
+        if acquire == AcquireMode::Encounter {
             self.acquire_orec(wi)?;
         }
         Ok(())
@@ -627,7 +686,7 @@ impl<'e, 's> Tx<'e, 's> {
                     // SAFETY: see above.
                     return Ok(unsafe { &*cell }.load(Ordering::Acquire));
                 }
-                self.wait_or_fail(ti, orec_ref, AbortKind::WLockConflict)?;
+                self.wait_or_fail(ti, orec_ref, AbortKind::WLockConflict, cell as usize)?;
                 continue;
             }
             // SAFETY: see above.
@@ -645,7 +704,11 @@ impl<'e, 's> Tx<'e, 's> {
                 self.extend(ti)?;
                 continue;
             }
-            self.s.read_set.push(ReadEntry { orec, seen: l1 });
+            self.s.read_set.push(ReadEntry {
+                orec,
+                seen: l1,
+                addr: cell as usize,
+            });
             return Ok(v);
         }
     }
@@ -667,7 +730,7 @@ impl<'e, 's> Tx<'e, 's> {
             if is_locked(l) && owner_of(l) != self.slot {
                 // A writer owns the orec. It may be waiting for (or
                 // killing) us; back off via the CM.
-                self.wait_or_fail(ti, orec_ref, AbortKind::RLockConflict)?;
+                self.wait_or_fail(ti, orec_ref, AbortKind::RLockConflict, cell as usize)?;
                 continue;
             }
             // SAFETY: as in `read_invisible`.
@@ -681,10 +744,15 @@ impl<'e, 's> Tx<'e, 's> {
     }
 
     /// Contention-managed wait on a locked orec; `Ok(())` means "retry the
-    /// protocol loop", `Err` means the attempt failed.
-    fn wait_or_fail(&mut self, ti: u16, orec: &Orec, kind: AbortKind) -> TxResult<()> {
+    /// protocol loop", `Err` means the attempt failed. `addr` is the word
+    /// address the caller was accessing, used to classify a final conflict
+    /// abort as true or aliased against the holder's acquisition hint.
+    fn wait_or_fail(&mut self, ti: u16, orec: &Orec, kind: AbortKind, addr: usize) -> TxResult<()> {
         match self.s.views[ti as usize].cfg.cm {
-            CmPolicy::SuicideBackoff => Err(self.fail(ti, kind)),
+            CmPolicy::SuicideBackoff => {
+                self.note_conflict(ti, orec, addr);
+                Err(self.fail(ti, kind))
+            }
             CmPolicy::DelayThenAbort => {
                 let slot = self.my_slot();
                 let serial = self.s.serial;
@@ -698,6 +766,7 @@ impl<'e, 's> Tx<'e, 's> {
                 if freed {
                     Ok(())
                 } else {
+                    self.note_conflict(ti, orec, addr);
                     Err(self.fail(ti, kind))
                 }
             }
@@ -708,21 +777,74 @@ impl<'e, 's> Tx<'e, 's> {
     /// revalidating every invisible read.
     fn extend(&mut self, ti: u16) -> TxResult<()> {
         let new_rv = self.stm.clock.now();
-        if self.validate_read_set() {
-            self.s.rv = new_rv;
-            self.s.views[ti as usize].stats.extensions += 1;
-            Ok(())
-        } else {
-            Err(self.fail(ti, AbortKind::Validation))
+        match self.validate_read_set() {
+            Ok(()) => {
+                self.s.rv = new_rv;
+                self.s.views[ti as usize].stats.extensions += 1;
+                Ok(())
+            }
+            Err(i) => {
+                self.note_failed_entry(ti, i);
+                Err(self.fail(ti, AbortKind::Validation))
+            }
         }
     }
 
-    fn validate_read_set(&self) -> bool {
-        for e in &self.s.read_set {
+    /// Classifies the validation failure of read-set entry `i` (true vs
+    /// aliased). The counters are attributed to the partition *owning the
+    /// failing orec* — found by locating the view whose cached table
+    /// contains the pointer (a linear scan over the handful of touched
+    /// views, abort path only) — so a multi-partition transaction never
+    /// charges aliasing to the wrong table. `ti` is the fallback when no
+    /// view matches (cannot happen for entries recorded this attempt, but
+    /// telemetry must not panic). The *abort* itself is still attributed
+    /// by the caller's `fail(ti, ..)`, unchanged.
+    fn note_failed_entry(&mut self, ti: u16, i: usize) {
+        let (orec, addr) = {
+            let e = &self.s.read_set[i];
+            (e.orec, e.addr)
+        };
+        let owner = self
+            .s
+            .views
+            .iter()
+            .position(|v| {
+                let lo = v.table as usize;
+                let hi = lo + (v.mask + 1) * core::mem::size_of::<Orec>();
+                (lo..hi).contains(&(orec as usize))
+            })
+            .map_or(ti, |p| p as u16);
+        // SAFETY: read-set orecs belong to touched partitions, alive for
+        // the attempt.
+        self.note_conflict(owner, unsafe { &*orec }, addr);
+    }
+
+    /// Validates the invisible read set in one batched pass: the next
+    /// entry's orec line is prefetched while the current one is checked,
+    /// consecutive entries on the same orec with the same observed word
+    /// collapse to one load (common under stripe granularity, where a
+    /// structure walk maps neighbouring nodes onto one orec), and the
+    /// first mismatching entry exits early.
+    ///
+    /// `Err(i)` reports the index of the failing entry (for aliasing
+    /// classification on the abort path).
+    fn validate_read_set(&self) -> Result<(), usize> {
+        let rs = &self.s.read_set;
+        let mut prev: *const Orec = core::ptr::null();
+        let mut prev_seen = 0u64;
+        for (i, e) in rs.iter().enumerate() {
+            if let Some(next) = rs.get(i + 1) {
+                prefetch_orec(next.orec);
+            }
+            if e.orec == prev && e.seen == prev_seen {
+                continue;
+            }
             // SAFETY: read-set orecs belong to touched partitions, alive
             // for the attempt.
             let l = unsafe { &*e.orec }.load_lock();
             if l == e.seen {
+                prev = e.orec;
+                prev_seen = e.seen;
                 continue;
             }
             if is_locked(l) && owner_of(l) == self.slot {
@@ -730,17 +852,17 @@ impl<'e, 's> Tx<'e, 's> {
                 // version then, and it cannot change while I hold the lock.
                 continue;
             }
-            return false;
+            return Err(i);
         }
-        true
+        Ok(())
     }
 
     /// Acquires the orec of write-set entry `wi` (encounter- or
     /// commit-time).
     fn acquire_orec(&mut self, wi: usize) -> TxResult<()> {
-        let (orec_ptr, ti) = {
+        let (orec_ptr, ti, addr) = {
             let e = &self.s.write_set[wi];
-            (e.orec, e.touch)
+            (e.orec, e.touch, e.var as usize)
         };
         // SAFETY: as in `read_invisible`.
         let orec = unsafe { &*orec_ptr };
@@ -755,7 +877,7 @@ impl<'e, 's> Tx<'e, 's> {
                     // Already held via an earlier write entry.
                     return Ok(());
                 }
-                self.wait_or_fail(ti, orec, AbortKind::WLockConflict)?;
+                self.wait_or_fail(ti, orec, AbortKind::WLockConflict, addr)?;
                 continue;
             }
             if version_of(l) > self.s.rv {
@@ -770,12 +892,20 @@ impl<'e, 's> Tx<'e, 's> {
                 e.acquired_here = true;
             }
             // Validate my earlier invisible reads of this orec: they must
-            // have seen exactly the pre-acquisition word.
-            for e in &self.s.read_set {
+            // have seen exactly the pre-acquisition word. (Classified
+            // against the hint *before* we overwrite it below — the hint
+            // still names the writer whose commit moved the version.)
+            for i in 0..self.s.read_set.len() {
+                let e = &self.s.read_set[i];
                 if e.orec == orec_ptr && e.seen != l {
+                    self.note_failed_entry(ti, i);
                     return Err(self.fail(ti, AbortKind::Validation));
                 }
             }
+            // Publish the acquisition address (aliasing telemetry): the
+            // CAS above made this line exclusively ours, so the store is
+            // effectively free.
+            orec.note_addr(addr);
             // Arbitrate with visible readers (TOCTOU-safe: checked after
             // the CAS, so any reader that registered before observing our
             // lock is seen here).
@@ -867,11 +997,14 @@ impl<'e, 's> Tx<'e, 's> {
             }
         }
         let wv = self.stm.clock.advance();
-        if self.s.rv + 1 != wv && !self.s.read_set.is_empty() && !self.validate_read_set() {
-            let ti = self.s.write_set[0].touch;
-            let _ = self.fail(ti, AbortKind::Validation);
-            self.rollback();
-            return false;
+        if self.s.rv + 1 != wv && !self.s.read_set.is_empty() {
+            if let Err(i) = self.validate_read_set() {
+                let ti = self.s.write_set[0].touch;
+                self.note_failed_entry(ti, i);
+                let _ = self.fail(ti, AbortKind::Validation);
+                self.rollback();
+                return false;
+            }
         }
         // Point of no return: write back, then release with the commit
         // version. Value stores are Release so a reader observing the new
@@ -1057,7 +1190,7 @@ impl<'e, 's> Tx<'e, 's> {
         }
         let new_rv = self.stm.clock.now();
         debug_assert!(new_rv >= v, "free tags never exceed the clock");
-        if self.validate_read_set() {
+        if self.validate_read_set().is_ok() {
             self.s.rv = new_rv;
             Ok(())
         } else {
@@ -1129,6 +1262,20 @@ impl Drop for Tx<'_, '_> {
 #[inline(always)]
 fn debug_assert_q(cond: bool, msg: &str) {
     debug_assert!(cond, "{msg}");
+}
+
+/// Hints the hardware to pull an orec's cache line while the validation
+/// pass still works on the previous entry. Advisory only: a no-op
+/// architecture (or a stale pointer) costs nothing in correctness.
+#[inline(always)]
+fn prefetch_orec(p: *const Orec) {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: prefetch has no memory effects and tolerates any address.
+    unsafe {
+        core::arch::x86_64::_mm_prefetch::<{ core::arch::x86_64::_MM_HINT_T0 }>(p as *const i8)
+    };
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = p;
 }
 
 impl ThreadCtx {
@@ -1454,6 +1601,131 @@ mod tests {
             });
         });
         drop(p);
+    }
+
+    #[test]
+    fn conflict_classification_separates_true_from_aliased() {
+        use std::sync::atomic::{AtomicBool, Ordering as AOrd};
+        // Single-orec partition: every address maps to orec 0, so a held
+        // encounter lock on `x` conflicts with *any* access — touching `y`
+        // is aliasing (the hint names x), touching `x` is a true conflict.
+        let stm = Stm::new();
+        let p = stm
+            .new_partition(PartitionConfig::named("alias").granularity(Granularity::PartitionLock));
+        let x = Arc::new(p.tvar(1u64));
+        let y = Arc::new(p.tvar(2u64));
+        let locked = Arc::new(AtomicBool::new(false));
+        let done = Arc::new(AtomicBool::new(false));
+        std::thread::scope(|s| {
+            {
+                let ctx = stm.register_thread();
+                let (x, locked, done) = (Arc::clone(&x), Arc::clone(&locked), Arc::clone(&done));
+                s.spawn(move || {
+                    ctx.run(|tx| {
+                        tx.write(&x, 10)?; // encounter lock; hint = addr of x
+                        locked.store(true, AOrd::Release);
+                        while !done.load(AOrd::Acquire) {
+                            std::thread::yield_now();
+                        }
+                        Ok(())
+                    });
+                });
+            }
+            while !locked.load(AOrd::Acquire) {
+                std::thread::yield_now();
+            }
+            let ctx = stm.register_thread();
+            // First attempt conflicts (and classifies); the second attempt
+            // backs out without touching anything so the run terminates
+            // while the writer still holds the lock.
+            let v = ctx.run(|tx| {
+                if tx.attempts() >= 1 {
+                    return Ok(0);
+                }
+                tx.read(&y)
+            });
+            assert_eq!(v, 0, "first attempt must have conflicted");
+            let v = ctx.run(|tx| {
+                if tx.attempts() >= 1 {
+                    return Ok(0);
+                }
+                tx.read(&x)
+            });
+            assert_eq!(v, 0, "first attempt must have conflicted");
+            done.store(true, AOrd::Release);
+        });
+        let st = p.stats();
+        assert_eq!(
+            st.conflicts_aliased, 1,
+            "conflict on y against a lock covering x is aliasing"
+        );
+        assert_eq!(
+            st.conflicts_true, 1,
+            "conflict on x against a lock covering x is a true conflict"
+        );
+        assert!((st.aliased_share() - 0.5).abs() < 1e-9);
+        assert_eq!(x.load_direct(), 10, "writer committed after the probe");
+    }
+
+    #[test]
+    fn validation_conflict_attributed_to_the_failing_orec_partition() {
+        use std::sync::atomic::{AtomicBool, Ordering as AOrd};
+        // A transaction reads partition B, writes partition A; a helper
+        // commits a write to the same B variable mid-transaction, so
+        // commit-time validation fails on one of *B's* orecs. The
+        // aliasing telemetry must land on B (the failing orec's owner),
+        // not on A (the write partition `fail()` charges the abort to).
+        let stm = Stm::new();
+        let pa = stm.new_partition(PartitionConfig::named("A"));
+        let pb = stm.new_partition(PartitionConfig::named("B"));
+        let a = Arc::new(pa.tvar(0u64));
+        let b = Arc::new(pb.tvar(0u64));
+        let read_done = Arc::new(AtomicBool::new(false));
+        let helper_done = Arc::new(AtomicBool::new(false));
+        std::thread::scope(|s| {
+            {
+                let ctx = stm.register_thread();
+                let (b, read_done, helper_done) = (
+                    Arc::clone(&b),
+                    Arc::clone(&read_done),
+                    Arc::clone(&helper_done),
+                );
+                s.spawn(move || {
+                    while !read_done.load(AOrd::Acquire) {
+                        std::thread::yield_now();
+                    }
+                    ctx.run(|tx| tx.modify(&b, |v| v + 1).map(|_| ()));
+                    helper_done.store(true, AOrd::Release);
+                });
+            }
+            let ctx = stm.register_thread();
+            let v = ctx.run(|tx| {
+                if tx.attempts() >= 1 {
+                    // First attempt must have failed validation; stop.
+                    return Ok(u64::MAX);
+                }
+                let vb = tx.read(&b)?;
+                read_done.store(true, AOrd::Release);
+                while !helper_done.load(AOrd::Acquire) {
+                    std::thread::yield_now();
+                }
+                tx.write(&a, vb + 1)?;
+                Ok(vb)
+            });
+            assert_eq!(v, u64::MAX, "first attempt must have aborted");
+        });
+        let (sa, sb) = (pa.stats(), pb.stats());
+        assert_eq!(sa.aborts_validation, 1, "abort charged to the writer");
+        assert_eq!(
+            sb.conflicts_true + sb.conflicts_aliased,
+            1,
+            "classification charged to the failing orec's partition"
+        );
+        assert_eq!(
+            sa.conflicts_true + sa.conflicts_aliased,
+            0,
+            "no classification on the write partition"
+        );
     }
 
     #[test]

@@ -8,7 +8,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use parking_lot::Mutex;
-use partstm_analysis::online::{OnlineAnalyzer, OnlineConfig, Proposal};
+use partstm_analysis::online::{OnlineAnalyzer, OnlineConfig, PartitionMeta, Proposal};
 use partstm_core::{
     AccessProfiler, Partition, PartitionConfig, PartitionId, StatCounters, Stm, SwitchOutcome,
 };
@@ -108,10 +108,23 @@ pub enum RepartEvent {
         /// Whole collections (arenas + roots) migrated.
         collections: usize,
     },
+    /// `partition`'s orec table was resized in place.
+    Resize {
+        /// The aliasing-bound partition.
+        partition: PartitionId,
+        /// Table size before the resize (records).
+        from: usize,
+        /// Table size after the resize (records).
+        to: usize,
+        /// Fraction of classified conflicts that were aliased.
+        aliased_share: f64,
+        /// Abort rate that triggered the resize.
+        abort_rate: f64,
+    },
     /// An approved action could not execute (directory had no handles, or
-    /// the repartition protocol reported contention/timeout).
+    /// the protocol reported contention/timeout).
     Failed {
-        /// `"split"` or `"merge"`.
+        /// `"split"`, `"merge"` or `"resize"`.
         action: &'static str,
         /// The partition the action targeted.
         src: PartitionId,
@@ -248,6 +261,16 @@ impl RepartitionController {
             .any(|e| matches!(e, RepartEvent::Split { .. }))
     }
 
+    /// True if any orec-table resize executed so far.
+    pub fn has_resize(&self) -> bool {
+        self.ctrl
+            .state
+            .lock()
+            .events
+            .iter()
+            .any(|e| matches!(e, RepartEvent::Resize { .. }))
+    }
+
     /// Stops the daemon (if spawned), uninstalls the profiler and returns
     /// the event log.
     pub fn stop(mut self) -> Vec<RepartEvent> {
@@ -295,24 +318,35 @@ fn step(ctrl: &Ctrl) {
     let samples = ctrl.profiler.drain();
     st.analyzer.observe_all(samples.iter());
 
-    // 2. Per-partition statistics delta over the window.
+    // 2. Per-partition statistics delta over the window, plus the runtime
+    // metadata (current orec-table sizes) resize proposals need.
     let mut delta = BTreeMap::new();
     let mut snap = BTreeMap::new();
+    let mut meta = BTreeMap::new();
     for p in ctrl.stm.partitions() {
         let s = p.stats();
         let base = st.last_stats.get(&p.id()).copied().unwrap_or_default();
         delta.insert(p.id(), s.delta(&base));
         snap.insert(p.id(), s);
+        meta.insert(
+            p.id(),
+            PartitionMeta {
+                orec_count: p.orec_count(),
+            },
+        );
     }
     st.last_stats = snap;
 
     // 3. Score proposals; maintain hysteresis streaks.
-    let proposals = st.analyzer.proposals(&delta, &ctrl.cfg.online);
+    let proposals = st
+        .analyzer
+        .proposals_with_meta(&delta, &meta, &ctrl.cfg.online);
     let keys: Vec<StreakKey> = proposals
         .iter()
         .map(|p| match p {
             Proposal::Split { src, .. } => ("split", *src),
             Proposal::Merge { src, .. } => ("merge", *src),
+            Proposal::Resize { partition, .. } => ("resize", *partition),
         })
         .collect();
     st.streaks.retain(|k, _| keys.contains(k));
@@ -442,6 +476,34 @@ fn step(ctrl: &Ctrl) {
                 });
                 st.analyzer.forget_partition(*src);
                 st.analyzer.forget_partition(*dst);
+            }
+            Proposal::Resize {
+                partition,
+                new_count,
+                aliased_share,
+                abort_rate,
+            } => {
+                let Some(part) = find_partition(&ctrl.stm, *partition) else {
+                    continue;
+                };
+                let from = part.orec_count();
+                let outcome = ctrl.stm.resize_orecs(&part, *new_count);
+                st.events.push(match outcome {
+                    SwitchOutcome::Switched => RepartEvent::Resize {
+                        partition: *partition,
+                        from,
+                        to: part.orec_count(),
+                        aliased_share: *aliased_share,
+                        abort_rate: *abort_rate,
+                    },
+                    other => RepartEvent::Failed {
+                        action: "resize",
+                        src: *partition,
+                        outcome: other,
+                    },
+                });
+                // The affinity graph stays: buckets are independent of the
+                // orec table (only the partition's *shape* is unchanged).
             }
         }
         st.streaks.clear();

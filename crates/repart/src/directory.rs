@@ -15,9 +15,13 @@
 //! maps to are *controller misses*: the analyzer sees heat the directory
 //! cannot act on. Both directories report those through
 //! [`partstm_core::rtlog`] so misconfigured registration is observable
-//! instead of silently degrading the loop.
+//! instead of silently degrading the loop — rate-limited to one message
+//! per [`MISS_REPORT_INTERVAL`] per directory (with a suppressed-count
+//! fold), so an aliasing storm that makes the controller retry every
+//! window cannot flood the log.
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use parking_lot::RwLock;
 use partstm_core::profiler::bucket_of;
@@ -96,12 +100,24 @@ pub trait PVarDirectory: Send + Sync {
     fn collect_all(&self, part: PartitionId) -> MoverSet;
 }
 
+/// Floor between unmapped-bucket warnings per directory: roughly one per
+/// controller window at the default interval, instead of one per retried
+/// action (suppressed repeats are counted and folded into the next
+/// message — see [`rtlog::Limiter`]).
+pub const MISS_REPORT_INTERVAL: Duration = Duration::from_secs(1);
+
 /// Counts how many of the requested `buckets` no candidate address hashes
-/// into, and warns through `rtlog` if any.
-fn report_unmapped(kind: &str, part: PartitionId, buckets: &[u16], covered: &Covered) {
+/// into, and warns (rate-limited) through `rtlog` if any.
+fn report_unmapped(
+    limiter: &rtlog::Limiter,
+    kind: &str,
+    part: PartitionId,
+    buckets: &[u16],
+    covered: &Covered,
+) {
     let unmapped = buckets.iter().filter(|&&b| !covered[b as usize]).count();
     if unmapped > 0 {
-        rtlog::warn(&format!(
+        limiter.warn(&format!(
             "{kind}: {unmapped} of {} hot buckets in partition {} map to \
              nothing registered; the controller cannot act on them",
             buckets.len(),
@@ -114,9 +130,18 @@ fn report_unmapped(kind: &str, part: PartitionId, buckets: &[u16], covered: &Cov
 /// demand by current binding and bucket. Registration is cheap
 /// (amortized push under a write lock); collection walks the registry —
 /// fine for control-plane use.
-#[derive(Default)]
 pub struct StaticDirectory {
     vars: RwLock<Vec<Arc<dyn Migratable>>>,
+    miss_limiter: rtlog::Limiter,
+}
+
+impl Default for StaticDirectory {
+    fn default() -> Self {
+        StaticDirectory {
+            vars: RwLock::default(),
+            miss_limiter: rtlog::Limiter::new(MISS_REPORT_INTERVAL),
+        }
+    }
 }
 
 impl StaticDirectory {
@@ -175,7 +200,13 @@ impl PVarDirectory for StaticDirectory {
     fn collect(&self, part: PartitionId, buckets: &[u16]) -> MoverSet {
         let mut covered: Covered = [false; PROFILE_BUCKETS as usize];
         let vars = self.collect_vars_into(part, buckets, &mut covered);
-        report_unmapped("StaticDirectory", part, buckets, &covered);
+        report_unmapped(
+            &self.miss_limiter,
+            "StaticDirectory",
+            part,
+            buckets,
+            &covered,
+        );
         MoverSet {
             vars,
             collections: Vec::new(),
@@ -225,10 +256,20 @@ const HOT_OVERREP: f64 = 2.0;
 /// Collections at least 2× over-represented (`HOT_OVERREP`) are selected
 /// and migrated *whole* (arena home, every slot, roots) — an arena-level
 /// split.
-#[derive(Default)]
 pub struct ArenaDirectory {
     collections: RwLock<Vec<Arc<dyn MigratableCollection>>>,
     vars: StaticDirectory,
+    miss_limiter: rtlog::Limiter,
+}
+
+impl Default for ArenaDirectory {
+    fn default() -> Self {
+        ArenaDirectory {
+            collections: RwLock::default(),
+            vars: StaticDirectory::default(),
+            miss_limiter: rtlog::Limiter::new(MISS_REPORT_INTERVAL),
+        }
+    }
 }
 
 impl ArenaDirectory {
@@ -289,7 +330,13 @@ impl PVarDirectory for ArenaDirectory {
         // Flat vars ride along exactly as in the static directory; its
         // unmapped-bucket report is folded into ours below.
         let vars = self.vars.collect_vars_into(part, buckets, &mut covered);
-        report_unmapped("ArenaDirectory", part, buckets, &covered);
+        report_unmapped(
+            &self.miss_limiter,
+            "ArenaDirectory",
+            part,
+            buckets,
+            &covered,
+        );
         MoverSet { vars, collections }
     }
 
@@ -401,6 +448,21 @@ mod tests {
         adir.register(Arc::clone(&x) as Arc<dyn Migratable>);
         let _ = adir.collect(a.id(), &buckets);
         assert_eq!(hits.load(Ordering::Relaxed), 2);
+
+        // Miss reports are rate-limited per directory: back-to-back
+        // misses inside the window fold into the first emission instead
+        // of flooding the log (one per window, not one per retry).
+        let sdir2 = StaticDirectory::new();
+        sdir2.register(Arc::clone(&x) as Arc<dyn Migratable>);
+        let _ = sdir2.collect(a.id(), &buckets);
+        assert_eq!(hits.load(Ordering::Relaxed), 3, "fresh limiter emits");
+        let _ = sdir2.collect(a.id(), &buckets);
+        let _ = sdir2.collect(a.id(), &buckets);
+        assert_eq!(
+            hits.load(Ordering::Relaxed),
+            3,
+            "repeats inside the window are suppressed"
+        );
 
         partstm_core::rtlog::set_handler(None);
     }

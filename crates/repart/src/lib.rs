@@ -91,6 +91,123 @@ mod tests {
         }
     }
 
+    /// End-to-end: uniform traffic over a big footprint guarded by a tiny
+    /// orec table aborts mostly on *aliased* conflicts; the controller
+    /// must execute a live orec-table resize (not a split — there is no
+    /// hot set) and the bank's total must be conserved across it.
+    #[test]
+    fn controller_resizes_an_aliasing_bound_partition() {
+        const ACCOUNTS: usize = 4096;
+        let stm = Stm::new();
+        let part = stm.new_partition(PartitionConfig::named("aliased").orecs(64));
+        let accounts: Vec<Arc<PVar<i64>>> =
+            (0..ACCOUNTS).map(|_| Arc::new(part.tvar(100))).collect();
+        let expect = ACCOUNTS as i64 * 100;
+        // Nothing registered: resizes act on the partition directly, no
+        // directory movers needed (and no split could execute anyway).
+        let dir = Arc::new(StaticDirectory::new());
+        let controller = RepartitionController::new(&stm, dir, ControllerConfig::responsive());
+        let from_orecs = part.orec_count();
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut resized = false;
+        std::thread::scope(|s| {
+            for t in 0..2usize {
+                let ctx = stm.register_thread();
+                let (accounts, stop) = (&accounts, Arc::clone(&stop));
+                s.spawn(move || {
+                    let mut r = (t as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                    while !stop.load(Ordering::Relaxed) {
+                        r ^= r << 13;
+                        r ^= r >> 7;
+                        r ^= r << 17;
+                        // Uniform transfers holding their encounter locks
+                        // across a reschedule: the stranded lock aliases
+                        // with ~everything in a 64-orec table.
+                        let from = (r % ACCOUNTS as u64) as usize;
+                        let to = ((r >> 8) % ACCOUNTS as u64) as usize;
+                        let amt = (r % 90) as i64;
+                        ctx.run(|tx| {
+                            let f = tx.read(&accounts[from])?;
+                            tx.write(&accounts[from], f - amt)?;
+                            std::thread::yield_now();
+                            let v = tx.read(&accounts[to])?;
+                            tx.write(&accounts[to], v + amt)?;
+                            Ok(())
+                        });
+                    }
+                });
+            }
+            // Uniform read-only scans aborting on the stranded locks —
+            // pure aliasing pressure.
+            {
+                let ctx = stm.register_thread();
+                let (accounts, stop) = (&accounts, Arc::clone(&stop));
+                s.spawn(move || {
+                    let mut x = 7u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        ctx.run(|tx| {
+                            let mut sum = 0i64;
+                            for _ in 0..32 {
+                                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                                sum += tx.read(&accounts[(x >> 16) as usize % ACCOUNTS])?;
+                            }
+                            Ok(sum)
+                        });
+                    }
+                });
+            }
+            let deadline = Instant::now() + Duration::from_secs(20);
+            while Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(50));
+                controller.step();
+                if controller.has_resize() {
+                    resized = true;
+                    break;
+                }
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+
+        assert!(
+            resized,
+            "controller never resized: {:?}",
+            controller.events()
+        );
+        let events = controller.stop();
+        let (from, to, aliased_share) = events
+            .iter()
+            .find_map(|e| match e {
+                RepartEvent::Resize {
+                    from,
+                    to,
+                    aliased_share,
+                    ..
+                } => Some((*from, *to, *aliased_share)),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(from, from_orecs, "resized from the initial table");
+        assert!(
+            to > from,
+            "aliasing pressure grows the table: {from} -> {to}"
+        );
+        assert_eq!(part.orec_count(), to, "table size matches the event");
+        assert!(part.resize_count() >= 1);
+        assert!(
+            aliased_share >= 0.5,
+            "conflicts were dominated by aliasing ({aliased_share})"
+        );
+        assert!(
+            !events
+                .iter()
+                .any(|e| matches!(e, RepartEvent::Split { .. })),
+            "diffuse workload must not split: {events:?}"
+        );
+        let total: i64 = accounts.iter().map(|a| a.load_direct()).sum();
+        assert_eq!(total, expect, "conserved sum across the live resize");
+    }
+
     /// End-to-end: a hot cluster hammered by writers makes the controller
     /// split the account partition, conserving the bank's total.
     #[test]

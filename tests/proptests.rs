@@ -8,7 +8,7 @@ use partstm::analysis::{
     merge_chain, partition, AccessKind, AccessSite, AllocSite, ProgramModel,
     Strategy as PartStrategy,
 };
-use partstm::core::{PartitionConfig, Stm, TxWord};
+use partstm::core::{MigratableCollection, PartitionConfig, Stm, TxWord};
 use partstm::structures::{Bank, IntSet, THashSet, TLinkedList, TRbTree, TSkipList};
 
 #[derive(Debug, Clone, Copy)]
@@ -26,8 +26,8 @@ fn op_strategy(key_range: u64) -> impl Strategy<Value = Op> {
     })
 }
 
-/// A structure op or an arena migration, for the migration-interleaving
-/// properties.
+/// A structure op or a structural action (migration, split, orec-table
+/// resize), for the interleaving properties.
 #[derive(Debug, Clone, Copy)]
 enum MigOp {
     Op(Op),
@@ -35,19 +35,27 @@ enum MigOp {
     Migrate(u8),
     /// Split the collection into a fresh partition.
     Split,
+    /// Resize the collection's current home orec table (size ladder
+    /// indexed by the payload).
+    Resize(u8),
 }
 
+/// The orec-table size ladder the resize interleavings walk.
+const RESIZE_LADDER: [usize; 4] = [32, 128, 512, 2048];
+
 fn mig_op_strategy(key_range: u64) -> impl Strategy<Value = MigOp> {
-    // Weighted by hand (the proptest shim has no `prop_oneof!`): 8/10
-    // structure ops, 1/10 whole-collection migrations, 1/10 splits.
+    // Weighted by hand (the proptest shim has no `prop_oneof!`): 7/10
+    // structure ops, 1/10 whole-collection migrations, 1/10 splits,
+    // 1/10 orec-table resizes.
     (0..10u8, 0..3u8, 0..key_range, 0..4u8).prop_map(|(w, kind, k, p)| match w {
-        0..=7 => MigOp::Op(match kind {
+        0..=6 => MigOp::Op(match kind {
             0 => Op::Insert(k),
             1 => Op::Remove(k),
             _ => Op::Contains(k),
         }),
-        8 => MigOp::Migrate(p),
-        _ => MigOp::Split,
+        7 => MigOp::Migrate(p),
+        8 => MigOp::Split,
+        _ => MigOp::Resize(p),
     })
 }
 
@@ -187,6 +195,21 @@ proptest! {
                     let expect: Vec<u64> = model.iter().copied().collect();
                     prop_assert_eq!(set.snapshot_keys(), expect, "after split step {}", i);
                 }
+                MigOp::Resize(p) => {
+                    // Resize the set's *current* home (which a preceding
+                    // Migrate/Split may just have changed): contents and
+                    // home must be untouched — only conflict-detection
+                    // granularity changes.
+                    let home = set.home_partition();
+                    let before = home.id();
+                    let _ = stm.resize_orecs(
+                        &home,
+                        RESIZE_LADDER[p as usize % RESIZE_LADDER.len()],
+                    );
+                    prop_assert_eq!(set.partition_of(), before, "resize moves no data");
+                    let expect: Vec<u64> = model.iter().copied().collect();
+                    prop_assert_eq!(set.snapshot_keys(), expect, "after resize step {}", i);
+                }
             }
         }
         let expect: Vec<u64> = model.into_iter().collect();
@@ -243,6 +266,56 @@ proptest! {
         } else {
             prop_assert_eq!(f64::from_word(f.to_word()), f);
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Conserved-sum invariant across an arbitrary orec-resize storm under
+    /// concurrent mutation: worker threads run transfers while the main
+    /// thread walks a generated resize sequence live on the same
+    /// partition. Every quiesce window the storm opens must drain and
+    /// restart the in-flight transfers without losing an update.
+    #[test]
+    fn bank_conserves_total_under_concurrent_resize_storm(
+        sizes in proptest::collection::vec(0..4u8, 2..10)
+    ) {
+        const ACCOUNTS: usize = 24;
+        let stm = Stm::new();
+        let part = stm.new_partition(PartitionConfig::named("storm").orecs(32));
+        let accounts: Vec<std::sync::Arc<partstm::core::PVar<i64>>> =
+            (0..ACCOUNTS).map(|_| std::sync::Arc::new(part.tvar(1_000))).collect();
+        std::thread::scope(|s| {
+            for t in 0..3usize {
+                let ctx = stm.register_thread();
+                let accounts = &accounts;
+                s.spawn(move || {
+                    let mut r = (t as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                    for _ in 0..400 {
+                        r ^= r << 13;
+                        r ^= r >> 7;
+                        r ^= r << 17;
+                        let from = (r % ACCOUNTS as u64) as usize;
+                        let to = ((r >> 8) % ACCOUNTS as u64) as usize;
+                        let amt = (r % 90) as i64;
+                        ctx.run(|tx| {
+                            let f = tx.read(&accounts[from])?;
+                            tx.write(&accounts[from], f - amt)?;
+                            let v = tx.read(&accounts[to])?;
+                            tx.write(&accounts[to], v + amt)?;
+                            Ok(())
+                        });
+                    }
+                });
+            }
+            for &sz in &sizes {
+                let _ = stm.resize_orecs(&part, RESIZE_LADDER[sz as usize % RESIZE_LADDER.len()]);
+                std::thread::yield_now();
+            }
+        });
+        let total: i64 = accounts.iter().map(|a| a.load_direct()).sum();
+        prop_assert_eq!(total, ACCOUNTS as i64 * 1_000, "sum conserved through the storm");
     }
 }
 

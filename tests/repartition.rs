@@ -124,6 +124,118 @@ fn bank_conserves_total_under_split_merge_migration_storm() {
     }
 }
 
+/// Orec-table resizes racing splits/migrates/merges on the *same*
+/// partitions, under live transfer traffic: the switching-flag CAS
+/// serializes the structural actions (losers observe `Contended` and roll
+/// back cleanly), and no interleaving may lose money or strand a stale
+/// table. The structural analogue of the resize-storm proptest, with real
+/// concurrency between the control-plane actors themselves.
+#[test]
+fn resize_racing_split_and_migrate_conserves_total() {
+    const N: usize = 48;
+    let stm = Stm::new();
+    let home = stm.new_partition(PartitionConfig::named("home").orecs(64));
+    let accounts: Vec<Arc<PVar<i64>>> = (0..N).map(|_| Arc::new(home.tvar(1_000))).collect();
+    let expect = N as i64 * 1_000;
+    let stop = Arc::new(AtomicBool::new(false));
+    let resizes_done = Arc::new(AtomicUsize::new(0));
+    let storms_done = Arc::new(AtomicUsize::new(0));
+
+    std::thread::scope(|s| {
+        // Transfer traffic on the bound API.
+        for t in 0..2usize {
+            let ctx = stm.register_thread();
+            let (accounts, stop) = (&accounts, Arc::clone(&stop));
+            s.spawn(move || {
+                let mut r = (t as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                while !stop.load(Ordering::Relaxed) {
+                    r ^= r << 13;
+                    r ^= r >> 7;
+                    r ^= r << 17;
+                    let from = (r % N as u64) as usize;
+                    let to = ((r >> 8) % N as u64) as usize;
+                    let amt = (r % 90) as i64;
+                    ctx.run(|tx| {
+                        let f = tx.read(&accounts[from])?;
+                        tx.write(&accounts[from], f - amt)?;
+                        let v = tx.read(&accounts[to])?;
+                        tx.write(&accounts[to], v + amt)?;
+                        Ok(())
+                    });
+                }
+            });
+        }
+        // Split/migrate/merge storm on `home` (as in the storm test).
+        {
+            let stm2 = stm.clone();
+            let home = Arc::clone(&home);
+            let (accounts, stop, storms_done) =
+                (&accounts, Arc::clone(&stop), Arc::clone(&storms_done));
+            s.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let evens: Vec<&dyn Migratable> = accounts
+                        .iter()
+                        .step_by(2)
+                        .map(|a| &**a as &dyn Migratable)
+                        .collect();
+                    let all: Vec<&dyn Migratable> =
+                        accounts.iter().map(|a| &**a as &dyn Migratable).collect();
+                    let (side, o1) =
+                        stm2.split_partition(&home, PartitionConfig::named("side"), &evens);
+                    let o2 = stm2.merge_partitions(&[&side], &home, &all);
+                    if o1 == SwitchOutcome::Switched && o2 == SwitchOutcome::Switched {
+                        storms_done.fetch_add(1, Ordering::Relaxed);
+                    }
+                    std::thread::yield_now();
+                }
+            });
+        }
+        // Resize storm on the same `home` partition: many attempts lose
+        // the flag race against the splitter (`Contended`) — they must
+        // roll back without a trace; winners swap the table live.
+        {
+            let stm3 = stm.clone();
+            let home = Arc::clone(&home);
+            let (stop, resizes_done) = (Arc::clone(&stop), Arc::clone(&resizes_done));
+            s.spawn(move || {
+                let ladder = [32usize, 256, 1024];
+                let mut i = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    i += 1;
+                    if stm3.resize_orecs(&home, ladder[i % ladder.len()]) == SwitchOutcome::Switched
+                    {
+                        resizes_done.fetch_add(1, Ordering::Relaxed);
+                    }
+                    std::thread::yield_now();
+                }
+            });
+        }
+        // Let the three actors collide for a while, then wind down.
+        let deadline = Instant::now() + Duration::from_secs(8);
+        while Instant::now() < deadline
+            && (resizes_done.load(Ordering::Relaxed) < 6 || storms_done.load(Ordering::Relaxed) < 3)
+        {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    let total: i64 = accounts.iter().map(|a| a.load_direct()).sum();
+    assert_eq!(total, expect, "sum conserved under resize/split races");
+    assert!(
+        resizes_done.load(Ordering::Relaxed) > 0,
+        "at least one resize must have won its race"
+    );
+    assert!(
+        storms_done.load(Ordering::Relaxed) > 0,
+        "at least one split+merge cycle must have completed"
+    );
+    assert_eq!(
+        home.resize_count(),
+        resizes_done.load(Ordering::Relaxed) as u64
+    );
+}
+
 /// Migration mid-traffic moves variables without losing updates even when
 /// the destination keeps absorbing writes immediately after the switch.
 #[test]
