@@ -171,6 +171,12 @@ pub enum Proposal {
 pub struct PartitionMeta {
     /// Current orec-table size (records).
     pub orec_count: usize,
+    /// Current version-ring depth (committed versions kept per orec for
+    /// the snapshot read path). Telemetry for now: proposals do not yet
+    /// resize rings, but reports carry the depth so an operator can
+    /// correlate `ring_overflow_pushes` pressure with the configured
+    /// history capacity.
+    pub ring_depth: usize,
 }
 
 /// Per-partition aggregate the analyzer keeps alongside the graph.
@@ -666,7 +672,13 @@ mod tests {
 
     fn meta_of(orecs: usize) -> BTreeMap<PartitionId, PartitionMeta> {
         let mut m = BTreeMap::new();
-        m.insert(PartitionId(0), PartitionMeta { orec_count: orecs });
+        m.insert(
+            PartitionId(0),
+            PartitionMeta {
+                orec_count: orecs,
+                ring_depth: 4,
+            },
+        );
         m
     }
 

@@ -1,0 +1,161 @@
+//! `bench_compare` — the regression gate behind CI's `bench-trend` job.
+//!
+//! Compares a freshly measured `BENCH_repro.json` against the committed
+//! baseline and fails (exit 1) when a *gated* metric regressed:
+//!
+//! * higher-is-better metrics named `recovery`, `tail_kops` or
+//!   `read_kops` may not drop by more than the threshold (default 30%,
+//!   `--threshold 0.30`) relative to a positive baseline — generous on
+//!   purpose, since CI runners are noisy and `--quick` runs are short;
+//! * `ro_aborts` may not become non-zero when the baseline recorded
+//!   zero: snapshot read-only transactions aborting at all is a
+//!   correctness regression of the multi-version read path, not noise.
+//!
+//! Everything else is reported for the diff artifact but never gates.
+//! Scenarios present on only one side are listed as added/removed and do
+//! not fail the run (new benchmarks must be able to land with their
+//! first baseline).
+//!
+//! ```text
+//! bench_compare <baseline.json> <fresh.json> [--threshold F] [--out FILE]
+//! ```
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+use partstm_analysis::json::Json;
+
+/// Higher-is-better metrics gated against the relative-drop threshold.
+const GATED: [&str; 3] = ["recovery", "tail_kops", "read_kops"];
+
+/// One parsed document: scenario name → (metric name, value) list.
+type Doc = Vec<(String, Vec<(String, f64)>)>;
+
+fn load(path: &str) -> Doc {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("bench_compare: reading {path}: {e}"));
+    let doc = Json::parse(&text).unwrap_or_else(|e| panic!("bench_compare: {path}: {e:?}"));
+    let scenarios = doc
+        .get("scenarios")
+        .and_then(Json::as_arr)
+        .unwrap_or_else(|| panic!("bench_compare: {path}: no scenarios array"));
+    scenarios
+        .iter()
+        .map(|s| {
+            let name = s
+                .get("name")
+                .and_then(Json::as_str)
+                .expect("scenario has a name")
+                .to_owned();
+            let metrics = match s.get("metrics") {
+                Some(Json::Obj(members)) => members
+                    .iter()
+                    .filter_map(|(k, v)| match v {
+                        Json::Num(n) => Some((k.clone(), *n)),
+                        _ => None,
+                    })
+                    .collect(),
+                _ => Vec::new(),
+            };
+            (name, metrics)
+        })
+        .collect()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut threshold = 0.30f64;
+    let mut out = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threshold" => {
+                threshold = args[i + 1].parse().expect("--threshold takes a float");
+                i += 2;
+            }
+            "--out" => {
+                out = Some(args[i + 1].clone());
+                i += 2;
+            }
+            other => {
+                paths.push(other.to_owned());
+                i += 1;
+            }
+        }
+    }
+    if paths.len() != 2 {
+        eprintln!("usage: bench_compare <baseline.json> <fresh.json> [--threshold F] [--out FILE]");
+        return ExitCode::from(2);
+    }
+    let base = load(&paths[0]);
+    let fresh = load(&paths[1]);
+
+    let mut report = String::new();
+    let mut regressions = 0usize;
+    let _ = writeln!(
+        report,
+        "bench_compare: {} (baseline) vs {} (fresh), threshold {:.0}%\n",
+        paths[0],
+        paths[1],
+        threshold * 100.0
+    );
+    let _ = writeln!(
+        report,
+        "{:<40} {:>16} {:>12} {:>12} {:>8}  verdict",
+        "scenario/metric", "", "baseline", "fresh", "delta%"
+    );
+
+    for (name, base_metrics) in &base {
+        let Some((_, fresh_metrics)) = fresh.iter().find(|(n, _)| n == name) else {
+            let _ = writeln!(report, "{name:<40} REMOVED from fresh run");
+            continue;
+        };
+        for (metric, b) in base_metrics {
+            let Some((_, f)) = fresh_metrics.iter().find(|(m, _)| m == metric) else {
+                continue;
+            };
+            let delta = if *b != 0.0 { (f - b) / b * 100.0 } else { 0.0 };
+            let verdict = if GATED.contains(&metric.as_str()) && *b > 0.0 && (b - f) / b > threshold
+            {
+                regressions += 1;
+                "REGRESSED"
+            } else if metric == "ro_aborts" && *f > 0.0 && *b == 0.0 {
+                regressions += 1;
+                "REGRESSED (aborts appeared)"
+            } else if GATED.contains(&metric.as_str()) || metric == "ro_aborts" {
+                "ok"
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                report,
+                "{:<40} {:>16} {:>12.3} {:>12.3} {:>7.1}%  {verdict}",
+                name, metric, b, f, delta
+            );
+        }
+    }
+    for (name, _) in &fresh {
+        if !base.iter().any(|(n, _)| n == name) {
+            let _ = writeln!(report, "{name:<40} ADDED (no baseline yet)");
+        }
+    }
+    let _ = writeln!(
+        report,
+        "\n{} gated regression(s) beyond {:.0}%",
+        regressions,
+        threshold * 100.0
+    );
+
+    print!("{report}");
+    if let Some(path) = out {
+        std::fs::write(&path, &report)
+            .unwrap_or_else(|e| panic!("bench_compare: writing {path}: {e}"));
+        eprintln!("[bench_compare] wrote diff to {path}");
+    }
+    if regressions > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! repro <experiment>.. [--secs S] [--threads 1,2,4,...] [--quick] [--json [file]]
-//! experiments: f2 f3 f4 t1 t2 f5 f6 f7 f8 a1 a2 a3 repart orecs all
+//! experiments: f2 f3 f4 t1 t2 f5 f6 f7 f8 a1 a2 a3 repart orecs readpath all
 //! ```
 //!
 //! Several experiments may be named in one invocation (`repro repart
@@ -27,6 +27,7 @@ use partstm_bench::orec_pressure::{run_orec_pressure, OrecPressureConfig};
 use partstm_bench::phase_shift::{
     run_phase_shift, run_struct_shift, PhaseShiftConfig, PhaseShiftReport,
 };
+use partstm_bench::readpath::{run_readpath, ReadpathConfig, ReadpathReport};
 use partstm_bench::{
     config_label, drive, drive_timeseries, intset_op, kops, partition_with, prefill, snapshot_all,
     static_configs, thread_sweep,
@@ -113,7 +114,7 @@ fn main() {
     let (cmds, flags) = args.split_at(split);
     if cmds.is_empty() {
         eprintln!(
-            "usage: repro <f2|f3|f4|t1|t2|f5|f6|f7|f8|a1|a2|a3|repart|orecs|all>.. \
+            "usage: repro <f2|f3|f4|t1|t2|f5|f6|f7|f8|a1|a2|a3|repart|orecs|readpath|all>.. \
              [--secs S] [--threads ..] [--quick] [--json [file]]"
         );
         std::process::exit(2);
@@ -136,6 +137,7 @@ fn main() {
             "a3" => a3(&opts),
             "repart" => repart(&opts),
             "orecs" => orecs(&opts),
+            "readpath" => readpath(&opts),
             "all" => {
                 f2(&opts);
                 f3(&opts);
@@ -151,6 +153,7 @@ fn main() {
                 a3(&opts);
                 repart(&opts);
                 orecs(&opts);
+                readpath(&opts);
             }
             other => {
                 eprintln!("unknown experiment {other}");
@@ -949,6 +952,74 @@ fn orecs(opts: &Opts) {
                     r.resize_window.map(|w| w as f64).unwrap_or(-1.0),
                 ),
                 ("gain_vs_static", r.tail / stat.tail.max(1.0)),
+            ],
+        );
+    }
+}
+
+// ---------------------------------------------------------------- READPATH
+
+/// Read-path scenario: a 95/5 read-dominated bank on a commit-time
+/// partition, run once through the multi-version snapshot tier and once
+/// through the regular validating tier with identical traffic. The
+/// snapshot side must report **zero** read-transaction aborts
+/// (acceptance criterion), and both sides report read-txn throughput
+/// and tail latency separately from the writer side.
+fn readpath(opts: &Opts) {
+    let threads = (*opts.threads.last().unwrap_or(&4)).clamp(2, 8);
+    let total = (opts.secs * 8.0).clamp(2.0, 6.0);
+    let cfg = ReadpathConfig::standard(threads, total);
+    println!(
+        "\n=== READPATH: 95/5 read-dominated bank ({} accounts, scans of {}, \
+         ring depth {}), {threads} threads, {total:.1}s per mode ===",
+        cfg.accounts, cfg.scan_len, cfg.ring_depth
+    );
+    let snap = run_readpath(&cfg);
+    let val = run_readpath(&cfg.clone().validating());
+
+    println!(
+        "{:>12} {:>10} {:>10} {:>9} {:>9} {:>9} {:>9} {:>7}",
+        "mode", "read K/s", "write K/s", "p50(us)", "p99(us)", "aborts", "restarts", "hist%"
+    );
+    let line = |label: &str, r: &ReadpathReport| {
+        println!(
+            "{label:>12} {:>10.1} {:>10.1} {:>9.1} {:>9.1} {:>9} {:>9} {:>7.2}",
+            r.read_kops,
+            r.write_kops,
+            r.read_p50_us,
+            r.read_p99_us,
+            r.ro_aborts,
+            r.ro_restarts,
+            100.0 * r.hist_share,
+        );
+    };
+    line("snapshot", &snap);
+    line("validating", &val);
+    println!(
+        "snapshot: {} history reads, {} ring-overflow pushes; \
+         zero-abort criterion: {}",
+        snap.hist_reads,
+        snap.overflow_pushes,
+        if snap.ro_aborts == 0 { "MET" } else { "MISSED" }
+    );
+    assert!(snap.conserved && val.conserved, "conserved-sum violated");
+    assert_eq!(
+        snap.ro_aborts, 0,
+        "snapshot read-only transactions must never abort"
+    );
+
+    for (name, r) in [("readpath/snapshot", &snap), ("readpath/validating", &val)] {
+        opts.rec.record(
+            name,
+            &[
+                ("read_kops", r.read_kops),
+                ("write_kops", r.write_kops),
+                ("read_p50_us", r.read_p50_us),
+                ("read_p99_us", r.read_p99_us),
+                ("ro_aborts", r.ro_aborts as f64),
+                ("ro_restarts", r.ro_restarts as f64),
+                ("hist_share", r.hist_share),
+                ("overflow_pushes", r.overflow_pushes as f64),
             ],
         );
     }

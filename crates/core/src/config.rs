@@ -91,6 +91,18 @@ pub const MIN_ORECS: usize = 8;
 /// past that, aliasing pressure is better answered by a partition split).
 pub const MAX_ORECS: usize = 1 << 20;
 
+/// Smallest per-orec version-ring depth. One slot still gives snapshot
+/// readers the single most recent overwritten value, which covers the
+/// common "reader raced one commit" case; depth 0 would force every
+/// protected publication into the overflow list.
+pub const MIN_RING_DEPTH: usize = 1;
+
+/// Largest per-orec version-ring depth a configuration may request. Rings
+/// are allocated as `orec_count × depth` slots of 32 bytes; at depth 64 a
+/// default 2048-orec table already costs 4 MiB — beyond that, history
+/// should come from a coarser table, not a deeper ring.
+pub const MAX_RING_DEPTH: usize = 64;
+
 /// Full (user-facing) partition configuration.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PartitionConfig {
@@ -112,6 +124,12 @@ pub struct PartitionConfig {
     pub cm: CmPolicy,
     /// Writer-vs-visible-readers arbitration.
     pub reader_arb: ReaderArb,
+    /// Per-orec version-ring depth: how many overwritten `(address, value,
+    /// overwritten-at)` records each orec retains for the snapshot read
+    /// path (see [`crate::snapshot`]). Clamped to
+    /// [`MIN_RING_DEPTH`]..=[`MAX_RING_DEPTH`]. Memory cost is
+    /// `orec_count × ring_depth × 32` bytes per partition.
+    pub ring_depth: usize,
     /// Whether the runtime tuner may reconfigure this partition.
     pub tune: bool,
 }
@@ -126,6 +144,7 @@ impl Default for PartitionConfig {
             granularity: Granularity::Word,
             cm: CmPolicy::SuicideBackoff,
             reader_arb: ReaderArb::WriterWinsKill,
+            ring_depth: 4,
             tune: false,
         }
     }
@@ -173,6 +192,13 @@ impl PartitionConfig {
     /// Builder-style setter for [`ReaderArb`].
     pub fn reader_arb(mut self, arb: ReaderArb) -> Self {
         self.reader_arb = arb;
+        self
+    }
+
+    /// Builder-style setter for the per-orec version-ring depth (clamped
+    /// to [`MIN_RING_DEPTH`]..=[`MAX_RING_DEPTH`] at partition creation).
+    pub fn ring(mut self, depth: usize) -> Self {
+        self.ring_depth = depth;
         self
     }
 
@@ -350,6 +376,7 @@ mod tests {
         assert_eq!(c.acquire, AcquireMode::Encounter);
         assert_eq!(c.granularity, Granularity::Word);
         assert_eq!(c.orec_count, 2048);
+        assert_eq!(c.ring_depth, 4);
         assert!(!c.tune);
     }
 
@@ -362,6 +389,7 @@ mod tests {
             .orecs(128)
             .cm(CmPolicy::DelayThenAbort)
             .reader_arb(ReaderArb::ReaderWins)
+            .ring(8)
             .tunable();
         assert_eq!(c.name, "tree");
         assert_eq!(c.read_mode, ReadMode::Visible);
@@ -370,6 +398,7 @@ mod tests {
         assert_eq!(c.orec_count, 128);
         assert_eq!(c.cm, CmPolicy::DelayThenAbort);
         assert_eq!(c.reader_arb, ReaderArb::ReaderWins);
+        assert_eq!(c.ring_depth, 8);
         assert!(c.tune);
     }
 

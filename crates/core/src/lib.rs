@@ -69,6 +69,7 @@ pub mod profiler;
 pub mod pvar;
 pub mod repartition;
 pub mod rtlog;
+pub mod snapshot;
 pub mod stats;
 pub mod stm;
 pub mod tuner;
@@ -85,6 +86,7 @@ pub use partition::{Partition, PartitionId};
 pub use profiler::{AccessProfiler, BucketTouch, SampleTouch, TxSample, PROFILE_BUCKETS};
 pub use pvar::{Migratable, PVar, PVarBinding, PVarFields};
 pub use repartition::{CollectionRegistry, MigratableCollection, MigrationSource};
+pub use snapshot::ReadTx;
 pub use stats::StatCounters;
 pub use stm::{Stm, StmBuilder, SwitchOutcome, ThreadCtx, MAX_THREADS};
 pub use tuner::{TuneInput, TuningPolicy};

@@ -15,6 +15,19 @@
 //! * `readers` — visible-reader bitmap; bit *i* set means thread slot *i*
 //!   currently holds a visible read on this orec. Only used while the
 //!   partition runs in [`crate::config::ReadMode::Visible`].
+//!
+//! ## Version rings
+//!
+//! Each orec additionally owns a small *version ring*: `ring_depth`
+//! [`RingSlot`]s, allocated by the partition as one flat array parallel to
+//! the orec table. A committing writer, while still holding the orec's
+//! write-lock, publishes the value it is about to overwrite as
+//! `(address, old value, overwritten-at = wv)` into one slot; the snapshot
+//! read path ([`crate::snapshot`]) uses these records to serve a value
+//! that was current at its pinned timestamp even after later commits have
+//! overwritten the live cell. Slots are written only by the orec's current
+//! lock holder (so publications are mutually serialized) and read by
+//! anyone, via a per-slot seqlock.
 
 use core::sync::atomic::{AtomicU64, Ordering};
 
@@ -96,6 +109,16 @@ pub struct Orec {
     /// Word address of the last write acquisition (0 = none yet);
     /// aliasing telemetry only, see the type docs.
     pub hint: AtomicU64,
+    /// Ring-scan seqlock: odd while a version-ring publish for this orec
+    /// is in flight, bumped twice per publish. A snapshot reader's ring
+    /// scan is not atomic, so commits can cycle records *behind* its scan
+    /// cursor — publishing the record it needs into a slot it has already
+    /// visited. A scan that overlapped any publish (epoch odd, or changed
+    /// across the scan) must retry; see the marching-eviction hazard in
+    /// [`crate::snapshot`]. Bumps never race each other: publishes happen
+    /// only under this orec's write lock. Fits the existing 64-byte
+    /// padding, so the field is free.
+    pub ring_epoch: AtomicU64,
 }
 
 impl Default for Orec {
@@ -104,6 +127,7 @@ impl Default for Orec {
             lock: AtomicU64::new(make_version(0)),
             readers: AtomicU64::new(0),
             hint: AtomicU64::new(0),
+            ring_epoch: AtomicU64::new(0),
         }
     }
 }
@@ -172,6 +196,108 @@ impl Orec {
     #[inline(always)]
     pub fn hint_addr(&self) -> u64 {
         self.hint.load(Ordering::Relaxed)
+    }
+
+    /// Opens the ring-scan seqlock for one version-ring publish (-> odd).
+    /// Caller must hold this orec's write lock.
+    #[inline(always)]
+    pub fn ring_publish_begin(&self) {
+        self.ring_epoch.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Closes the ring-scan seqlock after a publish (-> even).
+    #[inline(always)]
+    pub fn ring_publish_end(&self) {
+        self.ring_epoch.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Current ring-scan epoch (odd = a publish is in flight). Snapshot
+    /// readers bracket their ring scan with two loads and retry unless
+    /// both are the same even value.
+    #[inline(always)]
+    pub fn ring_epoch(&self) -> u64 {
+        self.ring_epoch.load(Ordering::SeqCst)
+    }
+}
+
+/// One record of an orec's version ring: a committed value that has since
+/// been overwritten, tagged with the word address it belonged to and the
+/// commit timestamp `to` of the commit that overwrote it.
+///
+/// The validity interval needs no explicit lower bound: per address, `to`
+/// stamps are exactly the address's commit points, so "the value current
+/// at time `T`" is the value of the record with the *smallest `to`
+/// strictly greater than `T`" — and the live cell when no such record
+/// exists (see the [`crate::snapshot`] module docs for the proof).
+///
+/// Concurrency: `publish` is called only while the caller holds the
+/// owning orec's write-lock, so writers never race each other on a slot;
+/// readers race writers and are fenced out by the `seq` seqlock (odd =
+/// mid-publication). `to == 0` marks an empty slot — commit timestamps
+/// start at 1, so 0 is never a valid stamp.
+#[derive(Debug, Default)]
+pub struct RingSlot {
+    /// Seqlock word: odd while a publication is in progress.
+    seq: AtomicU64,
+    /// Word address the recorded value belonged to.
+    addr: AtomicU64,
+    /// The overwritten value.
+    val: AtomicU64,
+    /// Commit timestamp of the overwriting commit (0 = slot empty).
+    to: AtomicU64,
+}
+
+impl RingSlot {
+    /// The record's `to` stamp (0 = empty). Racy by design: victim
+    /// selection tolerates a concurrent publication (the caller holds the
+    /// orec lock, so on the write path there is none).
+    #[inline(always)]
+    pub fn close_stamp(&self) -> u64 {
+        self.to.load(Ordering::SeqCst)
+    }
+
+    /// Overwrites the slot with a fresh record. Caller must hold the
+    /// owning orec's write-lock.
+    #[inline]
+    pub fn publish(&self, addr: u64, val: u64, to: u64) {
+        let s = self.seq.load(Ordering::Relaxed);
+        self.seq.store(s.wrapping_add(1), Ordering::SeqCst); // -> odd
+        self.addr.store(addr, Ordering::SeqCst);
+        self.val.store(val, Ordering::SeqCst);
+        self.to.store(to, Ordering::SeqCst);
+        self.seq.store(s.wrapping_add(2), Ordering::SeqCst); // -> even
+    }
+
+    /// Clears the slot (control-plane only: inside a quiesce window, or on
+    /// a freshly allocated ring).
+    pub fn clear(&self) {
+        self.addr.store(0, Ordering::SeqCst);
+        self.val.store(0, Ordering::SeqCst);
+        self.to.store(0, Ordering::SeqCst);
+    }
+
+    /// Reads a stable `(addr, val, to)` triple, spinning out concurrent
+    /// publications (they are three stores under the orec lock, so the
+    /// wait is short; `to == 0` in the result means the slot is empty).
+    pub fn read_stable(&self) -> (u64, u64, u64) {
+        let mut spins = 0u32;
+        loop {
+            let s1 = self.seq.load(Ordering::SeqCst);
+            if s1.is_multiple_of(2) {
+                let addr = self.addr.load(Ordering::SeqCst);
+                let val = self.val.load(Ordering::SeqCst);
+                let to = self.to.load(Ordering::SeqCst);
+                if self.seq.load(Ordering::SeqCst) == s1 {
+                    return (addr, val, to);
+                }
+            }
+            spins += 1;
+            if spins.is_multiple_of(64) {
+                std::thread::yield_now();
+            } else {
+                core::hint::spin_loop();
+            }
+        }
     }
 }
 
@@ -247,6 +373,27 @@ mod tests {
         assert_eq!(o.hint_addr(), 0xDEAD_BEE8);
         o.note_addr(0x1000);
         assert_eq!(o.hint_addr(), 0x1000, "latest acquisition wins");
+    }
+
+    #[test]
+    fn ring_slot_publish_read_clear_roundtrip() {
+        let s = RingSlot::default();
+        assert_eq!(s.close_stamp(), 0, "fresh slot is empty");
+        assert_eq!(s.read_stable().2, 0);
+        s.publish(0xBEE8, 41, 7);
+        assert_eq!(s.close_stamp(), 7);
+        assert_eq!(s.read_stable(), (0xBEE8, 41, 7));
+        s.publish(0x1000, 99, 12);
+        assert_eq!(s.read_stable(), (0x1000, 99, 12), "latest record wins");
+        s.clear();
+        assert_eq!(s.close_stamp(), 0);
+    }
+
+    #[test]
+    fn ring_slot_is_32_bytes() {
+        // 32 bytes keeps a depth-4 ring on two cache lines; the partition
+        // sizes its flat ring allocation as orec_count * depth of these.
+        assert_eq!(core::mem::size_of::<RingSlot>(), 32);
     }
 
     #[test]

@@ -13,7 +13,7 @@ use crossbeam_utils::CachePadded;
 use parking_lot::Mutex;
 
 use crate::config::{self, DynConfig, Granularity, PartitionConfig};
-use crate::orec::Orec;
+use crate::orec::{Orec, RingSlot};
 use crate::stats::{PartitionStats, StatCounters};
 
 /// Identifier of a partition within one [`crate::Stm`] instance.
@@ -40,6 +40,31 @@ pub(crate) struct TuneState {
 struct TableHold {
     current: Box<[Orec]>,
     retired: Vec<Box<[Orec]>>,
+    /// Version-ring allocation for `current` (`current.len() × ring
+    /// depth` slots, flat), plus rings parked by resizes/depth changes —
+    /// the same park-don't-free liveness idiom as `retired`.
+    ring: Box<[RingSlot]>,
+    retired_rings: Vec<Box<[RingSlot]>>,
+}
+
+/// One record evicted (or diverted) from an orec's version ring into the
+/// partition's overflow list because a pinned snapshot reader may still
+/// need it. Same semantics as [`RingSlot`], without the seqlock (the list
+/// is mutex-guarded).
+#[derive(Debug, Clone, Copy)]
+struct OverflowRecord {
+    addr: usize,
+    val: u64,
+    to: u64,
+}
+
+/// The overflow list plus its amortized-prune watermark.
+#[derive(Debug, Default)]
+struct Overflow {
+    records: Vec<OverflowRecord>,
+    /// Next length at which a prune pass runs (doubling watermark keeps
+    /// pruning O(1) amortized per push).
+    prune_at: usize,
 }
 
 /// A data partition with private STM metadata. Created via
@@ -59,6 +84,19 @@ pub struct Partition {
     /// — see the `txn` module docs).
     table: AtomicPtr<Orec>,
     mask: AtomicUsize,
+    /// Hot-path view of the version rings: flat base pointer
+    /// (`orec_count × ring_depth` slots; orec *i* owns slots
+    /// `i*depth..(i+1)*depth`) and the depth. Swapped only inside the
+    /// same flag→quiesce windows as `table`/`mask`.
+    ring: AtomicPtr<RingSlot>,
+    ring_depth: AtomicUsize,
+    /// Ring records that could not be recycled in place because a pinned
+    /// snapshot reader may still need the victim (see
+    /// [`crate::snapshot`]); consulted by readers on a ring miss.
+    overflow: Mutex<Overflow>,
+    /// `overflow.records.len()` mirror, so the read path can skip the
+    /// mutex when the list is empty (the overwhelmingly common case).
+    overflow_len: AtomicUsize,
     /// Owning allocations behind `table` (current + parked retirees).
     tables: Mutex<TableHold>,
     /// Completed in-place orec-table resizes (see
@@ -85,6 +123,14 @@ fn alloc_table(n: usize, version: u64) -> Box<[Orec]> {
     orecs.into_boxed_slice()
 }
 
+/// Allocates a flat, empty version-ring array for `n` orecs of `depth`
+/// slots each.
+fn alloc_ring(n: usize, depth: usize) -> Box<[RingSlot]> {
+    let mut slots = Vec::with_capacity(n * depth);
+    slots.resize_with(n * depth, RingSlot::default);
+    slots.into_boxed_slice()
+}
+
 /// Maps a word address to an orec index under granularity `g` for a table
 /// with index mask `mask`. Shared by the engine's cached-view hot path and
 /// the partition's own control-plane [`Partition::orec_for`].
@@ -101,8 +147,13 @@ pub(crate) fn orec_index(mask: usize, addr: usize, g: Granularity) -> usize {
 impl Partition {
     pub(crate) fn new(id: PartitionId, stm_id: u64, cfg: &PartitionConfig) -> Arc<Self> {
         let n = cfg.orec_count.next_power_of_two().max(1);
+        let depth = cfg
+            .ring_depth
+            .clamp(config::MIN_RING_DEPTH, config::MAX_RING_DEPTH);
         let current = alloc_table(n, 0);
         let table = AtomicPtr::new(current.as_ptr() as *mut Orec);
+        let ring = alloc_ring(n, depth);
+        let ring_ptr = AtomicPtr::new(ring.as_ptr() as *mut RingSlot);
         Arc::new(Partition {
             id,
             stm_id,
@@ -114,9 +165,15 @@ impl Partition {
             config: CachePadded::new(AtomicU64::new(config::encode(DynConfig::from(cfg), 0))),
             table,
             mask: AtomicUsize::new(n - 1),
+            ring: ring_ptr,
+            ring_depth: AtomicUsize::new(depth),
+            overflow: Mutex::new(Overflow::default()),
+            overflow_len: AtomicUsize::new(0),
             tables: Mutex::new(TableHold {
                 current,
                 retired: Vec::new(),
+                ring,
+                retired_rings: Vec::new(),
             }),
             resizes: AtomicU64::new(0),
             stats: PartitionStats::default(),
@@ -149,6 +206,64 @@ impl Partition {
     /// Completed in-place orec-table resizes.
     pub fn resize_count(&self) -> u64 {
         self.resizes.load(Ordering::Relaxed)
+    }
+
+    /// Version-ring depth: committed-version records each orec retains for
+    /// the snapshot read path (see [`crate::snapshot`]). Changed live by
+    /// [`crate::Stm::set_ring_depth`].
+    pub fn ring_depth(&self) -> usize {
+        self.ring_depth.load(Ordering::Acquire)
+    }
+
+    /// Records currently parked on the overflow list — ring evictions
+    /// diverted because a pinned snapshot reader might still need them.
+    /// Exposed as telemetry: a persistently large overflow means the ring
+    /// depth is too small for the read-pin pattern.
+    pub fn overflow_len(&self) -> usize {
+        self.overflow_len.load(Ordering::Acquire)
+    }
+
+    /// Hot-path snapshot of the version rings: `(base pointer, depth)`.
+    /// Same validity contract as [`Partition::table_view`]: meaningful only
+    /// after observing the config word with the switching flag clear in the
+    /// same attempt, because ring swaps happen strictly inside
+    /// flag→quiesce windows. The pointed-to ring outlives the partition
+    /// (retired rings are parked, never freed).
+    #[inline(always)]
+    pub(crate) fn ring_view(&self) -> (*const RingSlot, usize) {
+        (
+            self.ring.load(Ordering::Acquire),
+            self.ring_depth.load(Ordering::Acquire),
+        )
+    }
+
+    /// Parks a version record on the overflow list because the would-be
+    /// ring victim is still protected by `floor` (a pinned reader may need
+    /// it). Prunes records with `to <= floor` at a doubling watermark, so
+    /// pruning is O(1) amortized per push and the list length stays
+    /// proportional to the records actually protected.
+    pub(crate) fn overflow_push(&self, addr: usize, val: u64, to: u64, floor: u64) {
+        let mut ovf = self.overflow.lock();
+        if ovf.records.len() >= ovf.prune_at {
+            ovf.records.retain(|r| r.to > floor);
+            ovf.prune_at = (ovf.records.len() * 2).max(64);
+        }
+        ovf.records.push(OverflowRecord { addr, val, to });
+        self.overflow_len
+            .store(ovf.records.len(), Ordering::Release);
+    }
+
+    /// Overflow half of the snapshot history lookup: among records for
+    /// `addr` with close stamp strictly greater than `t`, returns the one
+    /// with the smallest stamp as `(val, to)`. Callers merge this with the
+    /// ring scan by taking the overall-smallest stamp.
+    pub(crate) fn overflow_best(&self, addr: usize, t: u64) -> Option<(u64, u64)> {
+        let ovf = self.overflow.lock();
+        ovf.records
+            .iter()
+            .filter(|r| r.addr == addr && r.to > t)
+            .min_by_key(|r| r.to)
+            .map(|r| (r.val, r.to))
     }
 
     /// Whether the runtime tuner may reconfigure this partition.
@@ -236,6 +351,21 @@ impl Partition {
             o.lock.store(word, Ordering::SeqCst);
             o.readers.store(0, Ordering::SeqCst);
         }
+        // Version history is invalidated along with the orec stamps: after
+        // a granularity change or migration the (addr → record) association
+        // is stale. Discarding it is safe for snapshot readers — see the
+        // migration argument in the `snapshot` module docs (readers that
+        // pinned before this window were drained by the quiesce; readers
+        // that pin after it get T ≥ the reset clock, which upper-bounds
+        // every discarded record's close stamp).
+        for s in hold.ring.iter() {
+            s.clear();
+        }
+        drop(hold);
+        let mut ovf = self.overflow.lock();
+        ovf.records.clear();
+        ovf.prune_at = 0;
+        self.overflow_len.store(0, Ordering::Release);
     }
 
     /// Replaces the orec table with a fresh one of `count` entries (a
@@ -264,7 +394,42 @@ impl Partition {
         self.mask.store(count - 1, Ordering::Release);
         let old = std::mem::replace(&mut hold.current, new);
         hold.retired.push(old);
+        // The rings are indexed by orec, so a table resize needs a fresh
+        // (empty) ring array of the new size; the old one is parked for
+        // the same liveness reason as the old table. Discarded history is
+        // safe for readers by the same argument as in `reset_orecs`.
+        let new_ring = alloc_ring(count, self.ring_depth.load(Ordering::Acquire));
+        self.ring
+            .store(new_ring.as_ptr() as *mut RingSlot, Ordering::Release);
+        let old_ring = std::mem::replace(&mut hold.ring, new_ring);
+        hold.retired_rings.push(old_ring);
+        drop(hold);
+        let mut ovf = self.overflow.lock();
+        ovf.records.clear();
+        ovf.prune_at = 0;
+        self.overflow_len.store(0, Ordering::Release);
+        drop(ovf);
         self.resizes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Replaces the version rings with a fresh (empty) allocation of
+    /// `depth` slots per orec and parks the old one. The depth half of
+    /// [`crate::Stm::set_ring_depth`]; same protocol contract as
+    /// [`Partition::install_table`] — only inside a flag→quiesce window.
+    pub(crate) fn install_ring(&self, depth: usize) {
+        debug_assert!((config::MIN_RING_DEPTH..=config::MAX_RING_DEPTH).contains(&depth));
+        let mut hold = self.tables.lock();
+        let new_ring = alloc_ring(hold.current.len(), depth);
+        self.ring
+            .store(new_ring.as_ptr() as *mut RingSlot, Ordering::Release);
+        self.ring_depth.store(depth, Ordering::Release);
+        let old_ring = std::mem::replace(&mut hold.ring, new_ring);
+        hold.retired_rings.push(old_ring);
+        drop(hold);
+        let mut ovf = self.overflow.lock();
+        ovf.records.clear();
+        ovf.prune_at = 0;
+        self.overflow_len.store(0, Ordering::Release);
     }
 
     /// Diagnostic scan of the orec table: `(locked_count, owner_slots,
@@ -429,6 +594,88 @@ mod tests {
         // Neighbouring stripes usually map elsewhere.
         let o1 = p.orec_for(base + 256, g) as *const Orec;
         assert_ne!(o0, o1);
+    }
+
+    #[test]
+    fn ring_depth_clamped_and_sized_with_table() {
+        let p = part(PartitionConfig::default().orecs(64).ring(0));
+        assert_eq!(p.ring_depth(), config::MIN_RING_DEPTH, "clamped up");
+        let p = part(PartitionConfig::default().orecs(64).ring(1 << 20));
+        assert_eq!(p.ring_depth(), config::MAX_RING_DEPTH, "clamped down");
+        let p = part(PartitionConfig::default().orecs(64).ring(8));
+        assert_eq!(p.ring_depth(), 8);
+        let (ptr, depth) = p.ring_view();
+        assert!(!ptr.is_null());
+        assert_eq!(depth, 8);
+    }
+
+    #[test]
+    fn install_ring_swaps_depth_and_parks_old_allocation() {
+        let p = part(PartitionConfig::default().orecs(16).ring(2));
+        let (old_ptr, _) = p.ring_view();
+        // Publish a record, then change depth: history is discarded.
+        // SAFETY: ring has 16 × 2 slots, alive as long as `p`.
+        unsafe { &*old_ptr }.publish(0x40, 11, 5);
+        p.install_ring(6);
+        assert_eq!(p.ring_depth(), 6);
+        let (new_ptr, depth) = p.ring_view();
+        assert_ne!(new_ptr, old_ptr, "fresh allocation");
+        assert_eq!(depth, 6);
+        // SAFETY: fresh ring, alive as long as `p`.
+        assert_eq!(unsafe { &*new_ptr }.read_stable().2, 0, "empty");
+        // The parked ring stays dereferenceable.
+        // SAFETY: parked allocation, alive as long as `p`.
+        assert_eq!(unsafe { &*old_ptr }.read_stable(), (0x40, 11, 5));
+    }
+
+    #[test]
+    fn resize_clears_rings_and_overflow() {
+        let p = part(PartitionConfig::default().orecs(16).ring(2));
+        p.overflow_push(0x40, 9, 3, 0);
+        assert_eq!(p.overflow_len(), 1);
+        assert_eq!(p.overflow_best(0x40, 2), Some((9, 3)));
+        assert_eq!(p.overflow_best(0x40, 3), None, "to must exceed t");
+        assert_eq!(p.overflow_best(0x48, 2), None, "address mismatch");
+        p.install_table(32, 7);
+        assert_eq!(p.overflow_len(), 0);
+        assert_eq!(p.overflow_best(0x40, 2), None);
+        let (ptr, depth) = p.ring_view();
+        assert_eq!(depth, 2);
+        for i in 0..32 * depth {
+            // SAFETY: fresh ring of 32 × 2 slots, alive as long as `p`.
+            assert_eq!(unsafe { &*ptr.add(i) }.read_stable().2, 0);
+        }
+    }
+
+    #[test]
+    fn overflow_prunes_below_floor_at_watermark() {
+        let p = part(PartitionConfig::default().orecs(1));
+        // Fill past the first watermark (64) with stale records, floor 100.
+        for i in 0..70 {
+            p.overflow_push(8 * i, 1, 10, 100);
+        }
+        // The prune pass at len == 64 dropped everything stale; the list
+        // can never grow proportionally to dead records.
+        assert!(p.overflow_len() < 70, "prune ran: {}", p.overflow_len());
+        // Protected records (to > floor) survive pruning.
+        for i in 0..70 {
+            p.overflow_push(8 * i, 2, 200, 100);
+        }
+        assert!(p.overflow_len() >= 70);
+        assert_eq!(p.overflow_best(0, 150), Some((2, 200)));
+    }
+
+    #[test]
+    fn reset_orecs_clears_history() {
+        let p = part(PartitionConfig::default().orecs(4).ring(2));
+        let (ptr, _) = p.ring_view();
+        // SAFETY: ring has 4 × 2 slots, alive as long as `p`.
+        unsafe { &*ptr }.publish(0x10, 77, 9);
+        p.overflow_push(0x10, 78, 10, 0);
+        p.reset_orecs(42);
+        // SAFETY: same ring (reset clears in place, no swap).
+        assert_eq!(unsafe { &*ptr }.read_stable().2, 0);
+        assert_eq!(p.overflow_len(), 0);
     }
 
     #[test]

@@ -45,7 +45,17 @@ macro_rules! for_each_stat {
             /// Conflict aborts whose orec acquisition hint named the touched address (true data conflicts; see `orec::Orec::hint`).
             conflicts_true,
             /// Conflict aborts whose hint named a different address (orec aliasing, i.e. false conflicts — the resize signal).
-            conflicts_aliased
+            conflicts_aliased,
+            /// Snapshot (read-only fast path) transactions committed against this partition.
+            snapshot_commits,
+            /// Snapshot transaction restarts (switch collision or user retry — never a data conflict; see `crate::snapshot`).
+            snapshot_restarts,
+            /// Reads served to snapshot transactions from this partition.
+            snapshot_reads,
+            /// Snapshot reads that were served from a version-ring/overflow record rather than the live cell.
+            snapshot_history_reads,
+            /// Committed-version records diverted to the overflow list because the ring victim was still reader-protected.
+            ring_overflow_pushes
         );
     };
 }
@@ -168,6 +178,9 @@ pub struct LocalStats {
     pub conflicts_true: u32,
     /// Conflicts classified aliased (hint named a different address).
     pub conflicts_aliased: u32,
+    /// Ring evictions diverted to the overflow list during this attempt's
+    /// commit (reader-protected victims).
+    pub ring_overflows: u32,
 }
 
 impl LocalStats {
@@ -179,6 +192,7 @@ impl LocalStats {
         stats.kills_issued(slot, self.kills as u64);
         stats.conflicts_true(slot, self.conflicts_true as u64);
         stats.conflicts_aliased(slot, self.conflicts_aliased as u64);
+        stats.ring_overflow_pushes(slot, self.ring_overflows as u64);
     }
 }
 
@@ -238,6 +252,7 @@ mod tests {
             kills: 3,
             conflicts_true: 4,
             conflicts_aliased: 6,
+            ring_overflows: 7,
         };
         l.flush(&s, 9);
         let snap = s.snapshot();
@@ -247,6 +262,7 @@ mod tests {
         assert_eq!(snap.kills_issued, 3);
         assert_eq!(snap.conflicts_true, 4);
         assert_eq!(snap.conflicts_aliased, 6);
+        assert_eq!(snap.ring_overflow_pushes, 7);
         assert!((snap.aliased_share() - 0.6).abs() < 1e-9);
     }
 

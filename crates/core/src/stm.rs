@@ -70,6 +70,11 @@ pub(crate) struct ThreadSlot {
     pub(crate) serial: AtomicU64,
     /// Kill request: the serial of the attempt that should abort (0 = none).
     pub(crate) kill: AtomicU64,
+    /// Snapshot timestamp pinned by an in-flight read-only transaction on
+    /// this thread (`u64::MAX` = none pinned). Published *before* the
+    /// snapshot's clock read so the eviction floor never overtakes a
+    /// concurrent pin — see the hazard argument in [`crate::snapshot`].
+    pub(crate) ro_snap: AtomicU64,
     /// Whether the slot is currently assigned to a live thread.
     pub(crate) registered: AtomicBool,
 }
@@ -92,6 +97,38 @@ pub(crate) struct StmInner {
     /// Sampling period copy, readable with one relaxed load on the
     /// transaction begin path (0 = profiling off).
     pub(crate) profile_period: CachePadded<AtomicU64>,
+    /// Cached lower bound on every pinned snapshot timestamp: a ring
+    /// victim with close stamp `to <= ro_floor` can be recycled without
+    /// consulting the overflow list. Conservative by construction (capped
+    /// at the clock value read *before* the slot scan), so a stale cache
+    /// only diverts more records to overflow, never discards a needed one.
+    /// Recomputed on demand by [`StmInner::ro_floor_recompute`].
+    pub(crate) ro_floor: CachePadded<AtomicU64>,
+}
+
+impl StmInner {
+    /// Recomputes and caches the snapshot eviction floor: the minimum over
+    /// every registered thread's pinned snapshot timestamp, capped at the
+    /// clock value read *before* the scan.
+    ///
+    /// The cap is what makes the cache sound with no pinned readers: a pin
+    /// established after the scan re-reads the clock *after* publishing
+    /// itself (see [`crate::snapshot`]), so its timestamp is at least the
+    /// clock at publish time; any record such a reader could need closes at
+    /// a stamp strictly greater than its timestamp ≥ clock-at-scan ≥ the
+    /// returned floor, and therefore fails the `to <= floor` recycling test.
+    pub(crate) fn ro_floor_recompute(&self) -> u64 {
+        let cap = self.clock.now();
+        let mut floor = cap;
+        for slot in self.slots.iter() {
+            if !slot.registered.load(Ordering::SeqCst) {
+                continue;
+            }
+            floor = floor.min(slot.ro_snap.load(Ordering::SeqCst));
+        }
+        self.ro_floor.store(floor, Ordering::SeqCst);
+        floor
+    }
 }
 
 impl core::fmt::Debug for StmInner {
@@ -160,6 +197,7 @@ impl StmBuilder {
                 quiesce_timeout: self.quiesce_timeout,
                 profiler: RwLock::new(None),
                 profile_period: CachePadded::new(AtomicU64::new(0)),
+                ro_floor: CachePadded::new(AtomicU64::new(0)),
             }),
         }
     }
@@ -264,6 +302,11 @@ impl Stm {
     /// retry with backoff instead of killing the process.
     pub fn try_register_thread(&self) -> Option<ThreadCtx> {
         let slot = self.inner.free_slots.lock().pop()?;
+        // No snapshot pinned: MAX keeps a recycled slot (whose `Default`
+        // left 0 here) from dragging the snapshot eviction floor to zero.
+        self.inner.slots[slot]
+            .ro_snap
+            .store(u64::MAX, Ordering::SeqCst);
         self.inner.slots[slot]
             .registered
             .store(true, Ordering::Release);
@@ -342,6 +385,37 @@ impl Stm {
             "partition belongs to a different Stm"
         );
         resize_orecs_impl(&self.inner, partition, new_count)
+    }
+
+    /// Changes a partition's version-ring depth *live* (clamped to
+    /// [`MIN_RING_DEPTH`](crate::config::MIN_RING_DEPTH)..=
+    /// [`MAX_RING_DEPTH`](crate::config::MAX_RING_DEPTH)): deeper rings
+    /// keep more committed versions per orec, so snapshot readers
+    /// ([`crate::ThreadCtx::snapshot_read`]) find history in the ring
+    /// instead of forcing writers onto the overflow list — the knob to turn
+    /// when [`Partition::overflow_len`] or the `ring_overflow_pushes`
+    /// counter stays high. Memory cost: `orec_count × depth × 32` bytes.
+    ///
+    /// Runs under the same quiesce protocol as [`Stm::resize_orecs`]:
+    /// flag → quiesce → install a fresh (empty) ring of the new depth →
+    /// generation+1, flag clear. Discarding accumulated history is safe —
+    /// see the migration/resize argument in [`crate::snapshot`] — and
+    /// merely costs post-switch snapshot readers their history until
+    /// writers repopulate it.
+    ///
+    /// Returns [`Unchanged`](SwitchOutcome::Unchanged) when the depth is
+    /// already the requested one, [`Contended`](SwitchOutcome::Contended)
+    /// when another switch owns the partition, and
+    /// [`TimedOut`](SwitchOutcome::TimedOut) (release builds; debug builds
+    /// panic) when quiescence cannot be reached — rolled back, retryable.
+    ///
+    /// Must not be called from inside a transaction.
+    pub fn set_ring_depth(&self, partition: &Partition, depth: usize) -> SwitchOutcome {
+        assert_eq!(
+            partition.stm_id, self.inner.id,
+            "partition belongs to a different Stm"
+        );
+        set_ring_depth_impl(&self.inner, partition, depth)
     }
 }
 
@@ -462,6 +536,61 @@ pub(crate) fn resize_orecs_impl(
     // reset_orecs), then publish generation+1 with the flag clear.
     partition.install_table(n, inner.clock.now());
     partition.reset_tuning_window();
+    let word = config::encode(config::decode(old), config::generation(old).wrapping_add(1));
+    partition.config.store(word, Ordering::SeqCst);
+    SwitchOutcome::Switched
+}
+
+/// The quiesce-based ring-depth change (see [`Stm::set_ring_depth`] for
+/// the contract). Same flag→quiesce→mutate→gen+1 window as the orec-table
+/// resize; the mutation installs a fresh ring of the new depth.
+pub(crate) fn set_ring_depth_impl(
+    inner: &StmInner,
+    partition: &Partition,
+    depth: usize,
+) -> SwitchOutcome {
+    let d = depth.clamp(config::MIN_RING_DEPTH, config::MAX_RING_DEPTH);
+    let old = partition.config.load(Ordering::SeqCst);
+    if config::is_switching(old) {
+        return SwitchOutcome::Contended;
+    }
+    if partition.ring_depth() == d {
+        return SwitchOutcome::Unchanged;
+    }
+    if partition
+        .config
+        .compare_exchange(
+            old,
+            old | config::SWITCHING_BIT,
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        )
+        .is_err()
+    {
+        return SwitchOutcome::Contended;
+    }
+    // Re-check under the flag (same race as the resize path).
+    if partition.ring_depth() == d {
+        partition.config.store(old, Ordering::SeqCst);
+        return SwitchOutcome::Unchanged;
+    }
+    if !bump_epoch_and_quiesce(inner) {
+        partition.config.store(old, Ordering::SeqCst);
+        let timeout = inner.quiesce_timeout;
+        if cfg!(debug_assertions) {
+            panic!(
+                "ring-depth change could not quiesce in {timeout:?}: \
+                 a transaction appears stuck"
+            );
+        }
+        rtlog::warn(&format!(
+            "ring-depth change of partition '{}' rolled back: quiescence \
+             not reached in {timeout:?} (stuck transaction?); retryable",
+            partition.name()
+        ));
+        return SwitchOutcome::TimedOut;
+    }
+    partition.install_ring(d);
     let word = config::encode(config::decode(old), config::generation(old).wrapping_add(1));
     partition.config.store(word, Ordering::SeqCst);
     SwitchOutcome::Switched
@@ -698,6 +827,44 @@ mod tests {
         let p = stm1.new_partition(PartitionConfig::default());
         let cfg = p.current_config();
         let _ = stm2.switch_partition(&p, cfg);
+    }
+
+    #[test]
+    fn set_ring_depth_swaps_ring_and_bumps_generation() {
+        let stm = Stm::new();
+        let p = stm.new_partition(PartitionConfig::default().ring(4));
+        assert_eq!(p.ring_depth(), 4);
+        assert!(stm.set_ring_depth(&p, 16).switched());
+        assert_eq!(p.ring_depth(), 16);
+        assert_eq!(p.generation(), 1);
+        assert_eq!(stm.set_ring_depth(&p, 16), SwitchOutcome::Unchanged);
+        assert_eq!(p.generation(), 1);
+        // Clamped at both ends.
+        assert!(stm.set_ring_depth(&p, 0).switched());
+        assert_eq!(p.ring_depth(), crate::config::MIN_RING_DEPTH);
+        assert!(stm.set_ring_depth(&p, usize::MAX).switched());
+        assert_eq!(p.ring_depth(), crate::config::MAX_RING_DEPTH);
+    }
+
+    #[test]
+    fn ro_floor_is_capped_by_the_clock_and_tracks_pins() {
+        let stm = Stm::new();
+        // No registered threads: the floor equals the clock, never MAX.
+        stm.inner.clock.advance();
+        stm.inner.clock.advance();
+        assert_eq!(stm.inner.ro_floor_recompute(), 2);
+        // An idle registered thread (ro_snap = MAX) does not lower it.
+        let ctx = stm.register_thread();
+        assert_eq!(stm.inner.ro_floor_recompute(), 2);
+        // A pinned snapshot drags the floor down to its timestamp.
+        stm.inner.slots[ctx.slot()]
+            .ro_snap
+            .store(1, Ordering::SeqCst);
+        assert_eq!(stm.inner.ro_floor_recompute(), 1);
+        stm.inner.slots[ctx.slot()]
+            .ro_snap
+            .store(u64::MAX, Ordering::SeqCst);
+        assert_eq!(stm.inner.ro_floor_recompute(), 2);
     }
 
     #[test]

@@ -78,7 +78,7 @@ use crate::cm::{self, XorShift64};
 use crate::config::CmPolicy;
 use crate::config::{self, AcquireMode, DynConfig, ReadMode, ReaderArb};
 use crate::error::{Abort, AbortKind, TxResult};
-use crate::orec::{is_locked, make_version, owner_of, reader_bit, version_of, Orec};
+use crate::orec::{is_locked, make_version, owner_of, reader_bit, version_of, Orec, RingSlot};
 use crate::partition::{orec_index, Partition};
 use crate::profiler::{self, BucketTouch, SampleTouch, TxSample};
 use crate::pvar::{PVar, PVarBinding};
@@ -127,6 +127,12 @@ struct PartView {
     table: *const Orec,
     /// Orec-table index mask (`orec_count - 1`).
     mask: usize,
+    /// Version-ring base pointer and depth, snapshotted with the table at
+    /// view creation (swapped only inside the same flag→quiesce windows,
+    /// so equally stable for the attempt). Orec *i* owns ring slots
+    /// `i*ring_depth..(i+1)*ring_depth`.
+    ring: *const RingSlot,
+    ring_depth: usize,
     /// Generation of the config word the view was decoded from. Stable for
     /// the whole attempt (quiesce protocol); kept for diagnostics and
     /// debug-mode verification at commit.
@@ -265,6 +271,10 @@ pub(crate) struct TxScratch {
     sampling: bool,
     /// Sampled accesses: (view index, address bucket, is_write).
     sample_log: Vec<(u16, u16, bool)>,
+    /// Partition views of the snapshot read path (reused across
+    /// [`crate::ThreadCtx::snapshot_read`] attempts; see
+    /// [`crate::snapshot`]).
+    pub(crate) ro_views: Vec<crate::snapshot::RoView>,
 }
 
 impl core::fmt::Debug for TxScratch {
@@ -297,6 +307,7 @@ impl TxScratch {
             rng: XorShift64::new(seed.wrapping_mul(0x5851_F42D_4C95_7F2D) | 1),
             sampling: false,
             sample_log: Vec::new(),
+            ro_views: Vec::new(),
         }
     }
 }
@@ -428,6 +439,7 @@ impl<'e, 's> Tx<'e, 's> {
         // clear: the resize protocol swaps them only inside a flagged
         // window our attempt provably does not straddle (module docs).
         let (table, mask) = part.table_view();
+        let (ring, ring_depth) = part.ring_view();
         let i = self.s.views.len() as u32;
         self.s.views.push(PartView {
             part,
@@ -435,6 +447,8 @@ impl<'e, 's> Tx<'e, 's> {
             cfg: config::decode(word),
             table,
             mask,
+            ring,
+            ring_depth,
             generation: config::generation(word),
             stats: LocalStats::default(),
             wrote: false,
@@ -968,6 +982,11 @@ impl<'e, 's> Tx<'e, 's> {
 
     /// Commit the attempt. Returns `true` on success; on failure the
     /// attempt has been rolled back.
+    ///
+    /// Split into a read-transaction path (no write set: nothing to
+    /// acquire, validate or publish — straight to [`Tx::finish_commit`])
+    /// and an update path ([`Tx::commit_update`]), mirroring the snapshot
+    /// read path's separate lifecycle (see [`crate::snapshot`]).
     fn try_commit(&mut self) -> bool {
         debug_assert_q(self.s.in_attempt, "commit without begin");
         if self.killed() {
@@ -984,6 +1003,13 @@ impl<'e, 's> Tx<'e, 's> {
             self.finish_commit();
             return true;
         }
+        self.commit_update()
+    }
+
+    /// The update-transaction half of the commit pipeline: commit-time
+    /// acquisitions, version draw, read-set validation, history
+    /// publication + write-back, release.
+    fn commit_update(&mut self) -> bool {
         // Commit-time acquisitions for partitions configured CTL.
         for wi in 0..self.s.write_set.len() {
             let needs = {
@@ -1006,14 +1032,36 @@ impl<'e, 's> Tx<'e, 's> {
                 return false;
             }
         }
-        // Point of no return: write back, then release with the commit
+        // Point of no return: publish each overwritten value into its
+        // orec's version ring (for snapshot readers — see
+        // `crate::snapshot`), write back, then release with the commit
         // version. Value stores are Release so a reader observing the new
         // lock word also observes the data; the l1/value/l2 sandwich
-        // rejects any value read concurrent with this window.
-        for e in &self.s.write_set {
+        // rejects any value read concurrent with this window. The history
+        // record is published *before* the cell store so a snapshot reader
+        // that observes our commit (lock word = wv) can always find the
+        // pre-image it needs.
+        let mut floor = self.stm.ro_floor.load(Ordering::SeqCst);
+        let mut floor_fresh = false;
+        for wi in 0..self.s.write_set.len() {
+            let (var, val, orec, ti) = {
+                let e = &self.s.write_set[wi];
+                (e.var, e.val, e.orec, e.touch)
+            };
             // SAFETY: `var` outlives `'e` (signature of `write`); the
             // orec is held, so we are the only writer.
-            unsafe { &*e.var }.store(e.val, Ordering::Release);
+            let old = unsafe { &*var }.load(Ordering::Acquire);
+            self.ring_publish(
+                ti,
+                orec,
+                var as usize,
+                old,
+                wv,
+                &mut floor,
+                &mut floor_fresh,
+            );
+            // SAFETY: as above.
+            unsafe { &*var }.store(val, Ordering::Release);
         }
         for e in &self.s.write_set {
             if e.acquired_here {
@@ -1023,6 +1071,88 @@ impl<'e, 's> Tx<'e, 's> {
         }
         self.finish_commit();
         true
+    }
+
+    /// Publishes one overwritten value into the version ring of `orec`
+    /// (held by this transaction): the record `(addr, old, to = wv)` says
+    /// "`addr` held `old` until commit `wv`". Victim slot: any empty slot,
+    /// else the record with the smallest close stamp. A victim whose stamp
+    /// is above the snapshot eviction floor may still be needed by a
+    /// pinned reader, so the *new* record is diverted to the partition's
+    /// overflow list instead and the ring is left untouched (records never
+    /// migrate between the two — see `crate::snapshot` for why that
+    /// matters). `floor` is the commit-local cached floor; it is recomputed
+    /// at most once per commit (`floor_fresh`).
+    #[allow(clippy::too_many_arguments)]
+    fn ring_publish(
+        &mut self,
+        ti: u16,
+        orec: *const Orec,
+        addr: usize,
+        old: u64,
+        wv: u64,
+        floor: &mut u64,
+        floor_fresh: &mut bool,
+    ) {
+        let v = &self.s.views[ti as usize];
+        let idx = (orec as usize - v.table as usize) / core::mem::size_of::<Orec>();
+        debug_assert!(idx <= v.mask, "write-set orec outside the view's table");
+        let depth = v.ring_depth;
+        // SAFETY: the ring has `(mask + 1) * depth` slots and `idx <=
+        // mask`; the allocation is alive for the partition's lifetime and
+        // stable for the attempt (same argument as the orec table).
+        let base = unsafe { v.ring.add(idx * depth) };
+        let mut victim = base;
+        let mut vmin = u64::MAX;
+        for k in 0..depth {
+            // SAFETY: `k < depth`, see above.
+            let slot = unsafe { base.add(k) };
+            // SAFETY: slot within the ring allocation.
+            let to = unsafe { &*slot }.close_stamp();
+            if to == 0 {
+                victim = slot;
+                vmin = 0;
+                break;
+            }
+            if to < vmin {
+                vmin = to;
+                victim = slot;
+            }
+        }
+        if vmin != 0 {
+            if vmin > *floor && !*floor_fresh {
+                *floor = self.stm.ro_floor_recompute();
+                *floor_fresh = true;
+            }
+            if vmin > *floor {
+                // Every ring record might still serve a pinned reader:
+                // park the new record on the overflow list instead. The
+                // divert still bumps the ring epoch — a snapshot lookup
+                // reads ring and overflow as ONE epoch-stable observation,
+                // so any history mutation for this orec must invalidate an
+                // overlapping scan (see `crate::snapshot`).
+                // SAFETY: orec alive via the touched partition.
+                unsafe { &*orec }.ring_publish_begin();
+                self.s.views[ti as usize]
+                    .part
+                    .overflow_push(addr, old, wv, *floor);
+                // SAFETY: as above.
+                unsafe { &*orec }.ring_publish_end();
+                self.s.views[ti as usize].stats.ring_overflows += 1;
+                return;
+            }
+        }
+        // SAFETY: victim points into the ring allocation; the slot seqlock
+        // in `publish` keeps the triple untorn, and the orec-level
+        // ring-epoch bracket forces any snapshot ring scan that overlapped
+        // this publish to retry — without it a scan could miss a record
+        // published into a slot it had already visited (the marching
+        // hazard, see `crate::snapshot`).
+        unsafe { &*orec }.ring_publish_begin();
+        // SAFETY: as above.
+        unsafe { &*victim }.publish(addr as u64, old, wv);
+        // SAFETY: as above.
+        unsafe { &*orec }.ring_publish_end();
     }
 
     fn finish_commit(&mut self) {

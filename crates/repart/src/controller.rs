@@ -332,6 +332,7 @@ fn step(ctrl: &Ctrl) {
             p.id(),
             PartitionMeta {
                 orec_count: p.orec_count(),
+                ring_depth: p.ring_depth(),
             },
         );
     }
