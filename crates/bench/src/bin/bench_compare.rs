@@ -11,13 +11,24 @@
 //!   zero: snapshot read-only transactions aborting at all is a
 //!   correctness regression of the multi-version read path, not noise.
 //!
+//! * absolute floors (`--floor metric=value`, repeatable) fail any fresh
+//!   scenario whose named metric falls below the value — the gate for
+//!   metrics whose meaning is a ratio rather than a trend, like the
+//!   privatization scenario's `bulk_speedup`.
+//!
 //! Everything else is reported for the diff artifact but never gates.
 //! Scenarios present on only one side are listed as added/removed and do
 //! not fail the run (new benchmarks must be able to land with their
-//! first baseline).
+//! first baseline). The same applies one level down: a metric present on
+//! only one side — fresh code reporting a new metric the committed
+//! baseline has never recorded, or a baseline metric the fresh run no
+//! longer emits — is warned about and skipped, never failed, so a PR
+//! that adds instrumentation does not have to regenerate the baseline in
+//! the same commit.
 //!
 //! ```text
-//! bench_compare <baseline.json> <fresh.json> [--threshold F] [--out FILE]
+//! bench_compare <baseline.json> <fresh.json> [--threshold F] [--floor M=V]..
+//!               [--out FILE]
 //! ```
 
 use std::fmt::Write as _;
@@ -66,12 +77,20 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut paths = Vec::new();
     let mut threshold = 0.30f64;
+    let mut floors: Vec<(String, f64)> = Vec::new();
     let mut out = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--threshold" => {
                 threshold = args[i + 1].parse().expect("--threshold takes a float");
+                i += 2;
+            }
+            "--floor" => {
+                let (m, v) = args[i + 1]
+                    .split_once('=')
+                    .expect("--floor takes metric=value");
+                floors.push((m.to_owned(), v.parse().expect("--floor value is a float")));
                 i += 2;
             }
             "--out" => {
@@ -85,7 +104,10 @@ fn main() -> ExitCode {
         }
     }
     if paths.len() != 2 {
-        eprintln!("usage: bench_compare <baseline.json> <fresh.json> [--threshold F] [--out FILE]");
+        eprintln!(
+            "usage: bench_compare <baseline.json> <fresh.json> [--threshold F] \
+             [--floor M=V].. [--out FILE]"
+        );
         return ExitCode::from(2);
     }
     let base = load(&paths[0]);
@@ -111,8 +133,23 @@ fn main() -> ExitCode {
             let _ = writeln!(report, "{name:<40} REMOVED from fresh run");
             continue;
         };
+        // Metrics the fresh run reports but the baseline never recorded:
+        // warn and skip, never gate — a new counter must be able to land
+        // without a same-commit baseline regeneration.
+        for (metric, _) in fresh_metrics {
+            if !base_metrics.iter().any(|(m, _)| m == metric) {
+                let _ = writeln!(
+                    report,
+                    "{name:<40} {metric:>16} absent from baseline (warn, skipped)"
+                );
+            }
+        }
         for (metric, b) in base_metrics {
             let Some((_, f)) = fresh_metrics.iter().find(|(m, _)| m == metric) else {
+                let _ = writeln!(
+                    report,
+                    "{name:<40} {metric:>16} absent from fresh run (warn, skipped)"
+                );
                 continue;
             };
             let delta = if *b != 0.0 { (f - b) / b * 100.0 } else { 0.0 };
@@ -138,6 +175,33 @@ fn main() -> ExitCode {
     for (name, _) in &fresh {
         if !base.iter().any(|(n, _)| n == name) {
             let _ = writeln!(report, "{name:<40} ADDED (no baseline yet)");
+        }
+    }
+    // Absolute floors gate the fresh run alone — no baseline needed.
+    for (fm, floor) in &floors {
+        let mut seen = false;
+        for (name, fresh_metrics) in &fresh {
+            let Some((_, v)) = fresh_metrics.iter().find(|(m, _)| m == fm) else {
+                continue;
+            };
+            seen = true;
+            let verdict = if *v < *floor {
+                regressions += 1;
+                "REGRESSED (below floor)"
+            } else {
+                "ok"
+            };
+            let _ = writeln!(
+                report,
+                "{:<40} {:>16} {:>12} {:>12.3} floor {:.3}  {verdict}",
+                name, fm, "", v, floor
+            );
+        }
+        if !seen {
+            let _ = writeln!(
+                report,
+                "--floor {fm}={floor}: metric absent from fresh run (warn, skipped)"
+            );
         }
     }
     let _ = writeln!(

@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! repro <experiment>.. [--secs S] [--threads 1,2,4,...] [--quick] [--json [file]]
-//! experiments: f2 f3 f4 t1 t2 f5 f6 f7 f8 a1 a2 a3 repart orecs readpath all
+//! experiments: f2 f3 f4 t1 t2 f5 f6 f7 f8 a1 a2 a3 repart orecs readpath privatize all
 //! ```
 //!
 //! Several experiments may be named in one invocation (`repro repart
@@ -27,6 +27,7 @@ use partstm_bench::orec_pressure::{run_orec_pressure, OrecPressureConfig};
 use partstm_bench::phase_shift::{
     run_phase_shift, run_struct_shift, PhaseShiftConfig, PhaseShiftReport,
 };
+use partstm_bench::privatize::{run_privatize, PrivatizeConfig};
 use partstm_bench::readpath::{run_readpath, ReadpathConfig, ReadpathReport};
 use partstm_bench::{
     config_label, drive, drive_timeseries, intset_op, kops, partition_with, prefill, snapshot_all,
@@ -114,7 +115,7 @@ fn main() {
     let (cmds, flags) = args.split_at(split);
     if cmds.is_empty() {
         eprintln!(
-            "usage: repro <f2|f3|f4|t1|t2|f5|f6|f7|f8|a1|a2|a3|repart|orecs|readpath|all>.. \
+            "usage: repro <f2|f3|f4|t1|t2|f5|f6|f7|f8|a1|a2|a3|repart|orecs|readpath|privatize|all>.. \
              [--secs S] [--threads ..] [--quick] [--json [file]]"
         );
         std::process::exit(2);
@@ -138,6 +139,7 @@ fn main() {
             "repart" => repart(&opts),
             "orecs" => orecs(&opts),
             "readpath" => readpath(&opts),
+            "privatize" => privatize(&opts),
             "all" => {
                 f2(&opts);
                 f3(&opts);
@@ -154,6 +156,7 @@ fn main() {
                 repart(&opts);
                 orecs(&opts);
                 readpath(&opts);
+                privatize(&opts);
             }
             other => {
                 eprintln!("unknown experiment {other}");
@@ -1023,6 +1026,73 @@ fn readpath(opts: &Opts) {
             ],
         );
     }
+}
+
+// ---------------------------------------------------------------- PRIVATIZE
+
+/// PRIVATIZE: the bulk-operation escape hatch — load race (transactional
+/// vs guard-gated initialization of the same bank) and the mixed phase
+/// (serve → privatize → compact → republish → recover under traffic).
+fn privatize(opts: &Opts) {
+    let threads = (*opts.threads.last().unwrap_or(&4)).clamp(2, 8);
+    let total = (opts.secs * 4.0).clamp(1.0, 4.0);
+    let cfg = PrivatizeConfig::standard(threads, total);
+    println!(
+        "\n=== PRIVATIZE: bulk escape hatch ({} load accounts; mixed phase \
+         {} accounts, {threads} threads, {total:.1}s) ===",
+        cfg.load_accounts, cfg.serve_accounts
+    );
+    let r = run_privatize(&cfg);
+    println!("{:>14} {:>12} {:>12}", "load mode", "secs", "accounts K/s");
+    println!(
+        "{:>14} {:>12.4} {:>12.1}",
+        "transactional", r.txn_load_secs, r.txn_load_kops
+    );
+    println!(
+        "{:>14} {:>12.4} {:>12.1}",
+        "bulk (guard)", r.bulk_load_secs, r.bulk_load_kops
+    );
+    println!(
+        "bulk speedup: {:.1}x; speedup criterion (>=10x): {}",
+        r.bulk_speedup,
+        if r.bulk_speedup >= 10.0 {
+            "MET"
+        } else {
+            "MISSED"
+        }
+    );
+    let s = &r.stats;
+    println!(
+        "mixed phase: serve {:.1} Kops/s | hold {:.0}us | recover {:.1} Kops/s | \
+         collisions {} | conserved: {}",
+        r.serve_kops,
+        r.hold_us,
+        r.recover_kops,
+        s.privatized_collisions,
+        if r.conserved { "yes" } else { "NO" }
+    );
+    assert!(r.conserved, "conserved-sum violated across the hold");
+
+    // The privatization counters land next to the abort classification so
+    // cross-commit tooling can correlate collision aborts with holds.
+    opts.rec.record(
+        "privatize/bulk",
+        &[
+            ("bulk_speedup", r.bulk_speedup),
+            ("txn_load_kops", r.txn_load_kops),
+            ("bulk_load_kops", r.bulk_load_kops),
+            ("serve_kops", r.serve_kops),
+            ("recover_kops", r.recover_kops),
+            ("hold_us", r.hold_us),
+            ("privatizations", s.privatizations as f64),
+            ("privatize_rollbacks", s.privatize_rollbacks as f64),
+            ("republishes", s.republishes as f64),
+            ("privatized_collisions", s.privatized_collisions as f64),
+            ("aborts_switching", s.aborts_switching as f64),
+            ("aborts_wlock", s.aborts_wlock as f64),
+            ("aborts_validation", s.aborts_validation as f64),
+        ],
+    );
 }
 
 /// Prints one scenario's window table + summary and records its metrics.

@@ -13,6 +13,7 @@ pub mod hetero;
 pub mod json_out;
 pub mod orec_pressure;
 pub mod phase_shift;
+pub mod privatize;
 pub mod readpath;
 
 use core::sync::atomic::{AtomicBool, AtomicU64, Ordering};

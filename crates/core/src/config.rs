@@ -16,6 +16,8 @@
 //! bits  8-13  stripe shift     (log2 bytes per stripe, for Stripe)
 //! bits 16     cm kind          (0 = suicide+backoff, 1 = delay-then-abort)
 //! bits 17     reader arb       (0 = writer-wins-kill, 1 = reader-wins)
+//! bit  30     privatized flag  (the partition is privately held; always
+//!                               set together with the switching flag)
 //! bit  31     switching flag   (a reconfiguration is in progress)
 //! bits 32-63  generation       (incremented on every switch)
 //! ```
@@ -247,6 +249,14 @@ const CM_BIT: u64 = 1 << 16;
 const ARB_BIT: u64 = 1 << 17;
 /// Switching flag bit (public: the transaction path tests it on touch).
 pub const SWITCHING_BIT: u64 = 1 << 31;
+/// Privatized flag bit: the partition is held by a
+/// [`PrivateGuard`](crate::PrivateGuard) and every transactional attempt
+/// must abort-and-back-off. Only ever set *together with*
+/// [`SWITCHING_BIT`] — the switching flag carries the mutual exclusion
+/// (transactions and other control-plane operations already honour it);
+/// this bit merely classifies the hold so collisions can be counted
+/// separately and observers can tell a privatization from a switch.
+pub const PRIVATIZED_BIT: u64 = 1 << 30;
 const GEN_SHIFT: u32 = 32;
 
 /// Encodes a [`DynConfig`] plus generation into a config word (switching
@@ -323,6 +333,13 @@ pub fn is_switching(word: u64) -> bool {
     word & SWITCHING_BIT != 0
 }
 
+/// Returns `true` if the privatized flag is set (the partition is held by
+/// a [`PrivateGuard`](crate::PrivateGuard)).
+#[inline(always)]
+pub fn is_privatized(word: u64) -> bool {
+    word & PRIVATIZED_BIT != 0
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -365,6 +382,17 @@ mod tests {
                 assert!(!is_switching(w));
                 assert!(is_switching(w | SWITCHING_BIT));
                 assert_eq!(decode(w | SWITCHING_BIT), cfg, "switching bit is ignored");
+                assert!(!is_privatized(w));
+                assert!(is_privatized(w | PRIVATIZED_BIT));
+                assert_eq!(
+                    decode(w | SWITCHING_BIT | PRIVATIZED_BIT),
+                    cfg,
+                    "privatized bit is ignored by decode"
+                );
+                assert_eq!(
+                    generation(w | SWITCHING_BIT | PRIVATIZED_BIT),
+                    generation_in
+                );
             }
         }
     }
@@ -409,6 +437,10 @@ mod tests {
         assert!(
             !is_switching(w),
             "generation must not set the switching bit"
+        );
+        assert!(
+            !is_privatized(w),
+            "generation must not set the privatized bit"
         );
         assert_eq!(decode(w), cfg);
     }

@@ -65,6 +65,7 @@ pub mod config;
 pub mod error;
 pub mod orec;
 pub mod partition;
+pub mod privatize;
 pub mod profiler;
 pub mod pvar;
 pub mod repartition;
@@ -83,6 +84,7 @@ pub use config::{
 };
 pub use error::{Abort, AbortKind, TxResult};
 pub use partition::{Partition, PartitionId};
+pub use privatize::{PrivateGuard, PrivatizeError};
 pub use profiler::{AccessProfiler, BucketTouch, SampleTouch, TxSample, PROFILE_BUCKETS};
 pub use pvar::{Migratable, PVar, PVarBinding, PVarFields};
 pub use repartition::{CollectionRegistry, MigratableCollection, MigrationSource};

@@ -293,6 +293,15 @@ impl Partition {
         config::generation(self.config.load(Ordering::SeqCst))
     }
 
+    /// Whether this partition is currently privatized — held by a
+    /// [`crate::PrivateGuard`] for non-transactional bulk access. Racy by
+    /// nature (the guard may republish immediately after the load);
+    /// intended for telemetry and for controllers that should not propose
+    /// actions against a privately held partition.
+    pub fn is_privatized(&self) -> bool {
+        config::is_privatized(self.config.load(Ordering::SeqCst))
+    }
+
     /// Hot-path snapshot of the orec table: `(base pointer, index mask)`.
     ///
     /// Only meaningful after observing this partition's config word with

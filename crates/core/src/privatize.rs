@@ -1,0 +1,520 @@
+//! Safe privatization: a raw-memory-speed escape hatch over the quiesce
+//! protocol.
+//!
+//! Bulk phases — initial loads, snapshots/backups, compaction, analytics
+//! scans — pay full STM overhead (orec acquisition, read-set validation,
+//! version-ring publication) for zero benefit: they want the *whole*
+//! partition, exclusively, for a bounded stretch. The partitioned design
+//! already owns the machinery to grant exactly that. [`Stm::privatize`]
+//! runs the established flag→quiesce window, leaves the partition's
+//! switching flag *installed* for the duration of the hold, and hands back
+//! a [`PrivateGuard`]: a witness that the calling thread owns the
+//! partition outright and may read and write its cells at plain-memory
+//! speed ([`PrivateGuard::read`] / [`PrivateGuard::write`], plus the bulk
+//! entry points on `partstm-structures`). Dropping the guard — or calling
+//! [`PrivateGuard::republish`] — returns the partition to transactional
+//! service under generation+1.
+//!
+//! ## Why the hold is safe
+//!
+//! The protocol is the configuration switch's window with the close
+//! deferred to republish (after Khyzha et al., *Safe Privatization in
+//! Transactional Memory* — our quiesce plays the role of their
+//! privatization barrier):
+//!
+//! 1. **Flag.** CAS the config word to `old | SWITCHING_BIT |
+//!    PRIVATIZED_BIT`. A failed CAS or an already-set flag reports
+//!    [`PrivatizeError::Contended`] — privatization, configuration
+//!    switches, orec resizes, ring-depth changes and repartitions all
+//!    contend on the *same* bit, so any two of them targeting this
+//!    partition serialize by construction. The extra [`PRIVATIZED_BIT`]
+//!    only classifies the hold (separate collision counters, controller
+//!    back-off); the exclusion is the switching bit's.
+//! 2. **Quiesce.** `bump_epoch_and_quiesce` waits until every registered
+//!    thread is outside a transaction, or inside one that began after the
+//!    epoch bump — and such attempts observe the flag at first touch and
+//!    abort ([`crate::txn`]'s view-creation check; snapshot read-only
+//!    transactions run the same check, see [`crate::snapshot`]). On
+//!    timeout the pre-privatize word is stored back — the partition is
+//!    *exactly* as found, nothing was mutated — and the attempt reports
+//!    [`PrivatizeError::TimedOut`] (debug builds panic, as a stuck
+//!    transaction is a bug worth a backtrace).
+//! 3. **Hold.** From quiescence until republish, no transaction holds (or
+//!    can acquire) locks, reader bits, read-set entries or pinned
+//!    snapshots against this partition: in-flight attempts were drained,
+//!    new ones abort on the flag. The guard's owner is therefore the only
+//!    code touching the partition's cells, and plain `load_direct` /
+//!    `store_direct` accesses are data-race-free without any orec
+//!    traffic. The guard is a plain value — not `Clone` — so exactly one
+//!    owner exists, and it keeps the partition's `Arc` alive.
+//! 4. **Republish.** Advance the global clock and stamp every orec with
+//!    the *new* time, clearing the version rings and the overflow list in
+//!    place (`Partition::reset_orecs`); then store `encode(decode(old),
+//!    generation(old)+1)`, clearing both flags. Ordering matters: the
+//!    stamps are published *before* the flag clears, so the first
+//!    transactional read of any privately-written cell finds an orec
+//!    version strictly greater than any read version issued before the
+//!    window and is forced to extend — and the extension's validation
+//!    happens against cells the private phase has fully finished writing.
+//!    Long-running transactions that never touched this partition may
+//!    continue across the hold; they are ordered after the private phase
+//!    by exactly that forced extension on first contact.
+//!
+//! Snapshot readers get the same treatment as in a granularity switch or
+//! migration (the "windows discard history" argument in
+//! [`crate::snapshot`]): readers pinned before the window were drained by
+//! the quiesce; readers that pin after republish obtain a timestamp at
+//! least the advanced clock, which upper-bounds the close stamp of every
+//! discarded record, so the truncated rings can never have held a version
+//! such a reader needs.
+//!
+//! ## What the guard permits
+//!
+//! Anything that stays inside the privatized partition: direct cell access
+//! ([`PrivateGuard::read`] / [`PrivateGuard::write`] assert the
+//! variable's binding), raw arena allocation
+//! ([`Arena::alloc_raw`](crate::Arena::alloc_raw) — its "no transactions
+//! run" contract is exactly what the hold establishes for this
+//! partition), and the bulk iterators/loaders the structure crate builds
+//! on those. Freeing slots under the guard is deliberately *not* offered
+//! by the bulk APIs: allocation-only keeps the reuse-barrier argument in
+//! [`crate::arena`] trivially satisfied.
+//!
+//! A privatization hold should be short (it starves writers of the
+//! partition into abort-and-retry). Holds longer than
+//! [`HOLD_WARN_THRESHOLD`] are reported at republish through a rate-
+//! limited [`rtlog`] warning, as are quiesce-timeout rollbacks.
+
+use std::sync::Arc;
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+use core::sync::atomic::Ordering;
+
+use crate::config;
+use crate::partition::Partition;
+use crate::pvar::PVar;
+use crate::repartition::MigrationSource;
+use crate::rtlog;
+use crate::stm::{bump_epoch_and_quiesce, Stm};
+use crate::word::TxWord;
+
+pub use crate::config::PRIVATIZED_BIT;
+
+/// Holds longer than this are reported (rate-limited) at republish: a
+/// privatized partition starves its writers into abort-and-retry, so a
+/// long hold is an operational smell even when it is correct.
+pub const HOLD_WARN_THRESHOLD: Duration = Duration::from_secs(1);
+
+/// Minimum interval between privatization warnings of the same kind
+/// (suppressed calls are counted and folded into the next emission).
+const WARN_INTERVAL: Duration = Duration::from_secs(5);
+
+fn quiesce_limiter() -> &'static rtlog::Limiter {
+    static L: OnceLock<rtlog::Limiter> = OnceLock::new();
+    L.get_or_init(|| rtlog::Limiter::new(WARN_INTERVAL))
+}
+
+fn hold_limiter() -> &'static rtlog::Limiter {
+    static L: OnceLock<rtlog::Limiter> = OnceLock::new();
+    L.get_or_init(|| rtlog::Limiter::new(WARN_INTERVAL))
+}
+
+/// Why a [`Stm::privatize`] attempt did not produce a guard. Both cases
+/// leave the partition exactly as found and are retryable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrivatizeError {
+    /// Another control-plane operation (switch, resize, repartition or
+    /// privatization) owns the partition's switching flag.
+    Contended,
+    /// Quiescence was not reached within the runtime's quiesce timeout:
+    /// the privatization was rolled back (release builds only — debug
+    /// builds panic on the stuck transaction).
+    TimedOut,
+}
+
+impl core::fmt::Display for PrivatizeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            PrivatizeError::Contended => write!(f, "partition owned by a concurrent switch"),
+            PrivatizeError::TimedOut => write!(f, "quiescence not reached before timeout"),
+        }
+    }
+}
+
+impl std::error::Error for PrivatizeError {}
+
+/// Exclusive, non-transactional ownership of one privatized partition.
+///
+/// Obtained from [`Stm::privatize`]; see the [module docs](self) for the
+/// safety argument. While the guard lives, every transactional attempt
+/// touching the partition aborts-and-backs-off and every other
+/// control-plane operation on it reports contention. Dropping the guard
+/// republishes the partition ([`PrivateGuard::republish`] does the same
+/// with an explicit name for call sites that want the intent visible).
+#[derive(Debug)]
+pub struct PrivateGuard {
+    stm: Stm,
+    part: Arc<Partition>,
+    /// Pre-privatize config word; republish derives gen+1 from it.
+    old: u64,
+    /// When the hold began (for the hold-duration warning).
+    start: Instant,
+    /// Cleared by `republish` so the drop hook becomes a no-op.
+    active: bool,
+}
+
+impl PrivateGuard {
+    /// The privatized partition.
+    #[inline]
+    pub fn partition(&self) -> &Arc<Partition> {
+        &self.part
+    }
+
+    /// Whether `part` is the partition this guard privatizes. The bulk
+    /// entry points in `partstm-structures` gate on this before touching
+    /// cells directly.
+    #[inline]
+    pub fn covers(&self, part: &Arc<Partition>) -> bool {
+        Arc::ptr_eq(&self.part, part)
+    }
+
+    /// Whether *every* binding a [`MigrationSource`] enumerates points at
+    /// the privatized partition — i.e. the whole structure is inside the
+    /// hold. `O(fields)`; the structure bulk APIs use it in debug builds
+    /// to catch structures torn across partitions by a partial migration.
+    pub fn covers_source(&self, src: &dyn MigrationSource) -> bool {
+        let want = Arc::as_ptr(&self.part);
+        let mut all = true;
+        src.for_each_binding(&mut |b| all &= core::ptr::eq(b.load(), want));
+        all
+    }
+
+    /// Non-transactional read of a variable bound to the privatized
+    /// partition: one plain load, no orec traffic.
+    ///
+    /// # Panics
+    ///
+    /// If `var` is not bound to the privatized partition — reading a
+    /// foreign cell outside its concurrency control would be a data race.
+    #[inline]
+    pub fn read<T: TxWord>(&self, var: &PVar<T>) -> T {
+        assert!(
+            core::ptr::eq(var.binding().load(), Arc::as_ptr(&self.part)),
+            "variable is not bound to the privatized partition"
+        );
+        var.load_direct()
+    }
+
+    /// Non-transactional write to a variable bound to the privatized
+    /// partition: one plain store, no orec traffic, no undo log.
+    ///
+    /// # Panics
+    ///
+    /// If `var` is not bound to the privatized partition.
+    #[inline]
+    pub fn write<T: TxWord>(&self, var: &PVar<T>, value: T) {
+        assert!(
+            core::ptr::eq(var.binding().load(), Arc::as_ptr(&self.part)),
+            "variable is not bound to the privatized partition"
+        );
+        var.store_direct(value);
+    }
+
+    /// How long this guard has held the partition.
+    pub fn held_for(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Returns the partition to transactional service under generation+1.
+    ///
+    /// Equivalent to dropping the guard; provided so call sites can make
+    /// the hand-back explicit. See the [module docs](self) for the
+    /// republish ordering argument.
+    pub fn republish(mut self) {
+        self.republish_inner();
+    }
+
+    fn republish_inner(&mut self) {
+        if !self.active {
+            return;
+        }
+        self.active = false;
+        let held = self.start.elapsed();
+        if held > HOLD_WARN_THRESHOLD {
+            hold_limiter().warn(&format!(
+                "partition '{}' was privatized for {held:?} \
+                 (> {HOLD_WARN_THRESHOLD:?}); transactional writers were \
+                 starved into retry for the duration",
+                self.part.name()
+            ));
+        }
+        // Advance the clock so the reset stamp is *strictly* greater than
+        // every read version issued before the window: the first
+        // transactional contact with any orec of this partition is then
+        // forced to extend (revalidate) past the private phase.
+        let stamp = self.stm.inner.clock.advance();
+        self.part.reset_orecs(stamp);
+        // Tuning deltas must not straddle the hold (the stats saw an
+        // abort storm at the flag plus total silence during the hold).
+        self.part.reset_tuning_window();
+        let word = config::encode(
+            config::decode(self.old),
+            config::generation(self.old).wrapping_add(1),
+        );
+        self.part.config.store(word, Ordering::SeqCst);
+        self.part.stats.republishes(0, 1);
+    }
+}
+
+impl Drop for PrivateGuard {
+    fn drop(&mut self) {
+        self.republish_inner();
+    }
+}
+
+/// The privatization window (see [`Stm::privatize`] for the contract and
+/// the [module docs](self) for the safety argument). Structurally the
+/// flag→quiesce prefix of `switch_partition_impl`, with the mutate+close
+/// suffix deferred into the returned guard's republish.
+pub(crate) fn privatize_impl(
+    stm: &Stm,
+    partition: &Arc<Partition>,
+) -> Result<PrivateGuard, PrivatizeError> {
+    let inner = &stm.inner;
+    let old = partition.config.load(Ordering::SeqCst);
+    if config::is_switching(old) {
+        return Err(PrivatizeError::Contended);
+    }
+    if partition
+        .config
+        .compare_exchange(
+            old,
+            old | config::SWITCHING_BIT | config::PRIVATIZED_BIT,
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        )
+        .is_err()
+    {
+        return Err(PrivatizeError::Contended);
+    }
+    if !bump_epoch_and_quiesce(inner) {
+        // Roll back: clear both flags, leave config/generation/orecs
+        // exactly as found (nothing was mutated). We own the word while
+        // the flag is set, so a plain store is race-free.
+        partition.config.store(old, Ordering::SeqCst);
+        partition.stats.privatize_rollbacks(0, 1);
+        let timeout = inner.quiesce_timeout;
+        if cfg!(debug_assertions) {
+            panic!(
+                "privatization could not quiesce in {timeout:?}: \
+                 a transaction appears stuck"
+            );
+        }
+        quiesce_limiter().warn(&format!(
+            "privatization of partition '{}' rolled back: quiescence not \
+             reached in {timeout:?} (stuck transaction?); retryable",
+            partition.name()
+        ));
+        return Err(PrivatizeError::TimedOut);
+    }
+    partition.stats.privatizations(0, 1);
+    Ok(PrivateGuard {
+        stm: stm.clone(),
+        part: Arc::clone(partition),
+        old,
+        start: Instant::now(),
+        active: true,
+    })
+}
+
+impl Stm {
+    /// Privatizes `partition`: runs the flag→quiesce window and returns a
+    /// [`PrivateGuard`] granting exclusive, non-transactional access to
+    /// the partition's cells at plain-memory speed. While the guard
+    /// lives, transactional attempts touching the partition abort and
+    /// back off (counted as `privatized_collisions`), and every other
+    /// control-plane operation on it — switch, resize, ring-depth change,
+    /// repartition, another privatize — reports contention. Dropping or
+    /// [`republish`](PrivateGuard::republish)ing the guard re-admits
+    /// transactions under generation+1.
+    ///
+    /// Intended for bulk phases where STM overhead is pure waste: initial
+    /// loads, compaction, snapshots, analytics scans (the structure crate
+    /// builds `bulk_insert`/`bulk_load`/iterator entry points on top).
+    /// See the [module docs](crate::privatize) for the safety argument.
+    ///
+    /// Returns [`PrivatizeError::Contended`] without waiting when another
+    /// switch owns the partition, and [`PrivatizeError::TimedOut`]
+    /// (release builds; debug builds panic) when quiescence cannot be
+    /// reached — in both cases the partition is exactly as found.
+    ///
+    /// Must not be called from inside a transaction (it would deadlock
+    /// the quiesce against the caller's own attempt).
+    ///
+    /// # Panics
+    ///
+    /// If `partition` belongs to a different [`Stm`].
+    pub fn privatize(&self, partition: &Arc<Partition>) -> Result<PrivateGuard, PrivatizeError> {
+        assert_eq!(
+            partition.stm_id, self.inner.id,
+            "partition belongs to a different Stm"
+        );
+        privatize_impl(self, partition)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PartitionConfig;
+
+    #[test]
+    fn privatize_sets_both_flags_and_republish_bumps_generation() {
+        let stm = Stm::new();
+        let p = stm.new_partition(PartitionConfig::named("bulk"));
+        assert_eq!(p.generation(), 0);
+        let g = stm.privatize(&p).expect("uncontended");
+        assert!(p.is_privatized());
+        let w = p.config.load(Ordering::SeqCst);
+        assert!(config::is_switching(w), "exclusion rides the switching bit");
+        assert!(config::is_privatized(w));
+        g.republish();
+        assert!(!p.is_privatized());
+        assert!(!config::is_switching(p.config.load(Ordering::SeqCst)));
+        assert_eq!(p.generation(), 1);
+        let s = p.stats();
+        assert_eq!(s.privatizations, 1);
+        assert_eq!(s.republishes, 1);
+        assert_eq!(s.privatize_rollbacks, 0);
+    }
+
+    #[test]
+    fn drop_republishes_too() {
+        let stm = Stm::new();
+        let p = stm.new_partition(PartitionConfig::default());
+        {
+            let _g = stm.privatize(&p).expect("uncontended");
+            assert!(p.is_privatized());
+        }
+        assert!(!p.is_privatized());
+        assert_eq!(p.generation(), 1);
+        assert_eq!(p.stats().republishes, 1);
+    }
+
+    #[test]
+    fn guard_reads_and_writes_cells_directly() {
+        let stm = Stm::new();
+        let p = stm.new_partition(PartitionConfig::default());
+        let x = p.tvar(5u64);
+        let g = stm.privatize(&p).expect("uncontended");
+        assert_eq!(g.read(&x), 5);
+        g.write(&x, 77);
+        assert_eq!(g.read(&x), 77);
+        assert!(g.covers(&p));
+        assert!(g.held_for() < Duration::from_secs(60));
+        g.republish();
+        // The private write is visible transactionally after republish.
+        let ctx = stm.register_thread();
+        assert_eq!(ctx.run(|tx| tx.read(&x)), 77);
+    }
+
+    #[test]
+    #[should_panic(expected = "not bound to the privatized partition")]
+    fn guard_rejects_foreign_variables() {
+        let stm = Stm::new();
+        let p = stm.new_partition(PartitionConfig::named("mine"));
+        let q = stm.new_partition(PartitionConfig::named("other"));
+        let y = q.tvar(1u64);
+        let g = stm.privatize(&p).expect("uncontended");
+        let _ = g.read(&y);
+    }
+
+    #[test]
+    fn privatize_contends_with_a_held_switch_and_vice_versa() {
+        let stm = Stm::new();
+        let p = stm.new_partition(PartitionConfig::default());
+        p.debug_force_switch_flag(true);
+        assert_eq!(
+            stm.privatize(&p).unwrap_err(),
+            PrivatizeError::Contended,
+            "foreign flag blocks privatization"
+        );
+        p.debug_force_switch_flag(false);
+        let g = stm.privatize(&p).expect("uncontended");
+        // Every other control-plane operation contends with the hold.
+        let mut cfg = p.current_config();
+        cfg.read_mode = crate::config::ReadMode::Visible;
+        assert_eq!(
+            stm.switch_partition(&p, cfg),
+            crate::SwitchOutcome::Contended
+        );
+        assert_eq!(
+            stm.resize_orecs(&p, 4 * p.orec_count()),
+            crate::SwitchOutcome::Contended
+        );
+        assert_eq!(
+            stm.set_ring_depth(&p, p.ring_depth() + 1),
+            crate::SwitchOutcome::Contended
+        );
+        assert_eq!(
+            stm.privatize(&p).unwrap_err(),
+            PrivatizeError::Contended,
+            "privatization is exclusive with itself"
+        );
+        g.republish();
+        assert!(stm.switch_partition(&p, cfg).switched(), "hold released");
+    }
+
+    #[test]
+    fn transactions_collide_and_retry_across_a_hold() {
+        let stm = Stm::new();
+        let p = stm.new_partition(PartitionConfig::default());
+        let x = std::sync::Arc::new(p.tvar(0u64));
+        let g = stm.privatize(&p).expect("uncontended");
+        g.write(&x, 100);
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|s| {
+            let x2 = std::sync::Arc::clone(&x);
+            let stm2 = stm.clone();
+            let stop = &stop;
+            s.spawn(move || {
+                let ctx = stm2.register_thread();
+                // Blocks (aborting internally) until the hold is released.
+                ctx.run(|tx| tx.modify(&x2, |v| v + 1).map(|_| ()));
+                stop.store(true, std::sync::atomic::Ordering::SeqCst);
+            });
+            std::thread::sleep(Duration::from_millis(30));
+            assert!(
+                !stop.load(std::sync::atomic::Ordering::SeqCst),
+                "writer must not commit while the hold is live"
+            );
+            g.republish();
+        });
+        assert_eq!(x.load_direct(), 101, "writer saw the private store");
+        assert!(p.stats().privatized_collisions > 0, "collisions classified");
+        assert!(p.stats().aborts_switching > 0);
+    }
+
+    #[test]
+    fn republish_resets_orecs_to_an_advanced_stamp() {
+        let stm = Stm::new();
+        let p = stm.new_partition(PartitionConfig::default().orecs(8));
+        let before = stm.clock_now();
+        let g = stm.privatize(&p).expect("uncontended");
+        g.republish();
+        assert!(stm.clock_now() > before, "republish advances the clock");
+        let (locked, _, maxv) = p.debug_scan();
+        assert_eq!(locked, 0);
+        assert!(maxv > before, "orecs stamped with the advanced time");
+    }
+
+    #[test]
+    #[should_panic(expected = "different Stm")]
+    fn cross_stm_privatize_is_rejected() {
+        let stm1 = Stm::new();
+        let stm2 = Stm::new();
+        let p = stm1.new_partition(PartitionConfig::default());
+        let _ = stm2.privatize(&p);
+    }
+}

@@ -143,6 +143,21 @@
 //! could have used it. Its absence routes them to the live cell, which
 //! all pre-window commits have fully reached.
 //!
+//! **Against privatization.** A privatization hold
+//! ([`crate::Stm::privatize`]) is the same window with the close deferred:
+//! the flag stays installed while a [`crate::PrivateGuard`] owner mutates
+//! cells with plain stores, and republish advances the clock, stamps every
+//! orec with the new time and truncates rings/overflow before clearing the
+//! flag. The same two cases cover snapshot readers exactly: a reader
+//! pinned before the hold was drained by the quiesce (it cannot observe
+//! any private store), and a reader pinning after republish gets `T` at
+//! least the advanced clock — which upper-bounds the close stamp of every
+//! truncated record, and which every private store is ordered *before*
+//! (the stores happen-before the flag-clearing release that the reader's
+//! flag check acquires). A reader that attempts *during* the hold restarts
+//! on the flag like any attempt (counted as `snapshot_restarts` plus
+//! `privatized_collisions`); there is no third case.
+//!
 //! # Cost model
 //!
 //! Writers pay one ring scan (`ring_depth` stamps, one cache line for
@@ -318,6 +333,9 @@ impl<'e, 's> ReadTx<'e, 's> {
         );
         let word = part.config_word();
         if config::is_switching(word) {
+            if config::is_privatized(word) {
+                part.stats.privatized_collisions(self.slot, 1);
+            }
             part.stats.starts(self.slot, 1);
             part.stats.aborts_switching(self.slot, 1);
             part.stats.snapshot_restarts(self.slot, 1);

@@ -55,7 +55,15 @@ macro_rules! for_each_stat {
             /// Snapshot reads that were served from a version-ring/overflow record rather than the live cell.
             snapshot_history_reads,
             /// Committed-version records diverted to the overflow list because the ring victim was still reader-protected.
-            ring_overflow_pushes
+            ring_overflow_pushes,
+            /// Completed privatizations of this partition (flag→quiesce window won and a `PrivateGuard` was handed out).
+            privatizations,
+            /// Privatization attempts rolled back because quiescence timed out (config word restored exactly).
+            privatize_rollbacks,
+            /// Republish events: a `PrivateGuard` returned the partition to transactional service under gen+1.
+            republishes,
+            /// Transactional attempts that aborted against a *privatized* (not merely switching) partition.
+            privatized_collisions
         );
     };
 }

@@ -429,6 +429,13 @@ impl<'e, 's> Tx<'e, 's> {
         );
         let word = part.config_word();
         if config::is_switching(word) {
+            // A privatization hold is a switching flag plus the privatized
+            // classification bit: same abort-and-back-off path, counted
+            // separately so operators can tell bulk-operation collisions
+            // from tuning churn.
+            if config::is_privatized(word) {
+                part.stats.privatized_collisions(self.slot, 1);
+            }
             part.stats.aborts_switching(self.slot, 1);
             part.stats.starts(self.slot, 1);
             self.s.engine_fail = true;

@@ -364,6 +364,22 @@ fn step(ctrl: &Ctrl) {
         if st.streaks.get(key).copied().unwrap_or(0) < ctrl.cfg.hysteresis {
             continue;
         }
+        // A privatized partition is held outside transactional service by
+        // a `PrivateGuard`; every protocol action against it would only
+        // bounce off the installed switch flag (Contended), burning this
+        // window's single action — and a split would leak a corpse
+        // destination. Skip such proposals until the guard republishes
+        // (the streak survives, so the action fires on the next window).
+        let privatized =
+            |id: PartitionId| find_partition(&ctrl.stm, id).is_some_and(|p| p.is_privatized());
+        let held = match proposal {
+            Proposal::Split { src, .. } => privatized(*src),
+            Proposal::Merge { src, dst, .. } => privatized(*src) || privatized(*dst),
+            Proposal::Resize { partition, .. } => privatized(*partition),
+        };
+        if held {
+            continue;
+        }
         match proposal {
             Proposal::Split {
                 src,

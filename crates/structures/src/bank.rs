@@ -10,7 +10,7 @@ use std::sync::Arc;
 
 use partstm_core::{
     CollectionRegistry, Migratable, MigratableCollection, MigrationSource, PVar, PVarBinding,
-    Partition, PartitionId, Tx, TxResult,
+    Partition, PartitionId, PrivateGuard, Tx, TxResult,
 };
 
 /// A fixed array of accounts guarded by one partition. Every account is a
@@ -119,6 +119,48 @@ impl Bank {
     pub fn total_direct(&self) -> i64 {
         self.accounts.iter().map(|a| a.load_direct()).sum()
     }
+
+    /// Checks that `guard` holds this bank's partition: O(1) in release
+    /// (the home binding), every account binding in debug builds — the
+    /// debug walk catches a bank torn across partitions by a partial
+    /// migration.
+    fn assert_covered(&self, guard: &PrivateGuard) {
+        assert!(
+            guard.covers(&self.home_partition()),
+            "bank's partition is not the privatized one"
+        );
+        debug_assert!(
+            guard.covers_source(self),
+            "bank torn across partitions; migrate it whole before privatizing"
+        );
+    }
+
+    /// Guard-gated bulk loader: sets every account's balance with plain
+    /// stores — no orec traffic, no undo log. The raw-speed twin of a
+    /// transactional initialization loop; see [`partstm_core::privatize`]
+    /// for why this is safe under the hold.
+    pub fn bulk_load(&self, guard: &PrivateGuard, mut balance: impl FnMut(usize) -> i64) {
+        self.assert_covered(guard);
+        for (i, a) in self.accounts.iter().enumerate() {
+            a.store_direct(balance(i));
+        }
+    }
+
+    /// Guard-gated bulk iterator over `(account index, balance)`. Exact:
+    /// the hold excludes every concurrent writer.
+    pub fn bulk_for_each(&self, guard: &PrivateGuard, mut f: impl FnMut(usize, i64)) {
+        self.assert_covered(guard);
+        for (i, a) in self.accounts.iter().enumerate() {
+            f(i, a.load_direct());
+        }
+    }
+
+    /// Guard-gated total: like [`Bank::total_direct`] but with the
+    /// quiescence *proved* by the guard instead of assumed.
+    pub fn bulk_total(&self, guard: &PrivateGuard) -> i64 {
+        self.assert_covered(guard);
+        self.total_direct()
+    }
 }
 
 impl MigrationSource for Bank {
@@ -202,6 +244,30 @@ mod tests {
             });
         });
         assert_eq!(bank.total_direct(), expect);
+    }
+
+    #[test]
+    fn bulk_load_then_transactional_traffic() {
+        let stm = Stm::new();
+        let bank = Bank::new(stm.new_partition(PartitionConfig::named("bank")), 32, 0);
+        {
+            let guard = stm.privatize(bank.partition()).expect("privatize");
+            bank.bulk_load(&guard, |i| (i as i64 + 1) * 10);
+            let expect: i64 = (1..=32).map(|i| i * 10).sum();
+            assert_eq!(bank.bulk_total(&guard), expect);
+            let mut seen = 0;
+            bank.bulk_for_each(&guard, |i, b| {
+                assert_eq!(b, (i as i64 + 1) * 10);
+                seen += 1;
+            });
+            assert_eq!(seen, 32);
+            guard.republish();
+        }
+        let ctx = stm.register_thread();
+        let expect: i64 = (1..=32).map(|i| i * 10).sum();
+        ctx.run(|tx| bank.transfer(tx, 0, 31, 5));
+        assert_eq!(ctx.run(|tx| bank.total(tx)), expect, "total conserved");
+        assert_eq!(ctx.run(|tx| bank.balance(tx, 0)), 5);
     }
 
     #[test]

@@ -10,7 +10,7 @@ use std::sync::Arc;
 
 use partstm_core::{
     Arena, CollectionRegistry, Handle, Migratable, MigratableCollection, MigrationSource, PVar,
-    PVarBinding, PVarFields, Partition, PartitionId, Tx, TxResult,
+    PVarBinding, PVarFields, Partition, PartitionId, PrivateGuard, Tx, TxResult,
 };
 
 use crate::intset::IntSet;
@@ -191,6 +191,79 @@ impl THashMap {
     pub fn partition(&self) -> &Arc<Partition> {
         &self.part
     }
+
+    /// Checks that `guard` holds this map's current home partition. O(1):
+    /// per-key bulk operations call it on every key, so the full
+    /// `covers_source` walk is reserved for the once-per-scan entry points
+    /// ([`THashMap::bulk_for_each`]).
+    #[inline]
+    fn assert_covered(&self, guard: &PrivateGuard) {
+        assert!(
+            guard.covers(&self.home_partition()),
+            "map's partition is not the privatized one"
+        );
+    }
+
+    /// Guard-gated insert-or-update with plain loads/stores and raw arena
+    /// allocation — the bulk-load twin of [`THashMap::put`]; see
+    /// [`partstm_core::privatize`] for why this is safe under the hold.
+    pub fn bulk_put(&self, guard: &PrivateGuard, key: u64, val: u64) -> Option<u64> {
+        self.assert_covered(guard);
+        let bucket = self.bucket(key);
+        let head = bucket.load_direct();
+        let mut cur = head;
+        while let Some(h) = cur {
+            let node = self.arena.get(h);
+            if node.key.load_direct() == key {
+                let old = node.val.load_direct();
+                node.val.store_direct(val);
+                return Some(old);
+            }
+            cur = node.next.load_direct();
+        }
+        let new = self.arena.alloc_raw();
+        let node = self.arena.get(new);
+        node.key.store_direct(key);
+        node.val.store_direct(val);
+        node.next.store_direct(head);
+        bucket.store_direct(Some(new));
+        None
+    }
+
+    /// Guard-gated lookup with plain loads (the bulk twin of
+    /// [`THashMap::get`]).
+    pub fn bulk_get(&self, guard: &PrivateGuard, key: u64) -> Option<u64> {
+        self.assert_covered(guard);
+        let mut cur = self.bucket(key).load_direct();
+        while let Some(h) = cur {
+            let node = self.arena.get(h);
+            if node.key.load_direct() == key {
+                return Some(node.val.load_direct());
+            }
+            cur = node.next.load_direct();
+        }
+        None
+    }
+
+    /// Guard-gated bulk iterator over every `(key, value)` pair, in
+    /// bucket-chain order. Exact: the hold excludes every concurrent
+    /// writer. The debug build additionally verifies the whole structure
+    /// is inside the hold (a partial migration could tear it).
+    pub fn bulk_for_each(&self, guard: &PrivateGuard, mut f: impl FnMut(u64, u64)) {
+        self.assert_covered(guard);
+        debug_assert!(
+            guard.covers_source(self),
+            "map torn across partitions; migrate it whole before privatizing"
+        );
+        for b in self.buckets.iter() {
+            let mut cur = b.load_direct();
+            while let Some(h) = cur {
+                let n = self.arena.get(h);
+                f(n.key.load_direct(), n.val.load_direct());
+                cur = n.next.load_direct();
+            }
+        }
+    }
 }
 
 impl MigrationSource for THashMap {
@@ -274,6 +347,13 @@ impl IntSet for THashSet {
         self.map.put_if_absent(tx, key, 1)
     }
 
+    fn bulk_insert(&self, guard: &PrivateGuard, key: u64) -> bool {
+        self.map.bulk_get(guard, key).is_none() && {
+            self.map.bulk_put(guard, key, 1);
+            true
+        }
+    }
+
     fn remove<'e>(&'e self, tx: &mut Tx<'e, '_>, key: u64) -> TxResult<bool> {
         Ok(self.map.delete(tx, key)?.is_some())
     }
@@ -352,5 +432,38 @@ mod tests {
         let stm = Stm::new();
         let s = THashSet::new(stm.new_partition(PartitionConfig::named("set")), 4);
         testing::check_concurrent_contended(&stm, &s);
+    }
+
+    #[test]
+    fn set_bulk_insert_matches_transactional() {
+        let stm = Stm::new();
+        let s = THashSet::new(stm.new_partition(PartitionConfig::named("set")), 16);
+        testing::check_bulk_matches_transactional(&stm, &s);
+    }
+
+    #[test]
+    fn map_bulk_ops_match_transactional() {
+        let stm = Stm::new();
+        let m = THashMap::new(stm.new_partition(PartitionConfig::named("map")), 8);
+        {
+            let guard = stm.privatize(m.partition()).expect("privatize");
+            for k in 0..64u64 {
+                assert_eq!(m.bulk_put(&guard, k, k * 2), None);
+            }
+            assert_eq!(m.bulk_put(&guard, 7, 70), Some(14), "update in place");
+            assert_eq!(m.bulk_get(&guard, 7), Some(70));
+            assert_eq!(m.bulk_get(&guard, 64), None);
+            let mut n = 0usize;
+            m.bulk_for_each(&guard, |k, v| {
+                n += 1;
+                assert_eq!(v, if k == 7 { 70 } else { k * 2 });
+            });
+            assert_eq!(n, 64);
+        }
+        // Guard dropped → republished; transactional service resumes.
+        let ctx = stm.register_thread();
+        assert_eq!(ctx.run(|tx| m.get(tx, 7)), Some(70));
+        assert_eq!(ctx.run(|tx| m.put(tx, 64, 1)), None);
+        assert_eq!(m.snapshot_pairs().len(), 65);
     }
 }

@@ -8,7 +8,7 @@
 
 use std::sync::Arc;
 
-use partstm_core::{Partition, Tx, TxResult};
+use partstm_core::{Partition, PrivateGuard, Tx, TxResult};
 
 /// A transactional set of `u64` keys.
 pub trait IntSet: Send + Sync {
@@ -17,6 +17,13 @@ pub trait IntSet: Send + Sync {
 
     /// Inserts `key`; returns `true` if it was absent.
     fn insert<'e>(&'e self, tx: &mut Tx<'e, '_>, key: u64) -> TxResult<bool>;
+
+    /// Guard-gated insert at plain-memory speed — no orec traffic, no
+    /// read-set, no retry loop. For bulk loads while the structure's
+    /// partition is held by a [`PrivateGuard`] (see
+    /// [`partstm_core::privatize`]); panics if `guard` does not cover the
+    /// structure's partition. Returns `true` if the key was absent.
+    fn bulk_insert(&self, guard: &PrivateGuard, key: u64) -> bool;
 
     /// Removes `key`; returns `true` if it was present.
     fn remove<'e>(&'e self, tx: &mut Tx<'e, '_>, key: u64) -> TxResult<bool>;
@@ -95,6 +102,48 @@ pub(crate) mod testing {
         });
         let expect: Vec<u64> = (0..threads * per).filter(|k| k % 2 == 0).collect();
         assert_eq!(set.snapshot_keys(), expect);
+    }
+
+    /// Bulk inserts under a [`PrivateGuard`] must agree with a model and
+    /// leave the structure fully transactional again after republish:
+    /// same return values as `BTreeSet::insert`, same final contents, and
+    /// post-republish transactional ops compose with the bulk-loaded
+    /// state.
+    pub fn check_bulk_matches_transactional(stm: &Stm, set: &dyn IntSet) {
+        let mut model = BTreeSet::new();
+        {
+            let guard = stm.privatize(set.partition()).expect("privatize");
+            let mut state = 0xfeed_face_cafe_beefu64;
+            for _ in 0..500 {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                let key = state % 128;
+                assert_eq!(
+                    set.bulk_insert(&guard, key),
+                    model.insert(key),
+                    "bulk_insert({key})"
+                );
+            }
+            guard.republish();
+        }
+        // The partition is back in transactional service: ops must see the
+        // bulk-loaded contents and compose with them.
+        let ctx = stm.register_thread();
+        for key in [1u64, 200, 201] {
+            let expect = model.insert(key);
+            assert_eq!(ctx.run(|tx| set.insert(tx, key)), expect, "insert({key})");
+        }
+        for key in [0u64, 63, 127, 200] {
+            let expect = model.contains(&key);
+            assert_eq!(
+                ctx.run(|tx| set.contains(tx, key)),
+                expect,
+                "contains({key})"
+            );
+        }
+        let keys: Vec<u64> = model.into_iter().collect();
+        assert_eq!(set.snapshot_keys(), keys, "final snapshot");
     }
 
     /// Concurrent contended mix on a tiny range; verify against an oracle

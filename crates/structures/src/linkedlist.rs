@@ -9,7 +9,7 @@ use std::sync::Arc;
 
 use partstm_core::{
     Arena, CollectionRegistry, Handle, Migratable, MigratableCollection, MigrationSource, PVar,
-    PVarBinding, PVarFields, Partition, PartitionId, Tx, TxResult,
+    PVarBinding, PVarFields, Partition, PartitionId, PrivateGuard, Tx, TxResult,
 };
 
 use crate::intset::IntSet;
@@ -109,6 +109,19 @@ impl TLinkedList {
             None => tx.write(&self.head, Some(new)),
         }
     }
+
+    /// Checks that `guard` holds this list's partition: O(1) in release
+    /// (the arena's home binding), every binding in debug builds.
+    fn assert_covered(&self, guard: &PrivateGuard) {
+        assert!(
+            guard.covers(&self.home_partition()),
+            "list's partition is not the privatized one"
+        );
+        debug_assert!(
+            guard.covers_source(self),
+            "list torn across partitions; migrate it whole before privatizing"
+        );
+    }
 }
 
 impl MigrationSource for TLinkedList {
@@ -157,6 +170,36 @@ impl IntSet for TLinkedList {
         tx.write(&node.next, cur)?;
         self.link_after(tx, prev, new)?;
         Ok(true)
+    }
+
+    fn bulk_insert(&self, guard: &PrivateGuard, key: u64) -> bool {
+        self.assert_covered(guard);
+        // Direct port of `locate` + `insert`: plain loads and stores, no
+        // orec traffic — the hold excludes every transactional writer.
+        let mut prev: Option<Handle<Node>> = None;
+        let mut cur = self.head.load_direct();
+        while let Some(h) = cur {
+            let node = self.arena.get(h);
+            if node.key.load_direct() >= key {
+                break;
+            }
+            prev = Some(h);
+            cur = node.next.load_direct();
+        }
+        if let Some(h) = cur {
+            if self.arena.get(h).key.load_direct() == key {
+                return false;
+            }
+        }
+        let new = self.arena.alloc_raw();
+        let node = self.arena.get(new);
+        node.key.store_direct(key);
+        node.next.store_direct(cur);
+        match prev {
+            Some(p) => self.arena.get(p).next.store_direct(Some(new)),
+            None => self.head.store_direct(Some(new)),
+        }
+        true
     }
 
     fn remove<'e>(&'e self, tx: &mut Tx<'e, '_>, key: u64) -> TxResult<bool> {
@@ -259,6 +302,13 @@ mod tests {
         let stm = Stm::new();
         let l = fresh(&stm);
         testing::check_sequential_model(&stm, &l);
+    }
+
+    #[test]
+    fn bulk_insert_matches_transactional() {
+        let stm = Stm::new();
+        let l = fresh(&stm);
+        testing::check_bulk_matches_transactional(&stm, &l);
     }
 
     #[test]

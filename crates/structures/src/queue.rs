@@ -9,7 +9,7 @@ use std::sync::Arc;
 
 use partstm_core::{
     Arena, CollectionRegistry, Handle, Migratable, MigratableCollection, MigrationSource, PVar,
-    PVarBinding, PVarFields, Partition, PartitionId, Tx, TxResult, TxWord,
+    PVarBinding, PVarFields, Partition, PartitionId, PrivateGuard, Tx, TxResult, TxWord,
 };
 
 /// Queue node: one value word plus the next link, bound to the queue's
@@ -126,6 +126,34 @@ impl<T: TxWord> TQueue<T> {
         &self.part
     }
 
+    /// Guard-gated append at plain-memory speed — no orec traffic, no
+    /// undo log, no retry loop. For bulk loads while the queue's
+    /// partition is held by a [`PrivateGuard`]; see
+    /// [`partstm_core::privatize`] for the safety argument.
+    pub fn bulk_push_back(&self, guard: &PrivateGuard, value: T)
+    where
+        T: Send + Sync,
+    {
+        assert!(
+            guard.covers(&self.arena.partition().expect("bound arena")),
+            "queue's partition is not the privatized one"
+        );
+        debug_assert!(
+            guard.covers_source(self),
+            "queue torn across partitions; migrate it whole before privatizing"
+        );
+        let h = self.arena.alloc_raw();
+        let n = self.arena.get(h);
+        n.val.store_direct(value.to_word());
+        n.next.store_direct(None);
+        match self.tail.load_direct() {
+            Some(t) => self.arena.get(t).next.store_direct(Some(h)),
+            None => self.head.store_direct(Some(h)),
+        }
+        self.tail.store_direct(Some(h));
+        self.len.store_direct(self.len.load_direct() + 1);
+    }
+
     /// Non-transactional front-to-back snapshot (quiescent only).
     pub fn snapshot(&self) -> Vec<T> {
         let mut out = Vec::new();
@@ -215,6 +243,25 @@ mod tests {
             ctx.run(|tx| q.pop_front(tx).map(|_| ()));
         }
         assert!(q.arena.live() <= 1, "live={}", q.arena.live());
+    }
+
+    #[test]
+    fn bulk_push_then_transactional_pop() {
+        let stm = Stm::new();
+        let q = fresh(&stm);
+        {
+            let guard = stm.privatize(q.partition()).expect("privatize");
+            for i in 0..50u64 {
+                q.bulk_push_back(&guard, i);
+            }
+        }
+        assert_eq!(q.snapshot(), (0..50).collect::<Vec<_>>());
+        let ctx = stm.register_thread();
+        assert_eq!(ctx.run(|tx| q.len_tx(tx)), 50);
+        for i in 0..50u64 {
+            assert_eq!(ctx.run(|tx| q.pop_front(tx)), Some(i));
+        }
+        assert_eq!(ctx.run(|tx| q.pop_front(tx)), None);
     }
 
     #[test]

@@ -15,7 +15,7 @@ use std::sync::Arc;
 
 use partstm_core::{
     Arena, CollectionRegistry, Handle, Migratable, MigratableCollection, MigrationSource, PVar,
-    PVarBinding, PVarFields, Partition, PartitionId, Tx, TxResult,
+    PVarBinding, PVarFields, Partition, PartitionId, PrivateGuard, Tx, TxResult,
 };
 
 use crate::intset::IntSet;
@@ -424,6 +424,203 @@ impl TRbTree {
         Ok(())
     }
 
+    /// Checks that `guard` holds this tree's partition: O(1) in release
+    /// (the arena's home binding), every binding in debug builds.
+    fn assert_covered(&self, guard: &PrivateGuard) {
+        assert!(
+            guard.covers(&self.home_partition()),
+            "tree's partition is not the privatized one"
+        );
+        debug_assert!(
+            guard.covers_source(self),
+            "tree torn across partitions; migrate it whole before privatizing"
+        );
+    }
+
+    // Direct (non-transactional) twins of the rebalancing helpers, used
+    // only on guard-gated paths where the hold excludes every
+    // transactional writer.
+
+    fn d_left(&self, h: Handle<Node>) -> H {
+        self.arena.get(h).left.load_direct()
+    }
+
+    fn d_right(&self, h: Handle<Node>) -> H {
+        self.arena.get(h).right.load_direct()
+    }
+
+    fn d_parent(&self, h: Handle<Node>) -> H {
+        self.arena.get(h).parent.load_direct()
+    }
+
+    fn d_is_red(&self, h: H) -> bool {
+        h.is_some_and(|n| self.arena.get(n).red.load_direct())
+    }
+
+    fn d_set_red(&self, h: Handle<Node>, red: bool) {
+        self.arena.get(h).red.store_direct(red);
+    }
+
+    fn d_replace_child(&self, parent: H, old: Handle<Node>, new: H) {
+        match parent {
+            None => self.root.store_direct(new),
+            Some(p) => {
+                if self.d_left(p) == Some(old) {
+                    self.arena.get(p).left.store_direct(new);
+                } else {
+                    self.arena.get(p).right.store_direct(new);
+                }
+            }
+        }
+    }
+
+    fn d_rotate_left(&self, x: Handle<Node>) {
+        let y = self.d_right(x).expect("rotate_left without right child");
+        let yl = self.d_left(y);
+        self.arena.get(x).right.store_direct(yl);
+        if let Some(n) = yl {
+            self.arena.get(n).parent.store_direct(Some(x));
+        }
+        let xp = self.d_parent(x);
+        self.arena.get(y).parent.store_direct(xp);
+        self.d_replace_child(xp, x, Some(y));
+        self.arena.get(y).left.store_direct(Some(x));
+        self.arena.get(x).parent.store_direct(Some(y));
+    }
+
+    fn d_rotate_right(&self, x: Handle<Node>) {
+        let y = self.d_left(x).expect("rotate_right without left child");
+        let yr = self.d_right(y);
+        self.arena.get(x).left.store_direct(yr);
+        if let Some(n) = yr {
+            self.arena.get(n).parent.store_direct(Some(x));
+        }
+        let xp = self.d_parent(x);
+        self.arena.get(y).parent.store_direct(xp);
+        self.d_replace_child(xp, x, Some(y));
+        self.arena.get(y).right.store_direct(Some(x));
+        self.arena.get(x).parent.store_direct(Some(y));
+    }
+
+    fn d_insert_fixup(&self, mut z: Handle<Node>) {
+        loop {
+            let p = match self.d_parent(z) {
+                Some(p) if self.d_is_red(Some(p)) => p,
+                _ => break,
+            };
+            let g = self.d_parent(p).expect("red parent must have a parent");
+            if Some(p) == self.d_left(g) {
+                let u = self.d_right(g);
+                if self.d_is_red(u) {
+                    self.d_set_red(p, false);
+                    self.d_set_red(u.unwrap(), false);
+                    self.d_set_red(g, true);
+                    z = g;
+                } else {
+                    if Some(z) == self.d_right(p) {
+                        z = p;
+                        self.d_rotate_left(z);
+                    }
+                    let p2 = self.d_parent(z).expect("fixup parent");
+                    let g2 = self.d_parent(p2).expect("fixup grandparent");
+                    self.d_set_red(p2, false);
+                    self.d_set_red(g2, true);
+                    self.d_rotate_right(g2);
+                }
+            } else {
+                let u = self.d_left(g);
+                if self.d_is_red(u) {
+                    self.d_set_red(p, false);
+                    self.d_set_red(u.unwrap(), false);
+                    self.d_set_red(g, true);
+                    z = g;
+                } else {
+                    if Some(z) == self.d_left(p) {
+                        z = p;
+                        self.d_rotate_right(z);
+                    }
+                    let p2 = self.d_parent(z).expect("fixup parent");
+                    let g2 = self.d_parent(p2).expect("fixup grandparent");
+                    self.d_set_red(p2, false);
+                    self.d_set_red(g2, true);
+                    self.d_rotate_left(g2);
+                }
+            }
+        }
+        if let Some(r) = self.root.load_direct() {
+            self.d_set_red(r, false);
+        }
+    }
+
+    /// Guard-gated insert-or-update at plain-memory speed: a direct port
+    /// of [`TRbTree::put`] (including the CLRS fixup) with no orec
+    /// traffic, no read set and no retry loop. Safe because the
+    /// [`PrivateGuard`] hold excludes every transactional reader and
+    /// writer; see [`partstm_core::privatize`].
+    pub fn bulk_put(&self, guard: &PrivateGuard, key: u64, val: u64) -> Option<u64> {
+        self.assert_covered(guard);
+        let mut parent: H = None;
+        let mut cur = self.root.load_direct();
+        let mut went_left = false;
+        while let Some(h) = cur {
+            let node = self.arena.get(h);
+            match key.cmp(&node.key.load_direct()) {
+                core::cmp::Ordering::Less => {
+                    parent = Some(h);
+                    went_left = true;
+                    cur = node.left.load_direct();
+                }
+                core::cmp::Ordering::Greater => {
+                    parent = Some(h);
+                    went_left = false;
+                    cur = node.right.load_direct();
+                }
+                core::cmp::Ordering::Equal => {
+                    let old = node.val.load_direct();
+                    node.val.store_direct(val);
+                    return Some(old);
+                }
+            }
+        }
+        let z = self.arena.alloc_raw();
+        {
+            let node = self.arena.get(z);
+            node.key.store_direct(key);
+            node.val.store_direct(val);
+            node.left.store_direct(None);
+            node.right.store_direct(None);
+            node.parent.store_direct(parent);
+            node.red.store_direct(true);
+        }
+        match parent {
+            None => self.root.store_direct(Some(z)),
+            Some(p) => {
+                if went_left {
+                    self.arena.get(p).left.store_direct(Some(z));
+                } else {
+                    self.arena.get(p).right.store_direct(Some(z));
+                }
+            }
+        }
+        self.d_insert_fixup(z);
+        None
+    }
+
+    /// Guard-gated lookup at plain-memory speed.
+    pub fn bulk_get(&self, guard: &PrivateGuard, key: u64) -> Option<u64> {
+        self.assert_covered(guard);
+        let mut cur = self.root.load_direct();
+        while let Some(h) = cur {
+            let node = self.arena.get(h);
+            cur = match key.cmp(&node.key.load_direct()) {
+                core::cmp::Ordering::Less => node.left.load_direct(),
+                core::cmp::Ordering::Greater => node.right.load_direct(),
+                core::cmp::Ordering::Equal => return Some(node.val.load_direct()),
+            };
+        }
+        None
+    }
+
     /// Non-transactional in-order `(key, value)` snapshot (quiescent only).
     pub fn snapshot_pairs(&self) -> Vec<(u64, u64)> {
         let mut out = Vec::new();
@@ -535,6 +732,10 @@ impl IntSet for TRbTree {
 
     fn insert<'e>(&'e self, tx: &mut Tx<'e, '_>, key: u64) -> TxResult<bool> {
         Ok(self.put(tx, key, key)?.is_none())
+    }
+
+    fn bulk_insert(&self, guard: &PrivateGuard, key: u64) -> bool {
+        self.bulk_put(guard, key, key).is_none()
     }
 
     fn remove<'e>(&'e self, tx: &mut Tx<'e, '_>, key: u64) -> TxResult<bool> {
@@ -663,6 +864,14 @@ mod tests {
         let stm = Stm::new();
         let t = fresh(&stm);
         testing::check_sequential_model(&stm, &t);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn bulk_insert_matches_transactional() {
+        let stm = Stm::new();
+        let t = fresh(&stm);
+        testing::check_bulk_matches_transactional(&stm, &t);
         t.check_invariants().unwrap();
     }
 

@@ -10,7 +10,7 @@ use std::sync::Arc;
 
 use partstm_core::{
     Arena, CollectionRegistry, Handle, Migratable, MigratableCollection, MigrationSource, PVar,
-    PVarBinding, PVarFields, Partition, PartitionId, Tx, TxResult,
+    PVarBinding, PVarFields, Partition, PartitionId, PrivateGuard, Tx, TxResult,
 };
 
 use crate::intset::IntSet;
@@ -146,6 +146,27 @@ impl TSkipList {
         let candidate = self.next_of(tx, preds[0], 0)?;
         Ok((preds, candidate))
     }
+
+    /// Non-transactional forward link at `lvl` (guard-gated paths only).
+    fn next_direct(&self, from: Option<Handle<Node>>, lvl: usize) -> Option<Handle<Node>> {
+        match from {
+            Some(h) => self.arena.get(h).next[lvl].load_direct(),
+            None => self.heads[lvl].load_direct(),
+        }
+    }
+
+    /// Checks that `guard` holds this skip list's partition: O(1) in
+    /// release (the arena's home binding), every binding in debug builds.
+    fn assert_covered(&self, guard: &PrivateGuard) {
+        assert!(
+            guard.covers(&self.home_partition()),
+            "skip list's partition is not the privatized one"
+        );
+        debug_assert!(
+            guard.covers_source(self),
+            "skip list torn across partitions; migrate it whole before privatizing"
+        );
+    }
 }
 
 impl MigrationSource for TSkipList {
@@ -205,6 +226,46 @@ impl IntSet for TSkipList {
             tx.write(&node.next[i], None)?;
         }
         Ok(true)
+    }
+
+    fn bulk_insert(&self, guard: &PrivateGuard, key: u64) -> bool {
+        self.assert_covered(guard);
+        // Direct port of `locate` + `insert`: plain loads and stores, no
+        // orec traffic — the hold excludes every transactional writer.
+        let mut preds: [Option<Handle<Node>>; MAX_LEVEL] = [None; MAX_LEVEL];
+        let mut pred: Option<Handle<Node>> = None;
+        for lvl in (0..MAX_LEVEL).rev() {
+            let mut cur = self.next_direct(pred, lvl);
+            while let Some(h) = cur {
+                if self.arena.get(h).key.load_direct() >= key {
+                    break;
+                }
+                pred = Some(h);
+                cur = self.next_direct(pred, lvl);
+            }
+            preds[lvl] = pred;
+        }
+        if let Some(h) = self.next_direct(preds[0], 0) {
+            if self.arena.get(h).key.load_direct() == key {
+                return false;
+            }
+        }
+        let lvl = level_for(key);
+        let new = self.arena.alloc_raw();
+        let node = self.arena.get(new);
+        node.key.store_direct(key);
+        node.level.store_direct(lvl as u64);
+        for (i, &pred) in preds.iter().enumerate().take(lvl) {
+            node.next[i].store_direct(self.next_direct(pred, i));
+            match pred {
+                Some(p) => self.arena.get(p).next[i].store_direct(Some(new)),
+                None => self.heads[i].store_direct(Some(new)),
+            }
+        }
+        for i in lvl..MAX_LEVEL {
+            node.next[i].store_direct(None);
+        }
+        true
     }
 
     fn remove<'e>(&'e self, tx: &mut Tx<'e, '_>, key: u64) -> TxResult<bool> {
@@ -310,6 +371,13 @@ mod tests {
         let stm = Stm::new();
         let sl = fresh(&stm);
         testing::check_sequential_model(&stm, &sl);
+    }
+
+    #[test]
+    fn bulk_insert_matches_transactional() {
+        let stm = Stm::new();
+        let sl = fresh(&stm);
+        testing::check_bulk_matches_transactional(&stm, &sl);
     }
 
     #[test]

@@ -1,17 +1,18 @@
 //! Failure injection: user panics, user-requested retries and pathological
 //! closures must never leak locks, reader bits or arena slots — and a
-//! failed *arena migration* (contention or quiesce timeout) must leave the
-//! free list and every slot binding exactly as it found them.
+//! failed *arena migration* or *privatization* (contention or quiesce
+//! timeout) must leave the free list and every slot binding exactly as it
+//! found them.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use partstm::core::{
-    Abort, Arena, Granularity, Handle, MigratableCollection, PartitionConfig, ReadMode, Stm,
-    SwitchOutcome, TVar,
+    Abort, Arena, Granularity, Handle, MigratableCollection, PartitionConfig, PrivatizeError,
+    ReadMode, Stm, SwitchOutcome, TVar,
 };
-use partstm::structures::THashMap;
+use partstm::structures::{Bank, THashMap};
 
 #[derive(Default)]
 struct Node {
@@ -435,6 +436,240 @@ fn quiesce_timeout_during_resize_rolls_back() {
     assert_eq!(a.orec_count(), 4096);
     let ctx = stm.register_thread();
     assert_eq!(ctx.run(|tx| tx.modify(&x, |v| v + 1)), 102);
+}
+
+/// A contended privatization (partition already mid-switch) reports
+/// `Contended` without touching the config word, generation, orec table,
+/// versions or any binding — and succeeds once the flag clears, with the
+/// guard's private writes becoming transactional truth at republish.
+#[test]
+fn contended_privatize_rolls_back_exactly() {
+    let stm = Stm::new();
+    let a = stm.new_partition(PartitionConfig::named("a").orecs(64));
+    let map = THashMap::new(Arc::clone(&a), 8);
+    let ctx = stm.register_thread();
+    for k in 0..16u64 {
+        ctx.run(|tx| map.put(tx, k, k).map(|_| ()));
+    }
+    let generation = a.generation();
+    let count = a.orec_count();
+    let (locked, _, maxv) = a.debug_scan();
+    assert_eq!(locked, 0);
+
+    a.debug_force_switch_flag(true);
+    assert_eq!(stm.privatize(&a).unwrap_err(), PrivatizeError::Contended);
+    a.debug_force_switch_flag(false);
+
+    assert!(
+        !a.is_privatized(),
+        "failed attempt leaves no privatized bit"
+    );
+    assert_eq!(a.generation(), generation, "no generation bump on rollback");
+    assert_eq!(a.orec_count(), count, "table untouched");
+    let (locked2, _, maxv2) = a.debug_scan();
+    assert_eq!((locked2, maxv2), (locked, maxv), "orec versions untouched");
+    assert_all_bindings_in(&map, a.id(), "map");
+    assert_eq!(a.stats().privatizations, 0, "nothing counted as a hold");
+    // Transactions keep running against the rolled-back partition.
+    assert_eq!(ctx.run(|tx| map.get(tx, 3)), Some(3));
+
+    // Once clear, privatization succeeds; a guard-gated write is
+    // transactional truth after republish.
+    let g = stm.privatize(&a).expect("uncontended");
+    map.bulk_put(&g, 99, 990);
+    g.republish();
+    assert_eq!(a.generation(), generation + 1);
+    assert_eq!(ctx.run(|tx| map.get(tx, 99)), Some(990));
+}
+
+/// A quiesce timeout during privatization (a straggler transaction
+/// refuses to finish within the window) rolls the attempt back — flags
+/// cleared, old generation, partition fully transactional — and the
+/// straggler commits exactly as if nothing had happened. Debug builds
+/// panic at the timeout site (after rolling back); release builds report
+/// `TimedOut`.
+#[test]
+fn quiesce_timeout_during_privatize_rolls_back() {
+    let stm = Stm::builder()
+        .quiesce_timeout(Duration::from_millis(100))
+        .build();
+    let a = stm.new_partition(PartitionConfig::named("a").orecs(64));
+    let x = Arc::new(a.tvar(100u64));
+    let generation = a.generation();
+    let in_txn = Arc::new(AtomicBool::new(false));
+
+    std::thread::scope(|s| {
+        // The straggler: holds one update transaction open well past the
+        // quiesce timeout (sleeping inside a transaction — never do this
+        // in real code; that is the point).
+        {
+            let ctx = stm.register_thread();
+            let (x, in_txn) = (Arc::clone(&x), Arc::clone(&in_txn));
+            s.spawn(move || {
+                let mut slept = false;
+                ctx.run(|tx| {
+                    let v = tx.read(&x)?;
+                    if !slept {
+                        slept = true;
+                        in_txn.store(true, Ordering::Release);
+                        std::thread::sleep(Duration::from_millis(400));
+                    }
+                    tx.write(&x, v + 1)
+                });
+            });
+        }
+        while !in_txn.load(Ordering::Acquire) {
+            std::thread::yield_now();
+        }
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| stm.privatize(&a)));
+        match outcome {
+            // Debug builds: the timeout panics *after* rolling back.
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .unwrap_or_default();
+                assert!(msg.contains("could not quiesce"), "unexpected panic: {msg}");
+            }
+            // Release builds: rolled back and reported.
+            Ok(result) => assert_eq!(result.unwrap_err(), PrivatizeError::TimedOut),
+        }
+        assert!(!a.is_privatized(), "flags cleared by the rollback");
+        assert_eq!(a.generation(), generation, "no generation bump");
+        let st = a.stats();
+        assert_eq!(st.privatize_rollbacks, 1, "rollback classified");
+        assert_eq!(st.privatizations, 0, "no hold ever established");
+        assert_eq!(st.republishes, 0);
+    });
+
+    // The straggler's transaction committed exactly once despite the
+    // rolled-back privatization racing it.
+    assert_eq!(x.load_direct(), 101, "in-flight transaction exact");
+    // The partition is fully transactional again.
+    let ctx = stm.register_thread();
+    assert_eq!(ctx.run(|tx| tx.modify(&x, |v| v + 1)), 102);
+
+    // Straggler gone: privatization now succeeds and the private write
+    // is transactional truth after republish.
+    let g = stm.privatize(&a).expect("straggler gone");
+    g.write(&x, 500);
+    g.republish();
+    assert_eq!(a.generation(), generation + 1);
+    assert_eq!(ctx.run(|tx| tx.read(&x)), 500);
+}
+
+/// Privatize/republish cycles racing orec-resize storms, whole-collection
+/// migrations and live transfer traffic: every control-plane pair
+/// serializes on the switching bit (`Contended` bounces are allowed and
+/// retried), no combination corrupts a binding, and the bank's conserved
+/// sum survives the whole mêlée.
+#[test]
+fn privatize_vs_repartition_storm_conserves_sum() {
+    const ACCOUNTS: usize = 32;
+    let stm = Stm::new();
+    let a = stm.new_partition(PartitionConfig::named("a").orecs(64));
+    let b = stm.new_partition(PartitionConfig::named("b").orecs(64));
+    let bank = Bank::new(Arc::clone(&a), ACCOUNTS, 100);
+    let stop = AtomicBool::new(false);
+    let privatized = AtomicU64::new(0);
+    let migrated = AtomicU64::new(0);
+    let resized = AtomicU64::new(0);
+
+    std::thread::scope(|s| {
+        // Transfer traffic for the whole storm.
+        for t in 0..2u64 {
+            let ctx = stm.register_thread();
+            let (bank, stop) = (&bank, &stop);
+            s.spawn(move || {
+                let mut r = (t + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                while !stop.load(Ordering::Relaxed) {
+                    r ^= r << 13;
+                    r ^= r >> 7;
+                    r ^= r << 17;
+                    let from = (r % ACCOUNTS as u64) as usize;
+                    let to = ((r >> 8) % ACCOUNTS as u64) as usize;
+                    ctx.run(|tx| bank.transfer(tx, from, to, (r % 30) as i64));
+                }
+            });
+        }
+        let mut storms = Vec::new();
+        // Orec-resize storm on the original home.
+        {
+            let (stm, a, resized) = (&stm, &a, &resized);
+            storms.push(s.spawn(move || {
+                for i in 0..40 {
+                    let size = if i % 2 == 0 { 256 } else { 64 };
+                    if stm.resize_orecs(a, size).switched() {
+                        resized.fetch_add(1, Ordering::Relaxed);
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }));
+        }
+        // Migration storm: bounce the bank between the two partitions.
+        {
+            let (stm, bank, a, b, migrated) = (&stm, &bank, &a, &b, &migrated);
+            storms.push(s.spawn(move || {
+                for i in 0..20 {
+                    let dst = if i % 2 == 0 { b } else { a };
+                    if stm.migrate_collection(bank, dst).switched() {
+                        migrated.fetch_add(1, Ordering::Relaxed);
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            }));
+        }
+        // Privatization storm: grab whichever partition the bank calls
+        // home, compact it (sum-preserving), republish.
+        {
+            let (stm, bank, privatized) = (&stm, &bank, &privatized);
+            storms.push(s.spawn(move || {
+                for _ in 0..30 {
+                    let home = bank.home_partition();
+                    match stm.privatize(&home) {
+                        Ok(g) => {
+                            // The hold pins the home: a migration of the
+                            // bank contends until republish, so `covers`
+                            // is stable for the guard's lifetime. It can
+                            // still be false when a migration completed
+                            // between reading `home` and flagging it — in
+                            // which case the hold owns an empty partition
+                            // and the compaction is skipped.
+                            if g.covers(&bank.home_partition()) {
+                                let total = bank.bulk_total(&g);
+                                let n = ACCOUNTS as i64;
+                                let (each, rem) = (total / n, total % n);
+                                bank.bulk_load(&g, |i| each + i64::from((i as i64) < rem));
+                            }
+                            g.republish();
+                            privatized.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(PrivatizeError::Contended) => std::thread::yield_now(),
+                        Err(e) => panic!("privatize: {e}"),
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }));
+        }
+        for h in storms {
+            h.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    assert_eq!(
+        bank.total_direct(),
+        ACCOUNTS as i64 * 100,
+        "sum conserved through the storm"
+    );
+    assert!(privatized.load(Ordering::Relaxed) > 0, "some holds landed");
+    assert!(resized.load(Ordering::Relaxed) > 0, "some resizes landed");
+    assert!(
+        migrated.load(Ordering::Relaxed) > 0,
+        "some migrations landed"
+    );
+    // All bindings agree on wherever the last migration left the bank.
+    assert_all_bindings_in(&bank, bank.partition_of(), "bank");
 }
 
 /// A closure that reads, then decides to retry until a condition appears

@@ -38,16 +38,20 @@ enum MigOp {
     /// Resize the collection's current home orec table (size ladder
     /// indexed by the payload).
     Resize(u8),
+    /// Privatize the collection's current home, bulk-insert the key
+    /// without a transaction, republish.
+    Privatize(u64),
 }
 
 /// The orec-table size ladder the resize interleavings walk.
 const RESIZE_LADDER: [usize; 4] = [32, 128, 512, 2048];
 
 fn mig_op_strategy(key_range: u64) -> impl Strategy<Value = MigOp> {
-    // Weighted by hand (the proptest shim has no `prop_oneof!`): 7/10
-    // structure ops, 1/10 whole-collection migrations, 1/10 splits,
-    // 1/10 orec-table resizes.
-    (0..10u8, 0..3u8, 0..key_range, 0..4u8).prop_map(|(w, kind, k, p)| match w {
+    // Weighted by hand (the proptest shim has no `prop_oneof!`): 7/11
+    // structure ops, then one share each for whole-collection migrations,
+    // splits, orec-table resizes and privatize/bulk-insert/republish
+    // excursions.
+    (0..11u8, 0..3u8, 0..key_range, 0..4u8).prop_map(|(w, kind, k, p)| match w {
         0..=6 => MigOp::Op(match kind {
             0 => Op::Insert(k),
             1 => Op::Remove(k),
@@ -55,7 +59,8 @@ fn mig_op_strategy(key_range: u64) -> impl Strategy<Value = MigOp> {
         }),
         7 => MigOp::Migrate(p),
         8 => MigOp::Split,
-        _ => MigOp::Resize(p),
+        9 => MigOp::Resize(p),
+        _ => MigOp::Privatize(k),
     })
 }
 
@@ -209,6 +214,22 @@ proptest! {
                     prop_assert_eq!(set.partition_of(), before, "resize moves no data");
                     let expect: Vec<u64> = model.iter().copied().collect();
                     prop_assert_eq!(set.snapshot_keys(), expect, "after resize step {}", i);
+                }
+                MigOp::Privatize(k) => {
+                    // Privatize the set's current home, insert a key at
+                    // raw-memory speed, republish: the bulk insert's
+                    // return value matches the model and the key is
+                    // transactional truth immediately after the hold.
+                    let home = set.home_partition();
+                    let guard = stm.privatize(&home).expect("single-threaded: uncontended");
+                    prop_assert_eq!(
+                        set.bulk_insert(&guard, k),
+                        model.insert(k),
+                        "bulk_insert at step {}", i
+                    );
+                    guard.republish();
+                    let expect: Vec<u64> = model.iter().copied().collect();
+                    prop_assert_eq!(set.snapshot_keys(), expect, "after privatize step {}", i);
                 }
             }
         }
