@@ -39,18 +39,30 @@ use partstm_analysis::json::Json;
 /// Higher-is-better metrics gated against the relative-drop threshold.
 const GATED: [&str; 3] = ["recovery", "tail_kops", "read_kops"];
 
-/// One parsed document: scenario name → (metric name, value) list.
-type Doc = Vec<(String, Vec<(String, f64)>)>;
+/// One parsed document: schema version (None for pre-versioned files)
+/// plus scenario name → (metric name, value) list.
+struct Doc {
+    schema_version: Option<f64>,
+    scenarios: Vec<(String, Vec<(String, f64)>)>,
+}
 
 fn load(path: &str) -> Doc {
     let text = std::fs::read_to_string(path)
         .unwrap_or_else(|e| panic!("bench_compare: reading {path}: {e}"));
     let doc = Json::parse(&text).unwrap_or_else(|e| panic!("bench_compare: {path}: {e:?}"));
+    // `schema_version` is current; `version` is the pre-2.0 spelling.
+    let schema_version = doc
+        .get("schema_version")
+        .or_else(|| doc.get("version"))
+        .and_then(|v| match v {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        });
     let scenarios = doc
         .get("scenarios")
         .and_then(Json::as_arr)
         .unwrap_or_else(|| panic!("bench_compare: {path}: no scenarios array"));
-    scenarios
+    let scenarios = scenarios
         .iter()
         .map(|s| {
             let name = s
@@ -70,7 +82,11 @@ fn load(path: &str) -> Doc {
             };
             (name, metrics)
         })
-        .collect()
+        .collect();
+    Doc {
+        schema_version,
+        scenarios,
+    }
 }
 
 fn main() -> ExitCode {
@@ -110,11 +126,29 @@ fn main() -> ExitCode {
         );
         return ExitCode::from(2);
     }
-    let base = load(&paths[0]);
-    let fresh = load(&paths[1]);
+    let base_doc = load(&paths[0]);
+    let fresh_doc = load(&paths[1]);
 
     let mut report = String::new();
     let mut regressions = 0usize;
+    // Version skew is a warning, not a failure: the per-metric one-sided
+    // warn-and-skip logic below already keeps a schema change from gating,
+    // but the diff should say *why* metrics are appearing/disappearing.
+    if base_doc.schema_version != fresh_doc.schema_version {
+        let _ = writeln!(
+            report,
+            "WARNING: schema_version mismatch: baseline {} vs fresh {} — \
+             metrics unique to either side are skipped, not diffed\n",
+            base_doc
+                .schema_version
+                .map_or("<none>".to_owned(), |v| v.to_string()),
+            fresh_doc
+                .schema_version
+                .map_or("<none>".to_owned(), |v| v.to_string()),
+        );
+    }
+    let base = &base_doc.scenarios;
+    let fresh = &fresh_doc.scenarios;
     let _ = writeln!(
         report,
         "bench_compare: {} (baseline) vs {} (fresh), threshold {:.0}%\n",
@@ -128,7 +162,7 @@ fn main() -> ExitCode {
         "scenario/metric", "", "baseline", "fresh", "delta%"
     );
 
-    for (name, base_metrics) in &base {
+    for (name, base_metrics) in base {
         let Some((_, fresh_metrics)) = fresh.iter().find(|(n, _)| n == name) else {
             let _ = writeln!(report, "{name:<40} REMOVED from fresh run");
             continue;
@@ -172,7 +206,7 @@ fn main() -> ExitCode {
             );
         }
     }
-    for (name, _) in &fresh {
+    for (name, _) in fresh {
         if !base.iter().any(|(n, _)| n == name) {
             let _ = writeln!(report, "{name:<40} ADDED (no baseline yet)");
         }
@@ -180,7 +214,7 @@ fn main() -> ExitCode {
     // Absolute floors gate the fresh run alone — no baseline needed.
     for (fm, floor) in &floors {
         let mut seen = false;
-        for (name, fresh_metrics) in &fresh {
+        for (name, fresh_metrics) in fresh {
             let Some((_, v)) = fresh_metrics.iter().find(|(m, _)| m == fm) else {
                 continue;
             };

@@ -1,0 +1,186 @@
+//! `overhead_gate` — CI gate for telemetry instrumentation overhead.
+//!
+//! Telemetry is compiled in unconditionally and toggled at runtime
+//! ([`partstm_core::telemetry::set_enabled`]); the contract is that the
+//! hot paths pay at most a relaxed load and a predictable branch when it
+//! is off, and sampled recording when it is on. This binary measures the
+//! two hot-path microbenchmarks the bench suite gates on —
+//! `cached_view_64r` (64 `PVar` reads in one transaction) and
+//! `validate_64r_1w` (64 reads + 1 write with a clock pump forcing a full
+//! commit-time validation pass) — once with telemetry disabled and once
+//! enabled, in the *same process* with the same binary, and fails
+//! (exit 1) when the enabled run is slower by more than the threshold
+//! (default 5%, `--threshold 0.05`).
+//!
+//! Minimum-of-trials is compared rather than the mean: the minimum is the
+//! best estimate of the true cost of the loop (everything above it is
+//! scheduler or allocator noise), and the instrumentation cost being
+//! gated is deterministic per iteration.
+//!
+//! ```text
+//! overhead_gate [--threshold F] [--iters N] [--trials N]
+//! ```
+
+use std::hint::black_box;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+use partstm_core::telemetry;
+use partstm_core::{PVar, PartitionConfig, Stm, ThreadCtx};
+
+/// One timed trial: `iters` iterations of `f`, returning ns/op.
+fn trial(iters: u64, mut f: impl FnMut()) -> f64 {
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    t0.elapsed().as_nanos() as f64 / iters as f64
+}
+
+/// Minimum ns/op over `trials` runs of `iters` iterations.
+fn min_of_trials(trials: u32, iters: u64, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..trials {
+        best = best.min(trial(iters, &mut f));
+    }
+    best
+}
+
+/// `cached_view_64r`: 64 reads of one partition in one transaction.
+fn cached_view_64r(ctx: &ThreadCtx, vars: &[PVar<u64>]) {
+    black_box(ctx.run(|tx| {
+        let mut s = 0u64;
+        for v in vars {
+            s = s.wrapping_add(tx.read(v)?);
+        }
+        Ok(s)
+    }));
+}
+
+/// Measures `cached_view_64r` at both telemetry states. Returns
+/// (disabled ns/op, enabled ns/op).
+fn measure_cached_view(trials: u32, iters: u64) -> (f64, f64) {
+    let stm = Stm::new();
+    let p = stm.new_partition(PartitionConfig::named("gate-cached"));
+    let vars: Vec<PVar<u64>> = (0..64u64).map(|v| p.tvar(v)).collect();
+    let ctx = stm.register_thread();
+    // Warm both states once so lazily-created telemetry globals and code
+    // paths exist before anything is timed.
+    telemetry::set_enabled(true);
+    cached_view_64r(&ctx, &vars);
+    telemetry::set_enabled(false);
+    cached_view_64r(&ctx, &vars);
+    let off = min_of_trials(trials, iters, || cached_view_64r(&ctx, &vars));
+    telemetry::set_enabled(true);
+    let on = min_of_trials(trials, iters, || cached_view_64r(&ctx, &vars));
+    telemetry::set_enabled(false);
+    (off, on)
+}
+
+/// Measures `validate_64r_1w` (64 reads + 1 write, clock pump on a second
+/// thread forcing the full commit validation pass) at both telemetry
+/// states. Returns (disabled ns/op, enabled ns/op).
+fn measure_validate(trials: u32, iters: u64) -> (f64, f64) {
+    let stm = Stm::new();
+    let p = stm.new_partition(PartitionConfig::named("gate-rw"));
+    let vars: Vec<PVar<u64>> = (0..64u64).map(|v| p.tvar(v)).collect();
+    let sink = p.tvar(0u64);
+    let stop = AtomicBool::new(false);
+    let mut result = (0.0, 0.0);
+    std::thread::scope(|scope| {
+        let pump_stm = stm.clone();
+        let stop_ref = &stop;
+        scope.spawn(move || {
+            // Clock pump on its own partition: advances the global clock
+            // without ever conflicting with the measured transaction, so
+            // every measured commit walks all 64 read-set entries.
+            let q = pump_stm.new_partition(PartitionConfig::named("gate-pump"));
+            let t = q.tvar(0u64);
+            let ctx = pump_stm.register_thread();
+            while !stop_ref.load(Ordering::Relaxed) {
+                ctx.run(|tx| tx.modify(&t, |v| v + 1).map(|_| ()));
+                std::thread::yield_now();
+            }
+        });
+        let ctx = stm.register_thread();
+        let body = |ctx: &ThreadCtx| {
+            black_box(ctx.run(|tx| {
+                let mut s = 0u64;
+                for v in &vars {
+                    s = s.wrapping_add(tx.read(v)?);
+                }
+                tx.write(&sink, s)?;
+                Ok(s)
+            }));
+        };
+        telemetry::set_enabled(true);
+        body(&ctx);
+        telemetry::set_enabled(false);
+        body(&ctx);
+        let off = min_of_trials(trials, iters, || body(&ctx));
+        telemetry::set_enabled(true);
+        let on = min_of_trials(trials, iters, || body(&ctx));
+        telemetry::set_enabled(false);
+        stop.store(true, Ordering::Relaxed);
+        result = (off, on);
+    });
+    result
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut threshold = 0.05f64;
+    let mut iters = 20_000u64;
+    let mut trials = 7u32;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threshold" => {
+                threshold = args[i + 1].parse().expect("--threshold takes a float");
+                i += 2;
+            }
+            "--iters" => {
+                iters = args[i + 1].parse().expect("--iters takes an integer");
+                i += 2;
+            }
+            "--trials" => {
+                trials = args[i + 1].parse().expect("--trials takes an integer");
+                i += 2;
+            }
+            other => panic!("unknown option {other}"),
+        }
+    }
+
+    println!(
+        "overhead_gate: telemetry on-vs-off, min of {trials} trials x {iters} iters, \
+         threshold {:.0}%",
+        threshold * 100.0
+    );
+    let mut failed = false;
+    for (name, (off, on)) in [
+        ("cached_view_64r", measure_cached_view(trials, iters)),
+        ("validate_64r_1w", measure_validate(trials, iters)),
+    ] {
+        let overhead = on / off - 1.0;
+        let verdict = if overhead > threshold {
+            failed = true;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!(
+            "{name:<18} off {off:>8.1} ns/op | on {on:>8.1} ns/op | overhead {:>+6.2}%  {verdict}",
+            overhead * 100.0
+        );
+    }
+    if failed {
+        println!(
+            "telemetry instrumentation exceeds the {:.0}% hot-path budget",
+            threshold * 100.0
+        );
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -4,7 +4,9 @@
 //!
 //! ```text
 //! repro <experiment>.. [--secs S] [--threads 1,2,4,...] [--quick] [--json [file]]
-//! experiments: f2 f3 f4 t1 t2 f5 f6 f7 f8 a1 a2 a3 repart orecs readpath privatize all
+//!                      [--prom [file]]
+//! experiments: f2 f3 f4 t1 t2 f5 f6 f7 f8 a1 a2 a3 repart orecs readpath privatize
+//!              report all
 //! ```
 //!
 //! Several experiments may be named in one invocation (`repro repart
@@ -17,6 +19,14 @@
 //! — flat variables, then arena-backed structures whose recovery requires
 //! an arena-level split — and `--json` writes per-scenario metrics to
 //! `BENCH_repro.json` for cross-commit tracking.
+//!
+//! The whole binary runs with engine telemetry enabled
+//! ([`partstm_core::telemetry`]): `--json` additionally emits a
+//! `telemetry` scenario with p50/p99 per engine histogram, `--prom`
+//! writes a Prometheus text-exposition snapshot at exit, and the
+//! `report` experiment prints the flight-recorder timeline of a
+//! controller phase-shift run, correlating control-plane actions against
+//! per-window throughput.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -33,6 +43,7 @@ use partstm_bench::{
     config_label, drive, drive_timeseries, intset_op, kops, partition_with, prefill, snapshot_all,
     static_configs, thread_sweep,
 };
+use partstm_core::telemetry;
 use partstm_core::{DynConfig, Granularity, PartitionConfig, ReadMode, ReaderArb, Stm};
 use partstm_stamp::genome::{self, GenomeConfig, GenomeParts};
 use partstm_stamp::intruder::{self, IntruderConfig, IntruderParts};
@@ -47,6 +58,9 @@ struct Opts {
     threads: Vec<usize>,
     /// Write machine-readable results here at exit (`--json [file]`).
     json: Option<String>,
+    /// Write a Prometheus text-exposition snapshot here at exit
+    /// (`--prom [file]`).
+    prom: Option<String>,
     rec: BenchRecorder,
 }
 
@@ -54,6 +68,7 @@ fn parse_opts(args: &[String]) -> Opts {
     let mut secs = 0.5;
     let mut threads = thread_sweep(usize::MAX);
     let mut json = None;
+    let mut prom = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -83,6 +98,16 @@ fn parse_opts(args: &[String]) -> Opts {
                     i += 1;
                 }
             }
+            "--prom" => {
+                // Optional explicit path: `--prom out.prom`.
+                if args.get(i + 1).is_some_and(|a| !a.starts_with("--")) {
+                    prom = Some(args[i + 1].clone());
+                    i += 2;
+                } else {
+                    prom = Some("telemetry.prom".to_string());
+                    i += 1;
+                }
+            }
             other => panic!("unknown option {other}"),
         }
     }
@@ -90,6 +115,7 @@ fn parse_opts(args: &[String]) -> Opts {
         secs,
         threads,
         json,
+        prom,
         rec: BenchRecorder::new(),
     }
 }
@@ -115,12 +141,16 @@ fn main() {
     let (cmds, flags) = args.split_at(split);
     if cmds.is_empty() {
         eprintln!(
-            "usage: repro <f2|f3|f4|t1|t2|f5|f6|f7|f8|a1|a2|a3|repart|orecs|readpath|privatize|all>.. \
-             [--secs S] [--threads ..] [--quick] [--json [file]]"
+            "usage: repro <f2|f3|f4|t1|t2|f5|f6|f7|f8|a1|a2|a3|repart|orecs|readpath|privatize|\
+             report|all>.. \
+             [--secs S] [--threads ..] [--quick] [--json [file]] [--prom [file]]"
         );
         std::process::exit(2);
     }
     let opts = parse_opts(flags);
+    // The harness is the consumer the observability layer exists for:
+    // record everything (histograms, flight recorder, sampled lifecycle).
+    telemetry::set_enabled(true);
     let t0 = Instant::now();
     for cmd in cmds {
         match cmd.as_str() {
@@ -140,6 +170,7 @@ fn main() {
             "orecs" => orecs(&opts),
             "readpath" => readpath(&opts),
             "privatize" => privatize(&opts),
+            "report" => report(&opts),
             "all" => {
                 f2(&opts);
                 f3(&opts);
@@ -165,12 +196,34 @@ fn main() {
         }
     }
     if let Some(path) = &opts.json {
+        record_telemetry_scenario(&opts.rec);
         opts.rec
             .write(path)
             .unwrap_or_else(|e| panic!("writing {path}: {e}"));
         eprintln!("[repro] wrote {} scenarios to {path}", opts.rec.len());
     }
+    if let Some(path) = &opts.prom {
+        let text = telemetry::prometheus_text(&telemetry::global().registry.snapshot());
+        std::fs::write(path, text).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        eprintln!("[repro] wrote Prometheus snapshot to {path}");
+    }
     eprintln!("[repro] total wall time {:.1}s", t0.elapsed().as_secs_f64());
+}
+
+/// Folds the run's engine histograms into the JSON document as one
+/// `telemetry` scenario: `<hist>_p50` / `<hist>_p99` / `<hist>_count` per
+/// registered histogram (commit latency, quiesce duration, …), aggregated
+/// over every experiment the invocation ran.
+fn record_telemetry_scenario(rec: &BenchRecorder) {
+    let snap = telemetry::global().registry.snapshot();
+    let mut metrics: Vec<(String, f64)> = Vec::new();
+    for (name, h) in &snap.hists {
+        metrics.push((format!("{name}_p50"), h.p50()));
+        metrics.push((format!("{name}_p99"), h.p99()));
+        metrics.push((format!("{name}_count"), h.count as f64));
+    }
+    let borrowed: Vec<(&str, f64)> = metrics.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    rec.record("telemetry", &borrowed);
 }
 
 enum Structure {
@@ -860,6 +913,105 @@ fn repart(opts: &Opts) {
     let stat_s = run_struct_shift(&with_s.clone().without_controller());
     let ctrl_s = run_struct_shift(&with_s);
     report_repart(opts, &with_s, &stat_s, &ctrl_s, "repart_struct");
+}
+
+// ---------------------------------------------------------------- REPORT
+
+/// Flight-recorder timeline: runs the controller phase-shift workload once
+/// and renders the control-plane events the engine recorded (quiesce
+/// windows, controller proposals with scores and streaks, executed
+/// actions with outcomes) against the per-window throughput, followed by
+/// the sampled transaction-lifecycle summary. The human-readable answer
+/// to "what did the controller do, when, and why".
+fn report(opts: &Opts) {
+    let threads = (*opts.threads.last().unwrap_or(&4)).clamp(2, 8);
+    let total = (opts.secs * 12.0).clamp(5.0, 10.0);
+    let cfg = PhaseShiftConfig::standard(threads, total);
+    println!(
+        "\n=== REPORT: flight-recorder timeline of a controller phase-shift run \
+         ({threads} threads, {total:.1}s) ==="
+    );
+    let t_run0 = telemetry::now_micros();
+    let ctrl = run_phase_shift(&cfg);
+
+    let window = cfg.window_secs;
+    println!("\nper-window throughput:");
+    println!("{:>8} {:>6} {:>12}   marker", "window", "t(s)", "Kops/s");
+    for (i, ops) in ctrl.window_ops.iter().enumerate() {
+        let mut marker = String::new();
+        if i == ctrl.shift_window {
+            marker.push_str("<< phase shift");
+        }
+        if ctrl.split_window == Some(i) {
+            marker.push_str(" << SPLIT");
+        }
+        println!(
+            "{i:>8} {:>6.2} {:>12}   {marker}",
+            (i as f64 + 1.0) * window,
+            kops(*ops as f64 / window),
+        );
+    }
+
+    let events = telemetry::global().recorder.snapshot();
+    println!("\ncontrol-plane timeline (+t from run start, w = throughput window above):");
+    let mut shown = 0usize;
+    for e in events.iter().filter(|e| e.kind.is_control_plane()) {
+        // Events recorded by an earlier experiment in the same invocation
+        // belong to that experiment's run, not this timeline.
+        if e.micros < t_run0 {
+            continue;
+        }
+        let dt = (e.micros - t_run0) as f64 / 1e6;
+        let w = (dt / window) as usize;
+        println!("  +{dt:>8.3}s  w{w:<3} {}", telemetry::render_event(e));
+        shown += 1;
+    }
+    if shown == 0 {
+        println!("  (no control-plane events recorded)");
+    }
+
+    let (mut begins, mut validates, mut commits, mut aborts) = (0u64, 0u64, 0u64, 0u64);
+    for e in &events {
+        match e.kind {
+            telemetry::EventKind::TxBegin => begins += 1,
+            telemetry::EventKind::TxValidate => validates += 1,
+            telemetry::EventKind::TxCommit => commits += 1,
+            telemetry::EventKind::TxAbort => aborts += 1,
+            _ => {}
+        }
+    }
+    println!(
+        "\nsampled tx lifecycle events still in the ring: {begins} begin, \
+         {validates} validate, {commits} commit, {aborts} abort \
+         (1-in-{} sampled; per-lane rings keep only the newest events)",
+        telemetry::tx_sample_period(),
+    );
+    let snap = telemetry::global().registry.snapshot();
+    if let Some(h) = snap.hist("commit_latency_ns") {
+        println!(
+            "commit latency: p50 {:.0}ns p99 {:.0}ns over {} sampled commits",
+            h.p50(),
+            h.p99(),
+            h.count
+        );
+    }
+    if let Some(h) = snap.hist("quiesce_us") {
+        println!(
+            "quiesce windows: p50 {:.0}us p99 {:.0}us over {} windows",
+            h.p50(),
+            h.p99(),
+            h.count
+        );
+    }
+
+    opts.rec.record(
+        "report",
+        &[
+            ("control_events", shown as f64),
+            ("recovery", ctrl.recovery),
+            ("tail_kops", ctrl.recovered / 1000.0),
+        ],
+    );
 }
 
 // ---------------------------------------------------------------- ORECS

@@ -12,8 +12,11 @@ use std::path::Path;
 use parking_lot::Mutex;
 use partstm_analysis::json::Json;
 
-/// Schema version stamped into the document.
-pub const BENCH_JSON_VERSION: f64 = 1.0;
+/// Schema version stamped into the document (`schema_version` field).
+/// 2.0 added the field itself (replacing the older `version`) and the
+/// `telemetry` scenario with histogram p50/p99 metrics; comparison
+/// tooling warns across versions instead of diffing blindly.
+pub const BENCH_JSON_VERSION: f64 = 2.0;
 
 /// One recorded scenario: a name plus numeric metrics.
 #[derive(Debug, Clone, PartialEq)]
@@ -76,7 +79,7 @@ impl BenchRecorder {
             })
             .collect();
         Json::Obj(vec![
-            ("version".to_owned(), Json::Num(BENCH_JSON_VERSION)),
+            ("schema_version".to_owned(), Json::Num(BENCH_JSON_VERSION)),
             ("scenarios".to_owned(), Json::Arr(scenarios)),
         ])
         .to_string_pretty()
@@ -118,7 +121,7 @@ mod tests {
         let path = std::env::temp_dir().join("partstm_bench_json_test.json");
         rec.write(&path).unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
-        assert!(text.contains("\"version\""));
+        assert!(text.contains("\"schema_version\""));
         let _ = std::fs::remove_file(&path);
     }
 }

@@ -73,6 +73,7 @@ pub mod rtlog;
 pub mod snapshot;
 pub mod stats;
 pub mod stm;
+pub mod telemetry;
 pub mod tuner;
 pub mod tvar;
 pub mod txn;

@@ -476,6 +476,12 @@ impl Partition {
         st.last_at = Instant::now();
         drop(st);
         self.tune_gate.store(0, Ordering::Relaxed);
+        crate::telemetry::control_event(
+            crate::telemetry::EventKind::TunerWindowReset,
+            self.id.0 as u64,
+            0,
+            0,
+        );
     }
 
     /// First orec of the current table, for tests asserting table identity

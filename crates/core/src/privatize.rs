@@ -97,6 +97,7 @@ use crate::pvar::PVar;
 use crate::repartition::MigrationSource;
 use crate::rtlog;
 use crate::stm::{bump_epoch_and_quiesce, Stm};
+use crate::telemetry::{self, EventKind};
 use crate::word::TxWord;
 
 pub use crate::config::PRIVATIZED_BIT;
@@ -264,6 +265,11 @@ impl PrivateGuard {
         );
         self.part.config.store(word, Ordering::SeqCst);
         self.part.stats.republishes(0, 1);
+        if telemetry::enabled() {
+            let held_us = held.as_micros() as u64;
+            telemetry::global().privatize_hold_us.record(held_us);
+            telemetry::control_event(EventKind::Republish, self.part.id().0 as u64, held_us, 0);
+        }
     }
 }
 
@@ -281,6 +287,17 @@ pub(crate) fn privatize_impl(
     stm: &Stm,
     partition: &Arc<Partition>,
 ) -> Result<PrivateGuard, PrivatizeError> {
+    let out = privatize_body(stm, partition);
+    let code = match &out {
+        Ok(_) => telemetry::codes::OUTCOME_SWITCHED,
+        Err(PrivatizeError::Contended) => telemetry::codes::OUTCOME_CONTENDED,
+        Err(PrivatizeError::TimedOut) => telemetry::codes::OUTCOME_TIMED_OUT,
+    };
+    telemetry::control_event(EventKind::Privatize, partition.id().0 as u64, code, 0);
+    out
+}
+
+fn privatize_body(stm: &Stm, partition: &Arc<Partition>) -> Result<PrivateGuard, PrivatizeError> {
     let inner = &stm.inner;
     let old = partition.config.load(Ordering::SeqCst);
     if config::is_switching(old) {
@@ -298,7 +315,7 @@ pub(crate) fn privatize_impl(
     {
         return Err(PrivatizeError::Contended);
     }
-    if !bump_epoch_and_quiesce(inner) {
+    if !bump_epoch_and_quiesce(inner, partition.id().0) {
         // Roll back: clear both flags, leave config/generation/orecs
         // exactly as found (nothing was mutated). We own the word while
         // the flag is set, so a plain store is race-free.

@@ -67,6 +67,7 @@ use crate::partition::Partition;
 use crate::pvar::{Migratable, PVarBinding};
 use crate::rtlog;
 use crate::stm::{bump_epoch_and_quiesce, Stm, StmInner, SwitchOutcome};
+use crate::telemetry::{self, EventKind};
 
 /// Source of binding cells for one repartition: the protocol flags the
 /// partitions these bindings currently point at, quiesces, and rebinds
@@ -266,6 +267,28 @@ fn repartition_impl(
     dst: &Arc<Partition>,
     extra: &[&Arc<Partition>],
 ) -> SwitchOutcome {
+    let out = repartition_body(inner, src, dst, extra);
+    if telemetry::enabled() {
+        // Binding count re-enumerated only on the (rare, enabled) control
+        // path; on Switched it equals the number of rebound variables.
+        let mut moved = 0u64;
+        src.for_each_binding(&mut |_| moved += 1);
+        telemetry::control_event(
+            EventKind::Repartition,
+            dst.id().0 as u64,
+            telemetry::outcome_code(out),
+            moved,
+        );
+    }
+    out
+}
+
+fn repartition_body(
+    inner: &StmInner,
+    src: &dyn MigrationSource,
+    dst: &Arc<Partition>,
+    extra: &[&Arc<Partition>],
+) -> SwitchOutcome {
     assert_eq!(dst.stm_id, inner.id, "partition belongs to a different Stm");
     let mut involved: Vec<Arc<Partition>> = Vec::with_capacity(extra.len() + 2);
     involved.push(Arc::clone(dst));
@@ -339,7 +362,7 @@ fn repartition_impl(
     }
 
     // Phase 2: epoch bump + quiesce.
-    if !bump_epoch_and_quiesce(inner) {
+    if !bump_epoch_and_quiesce(inner, dst.id().0) {
         unflag(&held);
         let timeout = inner.quiesce_timeout;
         if cfg!(debug_assertions) {

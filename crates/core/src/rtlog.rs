@@ -130,6 +130,25 @@ impl Limiter {
     }
 }
 
+impl Drop for Limiter {
+    /// Flushes a pending suppressed count on teardown: warnings counted
+    /// inside the final rate window would otherwise vanish with the
+    /// limiter (most limiters are `static`, but scoped ones — e.g. owned
+    /// by a controller or a test — die before their window elapses).
+    fn drop(&mut self) {
+        let pending = self
+            .suppressed
+            .swap(0, std::sync::atomic::Ordering::Relaxed);
+        if pending > 0 {
+            warn(&format!(
+                "{pending} rate-limited warning(s) suppressed and never re-emitted \
+                 (limiter dropped before its {:?} window elapsed)",
+                self.min_interval
+            ));
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -183,6 +202,34 @@ mod tests {
             got[1]
         );
         assert_eq!(lim.suppressed(), 0);
+        set_handler(None);
+    }
+
+    #[test]
+    fn limiter_drop_flushes_pending_suppressed_count() {
+        let msgs: Arc<std::sync::Mutex<Vec<String>>> = Arc::default();
+        let sink = Arc::clone(&msgs);
+        let me = std::thread::current().id();
+        set_handler(Some(Box::new(move |m| {
+            if std::thread::current().id() == me && m.contains("suppressed") {
+                sink.lock().unwrap().push(m.to_string());
+            }
+        })));
+        {
+            let lim = Limiter::new(std::time::Duration::from_secs(3600));
+            lim.warn("drop-probe one"); // goes out, opens the window
+            lim.warn("drop-probe two"); // counted
+            lim.warn("drop-probe three"); // counted
+        } // dropped with 2 pending
+        let got = msgs.lock().unwrap().clone();
+        assert!(
+            got.iter().any(|m| m.contains("2 rate-limited warning(s)")),
+            "drop flushed the pending count: {got:?}"
+        );
+        // An idle limiter drops silently.
+        let before = msgs.lock().unwrap().len();
+        drop(Limiter::new(std::time::Duration::from_secs(3600)));
+        assert_eq!(msgs.lock().unwrap().len(), before);
         set_handler(None);
     }
 }

@@ -496,6 +496,7 @@ impl<'e, 's> ReadTx<'e, 's> {
         let base = unsafe { v.ring.add(idx * v.ring_depth) };
         let mut best: Option<(u64, u64)>; // (to, val)
         let mut tries = 0u32;
+        let mut scanned = 0u64;
         loop {
             let e1 = orec.ring_epoch();
             if e1.is_multiple_of(2) {
@@ -503,6 +504,7 @@ impl<'e, 's> ReadTx<'e, 's> {
                 for k in 0..v.ring_depth {
                     // SAFETY: `k < ring_depth`, within the allocation.
                     let (a, val, to) = unsafe { &*base.add(k) }.read_stable();
+                    scanned += 1;
                     if to != 0 && a == addr as u64 && to > t && best.is_none_or(|(bt, _)| to < bt) {
                         best = Some((to, val));
                     }
@@ -531,6 +533,13 @@ impl<'e, 's> ReadTx<'e, 's> {
             } else {
                 core::hint::spin_loop();
             }
+        }
+        // Total slots visited, retries included: the histogram shape shows
+        // both configured depth and epoch-bracket churn.
+        if crate::telemetry::enabled() {
+            crate::telemetry::global()
+                .snapshot_scan_depth
+                .record(scanned);
         }
         best.map(|(to, val)| (val, to))
     }

@@ -13,6 +13,7 @@ use crate::config::{self, DynConfig, PartitionConfig};
 use crate::partition::{Partition, PartitionId};
 use crate::profiler::AccessProfiler;
 use crate::rtlog;
+use crate::telemetry::{self, EventKind};
 use crate::tuner::TuningPolicy;
 use crate::txn::TxScratch;
 
@@ -426,6 +427,17 @@ pub(crate) fn switch_partition_impl(
     partition: &Partition,
     new: DynConfig,
 ) -> SwitchOutcome {
+    let out = switch_partition_body(inner, partition, new);
+    telemetry::control_event(
+        EventKind::ConfigSwitch,
+        partition.id.0 as u64,
+        telemetry::outcome_code(out),
+        0,
+    );
+    out
+}
+
+fn switch_partition_body(inner: &StmInner, partition: &Partition, new: DynConfig) -> SwitchOutcome {
     let old = partition.config.load(Ordering::SeqCst);
     if config::is_switching(old) {
         return SwitchOutcome::Contended;
@@ -445,7 +457,7 @@ pub(crate) fn switch_partition_impl(
     {
         return SwitchOutcome::Contended;
     }
-    if !bump_epoch_and_quiesce(inner) {
+    if !bump_epoch_and_quiesce(inner, partition.id.0) {
         // Roll the switch back: clear the flag so future switches (and
         // first-touches) proceed, leave config + generation untouched. We
         // own the word while the flag is set, so a plain store of the
@@ -484,6 +496,17 @@ pub(crate) fn resize_orecs_impl(
     partition: &Partition,
     new_count: usize,
 ) -> SwitchOutcome {
+    let out = resize_orecs_body(inner, partition, new_count);
+    telemetry::control_event(
+        EventKind::OrecResize,
+        partition.id.0 as u64,
+        telemetry::outcome_code(out),
+        new_count as u64,
+    );
+    out
+}
+
+fn resize_orecs_body(inner: &StmInner, partition: &Partition, new_count: usize) -> SwitchOutcome {
     let n = new_count
         .clamp(config::MIN_ORECS, config::MAX_ORECS)
         .next_power_of_two();
@@ -512,7 +535,7 @@ pub(crate) fn resize_orecs_impl(
         partition.config.store(old, Ordering::SeqCst);
         return SwitchOutcome::Unchanged;
     }
-    if !bump_epoch_and_quiesce(inner) {
+    if !bump_epoch_and_quiesce(inner, partition.id.0) {
         // Roll back: clear the flag, leave table/versions/config exactly
         // as found (we mutate nothing before this point).
         partition.config.store(old, Ordering::SeqCst);
@@ -549,6 +572,17 @@ pub(crate) fn set_ring_depth_impl(
     partition: &Partition,
     depth: usize,
 ) -> SwitchOutcome {
+    let out = set_ring_depth_body(inner, partition, depth);
+    telemetry::control_event(
+        EventKind::RingDepth,
+        partition.id.0 as u64,
+        telemetry::outcome_code(out),
+        depth as u64,
+    );
+    out
+}
+
+fn set_ring_depth_body(inner: &StmInner, partition: &Partition, depth: usize) -> SwitchOutcome {
     let d = depth.clamp(config::MIN_RING_DEPTH, config::MAX_RING_DEPTH);
     let old = partition.config.load(Ordering::SeqCst);
     if config::is_switching(old) {
@@ -574,7 +608,7 @@ pub(crate) fn set_ring_depth_impl(
         partition.config.store(old, Ordering::SeqCst);
         return SwitchOutcome::Unchanged;
     }
-    if !bump_epoch_and_quiesce(inner) {
+    if !bump_epoch_and_quiesce(inner, partition.id.0) {
         partition.config.store(old, Ordering::SeqCst);
         let timeout = inner.quiesce_timeout;
         if cfg!(debug_assertions) {
@@ -602,10 +636,18 @@ pub(crate) fn set_ring_depth_impl(
 /// Returns `false` on quiesce timeout — the caller must roll its flags
 /// back. Shared by the single-partition switch and the multi-partition
 /// repartition protocol (see [`crate::repartition`]).
-pub(crate) fn bump_epoch_and_quiesce(inner: &StmInner) -> bool {
+pub(crate) fn bump_epoch_and_quiesce(inner: &StmInner, tele_part: u32) -> bool {
+    // `tele_part` only attributes the telemetry events below to the
+    // partition (or destination) whose window this is; the drain itself is
+    // global.
+    let tele_t0 = telemetry::enabled().then(|| {
+        telemetry::control_event(EventKind::QuiesceBegin, tele_part as u64, 0, 0);
+        Instant::now()
+    });
     let epoch = inner.switch_epoch.fetch_add(1, Ordering::SeqCst) + 1;
     let start = Instant::now();
-    for slot in inner.slots.iter() {
+    let mut ok = true;
+    'drain: for slot in inner.slots.iter() {
         if !slot.registered.load(Ordering::Acquire) {
             continue;
         }
@@ -615,12 +657,18 @@ pub(crate) fn bump_epoch_and_quiesce(inner: &StmInner) -> bool {
                 break;
             }
             if start.elapsed() > inner.quiesce_timeout {
-                return false;
+                ok = false;
+                break 'drain;
             }
             std::thread::yield_now();
         }
     }
-    true
+    if let Some(t0) = tele_t0 {
+        let us = t0.elapsed().as_micros() as u64;
+        telemetry::global().quiesce_us.record(us);
+        telemetry::control_event(EventKind::QuiesceEnd, tele_part as u64, us, ok as u64);
+    }
+    ok
 }
 
 impl Default for Stm {

@@ -1,0 +1,160 @@
+//! The runtime's telemetry singleton: one process-wide flight recorder
+//! plus the named histograms the engine records into.
+//!
+//! Telemetry is always compiled in and toggled at runtime
+//! ([`set_enabled`]); disabled, the hot path pays exactly one relaxed
+//! load and a predictable branch per transaction begin. Enabled,
+//! transaction lifecycle recording is still 1-in-N sampled
+//! ([`set_tx_sample_period`], default every 64th transaction per thread)
+//! so the `Instant` reads and ring writes stay off the common path, while
+//! control-plane events (quiesce windows, splits, resizes,
+//! privatize/republish, controller decisions) are recorded
+//! unconditionally — they are rare by construction.
+//!
+//! The building blocks live in the dependency-free `partstm-obs` crate,
+//! re-exported here so downstream crates (the repartition controller, the
+//! bench harness) reach everything through `partstm_core::telemetry`
+//! without a new dependency edge.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+pub use partstm_obs::{
+    codes, now_micros, prometheus_text, render_event, Counter, Event, EventKind, EventRing,
+    FlightRecorder, HistSnapshot, Histogram, MetricsRegistry, RegistrySnapshot,
+};
+
+/// The engine's instruments, registered once in the global
+/// [`MetricsRegistry`] and cached as direct handles for wait-free
+/// recording.
+#[derive(Debug)]
+pub struct Telemetry {
+    /// The process flight recorder (per-thread lanes + control ring).
+    pub recorder: FlightRecorder,
+    /// The registry behind the named instruments below; exporters snapshot
+    /// it ([`MetricsRegistry::snapshot`]).
+    pub registry: MetricsRegistry,
+    /// Sampled begin→commit latency of committed transactions, ns.
+    pub commit_latency_ns: Arc<Histogram>,
+    /// Sampled abort-to-retry contention-manager backoff, ns.
+    pub backoff_ns: Arc<Histogram>,
+    /// Flag→quiesce drain duration of every structural window, µs.
+    pub quiesce_us: Arc<Histogram>,
+    /// Sampled commit-time validation pass length (read-set entries).
+    pub validate_len: Arc<Histogram>,
+    /// Version-ring slots scanned per snapshot history lookup.
+    pub snapshot_scan_depth: Arc<Histogram>,
+    /// Privatize→republish hold duration, µs.
+    pub privatize_hold_us: Arc<Histogram>,
+}
+
+impl Telemetry {
+    fn new() -> Telemetry {
+        let registry = MetricsRegistry::new();
+        Telemetry {
+            recorder: FlightRecorder::default(),
+            commit_latency_ns: registry.histogram("commit_latency_ns"),
+            backoff_ns: registry.histogram("backoff_ns"),
+            quiesce_us: registry.histogram("quiesce_us"),
+            validate_len: registry.histogram("validate_len"),
+            snapshot_scan_depth: registry.histogram("snapshot_scan_depth"),
+            privatize_hold_us: registry.histogram("privatize_hold_us"),
+            registry,
+        }
+    }
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static TX_SAMPLE_PERIOD: AtomicU64 = AtomicU64::new(64);
+
+/// The process-wide telemetry instance (created on first use).
+pub fn global() -> &'static Telemetry {
+    static GLOBAL: OnceLock<Telemetry> = OnceLock::new();
+    GLOBAL.get_or_init(Telemetry::new)
+}
+
+/// Turns recording on or off process-wide. Off (the default), every
+/// instrumentation site short-circuits on one relaxed load.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether recording is on.
+#[inline(always)]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Sets the transaction-lifecycle sampling period: every `period`-th
+/// transaction per thread records its begin/validate/commit/abort events
+/// and latency histograms. 0 disables lifecycle sampling entirely
+/// (control-plane recording is unaffected).
+pub fn set_tx_sample_period(period: u64) {
+    TX_SAMPLE_PERIOD.store(period, Ordering::Relaxed);
+}
+
+/// Current lifecycle sampling period (see [`set_tx_sample_period`]).
+#[inline(always)]
+pub fn tx_sample_period() -> u64 {
+    TX_SAMPLE_PERIOD.load(Ordering::Relaxed)
+}
+
+/// Maps a [`SwitchOutcome`](crate::stm::SwitchOutcome) to its event
+/// payload code (see [`codes`]).
+pub fn outcome_code(o: crate::stm::SwitchOutcome) -> u64 {
+    match o {
+        crate::stm::SwitchOutcome::Switched => codes::OUTCOME_SWITCHED,
+        crate::stm::SwitchOutcome::Unchanged => codes::OUTCOME_UNCHANGED,
+        crate::stm::SwitchOutcome::Contended => codes::OUTCOME_CONTENDED,
+        crate::stm::SwitchOutcome::TimedOut => codes::OUTCOME_TIMED_OUT,
+    }
+}
+
+/// Records a control-plane event on the shared control ring, if enabled.
+/// Public so sibling crates (e.g. the repartition controller) can emit
+/// their decisions into the same timeline.
+#[inline]
+pub fn control_event(kind: EventKind, a: u64, b: u64, c: u64) {
+    if enabled() {
+        global().recorder.record_control(Event::now(kind, a, b, c));
+    }
+}
+
+/// Records a per-thread lifecycle event on `lane`, if enabled. Callers
+/// are expected to have made the sampling decision already.
+#[inline]
+pub(crate) fn lane_event(lane: usize, kind: EventKind, a: u64, b: u64, c: u64) {
+    if enabled() {
+        global().recorder.record(lane, Event::now(kind, a, b, c));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recording_is_a_no_op() {
+        // Other tests may have toggled the global flag; force a known
+        // state, record, and restore.
+        let was = enabled();
+        set_enabled(false);
+        let before = global().recorder.recorded();
+        control_event(EventKind::QuiesceBegin, 1, 0, 0);
+        assert_eq!(global().recorder.recorded(), before);
+        set_enabled(true);
+        control_event(EventKind::QuiesceBegin, 1, 0, 0);
+        assert_eq!(global().recorder.recorded(), before + 1);
+        set_enabled(was);
+    }
+
+    #[test]
+    fn named_instruments_live_in_the_registry() {
+        let t = global();
+        t.commit_latency_ns.record(10);
+        let snap = t.registry.snapshot();
+        assert!(snap.hist("commit_latency_ns").unwrap().count >= 1);
+        assert!(snap.hist("quiesce_us").is_some());
+        assert!(snap.hist("privatize_hold_us").is_some());
+    }
+}

@@ -66,6 +66,12 @@ pub trait TuningPolicy: Send + Sync {
     }
 
     /// Inspect one partition's recent behaviour; optionally reconfigure.
+    ///
+    /// Decisions a policy returns are visible in the flight recorder when
+    /// telemetry is enabled: an applied switch lands as a `ConfigSwitch`
+    /// event (with outcome, via the partition-switch path it shares with
+    /// manual switches), and structural reconfigurations reset the window
+    /// with a `TunerWindowReset` event. See [`crate::telemetry`].
     fn evaluate(&self, input: &TuneInput) -> Option<DynConfig>;
 }
 

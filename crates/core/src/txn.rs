@@ -84,6 +84,7 @@ use crate::profiler::{self, BucketTouch, SampleTouch, TxSample};
 use crate::pvar::{PVar, PVarBinding};
 use crate::stats::LocalStats;
 use crate::stm::{StmInner, ThreadCtx};
+use crate::telemetry::{self, EventKind};
 use crate::tuner::TuneInput;
 use crate::tvar::TVar;
 use crate::word::TxWord;
@@ -269,6 +270,12 @@ pub(crate) struct TxScratch {
     /// Whether the current attempt is being access-profiled (decided at
     /// begin from the thread serial; see [`crate::profiler`]).
     sampling: bool,
+    /// Whether the current attempt records telemetry lifecycle events and
+    /// latency histograms (1-in-N, decided at begin; see
+    /// [`crate::telemetry`]).
+    tele_sampling: bool,
+    /// Begin timestamp of a telemetry-sampled attempt (stale otherwise).
+    tele_begin: Instant,
     /// Sampled accesses: (view index, address bucket, is_write).
     sample_log: Vec<(u16, u16, bool)>,
     /// Partition views of the snapshot read path (reused across
@@ -306,6 +313,8 @@ impl TxScratch {
             free_log: Vec::new(),
             rng: XorShift64::new(seed.wrapping_mul(0x5851_F42D_4C95_7F2D) | 1),
             sampling: false,
+            tele_sampling: false,
+            tele_begin: Instant::now(),
             sample_log: Vec::new(),
             ro_views: Vec::new(),
         }
@@ -400,6 +409,17 @@ impl<'e, 's> Tx<'e, 's> {
         s.sampling = period != 0 && s.serial.is_multiple_of(period);
         if s.sampling {
             s.sample_log.clear();
+        }
+        // Telemetry sampling mirrors the profiler's idiom: one relaxed
+        // load decides, and everything costly (Instant reads, ring
+        // writes) happens only on the 1-in-N sampled attempts.
+        s.tele_sampling = telemetry::enabled() && {
+            let p = telemetry::tx_sample_period();
+            p != 0 && s.serial.is_multiple_of(p)
+        };
+        if s.tele_sampling {
+            s.tele_begin = Instant::now();
+            telemetry::lane_event(self.slot, EventKind::TxBegin, self.slot as u64, s.serial, 0);
         }
     }
 
@@ -533,6 +553,23 @@ impl<'e, 's> Tx<'e, 's> {
             AbortKind::Killed => st.aborts_killed(self.slot, 1),
             AbortKind::Switching => st.aborts_switching(self.slot, 1),
             AbortKind::User => st.aborts_user(self.slot, 1),
+        }
+        if self.s.tele_sampling {
+            let reason = match kind {
+                AbortKind::WLockConflict => telemetry::codes::ABORT_WLOCK,
+                AbortKind::RLockConflict => telemetry::codes::ABORT_RLOCK,
+                AbortKind::Validation => telemetry::codes::ABORT_VALIDATION,
+                AbortKind::Killed => telemetry::codes::ABORT_KILLED,
+                AbortKind::Switching => telemetry::codes::ABORT_SWITCHING,
+                AbortKind::User => telemetry::codes::ABORT_USER,
+            };
+            telemetry::lane_event(
+                self.slot,
+                EventKind::TxAbort,
+                self.slot as u64,
+                reason,
+                self.s.attempts as u64,
+            );
         }
         self.s.engine_fail = true;
         Abort(())
@@ -1038,6 +1075,11 @@ impl<'e, 's> Tx<'e, 's> {
                 self.rollback();
                 return false;
             }
+            if self.s.tele_sampling {
+                let len = self.s.read_set.len() as u64;
+                telemetry::global().validate_len.record(len);
+                telemetry::lane_event(self.slot, EventKind::TxValidate, self.slot as u64, len, 0);
+            }
         }
         // Point of no return: publish each overwritten value into its
         // orec's version ring (for snapshot readers — see
@@ -1202,8 +1244,31 @@ impl<'e, 's> Tx<'e, 's> {
         if self.s.sampling {
             self.flush_sample();
         }
+        if self.s.tele_sampling {
+            self.flush_telemetry();
+        }
         self.s.in_attempt = false;
         self.s.attempts = 0;
+    }
+
+    /// Records a telemetry-sampled commit: begin→commit latency histogram
+    /// plus a lifecycle event on this thread's flight-recorder lane. Off
+    /// the fast path — runs only for the one in N attempts sampled at
+    /// [`Tx::begin`] while telemetry is enabled.
+    #[cold]
+    fn flush_telemetry(&mut self) {
+        let t = telemetry::global();
+        let ns = self.s.tele_begin.elapsed().as_nanos() as u64;
+        t.commit_latency_ns.record(ns);
+        t.recorder.record(
+            self.slot,
+            telemetry::Event::now(
+                EventKind::TxCommit,
+                self.slot as u64,
+                ns,
+                self.s.read_set.len() as u64,
+            ),
+        );
     }
 
     /// Folds a sampled, committed attempt into a [`TxSample`] and hands it
@@ -1461,7 +1526,17 @@ impl ThreadCtx {
                 }
             }
             let attempts = tx.s.attempts;
-            cm::backoff(attempts, &mut tx.s.rng);
+            if tx.s.tele_sampling && attempts > 0 {
+                // Sampled attempt aborted: time the contention-manager
+                // backoff it pays before retrying.
+                let t0 = Instant::now();
+                cm::backoff(attempts, &mut tx.s.rng);
+                telemetry::global()
+                    .backoff_ns
+                    .record(t0.elapsed().as_nanos() as u64);
+            } else {
+                cm::backoff(attempts, &mut tx.s.rng);
+            }
         }
     }
 }

@@ -1,0 +1,88 @@
+//! Prometheus text-exposition rendering of a [`RegistrySnapshot`].
+//!
+//! Counters render as `counter` metrics, histograms as native Prometheus
+//! `histogram` metrics with cumulative `_bucket{le=...}` series at the
+//! power-of-two bucket boundaries (empty buckets are elided except the
+//! mandatory `+Inf`), plus `_sum` and `_count`. Metric names are
+//! prefixed `partstm_` and sanitized to `[a-zA-Z0-9_]`.
+
+use std::fmt::Write as _;
+
+use crate::hist::{bucket_bound, HistSnapshot};
+use crate::registry::RegistrySnapshot;
+
+/// Prometheus-legal metric name: `partstm_` + sanitized `name`.
+fn metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 8);
+    out.push_str("partstm_");
+    for ch in name.chars() {
+        out.push(if ch.is_ascii_alphanumeric() || ch == '_' {
+            ch
+        } else {
+            '_'
+        });
+    }
+    out
+}
+
+fn write_hist(out: &mut String, name: &str, h: &HistSnapshot) {
+    let m = metric_name(name);
+    let _ = writeln!(out, "# TYPE {m} histogram");
+    let mut cum = 0u64;
+    for (i, b) in h.buckets.iter().enumerate() {
+        cum += b;
+        if *b == 0 {
+            continue;
+        }
+        let bound = bucket_bound(i);
+        if bound == u64::MAX {
+            continue; // folded into +Inf below
+        }
+        let _ = writeln!(out, "{m}_bucket{{le=\"{bound}\"}} {cum}");
+    }
+    let _ = writeln!(out, "{m}_bucket{{le=\"+Inf\"}} {}", h.count);
+    let _ = writeln!(out, "{m}_sum {}", h.sum);
+    let _ = writeln!(out, "{m}_count {}", h.count);
+}
+
+/// Renders `snap` in Prometheus text exposition format (version 0.0.4).
+pub fn prometheus_text(snap: &RegistrySnapshot) -> String {
+    let mut out = String::new();
+    for (name, v) in &snap.counters {
+        let m = metric_name(name);
+        let _ = writeln!(out, "# TYPE {m} counter");
+        let _ = writeln!(out, "{m} {v}");
+    }
+    for (name, h) in &snap.hists {
+        write_hist(&mut out, name, h);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricsRegistry;
+
+    #[test]
+    fn renders_counters_and_cumulative_buckets() {
+        let reg = MetricsRegistry::new();
+        reg.counter("quiesce.windows").add(3);
+        let h = reg.histogram("commit_latency_ns");
+        h.record(0); // bucket 0, le="0"
+        h.record(5); // bucket 3, le="7"
+        h.record(5);
+        h.record(u64::MAX); // top bucket, only in +Inf
+        let text = prometheus_text(&reg.snapshot());
+        assert!(text.contains("# TYPE partstm_quiesce_windows counter"));
+        assert!(text.contains("partstm_quiesce_windows 3"));
+        assert!(text.contains("# TYPE partstm_commit_latency_ns histogram"));
+        assert!(text.contains("partstm_commit_latency_ns_bucket{le=\"0\"} 1"));
+        // Cumulative: the le="7" bucket includes the zero below it.
+        assert!(text.contains("partstm_commit_latency_ns_bucket{le=\"7\"} 3"));
+        assert!(text.contains("partstm_commit_latency_ns_bucket{le=\"+Inf\"} 4"));
+        assert!(text.contains("partstm_commit_latency_ns_count 4"));
+        // Dots sanitized, prefix applied, no raw names leak.
+        assert!(!text.contains("quiesce.windows"));
+    }
+}

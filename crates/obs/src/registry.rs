@@ -1,0 +1,178 @@
+//! Named metrics: get-or-create registration, lock-free recording,
+//! mergeable snapshots.
+
+use core::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::hist::{HistSnapshot, Histogram};
+
+/// A monotonically increasing counter (relaxed atomics; share via `Arc`).
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A registry of named [`Counter`]s and [`Histogram`]s.
+///
+/// Registration takes a mutex (cold: done once per metric, typically at
+/// startup); the returned `Arc` handles record wait-free without touching
+/// the registry again. Asking for an existing name returns the existing
+/// instrument, so independent modules can share a metric by name.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<Vec<(String, Arc<Counter>)>>,
+    hists: Mutex<Vec<(String, Arc<Histogram>)>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Gets or creates the counter named `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut g = self.counters.lock().expect("registry poisoned");
+        if let Some((_, c)) = g.iter().find(|(n, _)| n == name) {
+            return Arc::clone(c);
+        }
+        let c = Arc::new(Counter::default());
+        g.push((name.to_owned(), Arc::clone(&c)));
+        c
+    }
+
+    /// Gets or creates the histogram named `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut g = self.hists.lock().expect("registry poisoned");
+        if let Some((_, h)) = g.iter().find(|(n, _)| n == name) {
+            return Arc::clone(h);
+        }
+        let h = Arc::new(Histogram::new());
+        g.push((name.to_owned(), Arc::clone(&h)));
+        h
+    }
+
+    /// Point-in-time copy of every registered metric, in registration
+    /// order. Recording continues concurrently (same skew contract as
+    /// [`Histogram::snapshot`]).
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        RegistrySnapshot {
+            counters: self
+                .counters
+                .lock()
+                .expect("registry poisoned")
+                .iter()
+                .map(|(n, c)| (n.clone(), c.get()))
+                .collect(),
+            hists: self
+                .hists
+                .lock()
+                .expect("registry poisoned")
+                .iter()
+                .map(|(n, h)| (n.clone(), h.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// An owned, mergeable copy of a [`MetricsRegistry`]'s state — the unit
+/// the exporters consume.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RegistrySnapshot {
+    /// `(name, value)` for every registered counter.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, snapshot)` for every registered histogram.
+    pub hists: Vec<(String, HistSnapshot)>,
+}
+
+impl RegistrySnapshot {
+    /// Folds `other` into `self` by metric name: counters add, histograms
+    /// merge bucket-wise, names unknown to `self` are appended. Snapshots
+    /// from per-process (or per-shard) registries of the same metrics
+    /// merge into one aggregate view.
+    pub fn merge(&mut self, other: &RegistrySnapshot) {
+        for (name, v) in &other.counters {
+            match self.counters.iter_mut().find(|(n, _)| n == name) {
+                Some((_, mine)) => *mine += v,
+                None => self.counters.push((name.clone(), *v)),
+            }
+        }
+        for (name, h) in &other.hists {
+            match self.hists.iter_mut().find(|(n, _)| n == name) {
+                Some((_, mine)) => mine.merge(h),
+                None => self.hists.push((name.clone(), *h)),
+            }
+        }
+    }
+
+    /// The histogram snapshot named `name`, if registered.
+    pub fn hist(&self, name: &str) -> Option<&HistSnapshot> {
+        self.hists.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+    }
+
+    /// The counter value named `name`, if registered.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_get_or_create() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("commits");
+        let b = reg.counter("commits");
+        a.inc();
+        b.add(2);
+        assert_eq!(reg.snapshot().counter("commits"), Some(3));
+        let h1 = reg.histogram("lat");
+        let h2 = reg.histogram("lat");
+        h1.record(5);
+        h2.record(7);
+        assert_eq!(reg.snapshot().hist("lat").unwrap().count, 2);
+        assert_eq!(reg.snapshot().counter("missing"), None);
+        assert!(reg.snapshot().hist("missing").is_none());
+    }
+
+    #[test]
+    fn snapshots_merge_by_name() {
+        let a = MetricsRegistry::new();
+        a.counter("ops").add(10);
+        a.histogram("lat").record(100);
+        let b = MetricsRegistry::new();
+        b.counter("ops").add(5);
+        b.counter("only_b").add(1);
+        b.histogram("lat").record(200);
+        b.histogram("depth").record(3);
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.counter("ops"), Some(15));
+        assert_eq!(m.counter("only_b"), Some(1));
+        assert_eq!(m.hist("lat").unwrap().count, 2);
+        assert_eq!(m.hist("lat").unwrap().sum, 300);
+        assert_eq!(m.hist("depth").unwrap().count, 1);
+    }
+}

@@ -9,6 +9,7 @@ use std::time::Duration;
 
 use parking_lot::Mutex;
 use partstm_analysis::online::{OnlineAnalyzer, OnlineConfig, PartitionMeta, Proposal};
+use partstm_core::telemetry::{self, codes, EventKind};
 use partstm_core::{
     AccessProfiler, Partition, PartitionConfig, PartitionId, StatCounters, Stm, SwitchOutcome,
 };
@@ -307,6 +308,56 @@ fn find_partition(stm: &Stm, id: PartitionId) -> Option<Arc<Partition>> {
     stm.partitions().into_iter().find(|p| p.id() == id)
 }
 
+fn action_code(action: &str) -> u64 {
+    match action {
+        "split" => codes::ACTION_SPLIT,
+        "merge" => codes::ACTION_MERGE,
+        _ => codes::ACTION_RESIZE,
+    }
+}
+
+/// Mirrors an executed (or failed) controller action into the telemetry
+/// control timeline, alongside the `RepartEvent` kept for [`
+/// RepartitionController::events`].
+fn emit_ctrl_action(ev: &RepartEvent) {
+    let (part, action, moved, outcome) = match ev {
+        RepartEvent::Split { src, moved, .. } => (
+            *src,
+            codes::ACTION_SPLIT,
+            *moved as u64,
+            codes::OUTCOME_SWITCHED,
+        ),
+        RepartEvent::Merge { src, moved, .. } => (
+            *src,
+            codes::ACTION_MERGE,
+            *moved as u64,
+            codes::OUTCOME_SWITCHED,
+        ),
+        RepartEvent::Resize { partition, to, .. } => (
+            *partition,
+            codes::ACTION_RESIZE,
+            *to as u64,
+            codes::OUTCOME_SWITCHED,
+        ),
+        RepartEvent::Failed {
+            action,
+            src,
+            outcome,
+        } => (
+            *src,
+            action_code(action),
+            0,
+            telemetry::outcome_code(*outcome),
+        ),
+    };
+    telemetry::control_event(
+        EventKind::CtrlAction,
+        part.0 as u64,
+        action | (moved << 8),
+        outcome,
+    );
+}
+
 /// One evaluation window.
 fn step(ctrl: &Ctrl) {
     ctrl.windows.fetch_add(1, Ordering::Relaxed);
@@ -353,6 +404,28 @@ fn step(ctrl: &Ctrl) {
     st.streaks.retain(|k, _| keys.contains(k));
     for k in &keys {
         *st.streaks.entry(*k).or_insert(0) += 1;
+    }
+    if telemetry::enabled() {
+        for (p, key) in proposals.iter().zip(&keys) {
+            let (part, action, score) = match p {
+                Proposal::Split { src, hot_share, .. } => (*src, codes::ACTION_SPLIT, *hot_share),
+                Proposal::Merge {
+                    src, span_share, ..
+                } => (*src, codes::ACTION_MERGE, *span_share),
+                Proposal::Resize {
+                    partition,
+                    aliased_share,
+                    ..
+                } => (*partition, codes::ACTION_RESIZE, *aliased_share),
+            };
+            let streak = st.streaks.get(key).copied().unwrap_or(0) as u64;
+            telemetry::control_event(
+                EventKind::CtrlProposal,
+                part.0 as u64,
+                action | (streak << 8),
+                score.to_bits(),
+            );
+        }
     }
     if st.cooldown > 0 {
         st.cooldown -= 1;
@@ -401,11 +474,13 @@ fn step(ctrl: &Ctrl) {
                 };
                 let movers = ctrl.dir.collect(*src, buckets);
                 if movers.is_empty() {
-                    st.events.push(RepartEvent::Failed {
+                    let ev = RepartEvent::Failed {
                         action: "split",
                         src: *src,
                         outcome: SwitchOutcome::Unchanged,
-                    });
+                    };
+                    emit_ctrl_action(&ev);
+                    st.events.push(ev);
                     st.streaks.clear();
                     st.cooldown = ctrl.cfg.cooldown;
                     return;
@@ -428,7 +503,7 @@ fn step(ctrl: &Ctrl) {
                     outcome = ctrl.stm.migrate_batch(&movers, &dst);
                     retries += 1;
                 }
-                st.events.push(match outcome {
+                let ev = match outcome {
                     SwitchOutcome::Switched => RepartEvent::Split {
                         src: *src,
                         dst: dst.id(),
@@ -448,7 +523,9 @@ fn step(ctrl: &Ctrl) {
                             outcome: other,
                         }
                     }
-                });
+                };
+                emit_ctrl_action(&ev);
+                st.events.push(ev);
                 st.analyzer.forget_partition(*src);
             }
             Proposal::Merge { src, dst, .. } => {
@@ -463,11 +540,13 @@ fn step(ctrl: &Ctrl) {
                     // Nothing registered to move: executing would run a
                     // full stop-the-world quiesce to accomplish nothing,
                     // and recur every hysteresis cycle.
-                    st.events.push(RepartEvent::Failed {
+                    let ev = RepartEvent::Failed {
                         action: "merge",
                         src: *src,
                         outcome: SwitchOutcome::Unchanged,
-                    });
+                    };
+                    emit_ctrl_action(&ev);
+                    st.events.push(ev);
                     st.streaks.clear();
                     st.cooldown = ctrl.cfg.cooldown;
                     return;
@@ -475,7 +554,7 @@ fn step(ctrl: &Ctrl) {
                 let outcome = ctrl
                     .stm
                     .merge_partitions_batch(&[&src_part], &dst_part, &movers);
-                st.events.push(match outcome {
+                let ev = match outcome {
                     SwitchOutcome::Switched => {
                         st.dead.insert(*src);
                         RepartEvent::Merge {
@@ -490,7 +569,9 @@ fn step(ctrl: &Ctrl) {
                         src: *src,
                         outcome: other,
                     },
-                });
+                };
+                emit_ctrl_action(&ev);
+                st.events.push(ev);
                 st.analyzer.forget_partition(*src);
                 st.analyzer.forget_partition(*dst);
             }
@@ -505,7 +586,7 @@ fn step(ctrl: &Ctrl) {
                 };
                 let from = part.orec_count();
                 let outcome = ctrl.stm.resize_orecs(&part, *new_count);
-                st.events.push(match outcome {
+                let ev = match outcome {
                     SwitchOutcome::Switched => RepartEvent::Resize {
                         partition: *partition,
                         from,
@@ -518,7 +599,9 @@ fn step(ctrl: &Ctrl) {
                         src: *partition,
                         outcome: other,
                     },
-                });
+                };
+                emit_ctrl_action(&ev);
+                st.events.push(ev);
                 // The affinity graph stays: buckets are independent of the
                 // orec table (only the partition's *shape* is unchanged).
             }
