@@ -102,6 +102,21 @@ pub struct OnlineConfig {
     /// Largest table the analyzer will propose (further aliasing pressure
     /// past this is better answered by a split).
     pub resize_max_orecs: usize,
+    /// A hot set this small (in profile buckets) is a *celebrity* set:
+    /// propose tearing just those slots out of their collections
+    /// ([`Proposal::Tear`]) instead of splitting whole structures. Wider
+    /// hot sets fall back to [`Proposal::Split`].
+    pub tear_max_buckets: usize,
+    /// ... provided the set carries at least this fraction of the
+    /// partition's sampled write load (a tear moves few nodes, so it must
+    /// capture the bulk of the heat to pay for its window).
+    pub tear_hot_share: f64,
+    /// Heal a torn partition back into its origin once its share of the
+    /// combined (torn + origin) sampled *write* load drops below this.
+    /// Write heat is what tears; write silence is what heals — counting
+    /// reads would let a scan-heavy origin swamp the ratio and heal a
+    /// subset whose skew is still live.
+    pub heal_max_share: f64,
 }
 
 impl Default for OnlineConfig {
@@ -121,6 +136,9 @@ impl Default for OnlineConfig {
             resize_min_buckets: 16,
             resize_factor: 4,
             resize_max_orecs: 1 << 16,
+            tear_max_buckets: 12,
+            tear_hot_share: 0.55,
+            heal_max_share: 0.10,
         }
     }
 }
@@ -162,6 +180,32 @@ pub enum Proposal {
         /// Abort rate that triggered the proposal.
         abort_rate: f64,
     },
+    /// Tear the hot slots of `buckets` out of `src`'s collections into
+    /// their own partition: the hot set is narrow enough (celebrity keys)
+    /// that moving whole structures would drag thousands of cold nodes
+    /// along. The controller maps the buckets back to live arena slots
+    /// through its directory's reverse map.
+    Tear {
+        /// The overloaded partition.
+        src: PartitionId,
+        /// The celebrity bucket set to tear (sorted).
+        buckets: Vec<u16>,
+        /// Fraction of `src`'s sampled write load the set carries.
+        hot_share: f64,
+        /// Abort rate that triggered the proposal.
+        abort_rate: f64,
+    },
+    /// Re-merge a torn slot subset into its origin partition: the skew
+    /// passed, and keeping the extra partition only costs bookkeeping.
+    Heal {
+        /// The torn partition to dissolve.
+        src: PartitionId,
+        /// Its origin (where the slots came from).
+        dst: PartitionId,
+        /// `src`'s share of the combined torn + origin sampled write
+        /// load.
+        load_share: f64,
+    },
 }
 
 /// Runtime facts about one partition the sampled graph cannot see; the
@@ -177,6 +221,11 @@ pub struct PartitionMeta {
     /// correlate `ring_overflow_pushes` pressure with the configured
     /// history capacity.
     pub ring_depth: usize,
+    /// `Some(origin)` when this partition holds a torn slot subset. Torn
+    /// partitions are *terminal* for structural proposals — they only ever
+    /// heal back into their origin (no split/tear/resize/merge), which
+    /// keeps the tear/heal cycle from compounding.
+    pub torn_from: Option<PartitionId>,
 }
 
 /// Per-partition aggregate the analyzer keeps alongside the graph.
@@ -364,10 +413,13 @@ impl OnlineAnalyzer {
         self.proposals_with_meta(stats, &BTreeMap::new(), cfg)
     }
 
-    /// [`OnlineAnalyzer::proposals`] plus orec-table [`Proposal::Resize`]
-    /// decisions, which need each partition's current table size
-    /// (`meta`). Splits take precedence: a partition with an actionable
-    /// hot set is fixed structurally, not by a bigger table.
+    /// [`OnlineAnalyzer::proposals`] plus the metadata-dependent
+    /// decisions: orec-table [`Proposal::Resize`]s (which need each
+    /// partition's current table size), celebrity-key [`Proposal::Tear`]s
+    /// (narrow hot sets), and [`Proposal::Heal`]s for torn partitions
+    /// (`meta.torn_from`) whose skew has passed. Splits/tears take
+    /// precedence: a partition with an actionable hot set is fixed
+    /// structurally, not by a bigger table.
     pub fn proposals_with_meta(
         &self,
         stats: &BTreeMap<PartitionId, StatCounters>,
@@ -384,9 +436,11 @@ impl OnlineAnalyzer {
             }
         };
 
-        // Splits: hot-edge clustering per overloaded partition.
+        let torn_from = |pid: &PartitionId| meta.get(pid).and_then(|m| m.torn_from);
+
+        // Splits / tears: hot-edge clustering per overloaded partition.
         for (&pid, agg) in &self.parts {
-            if agg.samples < cfg.min_samples {
+            if agg.samples < cfg.min_samples || torn_from(&pid).is_some() {
                 continue;
             }
             let Some(s) = stats.get(&pid) else { continue };
@@ -427,12 +481,24 @@ impl OnlineAnalyzer {
                 continue;
             }
             hot.sort_unstable();
-            out.push(Proposal::Split {
-                src: pid,
-                buckets: hot,
-                hot_share,
-                abort_rate: ar,
-            });
+            // A narrow hot set carrying the bulk of the write load is a
+            // celebrity-key signature: tear just those slots out of their
+            // collections instead of splitting whole structures.
+            if hot.len() <= cfg.tear_max_buckets && hot_share >= cfg.tear_hot_share {
+                out.push(Proposal::Tear {
+                    src: pid,
+                    buckets: hot,
+                    hot_share,
+                    abort_rate: ar,
+                });
+            } else {
+                out.push(Proposal::Split {
+                    src: pid,
+                    buckets: hot,
+                    hot_share,
+                    abort_rate: ar,
+                });
+            }
         }
 
         // Resizes: aliasing-bound partitions (no actionable hot set — the
@@ -440,9 +506,11 @@ impl OnlineAnalyzer {
         // false sharing in the orec table over a diffuse footprint).
         for (&pid, agg) in &self.parts {
             if agg.samples < cfg.min_samples
-                || out
-                    .iter()
-                    .any(|p| matches!(p, Proposal::Split { src, .. } if *src == pid))
+                || torn_from(&pid).is_some()
+                || out.iter().any(|p| {
+                    matches!(p, Proposal::Split { src, .. } | Proposal::Tear { src, .. }
+                        if *src == pid)
+                })
             {
                 continue;
             }
@@ -473,8 +541,51 @@ impl OnlineAnalyzer {
             });
         }
 
-        // Merges: cold, co-accessed partition pairs.
+        // Heals: a torn partition whose share of the combined torn +
+        // origin *write* load has collapsed goes home (write heat is the
+        // tear criterion, so write silence is the heal signal; reads
+        // would let a scan-heavy origin drown a still-live skew). No
+        // per-partition sample floor on the torn side — a skew that
+        // passed leaves the torn slots with *zero* traffic, which is
+        // exactly the heal signal — but the analyzer as a whole must
+        // have seen a meaningful window (traffic is flowing somewhere)
+        // before trusting the silence.
+        for (&pid, m) in meta {
+            let Some(origin) = m.torn_from else { continue };
+            if self.samples < cfg.min_samples {
+                continue;
+            }
+            let load_of = |p: PartitionId| {
+                self.nodes
+                    .iter()
+                    .filter(|(n, _)| n.0 == p)
+                    .map(|(_, l)| l.writes)
+                    .sum::<u64>()
+            };
+            let torn = load_of(pid);
+            let total = torn + load_of(origin);
+            let load_share = if total == 0 {
+                0.0
+            } else {
+                torn as f64 / total as f64
+            };
+            if load_share < cfg.heal_max_share {
+                out.push(Proposal::Heal {
+                    src: pid,
+                    dst: origin,
+                    load_share,
+                });
+            }
+        }
+
+        // Merges: cold, co-accessed partition pairs. Torn partitions are
+        // excluded — the heal pass owns their re-merge (into their origin,
+        // slot-aware), and a generic merge would strand the directory's
+        // torn bookkeeping.
         for (&(a, b), &w) in &self.span_edges {
+            if torn_from(&a).is_some() || torn_from(&b).is_some() {
+                continue;
+            }
             let (sa, sb) = match (self.parts.get(&a), self.parts.get(&b)) {
                 (Some(x), Some(y)) => (x, y),
                 _ => continue,
@@ -606,14 +717,16 @@ mod tests {
     }
 
     #[test]
-    fn split_proposed_for_hot_contended_partition() {
+    fn tear_proposed_for_celebrity_hot_set() {
+        // Two buckets carrying >90% of the write load: narrow enough for
+        // a slot-subset tear, not a whole-structure split.
         let a = hot_cold_analyzer();
         let mut st = BTreeMap::new();
         st.insert(PartitionId(0), stats(100, 60));
         let props = a.proposals(&st, &cfg());
         assert_eq!(props.len(), 1, "{props:?}");
         match &props[0] {
-            Proposal::Split {
+            Proposal::Tear {
                 src,
                 buckets,
                 hot_share,
@@ -624,7 +737,31 @@ mod tests {
                 assert!(*hot_share > 0.9, "hot share {hot_share}");
                 assert!(*abort_rate > 0.3);
             }
-            other => panic!("expected split, got {other:?}"),
+            other => panic!("expected tear, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wide_hot_set_still_splits() {
+        // 16 individually hammered hot buckets over 56 cold ones: passes
+        // every split gate but is far too wide for a celebrity tear.
+        let mut a = OnlineAnalyzer::new();
+        for b in 0u16..16 {
+            for _ in 0..6 {
+                a.observe(&sample(&[(0, &[(b, 1, 4)])], 2));
+            }
+        }
+        for b in 100u16..156 {
+            a.observe(&sample(&[(0, &[(b, 2, 0)])], 0));
+        }
+        let mut st = BTreeMap::new();
+        st.insert(PartitionId(0), stats(100, 60));
+        let props = a.proposals(&st, &cfg());
+        match &props[..] {
+            [Proposal::Split { buckets, .. }] => {
+                assert_eq!(buckets.len(), 16, "whole hot set taken: {buckets:?}");
+            }
+            other => panic!("expected one split, got {other:?}"),
         }
     }
 
@@ -677,6 +814,7 @@ mod tests {
             PartitionMeta {
                 orec_count: orecs,
                 ring_depth: 4,
+                torn_from: None,
             },
         );
         m
@@ -752,9 +890,10 @@ mod tests {
     }
 
     #[test]
-    fn split_takes_precedence_over_resize() {
+    fn hot_set_takes_precedence_over_resize() {
         // Hot pair plus a wide cold footprint: both gates could fire; the
-        // split must win and suppress the resize for that partition.
+        // hot-set proposal (a tear — the pair is celebrity-narrow) must
+        // win and suppress the resize for that partition.
         let mut a = OnlineAnalyzer::new();
         for _ in 0..40 {
             a.observe(&sample(&[(0, &[(0, 1, 4), (1, 1, 4)])], 3));
@@ -768,13 +907,88 @@ mod tests {
         st.insert(PartitionId(0), aliasing_stats(100, 60, 40, 5));
         let props = a.proposals_with_meta(&st, &meta_of(256), &cfg());
         assert!(
-            props.iter().any(|p| matches!(p, Proposal::Split { .. })),
+            props.iter().any(|p| matches!(p, Proposal::Tear { .. })),
             "{props:?}"
         );
         assert!(
             !props.iter().any(|p| matches!(p, Proposal::Resize { .. })),
-            "split suppresses resize: {props:?}"
+            "tear suppresses resize: {props:?}"
         );
+    }
+
+    /// Meta for origin partition 0 plus partition 1 torn from it.
+    fn torn_meta() -> BTreeMap<PartitionId, PartitionMeta> {
+        let mut m = meta_of(256);
+        m.insert(
+            PartitionId(1),
+            PartitionMeta {
+                orec_count: 256,
+                ring_depth: 4,
+                torn_from: Some(PartitionId(0)),
+            },
+        );
+        m
+    }
+
+    #[test]
+    fn heal_proposed_when_torn_share_collapses() {
+        // All traffic back on the origin; the torn partition is silent.
+        let mut a = OnlineAnalyzer::new();
+        for b in 0u16..8 {
+            for _ in 0..4 {
+                a.observe(&sample(&[(0, &[(b, 2, 1)])], 0));
+            }
+        }
+        let mut st = BTreeMap::new();
+        st.insert(PartitionId(0), stats(100, 1));
+        let props = a.proposals_with_meta(&st, &torn_meta(), &cfg());
+        assert_eq!(
+            props,
+            vec![Proposal::Heal {
+                src: PartitionId(1),
+                dst: PartitionId(0),
+                load_share: 0.0,
+            }]
+        );
+    }
+
+    #[test]
+    fn no_heal_while_torn_partition_carries_the_load() {
+        // The skew is still on: the torn partition carries the traffic,
+        // and despite abort pressure it must be neither healed nor
+        // split/torn/resized (torn partitions are terminal).
+        let mut a = OnlineAnalyzer::new();
+        for _ in 0..40 {
+            a.observe(&sample(&[(1, &[(0, 1, 4), (1, 1, 4)])], 3));
+        }
+        for b in 10u16..30 {
+            a.observe(&sample(&[(1, &[(b, 2, 0)])], 0));
+        }
+        let mut st = BTreeMap::new();
+        st.insert(PartitionId(0), stats(10, 0));
+        st.insert(PartitionId(1), aliasing_stats(100, 60, 40, 5));
+        let props = a.proposals_with_meta(&st, &torn_meta(), &cfg());
+        assert!(props.is_empty(), "{props:?}");
+    }
+
+    #[test]
+    fn torn_partition_is_excluded_from_merges() {
+        // Cold co-accessed pair that would merge — but one side is torn,
+        // so only the heal pass may touch it (and the spanning load keeps
+        // its share above the heal gate).
+        let mut a = OnlineAnalyzer::new();
+        for _ in 0..20 {
+            a.observe(&sample(&[(0, &[(0, 1, 0)]), (1, &[(0, 1, 1)])], 0));
+        }
+        let mut st = BTreeMap::new();
+        st.insert(PartitionId(0), stats(200, 1));
+        st.insert(PartitionId(1), stats(50, 0));
+        assert!(
+            !a.proposals(&st, &cfg()).is_empty(),
+            "sanity: untorn pair merges"
+        );
+        let props = a.proposals_with_meta(&st, &torn_meta(), &cfg());
+        assert!(props.is_empty(), "{props:?}");
     }
 
     #[test]

@@ -5,8 +5,8 @@
 //! ```text
 //! repro <experiment>.. [--secs S] [--threads 1,2,4,...] [--quick] [--json [file]]
 //!                      [--prom [file]]
-//! experiments: f2 f3 f4 t1 t2 f5 f6 f7 f8 a1 a2 a3 repart orecs readpath privatize
-//!              report all
+//! experiments: f2 f3 f4 t1 t2 f5 f6 f7 f8 a1 a2 a3 repart hotkey orecs readpath
+//!              privatize report all
 //! ```
 //!
 //! Several experiments may be named in one invocation (`repro repart
@@ -32,6 +32,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use partstm_bench::hetero::{self, HeteroApp, HeteroMode};
+use partstm_bench::hotkey::{run_hotkey, HotkeyConfig, HotkeyReport};
 use partstm_bench::json_out::BenchRecorder;
 use partstm_bench::orec_pressure::{run_orec_pressure, OrecPressureConfig};
 use partstm_bench::phase_shift::{
@@ -141,8 +142,8 @@ fn main() {
     let (cmds, flags) = args.split_at(split);
     if cmds.is_empty() {
         eprintln!(
-            "usage: repro <f2|f3|f4|t1|t2|f5|f6|f7|f8|a1|a2|a3|repart|orecs|readpath|privatize|\
-             report|all>.. \
+            "usage: repro <f2|f3|f4|t1|t2|f5|f6|f7|f8|a1|a2|a3|repart|hotkey|orecs|readpath|\
+             privatize|report|all>.. \
              [--secs S] [--threads ..] [--quick] [--json [file]] [--prom [file]]"
         );
         std::process::exit(2);
@@ -167,6 +168,7 @@ fn main() {
             "a2" => a2(&opts),
             "a3" => a3(&opts),
             "repart" => repart(&opts),
+            "hotkey" => hotkey(&opts),
             "orecs" => orecs(&opts),
             "readpath" => readpath(&opts),
             "privatize" => privatize(&opts),
@@ -185,6 +187,7 @@ fn main() {
                 a2(&opts);
                 a3(&opts);
                 repart(&opts);
+                hotkey(&opts);
                 orecs(&opts);
                 readpath(&opts);
                 privatize(&opts);
@@ -913,6 +916,135 @@ fn repart(opts: &Opts) {
     let stat_s = run_struct_shift(&with_s.clone().without_controller());
     let ctrl_s = run_struct_shift(&with_s);
     report_repart(opts, &with_s, &stat_s, &ctrl_s, "repart_struct");
+}
+
+// ---------------------------------------------------------------- HOTKEY
+
+/// Hot-key (celebrity) scenario: a Zipf-like skew on a few keys of one
+/// 64Ki-entry hash map mid-run. The whole map IS the working set, so a
+/// whole-structure split cannot help; the controller must *tear* just the
+/// hot slot subset into its own partition, and *heal* it back once the
+/// skew passes. Tracks tear latency, post-tear recovery and the heal.
+fn hotkey(opts: &Opts) {
+    let threads = (*opts.threads.last().unwrap_or(&4)).clamp(2, 8);
+    // Floor of 6s: each third (uniform / skew / calm) needs enough
+    // controller windows for the tear and then the heal to land, even in
+    // --quick mode.
+    let total = (opts.secs * 12.0).clamp(6.0, 12.0);
+    let with = HotkeyConfig::standard(threads, total);
+    println!(
+        "\n=== HOTKEY: celebrity-key tear/heal ({} keys, {}% scans; {}% of skew-phase \
+         transfers hit {} celebrity keys in t=[{:.1}s,{:.1}s)), {threads} threads, \
+         {total:.1}s ===",
+        with.keys,
+        with.scan_pct,
+        with.hot_pct,
+        with.celebs,
+        total / 3.0,
+        total * 2.0 / 3.0,
+    );
+    let stat = run_hotkey(&with.clone().without_controller());
+    let ctrl = run_hotkey(&with);
+
+    println!(
+        "{:>8} {:>6} {:>12} {:>12}   marker",
+        "window", "t(s)", "static", "hotkey"
+    );
+    let window = with.window_secs;
+    for i in 0..ctrl.window_ops.len().min(stat.window_ops.len()) {
+        let mut marker = String::new();
+        if i == ctrl.skew_window {
+            marker.push_str("<< skew on");
+        }
+        if i == ctrl.calm_window {
+            marker.push_str("<< skew off");
+        }
+        if ctrl.tear_window == Some(i) {
+            marker.push_str(" << TEAR");
+        }
+        if ctrl.heal_window == Some(i) {
+            marker.push_str(" << HEAL");
+        }
+        println!(
+            "{i:>8} {:>6.2} {:>12} {:>12}   {marker}",
+            (i as f64 + 1.0) * window,
+            kops(stat.window_ops[i] as f64 / window),
+            kops(ctrl.window_ops[i] as f64 / window),
+        );
+    }
+    let line = |label: &str, r: &HotkeyReport| {
+        println!(
+            "{label:>10}: pre {} Kops/s | dip {} | tail {} | recovery {:>5.1}% | \
+             abort {:>4.1}% | partitions {}",
+            kops(r.baseline),
+            kops(r.dip),
+            kops(r.recovered),
+            100.0 * r.recovery,
+            100.0 * r.abort_rate,
+            r.partitions
+        );
+    };
+    line("static", &stat);
+    line("hotkey", &ctrl);
+    for e in &ctrl.events {
+        println!("controller event: {e:?}");
+    }
+    match (ctrl.tear_window, ctrl.tear_latency_s) {
+        (Some(w), Some(lat)) => println!(
+            "controller tore {} of {} slots at window {w} ({lat:.2}s after skew onset); \
+             heal: {}; recovery criterion (>=10%): {}",
+            ctrl.torn_moved,
+            ctrl.torn_total_live,
+            match ctrl.heal_window {
+                Some(h) => format!("window {h}"),
+                None => "never".to_string(),
+            },
+            if ctrl.recovery >= 0.10 {
+                "MET"
+            } else {
+                "missed"
+            }
+        ),
+        _ => println!("controller never tore"),
+    }
+    assert!(stat.conserved && ctrl.conserved, "conserved-sum violated");
+
+    opts.rec.record(
+        "hotkey/static",
+        &[
+            ("baseline_kops", stat.baseline / 1000.0),
+            ("dip_kops", stat.dip / 1000.0),
+            ("tail_kops", stat.recovered / 1000.0),
+            ("recovery", stat.recovery),
+            ("abort_rate", stat.abort_rate),
+            ("partitions", stat.partitions as f64),
+        ],
+    );
+    opts.rec.record(
+        "hotkey/controller",
+        &[
+            ("baseline_kops", ctrl.baseline / 1000.0),
+            ("dip_kops", ctrl.dip / 1000.0),
+            ("tail_kops", ctrl.recovered / 1000.0),
+            // The bench-trend floor: percent of the skew-phase loss won
+            // back after the tear.
+            ("hotkey_recovery_pct", 100.0 * ctrl.recovery),
+            (
+                "tear_window",
+                ctrl.tear_window.map(|w| w as f64).unwrap_or(-1.0),
+            ),
+            (
+                "heal_window",
+                ctrl.heal_window.map(|w| w as f64).unwrap_or(-1.0),
+            ),
+            ("tear_latency_s", ctrl.tear_latency_s.unwrap_or(-1.0)),
+            ("torn_moved", ctrl.torn_moved as f64),
+            ("torn_total_live", ctrl.torn_total_live as f64),
+            ("abort_rate", ctrl.abort_rate),
+            ("partitions", ctrl.partitions as f64),
+            ("conserved", if ctrl.conserved { 1.0 } else { 0.0 }),
+        ],
+    );
 }
 
 // ---------------------------------------------------------------- REPORT

@@ -10,6 +10,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod hetero;
+pub mod hotkey;
 pub mod json_out;
 pub mod orec_pressure;
 pub mod phase_shift;

@@ -81,7 +81,7 @@ use parking_lot::Mutex;
 
 use crate::partition::{Partition, PartitionId};
 use crate::pvar::{PVarBinding, PVarFields};
-use crate::repartition::{MigratableCollection, MigrationSource};
+use crate::repartition::{MigratableCollection, MigrationSource, TearableCollection};
 use crate::txn::Tx;
 use crate::word::TxWord;
 
@@ -667,6 +667,29 @@ impl<N: PVarFields + Send + Sync + 'static> MigratableCollection for Arena<N> {
 
     fn live_nodes(&self) -> usize {
         self.live()
+    }
+}
+
+impl<N: PVarFields + Send + Sync + 'static> TearableCollection for Arena<N> {
+    fn for_each_live_slot_addr(&self, f: &mut dyn FnMut(u32, usize)) {
+        self.for_each_live_slot(|h, n| n.for_each_pvar(&mut |m| f(h.raw(), m.var_addr())));
+    }
+
+    fn for_each_slot_binding(&self, raw: &[u32], f: &mut dyn FnMut(&PVarBinding)) {
+        // Tokens were minted by `for_each_live_slot_addr` as `Handle::raw`
+        // (index + 1). Cap at the installed-chunk prefix like
+        // `live_handles`: a stale token must never reach into an
+        // uninstalled chunk. Freed-and-recycled slots are fine — their
+        // fields are factory-initialized, and rebinding them is sound.
+        let cap = self.installed_cap();
+        for &r in raw {
+            let Some(i) = r.checked_sub(1) else { continue };
+            if i >= cap {
+                continue;
+            }
+            self.get(Handle::from_index(i))
+                .for_each_pvar(&mut |m| f(m.pvar_binding()));
+        }
     }
 }
 

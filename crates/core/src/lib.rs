@@ -87,8 +87,10 @@ pub use error::{Abort, AbortKind, TxResult};
 pub use partition::{Partition, PartitionId};
 pub use privatize::{PrivateGuard, PrivatizeError};
 pub use profiler::{AccessProfiler, BucketTouch, SampleTouch, TxSample, PROFILE_BUCKETS};
-pub use pvar::{Migratable, PVar, PVarBinding, PVarFields};
-pub use repartition::{CollectionRegistry, MigratableCollection, MigrationSource};
+pub use pvar::{retired_binding_count, Migratable, PVar, PVarBinding, PVarFields};
+pub use repartition::{
+    CollectionRegistry, MigratableCollection, MigrationSource, TearableCollection,
+};
 pub use snapshot::ReadTx;
 pub use stats::StatCounters;
 pub use stm::{Stm, StmBuilder, SwitchOutcome, ThreadCtx, MAX_THREADS};

@@ -122,6 +122,15 @@ impl PVarBinding {
     }
 }
 
+/// Number of distinct partitions currently parked by retired bindings.
+///
+/// Observability hook for leak tests: the parked list must stay bounded by
+/// the number of partitions ever torn down by a rebind — **not** grow with
+/// `vars × migrations` — or a repartition storm slowly pins the heap.
+pub fn retired_binding_count() -> usize {
+    RETIRED.lock().unwrap_or_else(|e| e.into_inner()).len()
+}
+
 impl Drop for PVarBinding {
     fn drop(&mut self) {
         // SAFETY: dropping the binding's owning reference; exclusive

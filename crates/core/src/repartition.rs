@@ -107,6 +107,33 @@ pub trait MigratableCollection: MigrationSource + Send + Sync {
     fn live_nodes(&self) -> usize;
 }
 
+/// A collection that can be *torn*: its live slots are individually
+/// addressable (by the arena's raw handle word), so a directory can
+/// attribute profiler heat to slot subsets and migrate just the hot
+/// slots — celebrity keys — without moving the whole structure.
+///
+/// The raw handle values are opaque tokens minted by
+/// [`for_each_live_slot_addr`](TearableCollection::for_each_live_slot_addr)
+/// and consumed by
+/// [`for_each_slot_binding`](TearableCollection::for_each_slot_binding);
+/// callers never interpret them. Both views are approximate under
+/// concurrency (slots may be freed and reused between the two calls),
+/// which is sound: visiting a freed slot's bindings just rebinds
+/// factory-initialized fields.
+pub trait TearableCollection: MigratableCollection {
+    /// Visits `(raw_handle, field_addr)` for every partition-bound field
+    /// of every live slot. A slot with several fields is visited once per
+    /// field, under the same raw handle.
+    fn for_each_live_slot_addr(&self, f: &mut dyn FnMut(u32, usize));
+
+    /// Visits every binding cell of the slots named by `raw` (tokens from
+    /// [`for_each_live_slot_addr`](TearableCollection::for_each_live_slot_addr)).
+    /// Unknown / stale tokens are skipped. Deliberately does *not* visit
+    /// the collection's home binding or roots: tearing moves slots, not
+    /// the structure.
+    fn for_each_slot_binding(&self, raw: &[u32], f: &mut dyn FnMut(&PVarBinding));
+}
+
 /// Registration half of a migration directory: anything that accepts
 /// [`MigratableCollection`] handles for later bucket-to-structure mapping.
 ///
@@ -116,6 +143,13 @@ pub trait MigratableCollection: MigrationSource + Send + Sync {
 pub trait CollectionRegistry {
     /// Registers one collection.
     fn register_collection(&self, c: Arc<dyn MigratableCollection>);
+
+    /// Registers a tearable collection. Directories that track per-slot
+    /// heat override this to retain the tearable view; the default just
+    /// registers the whole-collection view.
+    fn register_tearable(&self, c: Arc<dyn TearableCollection>) {
+        self.register_collection(c);
+    }
 }
 
 /// Adapter: a flat batch of variables as a [`MigrationSource`].

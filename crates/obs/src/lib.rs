@@ -104,6 +104,10 @@ pub mod codes {
     pub const ACTION_MERGE: u64 = 1;
     /// Controller action: resize a partition's orec table in place.
     pub const ACTION_RESIZE: u64 = 2;
+    /// Controller action: tear a hot slot subset out of a collection.
+    pub const ACTION_TEAR: u64 = 3;
+    /// Controller action: heal a torn slot subset back into its origin.
+    pub const ACTION_HEAL: u64 = 4;
 
     /// Name of an `ACTION_*` code.
     pub fn action_name(code: u64) -> &'static str {
@@ -111,6 +115,8 @@ pub mod codes {
             ACTION_SPLIT => "split",
             ACTION_MERGE => "merge",
             ACTION_RESIZE => "resize",
+            ACTION_TEAR => "tear",
+            ACTION_HEAL => "heal",
             _ => "?",
         }
     }
@@ -132,6 +138,8 @@ mod tests {
         assert_eq!(codes::outcome_name(codes::OUTCOME_TIMED_OUT), "timed-out");
         assert_eq!(codes::abort_name(codes::ABORT_VALIDATION), "validation");
         assert_eq!(codes::action_name(codes::ACTION_SPLIT), "split");
+        assert_eq!(codes::action_name(codes::ACTION_TEAR), "tear");
+        assert_eq!(codes::action_name(codes::ACTION_HEAL), "heal");
         assert_eq!(codes::outcome_name(99), "?");
     }
 }

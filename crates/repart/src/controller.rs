@@ -14,7 +14,7 @@ use partstm_core::{
     AccessProfiler, Partition, PartitionConfig, PartitionId, StatCounters, Stm, SwitchOutcome,
 };
 
-use crate::directory::PVarDirectory;
+use crate::directory::{PVarDirectory, TearMovers, TearSet};
 
 /// Controller tuning knobs.
 #[derive(Debug, Clone)]
@@ -43,6 +43,10 @@ pub struct ControllerConfig {
     /// contention policy here by fiat backfires on oversubscribed hosts,
     /// where spinning policies burn the cycles the lock holder needs.
     pub split_template: PartitionConfig,
+    /// Largest fraction of a collection's live nodes a slot-subset tear
+    /// may move. A hot set wider than this is not a celebrity-key pattern;
+    /// the tear falls back to the whole-structure split execution.
+    pub tear_max_fraction: f64,
 }
 
 impl Default for ControllerConfig {
@@ -57,6 +61,7 @@ impl Default for ControllerConfig {
             decay: 0.5,
             max_partitions: 64,
             split_template: PartitionConfig::default().tunable(),
+            tear_max_fraction: 0.25,
         }
     }
 }
@@ -122,10 +127,41 @@ pub enum RepartEvent {
         /// Abort rate that triggered the resize.
         abort_rate: f64,
     },
+    /// A celebrity slot subset was torn out of `src`'s collections into
+    /// `dst` (fresh, or the existing torn partition for the same origin).
+    Tear {
+        /// The origin partition.
+        src: PartitionId,
+        /// The torn (hot) partition.
+        dst: PartitionId,
+        /// Slots migrated across all collections.
+        moved: usize,
+        /// Collections a subset was torn from.
+        collections: usize,
+        /// Combined live-node count of those collections (so reports can
+        /// show `moved` is a subset, not a whole-structure migration).
+        total_live: usize,
+        /// Sampled write share the hot set carried.
+        hot_share: f64,
+        /// Abort rate that triggered the tear.
+        abort_rate: f64,
+    },
+    /// A torn slot subset was re-merged into its origin after the skew
+    /// passed.
+    Heal {
+        /// The dissolved torn partition.
+        src: PartitionId,
+        /// The origin partition the slots returned to.
+        dst: PartitionId,
+        /// Slots migrated back.
+        moved: usize,
+        /// Collections whose subsets went home.
+        collections: usize,
+    },
     /// An approved action could not execute (directory had no handles, or
     /// the protocol reported contention/timeout).
     Failed {
-        /// `"split"`, `"merge"` or `"resize"`.
+        /// `"split"`, `"merge"`, `"resize"`, `"tear"` or `"heal"`.
         action: &'static str,
         /// The partition the action targeted.
         src: PartitionId,
@@ -135,6 +171,14 @@ pub enum RepartEvent {
 }
 
 type StreakKey = (&'static str, PartitionId);
+
+/// Bookkeeping for one torn partition: where its slots came from and the
+/// exact sets that moved (replayed, grouped by current home, when the
+/// partition heals).
+struct TornRecord {
+    origin: PartitionId,
+    sets: Vec<TearSet>,
+}
 
 struct CtrlState {
     analyzer: OnlineAnalyzer,
@@ -146,6 +190,10 @@ struct CtrlState {
     /// abandoned split destinations); the Stm itself never unregisters
     /// them, so the partition-cap check discounts these.
     dead: std::collections::BTreeSet<PartitionId>,
+    /// Live torn partitions, keyed by the torn (destination) partition.
+    /// Feeds `PartitionMeta::torn_from` so the analyzer treats them as
+    /// heal-only.
+    torn: BTreeMap<PartitionId, TornRecord>,
     events: Vec<RepartEvent>,
 }
 
@@ -201,6 +249,7 @@ impl RepartitionController {
                     cooldown: 0,
                     split_seq: 0,
                     dead: std::collections::BTreeSet::new(),
+                    torn: BTreeMap::new(),
                     events: Vec::new(),
                 }),
                 windows: AtomicU64::new(0),
@@ -272,6 +321,26 @@ impl RepartitionController {
             .any(|e| matches!(e, RepartEvent::Resize { .. }))
     }
 
+    /// True if any slot-subset tear executed so far.
+    pub fn has_tear(&self) -> bool {
+        self.ctrl
+            .state
+            .lock()
+            .events
+            .iter()
+            .any(|e| matches!(e, RepartEvent::Tear { .. }))
+    }
+
+    /// True if any heal (torn subset re-merged) executed so far.
+    pub fn has_heal(&self) -> bool {
+        self.ctrl
+            .state
+            .lock()
+            .events
+            .iter()
+            .any(|e| matches!(e, RepartEvent::Heal { .. }))
+    }
+
     /// Stops the daemon (if spawned), uninstalls the profiler and returns
     /// the event log.
     pub fn stop(mut self) -> Vec<RepartEvent> {
@@ -308,10 +377,261 @@ fn find_partition(stm: &Stm, id: PartitionId) -> Option<Arc<Partition>> {
     stm.partitions().into_iter().find(|p| p.id() == id)
 }
 
+/// Partitions currently in service: the Stm never removes partitions, so
+/// subtract the ones the controller knows are dead (merged-away sources,
+/// abandoned split destinations) — otherwise a long split/merge history
+/// would exhaust the cap with corpses and silently disable splitting.
+fn live_partitions(ctrl: &Ctrl, st: &CtrlState) -> usize {
+    ctrl.stm.partitions().len().saturating_sub(st.dead.len())
+}
+
+/// Executes a whole-structure split of `src`'s hot buckets. Returns true
+/// when the window was consumed (an event — success or failure — was
+/// recorded); false when the action could not even be attempted and the
+/// caller should consider the next proposal.
+fn exec_split(
+    ctrl: &Ctrl,
+    st: &mut CtrlState,
+    src: PartitionId,
+    buckets: &[u16],
+    hot_share: f64,
+    abort_rate: f64,
+) -> bool {
+    if live_partitions(ctrl, st) >= ctrl.cfg.max_partitions {
+        return false;
+    }
+    let Some(src_part) = find_partition(&ctrl.stm, src) else {
+        return false;
+    };
+    let movers = ctrl.dir.collect(src, buckets);
+    if movers.is_empty() {
+        let ev = RepartEvent::Failed {
+            action: "split",
+            src,
+            outcome: SwitchOutcome::Unchanged,
+        };
+        emit_ctrl_action(&ev);
+        st.events.push(ev);
+        return true;
+    }
+    st.split_seq += 1;
+    let name = format!("{}~hot{}", src_part.name(), st.split_seq);
+    let template = PartitionConfig {
+        name,
+        ..ctrl.cfg.split_template.clone()
+    };
+    let (dst, mut outcome) = ctrl.stm.split_partition_batch(&src_part, template, &movers);
+    // A Contended migration left `dst` created but empty; retry into the
+    // same destination (per the protocol docs) so a transient collision
+    // with a tuner switch doesn't leak a dead partition.
+    let mut retries = 0;
+    while outcome == SwitchOutcome::Contended && retries < 8 {
+        std::thread::yield_now();
+        outcome = ctrl.stm.migrate_batch(&movers, &dst);
+        retries += 1;
+    }
+    let ev = match outcome {
+        SwitchOutcome::Switched => RepartEvent::Split {
+            src,
+            dst: dst.id(),
+            moved: movers.moved_count(),
+            collections: movers.collections.len(),
+            hot_share,
+            abort_rate,
+        },
+        other => {
+            // The destination stays registered but empty; account for
+            // the corpse so it doesn't consume the partition cap.
+            st.dead.insert(dst.id());
+            RepartEvent::Failed {
+                action: "split",
+                src,
+                outcome: other,
+            }
+        }
+    };
+    emit_ctrl_action(&ev);
+    st.events.push(ev);
+    st.analyzer.forget_partition(src);
+    true
+}
+
+/// Executes a slot-subset tear: migrates just the celebrity slots in
+/// `sets` out of `src` into a fresh partition — or into the existing
+/// torn partition for the same origin, so repeated windows accrete into
+/// one hot partition instead of fragmenting. Same return contract as
+/// [`exec_split`].
+fn exec_tear(
+    ctrl: &Ctrl,
+    st: &mut CtrlState,
+    src: PartitionId,
+    sets: &[TearSet],
+    hot_share: f64,
+    abort_rate: f64,
+) -> bool {
+    let Some(src_part) = find_partition(&ctrl.stm, src) else {
+        return false;
+    };
+    let existing = st
+        .torn
+        .iter()
+        .find(|(_, r)| r.origin == src)
+        .map(|(id, _)| *id)
+        .and_then(|id| find_partition(&ctrl.stm, id));
+    let (dst, mut outcome, fresh) = match existing {
+        Some(d) => {
+            let o = ctrl.stm.migrate_batch(&TearMovers(sets), &d);
+            (d, o, false)
+        }
+        None => {
+            if live_partitions(ctrl, st) >= ctrl.cfg.max_partitions {
+                return false;
+            }
+            st.split_seq += 1;
+            let name = format!("{}~torn{}", src_part.name(), st.split_seq);
+            let template = PartitionConfig {
+                name,
+                ..ctrl.cfg.split_template.clone()
+            };
+            let (d, o) = ctrl
+                .stm
+                .split_partition_batch(&src_part, template, &TearMovers(sets));
+            (d, o, true)
+        }
+    };
+    let mut retries = 0;
+    while outcome == SwitchOutcome::Contended && retries < 8 {
+        std::thread::yield_now();
+        outcome = ctrl.stm.migrate_batch(&TearMovers(sets), &dst);
+        retries += 1;
+    }
+    let ev = match outcome {
+        SwitchOutcome::Switched => {
+            // Evict the torn slots from the reverse maps so the next
+            // window does not re-propose them, and remember the sets so
+            // a later heal can replay them home.
+            for s in sets {
+                ctrl.dir.mark_torn(s);
+            }
+            st.torn
+                .entry(dst.id())
+                .or_insert_with(|| TornRecord {
+                    origin: src,
+                    sets: Vec::new(),
+                })
+                .sets
+                .extend(sets.iter().cloned());
+            RepartEvent::Tear {
+                src,
+                dst: dst.id(),
+                moved: sets.iter().map(|s| s.raw.len()).sum(),
+                collections: sets.len(),
+                total_live: sets.iter().map(|s| s.total_live).sum(),
+                hot_share,
+                abort_rate,
+            }
+        }
+        other => {
+            if fresh {
+                st.dead.insert(dst.id());
+            }
+            RepartEvent::Failed {
+                action: "tear",
+                src,
+                outcome: other,
+            }
+        }
+    };
+    emit_ctrl_action(&ev);
+    st.events.push(ev);
+    st.analyzer.forget_partition(src);
+    true
+}
+
+/// Heals the torn partition `src`: replays its recorded tear sets back
+/// into each collection's *current* home partition (the origin may have
+/// been restructured since the tear), then retires `src`. Same return
+/// contract as [`exec_split`].
+fn exec_heal(ctrl: &Ctrl, st: &mut CtrlState, src: PartitionId, dst: PartitionId) -> bool {
+    if !st.torn.contains_key(&src) {
+        return false;
+    }
+    let Some(src_part) = find_partition(&ctrl.stm, src) else {
+        return false;
+    };
+    let sets = st
+        .torn
+        .get(&src)
+        .map(|r| r.sets.clone())
+        .unwrap_or_default();
+    let mut groups: Vec<(Arc<Partition>, Vec<TearSet>)> = Vec::new();
+    for s in sets {
+        let home = s.coll.home_partition();
+        match groups.iter_mut().find(|(h, _)| h.id() == home.id()) {
+            Some((_, g)) => g.push(s),
+            None => groups.push((home, vec![s])),
+        }
+    }
+    let mut moved = 0usize;
+    let mut collections = 0usize;
+    let mut failure = None;
+    for (home, group) in &groups {
+        let mut outcome = ctrl
+            .stm
+            .merge_partitions_batch(&[&src_part], home, &TearMovers(group));
+        let mut retries = 0;
+        while outcome == SwitchOutcome::Contended && retries < 8 {
+            std::thread::yield_now();
+            outcome = ctrl.stm.migrate_batch(&TearMovers(group), home);
+            retries += 1;
+        }
+        if outcome == SwitchOutcome::Switched {
+            for s in group {
+                ctrl.dir.unmark_torn(s);
+            }
+            moved += group.iter().map(|s| s.raw.len()).sum::<usize>();
+            collections += group.len();
+            if let Some(rec) = st.torn.get_mut(&src) {
+                rec.sets
+                    .retain(|s| !group.iter().any(|g| Arc::ptr_eq(&g.coll, &s.coll)));
+            }
+        } else {
+            failure = Some(outcome);
+        }
+    }
+    let ev = match failure {
+        // Fully healed: the torn partition is now empty — retire it.
+        None => {
+            st.torn.remove(&src);
+            st.dead.insert(src);
+            RepartEvent::Heal {
+                src,
+                dst,
+                moved,
+                collections,
+            }
+        }
+        // Partial heals keep the record (minus what went home) so the
+        // next window can retry the remainder.
+        Some(outcome) => RepartEvent::Failed {
+            action: "heal",
+            src,
+            outcome,
+        },
+    };
+    emit_ctrl_action(&ev);
+    st.events.push(ev);
+    st.analyzer.forget_partition(src);
+    st.analyzer.forget_partition(dst);
+    true
+}
+
 fn action_code(action: &str) -> u64 {
     match action {
         "split" => codes::ACTION_SPLIT,
         "merge" => codes::ACTION_MERGE,
+        "tear" => codes::ACTION_TEAR,
+        "heal" => codes::ACTION_HEAL,
         _ => codes::ACTION_RESIZE,
     }
 }
@@ -337,6 +657,18 @@ fn emit_ctrl_action(ev: &RepartEvent) {
             *partition,
             codes::ACTION_RESIZE,
             *to as u64,
+            codes::OUTCOME_SWITCHED,
+        ),
+        RepartEvent::Tear { src, moved, .. } => (
+            *src,
+            codes::ACTION_TEAR,
+            *moved as u64,
+            codes::OUTCOME_SWITCHED,
+        ),
+        RepartEvent::Heal { src, moved, .. } => (
+            *src,
+            codes::ACTION_HEAL,
+            *moved as u64,
             codes::OUTCOME_SWITCHED,
         ),
         RepartEvent::Failed {
@@ -384,6 +716,7 @@ fn step(ctrl: &Ctrl) {
             PartitionMeta {
                 orec_count: p.orec_count(),
                 ring_depth: p.ring_depth(),
+                torn_from: st.torn.get(&p.id()).map(|r| r.origin),
             },
         );
     }
@@ -399,6 +732,8 @@ fn step(ctrl: &Ctrl) {
             Proposal::Split { src, .. } => ("split", *src),
             Proposal::Merge { src, .. } => ("merge", *src),
             Proposal::Resize { partition, .. } => ("resize", *partition),
+            Proposal::Tear { src, .. } => ("tear", *src),
+            Proposal::Heal { src, .. } => ("heal", *src),
         })
         .collect();
     st.streaks.retain(|k, _| keys.contains(k));
@@ -417,6 +752,10 @@ fn step(ctrl: &Ctrl) {
                     aliased_share,
                     ..
                 } => (*partition, codes::ACTION_RESIZE, *aliased_share),
+                Proposal::Tear { src, hot_share, .. } => (*src, codes::ACTION_TEAR, *hot_share),
+                Proposal::Heal {
+                    src, load_share, ..
+                } => (*src, codes::ACTION_HEAL, *load_share),
             };
             let streak = st.streaks.get(key).copied().unwrap_or(0) as u64;
             telemetry::control_event(
@@ -449,6 +788,8 @@ fn step(ctrl: &Ctrl) {
             Proposal::Split { src, .. } => privatized(*src),
             Proposal::Merge { src, dst, .. } => privatized(*src) || privatized(*dst),
             Proposal::Resize { partition, .. } => privatized(*partition),
+            Proposal::Tear { src, .. } => privatized(*src),
+            Proposal::Heal { src, dst, .. } => privatized(*src) || privatized(*dst),
         };
         if held {
             continue;
@@ -460,73 +801,35 @@ fn step(ctrl: &Ctrl) {
                 hot_share,
                 abort_rate,
             } => {
-                // The Stm never removes partitions, so subtract the ones
-                // this controller knows are dead (merged-away sources,
-                // abandoned split destinations) — otherwise a long
-                // split/merge history would exhaust the cap with corpses
-                // and silently disable splitting forever.
-                let live = ctrl.stm.partitions().len().saturating_sub(st.dead.len());
-                if live >= ctrl.cfg.max_partitions {
+                if !exec_split(ctrl, st, *src, buckets, *hot_share, *abort_rate) {
                     continue;
                 }
-                let Some(src_part) = find_partition(&ctrl.stm, *src) else {
-                    continue;
-                };
-                let movers = ctrl.dir.collect(*src, buckets);
-                if movers.is_empty() {
-                    let ev = RepartEvent::Failed {
-                        action: "split",
-                        src: *src,
-                        outcome: SwitchOutcome::Unchanged,
-                    };
-                    emit_ctrl_action(&ev);
-                    st.events.push(ev);
-                    st.streaks.clear();
-                    st.cooldown = ctrl.cfg.cooldown;
-                    return;
-                }
-                st.split_seq += 1;
-                let name = format!("{}~hot{}", src_part.name(), st.split_seq);
-                let template = PartitionConfig {
-                    name,
-                    ..ctrl.cfg.split_template.clone()
-                };
-                let (dst, mut outcome) =
-                    ctrl.stm.split_partition_batch(&src_part, template, &movers);
-                // A Contended migration left `dst` created but empty;
-                // retry into the same destination (per the protocol docs)
-                // so a transient collision with a tuner switch doesn't
-                // leak a dead partition.
-                let mut retries = 0;
-                while outcome == SwitchOutcome::Contended && retries < 8 {
-                    std::thread::yield_now();
-                    outcome = ctrl.stm.migrate_batch(&movers, &dst);
-                    retries += 1;
-                }
-                let ev = match outcome {
-                    SwitchOutcome::Switched => RepartEvent::Split {
-                        src: *src,
-                        dst: dst.id(),
-                        moved: movers.moved_count(),
-                        collections: movers.collections.len(),
-                        hot_share: *hot_share,
-                        abort_rate: *abort_rate,
-                    },
-                    other => {
-                        // The destination stays registered but empty;
-                        // account for the corpse so it doesn't consume
-                        // the partition cap.
-                        st.dead.insert(dst.id());
-                        RepartEvent::Failed {
-                            action: "split",
-                            src: *src,
-                            outcome: other,
-                        }
+            }
+            Proposal::Tear {
+                src,
+                buckets,
+                hot_share,
+                abort_rate,
+            } => {
+                let sets = ctrl
+                    .dir
+                    .collect_tears(*src, buckets, ctrl.cfg.tear_max_fraction);
+                if sets.is_empty() {
+                    // Nothing tearable behind the hot buckets (flat vars,
+                    // subset wider than `tear_max_fraction`, or the slots
+                    // are already torn): fall back to the whole-structure
+                    // split execution.
+                    if !exec_split(ctrl, st, *src, buckets, *hot_share, *abort_rate) {
+                        continue;
                     }
-                };
-                emit_ctrl_action(&ev);
-                st.events.push(ev);
-                st.analyzer.forget_partition(*src);
+                } else if !exec_tear(ctrl, st, *src, &sets, *hot_share, *abort_rate) {
+                    continue;
+                }
+            }
+            Proposal::Heal { src, dst, .. } => {
+                if !exec_heal(ctrl, st, *src, *dst) {
+                    continue;
+                }
             }
             Proposal::Merge { src, dst, .. } => {
                 let (Some(src_part), Some(dst_part)) = (

@@ -20,6 +20,7 @@
 //! fold), so an aliasing storm that makes the controller retry every
 //! window cannot flood the log.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -27,7 +28,7 @@ use parking_lot::RwLock;
 use partstm_core::profiler::bucket_of;
 use partstm_core::{
     rtlog, CollectionRegistry, Migratable, MigratableCollection, MigrationSource, PVarBinding,
-    PartitionId, PROFILE_BUCKETS,
+    PartitionId, TearableCollection, PROFILE_BUCKETS,
 };
 
 /// Bucket-coverage set: one flag per profile bucket. A fixed array beats
@@ -88,6 +89,49 @@ impl core::fmt::Debug for MoverSet {
     }
 }
 
+/// One slot subset torn (or tearable) out of a collection: the collection
+/// handle plus the raw slot tokens to move. Usable directly as the
+/// [`MigrationSource`] of `Stm::split_partition_batch` /
+/// `Stm::migrate_batch` — only the named slots' fields move; the
+/// collection's home binding and roots stay put.
+#[derive(Clone)]
+pub struct TearSet {
+    /// The collection the slots belong to.
+    pub coll: Arc<dyn TearableCollection>,
+    /// Raw slot tokens (sorted, deduplicated) to move.
+    pub raw: Vec<u32>,
+    /// The collection's live-node count when the set was assembled (for
+    /// "subset, not the whole structure" accounting in reports).
+    pub total_live: usize,
+}
+
+impl MigrationSource for TearSet {
+    fn for_each_binding(&self, f: &mut dyn FnMut(&PVarBinding)) {
+        self.coll.for_each_slot_binding(&self.raw, f);
+    }
+}
+
+impl core::fmt::Debug for TearSet {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("TearSet")
+            .field("raw", &self.raw.len())
+            .field("total_live", &self.total_live)
+            .finish()
+    }
+}
+
+/// Several [`TearSet`]s (one per collection) as a single migration source,
+/// so one quiesce window moves every collection's celebrity slots at once.
+pub struct TearMovers<'a>(pub &'a [TearSet]);
+
+impl MigrationSource for TearMovers<'_> {
+    fn for_each_binding(&self, f: &mut dyn FnMut(&PVarBinding)) {
+        for s in self.0 {
+            s.for_each_binding(f);
+        }
+    }
+}
+
 /// Source of movable handles for the controller.
 pub trait PVarDirectory: Send + Sync {
     /// Movers currently bound to `part` whose profile buckets intersect
@@ -98,6 +142,30 @@ pub trait PVarDirectory: Send + Sync {
 
     /// All registered movers currently bound to `part`.
     fn collect_all(&self, part: PartitionId) -> MoverSet;
+
+    /// Slot subsets of tearable collections homed at `part` whose fields
+    /// land in `buckets` (sorted) — the celebrity keys. A collection only
+    /// yields a set when the subset is *small*: at most `max_fraction` of
+    /// its live nodes (a hot set spanning the whole structure is a split,
+    /// not a tear). Already-torn slots are excluded. The default (for
+    /// directories without per-slot attribution) tears nothing.
+    fn collect_tears(&self, part: PartitionId, buckets: &[u16], max_fraction: f64) -> Vec<TearSet> {
+        let _ = (part, buckets, max_fraction);
+        Vec::new()
+    }
+
+    /// Records that `set`'s slots were torn out: their buckets must no
+    /// longer be attributed to the origin collection, and they must not be
+    /// proposed for tearing again until healed.
+    fn mark_torn(&self, set: &TearSet) {
+        let _ = set;
+    }
+
+    /// Reverses [`PVarDirectory::mark_torn`] after a heal re-merged the
+    /// slots into their origin.
+    fn unmark_torn(&self, set: &TearSet) {
+        let _ = set;
+    }
 }
 
 /// Floor between unmapped-bucket warnings per directory: roughly one per
@@ -126,12 +194,24 @@ fn report_unmapped(
     }
 }
 
+/// Cached bucket index of a [`StaticDirectory`]: per-bucket candidate var
+/// indices (into the registry vec, which only grows) plus the registered
+/// bucket-coverage set. Invalidated by registration, reused across
+/// controller windows — collection cost drops from O(registered vars) per
+/// window to O(requested buckets' candidates).
+struct BucketIndex {
+    by_bucket: Vec<Vec<u32>>,
+    covered: Covered,
+}
+
 /// The straightforward directory: a flat registry of handles, filtered on
 /// demand by current binding and bucket. Registration is cheap
-/// (amortized push under a write lock); collection walks the registry —
-/// fine for control-plane use.
+/// (amortized push under a write lock); collection consults a cached
+/// bucket index (the private `BucketIndex`) that registration invalidates.
 pub struct StaticDirectory {
     vars: RwLock<Vec<Arc<dyn Migratable>>>,
+    index: RwLock<Option<BucketIndex>>,
+    rebuilds: AtomicU64,
     miss_limiter: rtlog::Limiter,
 }
 
@@ -139,6 +219,8 @@ impl Default for StaticDirectory {
     fn default() -> Self {
         StaticDirectory {
             vars: RwLock::default(),
+            index: RwLock::new(None),
+            rebuilds: AtomicU64::new(0),
             miss_limiter: rtlog::Limiter::new(MISS_REPORT_INTERVAL),
         }
     }
@@ -153,11 +235,21 @@ impl StaticDirectory {
     /// Registers one variable.
     pub fn register(&self, var: Arc<dyn Migratable>) {
         self.vars.write().push(var);
+        *self.index.write() = None;
     }
 
     /// Registers a batch of variables.
     pub fn register_all<I: IntoIterator<Item = Arc<dyn Migratable>>>(&self, vars: I) {
         self.vars.write().extend(vars);
+        *self.index.write() = None;
+    }
+
+    /// How many times the bucket index has been (re)built. Registration
+    /// invalidates it; collection windows reuse it — so this stays flat
+    /// across repeated `collect` calls. Diagnostic (used by tests to pin
+    /// the caching contract).
+    pub fn index_rebuilds(&self) -> u64 {
+        self.rebuilds.load(Ordering::Relaxed)
     }
 
     /// Number of registered variables.
@@ -170,29 +262,54 @@ impl StaticDirectory {
         self.vars.read().is_empty()
     }
 
-    /// Shared filter body: vars currently bound to `part`, each pushing
-    /// its profile bucket into `covered`, kept when that bucket is in
-    /// `buckets`. Used by this directory's `collect` and by
-    /// [`ArenaDirectory`]'s embedded var registry.
+    /// Shared filter body: vars currently bound to `part` whose profile
+    /// bucket is in `buckets`, via the cached [`BucketIndex`] (rebuilt
+    /// here if registration invalidated it) — only the requested buckets'
+    /// candidates are touched, and only their *bindings* are re-read.
+    /// `covered` is OR-merged with the cached coverage set, which spans
+    /// every *registered* var (not just those currently bound to `part`):
+    /// the unmapped-bucket report is a registration diagnostic, and
+    /// addresses don't change bucket when they migrate. Used by this
+    /// directory's `collect` and by [`ArenaDirectory`]'s embedded var
+    /// registry.
     fn collect_vars_into(
         &self,
         part: PartitionId,
         buckets: &[u16],
         covered: &mut Covered,
     ) -> Vec<Arc<dyn Migratable>> {
-        self.vars
-            .read()
-            .iter()
-            .filter(|v| {
-                if v.pvar_binding().partition_id() != part {
-                    return false;
+        // Lock order vars -> index, same as the (non-nested) registration
+        // path. Indices stay valid across the lock because the registry
+        // vec only ever grows.
+        let vars = self.vars.read();
+        let mut slot = self.index.write();
+        let idx = slot.get_or_insert_with(|| {
+            self.rebuilds.fetch_add(1, Ordering::Relaxed);
+            let mut by_bucket: Vec<Vec<u32>> = vec![Vec::new(); PROFILE_BUCKETS as usize];
+            let mut cov: Covered = [false; PROFILE_BUCKETS as usize];
+            for (i, v) in vars.iter().enumerate() {
+                let b = bucket_of(v.var_addr()) as usize;
+                by_bucket[b].push(i as u32);
+                cov[b] = true;
+            }
+            BucketIndex {
+                by_bucket,
+                covered: cov,
+            }
+        });
+        for (c, cached) in covered.iter_mut().zip(idx.covered.iter()) {
+            *c |= cached;
+        }
+        let mut out = Vec::new();
+        for &b in buckets {
+            for &i in &idx.by_bucket[b as usize] {
+                let v = &vars[i as usize];
+                if v.pvar_binding().partition_id() == part {
+                    out.push(Arc::clone(v));
                 }
-                let b = bucket_of(v.var_addr());
-                covered[b as usize] = true;
-                buckets.binary_search(&b).is_ok()
-            })
-            .map(Arc::clone)
-            .collect()
+            }
+        }
+        out
     }
 }
 
@@ -240,6 +357,72 @@ impl core::fmt::Debug for StaticDirectory {
 /// least this many times more often than a uniform address spray would.
 const HOT_OVERREP: f64 = 2.0;
 
+/// Cached reverse map of one registered collection: live-field count per
+/// profile bucket (`hist`, torn slots excluded), total counted fields,
+/// and — for tearable collections — the raw slot tokens with a field in
+/// each bucket. Rebuilt lazily after registration or a tear/heal
+/// invalidates it, reused across controller windows: the per-window cost
+/// drops from O(live fields) per collection to O(requested buckets).
+struct RevMap {
+    hist: [u32; PROFILE_BUCKETS as usize],
+    total: usize,
+    by_bucket: Option<Vec<Vec<u32>>>,
+}
+
+/// One registered collection with its tear state and reverse-map cache.
+struct CollEntry {
+    coll: Arc<dyn MigratableCollection>,
+    tearable: Option<Arc<dyn TearableCollection>>,
+    /// Raw slot tokens currently torn out (sorted). Excluded from the
+    /// reverse map so their buckets are no longer attributed here — a
+    /// stale attribution would re-propose tearing already-torn slots.
+    torn: Vec<u32>,
+    rev: Option<RevMap>,
+}
+
+impl CollEntry {
+    fn rebuild_rev(&mut self, rebuilds: &AtomicU64) {
+        rebuilds.fetch_add(1, Ordering::Relaxed);
+        let mut hist = [0u32; PROFILE_BUCKETS as usize];
+        let mut total = 0usize;
+        let by_bucket = match &self.tearable {
+            Some(t) => {
+                let torn = &self.torn;
+                let mut bb: Vec<Vec<u32>> = vec![Vec::new(); PROFILE_BUCKETS as usize];
+                t.for_each_live_slot_addr(&mut |raw, addr| {
+                    if torn.binary_search(&raw).is_ok() {
+                        return;
+                    }
+                    let b = bucket_of(addr) as usize;
+                    hist[b] += 1;
+                    total += 1;
+                    bb[b].push(raw);
+                });
+                // One token per bucket per slot: a slot with two fields in
+                // the same bucket is still one candidate.
+                for v in &mut bb {
+                    v.sort_unstable();
+                    v.dedup();
+                }
+                Some(bb)
+            }
+            None => {
+                self.coll.for_each_live_addr(&mut |addr| {
+                    let b = bucket_of(addr) as usize;
+                    hist[b] += 1;
+                    total += 1;
+                });
+                None
+            }
+        };
+        self.rev = Some(RevMap {
+            hist,
+            total,
+            by_bucket,
+        });
+    }
+}
+
 /// Structure-aware directory: registered [`MigratableCollection`]s (each
 /// structure's `attach_directory` lands here) plus an embedded flat-var
 /// registry with [`StaticDirectory`] semantics.
@@ -256,9 +439,20 @@ const HOT_OVERREP: f64 = 2.0;
 /// Collections at least 2× over-represented (`HOT_OVERREP`) are selected
 /// and migrated *whole* (arena home, every slot, roots) — an arena-level
 /// split.
+///
+/// ## Per-slot attribution (tears)
+///
+/// Collections registered through
+/// [`CollectionRegistry::register_tearable`] additionally keep a reverse
+/// map from profile buckets to live slot tokens, so
+/// [`PVarDirectory::collect_tears`] can name the *individual slots* whose
+/// fields land in the hot buckets — the celebrity keys — instead of the
+/// whole structure. Torn slots are evicted from the reverse map
+/// ([`PVarDirectory::mark_torn`]) until a heal brings them home.
 pub struct ArenaDirectory {
-    collections: RwLock<Vec<Arc<dyn MigratableCollection>>>,
+    collections: RwLock<Vec<CollEntry>>,
     vars: StaticDirectory,
+    rebuilds: AtomicU64,
     miss_limiter: rtlog::Limiter,
 }
 
@@ -267,6 +461,7 @@ impl Default for ArenaDirectory {
         ArenaDirectory {
             collections: RwLock::default(),
             vars: StaticDirectory::default(),
+            rebuilds: AtomicU64::new(0),
             miss_limiter: rtlog::Limiter::new(MISS_REPORT_INTERVAL),
         }
     }
@@ -292,11 +487,42 @@ impl ArenaDirectory {
     pub fn vars_len(&self) -> usize {
         self.vars.len()
     }
+
+    /// How many times any collection's reverse map has been (re)built.
+    /// Registration and tear/heal invalidate; collection windows reuse —
+    /// so this stays flat across repeated `collect` calls. Diagnostic
+    /// (used by tests to pin the caching contract).
+    pub fn rev_rebuilds(&self) -> u64 {
+        self.rebuilds.load(Ordering::Relaxed)
+    }
+
+    /// Drops every cached reverse map, forcing a rebuild on the next
+    /// window — for workloads whose live-slot population churns enough
+    /// that the heat attribution drifts.
+    pub fn refresh(&self) {
+        for e in self.collections.write().iter_mut() {
+            e.rev = None;
+        }
+    }
 }
 
 impl CollectionRegistry for ArenaDirectory {
     fn register_collection(&self, c: Arc<dyn MigratableCollection>) {
-        self.collections.write().push(c);
+        self.collections.write().push(CollEntry {
+            coll: c,
+            tearable: None,
+            torn: Vec::new(),
+            rev: None,
+        });
+    }
+
+    fn register_tearable(&self, c: Arc<dyn TearableCollection>) {
+        self.collections.write().push(CollEntry {
+            coll: Arc::clone(&c) as Arc<dyn MigratableCollection>,
+            tearable: Some(c),
+            torn: Vec::new(),
+            rev: None,
+        });
     }
 }
 
@@ -304,27 +530,25 @@ impl PVarDirectory for ArenaDirectory {
     fn collect(&self, part: PartitionId, buckets: &[u16]) -> MoverSet {
         let mut covered: Covered = [false; PROFILE_BUCKETS as usize];
         let mut collections = Vec::new();
-        for c in self.collections.read().iter() {
-            if c.home_partition().id() != part {
+        for e in self.collections.write().iter_mut() {
+            if e.coll.home_partition().id() != part {
                 continue;
             }
-            let mut hits = 0usize;
-            let mut total = 0usize;
-            c.for_each_live_addr(&mut |addr| {
-                let b = bucket_of(addr);
-                covered[b as usize] = true;
-                total += 1;
-                if buckets.binary_search(&b).is_ok() {
-                    hits += 1;
-                }
-            });
-            if total == 0 {
+            if e.rev.is_none() {
+                e.rebuild_rev(&self.rebuilds);
+            }
+            let rev = e.rev.as_ref().expect("just built");
+            if rev.total == 0 {
                 continue;
             }
-            let share = hits as f64 / total as f64;
+            for (c, &n) in covered.iter_mut().zip(rev.hist.iter()) {
+                *c |= n > 0;
+            }
+            let hits: usize = buckets.iter().map(|&b| rev.hist[b as usize] as usize).sum();
+            let share = hits as f64 / rev.total as f64;
             let uniform = buckets.len() as f64 / f64::from(partstm_core::PROFILE_BUCKETS);
             if share >= uniform * HOT_OVERREP {
-                collections.push(Arc::clone(c));
+                collections.push(Arc::clone(&e.coll));
             }
         }
         // Flat vars ride along exactly as in the static directory; its
@@ -346,10 +570,76 @@ impl PVarDirectory for ArenaDirectory {
             .collections
             .read()
             .iter()
-            .filter(|c| c.home_partition().id() == part)
-            .map(Arc::clone)
+            .filter(|e| e.coll.home_partition().id() == part)
+            .map(|e| Arc::clone(&e.coll))
             .collect();
         set
+    }
+
+    fn collect_tears(&self, part: PartitionId, buckets: &[u16], max_fraction: f64) -> Vec<TearSet> {
+        let mut out = Vec::new();
+        for e in self.collections.write().iter_mut() {
+            if e.tearable.is_none() || e.coll.home_partition().id() != part {
+                continue;
+            }
+            if e.rev.is_none() {
+                e.rebuild_rev(&self.rebuilds);
+            }
+            let rev = e.rev.as_ref().expect("just built");
+            let Some(bb) = &rev.by_bucket else { continue };
+            let mut raw: Vec<u32> = buckets
+                .iter()
+                .flat_map(|&b| bb[b as usize].iter().copied())
+                .collect();
+            raw.sort_unstable();
+            raw.dedup();
+            let live = e.coll.live_nodes();
+            // Celebrity criterion: a hot subset spanning more than
+            // `max_fraction` of the structure is not a tear — moving it
+            // slot-by-slot would cost more than the whole-structure split
+            // the caller falls back to.
+            if raw.is_empty() || (raw.len() as f64) > max_fraction * live as f64 {
+                continue;
+            }
+            out.push(TearSet {
+                coll: Arc::clone(e.tearable.as_ref().expect("checked above")),
+                raw,
+                total_live: live,
+            });
+        }
+        out
+    }
+
+    fn mark_torn(&self, set: &TearSet) {
+        for e in self.collections.write().iter_mut() {
+            let same = e
+                .tearable
+                .as_ref()
+                .is_some_and(|t| Arc::ptr_eq(t, &set.coll));
+            if !same {
+                continue;
+            }
+            e.torn.extend_from_slice(&set.raw);
+            e.torn.sort_unstable();
+            e.torn.dedup();
+            e.rev = None;
+            return;
+        }
+    }
+
+    fn unmark_torn(&self, set: &TearSet) {
+        for e in self.collections.write().iter_mut() {
+            let same = e
+                .tearable
+                .as_ref()
+                .is_some_and(|t| Arc::ptr_eq(t, &set.coll));
+            if !same {
+                continue;
+            }
+            e.torn.retain(|r| set.raw.binary_search(r).is_err());
+            e.rev = None;
+            return;
+        }
     }
 }
 
@@ -531,5 +821,106 @@ mod tests {
 
         // collect_all returns both.
         assert_eq!(dir.collect_all(part.id()).collections.len(), 2);
+    }
+
+    /// Satellite of the hot-key PR: collection windows must reuse the
+    /// cached bucket index / reverse map instead of rebuilding them from
+    /// the full registry every tick; registration invalidates.
+    #[test]
+    fn indexes_are_cached_across_collect_windows() {
+        let stm = Stm::new();
+        let part = stm.new_partition(PartitionConfig::named("p"));
+
+        // Flat registry: the bucket index survives repeated collects.
+        let sdir = StaticDirectory::new();
+        let vars: Vec<Arc<PVar<u64>>> = (0..16).map(|i| Arc::new(part.tvar(i))).collect();
+        for v in &vars {
+            sdir.register(Arc::clone(v) as Arc<dyn Migratable>);
+        }
+        assert_eq!(sdir.index_rebuilds(), 0, "built lazily");
+        let b0 = bucket_of(Migratable::var_addr(&*vars[0]));
+        let before = {
+            let _ = sdir.collect(part.id(), &[b0]);
+            sdir.index_rebuilds()
+        };
+        let _ = sdir.collect(part.id(), &[b0]);
+        let _ = sdir.collect(part.id(), &[b0]);
+        assert_eq!(sdir.index_rebuilds(), before, "windows reuse the index");
+        sdir.register(Arc::new(part.tvar(99u64)) as Arc<dyn Migratable>);
+        let _ = sdir.collect(part.id(), &[b0]);
+        assert_eq!(sdir.index_rebuilds(), before + 1, "registration rebuilds");
+
+        // Collection registry: the reverse map survives repeated collects
+        // and is shared between `collect` and `collect_tears`.
+        let adir = ArenaDirectory::new();
+        let arena = Arc::new(Arena::new_bound(&part, |p| p.tvar(0u64)));
+        for _ in 0..32 {
+            let _ = arena.alloc_raw();
+        }
+        adir.register_tearable(Arc::clone(&arena) as Arc<dyn TearableCollection>);
+        let mut buckets = Vec::new();
+        arena.for_each_live_slot(|_, n| {
+            n.for_each_pvar(&mut |m| buckets.push(bucket_of(m.var_addr())))
+        });
+        buckets.sort_unstable();
+        buckets.dedup();
+        let _ = adir.collect(part.id(), &buckets);
+        assert_eq!(adir.rev_rebuilds(), 1);
+        let _ = adir.collect(part.id(), &buckets);
+        let _ = adir.collect_tears(part.id(), &buckets, 1.0);
+        assert_eq!(adir.rev_rebuilds(), 1, "windows and tears share the map");
+        adir.refresh();
+        let _ = adir.collect(part.id(), &buckets);
+        assert_eq!(adir.rev_rebuilds(), 2, "refresh forces a rebuild");
+    }
+
+    /// Satellite of the hot-key PR: tearing slots out must evict them from
+    /// the origin's reverse map (or the controller would re-propose
+    /// tearing already-torn slots forever); healing restores them.
+    #[test]
+    fn torn_slots_are_evicted_until_healed() {
+        let stm = Stm::new();
+        let part = stm.new_partition(PartitionConfig::named("p"));
+        let arena = Arc::new(Arena::new_bound(&part, |p| p.tvar(0u64)));
+        for _ in 0..64 {
+            let _ = arena.alloc_raw();
+        }
+        let dir = ArenaDirectory::new();
+        dir.register_tearable(Arc::clone(&arena) as Arc<dyn TearableCollection>);
+
+        // Hot buckets := the buckets of the first four live slots.
+        let mut hot: Vec<u16> = Vec::new();
+        let mut seen = 0;
+        arena.for_each_live_slot(|_, n| {
+            if seen < 4 {
+                n.for_each_pvar(&mut |m| hot.push(bucket_of(m.var_addr())));
+                seen += 1;
+            }
+        });
+        hot.sort_unstable();
+        hot.dedup();
+
+        let sets = dir.collect_tears(part.id(), &hot, 0.5);
+        assert_eq!(sets.len(), 1);
+        let set = &sets[0];
+        assert!(set.raw.len() >= 4, "at least the four seeds: {set:?}");
+        assert!(set.raw.len() <= 32, "a subset, not the structure");
+        assert_eq!(set.total_live, 64);
+        // The concentrated subset also over-represents the collection for
+        // a whole-structure split before the tear...
+        assert_eq!(dir.collect(part.id(), &hot).collections.len(), 1);
+
+        dir.mark_torn(set);
+        assert!(
+            dir.collect_tears(part.id(), &hot, 0.5).is_empty(),
+            "torn slots are not re-proposed"
+        );
+        // ...and after the tear the heat attribution is gone too.
+        assert_eq!(dir.collect(part.id(), &hot).collections.len(), 0);
+
+        dir.unmark_torn(set);
+        let again = dir.collect_tears(part.id(), &hot, 0.5);
+        assert_eq!(again.len(), 1);
+        assert_eq!(again[0].raw, set.raw, "heal restores attribution");
     }
 }

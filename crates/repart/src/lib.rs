@@ -58,7 +58,9 @@ mod controller;
 mod directory;
 
 pub use controller::{ControllerConfig, RepartEvent, RepartitionController};
-pub use directory::{ArenaDirectory, MoverSet, PVarDirectory, StaticDirectory};
+pub use directory::{
+    ArenaDirectory, MoverSet, PVarDirectory, StaticDirectory, TearMovers, TearSet,
+};
 
 #[cfg(test)]
 mod tests {
@@ -409,6 +411,139 @@ mod tests {
             .chain(cold.snapshot_pairs())
             .fold(0u64, |acc, (_, v)| acc.wrapping_add(v));
         assert_eq!(total, (HOT_KEYS + COLD_KEYS) * 100, "contents conserved");
+    }
+
+    /// End-to-end celebrity-key lifecycle: a skewed hammer on three keys
+    /// of one big map makes the controller *tear* just the hot slot
+    /// subset out — the map's home binding and the other thousands of
+    /// slots stay put — and when the skew passes, the torn partition's
+    /// load collapses and the controller *heals* the slots back into the
+    /// origin, retiring the torn partition. Contents conserved
+    /// throughout.
+    #[test]
+    fn controller_tears_and_heals_celebrity_keys() {
+        use partstm_structures::THashMap;
+        const KEYS: u64 = 4096;
+        const CELEBS: u64 = 3;
+        let stm = Stm::new();
+        let part = stm.new_partition(PartitionConfig::named("table").orecs(256));
+        let map = Arc::new(THashMap::new(Arc::clone(&part), KEYS as usize));
+        {
+            let ctx = stm.register_thread();
+            for k in 0..KEYS {
+                ctx.run(|tx| map.put(tx, k, 100).map(|_| ()));
+            }
+        }
+        let dir = Arc::new(crate::ArenaDirectory::new());
+        map.attach_directory(&*dir);
+        let mut cfg = ControllerConfig::responsive();
+        cfg.online.split_abort_rate = 0.02;
+        cfg.online.split_hot_share = 0.30;
+        let controller = RepartitionController::new(&stm, dir, cfg);
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let skew = Arc::new(AtomicBool::new(true));
+        let mut torn = false;
+        let mut healed = false;
+        std::thread::scope(|s| {
+            for t in 0..2u64 {
+                let ctx = stm.register_thread();
+                let (map, stop, skew) = (Arc::clone(&map), Arc::clone(&stop), Arc::clone(&skew));
+                s.spawn(move || {
+                    let mut r = (t + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                    while !stop.load(Ordering::Relaxed) {
+                        r ^= r << 13;
+                        r ^= r >> 7;
+                        r ^= r << 17;
+                        if skew.load(Ordering::Relaxed) {
+                            // Celebrity transfer holding its encounter
+                            // lock across a reschedule (one-core
+                            // contention).
+                            let (from, to) = (r % CELEBS, (r >> 8) % CELEBS);
+                            let amt = r % 50;
+                            ctx.run(|tx| {
+                                let f = map.get(tx, from)?.unwrap_or(0);
+                                map.put(tx, from, f.wrapping_sub(amt))?;
+                                std::thread::sleep(Duration::from_micros(50));
+                                let v = map.get(tx, to)?.unwrap_or(0);
+                                map.put(tx, to, v.wrapping_add(amt))?;
+                                Ok(())
+                            });
+                        } else {
+                            // The skew has passed: uniform read-only
+                            // scans, almost all of them against the
+                            // origin's slots.
+                            let mut x = r;
+                            ctx.run(|tx| {
+                                let mut sum = 0u64;
+                                for _ in 0..16 {
+                                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                                    sum = sum
+                                        .wrapping_add(map.get(tx, (x >> 16) % KEYS)?.unwrap_or(0));
+                                }
+                                Ok(sum)
+                            });
+                        }
+                    }
+                });
+            }
+            // Generous deadline: the harness runs the suite's tests in
+            // parallel on this one-core box, so the contention signal can
+            // take a while to accumulate when neighbours steal the core.
+            let deadline = Instant::now() + Duration::from_secs(60);
+            while Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(50));
+                controller.step();
+                if !torn && controller.has_tear() {
+                    torn = true;
+                    skew.store(false, Ordering::Relaxed);
+                }
+                if torn && controller.has_heal() {
+                    healed = true;
+                    break;
+                }
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+
+        assert!(torn, "controller never tore: {:?}", controller.events());
+        assert!(healed, "controller never healed: {:?}", controller.events());
+        let events = controller.stop();
+        let (tear_dst, moved, total_live) = events
+            .iter()
+            .find_map(|e| match e {
+                RepartEvent::Tear {
+                    dst,
+                    moved,
+                    total_live,
+                    ..
+                } => Some((*dst, *moved, *total_live)),
+                _ => None,
+            })
+            .unwrap();
+        assert!(moved > 0, "tear must migrate slots");
+        assert!(
+            moved < total_live / 2,
+            "tear moves a slot subset, not the structure ({moved}/{total_live})"
+        );
+        assert_eq!(map.partition_of(), part.id(), "map home never moves");
+        let (heal_src, heal_dst, heal_moved) = events
+            .iter()
+            .find_map(|e| match e {
+                RepartEvent::Heal {
+                    src, dst, moved, ..
+                } => Some((*src, *dst, *moved)),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(heal_src, tear_dst, "heal dissolves the torn partition");
+        assert_eq!(heal_dst, part.id(), "slots go home to the origin");
+        assert!(heal_moved >= moved, "heal returns every torn slot");
+        let total = map
+            .snapshot_pairs()
+            .into_iter()
+            .fold(0u64, |acc, (_, v)| acc.wrapping_add(v));
+        assert_eq!(total, KEYS * 100, "contents conserved across tear + heal");
     }
 
     /// The daemon variant starts, ticks and stops cleanly.

@@ -1,5 +1,6 @@
 //! The vacation database manager: four relations with STAMP semantics.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use partstm_core::{
@@ -176,6 +177,7 @@ pub struct Manager {
     rooms: ItemTable,
     customers: Arc<TRbTree>,
     infos: Arc<Arena<ResInfo>>,
+    release_violations: AtomicU64,
 }
 
 impl Manager {
@@ -193,7 +195,18 @@ impl Manager {
                 next: p.tvar(None),
             })),
             parts,
+            release_violations: AtomicU64::new(0),
         }
+    }
+
+    /// Double-release validation failures observed so far:
+    /// [`cancel`](Manager::cancel) /
+    /// [`delete_customer`](Manager::delete_customer)
+    /// attempts that found the item's `used` count already at zero.
+    /// Approximate under contention (counted per attempt, including
+    /// attempts whose transaction later retried).
+    pub fn release_violations(&self) -> u64 {
+        self.release_violations.load(Ordering::Relaxed)
     }
 
     /// The partitions backing this manager.
@@ -372,6 +385,23 @@ impl Manager {
             cur = tx.read(&n.next)?;
         }
         let Some(h) = cur else { return Ok(false) };
+        // Validate the release before mutating anything: a zero `used`
+        // means the unit was already released (or never reserved against
+        // this record); incrementing `free` anyway would silently break
+        // `used + free == total`. Count it and fail the cancel with the
+        // database untouched.
+        let t = self.table(kind);
+        let release = match t.lookup(tx, item)? {
+            Some(rh) => {
+                let used = tx.read(&t.arena.get(rh).used)?;
+                if used == 0 {
+                    self.release_violations.fetch_add(1, Ordering::Relaxed);
+                    return Ok(false);
+                }
+                Some((rh, used))
+            }
+            None => None,
+        };
         let next = tx.read(&self.infos.get(h).next)?;
         match prev {
             Some(p) => tx.write(&self.infos.get(p).next, next)?,
@@ -380,14 +410,11 @@ impl Manager {
             }
         }
         self.infos.free(tx, h);
-        // Release the unit.
-        let t = self.table(kind);
-        if let Some(rh) = t.lookup(tx, item)? {
+        if let Some((rh, used)) = release {
             let r = t.arena.get(rh);
             let free = tx.read(&r.free)?;
-            let used = tx.read(&r.used)?;
             tx.write(&r.free, free + 1)?;
-            tx.write(&r.used, used.saturating_sub(1))?;
+            tx.write(&r.used, used - 1)?;
         }
         Ok(true)
     }
@@ -425,14 +452,21 @@ impl Manager {
             bill += tx.read(&n.price)?;
             let kind = ReservationKind::from_code(tx.read(&n.kind)?);
             let item = tx.read(&n.item)?;
-            // Release the unit back to its table.
+            // Release the unit back to its table. A zero `used` is a
+            // double-release: skip the writes (the info is dropped with
+            // the customer either way) and count the violation instead
+            // of inflating `free` past `total`.
             let t = self.table(kind);
             if let Some(rh) = t.lookup(tx, item)? {
                 let r = t.arena.get(rh);
-                let free = tx.read(&r.free)?;
                 let used = tx.read(&r.used)?;
-                tx.write(&r.free, free + 1)?;
-                tx.write(&r.used, used.saturating_sub(1))?;
+                if used == 0 {
+                    self.release_violations.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    let free = tx.read(&r.free)?;
+                    tx.write(&r.free, free + 1)?;
+                    tx.write(&r.used, used - 1)?;
+                }
             }
             let next = tx.read(&n.next)?;
             self.infos.free(tx, h);
@@ -600,6 +634,50 @@ mod tests {
             !ctx.run(|tx| m.remove_item(tx, ReservationKind::Flight, 3, 1)),
             "cannot remove a used unit"
         );
+        m.check_invariants().unwrap();
+    }
+
+    /// A release against a record whose `used` count is already zero is
+    /// a double-release: the old code's `saturating_sub` silently
+    /// absorbed it while still incrementing `free`, breaking
+    /// `used + free == total`. Now `cancel` fails validation without
+    /// writing anything and `delete_customer` skips the bogus release,
+    /// both counting the violation.
+    #[test]
+    fn double_release_fails_validation_instead_of_corrupting() {
+        let (stm, m) = setup();
+        let ctx = stm.register_thread();
+        ctx.run(|tx| {
+            m.add_item(tx, ReservationKind::Car, 1, 5, 10)?;
+            m.add_customer(tx, 42)?;
+            Ok(())
+        });
+        assert!(ctx.run(|tx| m.reserve(tx, 42, ReservationKind::Car, 1)));
+        // Fabricate the state a masked double-release would leave: the
+        // unit already back in inventory while the customer still holds
+        // the reservation info.
+        let h = ctx
+            .run(|tx| m.table(ReservationKind::Car).lookup(tx, 1))
+            .unwrap();
+        let r = m.cars.arena.get(h);
+        r.used.store_direct(0);
+        r.free.store_direct(5);
+        assert_eq!(m.release_violations(), 0);
+        assert!(
+            !ctx.run(|tx| m.cancel(tx, 42, ReservationKind::Car, 1)),
+            "cancel must fail validation, not re-release"
+        );
+        assert_eq!(m.release_violations(), 1);
+        assert_eq!(
+            ctx.run(|tx| m.query_item(tx, ReservationKind::Car, 1)),
+            Some((5, 10)),
+            "failed cancel wrote nothing"
+        );
+        assert_eq!(ctx.run(|tx| m.query_bill(tx, 42)), Some(10), "info kept");
+        // delete_customer drops the info and skips the bogus release,
+        // restoring cross-relation consistency.
+        assert_eq!(ctx.run(|tx| m.delete_customer(tx, 42)), Some(10));
+        assert_eq!(m.release_violations(), 2);
         m.check_invariants().unwrap();
     }
 

@@ -10,7 +10,8 @@ use std::sync::Arc;
 
 use partstm_core::{
     Arena, CollectionRegistry, Handle, Migratable, MigratableCollection, MigrationSource, PVar,
-    PVarBinding, PVarFields, Partition, PartitionId, PrivateGuard, Tx, TxResult,
+    PVarBinding, PVarFields, Partition, PartitionId, PrivateGuard, TearableCollection, Tx,
+    TxResult,
 };
 
 use crate::intset::IntSet;
@@ -72,9 +73,10 @@ impl THashMap {
 
     /// Registers this map with a migration directory so the online
     /// repartitioner can account its nodes against profiler buckets and
-    /// migrate it live.
+    /// migrate it live — whole, or as hot slot subsets (the map is
+    /// [`TearableCollection`]).
     pub fn attach_directory(self: &Arc<Self>, dir: &dyn CollectionRegistry) {
-        dir.register_collection(Arc::clone(self) as Arc<dyn MigratableCollection>);
+        dir.register_tearable(Arc::clone(self) as Arc<dyn TearableCollection>);
     }
 
     /// The node arena backing this map: live-slot enumeration and
@@ -292,6 +294,19 @@ impl MigratableCollection for THashMap {
     }
 }
 
+impl TearableCollection for THashMap {
+    // Bucket-head roots stay home on a tear: heat under key skew
+    // concentrates on node fields, and torn slots stay reachable through
+    // home-bound heads because every field routes through its own binding.
+    fn for_each_live_slot_addr(&self, f: &mut dyn FnMut(u32, usize)) {
+        TearableCollection::for_each_live_slot_addr(&self.arena, f);
+    }
+
+    fn for_each_slot_binding(&self, raw: &[u32], f: &mut dyn FnMut(&PVarBinding)) {
+        TearableCollection::for_each_slot_binding(&self.arena, raw, f);
+    }
+}
+
 /// Transactional hash set: a [`THashMap`] with unit values.
 pub struct THashSet {
     map: THashMap,
@@ -314,7 +329,7 @@ impl THashSet {
     /// Registers this set with a migration directory (see
     /// [`THashMap::attach_directory`]).
     pub fn attach_directory(self: &Arc<Self>, dir: &dyn CollectionRegistry) {
-        dir.register_collection(Arc::clone(self) as Arc<dyn MigratableCollection>);
+        dir.register_tearable(Arc::clone(self) as Arc<dyn TearableCollection>);
     }
 }
 
@@ -335,6 +350,16 @@ impl MigratableCollection for THashSet {
 
     fn live_nodes(&self) -> usize {
         self.map.live_nodes()
+    }
+}
+
+impl TearableCollection for THashSet {
+    fn for_each_live_slot_addr(&self, f: &mut dyn FnMut(u32, usize)) {
+        self.map.for_each_live_slot_addr(f);
+    }
+
+    fn for_each_slot_binding(&self, raw: &[u32], f: &mut dyn FnMut(&PVarBinding)) {
+        self.map.for_each_slot_binding(raw, f);
     }
 }
 
