@@ -6,7 +6,7 @@
 //! repro <experiment>.. [--secs S] [--threads 1,2,4,...] [--quick] [--json [file]]
 //!                      [--prom [file]]
 //! experiments: f2 f3 f4 t1 t2 f5 f6 f7 f8 a1 a2 a3 repart hotkey orecs readpath
-//!              privatize report all
+//!              privatize chaos report all
 //! ```
 //!
 //! Several experiments may be named in one invocation (`repro repart
@@ -31,6 +31,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
+use partstm_bench::chaos::{run_chaos, ChaosConfig};
 use partstm_bench::hetero::{self, HeteroApp, HeteroMode};
 use partstm_bench::hotkey::{run_hotkey, HotkeyConfig, HotkeyReport};
 use partstm_bench::json_out::BenchRecorder;
@@ -143,7 +144,7 @@ fn main() {
     if cmds.is_empty() {
         eprintln!(
             "usage: repro <f2|f3|f4|t1|t2|f5|f6|f7|f8|a1|a2|a3|repart|hotkey|orecs|readpath|\
-             privatize|report|all>.. \
+             privatize|chaos|report|all>.. \
              [--secs S] [--threads ..] [--quick] [--json [file]] [--prom [file]]"
         );
         std::process::exit(2);
@@ -172,6 +173,7 @@ fn main() {
             "orecs" => orecs(&opts),
             "readpath" => readpath(&opts),
             "privatize" => privatize(&opts),
+            "chaos" => chaos(&opts),
             "report" => report(&opts),
             "all" => {
                 f2(&opts);
@@ -191,6 +193,7 @@ fn main() {
                 orecs(&opts);
                 readpath(&opts);
                 privatize(&opts);
+                chaos(&opts);
             }
             other => {
                 eprintln!("unknown experiment {other}");
@@ -1375,6 +1378,110 @@ fn privatize(opts: &Opts) {
             ("aborts_switching", s.aborts_switching as f64),
             ("aborts_wlock", s.aborts_wlock as f64),
             ("aborts_validation", s.aborts_validation as f64),
+        ],
+    );
+}
+
+// ---------------------------------------------------------------- CHAOS
+
+/// CHAOS: stuck-transaction remediation under deterministic fault
+/// injection — quiesce success with only the hard deadline vs with the
+/// kill-based rescue armed, then the controller's circuit breaker under
+/// injected control-action failures. See [`partstm_bench::chaos`].
+fn chaos(opts: &Opts) {
+    let threads = (*opts.threads.last().unwrap_or(&4)).clamp(2, 8);
+    let cfg = ChaosConfig::standard(threads, opts.secs);
+    println!(
+        "\n=== CHAOS: seeded fault injection ({} control actions per phase; stalls of \
+         {:?} at {}‰ vs a {:?} hard / {:?} soft deadline), {threads} threads ===",
+        cfg.actions, cfg.stall, cfg.stall_permille, cfg.quiesce_timeout, cfg.kill_after
+    );
+    let t_run0 = telemetry::now_micros();
+    let r = run_chaos(&cfg);
+    println!(
+        "{:>14} {:>10} {:>10} {:>10} {:>10} {:>8} {:>8}",
+        "phase", "actions", "success%", "mean(ms)", "max(ms)", "kills", "stuck"
+    );
+    let line = |label: &str, p: &partstm_bench::chaos::QuiescePhase, pct: f64| {
+        println!(
+            "{label:>14} {:>10} {pct:>9.1}% {:>10.1} {:>10.1} {:>8} {:>8}",
+            p.attempts, p.mean_ms, p.max_ms, p.killed, p.stuck_slots
+        );
+    };
+    line("deadline-only", &r.deadline, r.deadline_success_pct());
+    line("kill-rescue", &r.rescue, r.rescue_success_pct());
+    println!(
+        "breaker: {} failed action(s) -> {} open(s), {} close(s); split after faults \
+         cleared: {}",
+        r.breaker.failed_actions,
+        r.breaker.opens,
+        r.breaker.closes,
+        if r.breaker.split_after_clear {
+            "yes"
+        } else {
+            "NO"
+        }
+    );
+    for e in &r.breaker.events {
+        println!("controller event: {e:?}");
+    }
+    // The remediation slice of the flight-recorder timeline: every
+    // stuck-slot diagnosis, kill rescue and breaker transition this run
+    // recorded (the newest still in the ring), in order.
+    println!("remediation timeline (+t from chaos start):");
+    let mut shown = 0usize;
+    for e in telemetry::global().recorder.snapshot().iter().filter(|e| {
+        e.micros >= t_run0
+            && matches!(
+                e.kind,
+                telemetry::EventKind::StuckSlot
+                    | telemetry::EventKind::KillRescue
+                    | telemetry::EventKind::CtrlBreaker
+            )
+    }) {
+        let dt = (e.micros - t_run0) as f64 / 1e6;
+        println!("  +{dt:>8.3}s  {}", telemetry::render_event(e));
+        shown += 1;
+    }
+    if shown == 0 {
+        println!("  (no remediation events recorded)");
+    }
+    println!(
+        "rescue criterion (>=95% quiesce success): {}",
+        if r.rescue_success_pct() >= 95.0 {
+            "MET"
+        } else {
+            "MISSED"
+        }
+    );
+    assert!(
+        r.deadline.conserved && r.rescue.conserved && r.breaker.conserved,
+        "conserved-sum violated"
+    );
+    let leaked = r.deadline.leaked_locks + r.rescue.leaked_locks + r.breaker.leaked_locks;
+    assert_eq!(leaked, 0, "locks leaked across the chaos phases");
+
+    opts.rec.record(
+        "chaos",
+        &[
+            ("chaos_quiesce_success_pct", r.rescue_success_pct()),
+            ("chaos_deadline_success_pct", r.deadline_success_pct()),
+            ("kill_rescues", r.rescue.killed as f64),
+            ("stuck_slots", r.deadline.stuck_slots as f64),
+            ("rescue_mean_ms", r.rescue.mean_ms),
+            ("rescue_max_ms", r.rescue.max_ms),
+            ("breaker_opens", r.breaker.opens as f64),
+            ("breaker_closes", r.breaker.closes as f64),
+            (
+                "split_after_clear",
+                if r.breaker.split_after_clear {
+                    1.0
+                } else {
+                    0.0
+                },
+            ),
+            ("failed_actions", r.breaker.failed_actions as f64),
+            ("leaked_locks", leaked as f64),
         ],
     );
 }

@@ -63,6 +63,7 @@ pub mod clock;
 pub mod cm;
 pub mod config;
 pub mod error;
+pub mod fault;
 pub mod orec;
 pub mod partition;
 pub mod privatize;
@@ -84,6 +85,7 @@ pub use config::{
     AcquireMode, CmPolicy, DynConfig, Granularity, PartitionConfig, ReadMode, ReaderArb,
 };
 pub use error::{Abort, AbortKind, TxResult};
+pub use fault::{FaultPlan, FaultSite};
 pub use partition::{Partition, PartitionId};
 pub use privatize::{PrivateGuard, PrivatizeError};
 pub use profiler::{AccessProfiler, BucketTouch, SampleTouch, TxSample, PROFILE_BUCKETS};

@@ -102,6 +102,11 @@ pub struct Partition {
     /// Completed in-place orec-table resizes (see
     /// [`crate::Stm::resize_orecs`]).
     resizes: AtomicU64,
+    /// [`crate::telemetry::now_micros`] timestamp at which the current
+    /// privatization window began, or 0 when the partition is not
+    /// privately held. Stamped/cleared by [`crate::privatize`]; feeds the
+    /// leaked-guard hold-age alarm.
+    pub(crate) privatized_at_micros: AtomicU64,
     pub(crate) stats: PartitionStats,
     /// Whether the runtime tuner may reconfigure this partition.
     pub(crate) tunable: bool,
@@ -176,6 +181,7 @@ impl Partition {
                 retired_rings: Vec::new(),
             }),
             resizes: AtomicU64::new(0),
+            privatized_at_micros: AtomicU64::new(0),
             stats: PartitionStats::default(),
             tunable: cfg.tune,
             tune_gate: CachePadded::new(AtomicU64::new(0)),
@@ -300,6 +306,35 @@ impl Partition {
     /// actions against a privately held partition.
     pub fn is_privatized(&self) -> bool {
         config::is_privatized(self.config.load(Ordering::SeqCst))
+    }
+
+    /// How long the current privatization window has been open, or `None`
+    /// when the partition is not privately held. Racy by nature (the
+    /// guard may republish concurrently); intended for the leaked-guard
+    /// hold-age alarm (see [`crate::privatize::check_hold_alarm`]) and
+    /// reports.
+    pub fn privatized_for(&self) -> Option<std::time::Duration> {
+        let at = self.privatized_at_micros.load(Ordering::Acquire);
+        if at == 0 || !self.is_privatized() {
+            return None;
+        }
+        let now = crate::telemetry::now_micros();
+        Some(std::time::Duration::from_micros(now.saturating_sub(at)))
+    }
+
+    /// Encounter locks currently held in this partition's table by thread
+    /// slot `owner`. Racy diagnostic (same contract as
+    /// [`Partition::debug_scan`]); used by the quiesce hard-deadline path
+    /// to attribute held locks to a stuck slot.
+    pub(crate) fn held_locks_of(&self, owner: usize) -> usize {
+        let hold = self.tables.lock();
+        hold.current
+            .iter()
+            .filter(|o| {
+                let l = o.lock.load(Ordering::SeqCst);
+                crate::orec::is_locked(l) && crate::orec::owner_of(l) == owner
+            })
+            .count()
     }
 
     /// Hot-path snapshot of the orec table: `(base pointer, index mask)`.

@@ -121,6 +121,55 @@ fn hold_limiter() -> &'static rtlog::Limiter {
     L.get_or_init(|| rtlog::Limiter::new(WARN_INTERVAL))
 }
 
+fn alarm_limiter() -> &'static rtlog::Limiter {
+    static L: OnceLock<rtlog::Limiter> = OnceLock::new();
+    L.get_or_init(|| rtlog::Limiter::new(WARN_INTERVAL))
+}
+
+/// Age at which a *live* hold trips [`check_hold_alarm`], µs. Unlike
+/// [`HOLD_WARN_THRESHOLD`] (reported at republish, i.e. after the fact),
+/// this fires while the guard is still held — the leaked-guard detector.
+static HOLD_ALARM_MICROS: core::sync::atomic::AtomicU64 =
+    core::sync::atomic::AtomicU64::new(1_000_000);
+
+/// Sets the hold-age alarm threshold (default 1 s): a privatization hold
+/// observed (by [`check_hold_alarm`]) older than this is reported as a
+/// likely leaked [`PrivateGuard`]. Sub-microsecond values clamp to 1 µs.
+pub fn set_hold_alarm_threshold(threshold: Duration) {
+    let us = (threshold.as_micros() as u64).max(1);
+    HOLD_ALARM_MICROS.store(us, Ordering::Relaxed);
+}
+
+/// Current hold-age alarm threshold (see [`set_hold_alarm_threshold`]).
+pub fn hold_alarm_threshold() -> Duration {
+    Duration::from_micros(HOLD_ALARM_MICROS.load(Ordering::Relaxed))
+}
+
+/// Leaked-guard detector: reports (rate-limited, and counted in the
+/// partition's `privatize_hold_alarms` stat) when `part` has been
+/// privately held longer than [`hold_alarm_threshold`]. Returns whether
+/// the alarm tripped. Cheap when the partition is not privatized (two
+/// atomic loads); intended to be called periodically from control-plane
+/// code — the repartition controller checks it every time a proposal is
+/// skipped because its target partition is privately held.
+pub fn check_hold_alarm(part: &Partition) -> bool {
+    let Some(held) = part.privatized_for() else {
+        return false;
+    };
+    let threshold = hold_alarm_threshold();
+    if held < threshold {
+        return false;
+    }
+    part.stats.privatize_hold_alarms(0, 1);
+    alarm_limiter().warn(&format!(
+        "partition '{}' has been privatized for {held:?} \
+         (alarm threshold {threshold:?}): a PrivateGuard looks leaked or \
+         wedged; transactional writers are starving",
+        part.name()
+    ));
+    true
+}
+
 /// Why a [`Stm::privatize`] attempt did not produce a guard. Both cases
 /// leave the partition exactly as found and are retryable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -264,6 +313,7 @@ impl PrivateGuard {
             config::generation(self.old).wrapping_add(1),
         );
         self.part.config.store(word, Ordering::SeqCst);
+        self.part.privatized_at_micros.store(0, Ordering::Release);
         self.part.stats.republishes(0, 1);
         if telemetry::enabled() {
             let held_us = held.as_micros() as u64;
@@ -336,6 +386,9 @@ fn privatize_body(stm: &Stm, partition: &Arc<Partition>) -> Result<PrivateGuard,
         return Err(PrivatizeError::TimedOut);
     }
     partition.stats.privatizations(0, 1);
+    partition
+        .privatized_at_micros
+        .store(telemetry::now_micros().max(1), Ordering::Release);
     Ok(PrivateGuard {
         stm: stm.clone(),
         part: Arc::clone(partition),
@@ -524,6 +577,27 @@ mod tests {
         let (locked, _, maxv) = p.debug_scan();
         assert_eq!(locked, 0);
         assert!(maxv > before, "orecs stamped with the advanced time");
+    }
+
+    #[test]
+    fn hold_alarm_trips_on_old_live_holds_only() {
+        let stm = Stm::new();
+        let p = stm.new_partition(PartitionConfig::named("leaky"));
+        assert!(!check_hold_alarm(&p), "not privatized: quiet");
+        assert!(p.privatized_for().is_none());
+        let g = stm.privatize(&p).expect("uncontended");
+        assert!(p.privatized_for().is_some());
+        assert!(!check_hold_alarm(&p), "fresh hold under the threshold");
+        // The threshold is process-global; restore it after the test.
+        set_hold_alarm_threshold(Duration::from_micros(1));
+        assert_eq!(hold_alarm_threshold(), Duration::from_micros(1));
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(check_hold_alarm(&p), "old live hold trips the alarm");
+        assert!(p.stats().privatize_hold_alarms >= 1);
+        set_hold_alarm_threshold(Duration::from_secs(1));
+        g.republish();
+        assert!(p.privatized_for().is_none(), "republish clears the stamp");
+        assert!(!check_hold_alarm(&p));
     }
 
     #[test]

@@ -63,7 +63,9 @@ macro_rules! for_each_stat {
             /// Republish events: a `PrivateGuard` returned the partition to transactional service under gen+1.
             republishes,
             /// Transactional attempts that aborted against a *privatized* (not merely switching) partition.
-            privatized_collisions
+            privatized_collisions,
+            /// Hold-age alarms: windows in which a `PrivateGuard` on this partition was observed held past the configured threshold (see `crate::privatize::set_hold_alarm_threshold`).
+            privatize_hold_alarms
         );
     };
 }

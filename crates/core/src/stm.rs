@@ -93,6 +93,11 @@ pub(crate) struct StmInner {
     /// How long switches/repartitions wait for quiescence before rolling
     /// back (see [`StmBuilder::quiesce_timeout`]).
     pub(crate) quiesce_timeout: Duration,
+    /// Soft rescue deadline inside a quiesce drain: past this, the drain
+    /// raises the kill flags of the blocking slots (see
+    /// [`StmBuilder::kill_after`] and [`bump_epoch_and_quiesce`]). At or
+    /// above `quiesce_timeout`, rescue is disabled.
+    pub(crate) kill_after: Duration,
     /// Installed access profiler (see [`crate::profiler`]).
     pub(crate) profiler: RwLock<Option<Arc<AccessProfiler>>>,
     /// Sampling period copy, readable with one relaxed load on the
@@ -148,6 +153,7 @@ static STM_IDS: AtomicU64 = AtomicU64::new(1);
 pub struct StmBuilder {
     max_threads: usize,
     quiesce_timeout: Duration,
+    kill_after: Option<Duration>,
 }
 
 impl Default for StmBuilder {
@@ -155,6 +161,7 @@ impl Default for StmBuilder {
         StmBuilder {
             max_threads: MAX_THREADS,
             quiesce_timeout: QUIESCE_TIMEOUT,
+            kill_after: None,
         }
     }
 }
@@ -181,6 +188,23 @@ impl StmBuilder {
         self
     }
 
+    /// Soft rescue deadline inside a quiesce drain (default: a quarter of
+    /// the quiesce timeout). A drain that has waited this long raises the
+    /// kill flag of every transaction still blocking it; cooperative
+    /// transactions (anything actually executing STM operations) observe
+    /// the flag at their next read/write/validate/backoff boundary,
+    /// abort through the ordinary lock-releasing abort path, and retry —
+    /// unblocking the control plane long before the hard deadline. A
+    /// genuinely unresponsive thread (descheduled, dead, or parked in
+    /// user code) never polls its flag, so the hard
+    /// [`quiesce_timeout`](StmBuilder::quiesce_timeout) still applies and
+    /// produces a structured stuck-slot diagnostic. Set this at or above
+    /// the quiesce timeout to disable kill rescue entirely.
+    pub fn kill_after(mut self, deadline: Duration) -> Self {
+        self.kill_after = Some(deadline);
+        self
+    }
+
     /// Builds the runtime.
     pub fn build(self) -> Stm {
         let mut slots = Vec::with_capacity(self.max_threads);
@@ -196,6 +220,7 @@ impl StmBuilder {
                 next_partition: AtomicU32::new(0),
                 tuner: RwLock::new(None),
                 quiesce_timeout: self.quiesce_timeout,
+                kill_after: self.kill_after.unwrap_or(self.quiesce_timeout / 4),
                 profiler: RwLock::new(None),
                 profile_period: CachePadded::new(AtomicU64::new(0)),
                 ro_floor: CachePadded::new(AtomicU64::new(0)),
@@ -636,6 +661,39 @@ fn set_ring_depth_body(inner: &StmInner, partition: &Partition, depth: usize) ->
 /// Returns `false` on quiesce timeout — the caller must roll its flags
 /// back. Shared by the single-partition switch and the multi-partition
 /// repartition protocol (see [`crate::repartition`]).
+///
+/// ## Two-stage deadline (kill-based rescue)
+///
+/// The drain runs against two deadlines:
+///
+/// 1. **Soft** ([`StmBuilder::kill_after`], default `quiesce_timeout/4`):
+///    once crossed, [`raise_kills`] sweeps the slot table once and raises
+///    the kill flag of every transaction still blocking the drain (slot
+///    registered, sequence odd, attempt begun before this window's
+///    epoch). A cooperative victim observes the flag at its next
+///    read/write/acquire/validate/backoff boundary and unwinds with
+///    [`AbortKind::Killed`](crate::AbortKind::Killed) through the
+///    ordinary abort path, which releases every encounter lock and
+///    reader bit it held — see the "Kill safety" section of
+///    [`crate::txn`]'s module docs for why aborting at those boundaries
+///    can never observe or publish torn state. One sweep suffices:
+///    attempts begun after the epoch bump satisfy the drain predicate by
+///    construction, so the set of blockers can only shrink.
+/// 2. **Hard** ([`StmBuilder::quiesce_timeout`]): the window fails and
+///    the caller rolls back, exactly as before — but first
+///    [`report_stuck_slots`] emits one structured diagnostic per
+///    still-blocking slot (thread slot, attempt serial, held encounter
+///    locks per partition scan) through [`rtlog`] and the telemetry
+///    `StuckSlot` event/counter, replacing the old bare "stuck
+///    transaction?" guess. Only a thread that is *not running STM code*
+///    (descheduled, dead, or parked in user code mid-transaction) can
+///    reach this stage, because every STM boundary polls the kill flag.
+///
+/// Raising a kill flag is always safe, even against a mis-identified
+/// victim: the flag names one attempt serial, the victim merely
+/// aborts-and-retries (counted as `aborts_killed`), and `Tx::begin`
+/// clears the flag before publishing the next serial, so a stale kill
+/// can never leak into a later attempt.
 pub(crate) fn bump_epoch_and_quiesce(inner: &StmInner, tele_part: u32) -> bool {
     // `tele_part` only attributes the telemetry events below to the
     // partition (or destination) whose window this is; the drain itself is
@@ -644,8 +702,16 @@ pub(crate) fn bump_epoch_and_quiesce(inner: &StmInner, tele_part: u32) -> bool {
         telemetry::control_event(EventKind::QuiesceBegin, tele_part as u64, 0, 0);
         Instant::now()
     });
+    if crate::fault::enabled() {
+        if let Some(delay) = crate::fault::quiesce_delay_budget(inner.id) {
+            std::thread::sleep(delay);
+        }
+    }
     let epoch = inner.switch_epoch.fetch_add(1, Ordering::SeqCst) + 1;
     let start = Instant::now();
+    let soft = inner.kill_after;
+    // Rescue disabled when the soft deadline cannot precede the hard one.
+    let mut kills_raised = soft >= inner.quiesce_timeout;
     let mut ok = true;
     'drain: for slot in inner.slots.iter() {
         if !slot.registered.load(Ordering::Acquire) {
@@ -656,11 +722,26 @@ pub(crate) fn bump_epoch_and_quiesce(inner: &StmInner, tele_part: u32) -> bool {
             if seq % 2 == 0 || slot.start_epoch.load(Ordering::SeqCst) >= epoch {
                 break;
             }
-            if start.elapsed() > inner.quiesce_timeout {
+            let waited = start.elapsed();
+            if waited > inner.quiesce_timeout {
                 ok = false;
                 break 'drain;
             }
+            if !kills_raised && waited > soft {
+                kills_raised = true;
+                raise_kills(inner, epoch, tele_part, waited);
+            }
             std::thread::yield_now();
+        }
+    }
+    if !ok {
+        report_stuck_slots(inner, epoch, tele_part);
+    }
+    if telemetry::enabled() {
+        let t = telemetry::global();
+        t.quiesce_total.inc();
+        if !ok {
+            t.quiesce_timeouts.inc();
         }
     }
     if let Some(t0) = tele_t0 {
@@ -669,6 +750,95 @@ pub(crate) fn bump_epoch_and_quiesce(inner: &StmInner, tele_part: u32) -> bool {
         telemetry::control_event(EventKind::QuiesceEnd, tele_part as u64, us, ok as u64);
     }
     ok
+}
+
+/// Soft-deadline stage of [`bump_epoch_and_quiesce`]: one sweep over the
+/// slot table raising the kill flag of every attempt still blocking the
+/// drain for `epoch`. Racing a victim's attempt turnover is benign — the
+/// stored serial then names a finished attempt and no one ever matches
+/// it. Cold by construction (a healthy drain finishes in microseconds).
+#[cold]
+fn raise_kills(inner: &StmInner, epoch: u64, tele_part: u32, waited: Duration) {
+    let mut killed = 0u64;
+    for slot in inner.slots.iter() {
+        if !slot.registered.load(Ordering::SeqCst) {
+            continue;
+        }
+        if slot.seq.load(Ordering::SeqCst) % 2 == 0
+            || slot.start_epoch.load(Ordering::SeqCst) >= epoch
+        {
+            continue;
+        }
+        slot.kill
+            .store(slot.serial.load(Ordering::SeqCst), Ordering::SeqCst);
+        killed += 1;
+    }
+    if killed > 0 && telemetry::enabled() {
+        telemetry::global().kill_rescue_kills.add(killed);
+        telemetry::control_event(
+            EventKind::KillRescue,
+            tele_part as u64,
+            killed,
+            waited.as_micros() as u64,
+        );
+    }
+}
+
+fn stuck_limiter() -> &'static rtlog::Limiter {
+    static L: std::sync::OnceLock<rtlog::Limiter> = std::sync::OnceLock::new();
+    L.get_or_init(|| rtlog::Limiter::new(Duration::from_secs(5)))
+}
+
+/// Hard-deadline stage of [`bump_epoch_and_quiesce`]: one structured
+/// diagnostic per slot still blocking the drain — thread slot index,
+/// attempt serial, and how many encounter locks it holds in each
+/// partition — via [`rtlog`] (rate-limited) and the telemetry
+/// `StuckSlot` event + counter. Such a slot survived the kill sweep, so
+/// its thread cannot be executing STM code; the held-lock count tells the
+/// operator whether it is wedging writers too or merely the control
+/// plane.
+#[cold]
+fn report_stuck_slots(inner: &StmInner, epoch: u64, tele_part: u32) {
+    // `try_lock`: this runs inside an already-failing control-plane
+    // window, and deadlocking the diagnostic on the partition list would
+    // be worse than reporting without held-lock counts.
+    let parts: Vec<Arc<Partition>> = inner
+        .partitions
+        .try_lock()
+        .map(|g| g.clone())
+        .unwrap_or_default();
+    for (i, slot) in inner.slots.iter().enumerate() {
+        if !slot.registered.load(Ordering::SeqCst) {
+            continue;
+        }
+        if slot.seq.load(Ordering::SeqCst) % 2 == 0
+            || slot.start_epoch.load(Ordering::SeqCst) >= epoch
+        {
+            continue;
+        }
+        let serial = slot.serial.load(Ordering::SeqCst);
+        let held: Vec<(PartitionId, usize)> = parts
+            .iter()
+            .map(|p| (p.id(), p.held_locks_of(i)))
+            .filter(|(_, n)| *n > 0)
+            .collect();
+        let held_total: usize = held.iter().map(|(_, n)| n).sum();
+        if telemetry::enabled() {
+            telemetry::global().stuck_slots.inc();
+        }
+        telemetry::control_event(
+            EventKind::StuckSlot,
+            tele_part as u64,
+            i as u64,
+            held_total as u64,
+        );
+        stuck_limiter().warn(&format!(
+            "stuck transaction: thread slot {i} (attempt serial {serial}) \
+             ignored its kill flag past the hard quiesce deadline; it holds \
+             {held_total} encounter lock(s) {held:?} — the thread is \
+             descheduled, dead, or parked in user code mid-transaction"
+        ));
+    }
 }
 
 impl Default for Stm {

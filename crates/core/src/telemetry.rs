@@ -46,6 +46,16 @@ pub struct Telemetry {
     pub snapshot_scan_depth: Arc<Histogram>,
     /// Privatize→republish hold duration, µs.
     pub privatize_hold_us: Arc<Histogram>,
+    /// Quiesce windows drained (successfully or not).
+    pub quiesce_total: Arc<Counter>,
+    /// Quiesce windows that hit the hard deadline and rolled back.
+    pub quiesce_timeouts: Arc<Counter>,
+    /// Thread slots whose kill flag was raised by the quiesce rescue
+    /// stage (soft deadline crossed).
+    pub kill_rescue_kills: Arc<Counter>,
+    /// Slots still blocking at the hard deadline — each produced a
+    /// structured `StuckSlot` diagnostic.
+    pub stuck_slots: Arc<Counter>,
 }
 
 impl Telemetry {
@@ -59,6 +69,10 @@ impl Telemetry {
             validate_len: registry.histogram("validate_len"),
             snapshot_scan_depth: registry.histogram("snapshot_scan_depth"),
             privatize_hold_us: registry.histogram("privatize_hold_us"),
+            quiesce_total: registry.counter("quiesce_total"),
+            quiesce_timeouts: registry.counter("quiesce_timeouts"),
+            kill_rescue_kills: registry.counter("kill_rescue_kills"),
+            stuck_slots: registry.counter("stuck_slots"),
             registry,
         }
     }

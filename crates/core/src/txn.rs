@@ -68,6 +68,44 @@
 //! paths (never on the commit fast path), and feeds the per-partition
 //! `conflicts_true` / `conflicts_aliased` counters the online analyzer's
 //! orec-table resize proposals are built on.
+//!
+//! ## Kill safety
+//!
+//! A transaction can be asked to die remotely: writers kill visible
+//! readers during arbitration, and the quiesce rescue stage (see
+//! [`crate::stm`]'s `bump_epoch_and_quiesce`) kills attempts that block a
+//! structural window past its soft deadline. The request is one store
+//! into the victim's slot (`kill := serial of the attempt to abort`); the
+//! victim polls it at every *check-point boundary* — transactional read
+//! ([`Tx::read`]/[`Tx::read_raw`]), write, orec acquisition (both the
+//! loop head and the bounded `wait_or_fail` spin), visible-reader
+//! arbitration waits, and commit entry — and unwinds with
+//! [`AbortKind::Killed`] through the ordinary `fail` → `rollback` path.
+//!
+//! Aborting at exactly those boundaries can never observe or publish torn
+//! state:
+//!
+//! * **Nothing is published before commit.** Writes are buffered in the
+//!   private write set; memory is only written back inside `try_commit`
+//!   *after* every lock is held and validation has passed — and the kill
+//!   flag is not consulted anywhere past that point, so a kill either
+//!   lands before the attempt is irreversibly committed (it aborts
+//!   cleanly) or it is too late and the attempt commits as if the kill
+//!   had never happened. There is no in-between.
+//! * **The abort path releases everything.** `rollback` restores every
+//!   encounter-acquired orec to its pre-acquisition word, clears the
+//!   victim's visible-reader bits, reclaims transactional allocations and
+//!   flips the slot's `seq` back to even — the same path every
+//!   conflict abort takes, exercised constantly; a killed abort is not a
+//!   special case.
+//! * **The victim cannot observe torn data either.** Between check
+//!   points the attempt only reads through the seqlock sandwich /
+//!   reader-bit protocols, which are kill-oblivious; the kill merely
+//!   decides *whether to continue*, never *what was read*.
+//! * **Stale kills are harmless.** The flag names one attempt serial;
+//!   `Tx::begin` clears it before publishing the next serial, so a kill
+//!   that loses the race with attempt turnover matches no current attempt
+//!   and is ignored.
 
 use core::marker::PhantomData;
 use core::sync::atomic::{AtomicU64, Ordering};
@@ -707,6 +745,11 @@ impl<'e, 's> Tx<'e, 's> {
         if acquire == AcquireMode::Encounter {
             self.acquire_orec(wi)?;
         }
+        if crate::fault::enabled() && crate::fault::should_panic_mid_tx(self.stm.id) {
+            // FaultSite::MidTxPanic: user code dying mid-attempt, possibly
+            // holding encounter locks. `Drop for Tx` rolls back.
+            panic!("injected mid-tx panic (fault plan)");
+        }
         Ok(())
     }
 
@@ -976,8 +1019,35 @@ impl<'e, 's> Tx<'e, 's> {
                     ReaderArb::WriterWinsKill => self.kill_readers(ti, orec, my_bit)?,
                 }
             }
+            if crate::fault::enabled() {
+                self.fault_stall(ti)?;
+            }
             return Ok(());
         }
+    }
+
+    /// Fault-injection site
+    /// [`StallHoldingLocks`](crate::fault::FaultSite::StallHoldingLocks):
+    /// stalls right after a successful orec acquisition, i.e. while
+    /// holding an encounter lock — the exact shape of a stuck transaction
+    /// blocking a quiesce. The stall is *cooperative*: it polls the kill
+    /// flag, so the rescue stage can reach it the same way it reaches any
+    /// transaction parked in the engine's own wait loops (a plain `sleep`
+    /// would model a descheduled thread instead, which is what the hard
+    /// deadline's `StuckSlot` path covers).
+    #[cold]
+    fn fault_stall(&mut self, ti: u16) -> TxResult<()> {
+        let Some(budget) = crate::fault::stall_budget(self.stm.id) else {
+            return Ok(());
+        };
+        let t0 = Instant::now();
+        while t0.elapsed() < budget {
+            if self.killed() {
+                return Err(self.fail(ti, AbortKind::Killed));
+            }
+            std::thread::yield_now();
+        }
+        Ok(())
     }
 
     /// Writer-wins arbitration: kill all visible readers of `orec` and wait

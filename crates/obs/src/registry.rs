@@ -49,7 +49,13 @@ impl MetricsRegistry {
 
     /// Gets or creates the counter named `name`.
     pub fn counter(&self, name: &str) -> Arc<Counter> {
-        let mut g = self.counters.lock().expect("registry poisoned");
+        // Recover from poisoning everywhere in this registry: the guarded
+        // data is a grow-only name→instrument list, which no panic can
+        // leave half-updated in a way that matters (the worst case is a
+        // pushed entry whose Arc was never returned). Propagating the
+        // poison instead would let one panicking recorder thread take
+        // down every later metrics export.
+        let mut g = self.counters.lock().unwrap_or_else(|e| e.into_inner());
         if let Some((_, c)) = g.iter().find(|(n, _)| n == name) {
             return Arc::clone(c);
         }
@@ -60,7 +66,7 @@ impl MetricsRegistry {
 
     /// Gets or creates the histogram named `name`.
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
-        let mut g = self.hists.lock().expect("registry poisoned");
+        let mut g = self.hists.lock().unwrap_or_else(|e| e.into_inner());
         if let Some((_, h)) = g.iter().find(|(n, _)| n == name) {
             return Arc::clone(h);
         }
@@ -77,14 +83,14 @@ impl MetricsRegistry {
             counters: self
                 .counters
                 .lock()
-                .expect("registry poisoned")
+                .unwrap_or_else(|e| e.into_inner())
                 .iter()
                 .map(|(n, c)| (n.clone(), c.get()))
                 .collect(),
             hists: self
                 .hists
                 .lock()
-                .expect("registry poisoned")
+                .unwrap_or_else(|e| e.into_inner())
                 .iter()
                 .map(|(n, h)| (n.clone(), h.snapshot()))
                 .collect(),
@@ -155,6 +161,29 @@ mod tests {
         assert_eq!(reg.snapshot().hist("lat").unwrap().count, 2);
         assert_eq!(reg.snapshot().counter("missing"), None);
         assert!(reg.snapshot().hist("missing").is_none());
+    }
+
+    #[test]
+    fn poisoned_lock_recovers_instead_of_cascading() {
+        let reg = MetricsRegistry::new();
+        reg.counter("ops").add(2);
+        reg.histogram("lat").record(5);
+        // Poison both mutexes the only way possible: panic while holding
+        // the guard (simulates a recorder thread dying mid-registration).
+        for _ in 0..2 {
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _c = reg.counters.lock().unwrap();
+                let _h = reg.hists.lock().unwrap();
+                panic!("die holding the registry");
+            }));
+        }
+        assert!(reg.counters.lock().is_err(), "mutex is actually poisoned");
+        // Every entry point recovers the guard and keeps serving.
+        reg.counter("ops").inc();
+        reg.histogram("lat").record(7);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("ops"), Some(3));
+        assert_eq!(snap.hist("lat").unwrap().count, 2);
     }
 
     #[test]

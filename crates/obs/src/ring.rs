@@ -74,6 +74,18 @@ pub enum EventKind {
     /// Sampled transaction attempt aborted. `a` = thread lane, `b` =
     /// `codes::ABORT_*`, `c` = failed attempts so far.
     TxAbort = 15,
+    /// A quiesce window hit its hard deadline with a slot still inside a
+    /// pre-epoch transaction. `a` = partition id, `b` = stuck thread
+    /// slot, `c` = encounter locks the slot held at scan time.
+    StuckSlot = 16,
+    /// A quiesce window crossed its soft deadline and raised kill flags
+    /// against the blocking slots. `a` = partition id, `b` = slots
+    /// killed, `c` = µs since the window began draining.
+    KillRescue = 17,
+    /// The repartition controller's per-partition circuit breaker changed
+    /// state. `a` = partition id, `b` = 1 on open / 0 on close, `c` =
+    /// consecutive quiesce-timeout failures at the transition.
+    CtrlBreaker = 18,
 }
 
 impl EventKind {
@@ -95,6 +107,9 @@ impl EventKind {
             13 => EventKind::TxValidate,
             14 => EventKind::TxCommit,
             15 => EventKind::TxAbort,
+            16 => EventKind::StuckSlot,
+            17 => EventKind::KillRescue,
+            18 => EventKind::CtrlBreaker,
             _ => EventKind::None,
         }
     }
@@ -210,6 +225,19 @@ pub fn render_event(e: &Event) -> String {
             "tx-abort         lane{} {} (attempt {})",
             e.a,
             codes::abort_name(e.b),
+            e.c
+        ),
+        EventKind::StuckSlot => {
+            format!("stuck-slot       p{} slot{} (held locks={})", e.a, e.b, e.c)
+        }
+        EventKind::KillRescue => format!(
+            "kill-rescue      p{} killed {} slot(s) after {}us",
+            e.a, e.b, e.c
+        ),
+        EventKind::CtrlBreaker => format!(
+            "ctrl-breaker     p{} {} (consecutive timeouts={})",
+            e.a,
+            if e.b == 1 { "OPEN" } else { "closed" },
             e.c
         ),
     }
@@ -443,6 +471,9 @@ mod tests {
                 2,
                 "validation",
             ),
+            (EventKind::StuckSlot, 4, 9, 3, "held locks=3"),
+            (EventKind::KillRescue, 4, 2, 150, "killed 2 slot(s)"),
+            (EventKind::CtrlBreaker, 6, 1, 3, "OPEN"),
         ];
         for (kind, a, b, c, needle) in cases {
             let line = render_event(&Event::at(5, kind, a, b, c));

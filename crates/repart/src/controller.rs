@@ -9,6 +9,7 @@ use std::time::Duration;
 
 use parking_lot::Mutex;
 use partstm_analysis::online::{OnlineAnalyzer, OnlineConfig, PartitionMeta, Proposal};
+use partstm_core::cm::{self, XorShift64};
 use partstm_core::telemetry::{self, codes, EventKind};
 use partstm_core::{
     AccessProfiler, Partition, PartitionConfig, PartitionId, StatCounters, Stm, SwitchOutcome,
@@ -47,6 +48,15 @@ pub struct ControllerConfig {
     /// may move. A hot set wider than this is not a celebrity-key pattern;
     /// the tear falls back to the whole-structure split execution.
     pub tear_max_fraction: f64,
+    /// Consecutive quiesce-timeout failures against one partition that
+    /// open its circuit breaker (see [`RepartEvent::BreakerOpen`]): while
+    /// open, proposals targeting the partition are skipped instead of
+    /// burning the window's single action on another doomed quiesce. Any
+    /// non-timeout outcome resets the count.
+    pub breaker_threshold: u32,
+    /// Evaluation windows an opened circuit breaker stays open before the
+    /// partition becomes eligible again.
+    pub breaker_windows: u32,
 }
 
 impl Default for ControllerConfig {
@@ -62,6 +72,8 @@ impl Default for ControllerConfig {
             max_partitions: 64,
             split_template: PartitionConfig::default().tunable(),
             tear_max_fraction: 0.25,
+            breaker_threshold: 3,
+            breaker_windows: 8,
         }
     }
 }
@@ -168,6 +180,21 @@ pub enum RepartEvent {
         /// Protocol outcome (or `Unchanged` when nothing was migratable).
         outcome: SwitchOutcome,
     },
+    /// `partition`'s circuit breaker opened: `consecutive` actions against
+    /// it in a row died as quiesce timeouts, so proposals targeting it are
+    /// suspended for [`ControllerConfig::breaker_windows`] windows.
+    BreakerOpen {
+        /// The partition whose actions keep timing out.
+        partition: PartitionId,
+        /// Consecutive quiesce-timeout failures that tripped the breaker.
+        consecutive: u32,
+    },
+    /// `partition`'s circuit breaker closed after its suspension window;
+    /// proposals targeting it are admitted again.
+    BreakerClose {
+        /// The partition re-admitted to structural actions.
+        partition: PartitionId,
+    },
 }
 
 type StreakKey = (&'static str, PartitionId);
@@ -180,12 +207,26 @@ struct TornRecord {
     sets: Vec<TearSet>,
 }
 
+/// Circuit-breaker bookkeeping for one partition.
+#[derive(Debug, Default, Clone, Copy)]
+struct BreakerState {
+    /// Quiesce-timeout failures in a row (reset by any other outcome).
+    consecutive_timeouts: u32,
+    /// Window number until which the breaker stays open (0 = closed).
+    open_until_window: u64,
+}
+
 struct CtrlState {
     analyzer: OnlineAnalyzer,
     last_stats: BTreeMap<PartitionId, StatCounters>,
     streaks: BTreeMap<StreakKey, u32>,
     cooldown: u32,
     split_seq: u32,
+    /// Jitter source for [`retry_contended`]'s backoff.
+    rng: XorShift64,
+    /// Per-partition circuit breakers (see
+    /// [`ControllerConfig::breaker_threshold`]).
+    breaker: BTreeMap<PartitionId, BreakerState>,
     /// Partitions this controller knows to be dead (merged-away sources,
     /// abandoned split destinations); the Stm itself never unregisters
     /// them, so the partition-cap check discounts these.
@@ -248,6 +289,8 @@ impl RepartitionController {
                     streaks: BTreeMap::new(),
                     cooldown: 0,
                     split_seq: 0,
+                    rng: XorShift64::new(0x5EED_C0FF_EE00_0001),
+                    breaker: BTreeMap::new(),
                     dead: std::collections::BTreeSet::new(),
                     torn: BTreeMap::new(),
                     events: Vec::new(),
@@ -385,6 +428,57 @@ fn live_partitions(ctrl: &Ctrl, st: &CtrlState) -> usize {
     ctrl.stm.partitions().len().saturating_sub(st.dead.len())
 }
 
+/// Retry budget of [`retry_contended`]: a `Contended` migration collides
+/// with a transient flag holder (tuner switch, privatization), which
+/// clears in well under eight backed-off attempts or not at all.
+const CONTENDED_RETRIES: u32 = 8;
+
+/// Retries a migration while it reports [`SwitchOutcome::Contended`],
+/// with bounded randomized exponential backoff between attempts (the
+/// engine's contention-manager curve — a plain `yield_now` retry storm
+/// from the controller is exactly the load a contended flag holder does
+/// not need). Returns the first non-`Contended` outcome, or `Contended`
+/// after the budget is spent.
+fn retry_contended(
+    first: SwitchOutcome,
+    rng: &mut XorShift64,
+    mut attempt: impl FnMut() -> SwitchOutcome,
+) -> SwitchOutcome {
+    let mut outcome = first;
+    let mut retries = 0;
+    while outcome == SwitchOutcome::Contended && retries < CONTENDED_RETRIES {
+        cm::backoff(retries, rng);
+        outcome = attempt();
+        retries += 1;
+    }
+    outcome
+}
+
+/// Fault-injection site
+/// [`CtrlActionFail`](partstm_core::fault::FaultSite::CtrlActionFail):
+/// when the installed plan fires, the approved action is reported as a
+/// quiesce timeout *without* attempting the protocol (debug builds panic
+/// inside a genuinely timed-out quiesce, so injecting the outcome rather
+/// than the stall keeps the schedule build-independent).
+fn injected_ctrl_failure(
+    ctrl: &Ctrl,
+    st: &mut CtrlState,
+    action: &'static str,
+    src: PartitionId,
+) -> bool {
+    if !partstm_core::fault::ctrl_action_should_fail(&ctrl.stm) {
+        return false;
+    }
+    let ev = RepartEvent::Failed {
+        action,
+        src,
+        outcome: SwitchOutcome::TimedOut,
+    };
+    emit_ctrl_action(&ev);
+    st.events.push(ev);
+    true
+}
+
 /// Executes a whole-structure split of `src`'s hot buckets. Returns true
 /// when the window was consumed (an event — success or failure — was
 /// recorded); false when the action could not even be attempted and the
@@ -403,6 +497,9 @@ fn exec_split(
     let Some(src_part) = find_partition(&ctrl.stm, src) else {
         return false;
     };
+    if injected_ctrl_failure(ctrl, st, "split", src) {
+        return true;
+    }
     let movers = ctrl.dir.collect(src, buckets);
     if movers.is_empty() {
         let ev = RepartEvent::Failed {
@@ -420,16 +517,13 @@ fn exec_split(
         name,
         ..ctrl.cfg.split_template.clone()
     };
-    let (dst, mut outcome) = ctrl.stm.split_partition_batch(&src_part, template, &movers);
+    let (dst, outcome) = ctrl.stm.split_partition_batch(&src_part, template, &movers);
     // A Contended migration left `dst` created but empty; retry into the
     // same destination (per the protocol docs) so a transient collision
     // with a tuner switch doesn't leak a dead partition.
-    let mut retries = 0;
-    while outcome == SwitchOutcome::Contended && retries < 8 {
-        std::thread::yield_now();
-        outcome = ctrl.stm.migrate_batch(&movers, &dst);
-        retries += 1;
-    }
+    let outcome = retry_contended(outcome, &mut st.rng, || {
+        ctrl.stm.migrate_batch(&movers, &dst)
+    });
     let ev = match outcome {
         SwitchOutcome::Switched => RepartEvent::Split {
             src,
@@ -472,13 +566,16 @@ fn exec_tear(
     let Some(src_part) = find_partition(&ctrl.stm, src) else {
         return false;
     };
+    if injected_ctrl_failure(ctrl, st, "tear", src) {
+        return true;
+    }
     let existing = st
         .torn
         .iter()
         .find(|(_, r)| r.origin == src)
         .map(|(id, _)| *id)
         .and_then(|id| find_partition(&ctrl.stm, id));
-    let (dst, mut outcome, fresh) = match existing {
+    let (dst, outcome, fresh) = match existing {
         Some(d) => {
             let o = ctrl.stm.migrate_batch(&TearMovers(sets), &d);
             (d, o, false)
@@ -499,12 +596,9 @@ fn exec_tear(
             (d, o, true)
         }
     };
-    let mut retries = 0;
-    while outcome == SwitchOutcome::Contended && retries < 8 {
-        std::thread::yield_now();
-        outcome = ctrl.stm.migrate_batch(&TearMovers(sets), &dst);
-        retries += 1;
-    }
+    let outcome = retry_contended(outcome, &mut st.rng, || {
+        ctrl.stm.migrate_batch(&TearMovers(sets), &dst)
+    });
     let ev = match outcome {
         SwitchOutcome::Switched => {
             // Evict the torn slots from the reverse maps so the next
@@ -559,6 +653,9 @@ fn exec_heal(ctrl: &Ctrl, st: &mut CtrlState, src: PartitionId, dst: PartitionId
     let Some(src_part) = find_partition(&ctrl.stm, src) else {
         return false;
     };
+    if injected_ctrl_failure(ctrl, st, "heal", src) {
+        return true;
+    }
     let sets = st
         .torn
         .get(&src)
@@ -576,15 +673,12 @@ fn exec_heal(ctrl: &Ctrl, st: &mut CtrlState, src: PartitionId, dst: PartitionId
     let mut collections = 0usize;
     let mut failure = None;
     for (home, group) in &groups {
-        let mut outcome = ctrl
+        let outcome = ctrl
             .stm
             .merge_partitions_batch(&[&src_part], home, &TearMovers(group));
-        let mut retries = 0;
-        while outcome == SwitchOutcome::Contended && retries < 8 {
-            std::thread::yield_now();
-            outcome = ctrl.stm.migrate_batch(&TearMovers(group), home);
-            retries += 1;
-        }
+        let outcome = retry_contended(outcome, &mut st.rng, || {
+            ctrl.stm.migrate_batch(&TearMovers(group), home)
+        });
         if outcome == SwitchOutcome::Switched {
             for s in group {
                 ctrl.dir.unmark_torn(s);
@@ -681,6 +775,9 @@ fn emit_ctrl_action(ev: &RepartEvent) {
             0,
             telemetry::outcome_code(*outcome),
         ),
+        // Breaker transitions carry their own event kind (emitted where
+        // the breaker state changes), not a CtrlAction.
+        RepartEvent::BreakerOpen { .. } | RepartEvent::BreakerClose { .. } => return,
     };
     telemetry::control_event(
         EventKind::CtrlAction,
@@ -690,11 +787,78 @@ fn emit_ctrl_action(ev: &RepartEvent) {
     );
 }
 
+/// Whether `id`'s circuit breaker is open as of `window`.
+fn breaker_open(st: &CtrlState, id: PartitionId, window: u64) -> bool {
+    st.breaker
+        .get(&id)
+        .is_some_and(|b| b.open_until_window > window)
+}
+
+/// Closes breakers whose suspension window has expired (emitting
+/// [`RepartEvent::BreakerClose`] + a `CtrlBreaker` telemetry event).
+fn tick_breakers(st: &mut CtrlState, window: u64) {
+    let mut closed = Vec::new();
+    for (part, b) in st.breaker.iter_mut() {
+        if b.open_until_window != 0 && b.open_until_window <= window {
+            b.open_until_window = 0;
+            b.consecutive_timeouts = 0;
+            closed.push(*part);
+        }
+    }
+    for partition in closed {
+        telemetry::control_event(EventKind::CtrlBreaker, partition.0 as u64, 0, 0);
+        st.events.push(RepartEvent::BreakerClose { partition });
+    }
+}
+
+/// Folds the outcome of the window's executed action (the event just
+/// pushed) into the target partition's circuit breaker: quiesce timeouts
+/// accumulate and trip it at [`ControllerConfig::breaker_threshold`];
+/// anything else proves quiesce works and resets the count.
+fn update_breaker(ctrl: &Ctrl, st: &mut CtrlState, window: u64) {
+    let Some(ev) = st.events.last() else {
+        return;
+    };
+    let (partition, timed_out) = match ev {
+        RepartEvent::Failed { src, outcome, .. } => (*src, *outcome == SwitchOutcome::TimedOut),
+        RepartEvent::Split { src, .. }
+        | RepartEvent::Merge { src, .. }
+        | RepartEvent::Tear { src, .. }
+        | RepartEvent::Heal { src, .. } => (*src, false),
+        RepartEvent::Resize { partition, .. } => (*partition, false),
+        RepartEvent::BreakerOpen { .. } | RepartEvent::BreakerClose { .. } => return,
+    };
+    if !timed_out {
+        if let Some(b) = st.breaker.get_mut(&partition) {
+            b.consecutive_timeouts = 0;
+        }
+        return;
+    }
+    let threshold = ctrl.cfg.breaker_threshold.max(1);
+    let b = st.breaker.entry(partition).or_default();
+    b.consecutive_timeouts += 1;
+    let consecutive = b.consecutive_timeouts;
+    if consecutive >= threshold && b.open_until_window <= window {
+        b.open_until_window = window + ctrl.cfg.breaker_windows.max(1) as u64;
+        telemetry::control_event(
+            EventKind::CtrlBreaker,
+            partition.0 as u64,
+            1,
+            consecutive as u64,
+        );
+        st.events.push(RepartEvent::BreakerOpen {
+            partition,
+            consecutive,
+        });
+    }
+}
+
 /// One evaluation window.
 fn step(ctrl: &Ctrl) {
-    ctrl.windows.fetch_add(1, Ordering::Relaxed);
+    let window = ctrl.windows.fetch_add(1, Ordering::Relaxed) + 1;
     let mut st = ctrl.state.lock();
     let st = &mut *st;
+    tick_breakers(st, window);
 
     // 1. Age the graph, fold in the window's samples.
     st.analyzer.decay(ctrl.cfg.decay);
@@ -782,16 +946,33 @@ fn step(ctrl: &Ctrl) {
         // window's single action — and a split would leak a corpse
         // destination. Skip such proposals until the guard republishes
         // (the streak survives, so the action fires on the next window).
-        let privatized =
-            |id: PartitionId| find_partition(&ctrl.stm, id).is_some_and(|p| p.is_privatized());
-        let held = match proposal {
-            Proposal::Split { src, .. } => privatized(*src),
-            Proposal::Merge { src, dst, .. } => privatized(*src) || privatized(*dst),
-            Proposal::Resize { partition, .. } => privatized(*partition),
-            Proposal::Tear { src, .. } => privatized(*src),
-            Proposal::Heal { src, dst, .. } => privatized(*src) || privatized(*dst),
+        // The same skip doubles as the leaked-guard watchdog: every time a
+        // proposal bounces off a hold, the hold's age is checked against
+        // the alarm threshold.
+        let privatized = |id: PartitionId| {
+            find_partition(&ctrl.stm, id).is_some_and(|p| {
+                let held = p.is_privatized();
+                if held {
+                    partstm_core::privatize::check_hold_alarm(&p);
+                }
+                held
+            })
         };
-        if held {
+        let (held, tripped) = match proposal {
+            Proposal::Split { src, .. } | Proposal::Tear { src, .. } => {
+                (privatized(*src), breaker_open(st, *src, window))
+            }
+            Proposal::Merge { src, dst, .. } | Proposal::Heal { src, dst, .. } => (
+                privatized(*src) || privatized(*dst),
+                breaker_open(st, *src, window) || breaker_open(st, *dst, window),
+            ),
+            Proposal::Resize { partition, .. } => {
+                (privatized(*partition), breaker_open(st, *partition, window))
+            }
+        };
+        // Both skips leave the streak alive: the proposal fires on the
+        // first window after the guard republishes / the breaker closes.
+        if held || tripped {
             continue;
         }
         match proposal {
@@ -850,6 +1031,7 @@ fn step(ctrl: &Ctrl) {
                     };
                     emit_ctrl_action(&ev);
                     st.events.push(ev);
+                    update_breaker(ctrl, st, window);
                     st.streaks.clear();
                     st.cooldown = ctrl.cfg.cooldown;
                     return;
@@ -909,8 +1091,104 @@ fn step(ctrl: &Ctrl) {
                 // orec table (only the partition's *shape* is unchanged).
             }
         }
+        update_breaker(ctrl, st, window);
         st.streaks.clear();
         st.cooldown = ctrl.cfg.cooldown;
         return;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::directory::StaticDirectory;
+
+    #[test]
+    fn retry_contended_is_bounded_and_stops_on_first_other_outcome() {
+        let mut rng = XorShift64::new(7);
+        let mut calls = 0u32;
+        let out = retry_contended(SwitchOutcome::Contended, &mut rng, || {
+            calls += 1;
+            SwitchOutcome::Contended
+        });
+        assert_eq!(out, SwitchOutcome::Contended, "budget exhausted");
+        assert_eq!(calls, CONTENDED_RETRIES);
+
+        let mut calls = 0u32;
+        let out = retry_contended(SwitchOutcome::Contended, &mut rng, || {
+            calls += 1;
+            if calls == 3 {
+                SwitchOutcome::Switched
+            } else {
+                SwitchOutcome::Contended
+            }
+        });
+        assert_eq!(out, SwitchOutcome::Switched);
+        assert_eq!(calls, 3);
+
+        // A non-Contended first outcome never invokes the closure.
+        let out = retry_contended(SwitchOutcome::TimedOut, &mut rng, || unreachable!());
+        assert_eq!(out, SwitchOutcome::TimedOut);
+    }
+
+    #[test]
+    fn breaker_opens_after_consecutive_timeouts_and_closes_on_expiry() {
+        let stm = Stm::new();
+        let p = stm.new_partition(PartitionConfig::named("brk"));
+        let id = p.id();
+        let cfg = ControllerConfig {
+            breaker_threshold: 3,
+            breaker_windows: 2,
+            ..Default::default()
+        };
+        let c = RepartitionController::new(&stm, Arc::new(StaticDirectory::new()), cfg);
+        let ctrl = &c.ctrl;
+        let mut st = ctrl.state.lock();
+        let st = &mut *st;
+        let fail = |st: &mut CtrlState| {
+            st.events.push(RepartEvent::Failed {
+                action: "split",
+                src: id,
+                outcome: SwitchOutcome::TimedOut,
+            });
+        };
+        // Two timeouts: counting, still closed.
+        for _ in 0..2 {
+            fail(st);
+            update_breaker(ctrl, st, 1);
+        }
+        assert!(!breaker_open(st, id, 1));
+        // A non-timeout outcome resets the streak.
+        st.events.push(RepartEvent::Resize {
+            partition: id,
+            from: 64,
+            to: 128,
+            aliased_share: 0.5,
+            abort_rate: 0.1,
+        });
+        update_breaker(ctrl, st, 1);
+        // Three in a row trip it for `breaker_windows` windows.
+        for _ in 0..3 {
+            fail(st);
+            update_breaker(ctrl, st, 1);
+        }
+        assert!(
+            matches!(
+                st.events.last(),
+                Some(RepartEvent::BreakerOpen { consecutive: 3, partition }) if *partition == id
+            ),
+            "open event missing: {:?}",
+            st.events.last()
+        );
+        assert!(breaker_open(st, id, 1));
+        assert!(breaker_open(st, id, 2));
+        // Expiry closes it and re-arms the count.
+        tick_breakers(st, 3);
+        assert!(!breaker_open(st, id, 3));
+        assert!(matches!(
+            st.events.last(),
+            Some(RepartEvent::BreakerClose { partition }) if *partition == id
+        ));
+        assert_eq!(st.breaker.get(&id).unwrap().consecutive_timeouts, 0);
     }
 }

@@ -9,10 +9,16 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use partstm::core::{
-    Abort, Arena, Granularity, Handle, MigratableCollection, PartitionConfig, PrivatizeError,
-    ReadMode, Stm, SwitchOutcome, TVar,
+    fault, Abort, Arena, FaultPlan, FaultSite, Granularity, Handle, MigratableCollection,
+    PartitionConfig, PrivatizeError, ReadMode, Stm, SwitchOutcome, TVar,
 };
 use partstm::structures::{Bank, THashMap};
+
+/// Serializes the tests that install a process-global fault plan (the
+/// plans are additionally scoped to their own `Stm` via
+/// [`FaultPlan::for_stm`], so the *other* tests in this binary are immune
+/// either way).
+static FAULT_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
 #[derive(Default)]
 struct Node {
@@ -670,6 +676,126 @@ fn privatize_vs_repartition_storm_conserves_sum() {
     );
     // All bindings agree on wherever the last migration left the bank.
     assert_all_bindings_in(&bank, bank.partition_of(), "bank");
+}
+
+/// The kill-based quiesce rescue: a worker wedges *inside* a transaction
+/// while holding encounter locks (via the deterministic fault plan — the
+/// stall polls its kill flag, modelling a transaction stuck in engine
+/// wait loops, not a descheduled thread). A migration's quiesce must
+/// cross its soft deadline, kill the wedged attempt, and complete —
+/// instead of burning the full 10 s hard deadline and rolling back. The
+/// killed worker retries cleanly: locks released, sum conserved.
+#[test]
+fn kill_rescue_unwedges_quiesce_within_soft_deadline() {
+    const ACCOUNTS: usize = 16;
+    let _serial = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let soft = Duration::from_millis(250);
+    let stm = Stm::builder()
+        .quiesce_timeout(Duration::from_secs(10))
+        .kill_after(soft)
+        .build();
+    let a = stm.new_partition(PartitionConfig::named("a"));
+    let b = stm.new_partition(PartitionConfig::named("b"));
+    let bank = Bank::new(Arc::clone(&a), ACCOUNTS, 100);
+    // Exactly one stall, far longer than the soft deadline and far
+    // shorter than the hard one times nothing — only the kill can clear
+    // it before the 30 s budget.
+    let plan = fault::install(
+        FaultPlan::new(0x0FEE_1BAD)
+            .for_stm(&stm)
+            .stall_holding_locks(1000, Duration::from_secs(30))
+            .limit(FaultSite::StallHoldingLocks, 1),
+    );
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        {
+            let ctx = stm.register_thread();
+            let (bank, stop) = (&bank, &stop);
+            s.spawn(move || {
+                let mut i = 0u64;
+                while !stop.load(Ordering::Acquire) {
+                    i += 1;
+                    let from = (i % ACCOUNTS as u64) as usize;
+                    let to = ((i * 7 + 3) % ACCOUNTS as u64) as usize;
+                    ctx.run(|tx| bank.transfer(tx, from, to, 5));
+                }
+            });
+        }
+        // Wait until the worker is wedged holding a lock.
+        while plan.injected(FaultSite::StallHoldingLocks) == 0 {
+            std::thread::yield_now();
+        }
+        let t0 = std::time::Instant::now();
+        let outcome = stm.migrate_collection(&bank, &b);
+        let elapsed = t0.elapsed();
+        stop.store(true, Ordering::Release);
+        assert_eq!(outcome, SwitchOutcome::Switched, "rescue must unwedge");
+        // Well past the soft deadline (the kill had to fire) but nowhere
+        // near the 10 s hard deadline (which would also panic this debug
+        // build): the rescue resolved it, not the timeout.
+        assert!(
+            elapsed >= soft,
+            "quiesce finished in {elapsed:?} — nothing was ever wedged?"
+        );
+        assert!(
+            elapsed < Duration::from_secs(5),
+            "rescue too slow: {elapsed:?}"
+        );
+    });
+    fault::clear();
+    let killed: u64 = stm
+        .partitions()
+        .iter()
+        .map(|p| p.stats().aborts_killed)
+        .sum();
+    assert!(killed >= 1, "the wedged attempt must die as Killed");
+    // The killed attempt leaked nothing and its retry preserved the sum.
+    for p in stm.partitions() {
+        let (locked, owners, _) = p.debug_scan();
+        assert_eq!(locked, 0, "{}: leaked locks owned by {owners:?}", p.name());
+    }
+    assert_eq!(bank.total_direct(), ACCOUNTS as i64 * 100, "sum conserved");
+    assert_all_bindings_in(&bank, b.id(), "bank");
+    // The control plane is healthy again: the next action needs no rescue.
+    assert_eq!(stm.migrate_collection(&bank, &a), SwitchOutcome::Switched);
+    let ctx = stm.register_thread();
+    ctx.run(|tx| bank.transfer(tx, 0, 1, 1));
+    assert_eq!(bank.total_direct(), ACCOUNTS as i64 * 100);
+}
+
+/// Deterministic mid-transaction panics (the `MidTxPanic` fault site) on
+/// a live workload: every injected death unwinds through the `Drop`
+/// rollback, leaking no locks and committing nothing.
+#[test]
+fn injected_mid_tx_panics_leak_nothing() {
+    let _serial = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let stm = Stm::new();
+    let p = stm.new_partition(PartitionConfig::named("p"));
+    let x = Arc::new(p.tvar(0u64));
+    let plan = fault::install(FaultPlan::new(3).for_stm(&stm).mid_tx_panic(400));
+    let ctx = stm.register_thread();
+    let mut committed = 0u64;
+    for _ in 0..100 {
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            ctx.run(|tx| tx.modify(&x, |v| v + 1).map(|_| ()))
+        }));
+        if r.is_ok() {
+            committed += 1;
+        }
+    }
+    fault::clear();
+    assert!(
+        plan.injected(FaultSite::MidTxPanic) > 0,
+        "the plan must have fired at 400‰"
+    );
+    assert!(committed > 0, "some attempts must dodge the plan");
+    let (locked, owners, _) = p.debug_scan();
+    assert_eq!(locked, 0, "leaked locks owned by {owners:?}");
+    assert_eq!(
+        x.load_direct(),
+        committed,
+        "killed attempts published nothing"
+    );
 }
 
 /// A closure that reads, then decides to retry until a condition appears
